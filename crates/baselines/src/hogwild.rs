@@ -1,0 +1,204 @@
+//! HOGWILD!-style lock-free parallel SGD.
+//!
+//! HOGWILD! (Niu et al., cited as the inspiration for the CPU SGD systems in
+//! §6.2) runs SGD from many threads over shared factors *without locking*,
+//! accepting occasional lost updates because sparse problems make conflicts
+//! rare.  To stay within safe Rust, each `f32` is stored as an `AtomicU32`
+//! and updated with relaxed loads/stores — the same "racy but memory-safe"
+//! semantics HOGWILD! relies on, without undefined behaviour.
+
+use crate::{als_util, MfSolver};
+use cumf_linalg::FactorMatrix;
+use cumf_sparse::{Csr, Entry};
+use rand::prelude::*;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Hyper-parameters of the HOGWILD solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HogwildConfig {
+    /// Latent dimension `f`.
+    pub f: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// L2 regularization.
+    pub lambda: f32,
+    /// Multiplicative learning-rate decay per epoch.
+    pub decay: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HogwildConfig {
+    fn default() -> Self {
+        Self { f: 32, learning_rate: 0.02, lambda: 0.05, decay: 0.9, seed: 42 }
+    }
+}
+
+/// A factor matrix whose elements are individually atomic.
+struct AtomicFactors {
+    n: usize,
+    f: usize,
+    data: Vec<AtomicU32>,
+}
+
+impl AtomicFactors {
+    fn from_factor_matrix(m: &FactorMatrix) -> Self {
+        Self {
+            n: m.len(),
+            f: m.rank(),
+            data: m.data().iter().map(|&v| AtomicU32::new(v.to_bits())).collect(),
+        }
+    }
+
+    fn to_factor_matrix(&self) -> FactorMatrix {
+        FactorMatrix::from_vec(
+            self.n,
+            self.f,
+            self.data.iter().map(|a| f32::from_bits(a.load(Ordering::Relaxed))).collect(),
+        )
+    }
+
+    #[inline]
+    fn load(&self, row: usize, k: usize) -> f32 {
+        f32::from_bits(self.data[row * self.f + k].load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn store(&self, row: usize, k: usize, v: f32) {
+        self.data[row * self.f + k].store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// HOGWILD!-style lock-free SGD solver.
+pub struct HogwildSgd {
+    config: HogwildConfig,
+    entries: Vec<Entry>,
+    x_atomic: AtomicFactors,
+    theta_atomic: AtomicFactors,
+    // Cached snapshots for the MfSolver accessors.
+    x_snapshot: FactorMatrix,
+    theta_snapshot: FactorMatrix,
+    epoch: usize,
+}
+
+impl HogwildSgd {
+    /// Builds the solver from a ratings matrix.
+    pub fn new(config: HogwildConfig, r: &Csr) -> Self {
+        let x = als_util::init_factors(r.n_rows() as usize, config.f, config.seed);
+        let theta = als_util::init_factors(r.n_cols() as usize, config.f, config.seed ^ 0x77);
+        let mut entries: Vec<Entry> = r.iter().collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        for i in (1..entries.len()).rev() {
+            let j = rng.random_range(0..=i);
+            entries.swap(i, j);
+        }
+        Self {
+            x_atomic: AtomicFactors::from_factor_matrix(&x),
+            theta_atomic: AtomicFactors::from_factor_matrix(&theta),
+            x_snapshot: x,
+            theta_snapshot: theta,
+            entries,
+            config,
+            epoch: 0,
+        }
+    }
+
+    /// One lock-free epoch over all ratings.
+    pub fn epoch(&mut self) {
+        let alpha = self.config.learning_rate * self.config.decay.powi(self.epoch as i32);
+        let lambda = self.config.lambda;
+        let f = self.config.f;
+        let x = &self.x_atomic;
+        let theta = &self.theta_atomic;
+
+        self.entries.par_iter().for_each(|e| {
+            let u = e.row as usize;
+            let v = e.col as usize;
+            // Racy read of both vectors (HOGWILD semantics).
+            let mut err = e.val;
+            for k in 0..f {
+                err -= x.load(u, k) * theta.load(v, k);
+            }
+            for k in 0..f {
+                let xk = x.load(u, k);
+                let tk = theta.load(v, k);
+                x.store(u, k, xk + alpha * (err * tk - lambda * xk));
+                theta.store(v, k, tk + alpha * (err * xk - lambda * tk));
+            }
+        });
+
+        self.epoch += 1;
+        self.x_snapshot = self.x_atomic.to_factor_matrix();
+        self.theta_snapshot = self.theta_atomic.to_factor_matrix();
+    }
+}
+
+impl MfSolver for HogwildSgd {
+    fn name(&self) -> &'static str {
+        "HOGWILD! SGD"
+    }
+
+    fn iterate(&mut self) {
+        self.epoch();
+    }
+
+    fn x(&self) -> &FactorMatrix {
+        &self.x_snapshot
+    }
+
+    fn theta(&self) -> &FactorMatrix {
+        &self.theta_snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_data::synth::SyntheticConfig;
+
+    fn ratings() -> Csr {
+        SyntheticConfig { m: 200, n: 120, nnz: 8000, rank: 4, noise_std: 0.05, ..Default::default() }
+            .generate()
+            .to_csr()
+    }
+
+    #[test]
+    fn hogwild_converges_despite_races() {
+        let r = ratings();
+        let mut solver = HogwildSgd::new(HogwildConfig { f: 8, ..Default::default() }, &r);
+        let before = solver.train_rmse(&r);
+        for _ in 0..10 {
+            solver.iterate();
+        }
+        let after = solver.train_rmse(&r);
+        assert!(after < before * 0.7, "HOGWILD should converge: {before} -> {after}");
+    }
+
+    #[test]
+    fn factors_are_finite_after_training() {
+        let r = ratings();
+        let mut solver = HogwildSgd::new(HogwildConfig { f: 8, ..Default::default() }, &r);
+        for _ in 0..5 {
+            solver.iterate();
+        }
+        assert!(solver.x().data().iter().all(|v| v.is_finite()));
+        assert!(solver.theta().data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn snapshot_reflects_updates() {
+        let r = ratings();
+        let mut solver = HogwildSgd::new(HogwildConfig { f: 4, ..Default::default() }, &r);
+        let before = solver.x().clone();
+        solver.iterate();
+        assert!(solver.x().max_abs_diff(&before) > 0.0);
+    }
+
+    #[test]
+    fn atomic_roundtrip_preserves_values() {
+        let m = FactorMatrix::random(7, 3, 1.0, 5);
+        let a = AtomicFactors::from_factor_matrix(&m);
+        assert_eq!(a.to_factor_matrix(), m);
+    }
+}

@@ -1,0 +1,76 @@
+//! CPU baseline matrix-factorization algorithms.
+//!
+//! The cuMF paper compares against a family of CPU systems.  This crate
+//! implements the *algorithms* those systems run, as real shared-memory
+//! multi-threaded Rust, so that their convergence behaviour (RMSE per
+//! iteration/epoch) in Figures 6 and 10 is genuine rather than copied:
+//!
+//! * [`libmf`] — libMF-style blocked SGD (DSGD block scheduling across
+//!   threads with conflict-free rotations).
+//! * [`hogwild`] — HOGWILD!-style lock-free SGD (atomic relaxed updates).
+//! * [`nomad`] — NOMAD-style asynchronous SGD where item columns circulate
+//!   between workers as tokens.
+//! * [`ccd`] — CCD++ cyclic coordinate descent with a maintained residual.
+//! * [`pals`] — PALS: model-parallel ALS with full `Θ` replication.
+//! * [`spark_als`] — SparkALS-style ALS with per-partition partial
+//!   replication of `Θ` (and its communication-volume accounting).
+//!
+//! Cluster-scale *wall-clock* for these systems comes from `cumf-cluster`'s
+//! cost models; this crate is about numerics on (scaled-down) data.
+
+pub mod als_util;
+pub mod ccd;
+pub mod hogwild;
+pub mod libmf;
+pub mod nomad;
+pub mod pals;
+pub mod spark_als;
+
+use cumf_linalg::FactorMatrix;
+use cumf_sparse::{Csr, Entry};
+
+/// Common interface the benchmark harness drives every baseline through.
+pub trait MfSolver {
+    /// Human-readable solver name.
+    fn name(&self) -> &'static str;
+
+    /// Runs one iteration (ALS) or one epoch (SGD/CCD).
+    fn iterate(&mut self);
+
+    /// Current user factors.
+    fn x(&self) -> &FactorMatrix;
+
+    /// Current item factors.
+    fn theta(&self) -> &FactorMatrix;
+
+    /// Root-mean-square error on an explicit set of held-out ratings.
+    fn rmse(&self, entries: &[Entry]) -> f64 {
+        if entries.is_empty() {
+            return 0.0;
+        }
+        let se: f64 = entries
+            .iter()
+            .map(|e| {
+                let p = cumf_linalg::blas::dot(
+                    self.x().vector(e.row as usize),
+                    self.theta().vector(e.col as usize),
+                );
+                ((e.val - p) as f64).powi(2)
+            })
+            .sum();
+        (se / entries.len() as f64).sqrt()
+    }
+
+    /// Root-mean-square error over the stored entries of `r`.
+    fn train_rmse(&self, r: &Csr) -> f64 {
+        let entries: Vec<Entry> = r.iter().collect();
+        self.rmse(&entries)
+    }
+}
+
+pub use ccd::CcdPlusPlus;
+pub use hogwild::HogwildSgd;
+pub use libmf::LibMfSgd;
+pub use nomad::NomadSgd;
+pub use pals::Pals;
+pub use spark_als::SparkAlsStyle;

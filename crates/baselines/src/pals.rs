@@ -1,0 +1,172 @@
+//! PALS: model-parallel ALS with full `Θ` replication (Zhou et al., AAIM
+//! 2008 — the original "Large-scale Parallel Collaborative Filtering for the
+//! Netflix Prize" system).
+//!
+//! PALS partitions `X` and `R` by rows across workers and **replicates the
+//! whole `Θᵀ`** on every worker.  §2.2 of the cuMF paper points out that
+//! this only works while `Θᵀ` is small; the [`Pals::replication_bytes`]
+//! accessor exposes exactly the quantity that blows up.
+
+use crate::{als_util, MfSolver};
+use cumf_linalg::FactorMatrix;
+use cumf_sparse::{horizontal_partition, Csr, SparseBlock};
+use rayon::prelude::*;
+
+/// Hyper-parameters of the PALS solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PalsConfig {
+    /// Latent dimension `f`.
+    pub f: usize,
+    /// Weighted-λ regularization.
+    pub lambda: f32,
+    /// Number of (simulated) worker partitions.
+    pub workers: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PalsConfig {
+    fn default() -> Self {
+        Self { f: 32, lambda: 0.05, workers: 4, seed: 42 }
+    }
+}
+
+/// PALS solver: row-partitioned ALS with full `Θ` replication.
+pub struct Pals {
+    config: PalsConfig,
+    row_blocks: Vec<SparseBlock>,
+    col_blocks: Vec<SparseBlock>,
+    x: FactorMatrix,
+    theta: FactorMatrix,
+}
+
+impl Pals {
+    /// Builds the solver, partitioning `R` by rows (for update-X) and by
+    /// rows of `Rᵀ` (for update-Θ).
+    pub fn new(config: PalsConfig, r: &Csr) -> Self {
+        let workers_rows = config.workers.min(r.n_rows().max(1) as usize);
+        let workers_cols = config.workers.min(r.n_cols().max(1) as usize);
+        let row_blocks = horizontal_partition(r, workers_rows).expect("row partition");
+        let col_blocks = horizontal_partition(&r.transpose(), workers_cols).expect("column partition");
+        let x = als_util::init_factors(r.n_rows() as usize, config.f, config.seed);
+        let theta = als_util::init_factors(r.n_cols() as usize, config.f, config.seed ^ 0x7e7a);
+        Self { config, row_blocks, col_blocks, x, theta }
+    }
+
+    /// Bytes of `Θᵀ` (or `X` for the other half) that PALS replicates to
+    /// every worker in one iteration — the scalability limit the cuMF paper
+    /// calls out.
+    pub fn replication_bytes(&self) -> u64 {
+        let workers = self.row_blocks.len() as u64;
+        let theta_bytes = (self.theta.footprint_words() * 4) as u64;
+        let x_bytes = (self.x.footprint_words() * 4) as u64;
+        workers * (theta_bytes + x_bytes)
+    }
+
+    fn update_side(blocks: &[SparseBlock], fixed: &FactorMatrix, lambda: f32, out_len: usize, f: usize) -> FactorMatrix {
+        let mut out = FactorMatrix::zeros(out_len, f);
+        // Each "worker" (block) solves its own rows against the replicated
+        // fixed factors; workers run in parallel.
+        let results: Vec<(u32, FactorMatrix)> = blocks
+            .par_iter()
+            .map(|block| {
+                let mut local = FactorMatrix::zeros(block.n_rows() as usize, f);
+                // The block has *global* column indices because horizontal
+                // partitioning keeps the full column range.
+                for u in 0..block.n_rows() {
+                    let mut row = vec![0.0f32; f];
+                    als_util::solve_row(&block.csr, u, fixed, lambda, &mut row);
+                    local.vector_mut(u as usize).copy_from_slice(&row);
+                }
+                (block.row_start, local)
+            })
+            .collect();
+        for (row_start, local) in results {
+            for u in 0..local.len() {
+                out.vector_mut(row_start as usize + u).copy_from_slice(local.vector(u));
+            }
+        }
+        out
+    }
+
+    /// One full ALS iteration.
+    pub fn als_iteration(&mut self) {
+        let f = self.config.f;
+        self.x = Self::update_side(&self.row_blocks, &self.theta, self.config.lambda, self.x.len(), f);
+        self.theta = Self::update_side(&self.col_blocks, &self.x, self.config.lambda, self.theta.len(), f);
+    }
+}
+
+impl MfSolver for Pals {
+    fn name(&self) -> &'static str {
+        "PALS (ALS, full replication)"
+    }
+
+    fn iterate(&mut self) {
+        self.als_iteration();
+    }
+
+    fn x(&self) -> &FactorMatrix {
+        &self.x
+    }
+
+    fn theta(&self) -> &FactorMatrix {
+        &self.theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_data::synth::SyntheticConfig;
+
+    fn ratings() -> Csr {
+        SyntheticConfig { m: 150, n: 90, nnz: 5000, rank: 4, noise_std: 0.05, ..Default::default() }
+            .generate()
+            .to_csr()
+    }
+
+    #[test]
+    fn pals_converges_fast_like_any_als() {
+        let r = ratings();
+        let mut solver = Pals::new(PalsConfig { f: 8, workers: 4, ..Default::default() }, &r);
+        let before = solver.train_rmse(&r);
+        for _ in 0..3 {
+            solver.iterate();
+        }
+        let after = solver.train_rmse(&r);
+        assert!(after < before * 0.4, "PALS should converge quickly: {before} -> {after}");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results_materially() {
+        let r = ratings();
+        let mut w1 = Pals::new(PalsConfig { f: 8, workers: 1, ..Default::default() }, &r);
+        let mut w4 = Pals::new(PalsConfig { f: 8, workers: 4, ..Default::default() }, &r);
+        w1.iterate();
+        w4.iterate();
+        assert!(w1.x().max_abs_diff(w4.x()) < 1e-3);
+    }
+
+    #[test]
+    fn replication_bytes_scale_with_workers() {
+        let r = ratings();
+        let p2 = Pals::new(PalsConfig { workers: 2, ..Default::default() }, &r);
+        let p4 = Pals::new(PalsConfig { workers: 4, ..Default::default() }, &r);
+        assert!(p4.replication_bytes() > p2.replication_bytes());
+    }
+
+    #[test]
+    fn pals_beats_sgd_baselines_per_iteration() {
+        // ALS makes much more progress per iteration than one SGD epoch.
+        let r = ratings();
+        let mut pals = Pals::new(PalsConfig { f: 8, ..Default::default() }, &r);
+        let mut sgd = crate::libmf::LibMfSgd::new(
+            crate::libmf::LibMfConfig { f: 8, ..Default::default() },
+            &r,
+        );
+        pals.iterate();
+        sgd.iterate();
+        assert!(pals.train_rmse(&r) < sgd.train_rmse(&r));
+    }
+}

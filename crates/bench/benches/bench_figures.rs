@@ -1,0 +1,56 @@
+//! Benchmarks of the figure/table generators themselves plus the pure
+//! cost-model computations: Table 1, Table 3, Figure 2, Figure 11, the
+//! §4.2 reduction ablation and the §3.3 bin-size ablation.  These are the
+//! harness targets listed in DESIGN.md's per-experiment index; the heavier
+//! convergence figures (6–10) are exercised in their quick configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cumf_bench::experiments::{self as exp, ExperimentConfig};
+use cumf_core::costmodel::{cumf_iteration_cost, ClusterConfig};
+use cumf_core::planner::ProblemDims;
+use cumf_data::datasets::PaperDataset;
+use std::hint::black_box;
+
+fn bench_analytic_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytic_tables");
+    group.bench_function("table1", |b| b.iter(|| black_box(exp::table1())));
+    group.bench_function("table3_netflix", |b| {
+        b.iter(|| black_box(exp::table3_for(PaperDataset::Netflix, 4096)))
+    });
+    group.bench_function("fig2", |b| b.iter(|| black_box(exp::fig2())));
+    group.bench_function("fig11", |b| b.iter(|| black_box(exp::fig11())));
+    group.bench_function("reduction_ablation", |b| b.iter(|| black_box(exp::reduction_ablation())));
+    group.bench_function("bin_ablation", |b| b.iter(|| black_box(exp::bin_ablation())));
+    group.finish();
+}
+
+fn bench_iteration_cost_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_scale_cost_model");
+    for ds in [PaperDataset::Netflix, PaperDataset::Hugewiki, PaperDataset::Facebook] {
+        let spec = ds.spec();
+        let dims = ProblemDims::new(spec.m, spec.n, spec.nz, spec.f as u64);
+        group.bench_function(spec.name, |b| {
+            b.iter(|| black_box(cumf_iteration_cost(&dims, &ClusterConfig::four_k80())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quick_convergence_figures(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let mut group = c.benchmark_group("convergence_figures_quick");
+    group.sample_size(10);
+    group.bench_function("fig6", |b| b.iter(|| black_box(exp::fig6(&cfg))));
+    group.bench_function("fig7", |b| b.iter(|| black_box(exp::fig7(&cfg))));
+    group.bench_function("fig9", |b| b.iter(|| black_box(exp::fig9(&cfg))));
+    group.bench_function("fig10", |b| b.iter(|| black_box(exp::fig10(&cfg))));
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_analytic_tables,
+    bench_iteration_cost_model,
+    bench_quick_convergence_figures
+);
+criterion_main!(figures);

@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the ALS kernels (the building blocks of Table 3):
+//! the fused `get_hermitian` + solve, the partial-Hermitian path of SU-ALS,
+//! the batched Cholesky solve and the cross-partition accumulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cumf_core::als::kernels::{accumulate_partials, partial_hermitians, solve_side};
+use cumf_data::synth::SyntheticConfig;
+use cumf_linalg::blas::{add_diagonal, syr_full};
+use cumf_linalg::{batch_solve, FactorMatrix};
+use cumf_sparse::Csr;
+use std::hint::black_box;
+
+fn workload(m: u32, n: u32, nnz: usize) -> (Csr, FactorMatrix) {
+    let data = SyntheticConfig { m, n, nnz, rank: 8, seed: 7, ..Default::default() }.generate();
+    let r = data.to_csr();
+    let theta = FactorMatrix::random(n as usize, 32, 0.2, 3);
+    (r, theta)
+}
+
+fn bench_get_hermitian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("get_hermitian_solve");
+    group.sample_size(10);
+    for &nnz in &[20_000usize, 80_000] {
+        let (r, theta) = workload(2_000, 500, nnz);
+        group.bench_with_input(BenchmarkId::from_parameter(nnz), &nnz, |b, _| {
+            b.iter(|| black_box(solve_side(&r, &theta, 0.05)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_partial_hermitians(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partial_hermitians");
+    group.sample_size(10);
+    let (r, theta) = workload(1_000, 400, 40_000);
+    group.bench_function("1000x400_40k_f32", |b| {
+        b.iter(|| black_box(partial_hermitians(&r, &theta, 32)));
+    });
+    group.finish();
+}
+
+fn bench_accumulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_accumulate");
+    group.sample_size(20);
+    let f = 32usize;
+    let rows = 2_000usize;
+    let a_src = vec![1.0f32; rows * f * f];
+    let b_src = vec![1.0f32; rows * f];
+    group.bench_function("2000_rows_f32", |b| {
+        let mut a_dst = vec![0.0f32; rows * f * f];
+        let mut b_dst = vec![0.0f32; rows * f];
+        b.iter(|| {
+            accumulate_partials(&mut a_dst, &mut b_dst, &a_src, &b_src);
+            black_box(&a_dst);
+        });
+    });
+    group.finish();
+}
+
+fn bench_batch_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_solve");
+    group.sample_size(10);
+    for &f in &[16usize, 32, 64] {
+        let batch = 1_000usize;
+        // Build SPD systems once; clone per iteration inside the timing loop.
+        let mut hermitians = vec![0.0f32; batch * f * f];
+        let gen = FactorMatrix::random(batch * 2, f, 1.0, 11);
+        for i in 0..batch {
+            let a = &mut hermitians[i * f * f..(i + 1) * f * f];
+            syr_full(a, gen.vector(2 * i));
+            syr_full(a, gen.vector(2 * i + 1));
+            add_diagonal(a, f, 0.5);
+        }
+        let rhs = vec![1.0f32; batch * f];
+        group.bench_with_input(BenchmarkId::new("1000_systems_f", f), &f, |b, &f| {
+            b.iter(|| {
+                let mut a = hermitians.clone();
+                let mut x = rhs.clone();
+                black_box(batch_solve(&mut a, &mut x, f));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_get_hermitian,
+    bench_partial_hermitians,
+    bench_accumulate,
+    bench_batch_solve
+);
+criterion_main!(kernels);

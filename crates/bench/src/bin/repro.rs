@@ -1,0 +1,237 @@
+//! `repro` — regenerates every table and figure of the cuMF paper.
+//!
+//! Usage:
+//! ```text
+//! repro <experiment> [--quick]
+//!
+//! experiments:
+//!   table1      speed & cost vs NOMAD / SparkALS / Factorbird
+//!   table3      analytic compute cost & memory footprint (update-X)
+//!   table4      programmable GPU memory characteristics
+//!   table5      data set descriptors
+//!   fig2        scale of MF data sets
+//!   fig6        convergence: cuMF vs NOMAD vs libMF (Netflix, YahooMusic)
+//!   fig7        register-memory ablation
+//!   fig8        texture-memory ablation
+//!   fig9        multi-GPU scalability
+//!   fig10       Hugewiki: cuMF@4GPU vs multi-node NOMAD
+//!   fig11       very large data sets: per-iteration time vs original systems
+//!   reduction   §4.2 parallel-reduction ablation
+//!   bin         §3.3 shared-memory bin-size ablation
+//!   all         everything above
+//! ```
+//!
+//! `--quick` shrinks the convergence runs (used by CI / smoke tests).
+
+use cumf_bench::experiments as exp;
+use cumf_bench::experiments::ExperimentConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
+    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+
+    let known = [
+        "table1", "table3", "table4", "table5", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "fig11", "reduction", "bin", "all",
+    ];
+    if !known.contains(&which.as_str()) {
+        eprintln!("unknown experiment '{which}'; known: {}", known.join(", "));
+        std::process::exit(2);
+    }
+
+    let run = |name: &str| which == "all" || which == name;
+
+    if run("table5") {
+        print_table5();
+    }
+    if run("fig2") {
+        print_fig2();
+    }
+    if run("table4") {
+        print_table4();
+    }
+    if run("table3") {
+        print_table3();
+    }
+    if run("fig6") {
+        print_figures("Figure 6: cuMF (1 GPU) vs NOMAD and libMF (30 cores)", &exp::fig6(&cfg));
+    }
+    if run("fig7") {
+        print_figures("Figure 7: convergence with / without register accumulation", &exp::fig7(&cfg));
+    }
+    if run("fig8") {
+        print_figures("Figure 8: convergence with / without texture memory", &exp::fig8(&cfg));
+    }
+    if run("fig9") {
+        print_figures("Figure 9: convergence on 1 / 2 / 4 GPUs", &exp::fig9(&cfg));
+        print_fig9_speedups();
+    }
+    if run("fig10") {
+        print_figures("Figure 10: Hugewiki — cuMF@4GPU vs multi-node NOMAD", &[exp::fig10(&cfg)]);
+    }
+    if run("fig11") {
+        print_fig11();
+    }
+    if run("table1") {
+        print_table1();
+    }
+    if run("reduction") {
+        print_reduction();
+    }
+    if run("bin") {
+        print_bin();
+    }
+}
+
+fn hr(title: &str) {
+    println!("\n===============================================================================");
+    println!("{title}");
+    println!("===============================================================================");
+}
+
+fn print_table5() {
+    hr("Table 5: data sets");
+    println!("{:<15} {:>13} {:>12} {:>15} {:>5} {:>6}", "name", "m", "n", "Nz", "f", "lambda");
+    for d in exp::table5() {
+        println!(
+            "{:<15} {:>13} {:>12} {:>15} {:>5} {:>6.2}",
+            d.name, d.m, d.n, d.nz, d.f, d.lambda
+        );
+    }
+}
+
+fn print_fig2() {
+    hr("Figure 2: the scale of MF data sets (model parameters vs ratings)");
+    println!("{:<15} {:>20} {:>16}", "name", "(m+n)*f parameters", "Nz ratings");
+    for p in exp::fig2() {
+        println!("{:<15} {:>20} {:>16}", p.name, p.model_parameters, p.nz);
+    }
+}
+
+fn print_table4() {
+    hr("Table 4: programmable GPU memory");
+    println!("{:<10} {:<8} {:<8} {}", "memory", "size", "latency", "scope");
+    for row in exp::table4() {
+        println!("{:<10} {:<8} {:<8} {}", format!("{:?}", row.kind), row.size, row.latency, row.scope);
+    }
+}
+
+fn print_table3() {
+    hr("Table 3: compute cost and memory footprint of the update-X step (Netflix, f = 100, m_b = 4096)");
+    println!(
+        "{:<14} {:>18} {:>18} {:>16} {:>18} {:>18}",
+        "scope", "A flops", "B flops", "A words", "B words", "batch-solve flops"
+    );
+    for row in exp::table3_for(cumf_data::datasets::PaperDataset::Netflix, 4096) {
+        println!(
+            "{:<14} {:>18.3e} {:>18.3e} {:>16.3e} {:>18.3e} {:>18.3e}",
+            row.scope,
+            row.get_hermitian_a_flops,
+            row.get_hermitian_b_flops,
+            row.a_words,
+            row.b_words,
+            row.batch_solve_flops
+        );
+    }
+}
+
+fn print_figures(title: &str, figures: &[exp::Figure]) {
+    hr(title);
+    for fig in figures {
+        println!("\n--- {} ---", fig.title);
+        for series in &fig.series {
+            println!("  series: {}", series.label);
+            println!("    {:>12} | {:>10}", "time (s)", "test RMSE");
+            for p in &series.points {
+                println!("    {:>12.2} | {:>10.4}", p.time_s, p.rmse);
+            }
+        }
+        // A compact "who reaches the best common RMSE first" summary.
+        let best_common = fig
+            .series
+            .iter()
+            .map(|s| s.final_rmse())
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!("  time to reach RMSE {best_common:.4}:");
+        for series in &fig.series {
+            match series.time_to_rmse(best_common + 1e-9) {
+                Some(t) => println!("    {:<28} {:>10.1} s", series.label, t),
+                None => println!("    {:<28} {:>10}", series.label, "not reached"),
+            }
+        }
+    }
+}
+
+fn print_fig9_speedups() {
+    println!("\nper-iteration speedups (full-scale cost model):");
+    for ds in [cumf_data::datasets::PaperDataset::Netflix, cumf_data::datasets::PaperDataset::YahooMusic] {
+        let speedups = exp::fig9_speedups(ds);
+        let s: Vec<String> = speedups.iter().map(|(g, s)| format!("{g} GPU = {s:.2}x")).collect();
+        println!("  {:<12} {}", ds.spec().name, s.join(", "));
+    }
+}
+
+fn print_fig11() {
+    hr("Figure 11: cuMF@4GPU on very large data sets vs the original systems (seconds / iteration)");
+    println!(
+        "{:<16} {:<28} {:>14} {:>14} {:>12} {:>14}",
+        "workload", "baseline", "baseline model", "baseline publ.", "cuMF model", "cuMF (paper)"
+    );
+    for row in exp::fig11() {
+        println!(
+            "{:<16} {:<28} {:>12.1} s {:>12} {:>10.1} s {:>12.1} s",
+            row.workload,
+            row.baseline.name(),
+            row.baseline_model_s,
+            row.baseline_published_s.map(|s| format!("{s:.0} s")).unwrap_or_else(|| "-".into()),
+            row.cumf_s,
+            row.cumf_published_s,
+        );
+    }
+}
+
+fn print_table1() {
+    hr("Table 1: speed and cost of cuMF vs distributed CPU systems");
+    println!(
+        "{:<12} {:<12} {:>7} {:>10} {:>12} {:>10} {:>12} {:>10}",
+        "baseline", "node", "#nodes", "$/node/hr", "speedup", "base $", "cuMF $", "cuMF cost"
+    );
+    for row in exp::table1() {
+        println!(
+            "{:<12} {:<12} {:>7} {:>10.2} {:>11.1}x {:>10.2} {:>12.3} {:>9.1}%",
+            row.baseline_name,
+            row.baseline_node,
+            row.baseline_nodes,
+            row.baseline_price_per_hour,
+            row.speedup(),
+            row.baseline_cost(),
+            row.cumf_cost(),
+            100.0 * row.cost_fraction()
+        );
+    }
+}
+
+fn print_reduction() {
+    hr("§4.2 ablation: parallel reduction schemes (Hugewiki batch, 4 GPUs)");
+    println!("{:<28} {:<12} {:>12}", "scheme", "topology", "seconds");
+    let rows = exp::reduction_ablation();
+    for row in &rows {
+        println!("{:<28} {:<12} {:>12.4}", row.scheme, row.topology, row.seconds);
+    }
+    let single = rows[0].seconds;
+    let one_flat = rows[1].seconds;
+    let one_dual = rows[2].seconds;
+    let two_dual = rows[3].seconds;
+    println!("\none-phase vs reduce-on-one-GPU: {:.2}x (paper: 1.7x)", single / one_flat);
+    println!("two-phase vs one-phase (dual socket): {:.2}x (paper: 1.5x)", one_dual / two_dual);
+}
+
+fn print_bin() {
+    hr("§3.3 ablation: shared-memory bin size (Netflix, f = 100)");
+    println!("{:<6} {:>11} {:>16}", "bin", "occupancy", "iteration (s)");
+    for row in exp::bin_ablation() {
+        println!("{:<6} {:>10.3} {:>15.3}", row.bin, row.occupancy, row.iteration_s);
+    }
+}

@@ -1,0 +1,11 @@
+//! Benchmark and reproduction harness for cumf-rs.
+//!
+//! The [`experiments`] module contains one function per table/figure of the
+//! cuMF paper; each returns structured data.  The `repro` binary prints them
+//! as text tables, the criterion benches under `benches/` measure the
+//! underlying kernels on real (scaled-down) workloads, and `EXPERIMENTS.md`
+//! records paper-reported vs reproduced values.
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,13 @@
+//! ALS engines: the numerical kernels shared by every engine, the baseline
+//! reference (Algorithm 1), the memory-optimized single-GPU engine
+//! (Algorithm 2, MO-ALS) and the scale-up multi-GPU engine (Algorithm 3,
+//! SU-ALS).
+
+pub mod base;
+pub mod kernels;
+pub mod mo;
+pub mod su;
+
+pub use base::BaseAls;
+pub use mo::MoAlsEngine;
+pub use su::{SuAlsConfig, SuAlsEngine};

@@ -1,0 +1,251 @@
+//! Fault-tolerance checkpointing (§4.4 of the paper).
+//!
+//! "During ALS execution we asynchronously checkpoint X and Θ generated from
+//! the latest iteration, into a connected parallel file system.  When the
+//! machine fails, the latest X or Θ (whichever is more recent) is used to
+//! restart ALS."
+//!
+//! The format is a small self-describing binary file (magic, version,
+//! iteration, shapes, little-endian `f32` payloads) — no external
+//! serialization crates needed.
+
+use cumf_linalg::FactorMatrix;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::thread::JoinHandle;
+
+const MAGIC: &[u8; 8] = b"CUMFCKP1";
+
+/// A checkpoint of the factor matrices after a given iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Iteration number the factors were produced by (1-based).
+    pub iteration: u64,
+    /// User factors `X`.
+    pub x: FactorMatrix,
+    /// Item factors `Θ`.
+    pub theta: FactorMatrix,
+}
+
+/// Writes and restores checkpoints in a directory.
+#[derive(Debug, Clone)]
+pub struct CheckpointManager {
+    dir: PathBuf,
+}
+
+impl CheckpointManager {
+    /// Creates a manager rooted at `dir` (the directory is created if
+    /// missing).
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The directory checkpoints are stored in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, iteration: u64) -> PathBuf {
+        self.dir.join(format!("checkpoint_{iteration:08}.cumf"))
+    }
+
+    /// Saves a checkpoint synchronously.  The file is written to a temporary
+    /// name and atomically renamed, so a crash mid-write never corrupts the
+    /// latest checkpoint.
+    pub fn save(&self, checkpoint: &Checkpoint) -> io::Result<PathBuf> {
+        let final_path = self.path_for(checkpoint.iteration);
+        let tmp_path = final_path.with_extension("tmp");
+        {
+            let mut w = BufWriter::new(File::create(&tmp_path)?);
+            w.write_all(MAGIC)?;
+            w.write_all(&checkpoint.iteration.to_le_bytes())?;
+            write_factor(&mut w, &checkpoint.x)?;
+            write_factor(&mut w, &checkpoint.theta)?;
+            w.flush()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        Ok(final_path)
+    }
+
+    /// Saves a checkpoint on a background thread (the asynchronous mode the
+    /// paper describes); join the handle to observe errors.
+    pub fn save_async(&self, checkpoint: Checkpoint) -> JoinHandle<io::Result<PathBuf>> {
+        let manager = self.clone();
+        std::thread::spawn(move || manager.save(&checkpoint))
+    }
+
+    /// Loads the checkpoint with the highest iteration number, if any.
+    pub fn load_latest(&self) -> io::Result<Option<Checkpoint>> {
+        let mut best: Option<(u64, PathBuf)> = None;
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(iter_str) = name.strip_prefix("checkpoint_").and_then(|s| s.strip_suffix(".cumf")) {
+                if let Ok(iter) = iter_str.parse::<u64>() {
+                    if best.as_ref().map(|(b, _)| iter > *b).unwrap_or(true) {
+                        best = Some((iter, entry.path()));
+                    }
+                }
+            }
+        }
+        match best {
+            None => Ok(None),
+            Some((_, path)) => Ok(Some(Self::load(&path)?)),
+        }
+    }
+
+    /// Loads a specific checkpoint file.
+    pub fn load(path: &Path) -> io::Result<Checkpoint> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a cuMF checkpoint"));
+        }
+        let iteration = read_u64(&mut r)?;
+        let x = read_factor(&mut r)?;
+        let theta = read_factor(&mut r)?;
+        Ok(Checkpoint { iteration, x, theta })
+    }
+
+    /// Deletes every checkpoint older than the latest `keep` ones.
+    pub fn prune(&self, keep: usize) -> io::Result<usize> {
+        let mut files: Vec<(u64, PathBuf)> = fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy().to_string();
+                name.strip_prefix("checkpoint_")
+                    .and_then(|s| s.strip_suffix(".cumf"))
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .map(|i| (i, e.path()))
+            })
+            .collect();
+        files.sort_by_key(|(i, _)| *i);
+        let mut removed = 0;
+        while files.len() > keep {
+            let (_, path) = files.remove(0);
+            fs::remove_file(path)?;
+            removed += 1;
+        }
+        Ok(removed)
+    }
+}
+
+fn write_factor<W: Write>(w: &mut W, m: &FactorMatrix) -> io::Result<()> {
+    w.write_all(&(m.len() as u64).to_le_bytes())?;
+    w.write_all(&(m.rank() as u64).to_le_bytes())?;
+    for &v in m.data() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_factor<R: Read>(r: &mut R) -> io::Result<FactorMatrix> {
+    let n = read_u64(r)? as usize;
+    let f = read_u64(r)? as usize;
+    let mut bytes = vec![0u8; n * f * 4];
+    r.read_exact(&mut bytes)?;
+    let data = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok(FactorMatrix::from_vec(n, f, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir() -> PathBuf {
+        let id = DIR_COUNTER.fetch_add(1, Ordering::SeqCst);
+        std::env::temp_dir().join(format!("cumf_ckpt_test_{}_{id}", std::process::id()))
+    }
+
+    fn sample_checkpoint(iteration: u64, seed: u64) -> Checkpoint {
+        Checkpoint {
+            iteration,
+            x: FactorMatrix::random(50, 8, 1.0, seed),
+            theta: FactorMatrix::random(30, 8, 1.0, seed + 1),
+        }
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = temp_dir();
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        let ckpt = sample_checkpoint(3, 1);
+        let path = mgr.save(&ckpt).unwrap();
+        let loaded = CheckpointManager::load(&path).unwrap();
+        assert_eq!(loaded, ckpt);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn load_latest_picks_the_highest_iteration() {
+        let dir = temp_dir();
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        mgr.save(&sample_checkpoint(1, 1)).unwrap();
+        mgr.save(&sample_checkpoint(7, 2)).unwrap();
+        mgr.save(&sample_checkpoint(4, 3)).unwrap();
+        let latest = mgr.load_latest().unwrap().unwrap();
+        assert_eq!(latest.iteration, 7);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn load_latest_on_empty_dir_is_none() {
+        let dir = temp_dir();
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        assert!(mgr.load_latest().unwrap().is_none());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn async_save_is_observable_after_join() {
+        let dir = temp_dir();
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        let handle = mgr.save_async(sample_checkpoint(2, 9));
+        let path = handle.join().unwrap().unwrap();
+        assert!(path.exists());
+        assert_eq!(mgr.load_latest().unwrap().unwrap().iteration, 2);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_the_newest() {
+        let dir = temp_dir();
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        for i in 1..=5 {
+            mgr.save(&sample_checkpoint(i, i)).unwrap();
+        }
+        let removed = mgr.prune(2).unwrap();
+        assert_eq!(removed, 3);
+        let latest = mgr.load_latest().unwrap().unwrap();
+        assert_eq!(latest.iteration, 5);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_rejected() {
+        let dir = temp_dir();
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint_00000001.cumf");
+        fs::write(&path, b"definitely not a checkpoint").unwrap();
+        assert!(CheckpointManager::load(&path).is_err());
+        fs::remove_dir_all(dir).unwrap();
+    }
+}

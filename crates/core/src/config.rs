@@ -1,0 +1,147 @@
+//! Configuration types for the ALS engines.
+
+/// Memory-optimization toggles of MO-ALS (Algorithm 2 / §3.3 of the paper).
+///
+/// These do not change the numerics at all — they change how much global
+/// memory traffic the simulated kernels generate, which is exactly the
+/// ablation Figures 7 and 8 of the paper perform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryOptConfig {
+    /// Gather `Θᵀ` columns through the read-only texture cache (Figure 8's
+    /// ablation).
+    pub use_texture: bool,
+    /// Accumulate the `f × f` Hermitian `A_u` in the register file instead
+    /// of global memory (Figure 7's ablation — the paper's biggest win).
+    pub use_registers: bool,
+    /// Number of `Θᵀ` columns staged in shared memory per iteration of the
+    /// inner loop (the paper recommends 10–30).
+    pub bin: u32,
+}
+
+impl Default for MemoryOptConfig {
+    fn default() -> Self {
+        Self { use_texture: true, use_registers: true, bin: 20 }
+    }
+}
+
+impl MemoryOptConfig {
+    /// The fully-optimized configuration (the paper's cuMF).
+    pub fn optimized() -> Self {
+        Self::default()
+    }
+
+    /// A configuration with every optimization disabled — the "vanilla GPU
+    /// implementation without memory optimization" the paper compares
+    /// against in §1.
+    pub fn naive() -> Self {
+        Self { use_texture: false, use_registers: false, bin: 20 }
+    }
+
+    /// The optimized configuration minus register accumulation (Figure 7).
+    pub fn without_registers() -> Self {
+        Self { use_registers: false, ..Self::default() }
+    }
+
+    /// The optimized configuration minus the texture path (Figure 8).
+    pub fn without_texture() -> Self {
+        Self { use_texture: false, ..Self::default() }
+    }
+}
+
+/// Hyper-parameters and run controls for an ALS factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlsConfig {
+    /// Latent feature dimension `f`.
+    pub f: usize,
+    /// Weighted-λ regularization strength (the paper's λ; each row's ridge is
+    /// `λ · n_{x_u}` following Zhou et al.).
+    pub lambda: f32,
+    /// Number of ALS iterations (each iteration updates both `X` and `Θ`).
+    pub iterations: usize,
+    /// Seed for factor-matrix initialization.
+    pub seed: u64,
+    /// Memory-optimization toggles for the simulated GPU engines.
+    pub memory_opt: MemoryOptConfig,
+    /// Evaluate RMSE after every iteration (disable for pure benchmarking).
+    pub track_rmse: bool,
+}
+
+impl Default for AlsConfig {
+    fn default() -> Self {
+        Self {
+            f: 32,
+            lambda: 0.05,
+            iterations: 10,
+            seed: 42,
+            memory_opt: MemoryOptConfig::default(),
+            track_rmse: true,
+        }
+    }
+}
+
+impl AlsConfig {
+    /// Validates the configuration, panicking with a clear message on
+    /// nonsensical values.
+    pub fn validate(&self) {
+        assert!(self.f > 0, "latent dimension f must be positive");
+        assert!(self.lambda >= 0.0, "lambda must be non-negative");
+        assert!(self.iterations > 0, "at least one iteration is required");
+        assert!(self.memory_opt.bin > 0, "bin size must be positive");
+    }
+
+    /// The paper's configuration for the Netflix data set (f=100, λ=0.05).
+    pub fn netflix_paper() -> Self {
+        Self { f: 100, lambda: 0.05, ..Default::default() }
+    }
+
+    /// The paper's configuration for the YahooMusic data set (f=100, λ=1.4).
+    pub fn yahoo_music_paper() -> Self {
+        Self { f: 100, lambda: 1.4, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        AlsConfig::default().validate();
+        AlsConfig::netflix_paper().validate();
+        AlsConfig::yahoo_music_paper().validate();
+    }
+
+    #[test]
+    fn ablation_presets_toggle_the_right_flag() {
+        let opt = MemoryOptConfig::optimized();
+        assert!(opt.use_texture && opt.use_registers);
+        let no_reg = MemoryOptConfig::without_registers();
+        assert!(no_reg.use_texture && !no_reg.use_registers);
+        let no_tex = MemoryOptConfig::without_texture();
+        assert!(!no_tex.use_texture && no_tex.use_registers);
+        let naive = MemoryOptConfig::naive();
+        assert!(!naive.use_texture && !naive.use_registers);
+    }
+
+    #[test]
+    fn paper_presets_match_table5() {
+        assert_eq!(AlsConfig::netflix_paper().f, 100);
+        assert!((AlsConfig::yahoo_music_paper().lambda - 1.4).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "latent dimension")]
+    fn zero_f_is_invalid() {
+        AlsConfig { f: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bin size")]
+    fn zero_bin_is_invalid() {
+        AlsConfig {
+            memory_opt: MemoryOptConfig { bin: 0, ..Default::default() },
+            ..Default::default()
+        }
+        .validate();
+    }
+}

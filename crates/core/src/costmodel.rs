@@ -1,0 +1,279 @@
+//! Analytic cost model (Table 3) and full-scale iteration pricing.
+//!
+//! Convergence experiments run on scaled-down data, but the paper's
+//! large-scale results (Figure 11, Table 1) are about *per-iteration time at
+//! full scale* — 3.5 to 112 billion ratings that cannot be materialized
+//! here.  Because the ALS work per iteration is a closed-form function of
+//! `(m, n, Nz, f)` (Table 3 of the paper), the simulated time can be
+//! computed analytically with the very same traffic and interconnect models
+//! the engines use.
+
+use crate::config::MemoryOptConfig;
+use crate::als::mo::{batch_solve_traffic, get_hermitian_traffic};
+use crate::planner::{self, PartitionPlan, ProblemDims};
+use crate::reduce::{reduction_time, ReductionScheme};
+use cumf_gpu_sim::occupancy::{mo_als_regs_per_thread, mo_als_shared_bytes};
+use cumf_gpu_sim::{DeviceSpec, Occupancy, PcieTopology, TimingModel};
+
+/// One row of the paper's Table 3 (compute cost and memory footprint of the
+/// update-X step), in floating-point operations and 4-byte words.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Row {
+    /// Which scope the row describes ("one item", "m_b items", "all m items").
+    pub scope: &'static str,
+    /// FLOPs to form the Hermitians `A_u`.
+    pub get_hermitian_a_flops: f64,
+    /// FLOPs to form the right-hand sides `B_u`.
+    pub get_hermitian_b_flops: f64,
+    /// Memory footprint of the `A_u` matrices in words.
+    pub a_words: f64,
+    /// Memory footprint of `Θᵀ`, `B_u` and the CSR slice in words.
+    pub b_words: f64,
+    /// FLOPs of the batched solve.
+    pub batch_solve_flops: f64,
+}
+
+/// Computes the three rows of Table 3 for a problem with the given
+/// dimensions and batch size `m_b`.
+pub fn table3(m: f64, n: f64, nz: f64, f: f64, mb: f64) -> [Table3Row; 3] {
+    let one = Table3Row {
+        scope: "one item",
+        get_hermitian_a_flops: nz * f * (f + 1.0) / (2.0 * m),
+        get_hermitian_b_flops: (nz + nz * f) / m + 2.0 * f,
+        a_words: f * f,
+        b_words: n * f + f + (2.0 * nz + m + 1.0) / m,
+        batch_solve_flops: f * f * f,
+    };
+    let batch = Table3Row {
+        scope: "m_b items",
+        get_hermitian_a_flops: mb * nz * f * (f + 1.0) / (2.0 * m),
+        get_hermitian_b_flops: mb * (nz + nz * f) / m + 2.0 * mb * f,
+        a_words: mb * f * f,
+        b_words: n * f + mb * f + mb * (2.0 * nz + m + 1.0) / m,
+        batch_solve_flops: mb * f * f * f,
+    };
+    let all = Table3Row {
+        scope: "all m items",
+        get_hermitian_a_flops: nz * f * (f + 1.0) / 2.0,
+        get_hermitian_b_flops: nz + nz * f + 2.0 * m * f,
+        a_words: m * f * f,
+        b_words: n * f + m * f + 2.0 * nz + m + 1.0,
+        batch_solve_flops: m * f * f * f,
+    };
+    [one, batch, all]
+}
+
+/// Hardware configuration used when pricing a full-scale iteration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Device model (all GPUs identical).
+    pub device: DeviceSpec,
+    /// Interconnect topology.
+    pub topology: PcieTopology,
+    /// Number of GPUs actually installed.
+    pub n_gpus: usize,
+    /// Memory-optimization toggles.
+    pub opts: MemoryOptConfig,
+    /// Cross-GPU reduction scheme.
+    pub reduction: ReductionScheme,
+}
+
+impl ClusterConfig {
+    /// The paper's §5.5 machine: four GK210 dies on a dual-socket host.
+    pub fn four_k80() -> Self {
+        Self {
+            device: DeviceSpec::gk210(),
+            topology: PcieTopology::dual_socket(4),
+            n_gpus: 4,
+            opts: MemoryOptConfig::optimized(),
+            reduction: ReductionScheme::TwoPhase,
+        }
+    }
+
+    /// `n` Titan X cards on a flat PCIe root (§5.2–5.4).
+    pub fn titan_x(n: usize) -> Self {
+        Self {
+            device: DeviceSpec::titan_x(),
+            topology: PcieTopology::flat(n),
+            n_gpus: n,
+            opts: MemoryOptConfig::optimized(),
+            reduction: ReductionScheme::OnePhase,
+        }
+    }
+}
+
+/// Simulated cost of one full ALS iteration at full scale.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IterationCost {
+    /// Seconds in `get_hermitian` kernels (both halves).
+    pub get_hermitian_s: f64,
+    /// Seconds in batch solves (both halves).
+    pub batch_solve_s: f64,
+    /// Seconds of exposed (non-overlapped) host↔device streaming.
+    pub transfer_s: f64,
+    /// Seconds of cross-GPU reductions.
+    pub reduce_s: f64,
+    /// The partition plan chosen for the update-X half.
+    pub plan_x: PartitionPlan,
+    /// The partition plan chosen for the update-Θ half.
+    pub plan_theta: PartitionPlan,
+}
+
+impl IterationCost {
+    /// Total simulated seconds per iteration.
+    pub fn total_s(&self) -> f64 {
+        self.get_hermitian_s + self.batch_solve_s + self.transfer_s + self.reduce_s
+    }
+}
+
+/// Prices one full ALS iteration (update X + update Θ) at full scale.
+///
+/// `dims` uses the *paper-scale* `(m, n, Nz, f)`; the partitioning is chosen
+/// by the planner exactly as SU-ALS would.
+pub fn cumf_iteration_cost(dims: &ProblemDims, cluster: &ClusterConfig) -> IterationCost {
+    let timing = TimingModel::default();
+    let mut cost = IterationCost::default();
+
+    let plan_for = |rows: u64, cols: u64| {
+        let d = ProblemDims::new(rows, cols, dims.nz, dims.f);
+        let mut plan = planner::plan(&d, &cluster.device, cluster.n_gpus * 64, 1 << 24)
+            .unwrap_or(PartitionPlan { p: cluster.n_gpus, q: cluster.n_gpus * 16 });
+        // Elasticity (§4.4): with idle GPUs, split X into at least enough
+        // batches for every GPU to work, and round q to a multiple of the
+        // concurrent batch count so waves are balanced.
+        let concurrent_batches = (cluster.n_gpus / plan.p.max(1)).max(1);
+        plan.q = plan.q.max(concurrent_batches).div_ceil(concurrent_batches) * concurrent_batches;
+        plan
+    };
+    let plan_x = plan_for(dims.m, dims.n);
+    let plan_theta = plan_for(dims.n, dims.m);
+    cost.plan_x = plan_x;
+    cost.plan_theta = plan_theta;
+
+    let mut side = |rows: f64, cols: f64, plan: PartitionPlan| {
+        let f = dims.f as f64;
+        let nz = dims.nz as f64;
+        let p = plan.p as f64;
+        let q = plan.q as f64;
+        let n_gpus = cluster.n_gpus as f64;
+
+        let gh_occ = Occupancy::compute(
+            &cluster.device,
+            dims.f as u32,
+            mo_als_regs_per_thread(dims.f as u32, cluster.opts.use_registers),
+            mo_als_shared_bytes(dims.f as u32, cluster.opts.bin),
+        );
+        let bs_occ = Occupancy::compute(&cluster.device, (dims.f as u32).max(32), 56, 0);
+
+        // Per grid block: rows/q rows, nz/(p·q) ratings, cols/p columns.
+        // All p·q blocks are independent, so they spread over the installed
+        // GPUs (data parallelism when p > 1, model parallelism over batches
+        // when p = 1 — the §5.4 Netflix/YahooMusic setting).
+        let block_traffic =
+            get_hermitian_traffic(rows / q, nz / (p * q), cols / p, f, &cluster.opts);
+        let gh_block = timing
+            .kernel_time(&cluster.device, &block_traffic, &gh_occ, !cluster.opts.use_texture)
+            .total_s;
+        let gh_total = gh_block * ((p * q) / n_gpus).ceil();
+        cost.get_hermitian_s += gh_total;
+
+        // Batch solve: each batch's rows/q systems are split over the p GPUs
+        // holding its reduced partials; with p = 1 the q batches themselves
+        // spread over the GPUs.
+        let bs_traffic = batch_solve_traffic(rows / (q * p), f);
+        let bs_total = timing.kernel_time(&cluster.device, &bs_traffic, &bs_occ, false).total_s
+            * ((p * q) / n_gpus).ceil();
+        cost.batch_solve_s += bs_total;
+
+        // Reduction: per batch, each GPU holds (rows/q)·(f²+f) partial words.
+        if plan.p > 1 {
+            let bytes_per_gpu = rows / q * (f * f + f) * 4.0;
+            cost.reduce_s += reduction_time(cluster.reduction, &cluster.topology, bytes_per_gpu) * q;
+        }
+
+        // Out-of-core streaming of R and Θ partitions: exposed time beyond
+        // what prefetch hides behind compute.
+        let r_bytes = 2.0 * nz * 4.0;
+        let theta_bytes = cols * f * 4.0;
+        let stream_s =
+            timing.transfer_time(r_bytes + theta_bytes, cluster.topology.host_link_gbs);
+        cost.transfer_s += (stream_s - gh_total).max(0.0) + gh_block.min(stream_s);
+    };
+
+    side(dims.m as f64, dims.n as f64, plan_x);
+    side(dims.n as f64, dims.m as f64, plan_theta);
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_data::datasets::PaperDataset;
+
+    fn dims(d: PaperDataset, f: u64) -> ProblemDims {
+        let s = d.spec();
+        ProblemDims::new(s.m, s.n, s.nz, f)
+    }
+
+    #[test]
+    fn table3_totals_are_consistent() {
+        let m = 1000.0;
+        let n = 500.0;
+        let nz = 20_000.0;
+        let f = 10.0;
+        let rows = table3(m, n, nz, f, 100.0);
+        // "all m items" equals m × "one item" for the per-item quantities.
+        assert!((rows[2].get_hermitian_a_flops - rows[0].get_hermitian_a_flops * m).abs() < 1.0);
+        assert!((rows[2].batch_solve_flops - rows[0].batch_solve_flops * m).abs() < 1.0);
+        assert!((rows[2].a_words - rows[0].a_words * m).abs() < 1.0);
+        // The batch row interpolates between them.
+        assert!(rows[1].a_words > rows[0].a_words && rows[1].a_words < rows[2].a_words);
+    }
+
+    #[test]
+    fn netflix_hermitian_flops_dominate_batch_solve() {
+        // §2.2: Nz·f² > m·f³ whenever Nz/m > f; Netflix has Nz/m ≈ 206 > 100.
+        let s = PaperDataset::Netflix.spec();
+        let rows = table3(s.m as f64, s.n as f64, s.nz as f64, 100.0, 1.0);
+        assert!(rows[2].get_hermitian_a_flops > rows[2].batch_solve_flops);
+    }
+
+    #[test]
+    fn sparkals_iteration_is_tens_of_seconds_on_four_gpus() {
+        // Figure 11: cuMF does one SparkALS-data iteration in ~24 s (vs 240 s
+        // for 50-node Spark).  The model should land in the same decade.
+        let cost = cumf_iteration_cost(&dims(PaperDataset::SparkAls, 10), &ClusterConfig::four_k80());
+        let t = cost.total_s();
+        assert!(t > 3.0 && t < 300.0, "SparkALS iteration estimate {t} s");
+    }
+
+    #[test]
+    fn facebook_f16_is_minutes_and_f100_much_slower() {
+        let c16 = cumf_iteration_cost(&dims(PaperDataset::Facebook, 16), &ClusterConfig::four_k80());
+        let c100 =
+            cumf_iteration_cost(&dims(PaperDataset::CumfLargest, 100), &ClusterConfig::four_k80());
+        assert!(c16.total_s() > 60.0, "Facebook f=16 too fast: {}", c16.total_s());
+        assert!(c16.total_s() < 3600.0, "Facebook f=16 too slow: {}", c16.total_s());
+        assert!(
+            c100.total_s() > 4.0 * c16.total_s(),
+            "f=100 should be much slower than f=16: {} vs {}",
+            c100.total_s(),
+            c16.total_s()
+        );
+    }
+
+    #[test]
+    fn more_gpus_reduce_iteration_time_on_hugewiki() {
+        let d = dims(PaperDataset::Hugewiki, 100);
+        let t1 = cumf_iteration_cost(&d, &ClusterConfig::titan_x(1)).total_s();
+        let t4 = cumf_iteration_cost(&d, &ClusterConfig::titan_x(4)).total_s();
+        assert!(t4 < t1, "4 GPUs should beat 1: {t1} vs {t4}");
+    }
+
+    #[test]
+    fn netflix_plan_needs_batches() {
+        let cost = cumf_iteration_cost(&dims(PaperDataset::Netflix, 100), &ClusterConfig::titan_x(1));
+        assert!(cost.plan_x.q > 1);
+        assert!(cost.total_s() > 0.5 && cost.total_s() < 60.0, "Netflix iteration {}", cost.total_s());
+    }
+}

@@ -1,0 +1,62 @@
+//! # cumf-core — cuMF's ALS matrix factorization in Rust
+//!
+//! This crate is the Rust reproduction of the paper's contribution: a
+//! scalable Alternating Least Squares (ALS) solver for sparse matrix
+//! factorization `R ≈ X·Θᵀ` designed around GPU architectural
+//! characteristics.  The physical GPU is replaced by the performance model in
+//! [`cumf_gpu_sim`]; the numerics are exact and run on host threads.
+//!
+//! The layers match the paper's structure:
+//!
+//! * [`als::base`] — Algorithm 1, the baseline ALS update (`get_hermitian` +
+//!   `batch_solve`) used as the numerical reference.
+//! * [`als::mo`] — Algorithm 2 **MO-ALS**: the memory-optimized single-GPU
+//!   engine.  Toggles for texture caching, register accumulation and the
+//!   shared-memory `bin` size change the simulated traffic and therefore the
+//!   simulated time, reproducing §3.3–3.4 and Figures 7–8.
+//! * [`als::su`] — Algorithm 3 **SU-ALS**: the multi-GPU engine that adds
+//!   data parallelism (grid-partitioned `R`, vertically partitioned `Θᵀ`)
+//!   and cross-GPU reduction, reproducing §4 and Figures 9–11.
+//! * [`reduce`] — the one-phase and two-phase (topology-aware) parallel
+//!   reduction schemes of §4.2.
+//! * [`planner`] — the memory-capacity partition planner of §4.3 (equation 8).
+//! * [`oocore`] — the out-of-core batch scheduler with asynchronous prefetch
+//!   of §4.4.
+//! * [`checkpoint`] — fault-tolerance checkpointing of §4.4.
+//! * [`costmodel`] — the analytic compute/footprint model of Table 3, used
+//!   to price iterations at full paper scale (Figure 11, Table 1).
+//! * [`trainer`] — the high-level [`trainer::MatrixFactorizer`] API
+//!   (fit / predict / recommend) that examples and benches drive.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cumf_core::config::AlsConfig;
+//! use cumf_core::trainer::{Backend, MatrixFactorizer};
+//! use cumf_data::synth::SyntheticConfig;
+//! use cumf_data::train_test_split;
+//!
+//! // A small synthetic data set with a genuine low-rank structure.
+//! let data = SyntheticConfig { m: 400, n: 200, nnz: 12_000, ..Default::default() }.generate();
+//! let split = train_test_split(&data.ratings, 0.1, 7);
+//!
+//! let config = AlsConfig { f: 16, lambda: 0.05, iterations: 5, ..Default::default() };
+//! let mut model = MatrixFactorizer::new(config, Backend::single_gpu());
+//! let report = model.fit(&split.train, &split.test);
+//! assert!(report.final_test_rmse() < 1.0);
+//! ```
+
+pub mod als;
+pub mod checkpoint;
+pub mod config;
+pub mod costmodel;
+pub mod loss;
+pub mod metrics;
+pub mod oocore;
+pub mod planner;
+pub mod reduce;
+pub mod sgd;
+pub mod trainer;
+
+pub use config::{AlsConfig, MemoryOptConfig};
+pub use trainer::{Backend, MatrixFactorizer, TrainReport};

@@ -1,0 +1,149 @@
+//! Objective and error metrics.
+//!
+//! The paper minimizes the weighted-λ-regularized squared error (equation 1)
+//! and reports test RMSE (Figures 6–10).
+
+use cumf_linalg::blas::{dot, norm_sq};
+use cumf_linalg::FactorMatrix;
+use cumf_sparse::{Csr, Entry};
+use rayon::prelude::*;
+
+/// Predicted rating for `(u, v)`.
+#[inline]
+pub fn predict(x: &FactorMatrix, theta: &FactorMatrix, u: u32, v: u32) -> f32 {
+    dot(x.vector(u as usize), theta.vector(v as usize))
+}
+
+/// Root-mean-square error over an explicit list of held-out ratings.
+pub fn rmse(x: &FactorMatrix, theta: &FactorMatrix, entries: &[Entry]) -> f64 {
+    if entries.is_empty() {
+        return 0.0;
+    }
+    let se: f64 = entries
+        .par_iter()
+        .map(|e| {
+            let err = e.val - predict(x, theta, e.row, e.col);
+            (err as f64) * (err as f64)
+        })
+        .sum();
+    (se / entries.len() as f64).sqrt()
+}
+
+/// Root-mean-square error over the stored entries of a sparse matrix
+/// (training RMSE).
+pub fn rmse_csr(x: &FactorMatrix, theta: &FactorMatrix, r: &Csr) -> f64 {
+    if r.nnz() == 0 {
+        return 0.0;
+    }
+    let se: f64 = (0..r.n_rows() as usize)
+        .into_par_iter()
+        .map(|u| {
+            let (cols, vals) = r.row(u as u32);
+            let xu = x.vector(u);
+            let mut acc = 0.0f64;
+            for (&v, &val) in cols.iter().zip(vals.iter()) {
+                let err = val - dot(xu, theta.vector(v as usize));
+                acc += (err as f64) * (err as f64);
+            }
+            acc
+        })
+        .sum();
+    (se / r.nnz() as f64).sqrt()
+}
+
+/// The full objective `J` of equation (1): squared error plus
+/// weighted-λ-regularization, where each row's penalty is scaled by its
+/// number of ratings (`n_{x_u}`, `n_{θ_v}`).
+pub fn objective(x: &FactorMatrix, theta: &FactorMatrix, r: &Csr, lambda: f32) -> f64 {
+    let squared_error: f64 = (0..r.n_rows() as usize)
+        .into_par_iter()
+        .map(|u| {
+            let (cols, vals) = r.row(u as u32);
+            let xu = x.vector(u);
+            let mut acc = 0.0f64;
+            for (&v, &val) in cols.iter().zip(vals.iter()) {
+                let err = val - dot(xu, theta.vector(v as usize));
+                acc += (err as f64) * (err as f64);
+            }
+            acc
+        })
+        .sum();
+
+    let col_degrees = cumf_sparse::stats::col_degrees(r);
+    let x_penalty: f64 = (0..r.n_rows() as usize)
+        .into_par_iter()
+        .map(|u| r.nnz_row(u as u32) as f64 * norm_sq(x.vector(u)) as f64)
+        .sum();
+    let theta_penalty: f64 = (0..r.n_cols() as usize)
+        .into_par_iter()
+        .map(|v| col_degrees[v] as f64 * norm_sq(theta.vector(v)) as f64)
+        .sum();
+
+    squared_error + lambda as f64 * (x_penalty + theta_penalty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_sparse::Coo;
+
+    fn tiny() -> (FactorMatrix, FactorMatrix, Csr) {
+        // Exact rank-1 structure: r_uv = u_factor * v_factor.
+        let x = FactorMatrix::from_vec(2, 1, vec![1.0, 2.0]);
+        let theta = FactorMatrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]);
+        let mut coo = Coo::new(2, 3);
+        for u in 0..2u32 {
+            for v in 0..3u32 {
+                let val = (u + 1) as f32 * (v + 1) as f32;
+                coo.push(u, v, val).unwrap();
+            }
+        }
+        (x, theta, coo.to_csr())
+    }
+
+    #[test]
+    fn perfect_model_has_zero_rmse() {
+        let (x, theta, r) = tiny();
+        assert!(rmse_csr(&x, &theta, &r) < 1e-6);
+        let entries: Vec<Entry> = r.iter().collect();
+        assert!(rmse(&x, &theta, &entries) < 1e-6);
+    }
+
+    #[test]
+    fn known_error_rmse() {
+        let (x, theta, _) = tiny();
+        // One observation off by 2.0 => RMSE = 2.
+        let entries = vec![Entry::new(0, 0, 3.0)];
+        assert!((rmse(&x, &theta, &entries) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_test_set_is_zero() {
+        let (x, theta, _) = tiny();
+        assert_eq!(rmse(&x, &theta, &[]), 0.0);
+    }
+
+    #[test]
+    fn objective_is_regularization_only_for_perfect_fit() {
+        let (x, theta, r) = tiny();
+        let j0 = objective(&x, &theta, &r, 0.0);
+        assert!(j0 < 1e-9, "zero lambda, perfect fit: J = {j0}");
+        let j = objective(&x, &theta, &r, 0.1);
+        // Weighted penalty: sum_u n_xu*|x_u|^2 = 3*(1)+3*(4) = 15;
+        // sum_v n_tv*|t_v|^2 = 2*(1+4+9) = 28; J = 0.1*43 = 4.3
+        assert!((j - 4.3).abs() < 1e-4, "J = {j}");
+    }
+
+    #[test]
+    fn objective_increases_with_worse_fit() {
+        let (x, theta, r) = tiny();
+        let bad_x = FactorMatrix::from_vec(2, 1, vec![5.0, -1.0]);
+        assert!(objective(&bad_x, &theta, &r, 0.05) > objective(&x, &theta, &r, 0.05));
+    }
+
+    #[test]
+    fn predict_matches_dot_product() {
+        let (x, theta, _) = tiny();
+        assert_eq!(predict(&x, &theta, 1, 2), 6.0);
+    }
+}

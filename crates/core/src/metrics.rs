@@ -1,0 +1,201 @@
+//! Top-N recommendation quality metrics.
+//!
+//! The paper evaluates with test RMSE, but the collaborative-filtering
+//! deployments it motivates (Netflix, e-commerce) consume *rankings*.  These
+//! helpers evaluate a factorization the way a recommender would be used:
+//! rank unseen items per user and measure precision@k, recall@k, hit rate
+//! and NDCG@k against the held-out ratings.
+
+use crate::loss::predict;
+use cumf_linalg::FactorMatrix;
+use cumf_sparse::{Csr, Entry};
+use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Averaged top-`k` ranking metrics over all evaluable users.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankingMetrics {
+    /// Cut-off used for all metrics.
+    pub k: usize,
+    /// Mean fraction of the top-k that is relevant.
+    pub precision: f64,
+    /// Mean fraction of each user's relevant items that appear in the top-k.
+    pub recall: f64,
+    /// Mean normalized discounted cumulative gain at k (binary relevance).
+    pub ndcg: f64,
+    /// Fraction of users with at least one relevant item in their top-k.
+    pub hit_rate: f64,
+    /// Number of users that had at least one relevant held-out item.
+    pub users_evaluated: usize,
+}
+
+/// Computes top-`k` ranking metrics.
+///
+/// * `train` — the ratings the model was trained on; those items are
+///   excluded from each user's ranking (they are not recommendations).
+/// * `test` — held-out ratings; an item is *relevant* for its user when its
+///   rating is at least `relevance_threshold`.
+pub fn ranking_metrics(
+    x: &FactorMatrix,
+    theta: &FactorMatrix,
+    train: &Csr,
+    test: &[Entry],
+    k: usize,
+    relevance_threshold: f32,
+) -> RankingMetrics {
+    assert!(k > 0, "k must be positive");
+    let mut relevant: HashMap<u32, HashSet<u32>> = HashMap::new();
+    for e in test {
+        if e.val >= relevance_threshold {
+            relevant.entry(e.row).or_default().insert(e.col);
+        }
+    }
+    let users: Vec<(&u32, &HashSet<u32>)> = relevant.iter().collect();
+    if users.is_empty() {
+        return RankingMetrics { k, precision: 0.0, recall: 0.0, ndcg: 0.0, hit_rate: 0.0, users_evaluated: 0 };
+    }
+
+    let n_items = theta.len() as u32;
+    let sums = users
+        .par_iter()
+        .map(|(&user, liked)| {
+            let (seen, _) = train.row(user);
+            let seen: HashSet<u32> = seen.iter().copied().collect();
+            // Rank all unseen items by predicted score and keep the top k.
+            let mut scored: Vec<(u32, f32)> = (0..n_items)
+                .filter(|v| !seen.contains(v))
+                .map(|v| (v, predict(x, theta, user, v)))
+                .collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            scored.truncate(k);
+
+            let hits: Vec<bool> = scored.iter().map(|(v, _)| liked.contains(v)).collect();
+            let n_hits = hits.iter().filter(|&&h| h).count();
+            let precision = n_hits as f64 / k as f64;
+            let recall = n_hits as f64 / liked.len() as f64;
+            let hit = if n_hits > 0 { 1.0 } else { 0.0 };
+            // Binary-relevance NDCG.
+            let dcg: f64 = hits
+                .iter()
+                .enumerate()
+                .filter(|(_, &h)| h)
+                .map(|(rank, _)| 1.0 / ((rank + 2) as f64).log2())
+                .sum();
+            let ideal_hits = liked.len().min(k);
+            let idcg: f64 = (0..ideal_hits).map(|rank| 1.0 / ((rank + 2) as f64).log2()).sum();
+            let ndcg = if idcg > 0.0 { dcg / idcg } else { 0.0 };
+            (precision, recall, ndcg, hit)
+        })
+        .reduce(
+            || (0.0, 0.0, 0.0, 0.0),
+            |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
+        );
+
+    let n = users.len() as f64;
+    RankingMetrics {
+        k,
+        precision: sums.0 / n,
+        recall: sums.1 / n,
+        ndcg: sums.2 / n,
+        hit_rate: sums.3 / n,
+        users_evaluated: users.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlsConfig;
+    use crate::trainer::{Backend, MatrixFactorizer};
+    use cumf_data::synth::SyntheticConfig;
+    use cumf_data::train_test_split;
+    use cumf_sparse::Coo;
+
+    #[test]
+    fn perfect_ranking_gets_perfect_scores() {
+        // 1 user, 4 items; the model scores item order 3 > 2 > 1 > 0, the
+        // user's held-out relevant items are {3, 2}, nothing was seen in
+        // training.
+        let x = FactorMatrix::from_vec(1, 1, vec![1.0]);
+        let theta = FactorMatrix::from_vec(4, 1, vec![0.1, 0.2, 0.3, 0.4]);
+        let train = Coo::new(1, 4).to_csr();
+        let test = vec![Entry::new(0, 3, 5.0), Entry::new(0, 2, 5.0)];
+        let m = ranking_metrics(&x, &theta, &train, &test, 2, 4.0);
+        assert_eq!(m.users_evaluated, 1);
+        assert!((m.precision - 1.0).abs() < 1e-12);
+        assert!((m.recall - 1.0).abs() < 1e-12);
+        assert!((m.ndcg - 1.0).abs() < 1e-12);
+        assert!((m.hit_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anti_ranking_gets_zero_precision() {
+        // Relevant items are exactly the lowest-scored ones.
+        let x = FactorMatrix::from_vec(1, 1, vec![1.0]);
+        let theta = FactorMatrix::from_vec(4, 1, vec![0.1, 0.2, 0.3, 0.4]);
+        let train = Coo::new(1, 4).to_csr();
+        let test = vec![Entry::new(0, 0, 5.0)];
+        let m = ranking_metrics(&x, &theta, &train, &test, 2, 4.0);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.hit_rate, 0.0);
+        assert_eq!(m.ndcg, 0.0);
+    }
+
+    #[test]
+    fn seen_items_are_excluded_from_the_ranking() {
+        let x = FactorMatrix::from_vec(1, 1, vec![1.0]);
+        let theta = FactorMatrix::from_vec(3, 1, vec![0.9, 0.5, 0.1]);
+        // The highest-scored item 0 was already rated in training.
+        let mut train = Coo::new(1, 3);
+        train.push(0, 0, 5.0).unwrap();
+        let train = train.to_csr();
+        // Held-out relevant item is 1; with item 0 excluded it ranks first.
+        let test = vec![Entry::new(0, 1, 5.0)];
+        let m = ranking_metrics(&x, &theta, &train, &test, 1, 4.0);
+        assert!((m.precision - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_relevant_items_gives_empty_evaluation() {
+        let x = FactorMatrix::from_vec(1, 1, vec![1.0]);
+        let theta = FactorMatrix::from_vec(2, 1, vec![0.1, 0.2]);
+        let train = Coo::new(1, 2).to_csr();
+        let test = vec![Entry::new(0, 0, 1.0)];
+        let m = ranking_metrics(&x, &theta, &train, &test, 5, 4.0);
+        assert_eq!(m.users_evaluated, 0);
+        assert_eq!(m.precision, 0.0);
+    }
+
+    #[test]
+    fn trained_model_beats_an_untrained_one_on_ndcg() {
+        let data = SyntheticConfig { m: 250, n: 120, nnz: 9000, rank: 6, noise_std: 0.2, ..Default::default() }
+            .generate();
+        let split = train_test_split(&data.ratings, 0.2, 5);
+        let config = AlsConfig { f: 16, lambda: 0.05, iterations: 6, ..Default::default() };
+        let mut model = MatrixFactorizer::new(config, Backend::Reference);
+        model.fit(&split.train, &split.test);
+
+        let trained = ranking_metrics(model.x(), model.theta(), &split.train, &split.test, 10, 3.5);
+        let random_x = FactorMatrix::random(250, 16, 0.2, 999);
+        let random_theta = FactorMatrix::random(120, 16, 0.2, 998);
+        let untrained =
+            ranking_metrics(&random_x, &random_theta, &split.train, &split.test, 10, 3.5);
+        assert!(trained.users_evaluated > 0);
+        assert!(
+            trained.ndcg > untrained.ndcg,
+            "training should improve ranking quality: {} vs {}",
+            trained.ndcg,
+            untrained.ndcg
+        );
+        assert!(trained.hit_rate >= untrained.hit_rate);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let x = FactorMatrix::zeros(1, 1);
+        let theta = FactorMatrix::zeros(1, 1);
+        let train = Coo::new(1, 1).to_csr();
+        ranking_metrics(&x, &theta, &train, &[], 0, 4.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Out-of-core execution (§4.4 of the paper).
+//!
+//! When `R` (and even the factor matrices) exceed device — or host — memory,
+//! cuMF streams partitions in batches, using separate CPU threads to preload
+//! from disk to host memory and separate CUDA streams to preload from host
+//! to device memory.  "By this proactive and asynchronous data loading, we
+//! manage to handle out-of-core problems with close-to-zero data loading
+//! time except for the first load."
+//!
+//! This module provides both:
+//!
+//! * an analytic pipeline model ([`pipeline_time`]) used by the cost model,
+//!   and
+//! * a real double-buffered prefetcher ([`Prefetcher`]) that overlaps host
+//!   "loading" (materializing partition data) with consumption on worker
+//!   threads, demonstrating the overlap with actual threads.
+
+use crossbeam::channel::{bounded, Receiver};
+use std::thread::JoinHandle;
+
+/// One batch of out-of-core work: how long its data takes to transfer and
+/// how long its compute takes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchCost {
+    /// Seconds to move the batch's data to the device.
+    pub transfer_s: f64,
+    /// Seconds of kernel time once the data is resident.
+    pub compute_s: f64,
+}
+
+/// Total time of a sequence of batches.
+///
+/// Without prefetch, transfers and compute serialize.  With prefetch
+/// (double buffering), batch `i + 1`'s transfer overlaps batch `i`'s
+/// compute: only the first transfer is fully exposed, matching the paper's
+/// "close-to-zero data loading time except for the first load".
+pub fn pipeline_time(batches: &[BatchCost], prefetch: bool) -> f64 {
+    if batches.is_empty() {
+        return 0.0;
+    }
+    if !prefetch {
+        return batches.iter().map(|b| b.transfer_s + b.compute_s).sum();
+    }
+    let mut total = batches[0].transfer_s;
+    for i in 0..batches.len() {
+        let next_transfer = batches.get(i + 1).map(|b| b.transfer_s).unwrap_or(0.0);
+        total += batches[i].compute_s.max(next_transfer);
+    }
+    total
+}
+
+/// Fraction of total transfer time hidden behind compute by the prefetching
+/// pipeline (0.0 = nothing hidden, 1.0 = everything but the first load).
+pub fn hidden_transfer_fraction(batches: &[BatchCost]) -> f64 {
+    let total_transfer: f64 = batches.iter().map(|b| b.transfer_s).sum();
+    if total_transfer == 0.0 {
+        return 1.0;
+    }
+    let serial = pipeline_time(batches, false);
+    let pipelined = pipeline_time(batches, true);
+    ((serial - pipelined) / total_transfer).clamp(0.0, 1.0)
+}
+
+/// A real double-buffered prefetcher: a background thread produces batches
+/// in order while the caller consumes them, with a bounded channel providing
+/// the "double buffer" (capacity = number of batches in flight).
+pub struct Prefetcher<T: Send + 'static> {
+    receiver: Receiver<T>,
+    producer: Option<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> Prefetcher<T> {
+    /// Starts prefetching: `load(i)` is called for `i in 0..n_batches` on a
+    /// background thread, at most `in_flight` batches ahead of the consumer.
+    pub fn start<F>(n_batches: usize, in_flight: usize, load: F) -> Self
+    where
+        F: Fn(usize) -> T + Send + 'static,
+    {
+        let (tx, rx) = bounded(in_flight.max(1));
+        let producer = std::thread::spawn(move || {
+            for i in 0..n_batches {
+                let item = load(i);
+                if tx.send(item).is_err() {
+                    break; // consumer dropped early
+                }
+            }
+        });
+        Self { receiver: rx, producer: Some(producer) }
+    }
+
+    /// Blocks until the next batch is available; `None` once all batches
+    /// have been consumed.
+    pub fn next_batch(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<T: Send + 'static> Drop for Prefetcher<T> {
+    fn drop(&mut self) {
+        // Disconnect first so the producer unblocks, then join it.
+        let (_tx, rx) = bounded::<T>(1);
+        self.receiver = rx;
+        if let Some(h) = self.producer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<T: Send + 'static> Iterator for Prefetcher<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.next_batch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn serial_time_is_the_sum() {
+        let batches = vec![
+            BatchCost { transfer_s: 1.0, compute_s: 2.0 },
+            BatchCost { transfer_s: 1.0, compute_s: 2.0 },
+        ];
+        assert_eq!(pipeline_time(&batches, false), 6.0);
+    }
+
+    #[test]
+    fn prefetch_hides_all_but_the_first_transfer_when_compute_dominates() {
+        let batches = vec![BatchCost { transfer_s: 0.5, compute_s: 2.0 }; 4];
+        // 0.5 (first load) + 4 × 2.0 = 8.5
+        assert_eq!(pipeline_time(&batches, true), 8.5);
+        assert!((hidden_transfer_fraction(&batches) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefetch_cannot_hide_transfers_longer_than_compute() {
+        let batches = vec![BatchCost { transfer_s: 3.0, compute_s: 1.0 }; 3];
+        // 3 + max(1,3) + max(1,3) + 1 = 10
+        assert_eq!(pipeline_time(&batches, true), 10.0);
+        assert!(pipeline_time(&batches, true) < pipeline_time(&batches, false));
+    }
+
+    #[test]
+    fn empty_and_single_batch_edge_cases() {
+        assert_eq!(pipeline_time(&[], true), 0.0);
+        let one = [BatchCost { transfer_s: 1.0, compute_s: 2.0 }];
+        assert_eq!(pipeline_time(&one, true), 3.0);
+        assert_eq!(pipeline_time(&one, false), 3.0);
+        assert_eq!(hidden_transfer_fraction(&[]), 1.0);
+    }
+
+    #[test]
+    fn prefetcher_delivers_all_batches_in_order() {
+        let mut p = Prefetcher::start(8, 2, |i| i * 10);
+        let got: Vec<usize> = (&mut p).collect();
+        assert_eq!(got, (0..8).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prefetcher_overlaps_loading_with_consumption() {
+        // Each load takes ~15 ms and each "compute" takes ~15 ms; with
+        // overlap the total should be well below the 8 × 30 ms serial time.
+        let load_ms = 15u64;
+        let start = Instant::now();
+        let mut p = Prefetcher::start(8, 2, move |i| {
+            std::thread::sleep(Duration::from_millis(load_ms));
+            i
+        });
+        let mut consumed = 0;
+        while let Some(_) = p.next_batch() {
+            std::thread::sleep(Duration::from_millis(load_ms));
+            consumed += 1;
+        }
+        let elapsed = start.elapsed();
+        assert_eq!(consumed, 8);
+        assert!(
+            elapsed < Duration::from_millis(8 * 2 * load_ms - 40),
+            "no overlap observed: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn dropping_prefetcher_early_does_not_hang() {
+        let mut p = Prefetcher::start(100, 2, |i| {
+            std::thread::sleep(Duration::from_millis(1));
+            i
+        });
+        assert_eq!(p.next_batch(), Some(0));
+        drop(p); // must unblock the producer and join cleanly
+    }
+}

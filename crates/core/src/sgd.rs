@@ -1,0 +1,167 @@
+//! Stochastic gradient descent reference (equation (4) of the paper).
+//!
+//! cuMF deliberately chooses ALS over SGD because SGD's updates to the same
+//! row conflict and are hard to spread over thousands of GPU cores (§2.1).
+//! This sequential SGD exists as a numerical reference: tests use it to
+//! confirm that ALS reaches comparable training error in far fewer
+//! iterations, and the baseline crate builds its parallel SGD variants on
+//! the same update rule.
+
+use crate::loss;
+use cumf_linalg::blas::dot;
+use cumf_linalg::FactorMatrix;
+use cumf_sparse::Csr;
+use rand::prelude::*;
+
+/// Hyper-parameters of the SGD reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SgdConfig {
+    /// Latent dimension `f`.
+    pub f: usize,
+    /// Learning rate `α`.
+    pub learning_rate: f32,
+    /// Regularization `λ` (plain L2, as in equation (4)).
+    pub lambda: f32,
+    /// Number of epochs (full passes over the ratings).
+    pub epochs: usize,
+    /// Multiplicative learning-rate decay applied after every epoch.
+    pub decay: f32,
+    /// RNG seed for initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self { f: 32, learning_rate: 0.01, lambda: 0.05, epochs: 20, decay: 0.95, seed: 42 }
+    }
+}
+
+/// A plain sequential SGD matrix factorizer.
+#[derive(Debug, Clone)]
+pub struct SgdReference {
+    config: SgdConfig,
+    r: Csr,
+    x: FactorMatrix,
+    theta: FactorMatrix,
+}
+
+impl SgdReference {
+    /// Creates the factorizer with random initial factors.
+    pub fn new(config: SgdConfig, r: Csr) -> Self {
+        let scale = 1.0 / (config.f as f32).sqrt();
+        let x = FactorMatrix::random(r.n_rows() as usize, config.f, scale, config.seed);
+        let theta = FactorMatrix::random(r.n_cols() as usize, config.f, scale, config.seed ^ 0xABCD);
+        Self { config, r, x, theta }
+    }
+
+    /// Current user factors.
+    pub fn x(&self) -> &FactorMatrix {
+        &self.x
+    }
+
+    /// Current item factors.
+    pub fn theta(&self) -> &FactorMatrix {
+        &self.theta
+    }
+
+    /// Runs one epoch (a shuffled pass over every rating) and returns the
+    /// learning rate that was used.
+    pub fn epoch(&mut self, epoch_index: usize) -> f32 {
+        let alpha = self.config.learning_rate * self.config.decay.powi(epoch_index as i32);
+        let lambda = self.config.lambda;
+        let f = self.config.f;
+
+        // Shuffle the visit order of all ratings.
+        let mut order: Vec<(u32, u32, f32)> =
+            self.r.iter().map(|e| (e.row, e.col, e.val)).collect();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (epoch_index as u64 + 1));
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+
+        for (u, v, r_uv) in order {
+            let (u, v) = (u as usize, v as usize);
+            let err = r_uv - dot(self.x.vector(u), self.theta.vector(v));
+            for k in 0..f {
+                let xu = self.x.vector(u)[k];
+                let tv = self.theta.vector(v)[k];
+                self.x.vector_mut(u)[k] = xu + alpha * (err * tv - lambda * xu);
+                self.theta.vector_mut(v)[k] = tv + alpha * (err * xu - lambda * tv);
+            }
+        }
+        alpha
+    }
+
+    /// Runs all configured epochs.
+    pub fn run(&mut self) {
+        for e in 0..self.config.epochs {
+            self.epoch(e);
+        }
+    }
+
+    /// Training RMSE of the current factors.
+    pub fn train_rmse(&self) -> f64 {
+        loss::rmse_csr(&self.x, &self.theta, &self.r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::als::BaseAls;
+    use crate::config::AlsConfig;
+    use cumf_data::synth::SyntheticConfig;
+
+    fn ratings() -> Csr {
+        SyntheticConfig { m: 150, n: 80, nnz: 5000, rank: 4, noise_std: 0.05, ..Default::default() }
+            .generate()
+            .to_csr()
+    }
+
+    #[test]
+    fn sgd_reduces_training_error() {
+        let mut sgd = SgdReference::new(SgdConfig { f: 8, epochs: 15, ..Default::default() }, ratings());
+        let before = sgd.train_rmse();
+        sgd.run();
+        let after = sgd.train_rmse();
+        assert!(after < before * 0.7, "SGD should make progress: {before} -> {after}");
+    }
+
+    #[test]
+    fn learning_rate_decays() {
+        let mut sgd = SgdReference::new(SgdConfig { f: 4, epochs: 2, ..Default::default() }, ratings());
+        let a0 = sgd.epoch(0);
+        let a5 = sgd.epoch(5);
+        assert!(a5 < a0);
+    }
+
+    #[test]
+    fn als_needs_fewer_iterations_than_sgd() {
+        // §2.1/§6: ALS converges in fewer iterations than SGD — one ALS
+        // iteration should beat several SGD epochs on training RMSE.
+        let r = ratings();
+        let mut als = BaseAls::new(AlsConfig { f: 8, iterations: 1, ..Default::default() }, r.clone());
+        let mut sgd = SgdReference::new(SgdConfig { f: 8, epochs: 3, ..Default::default() }, r);
+        als.iterate();
+        for e in 0..3 {
+            sgd.epoch(e);
+        }
+        assert!(
+            als.train_rmse() < sgd.train_rmse(),
+            "1 ALS iteration ({}) should beat 3 SGD epochs ({})",
+            als.train_rmse(),
+            sgd.train_rmse()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let r = ratings();
+        let mut a = SgdReference::new(SgdConfig { f: 4, epochs: 2, ..Default::default() }, r.clone());
+        let mut b = SgdReference::new(SgdConfig { f: 4, epochs: 2, ..Default::default() }, r);
+        a.run();
+        b.run();
+        assert_eq!(a.x().max_abs_diff(b.x()), 0.0);
+    }
+}

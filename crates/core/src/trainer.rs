@@ -1,0 +1,380 @@
+//! High-level training API.
+//!
+//! [`MatrixFactorizer`] is what the examples and the benchmark harness
+//! drive: pick a backend (reference CPU, single simulated GPU, or multi-GPU
+//! SU-ALS), call [`MatrixFactorizer::fit`], and get back a per-iteration
+//! convergence history with both wall-clock and simulated GPU time — the two
+//! axes the paper's figures use.
+
+use crate::als::{BaseAls, MoAlsEngine, SuAlsConfig, SuAlsEngine};
+use crate::checkpoint::{Checkpoint, CheckpointManager};
+use crate::config::AlsConfig;
+use crate::loss;
+use crate::planner::PartitionPlan;
+use crate::reduce::ReductionScheme;
+use cumf_gpu_sim::{GpuCluster, TopologyKind};
+use cumf_linalg::FactorMatrix;
+use cumf_sparse::{Csr, Entry};
+use std::time::Instant;
+
+/// Which engine executes the factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Backend {
+    /// The plain CPU reference (Algorithm 1); no simulated timing.
+    Reference,
+    /// MO-ALS on one simulated GPU (Algorithm 2).
+    SingleGpu,
+    /// SU-ALS on several simulated GPUs (Algorithm 3).
+    MultiGpu {
+        /// Number of simulated GPUs.
+        n_gpus: usize,
+        /// Interconnect layout.
+        topology: TopologyKind,
+        /// Cross-GPU reduction scheme.
+        reduction: ReductionScheme,
+        /// Optional explicit partition plan (otherwise the planner decides).
+        plan: Option<PartitionPlan>,
+    },
+}
+
+impl Backend {
+    /// One simulated Titan X (the paper's single-GPU setting).
+    pub fn single_gpu() -> Self {
+        Backend::SingleGpu
+    }
+
+    /// `n` simulated Titan X cards on a flat PCIe topology with one-phase
+    /// parallel reduction.
+    pub fn multi_gpu(n_gpus: usize) -> Self {
+        Backend::MultiGpu {
+            n_gpus,
+            topology: TopologyKind::FlatPcie,
+            reduction: ReductionScheme::OnePhase,
+            plan: None,
+        }
+    }
+
+    /// Four GPUs on a dual-socket machine with the topology-aware two-phase
+    /// reduction (the paper's large-scale setting).
+    pub fn multi_gpu_dual_socket(n_gpus: usize) -> Self {
+        Backend::MultiGpu {
+            n_gpus,
+            topology: TopologyKind::DualSocket,
+            reduction: ReductionScheme::TwoPhase,
+            plan: None,
+        }
+    }
+}
+
+/// Convergence record of one ALS iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration number (1-based).
+    pub iteration: usize,
+    /// Training RMSE after the iteration (`NaN` when tracking is disabled).
+    pub train_rmse: f64,
+    /// Test RMSE after the iteration (`NaN` when no test set was given).
+    pub test_rmse: f64,
+    /// Simulated GPU seconds of this iteration (0 for the reference backend).
+    pub sim_time_s: f64,
+    /// Cumulative simulated GPU seconds including this iteration.
+    pub cumulative_sim_time_s: f64,
+    /// Host wall-clock seconds the iteration actually took.
+    pub wall_time_s: f64,
+}
+
+/// The result of a [`MatrixFactorizer::fit`] call.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainReport {
+    /// Per-iteration convergence records.
+    pub iterations: Vec<IterationRecord>,
+}
+
+impl TrainReport {
+    /// Test RMSE after the final iteration (`NaN` when no test set).
+    pub fn final_test_rmse(&self) -> f64 {
+        self.iterations.last().map(|r| r.test_rmse).unwrap_or(f64::NAN)
+    }
+
+    /// Training RMSE after the final iteration.
+    pub fn final_train_rmse(&self) -> f64 {
+        self.iterations.last().map(|r| r.train_rmse).unwrap_or(f64::NAN)
+    }
+
+    /// Total simulated GPU seconds.
+    pub fn total_sim_time(&self) -> f64 {
+        self.iterations.last().map(|r| r.cumulative_sim_time_s).unwrap_or(0.0)
+    }
+
+    /// Simulated seconds needed to reach a test RMSE at or below `target`;
+    /// `None` if the run never got there.
+    pub fn sim_time_to_rmse(&self, target: f64) -> Option<f64> {
+        self.iterations
+            .iter()
+            .find(|r| r.test_rmse <= target)
+            .map(|r| r.cumulative_sim_time_s)
+    }
+}
+
+enum EngineImpl {
+    Base(BaseAls),
+    Mo(MoAlsEngine),
+    Su(SuAlsEngine),
+}
+
+/// The high-level matrix factorization model.
+pub struct MatrixFactorizer {
+    config: AlsConfig,
+    backend: Backend,
+    engine: Option<EngineImpl>,
+    checkpoints: Option<CheckpointManager>,
+}
+
+impl MatrixFactorizer {
+    /// Creates a factorizer with the given hyper-parameters and backend.
+    pub fn new(config: AlsConfig, backend: Backend) -> Self {
+        config.validate();
+        Self { config, backend, engine: None, checkpoints: None }
+    }
+
+    /// Enables checkpointing of the factors after every iteration into
+    /// `dir`.
+    pub fn with_checkpointing(mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        self.checkpoints = Some(CheckpointManager::new(dir)?);
+        Ok(self)
+    }
+
+    /// The configured hyper-parameters.
+    pub fn config(&self) -> &AlsConfig {
+        &self.config
+    }
+
+    fn build_engine(&self, train: &Csr) -> EngineImpl {
+        match &self.backend {
+            Backend::Reference => EngineImpl::Base(BaseAls::new(self.config.clone(), train.clone())),
+            Backend::SingleGpu => {
+                EngineImpl::Mo(MoAlsEngine::on_titan_x(self.config.clone(), train.clone()))
+            }
+            Backend::MultiGpu { n_gpus, topology, reduction, plan } => {
+                let cluster = match topology {
+                    TopologyKind::FlatPcie => GpuCluster::titan_x_flat(*n_gpus),
+                    TopologyKind::DualSocket => GpuCluster::new(
+                        cumf_gpu_sim::DeviceSpec::titan_x(),
+                        cumf_gpu_sim::PcieTopology::dual_socket(*n_gpus),
+                        *n_gpus,
+                    ),
+                };
+                let su_cfg = SuAlsConfig { als: self.config.clone(), reduction: *reduction, plan: *plan };
+                EngineImpl::Su(SuAlsEngine::new(su_cfg, train.clone(), cluster))
+            }
+        }
+    }
+
+    /// Fits the model to `train`, reporting per-iteration RMSE on `test`
+    /// (pass an empty slice to skip test evaluation).
+    pub fn fit(&mut self, train: &Csr, test: &[Entry]) -> TrainReport {
+        let mut engine = self.build_engine(train);
+        let mut report = TrainReport::default();
+        let mut cumulative_sim = 0.0f64;
+
+        for iter in 1..=self.config.iterations {
+            let wall_start = Instant::now();
+            let sim = match &mut engine {
+                EngineImpl::Base(e) => {
+                    e.iterate();
+                    0.0
+                }
+                EngineImpl::Mo(e) => e.iterate().total(),
+                EngineImpl::Su(e) => e.iterate().total(),
+            };
+            cumulative_sim += sim;
+            let wall = wall_start.elapsed().as_secs_f64();
+
+            let (x, theta, r) = match &engine {
+                EngineImpl::Base(e) => (e.x(), e.theta(), e.ratings()),
+                EngineImpl::Mo(e) => (e.x(), e.theta(), train),
+                EngineImpl::Su(e) => (e.x(), e.theta(), train),
+            };
+            let train_rmse = if self.config.track_rmse {
+                loss::rmse_csr(x, theta, r)
+            } else {
+                f64::NAN
+            };
+            let test_rmse = if self.config.track_rmse && !test.is_empty() {
+                loss::rmse(x, theta, test)
+            } else {
+                f64::NAN
+            };
+
+            if let Some(mgr) = &self.checkpoints {
+                let _ = mgr.save(&Checkpoint {
+                    iteration: iter as u64,
+                    x: x.clone(),
+                    theta: theta.clone(),
+                });
+            }
+
+            report.iterations.push(IterationRecord {
+                iteration: iter,
+                train_rmse,
+                test_rmse,
+                sim_time_s: sim,
+                cumulative_sim_time_s: cumulative_sim,
+                wall_time_s: wall,
+            });
+        }
+
+        self.engine = Some(engine);
+        report
+    }
+
+    /// User factors of the fitted model.
+    ///
+    /// # Panics
+    /// Panics if [`MatrixFactorizer::fit`] has not been called.
+    pub fn x(&self) -> &FactorMatrix {
+        match self.engine.as_ref().expect("call fit() before reading factors") {
+            EngineImpl::Base(e) => e.x(),
+            EngineImpl::Mo(e) => e.x(),
+            EngineImpl::Su(e) => e.x(),
+        }
+    }
+
+    /// Item factors of the fitted model.
+    pub fn theta(&self) -> &FactorMatrix {
+        match self.engine.as_ref().expect("call fit() before reading factors") {
+            EngineImpl::Base(e) => e.theta(),
+            EngineImpl::Mo(e) => e.theta(),
+            EngineImpl::Su(e) => e.theta(),
+        }
+    }
+
+    /// Predicted rating for `(user, item)`.
+    pub fn predict(&self, user: u32, item: u32) -> f32 {
+        loss::predict(self.x(), self.theta(), user, item)
+    }
+
+    /// Top-`k` recommendations for `user`, excluding the items listed in
+    /// `exclude` (typically the items the user has already rated).
+    /// Returns `(item, predicted_rating)` pairs sorted by score.
+    pub fn recommend(&self, user: u32, k: usize, exclude: &[u32]) -> Vec<(u32, f32)> {
+        let theta = self.theta();
+        let x = self.x();
+        let excluded: std::collections::HashSet<u32> = exclude.iter().copied().collect();
+        let mut scored: Vec<(u32, f32)> = (0..theta.len() as u32)
+            .filter(|v| !excluded.contains(v))
+            .map(|v| (v, loss::predict(x, theta, user, v)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_data::synth::SyntheticConfig;
+    use cumf_data::train_test_split;
+
+    fn problem() -> (Csr, Vec<Entry>) {
+        let data = SyntheticConfig { m: 250, n: 120, nnz: 8000, rank: 4, noise_std: 0.05, ..Default::default() }
+            .generate();
+        let split = train_test_split(&data.ratings, 0.1, 3);
+        (split.train, split.test)
+    }
+
+    fn config(iterations: usize) -> AlsConfig {
+        AlsConfig { f: 12, lambda: 0.05, iterations, ..Default::default() }
+    }
+
+    #[test]
+    fn reference_backend_converges() {
+        let (train, test) = problem();
+        let mut model = MatrixFactorizer::new(config(5), Backend::Reference);
+        let report = model.fit(&train, &test);
+        assert_eq!(report.iterations.len(), 5);
+        assert!(report.final_train_rmse() < 0.4);
+        assert!(report.final_test_rmse() < 1.0);
+        assert_eq!(report.total_sim_time(), 0.0);
+    }
+
+    #[test]
+    fn single_gpu_backend_reports_simulated_time() {
+        let (train, test) = problem();
+        let mut model = MatrixFactorizer::new(config(3), Backend::single_gpu());
+        let report = model.fit(&train, &test);
+        assert!(report.total_sim_time() > 0.0);
+        assert!(report.iterations.windows(2).all(|w| w[1].cumulative_sim_time_s > w[0].cumulative_sim_time_s));
+    }
+
+    #[test]
+    fn multi_gpu_backend_matches_single_gpu_rmse() {
+        let (train, test) = problem();
+        let mut single = MatrixFactorizer::new(config(3), Backend::single_gpu());
+        let mut multi = MatrixFactorizer::new(config(3), Backend::multi_gpu(2));
+        let rs = single.fit(&train, &test);
+        let rm = multi.fit(&train, &test);
+        assert!((rs.final_test_rmse() - rm.final_test_rmse()).abs() < 0.05);
+    }
+
+    #[test]
+    fn predictions_and_recommendations_work() {
+        let (train, test) = problem();
+        let mut model = MatrixFactorizer::new(config(4), Backend::Reference);
+        model.fit(&train, &test);
+        let p = model.predict(0, 0);
+        assert!(p.is_finite());
+        let (seen, _) = train.row(0);
+        let recs = model.recommend(0, 5, seen);
+        assert_eq!(recs.len(), 5);
+        // Recommendations exclude already-rated items and are sorted.
+        for (item, _) in &recs {
+            assert!(!seen.contains(item));
+        }
+        assert!(recs.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn rmse_tracking_can_be_disabled() {
+        let (train, _) = problem();
+        let cfg = AlsConfig { track_rmse: false, ..config(2) };
+        let mut model = MatrixFactorizer::new(cfg, Backend::Reference);
+        let report = model.fit(&train, &[]);
+        assert!(report.final_train_rmse().is_nan());
+    }
+
+    #[test]
+    fn sim_time_to_rmse_finds_the_crossing_iteration() {
+        let (train, test) = problem();
+        let mut model = MatrixFactorizer::new(config(6), Backend::single_gpu());
+        let report = model.fit(&train, &test);
+        let final_rmse = report.final_test_rmse();
+        let t = report.sim_time_to_rmse(final_rmse + 1e-9);
+        assert!(t.is_some());
+        assert!(t.unwrap() <= report.total_sim_time() + 1e-12);
+        assert!(report.sim_time_to_rmse(0.0).is_none());
+    }
+
+    #[test]
+    fn checkpointing_writes_restorable_files() {
+        let (train, test) = problem();
+        let dir = std::env::temp_dir().join(format!("cumf_trainer_ckpt_{}", std::process::id()));
+        let mut model = MatrixFactorizer::new(config(2), Backend::Reference)
+            .with_checkpointing(&dir)
+            .unwrap();
+        model.fit(&train, &test);
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        let latest = mgr.load_latest().unwrap().unwrap();
+        assert_eq!(latest.iteration, 2);
+        assert_eq!(latest.x.max_abs_diff(model.x()), 0.0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "call fit()")]
+    fn reading_factors_before_fit_panics() {
+        let model = MatrixFactorizer::new(config(1), Backend::Reference);
+        let _ = model.x();
+    }
+}

@@ -1,0 +1,162 @@
+//! A lightweight timeline profiler for simulated events.
+//!
+//! The ALS engines record every simulated kernel, transfer and reduction here
+//! so the benchmark harness can answer "where did the iteration's time go",
+//! mirroring what `nvprof` provides on real hardware.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Category of a simulated event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A compute kernel (e.g. `get_hermitian`, `batch_solve`).
+    Kernel,
+    /// A host↔device or device↔device transfer.
+    Transfer,
+    /// A cross-GPU reduction step.
+    Reduction,
+    /// Host-side work (partitioning, planning, checkpointing).
+    Host,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileEvent {
+    /// Device index the event ran on (`usize::MAX` for host-side events).
+    pub device: usize,
+    /// Human-readable name, e.g. `"get_hermitian_x"`.
+    pub name: String,
+    /// Category.
+    pub kind: EventKind,
+    /// Simulated start time in seconds.
+    pub start: f64,
+    /// Simulated duration in seconds.
+    pub duration: f64,
+}
+
+/// Thread-safe collector of simulated events.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    events: Arc<Mutex<Vec<ProfileEvent>>>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an event.
+    pub fn record(&self, device: usize, name: &str, kind: EventKind, start: f64, duration: f64) {
+        self.events.lock().push(ProfileEvent {
+            device,
+            name: name.to_string(),
+            kind,
+            start,
+            duration,
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all events in recording order.
+    pub fn events(&self) -> Vec<ProfileEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Clears all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Total simulated time per event kind.
+    pub fn time_by_kind(&self) -> BTreeMap<EventKind, f64> {
+        let mut map = BTreeMap::new();
+        for e in self.events.lock().iter() {
+            *map.entry(e.kind).or_insert(0.0) += e.duration;
+        }
+        map
+    }
+
+    /// Total simulated time per event name.
+    pub fn time_by_name(&self) -> BTreeMap<String, f64> {
+        let mut map = BTreeMap::new();
+        for e in self.events.lock().iter() {
+            *map.entry(e.name.clone()).or_insert(0.0) += e.duration;
+        }
+        map
+    }
+
+    /// Latest event end time (the makespan of the recorded timeline).
+    pub fn makespan(&self) -> f64 {
+        self.events
+            .lock()
+            .iter()
+            .map(|e| e.start + e.duration)
+            .fold(0.0f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_summarize() {
+        let p = Profiler::new();
+        assert!(p.is_empty());
+        p.record(0, "get_hermitian_x", EventKind::Kernel, 0.0, 2.0);
+        p.record(0, "batch_solve", EventKind::Kernel, 2.0, 1.0);
+        p.record(1, "reduce", EventKind::Reduction, 3.0, 0.5);
+        assert_eq!(p.len(), 3);
+        let by_kind = p.time_by_kind();
+        assert_eq!(by_kind[&EventKind::Kernel], 3.0);
+        assert_eq!(by_kind[&EventKind::Reduction], 0.5);
+        let by_name = p.time_by_name();
+        assert_eq!(by_name["get_hermitian_x"], 2.0);
+        assert_eq!(p.makespan(), 3.5);
+    }
+
+    #[test]
+    fn clones_share_the_same_buffer() {
+        let p = Profiler::new();
+        let p2 = p.clone();
+        p2.record(0, "k", EventKind::Kernel, 0.0, 1.0);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let p = Profiler::new();
+        p.record(0, "k", EventKind::Kernel, 0.0, 1.0);
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(p.makespan(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let p = Profiler::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let p = p.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        p.record(t, "k", EventKind::Kernel, i as f64, 0.1);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.len(), 400);
+    }
+}

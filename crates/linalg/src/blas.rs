@@ -1,0 +1,211 @@
+//! BLAS-like kernels on small dense operands.
+//!
+//! These are the CPU stand-ins for the device code in the paper's Listing 1:
+//! the rank-1 symmetric update that accumulates `A_u += θ_v·θ_vᵀ` and the
+//! small matrix-vector products used to form `B_u = Θᵀ·R_{u*}ᵀ`.
+
+/// Dot product of two equal-length vectors, accumulated in `f64` for
+/// stability (the Hermitian systems are ill-conditioned for large `n_{x_u}`).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f64;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += (*x as f64) * (*y as f64);
+    }
+    acc as f32
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales a vector in place: `x *= alpha`.
+#[inline]
+pub fn scal(alpha: f32, x: &mut [f32]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Symmetric rank-1 update of a full `f × f` row-major matrix:
+/// `a += x·xᵀ`.
+///
+/// The full (not triangular) matrix is updated because the downstream
+/// Cholesky solver reads both triangles — this matches the paper's remark
+/// that `f²` elements are written "if the downstream solver does not
+/// appreciate symmetricity".
+#[inline]
+pub fn syr_full(a: &mut [f32], x: &[f32]) {
+    let f = x.len();
+    debug_assert_eq!(a.len(), f * f);
+    for i in 0..f {
+        let xi = x[i];
+        if xi == 0.0 {
+            continue;
+        }
+        let row = &mut a[i * f..(i + 1) * f];
+        for (j, aij) in row.iter_mut().enumerate() {
+            *aij += xi * x[j];
+        }
+    }
+}
+
+/// Symmetric rank-1 update touching only the upper triangle (including the
+/// diagonal): `a[i][j] += x[i]*x[j]` for `j ≥ i`.
+///
+/// This is the `f(f+1)/2` multiply variant from Table 3.
+#[inline]
+pub fn syr_upper(a: &mut [f32], x: &[f32]) {
+    let f = x.len();
+    debug_assert_eq!(a.len(), f * f);
+    for i in 0..f {
+        let xi = x[i];
+        if xi == 0.0 {
+            continue;
+        }
+        for j in i..f {
+            a[i * f + j] += xi * x[j];
+        }
+    }
+}
+
+/// Mirrors the upper triangle of a row-major `f × f` matrix into the lower
+/// triangle, completing a matrix accumulated with [`syr_upper`].
+#[inline]
+pub fn symmetrize_upper(a: &mut [f32], f: usize) {
+    debug_assert_eq!(a.len(), f * f);
+    for i in 0..f {
+        for j in (i + 1)..f {
+            a[j * f + i] = a[i * f + j];
+        }
+    }
+}
+
+/// Adds `lambda` to the diagonal of a row-major `f × f` matrix
+/// (the `+ λ·n_{x_u}·I` regularization term of equation (2)).
+#[inline]
+pub fn add_diagonal(a: &mut [f32], f: usize, lambda: f32) {
+    debug_assert_eq!(a.len(), f * f);
+    for i in 0..f {
+        a[i * f + i] += lambda;
+    }
+}
+
+/// General matrix-vector product `y = A·x` for a row-major `rows × cols`
+/// matrix.
+#[inline]
+pub fn gemv(a: &[f32], rows: usize, cols: usize, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(a.len(), rows * cols);
+    debug_assert_eq!(x.len(), cols);
+    debug_assert_eq!(y.len(), rows);
+    for i in 0..rows {
+        y[i] = dot(&a[i * cols..(i + 1) * cols], x);
+    }
+}
+
+/// Small general matrix-matrix product `C = A·B` with row-major operands.
+/// `A` is `m × k`, `B` is `k × n`, `C` is `m × n`.
+pub fn gemm_small(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    c.fill(0.0);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] += aip * b[p * n + j];
+            }
+        }
+    }
+}
+
+/// Squared Euclidean norm of a vector.
+#[inline]
+pub fn norm_sq(x: &[f32]) -> f32 {
+    dot(x, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm_sq(&[3.0, 4.0]), 25.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_and_scal() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+        scal(0.5, &mut y);
+        assert_eq!(y, vec![3.5, 4.5]);
+    }
+
+    #[test]
+    fn syr_full_matches_outer_product() {
+        let x = [1.0, 2.0, 3.0];
+        let mut a = vec![0.0; 9];
+        syr_full(&mut a, &x);
+        let expected = [1.0, 2.0, 3.0, 2.0, 4.0, 6.0, 3.0, 6.0, 9.0];
+        assert_eq!(a, expected);
+        // Accumulation: applying again doubles everything.
+        syr_full(&mut a, &x);
+        assert_eq!(a[4], 8.0);
+    }
+
+    #[test]
+    fn syr_upper_plus_symmetrize_equals_syr_full() {
+        let x = [0.5, -1.0, 2.0, 3.0];
+        let mut full = vec![0.0; 16];
+        syr_full(&mut full, &x);
+        let mut upper = vec![0.0; 16];
+        syr_upper(&mut upper, &x);
+        symmetrize_upper(&mut upper, 4);
+        assert_eq!(full, upper);
+    }
+
+    #[test]
+    fn add_diagonal_only_touches_diagonal() {
+        let mut a = vec![0.0; 9];
+        add_diagonal(&mut a, 3, 0.5);
+        assert_eq!(a[0], 0.5);
+        assert_eq!(a[4], 0.5);
+        assert_eq!(a[8], 0.5);
+        assert_eq!(a.iter().filter(|&&x| x != 0.0).count(), 3);
+    }
+
+    #[test]
+    fn gemv_matches_manual() {
+        // A = [[1,2],[3,4],[5,6]]
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x = [1.0, -1.0];
+        let mut y = [0.0; 3];
+        gemv(&a, 3, 2, &x, &mut y);
+        assert_eq!(y, [-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn gemm_small_matches_dense_matmul() {
+        use crate::dense::DenseMatrix;
+        let a = DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = DenseMatrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let expected = a.matmul(&b);
+        let mut c = vec![0.0; 4];
+        gemm_small(a.data(), b.data(), &mut c, 2, 3, 2);
+        assert_eq!(c, expected.data());
+    }
+}

@@ -1,0 +1,194 @@
+//! Cholesky factorization and solve for the small SPD Hermitian systems of
+//! ALS.
+//!
+//! The regularized normal-equation matrices `A_u = Σ θ_v θ_vᵀ + λ n_{x_u} I`
+//! are symmetric positive definite whenever `λ > 0`, so Cholesky (`A = L·Lᵀ`)
+//! is the natural solver — it is also what cuBLAS's batched POTRF/POTRS pair
+//! would run on the real GPU.
+
+use std::fmt;
+
+/// Error returned when a matrix is not (numerically) positive definite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CholeskyError {
+    /// The pivot index at which a non-positive diagonal was encountered.
+    pub pivot: usize,
+}
+
+impl fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {} is non-positive)", self.pivot)
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// In-place Cholesky factorization of a row-major `f × f` SPD matrix.
+///
+/// On success the lower triangle (including diagonal) of `a` holds `L` such
+/// that `A = L·Lᵀ`; the strict upper triangle is left untouched.
+pub fn cholesky_factor(a: &mut [f32], f: usize) -> Result<(), CholeskyError> {
+    debug_assert_eq!(a.len(), f * f);
+    for j in 0..f {
+        // Diagonal element.
+        let mut d = a[j * f + j] as f64;
+        for k in 0..j {
+            let l = a[j * f + k] as f64;
+            d -= l * l;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(CholeskyError { pivot: j });
+        }
+        let d = d.sqrt();
+        a[j * f + j] = d as f32;
+        let inv_d = 1.0 / d;
+        // Column below the diagonal.
+        for i in (j + 1)..f {
+            let mut s = a[i * f + j] as f64;
+            for k in 0..j {
+                s -= (a[i * f + k] as f64) * (a[j * f + k] as f64);
+            }
+            a[i * f + j] = (s * inv_d) as f32;
+        }
+    }
+    Ok(())
+}
+
+/// Solves `L·Lᵀ·x = b` in place given a factor produced by
+/// [`cholesky_factor`]; `b` is overwritten with the solution.
+pub fn cholesky_solve_factored(l: &[f32], f: usize, b: &mut [f32]) {
+    debug_assert_eq!(l.len(), f * f);
+    debug_assert_eq!(b.len(), f);
+    // Forward substitution: L·y = b.
+    for i in 0..f {
+        let mut s = b[i] as f64;
+        for k in 0..i {
+            s -= (l[i * f + k] as f64) * (b[k] as f64);
+        }
+        b[i] = (s / l[i * f + i] as f64) as f32;
+    }
+    // Backward substitution: Lᵀ·x = y.
+    for i in (0..f).rev() {
+        let mut s = b[i] as f64;
+        for k in (i + 1)..f {
+            s -= (l[k * f + i] as f64) * (b[k] as f64);
+        }
+        b[i] = (s / l[i * f + i] as f64) as f32;
+    }
+}
+
+/// Solves the SPD system `A·x = b`, destroying `a` (which receives the
+/// Cholesky factor) and overwriting `b` with the solution `x`.
+///
+/// This is the per-row work item of the paper's `batch_solve` phase and
+/// costs `O(f³)` as accounted in Table 3.
+pub fn cholesky_solve(a: &mut [f32], f: usize, b: &mut [f32]) -> Result<(), CholeskyError> {
+    cholesky_factor(a, f)?;
+    cholesky_solve_factored(a, f, b);
+    Ok(())
+}
+
+/// Computes the residual `‖A·x − b‖₂` for testing/validation purposes, given
+/// the original (unfactored) matrix.
+pub fn residual_norm(a: &[f32], f: usize, x: &[f32], b: &[f32]) -> f64 {
+    let mut acc = 0.0f64;
+    for i in 0..f {
+        let mut s = 0.0f64;
+        for j in 0..f {
+            s += (a[i * f + j] as f64) * (x[j] as f64);
+        }
+        let r = s - b[i] as f64;
+        acc += r * r;
+    }
+    acc.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{add_diagonal, syr_full};
+    
+    use rand::prelude::*;
+
+    /// Builds a random SPD matrix as a sum of rank-1 terms plus a ridge,
+    /// exactly the structure ALS produces.
+    fn random_spd(f: usize, terms: usize, lambda: f32, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = vec![0.0f32; f * f];
+        for _ in 0..terms {
+            let x: Vec<f32> = (0..f).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect();
+            syr_full(&mut a, &x);
+        }
+        add_diagonal(&mut a, f, lambda);
+        a
+    }
+
+    #[test]
+    fn solves_identity() {
+        let mut a = vec![0.0f32; 9];
+        add_diagonal(&mut a, 3, 1.0);
+        let mut b = vec![2.0, -3.0, 4.0];
+        cholesky_solve(&mut a, 3, &mut b).unwrap();
+        assert_eq!(b, vec![2.0, -3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_known_2x2() {
+        // A = [[4, 2], [2, 3]], b = [10, 8] -> x = [1.75, 1.5]
+        let mut a = vec![4.0, 2.0, 2.0, 3.0];
+        let mut b = vec![10.0, 8.0];
+        cholesky_solve(&mut a, 2, &mut b).unwrap();
+        assert!((b[0] - 1.75).abs() < 1e-5);
+        assert!((b[1] - 1.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn factor_of_non_spd_fails() {
+        // Negative diagonal is not SPD.
+        let mut a = vec![-1.0, 0.0, 0.0, 1.0];
+        assert_eq!(cholesky_factor(&mut a, 2), Err(CholeskyError { pivot: 0 }));
+        // Rank-deficient (no ridge) with fewer rank-1 terms than f.
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = 6;
+        let mut a = vec![0.0f32; f * f];
+        let x: Vec<f32> = (0..f).map(|_| rng.random::<f32>()).collect();
+        syr_full(&mut a, &x);
+        assert!(cholesky_factor(&mut a, f).is_err());
+    }
+
+    #[test]
+    fn random_spd_systems_have_small_residual() {
+        for (f, terms, seed) in [(4usize, 10usize, 1u64), (16, 40, 2), (32, 100, 3), (64, 200, 4)] {
+            let a = random_spd(f, terms, 0.1, seed);
+            let mut rng = StdRng::seed_from_u64(seed + 100);
+            let b: Vec<f32> = (0..f).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect();
+            let mut a_work = a.clone();
+            let mut x = b.clone();
+            cholesky_solve(&mut a_work, f, &mut x).unwrap();
+            let res = residual_norm(&a, f, &x, &b);
+            let scale = b.iter().map(|&v| (v as f64).abs()).sum::<f64>().max(1.0);
+            assert!(res / scale < 1e-3, "f={f} residual {res}");
+        }
+    }
+
+    #[test]
+    fn factored_solve_reusable_for_multiple_rhs() {
+        let f = 8;
+        let a = random_spd(f, 20, 0.5, 9);
+        let mut l = a.clone();
+        cholesky_factor(&mut l, f).unwrap();
+        for s in 0..4u64 {
+            let mut rng = StdRng::seed_from_u64(s);
+            let b: Vec<f32> = (0..f).map(|_| rng.random::<f32>()).collect();
+            let mut x = b.clone();
+            cholesky_solve_factored(&l, f, &mut x);
+            assert!(residual_norm(&a, f, &x, &b) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CholeskyError { pivot: 3 };
+        assert!(e.to_string().contains("pivot 3"));
+    }
+}

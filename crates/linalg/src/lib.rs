@@ -1,0 +1,29 @@
+//! Small dense linear algebra for `cumf-rs`.
+//!
+//! The ALS inner loop solves, for every user `u`, a small regularized
+//! Hermitian (symmetric positive definite) system
+//!
+//! ```text
+//!   A_u · x_u = B_u,      A_u = Σ_{r_uv ≠ 0} (θ_v θ_vᵀ + λ n_{x_u} I),   B_u = Θᵀ R_{u*}ᵀ
+//! ```
+//!
+//! with `f` in the tens-to-hundreds.  The paper offloads the batched solve to
+//! cuBLAS (`batch_solve`); here we provide the equivalent building blocks:
+//!
+//! * [`dense::DenseMatrix`] and [`dense::FactorMatrix`] — row-major dense
+//!   storage for `X`, `Θ` and the per-row Hermitians.
+//! * [`blas`] — the rank-1 update (`syrk`), `gemv`, `dot`, `axpy` kernels the
+//!   `get_hermitian` phase is made of.
+//! * [`cholesky`] — an in-place Cholesky / forward-backward solver for the
+//!   SPD `f × f` systems.
+//! * [`batch`] — a rayon-parallel batched solver standing in for the
+//!   cuBLAS batched routines.
+
+pub mod batch;
+pub mod blas;
+pub mod cholesky;
+pub mod dense;
+
+pub use batch::batch_solve;
+pub use cholesky::{cholesky_factor, cholesky_solve, CholeskyError};
+pub use dense::{DenseMatrix, FactorMatrix};

@@ -1,0 +1,123 @@
+//! Property-based tests for the dense linear-algebra substrate.
+
+use cumf_linalg::blas::{add_diagonal, dot, gemv, symmetrize_upper, syr_full, syr_upper};
+use cumf_linalg::cholesky::{cholesky_solve, residual_norm};
+use cumf_linalg::{batch_solve, DenseMatrix, FactorMatrix};
+use proptest::prelude::*;
+
+/// A strategy for an SPD system built the way ALS builds them: a sum of
+/// rank-1 outer products plus a positive ridge.
+fn arb_spd_system(max_f: usize) -> impl Strategy<Value = (usize, Vec<f32>, Vec<f32>)> {
+    (2..=max_f).prop_flat_map(|f| {
+        let terms = 2 * f;
+        (
+            Just(f),
+            proptest::collection::vec(-1.0f32..1.0, terms * f),
+            proptest::collection::vec(-1.0f32..1.0, f),
+            0.05f32..2.0,
+        )
+            .prop_map(move |(f, vecs, b, lambda)| {
+                let mut a = vec![0.0f32; f * f];
+                for chunk in vecs.chunks(f) {
+                    syr_full(&mut a, chunk);
+                }
+                add_diagonal(&mut a, f, lambda);
+                (f, a, b)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cholesky_solves_als_style_systems((f, a, b) in arb_spd_system(24)) {
+        let mut a_work = a.clone();
+        let mut x = b.clone();
+        cholesky_solve(&mut a_work, f, &mut x).unwrap();
+        let res = residual_norm(&a, f, &x, &b);
+        let scale = b.iter().map(|&v| (v as f64).abs()).sum::<f64>().max(1.0);
+        prop_assert!(res / scale < 5e-3, "f={} residual={}", f, res);
+    }
+
+    #[test]
+    fn syr_upper_symmetrized_equals_syr_full(x in proptest::collection::vec(-2.0f32..2.0, 1..20)) {
+        let f = x.len();
+        let mut full = vec![0.0f32; f * f];
+        syr_full(&mut full, &x);
+        let mut up = vec![0.0f32; f * f];
+        syr_upper(&mut up, &x);
+        symmetrize_upper(&mut up, f);
+        for (a, b) in full.iter().zip(up.iter()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dot_is_commutative_and_bilinear(
+        x in proptest::collection::vec(-10.0f32..10.0, 1..32),
+        alpha in -3.0f32..3.0,
+    ) {
+        let y: Vec<f32> = x.iter().rev().copied().collect();
+        prop_assert!((dot(&x, &y) - dot(&y, &x)).abs() < 1e-3);
+        let scaled: Vec<f32> = x.iter().map(|v| v * alpha).collect();
+        prop_assert!((dot(&scaled, &y) - alpha * dot(&x, &y)).abs() < 2e-2 * (1.0 + dot(&x, &y).abs()));
+    }
+
+    #[test]
+    fn gemv_matches_dense_matmul(
+        rows in 1usize..8, cols in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let a = FactorMatrix::random(rows, cols, 1.0, seed);
+        let x = FactorMatrix::random(1, cols, 1.0, seed + 1);
+        let mut y = vec![0.0f32; rows];
+        gemv(a.data(), rows, cols, x.vector(0), &mut y);
+        let am = DenseMatrix::from_vec(rows, cols, a.data().to_vec());
+        let xm = DenseMatrix::from_vec(cols, 1, x.data().to_vec());
+        let expect = am.matmul(&xm);
+        for i in 0..rows {
+            prop_assert!((y[i] - expect.get(i, 0)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn batch_solve_matches_individual_solves(
+        batch in 1usize..8,
+        f in 2usize..10,
+        seed in 0u64..500,
+    ) {
+        // Build `batch` SPD systems deterministically from the seed.
+        let gen = FactorMatrix::random(batch * 3, f, 1.0, seed);
+        let rhs_gen = FactorMatrix::random(batch, f, 1.0, seed + 7);
+        let mut hermitians = vec![0.0f32; batch * f * f];
+        let mut rhs = vec![0.0f32; batch * f];
+        for i in 0..batch {
+            let a = &mut hermitians[i * f * f..(i + 1) * f * f];
+            for t in 0..3 {
+                syr_full(a, gen.vector(i * 3 + t));
+            }
+            add_diagonal(a, f, 0.3);
+            rhs[i * f..(i + 1) * f].copy_from_slice(rhs_gen.vector(i));
+        }
+        let orig_a = hermitians.clone();
+        let orig_b = rhs.clone();
+        let report = batch_solve(&mut hermitians, &mut rhs, f);
+        prop_assert!(report.all_ok());
+        for i in 0..batch {
+            let mut a = orig_a[i * f * f..(i + 1) * f * f].to_vec();
+            let mut x = orig_b[i * f..(i + 1) * f].to_vec();
+            cholesky_solve(&mut a, f, &mut x).unwrap();
+            for (got, want) in rhs[i * f..(i + 1) * f].iter().zip(x.iter()) {
+                prop_assert!((got - want).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution_dense(rows in 1usize..10, cols in 1usize..10, seed in 0u64..100) {
+        let fm = FactorMatrix::random(rows, cols, 1.0, seed);
+        let m = DenseMatrix::from_vec(rows, cols, fm.data().to_vec());
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+}

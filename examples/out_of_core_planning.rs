@@ -1,0 +1,97 @@
+//! Out-of-core planning, prefetching and fault tolerance (§4.3–4.4 of the
+//! paper) on the very large Table 5 workloads.
+//!
+//! This example does three things:
+//!
+//! 1. asks the partition planner (equation (8)) how each paper-scale data
+//!    set would be split across four 12 GB GPUs;
+//! 2. shows how much of the host→device streaming the prefetching pipeline
+//!    hides behind compute;
+//! 3. demonstrates checkpoint / restart by interrupting a training run and
+//!    resuming it from the latest checkpoint.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example out_of_core_planning
+//! ```
+
+use cumf_core::als::BaseAls;
+use cumf_core::checkpoint::{Checkpoint, CheckpointManager};
+use cumf_core::config::AlsConfig;
+use cumf_core::costmodel::{cumf_iteration_cost, ClusterConfig};
+use cumf_core::oocore::{hidden_transfer_fraction, pipeline_time, BatchCost};
+use cumf_core::planner::{plan, ProblemDims};
+use cumf_data::datasets::PaperDataset;
+use cumf_data::synth::SyntheticConfig;
+use cumf_gpu_sim::DeviceSpec;
+
+fn main() {
+    // --- 1. Partition plans for the paper-scale problems -------------------
+    println!("partition plans on a 12 GB GK210 (equation (8), 500 MB headroom):\n");
+    println!("data set        |    m        |    n        |     Nz       |  f  |  p |    q");
+    println!("----------------+-------------+-------------+--------------+-----+----+------");
+    for ds in PaperDataset::all() {
+        let s = ds.spec();
+        let dims = ProblemDims::new(s.m, s.n, s.nz, s.f as u64);
+        match plan(&dims, &DeviceSpec::gk210(), 32, 1 << 22) {
+            Ok(p) => println!(
+                "{:<15} | {:>11} | {:>11} | {:>12} | {:>3} | {:>2} | {:>4}",
+                s.name, s.m, s.n, s.nz, s.f, p.p, p.q
+            ),
+            Err(e) => println!("{:<15} | {e}", s.name),
+        }
+    }
+
+    // --- 2. How much streaming the prefetcher hides ------------------------
+    let spec = PaperDataset::Facebook.spec();
+    let dims = ProblemDims::new(spec.m, spec.n, spec.nz, spec.f as u64);
+    let cost = cumf_iteration_cost(&dims, &ClusterConfig::four_k80());
+    println!(
+        "\nFacebook-scale iteration on 4 x GK210: {:.0} s total ({:.0} s kernels, {:.0} s reduces, {:.0} s exposed transfers)",
+        cost.total_s(),
+        cost.get_hermitian_s + cost.batch_solve_s,
+        cost.reduce_s,
+        cost.transfer_s
+    );
+
+    let q = cost.plan_x.q.max(2);
+    let per_batch_compute = (cost.get_hermitian_s + cost.batch_solve_s) / (2.0 * q as f64);
+    let per_batch_transfer = per_batch_compute * 0.6; // R block streaming at 25 GB/s
+    let batches = vec![BatchCost { transfer_s: per_batch_transfer, compute_s: per_batch_compute }; q];
+    println!(
+        "out-of-core pipeline over q = {q} batches: serial {:.0} s, prefetched {:.0} s ({:.0} % of transfers hidden)",
+        pipeline_time(&batches, false),
+        pipeline_time(&batches, true),
+        100.0 * hidden_transfer_fraction(&batches)
+    );
+
+    // --- 3. Checkpoint / restart -------------------------------------------
+    let data = SyntheticConfig { m: 400, n: 200, nnz: 12_000, rank: 6, ..Default::default() }.generate();
+    let ratings = data.to_csr();
+    let config = AlsConfig { f: 16, lambda: 0.05, iterations: 6, ..Default::default() };
+    let dir = std::env::temp_dir().join(format!("cumf_oocore_example_{}", std::process::id()));
+    let manager = CheckpointManager::new(&dir).expect("create checkpoint dir");
+
+    // Run three iterations, checkpointing each one, then "crash".
+    let mut engine = BaseAls::new(config.clone(), ratings.clone());
+    for iter in 1..=3u64 {
+        engine.iterate();
+        manager
+            .save(&Checkpoint { iteration: iter, x: engine.x().clone(), theta: engine.theta().clone() })
+            .expect("checkpoint");
+    }
+    let rmse_at_crash = engine.train_rmse();
+    drop(engine);
+
+    // Restart from the latest checkpoint and finish the remaining iterations.
+    let latest = manager.load_latest().expect("read checkpoints").expect("checkpoint exists");
+    println!("\nrestarting from checkpoint after iteration {} (train RMSE {:.4})", latest.iteration, rmse_at_crash);
+    let mut resumed = BaseAls::new(config, ratings);
+    resumed.set_factors(latest.x, latest.theta);
+    for _ in latest.iteration as usize..6 {
+        resumed.iterate();
+    }
+    println!("after resuming to iteration 6: train RMSE {:.4}", resumed.train_rmse());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,141 @@
+//! End-to-end integration tests spanning every crate of the workspace:
+//! data generation → splitting → ALS engines (reference / MO-ALS / SU-ALS)
+//! → trainer API → cost models and baselines.
+
+use cumf_core::config::{AlsConfig, MemoryOptConfig};
+use cumf_core::trainer::{Backend, MatrixFactorizer};
+use cumf_data::datasets::PaperDataset;
+use cumf_data::synth::SyntheticConfig;
+use cumf_data::train_test_split;
+
+fn netflix_like() -> (cumf_sparse::Csr, Vec<cumf_sparse::Entry>, f64) {
+    let spec = PaperDataset::Netflix.spec().scaled(0.003);
+    let data = SyntheticConfig { rank: 8, noise_std: 0.25, ..SyntheticConfig::from_spec(&spec, 71) }.generate();
+    let noise_floor = data.noise_floor_rmse();
+    let split = train_test_split(&data.ratings, 0.1, 71);
+    (split.train, split.test, noise_floor)
+}
+
+#[test]
+fn full_pipeline_reaches_near_noise_floor_rmse() {
+    let (train, test, noise_floor) = netflix_like();
+    let config = AlsConfig { f: 24, lambda: 0.05, iterations: 8, ..Default::default() };
+    let mut model = MatrixFactorizer::new(config, Backend::single_gpu());
+    let report = model.fit(&train, &test);
+
+    // ALS on data with genuine low-rank structure should approach the noise
+    // floor of the generating model.
+    let final_rmse = report.final_test_rmse();
+    assert!(
+        final_rmse < noise_floor + 0.35,
+        "final test RMSE {final_rmse} too far above the noise floor {noise_floor}"
+    );
+    // RMSE improves monotonically up to small fluctuations.
+    let first = report.iterations.first().unwrap().test_rmse;
+    assert!(final_rmse < first, "no improvement over training: {first} -> {final_rmse}");
+    // Simulated time is positive and strictly increasing.
+    assert!(report.total_sim_time() > 0.0);
+}
+
+#[test]
+fn all_backends_agree_on_the_result() {
+    let (train, test, _) = netflix_like();
+    let config = AlsConfig { f: 16, lambda: 0.05, iterations: 4, ..Default::default() };
+
+    let mut reference = MatrixFactorizer::new(config.clone(), Backend::Reference);
+    let mut single = MatrixFactorizer::new(config.clone(), Backend::single_gpu());
+    let mut multi = MatrixFactorizer::new(config, Backend::multi_gpu(4));
+
+    let r_ref = reference.fit(&train, &test);
+    let r_single = single.fit(&train, &test);
+    let r_multi = multi.fit(&train, &test);
+
+    // Identical seeds and numerics: RMSE trajectories agree closely across
+    // backends (they differ only in floating-point summation order).
+    for i in 0..4 {
+        let a = r_ref.iterations[i].test_rmse;
+        let b = r_single.iterations[i].test_rmse;
+        let c = r_multi.iterations[i].test_rmse;
+        assert!((a - b).abs() < 5e-3, "iter {i}: reference {a} vs single-GPU {b}");
+        assert!((a - c).abs() < 5e-2, "iter {i}: reference {a} vs multi-GPU {c}");
+    }
+    // Only the simulated backends report simulated time.
+    assert_eq!(r_ref.total_sim_time(), 0.0);
+    assert!(r_single.total_sim_time() > 0.0);
+    assert!(r_multi.total_sim_time() > 0.0);
+}
+
+#[test]
+fn memory_optimizations_change_time_but_not_quality() {
+    let (train, test, _) = netflix_like();
+    let base = AlsConfig { f: 16, lambda: 0.05, iterations: 3, ..Default::default() };
+
+    let optimized = AlsConfig { memory_opt: MemoryOptConfig::optimized(), ..base.clone() };
+    let naive = AlsConfig { memory_opt: MemoryOptConfig::naive(), ..base };
+
+    let mut m_opt = MatrixFactorizer::new(optimized, Backend::single_gpu());
+    let mut m_naive = MatrixFactorizer::new(naive, Backend::single_gpu());
+    let r_opt = m_opt.fit(&train, &test);
+    let r_naive = m_naive.fit(&train, &test);
+
+    assert!(
+        (r_opt.final_test_rmse() - r_naive.final_test_rmse()).abs() < 1e-6,
+        "memory optimizations must not change numerics"
+    );
+    assert!(
+        r_naive.total_sim_time() > r_opt.total_sim_time(),
+        "the un-optimized engine must be slower in simulated time"
+    );
+}
+
+#[test]
+fn cumf_beats_cpu_baselines_in_progress_per_iteration() {
+    use cumf_baselines::libmf::LibMfConfig;
+    use cumf_baselines::{LibMfSgd, MfSolver};
+
+    let (train, test, _) = netflix_like();
+    let config = AlsConfig { f: 16, lambda: 0.05, iterations: 2, ..Default::default() };
+    let mut als = MatrixFactorizer::new(config, Backend::single_gpu());
+    let als_report = als.fit(&train, &test);
+
+    let mut libmf = LibMfSgd::new(LibMfConfig { f: 16, threads: 4, ..Default::default() }, &train);
+    for _ in 0..2 {
+        libmf.iterate();
+    }
+    let libmf_rmse = libmf.rmse(&test);
+    assert!(
+        als_report.final_test_rmse() < libmf_rmse,
+        "2 ALS iterations ({}) should beat 2 SGD epochs ({})",
+        als_report.final_test_rmse(),
+        libmf_rmse
+    );
+}
+
+#[test]
+fn recommendations_prefer_highly_rated_held_out_items() {
+    let (train, test, _) = netflix_like();
+    let config = AlsConfig { f: 24, lambda: 0.05, iterations: 6, ..Default::default() };
+    let mut model = MatrixFactorizer::new(config, Backend::Reference);
+    model.fit(&train, &test);
+
+    // Averaged over many held-out ratings, predictions for ratings >= 4
+    // should exceed predictions for ratings <= 2.
+    let mut high = (0.0f64, 0usize);
+    let mut low = (0.0f64, 0usize);
+    for e in &test {
+        let p = model.predict(e.row, e.col) as f64;
+        if e.val >= 4.0 {
+            high = (high.0 + p, high.1 + 1);
+        } else if e.val <= 2.0 {
+            low = (low.0 + p, low.1 + 1);
+        }
+    }
+    if high.1 > 10 && low.1 > 10 {
+        let high_mean = high.0 / high.1 as f64;
+        let low_mean = low.0 / low.1 as f64;
+        assert!(
+            high_mean > low_mean,
+            "predictions should separate liked ({high_mean}) from disliked ({low_mean})"
+        );
+    }
+}

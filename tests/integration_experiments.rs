@@ -1,0 +1,110 @@
+//! Integration tests for the experiment harness: every table/figure function
+//! runs end-to-end (in its quick configuration) and its output has the shape
+//! the paper reports.
+
+use cumf_bench::experiments::{self as exp, ExperimentConfig};
+
+#[test]
+fn every_figure_runs_in_quick_mode() {
+    let cfg = ExperimentConfig::quick();
+    assert_eq!(exp::fig6(&cfg).len(), 2);
+    assert_eq!(exp::fig7(&cfg).len(), 2);
+    assert_eq!(exp::fig8(&cfg).len(), 2);
+    assert_eq!(exp::fig9(&cfg).len(), 2);
+    assert_eq!(exp::fig10(&cfg).series.len(), 3);
+    assert_eq!(exp::fig11().len(), 4);
+    assert_eq!(exp::table1().len(), 3);
+    assert_eq!(exp::reduction_ablation().len(), 4);
+    assert!(!exp::bin_ablation().is_empty());
+}
+
+#[test]
+fn fig6_headline_cumf_converges_and_is_competitive() {
+    // The Figure 6 claim: cuMF on one GPU is competitive with 30-core CPU
+    // solvers — slower per early progress, but it catches up and wins on
+    // final quality within the run.
+    let cfg = ExperimentConfig::quick();
+    for fig in exp::fig6(&cfg) {
+        let cumf = &fig.series[0];
+        let nomad = &fig.series[1];
+        let libmf = &fig.series[2];
+        // cuMF's final RMSE is at least as good as both SGD baselines' final
+        // RMSE (ALS converges in far fewer iterations).
+        assert!(
+            cumf.final_rmse() <= nomad.final_rmse() + 0.05,
+            "{}: cuMF {} vs NOMAD {}",
+            fig.title,
+            cumf.final_rmse(),
+            nomad.final_rmse()
+        );
+        assert!(
+            cumf.final_rmse() <= libmf.final_rmse() + 0.05,
+            "{}: cuMF {} vs libMF {}",
+            fig.title,
+            cumf.final_rmse(),
+            libmf.final_rmse()
+        );
+    }
+}
+
+#[test]
+fn fig7_and_fig8_ablations_only_stretch_the_time_axis() {
+    let cfg = ExperimentConfig::quick();
+    for fig in exp::fig7(&cfg).into_iter().chain(exp::fig8(&cfg)) {
+        let on = &fig.series[0];
+        let off = &fig.series[1];
+        // Identical RMSE sequences...
+        for (a, b) in on.points.iter().zip(off.points.iter()) {
+            assert_eq!(a.rmse, b.rmse, "{}: ablations must not change numerics", fig.title);
+        }
+        // ... but the ablated run takes longer to get there.
+        assert!(
+            off.points.last().unwrap().time_s > on.points.last().unwrap().time_s,
+            "{}: the ablated configuration should be slower",
+            fig.title
+        );
+    }
+}
+
+#[test]
+fn fig9_time_axis_shrinks_with_more_gpus() {
+    let cfg = ExperimentConfig::quick();
+    for fig in exp::fig9(&cfg) {
+        let times: Vec<f64> = fig.series.iter().map(|s| s.points.last().unwrap().time_s).collect();
+        assert!(times[1] < times[0], "{}: 2 GPUs should beat 1", fig.title);
+        assert!(times[2] < times[1], "{}: 4 GPUs should beat 2", fig.title);
+    }
+}
+
+#[test]
+fn table1_rows_reproduce_the_cheaper_claim() {
+    for row in exp::table1() {
+        assert!(
+            row.cumf_cost() < row.baseline_cost(),
+            "{}: cuMF must be cheaper ({} vs {})",
+            row.baseline_name,
+            row.cumf_cost(),
+            row.baseline_cost()
+        );
+    }
+}
+
+#[test]
+fn reduction_ablation_speedups_are_in_the_papers_range() {
+    let rows = exp::reduction_ablation();
+    let single = rows[0].seconds;
+    let one_flat = rows[1].seconds;
+    let one_dual = rows[2].seconds;
+    let two_dual = rows[3].seconds;
+    let parallel_speedup = single / one_flat;
+    let topo_speedup = one_dual / two_dual;
+    // Paper: 1.7x and 1.5x.  Accept a generous band around those.
+    assert!(
+        (1.3..4.0).contains(&parallel_speedup),
+        "parallel-reduction speedup {parallel_speedup} outside the expected band"
+    );
+    assert!(
+        (1.2..2.5).contains(&topo_speedup),
+        "topology-aware speedup {topo_speedup} outside the expected band"
+    );
+}
