@@ -12,13 +12,7 @@ use cumf_sparse::Csr;
 
 /// Solves the normal equation of one row `u` of `r` against the `fixed`
 /// factors (weighted-λ regularization) and writes the result into `out`.
-pub fn solve_row(
-    r: &Csr,
-    u: u32,
-    fixed: &FactorMatrix,
-    lambda: f32,
-    out: &mut [f32],
-) {
+pub fn solve_row(r: &Csr, u: u32, fixed: &FactorMatrix, lambda: f32, out: &mut [f32]) {
     let f = fixed.rank();
     debug_assert_eq!(out.len(), f);
     let (cols, vals) = r.row(u);

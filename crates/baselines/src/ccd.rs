@@ -27,7 +27,12 @@ pub struct CcdConfig {
 
 impl Default for CcdConfig {
     fn default() -> Self {
-        Self { f: 32, lambda: 0.05, inner_iterations: 2, seed: 42 }
+        Self {
+            f: 32,
+            lambda: 0.05,
+            inner_iterations: 2,
+            seed: 42,
+        }
     }
 }
 
@@ -49,7 +54,14 @@ impl CcdPlusPlus {
         let x = als_util::init_factors(r.n_rows() as usize, config.f, config.seed);
         let theta = als_util::init_factors(r.n_cols() as usize, config.f, config.seed ^ 0x33);
         let r_t = r.to_csc();
-        let mut solver = Self { config, r: r.clone(), r_t, x, theta, residual: vec![0.0; r.nnz()] };
+        let mut solver = Self {
+            config,
+            r: r.clone(),
+            r_t,
+            x,
+            theta,
+            residual: vec![0.0; r.nnz()],
+        };
         solver.recompute_residual();
         solver
     }
@@ -60,16 +72,12 @@ impl CcdPlusPlus {
         let r = &self.r;
         let mut residual = vec![0.0f32; r.nnz()];
         let row_ptr = r.row_ptr().to_vec();
-        residual
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(idx, res)| {
-                // Find the row of this entry by binary search in row_ptr.
-                let u = row_ptr.partition_point(|&p| p <= idx) - 1;
-                let v = r.col_idx()[idx] as usize;
-                *res = r.values()[idx]
-                    - cumf_linalg::blas::dot(x.vector(u), theta.vector(v));
-            });
+        residual.par_iter_mut().enumerate().for_each(|(idx, res)| {
+            // Find the row of this entry by binary search in row_ptr.
+            let u = row_ptr.partition_point(|&p| p <= idx) - 1;
+            let v = r.col_idx()[idx] as usize;
+            *res = r.values()[idx] - cumf_linalg::blas::dot(x.vector(u), theta.vector(v));
+        });
         self.residual = residual;
     }
 
@@ -179,27 +187,49 @@ mod tests {
     use cumf_data::synth::SyntheticConfig;
 
     fn ratings() -> Csr {
-        SyntheticConfig { m: 120, n: 80, nnz: 4000, rank: 4, noise_std: 0.05, ..Default::default() }
-            .generate()
-            .to_csr()
+        SyntheticConfig {
+            m: 120,
+            n: 80,
+            nnz: 4000,
+            rank: 4,
+            noise_std: 0.05,
+            ..Default::default()
+        }
+        .generate()
+        .to_csr()
     }
 
     #[test]
     fn ccd_converges() {
         let r = ratings();
-        let mut solver = CcdPlusPlus::new(CcdConfig { f: 8, ..Default::default() }, &r);
+        let mut solver = CcdPlusPlus::new(
+            CcdConfig {
+                f: 8,
+                ..Default::default()
+            },
+            &r,
+        );
         let before = solver.train_rmse(&r);
         for _ in 0..5 {
             solver.iterate();
         }
         let after = solver.train_rmse(&r);
-        assert!(after < before * 0.6, "CCD++ should converge: {before} -> {after}");
+        assert!(
+            after < before * 0.6,
+            "CCD++ should converge: {before} -> {after}"
+        );
     }
 
     #[test]
     fn maintained_residual_matches_recomputed_rmse() {
         let r = ratings();
-        let mut solver = CcdPlusPlus::new(CcdConfig { f: 6, ..Default::default() }, &r);
+        let mut solver = CcdPlusPlus::new(
+            CcdConfig {
+                f: 6,
+                ..Default::default()
+            },
+            &r,
+        );
         solver.iterate();
         let maintained = solver.residual_rmse();
         let recomputed = solver.train_rmse(&r);
@@ -212,15 +242,35 @@ mod tests {
     #[test]
     fn initial_residual_matches_initial_rmse() {
         let r = ratings();
-        let solver = CcdPlusPlus::new(CcdConfig { f: 6, ..Default::default() }, &r);
+        let solver = CcdPlusPlus::new(
+            CcdConfig {
+                f: 6,
+                ..Default::default()
+            },
+            &r,
+        );
         assert!((solver.residual_rmse() - solver.train_rmse(&r)).abs() < 1e-3);
     }
 
     #[test]
     fn more_inner_iterations_do_not_hurt() {
         let r = ratings();
-        let mut one = CcdPlusPlus::new(CcdConfig { f: 8, inner_iterations: 1, ..Default::default() }, &r);
-        let mut three = CcdPlusPlus::new(CcdConfig { f: 8, inner_iterations: 3, ..Default::default() }, &r);
+        let mut one = CcdPlusPlus::new(
+            CcdConfig {
+                f: 8,
+                inner_iterations: 1,
+                ..Default::default()
+            },
+            &r,
+        );
+        let mut three = CcdPlusPlus::new(
+            CcdConfig {
+                f: 8,
+                inner_iterations: 3,
+                ..Default::default()
+            },
+            &r,
+        );
         for _ in 0..3 {
             one.iterate();
             three.iterate();

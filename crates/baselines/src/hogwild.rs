@@ -31,7 +31,13 @@ pub struct HogwildConfig {
 
 impl Default for HogwildConfig {
     fn default() -> Self {
-        Self { f: 32, learning_rate: 0.02, lambda: 0.05, decay: 0.9, seed: 42 }
+        Self {
+            f: 32,
+            learning_rate: 0.02,
+            lambda: 0.05,
+            decay: 0.9,
+            seed: 42,
+        }
     }
 }
 
@@ -47,7 +53,11 @@ impl AtomicFactors {
         Self {
             n: m.len(),
             f: m.rank(),
-            data: m.data().iter().map(|&v| AtomicU32::new(v.to_bits())).collect(),
+            data: m
+                .data()
+                .iter()
+                .map(|&v| AtomicU32::new(v.to_bits()))
+                .collect(),
         }
     }
 
@@ -55,7 +65,10 @@ impl AtomicFactors {
         FactorMatrix::from_vec(
             self.n,
             self.f,
-            self.data.iter().map(|a| f32::from_bits(a.load(Ordering::Relaxed))).collect(),
+            self.data
+                .iter()
+                .map(|a| f32::from_bits(a.load(Ordering::Relaxed)))
+                .collect(),
         )
     }
 
@@ -158,27 +171,49 @@ mod tests {
     use cumf_data::synth::SyntheticConfig;
 
     fn ratings() -> Csr {
-        SyntheticConfig { m: 200, n: 120, nnz: 8000, rank: 4, noise_std: 0.05, ..Default::default() }
-            .generate()
-            .to_csr()
+        SyntheticConfig {
+            m: 200,
+            n: 120,
+            nnz: 8000,
+            rank: 4,
+            noise_std: 0.05,
+            ..Default::default()
+        }
+        .generate()
+        .to_csr()
     }
 
     #[test]
     fn hogwild_converges_despite_races() {
         let r = ratings();
-        let mut solver = HogwildSgd::new(HogwildConfig { f: 8, ..Default::default() }, &r);
+        let mut solver = HogwildSgd::new(
+            HogwildConfig {
+                f: 8,
+                ..Default::default()
+            },
+            &r,
+        );
         let before = solver.train_rmse(&r);
         for _ in 0..10 {
             solver.iterate();
         }
         let after = solver.train_rmse(&r);
-        assert!(after < before * 0.7, "HOGWILD should converge: {before} -> {after}");
+        assert!(
+            after < before * 0.7,
+            "HOGWILD should converge: {before} -> {after}"
+        );
     }
 
     #[test]
     fn factors_are_finite_after_training() {
         let r = ratings();
-        let mut solver = HogwildSgd::new(HogwildConfig { f: 8, ..Default::default() }, &r);
+        let mut solver = HogwildSgd::new(
+            HogwildConfig {
+                f: 8,
+                ..Default::default()
+            },
+            &r,
+        );
         for _ in 0..5 {
             solver.iterate();
         }
@@ -189,7 +224,13 @@ mod tests {
     #[test]
     fn snapshot_reflects_updates() {
         let r = ratings();
-        let mut solver = HogwildSgd::new(HogwildConfig { f: 4, ..Default::default() }, &r);
+        let mut solver = HogwildSgd::new(
+            HogwildConfig {
+                f: 4,
+                ..Default::default()
+            },
+            &r,
+        );
         let before = solver.x().clone();
         solver.iterate();
         assert!(solver.x().max_abs_diff(&before) > 0.0);

@@ -31,7 +31,14 @@ pub struct LibMfConfig {
 
 impl Default for LibMfConfig {
     fn default() -> Self {
-        Self { f: 32, learning_rate: 0.02, lambda: 0.05, decay: 0.9, threads: 4, seed: 42 }
+        Self {
+            f: 32,
+            learning_rate: 0.02,
+            lambda: 0.05,
+            decay: 0.9,
+            threads: 4,
+            seed: 42,
+        }
     }
 }
 
@@ -89,7 +96,15 @@ impl LibMfSgd {
 
         let x = als_util::init_factors(r.n_rows() as usize, config.f, config.seed);
         let theta = als_util::init_factors(r.n_cols() as usize, config.f, config.seed ^ 0x5151);
-        Self { config, x, theta, row_ranges, col_ranges, blocks, epoch: 0 }
+        Self {
+            config,
+            x,
+            theta,
+            row_ranges,
+            col_ranges,
+            blocks,
+            epoch: 0,
+        }
     }
 
     /// Number of grid partitions per dimension actually used.
@@ -97,7 +112,11 @@ impl LibMfSgd {
         self.row_ranges.len()
     }
 
-    fn split_by_ranges<'a>(data: &'a mut [f32], ranges: &[(u32, u32)], f: usize) -> Vec<&'a mut [f32]> {
+    fn split_by_ranges<'a>(
+        data: &'a mut [f32],
+        ranges: &[(u32, u32)],
+        f: usize,
+    ) -> Vec<&'a mut [f32]> {
         let mut out = Vec::with_capacity(ranges.len());
         let mut rest = data;
         for &(start, end) in ranges {
@@ -126,7 +145,9 @@ impl LibMfSgd {
             std::thread::scope(|scope| {
                 for (ti, x_chunk) in x_chunks.into_iter().enumerate() {
                     let cj = (ti + s) % t;
-                    let theta_chunk = theta_chunks[cj].take().expect("each column block used once per rotation");
+                    let theta_chunk = theta_chunks[cj]
+                        .take()
+                        .expect("each column block used once per rotation");
                     let block = &self.blocks[ti][cj];
                     scope.spawn(move || {
                         for rating in block {
@@ -174,29 +195,52 @@ mod tests {
     use cumf_data::synth::SyntheticConfig;
 
     fn ratings() -> Csr {
-        SyntheticConfig { m: 200, n: 120, nnz: 8000, rank: 4, noise_std: 0.05, ..Default::default() }
-            .generate()
-            .to_csr()
+        SyntheticConfig {
+            m: 200,
+            n: 120,
+            nnz: 8000,
+            rank: 4,
+            noise_std: 0.05,
+            ..Default::default()
+        }
+        .generate()
+        .to_csr()
     }
 
     #[test]
     fn training_error_decreases_over_epochs() {
         let r = ratings();
-        let mut solver = LibMfSgd::new(LibMfConfig { f: 8, threads: 4, ..Default::default() }, &r);
+        let mut solver = LibMfSgd::new(
+            LibMfConfig {
+                f: 8,
+                threads: 4,
+                ..Default::default()
+            },
+            &r,
+        );
         let before = solver.train_rmse(&r);
         for _ in 0..10 {
             solver.iterate();
         }
         let after = solver.train_rmse(&r);
-        assert!(after < before * 0.7, "libMF should converge: {before} -> {after}");
+        assert!(
+            after < before * 0.7,
+            "libMF should converge: {before} -> {after}"
+        );
     }
 
     #[test]
     fn thread_count_does_not_break_convergence() {
         let r = ratings();
         for threads in [1, 2, 8] {
-            let mut solver =
-                LibMfSgd::new(LibMfConfig { f: 8, threads, ..Default::default() }, &r);
+            let mut solver = LibMfSgd::new(
+                LibMfConfig {
+                    f: 8,
+                    threads,
+                    ..Default::default()
+                },
+                &r,
+            );
             for _ in 0..6 {
                 solver.iterate();
             }
@@ -209,15 +253,34 @@ mod tests {
 
     #[test]
     fn grid_dim_is_clamped_to_matrix_size() {
-        let r = SyntheticConfig { m: 3, n: 100, nnz: 200, ..Default::default() }.generate().to_csr();
-        let solver = LibMfSgd::new(LibMfConfig { threads: 16, ..Default::default() }, &r);
+        let r = SyntheticConfig {
+            m: 3,
+            n: 100,
+            nnz: 200,
+            ..Default::default()
+        }
+        .generate()
+        .to_csr();
+        let solver = LibMfSgd::new(
+            LibMfConfig {
+                threads: 16,
+                ..Default::default()
+            },
+            &r,
+        );
         assert!(solver.grid_dim() <= 3);
     }
 
     #[test]
     fn blocks_cover_every_rating_exactly_once() {
         let r = ratings();
-        let solver = LibMfSgd::new(LibMfConfig { threads: 5, ..Default::default() }, &r);
+        let solver = LibMfSgd::new(
+            LibMfConfig {
+                threads: 5,
+                ..Default::default()
+            },
+            &r,
+        );
         let total: usize = solver
             .blocks
             .iter()

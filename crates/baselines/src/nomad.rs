@@ -36,7 +36,14 @@ pub struct NomadConfig {
 
 impl Default for NomadConfig {
     fn default() -> Self {
-        Self { f: 32, learning_rate: 0.02, lambda: 0.05, decay: 0.9, workers: 4, seed: 42 }
+        Self {
+            f: 32,
+            learning_rate: 0.02,
+            lambda: 0.05,
+            decay: 0.9,
+            workers: 4,
+            seed: 42,
+        }
     }
 }
 
@@ -92,7 +99,14 @@ impl NomadSgd {
 
         let x = als_util::init_factors(r.n_rows() as usize, config.f, config.seed);
         let theta = als_util::init_factors(r.n_cols() as usize, config.f, config.seed ^ 0x99);
-        Self { config, workers_data, row_ranges, x, theta, epoch: 0 }
+        Self {
+            config,
+            workers_data,
+            row_ranges,
+            x,
+            theta,
+            epoch: 0,
+        }
     }
 
     /// Number of workers actually used.
@@ -157,11 +171,10 @@ impl NomadSgd {
                             let xo = local_row as usize * f;
                             let xu = &mut x_chunk[xo..xo + f];
                             let err = val - dot(xu, &token.theta_v);
-                            for k in 0..f {
-                                let xk = xu[k];
-                                let tk = token.theta_v[k];
-                                xu[k] = xk + alpha * (err * tk - lambda * xk);
-                                token.theta_v[k] = tk + alpha * (err * xk - lambda * tk);
+                            for (x_k, t_k) in xu.iter_mut().zip(token.theta_v.iter_mut()) {
+                                let (xk, tk) = (*x_k, *t_k);
+                                *x_k = xk + alpha * (err * tk - lambda * xk);
+                                *t_k = tk + alpha * (err * xk - lambda * tk);
                             }
                         }
                         token.hops += 1;
@@ -178,7 +191,9 @@ impl NomadSgd {
             let mut collected = 0usize;
             while collected < n_cols {
                 let token = done_rx.recv().expect("all tokens eventually finish");
-                self.theta.vector_mut(token.col as usize).copy_from_slice(&token.theta_v);
+                self.theta
+                    .vector_mut(token.col as usize)
+                    .copy_from_slice(&token.theta_v);
                 collected += 1;
             }
             drop(senders);
@@ -212,27 +227,51 @@ mod tests {
     use cumf_data::synth::SyntheticConfig;
 
     fn ratings() -> Csr {
-        SyntheticConfig { m: 200, n: 100, nnz: 7000, rank: 4, noise_std: 0.05, ..Default::default() }
-            .generate()
-            .to_csr()
+        SyntheticConfig {
+            m: 200,
+            n: 100,
+            nnz: 7000,
+            rank: 4,
+            noise_std: 0.05,
+            ..Default::default()
+        }
+        .generate()
+        .to_csr()
     }
 
     #[test]
     fn nomad_converges() {
         let r = ratings();
-        let mut solver = NomadSgd::new(NomadConfig { f: 8, workers: 4, ..Default::default() }, &r);
+        let mut solver = NomadSgd::new(
+            NomadConfig {
+                f: 8,
+                workers: 4,
+                ..Default::default()
+            },
+            &r,
+        );
         let before = solver.train_rmse(&r);
         for _ in 0..10 {
             solver.iterate();
         }
         let after = solver.train_rmse(&r);
-        assert!(after < before * 0.7, "NOMAD should converge: {before} -> {after}");
+        assert!(
+            after < before * 0.7,
+            "NOMAD should converge: {before} -> {after}"
+        );
     }
 
     #[test]
     fn single_worker_matches_plain_sgd_behaviour() {
         let r = ratings();
-        let mut solver = NomadSgd::new(NomadConfig { f: 8, workers: 1, ..Default::default() }, &r);
+        let mut solver = NomadSgd::new(
+            NomadConfig {
+                f: 8,
+                workers: 1,
+                ..Default::default()
+            },
+            &r,
+        );
         for _ in 0..5 {
             solver.iterate();
         }
@@ -242,15 +281,34 @@ mod tests {
 
     #[test]
     fn worker_count_is_clamped() {
-        let r = SyntheticConfig { m: 3, n: 50, nnz: 100, ..Default::default() }.generate().to_csr();
-        let solver = NomadSgd::new(NomadConfig { workers: 64, ..Default::default() }, &r);
+        let r = SyntheticConfig {
+            m: 3,
+            n: 50,
+            nnz: 100,
+            ..Default::default()
+        }
+        .generate()
+        .to_csr();
+        let solver = NomadSgd::new(
+            NomadConfig {
+                workers: 64,
+                ..Default::default()
+            },
+            &r,
+        );
         assert!(solver.n_workers() <= 3);
     }
 
     #[test]
     fn every_rating_is_indexed_once() {
         let r = ratings();
-        let solver = NomadSgd::new(NomadConfig { workers: 4, ..Default::default() }, &r);
+        let solver = NomadSgd::new(
+            NomadConfig {
+                workers: 4,
+                ..Default::default()
+            },
+            &r,
+        );
         let total: usize = solver
             .workers_data
             .iter()
@@ -262,7 +320,14 @@ mod tests {
     #[test]
     fn factors_stay_finite() {
         let r = ratings();
-        let mut solver = NomadSgd::new(NomadConfig { f: 8, workers: 3, ..Default::default() }, &r);
+        let mut solver = NomadSgd::new(
+            NomadConfig {
+                f: 8,
+                workers: 3,
+                ..Default::default()
+            },
+            &r,
+        );
         for _ in 0..5 {
             solver.iterate();
         }

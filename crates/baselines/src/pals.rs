@@ -27,7 +27,12 @@ pub struct PalsConfig {
 
 impl Default for PalsConfig {
     fn default() -> Self {
-        Self { f: 32, lambda: 0.05, workers: 4, seed: 42 }
+        Self {
+            f: 32,
+            lambda: 0.05,
+            workers: 4,
+            seed: 42,
+        }
     }
 }
 
@@ -47,10 +52,17 @@ impl Pals {
         let workers_rows = config.workers.min(r.n_rows().max(1) as usize);
         let workers_cols = config.workers.min(r.n_cols().max(1) as usize);
         let row_blocks = horizontal_partition(r, workers_rows).expect("row partition");
-        let col_blocks = horizontal_partition(&r.transpose(), workers_cols).expect("column partition");
+        let col_blocks =
+            horizontal_partition(&r.transpose(), workers_cols).expect("column partition");
         let x = als_util::init_factors(r.n_rows() as usize, config.f, config.seed);
         let theta = als_util::init_factors(r.n_cols() as usize, config.f, config.seed ^ 0x7e7a);
-        Self { config, row_blocks, col_blocks, x, theta }
+        Self {
+            config,
+            row_blocks,
+            col_blocks,
+            x,
+            theta,
+        }
     }
 
     /// Bytes of `Θᵀ` (or `X` for the other half) that PALS replicates to
@@ -63,7 +75,13 @@ impl Pals {
         workers * (theta_bytes + x_bytes)
     }
 
-    fn update_side(blocks: &[SparseBlock], fixed: &FactorMatrix, lambda: f32, out_len: usize, f: usize) -> FactorMatrix {
+    fn update_side(
+        blocks: &[SparseBlock],
+        fixed: &FactorMatrix,
+        lambda: f32,
+        out_len: usize,
+        f: usize,
+    ) -> FactorMatrix {
         let mut out = FactorMatrix::zeros(out_len, f);
         // Each "worker" (block) solves its own rows against the replicated
         // fixed factors; workers run in parallel.
@@ -83,7 +101,8 @@ impl Pals {
             .collect();
         for (row_start, local) in results {
             for u in 0..local.len() {
-                out.vector_mut(row_start as usize + u).copy_from_slice(local.vector(u));
+                out.vector_mut(row_start as usize + u)
+                    .copy_from_slice(local.vector(u));
             }
         }
         out
@@ -92,8 +111,20 @@ impl Pals {
     /// One full ALS iteration.
     pub fn als_iteration(&mut self) {
         let f = self.config.f;
-        self.x = Self::update_side(&self.row_blocks, &self.theta, self.config.lambda, self.x.len(), f);
-        self.theta = Self::update_side(&self.col_blocks, &self.x, self.config.lambda, self.theta.len(), f);
+        self.x = Self::update_side(
+            &self.row_blocks,
+            &self.theta,
+            self.config.lambda,
+            self.x.len(),
+            f,
+        );
+        self.theta = Self::update_side(
+            &self.col_blocks,
+            &self.x,
+            self.config.lambda,
+            self.theta.len(),
+            f,
+        );
     }
 }
 
@@ -121,28 +152,59 @@ mod tests {
     use cumf_data::synth::SyntheticConfig;
 
     fn ratings() -> Csr {
-        SyntheticConfig { m: 150, n: 90, nnz: 5000, rank: 4, noise_std: 0.05, ..Default::default() }
-            .generate()
-            .to_csr()
+        SyntheticConfig {
+            m: 150,
+            n: 90,
+            nnz: 5000,
+            rank: 4,
+            noise_std: 0.05,
+            ..Default::default()
+        }
+        .generate()
+        .to_csr()
     }
 
     #[test]
     fn pals_converges_fast_like_any_als() {
         let r = ratings();
-        let mut solver = Pals::new(PalsConfig { f: 8, workers: 4, ..Default::default() }, &r);
+        let mut solver = Pals::new(
+            PalsConfig {
+                f: 8,
+                workers: 4,
+                ..Default::default()
+            },
+            &r,
+        );
         let before = solver.train_rmse(&r);
         for _ in 0..3 {
             solver.iterate();
         }
         let after = solver.train_rmse(&r);
-        assert!(after < before * 0.4, "PALS should converge quickly: {before} -> {after}");
+        assert!(
+            after < before * 0.4,
+            "PALS should converge quickly: {before} -> {after}"
+        );
     }
 
     #[test]
     fn worker_count_does_not_change_results_materially() {
         let r = ratings();
-        let mut w1 = Pals::new(PalsConfig { f: 8, workers: 1, ..Default::default() }, &r);
-        let mut w4 = Pals::new(PalsConfig { f: 8, workers: 4, ..Default::default() }, &r);
+        let mut w1 = Pals::new(
+            PalsConfig {
+                f: 8,
+                workers: 1,
+                ..Default::default()
+            },
+            &r,
+        );
+        let mut w4 = Pals::new(
+            PalsConfig {
+                f: 8,
+                workers: 4,
+                ..Default::default()
+            },
+            &r,
+        );
         w1.iterate();
         w4.iterate();
         assert!(w1.x().max_abs_diff(w4.x()) < 1e-3);
@@ -151,8 +213,20 @@ mod tests {
     #[test]
     fn replication_bytes_scale_with_workers() {
         let r = ratings();
-        let p2 = Pals::new(PalsConfig { workers: 2, ..Default::default() }, &r);
-        let p4 = Pals::new(PalsConfig { workers: 4, ..Default::default() }, &r);
+        let p2 = Pals::new(
+            PalsConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            &r,
+        );
+        let p4 = Pals::new(
+            PalsConfig {
+                workers: 4,
+                ..Default::default()
+            },
+            &r,
+        );
         assert!(p4.replication_bytes() > p2.replication_bytes());
     }
 
@@ -160,9 +234,18 @@ mod tests {
     fn pals_beats_sgd_baselines_per_iteration() {
         // ALS makes much more progress per iteration than one SGD epoch.
         let r = ratings();
-        let mut pals = Pals::new(PalsConfig { f: 8, ..Default::default() }, &r);
+        let mut pals = Pals::new(
+            PalsConfig {
+                f: 8,
+                ..Default::default()
+            },
+            &r,
+        );
         let mut sgd = crate::libmf::LibMfSgd::new(
-            crate::libmf::LibMfConfig { f: 8, ..Default::default() },
+            crate::libmf::LibMfConfig {
+                f: 8,
+                ..Default::default()
+            },
             &r,
         );
         pals.iterate();

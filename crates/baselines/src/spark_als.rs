@@ -29,7 +29,12 @@ pub struct SparkAlsConfig {
 
 impl Default for SparkAlsConfig {
     fn default() -> Self {
-        Self { f: 32, lambda: 0.05, partitions: 4, seed: 42 }
+        Self {
+            f: 32,
+            lambda: 0.05,
+            partitions: 4,
+            seed: 42,
+        }
     }
 }
 
@@ -74,10 +79,18 @@ impl SparkAlsStyle {
         let parts_rows = config.partitions.min(r.n_rows().max(1) as usize);
         let parts_cols = config.partitions.min(r.n_cols().max(1) as usize);
         let row_blocks = horizontal_partition(r, parts_rows).expect("row partition");
-        let col_blocks = horizontal_partition(&r.transpose(), parts_cols).expect("column partition");
+        let col_blocks =
+            horizontal_partition(&r.transpose(), parts_cols).expect("column partition");
         let x = als_util::init_factors(r.n_rows() as usize, config.f, config.seed);
         let theta = als_util::init_factors(r.n_cols() as usize, config.f, config.seed ^ 0x7e7a);
-        Self { config, row_blocks, col_blocks, x, theta, last_shuffle: ShuffleStats::default() }
+        Self {
+            config,
+            row_blocks,
+            col_blocks,
+            x,
+            theta,
+            last_shuffle: ShuffleStats::default(),
+        }
     }
 
     /// Communication statistics of the most recent side update.
@@ -93,7 +106,10 @@ impl SparkAlsStyle {
         f: usize,
     ) -> (FactorMatrix, ShuffleStats) {
         let mut out = FactorMatrix::zeros(out_len, f);
-        let mut stats = ShuffleStats { distinct_vectors: fixed.len() as u64, ..Default::default() };
+        let mut stats = ShuffleStats {
+            distinct_vectors: fixed.len() as u64,
+            ..Default::default()
+        };
 
         let results: Vec<(u32, FactorMatrix, u64)> = blocks
             .par_iter()
@@ -109,7 +125,9 @@ impl SparkAlsStyle {
                 let mut local_fixed = FactorMatrix::zeros(needed.len(), f);
                 for (i, &v) in needed.iter().enumerate() {
                     local_index.insert(v, i);
-                    local_fixed.vector_mut(i).copy_from_slice(fixed.vector(v as usize));
+                    local_fixed
+                        .vector_mut(i)
+                        .copy_from_slice(fixed.vector(v as usize));
                 }
 
                 // Step 3: solve the partition's rows against the shipped subset.
@@ -123,7 +141,8 @@ impl SparkAlsStyle {
                     // Build a tiny one-row CSR in local column space.
                     let mut coo = cumf_sparse::Coo::new(1, needed.len() as u32);
                     for (&c, &val) in cols.iter().zip(vals.iter()) {
-                        coo.push(0, local_index[&c] as u32, val).expect("local index in range");
+                        coo.push(0, local_index[&c] as u32, val)
+                            .expect("local index in range");
                     }
                     let local_row = coo.to_csr();
                     let mut row = vec![0.0f32; f];
@@ -137,7 +156,8 @@ impl SparkAlsStyle {
         for (row_start, local, shipped) in results {
             stats.vectors_shipped += shipped;
             for u in 0..local.len() {
-                out.vector_mut(row_start as usize + u).copy_from_slice(local.vector(u));
+                out.vector_mut(row_start as usize + u)
+                    .copy_from_slice(local.vector(u));
             }
         }
         stats.bytes_shipped = stats.vectors_shipped * f as u64 * 4;
@@ -147,11 +167,21 @@ impl SparkAlsStyle {
     /// One full ALS iteration with partial replication in both halves.
     pub fn als_iteration(&mut self) {
         let f = self.config.f;
-        let (x, sx) =
-            Self::update_side(&self.row_blocks, &self.theta, self.config.lambda, self.x.len(), f);
+        let (x, sx) = Self::update_side(
+            &self.row_blocks,
+            &self.theta,
+            self.config.lambda,
+            self.x.len(),
+            f,
+        );
         self.x = x;
-        let (theta, st) =
-            Self::update_side(&self.col_blocks, &self.x, self.config.lambda, self.theta.len(), f);
+        let (theta, st) = Self::update_side(
+            &self.col_blocks,
+            &self.x,
+            self.config.lambda,
+            self.theta.len(),
+            f,
+        );
         self.theta = theta;
         self.last_shuffle = ShuffleStats {
             vectors_shipped: sx.vectors_shipped + st.vectors_shipped,
@@ -186,16 +216,37 @@ mod tests {
     use cumf_data::synth::SyntheticConfig;
 
     fn ratings() -> Csr {
-        SyntheticConfig { m: 150, n: 90, nnz: 5000, rank: 4, noise_std: 0.05, ..Default::default() }
-            .generate()
-            .to_csr()
+        SyntheticConfig {
+            m: 150,
+            n: 90,
+            nnz: 5000,
+            rank: 4,
+            noise_std: 0.05,
+            ..Default::default()
+        }
+        .generate()
+        .to_csr()
     }
 
     #[test]
     fn spark_als_converges_and_matches_pals() {
         let r = ratings();
-        let mut spark = SparkAlsStyle::new(SparkAlsConfig { f: 8, partitions: 4, ..Default::default() }, &r);
-        let mut pals = Pals::new(PalsConfig { f: 8, workers: 4, ..Default::default() }, &r);
+        let mut spark = SparkAlsStyle::new(
+            SparkAlsConfig {
+                f: 8,
+                partitions: 4,
+                ..Default::default()
+            },
+            &r,
+        );
+        let mut pals = Pals::new(
+            PalsConfig {
+                f: 8,
+                workers: 4,
+                ..Default::default()
+            },
+            &r,
+        );
         for _ in 0..2 {
             spark.iterate();
             pals.iterate();
@@ -208,7 +259,14 @@ mod tests {
     #[test]
     fn shuffle_statistics_are_recorded() {
         let r = ratings();
-        let mut spark = SparkAlsStyle::new(SparkAlsConfig { f: 8, partitions: 4, ..Default::default() }, &r);
+        let mut spark = SparkAlsStyle::new(
+            SparkAlsConfig {
+                f: 8,
+                partitions: 4,
+                ..Default::default()
+            },
+            &r,
+        );
         spark.iterate();
         let s = spark.last_shuffle();
         assert!(s.vectors_shipped > 0);
@@ -221,8 +279,20 @@ mod tests {
         // The cuMF paper's point: partial replication still duplicates
         // popular columns, and it gets worse with more partitions.
         let r = ratings();
-        let mut p2 = SparkAlsStyle::new(SparkAlsConfig { partitions: 2, ..Default::default() }, &r);
-        let mut p8 = SparkAlsStyle::new(SparkAlsConfig { partitions: 8, ..Default::default() }, &r);
+        let mut p2 = SparkAlsStyle::new(
+            SparkAlsConfig {
+                partitions: 2,
+                ..Default::default()
+            },
+            &r,
+        );
+        let mut p8 = SparkAlsStyle::new(
+            SparkAlsConfig {
+                partitions: 8,
+                ..Default::default()
+            },
+            &r,
+        );
         p2.iterate();
         p8.iterate();
         assert!(p8.last_shuffle().vectors_shipped > p2.last_shuffle().vectors_shipped);
@@ -231,7 +301,13 @@ mod tests {
     #[test]
     fn single_partition_ships_each_vector_once() {
         let r = ratings();
-        let mut p1 = SparkAlsStyle::new(SparkAlsConfig { partitions: 1, ..Default::default() }, &r);
+        let mut p1 = SparkAlsStyle::new(
+            SparkAlsConfig {
+                partitions: 1,
+                ..Default::default()
+            },
+            &r,
+        );
         p1.iterate();
         // With one partition the replication factor collapses to ≤ 1
         // (every referenced vector shipped exactly once).

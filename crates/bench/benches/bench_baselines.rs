@@ -16,9 +16,16 @@ use cumf_sparse::Csr;
 use std::hint::black_box;
 
 fn ratings() -> Csr {
-    SyntheticConfig { m: 3_000, n: 800, nnz: 120_000, rank: 8, seed: 9, ..Default::default() }
-        .generate()
-        .to_csr()
+    SyntheticConfig {
+        m: 3_000,
+        n: 800,
+        nnz: 120_000,
+        rank: 8,
+        seed: 9,
+        ..Default::default()
+    }
+    .generate()
+    .to_csr()
 }
 
 fn bench_sgd_baselines(c: &mut Criterion) {
@@ -27,21 +34,41 @@ fn bench_sgd_baselines(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("libmf_blocked_sgd", |b| {
         b.iter(|| {
-            let mut s = LibMfSgd::new(LibMfConfig { f: 32, threads: 4, ..Default::default() }, &r);
+            let mut s = LibMfSgd::new(
+                LibMfConfig {
+                    f: 32,
+                    threads: 4,
+                    ..Default::default()
+                },
+                &r,
+            );
             s.iterate();
             black_box(s.x().data()[0]);
         });
     });
     group.bench_function("hogwild_sgd", |b| {
         b.iter(|| {
-            let mut s = HogwildSgd::new(HogwildConfig { f: 32, ..Default::default() }, &r);
+            let mut s = HogwildSgd::new(
+                HogwildConfig {
+                    f: 32,
+                    ..Default::default()
+                },
+                &r,
+            );
             s.iterate();
             black_box(s.x().data()[0]);
         });
     });
     group.bench_function("nomad_async_sgd", |b| {
         b.iter(|| {
-            let mut s = NomadSgd::new(NomadConfig { f: 32, workers: 4, ..Default::default() }, &r);
+            let mut s = NomadSgd::new(
+                NomadConfig {
+                    f: 32,
+                    workers: 4,
+                    ..Default::default()
+                },
+                &r,
+            );
             s.iterate();
             black_box(s.x().data()[0]);
         });
@@ -55,21 +82,41 @@ fn bench_als_baselines(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("pals_full_replication", |b| {
         b.iter(|| {
-            let mut s = Pals::new(PalsConfig { f: 32, workers: 4, ..Default::default() }, &r);
+            let mut s = Pals::new(
+                PalsConfig {
+                    f: 32,
+                    workers: 4,
+                    ..Default::default()
+                },
+                &r,
+            );
             s.iterate();
             black_box(s.x().data()[0]);
         });
     });
     group.bench_function("spark_als_partial_replication", |b| {
         b.iter(|| {
-            let mut s = SparkAlsStyle::new(SparkAlsConfig { f: 32, partitions: 4, ..Default::default() }, &r);
+            let mut s = SparkAlsStyle::new(
+                SparkAlsConfig {
+                    f: 32,
+                    partitions: 4,
+                    ..Default::default()
+                },
+                &r,
+            );
             s.iterate();
             black_box(s.last_shuffle().bytes_shipped);
         });
     });
     group.bench_function("ccd_plus_plus_sweep", |b| {
         b.iter(|| {
-            let mut s = CcdPlusPlus::new(CcdConfig { f: 32, ..Default::default() }, &r);
+            let mut s = CcdPlusPlus::new(
+                CcdConfig {
+                    f: 32,
+                    ..Default::default()
+                },
+                &r,
+            );
             s.iterate();
             black_box(s.residual_rmse());
         });

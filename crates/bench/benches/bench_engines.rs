@@ -14,13 +14,27 @@ use cumf_sparse::Csr;
 use std::hint::black_box;
 
 fn ratings() -> Csr {
-    SyntheticConfig { m: 3_000, n: 800, nnz: 120_000, rank: 8, seed: 5, ..Default::default() }
-        .generate()
-        .to_csr()
+    SyntheticConfig {
+        m: 3_000,
+        n: 800,
+        nnz: 120_000,
+        rank: 8,
+        seed: 5,
+        ..Default::default()
+    }
+    .generate()
+    .to_csr()
 }
 
 fn config(opts: MemoryOptConfig) -> AlsConfig {
-    AlsConfig { f: 32, lambda: 0.05, iterations: 1, memory_opt: opts, track_rmse: false, ..Default::default() }
+    AlsConfig {
+        f: 32,
+        lambda: 0.05,
+        iterations: 1,
+        memory_opt: opts,
+        track_rmse: false,
+        ..Default::default()
+    }
 }
 
 fn bench_reference_iteration(c: &mut Criterion) {
@@ -67,22 +81,31 @@ fn bench_su_als_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_su_als");
     group.sample_size(10);
     for &n_gpus in &[1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(n_gpus), &n_gpus, |b, &n_gpus| {
-            b.iter(|| {
-                let cluster = GpuCluster::titan_x_flat(n_gpus);
-                let cfg = SuAlsConfig::with_plan(
-                    config(MemoryOptConfig::optimized()),
-                    ReductionScheme::OnePhase,
-                    n_gpus,
-                    2,
-                );
-                let mut engine = SuAlsEngine::new(cfg, r.clone(), cluster);
-                black_box(engine.iterate());
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_gpus),
+            &n_gpus,
+            |b, &n_gpus| {
+                b.iter(|| {
+                    let cluster = GpuCluster::titan_x_flat(n_gpus);
+                    let cfg = SuAlsConfig::with_plan(
+                        config(MemoryOptConfig::optimized()),
+                        ReductionScheme::OnePhase,
+                        n_gpus,
+                        2,
+                    );
+                    let mut engine = SuAlsEngine::new(cfg, r.clone(), cluster);
+                    black_box(engine.iterate());
+                });
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(engines, bench_reference_iteration, bench_mo_als_ablation, bench_su_als_scaling);
+criterion_group!(
+    engines,
+    bench_reference_iteration,
+    bench_mo_als_ablation,
+    bench_su_als_scaling
+);
 criterion_main!(engines);

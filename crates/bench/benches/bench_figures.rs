@@ -19,14 +19,22 @@ fn bench_analytic_tables(c: &mut Criterion) {
     });
     group.bench_function("fig2", |b| b.iter(|| black_box(exp::fig2())));
     group.bench_function("fig11", |b| b.iter(|| black_box(exp::fig11())));
-    group.bench_function("reduction_ablation", |b| b.iter(|| black_box(exp::reduction_ablation())));
-    group.bench_function("bin_ablation", |b| b.iter(|| black_box(exp::bin_ablation())));
+    group.bench_function("reduction_ablation", |b| {
+        b.iter(|| black_box(exp::reduction_ablation()))
+    });
+    group.bench_function("bin_ablation", |b| {
+        b.iter(|| black_box(exp::bin_ablation()))
+    });
     group.finish();
 }
 
 fn bench_iteration_cost_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("full_scale_cost_model");
-    for ds in [PaperDataset::Netflix, PaperDataset::Hugewiki, PaperDataset::Facebook] {
+    for ds in [
+        PaperDataset::Netflix,
+        PaperDataset::Hugewiki,
+        PaperDataset::Facebook,
+    ] {
         let spec = ds.spec();
         let dims = ProblemDims::new(spec.m, spec.n, spec.nz, spec.f as u64);
         group.bench_function(spec.name, |b| {

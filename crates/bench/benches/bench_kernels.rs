@@ -11,7 +11,15 @@ use cumf_sparse::Csr;
 use std::hint::black_box;
 
 fn workload(m: u32, n: u32, nnz: usize) -> (Csr, FactorMatrix) {
-    let data = SyntheticConfig { m, n, nnz, rank: 8, seed: 7, ..Default::default() }.generate();
+    let data = SyntheticConfig {
+        m,
+        n,
+        nnz,
+        rank: 8,
+        seed: 7,
+        ..Default::default()
+    }
+    .generate();
     let r = data.to_csr();
     let theta = FactorMatrix::random(n as usize, 32, 0.2, 3);
     (r, theta)

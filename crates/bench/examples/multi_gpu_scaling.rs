@@ -20,7 +20,11 @@ fn main() {
     // A scaled YahooMusic-like data set (Table 5) so the item side is wide
     // enough for data parallelism to matter.
     let spec = PaperDataset::YahooMusic.spec().scaled(0.004);
-    let data = SyntheticConfig { rank: 8, ..SyntheticConfig::from_spec(&spec, 99) }.generate();
+    let data = SyntheticConfig {
+        rank: 8,
+        ..SyntheticConfig::from_spec(&spec, 99)
+    }
+    .generate();
     let ratings = data.to_csr();
     println!(
         "workload: m = {}, n = {}, Nz = {}, f = 32\n",
@@ -29,7 +33,12 @@ fn main() {
         ratings.nnz()
     );
 
-    let als = AlsConfig { f: 32, lambda: 1.4, iterations: 3, ..Default::default() };
+    let als = AlsConfig {
+        f: 32,
+        lambda: 1.4,
+        iterations: 3,
+        ..Default::default()
+    };
     let iterations = als.iterations;
 
     let mut single_gpu_time = None;

@@ -57,7 +57,13 @@ fn main() {
     let q = cost.plan_x.q.max(2);
     let per_batch_compute = (cost.get_hermitian_s + cost.batch_solve_s) / (2.0 * q as f64);
     let per_batch_transfer = per_batch_compute * 0.6; // R block streaming at 25 GB/s
-    let batches = vec![BatchCost { transfer_s: per_batch_transfer, compute_s: per_batch_compute }; q];
+    let batches = vec![
+        BatchCost {
+            transfer_s: per_batch_transfer,
+            compute_s: per_batch_compute
+        };
+        q
+    ];
     println!(
         "out-of-core pipeline over q = {q} batches: serial {:.0} s, prefetched {:.0} s ({:.0} % of transfers hidden)",
         pipeline_time(&batches, false),
@@ -66,9 +72,21 @@ fn main() {
     );
 
     // --- 3. Checkpoint / restart -------------------------------------------
-    let data = SyntheticConfig { m: 400, n: 200, nnz: 12_000, rank: 6, ..Default::default() }.generate();
+    let data = SyntheticConfig {
+        m: 400,
+        n: 200,
+        nnz: 12_000,
+        rank: 6,
+        ..Default::default()
+    }
+    .generate();
     let ratings = data.to_csr();
-    let config = AlsConfig { f: 16, lambda: 0.05, iterations: 6, ..Default::default() };
+    let config = AlsConfig {
+        f: 16,
+        lambda: 0.05,
+        iterations: 6,
+        ..Default::default()
+    };
     let dir = std::env::temp_dir().join(format!("cumf_oocore_example_{}", std::process::id()));
     let manager = CheckpointManager::new(&dir).expect("create checkpoint dir");
 
@@ -77,21 +95,34 @@ fn main() {
     for iter in 1..=3u64 {
         engine.iterate();
         manager
-            .save(&Checkpoint { iteration: iter, x: engine.x().clone(), theta: engine.theta().clone() })
+            .save(&Checkpoint {
+                iteration: iter,
+                x: engine.x().clone(),
+                theta: engine.theta().clone(),
+            })
             .expect("checkpoint");
     }
     let rmse_at_crash = engine.train_rmse();
     drop(engine);
 
     // Restart from the latest checkpoint and finish the remaining iterations.
-    let latest = manager.load_latest().expect("read checkpoints").expect("checkpoint exists");
-    println!("\nrestarting from checkpoint after iteration {} (train RMSE {:.4})", latest.iteration, rmse_at_crash);
+    let latest = manager
+        .load_latest()
+        .expect("read checkpoints")
+        .expect("checkpoint exists");
+    println!(
+        "\nrestarting from checkpoint after iteration {} (train RMSE {:.4})",
+        latest.iteration, rmse_at_crash
+    );
     let mut resumed = BaseAls::new(config, ratings);
     resumed.set_factors(latest.x, latest.theta);
     for _ in latest.iteration as usize..6 {
         resumed.iterate();
     }
-    println!("after resuming to iteration 6: train RMSE {:.4}", resumed.train_rmse());
+    println!(
+        "after resuming to iteration 6: train RMSE {:.4}",
+        resumed.train_rmse()
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -32,11 +32,19 @@ fn main() {
         split.train.nnz(),
         split.test.len()
     );
-    println!("noise-floor RMSE of the generating model: {:.4}\n", data.noise_floor_rmse());
+    println!(
+        "noise-floor RMSE of the generating model: {:.4}\n",
+        data.noise_floor_rmse()
+    );
 
     // 2. Configure ALS the way the paper does (weighted-λ regularization),
     //    with a modest rank for a quick run.
-    let config = AlsConfig { f: 16, lambda: 0.05, iterations: 8, ..Default::default() };
+    let config = AlsConfig {
+        f: 16,
+        lambda: 0.05,
+        iterations: 8,
+        ..Default::default()
+    };
 
     // 3. Train on the memory-optimized single-GPU engine (MO-ALS).
     let mut model = MatrixFactorizer::new(config, Backend::single_gpu());

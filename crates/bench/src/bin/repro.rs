@@ -26,15 +26,64 @@
 use cumf_bench::experiments as exp;
 use cumf_bench::experiments::ExperimentConfig;
 
+const USAGE: &str = "\
+repro — regenerates every table and figure of the cuMF paper
+
+usage: repro [experiment] [--quick]
+
+experiments:
+  table1      speed & cost vs NOMAD / SparkALS / Factorbird
+  table3      analytic compute cost & memory footprint (update-X)
+  table4      programmable GPU memory characteristics
+  table5      data set descriptors
+  fig2        scale of MF data sets
+  fig6        convergence: cuMF vs NOMAD vs libMF (Netflix, YahooMusic)
+  fig7        register-memory ablation
+  fig8        texture-memory ablation
+  fig9        multi-GPU scalability
+  fig10       Hugewiki: cuMF@4GPU vs multi-node NOMAD
+  fig11       very large data sets: per-iteration time vs original systems
+  reduction   §4.2 parallel-reduction ablation
+  bin         §3.3 shared-memory bin-size ablation
+  all         everything above (the default)
+
+flags:
+  --quick     shrink the convergence runs (used by CI / smoke tests)
+  -h, --help  print this help";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
-    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
-    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let cfg = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
 
     let known = [
-        "table1", "table3", "table4", "table5", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "fig11", "reduction", "bin", "all",
+        "table1",
+        "table3",
+        "table4",
+        "table5",
+        "fig2",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "reduction",
+        "bin",
+        "all",
     ];
     if !known.contains(&which.as_str()) {
         eprintln!("unknown experiment '{which}'; known: {}", known.join(", "));
@@ -56,20 +105,32 @@ fn main() {
         print_table3();
     }
     if run("fig6") {
-        print_figures("Figure 6: cuMF (1 GPU) vs NOMAD and libMF (30 cores)", &exp::fig6(&cfg));
+        print_figures(
+            "Figure 6: cuMF (1 GPU) vs NOMAD and libMF (30 cores)",
+            &exp::fig6(&cfg),
+        );
     }
     if run("fig7") {
-        print_figures("Figure 7: convergence with / without register accumulation", &exp::fig7(&cfg));
+        print_figures(
+            "Figure 7: convergence with / without register accumulation",
+            &exp::fig7(&cfg),
+        );
     }
     if run("fig8") {
-        print_figures("Figure 8: convergence with / without texture memory", &exp::fig8(&cfg));
+        print_figures(
+            "Figure 8: convergence with / without texture memory",
+            &exp::fig8(&cfg),
+        );
     }
     if run("fig9") {
         print_figures("Figure 9: convergence on 1 / 2 / 4 GPUs", &exp::fig9(&cfg));
         print_fig9_speedups();
     }
     if run("fig10") {
-        print_figures("Figure 10: Hugewiki — cuMF@4GPU vs multi-node NOMAD", &[exp::fig10(&cfg)]);
+        print_figures(
+            "Figure 10: Hugewiki — cuMF@4GPU vs multi-node NOMAD",
+            &[exp::fig10(&cfg)],
+        );
     }
     if run("fig11") {
         print_fig11();
@@ -93,7 +154,10 @@ fn hr(title: &str) {
 
 fn print_table5() {
     hr("Table 5: data sets");
-    println!("{:<15} {:>13} {:>12} {:>15} {:>5} {:>6}", "name", "m", "n", "Nz", "f", "lambda");
+    println!(
+        "{:<15} {:>13} {:>12} {:>15} {:>5} {:>6}",
+        "name", "m", "n", "Nz", "f", "lambda"
+    );
     for d in exp::table5() {
         println!(
             "{:<15} {:>13} {:>12} {:>15} {:>5} {:>6.2}",
@@ -104,7 +168,10 @@ fn print_table5() {
 
 fn print_fig2() {
     hr("Figure 2: the scale of MF data sets (model parameters vs ratings)");
-    println!("{:<15} {:>20} {:>16}", "name", "(m+n)*f parameters", "Nz ratings");
+    println!(
+        "{:<15} {:>20} {:>16}",
+        "name", "(m+n)*f parameters", "Nz ratings"
+    );
     for p in exp::fig2() {
         println!("{:<15} {:>20} {:>16}", p.name, p.model_parameters, p.nz);
     }
@@ -112,9 +179,15 @@ fn print_fig2() {
 
 fn print_table4() {
     hr("Table 4: programmable GPU memory");
-    println!("{:<10} {:<8} {:<8} {}", "memory", "size", "latency", "scope");
+    println!("{:<10} {:<8} {:<8} scope", "memory", "size", "latency");
     for row in exp::table4() {
-        println!("{:<10} {:<8} {:<8} {}", format!("{:?}", row.kind), row.size, row.latency, row.scope);
+        println!(
+            "{:<10} {:<8} {:<8} {}",
+            format!("{:?}", row.kind),
+            row.size,
+            row.latency,
+            row.scope
+        );
     }
 }
 
@@ -166,9 +239,15 @@ fn print_figures(title: &str, figures: &[exp::Figure]) {
 
 fn print_fig9_speedups() {
     println!("\nper-iteration speedups (full-scale cost model):");
-    for ds in [cumf_data::datasets::PaperDataset::Netflix, cumf_data::datasets::PaperDataset::YahooMusic] {
+    for ds in [
+        cumf_data::datasets::PaperDataset::Netflix,
+        cumf_data::datasets::PaperDataset::YahooMusic,
+    ] {
         let speedups = exp::fig9_speedups(ds);
-        let s: Vec<String> = speedups.iter().map(|(g, s)| format!("{g} GPU = {s:.2}x")).collect();
+        let s: Vec<String> = speedups
+            .iter()
+            .map(|(g, s)| format!("{g} GPU = {s:.2}x"))
+            .collect();
         println!("  {:<12} {}", ds.spec().name, s.join(", "));
     }
 }
@@ -185,7 +264,9 @@ fn print_fig11() {
             row.workload,
             row.baseline.name(),
             row.baseline_model_s,
-            row.baseline_published_s.map(|s| format!("{s:.0} s")).unwrap_or_else(|| "-".into()),
+            row.baseline_published_s
+                .map(|s| format!("{s:.0} s"))
+                .unwrap_or_else(|| "-".into()),
             row.cumf_s,
             row.cumf_published_s,
         );
@@ -218,20 +299,32 @@ fn print_reduction() {
     println!("{:<28} {:<12} {:>12}", "scheme", "topology", "seconds");
     let rows = exp::reduction_ablation();
     for row in &rows {
-        println!("{:<28} {:<12} {:>12.4}", row.scheme, row.topology, row.seconds);
+        println!(
+            "{:<28} {:<12} {:>12.4}",
+            row.scheme, row.topology, row.seconds
+        );
     }
     let single = rows[0].seconds;
     let one_flat = rows[1].seconds;
     let one_dual = rows[2].seconds;
     let two_dual = rows[3].seconds;
-    println!("\none-phase vs reduce-on-one-GPU: {:.2}x (paper: 1.7x)", single / one_flat);
-    println!("two-phase vs one-phase (dual socket): {:.2}x (paper: 1.5x)", one_dual / two_dual);
+    println!(
+        "\none-phase vs reduce-on-one-GPU: {:.2}x (paper: 1.7x)",
+        single / one_flat
+    );
+    println!(
+        "two-phase vs one-phase (dual socket): {:.2}x (paper: 1.5x)",
+        one_dual / two_dual
+    );
 }
 
 fn print_bin() {
     hr("§3.3 ablation: shared-memory bin size (Netflix, f = 100)");
     println!("{:<6} {:>11} {:>16}", "bin", "occupancy", "iteration (s)");
     for row in exp::bin_ablation() {
-        println!("{:<6} {:>10.3} {:>15.3}", row.bin, row.occupancy, row.iteration_s);
+        println!(
+            "{:<6} {:>10.3} {:>15.3}",
+            row.bin, row.occupancy, row.iteration_s
+        );
     }
 }

@@ -7,9 +7,9 @@
 //! cost model (`cumf_core::costmodel`) and the cluster cost model
 //! (`cumf_cluster::models`).
 
-use cumf_baselines::{LibMfSgd, MfSolver, NomadSgd};
 use cumf_baselines::libmf::LibMfConfig;
 use cumf_baselines::nomad::NomadConfig;
+use cumf_baselines::{LibMfSgd, MfSolver, NomadSgd};
 use cumf_cluster::models::BaselineSystem;
 use cumf_cluster::pricing::CostComparison;
 use cumf_core::als::mo::side_update_time;
@@ -100,7 +100,10 @@ impl ConvergenceSeries {
 
     /// First time at which the series reaches `target` RMSE, if ever.
     pub fn time_to_rmse(&self, target: f64) -> Option<f64> {
-        self.points.iter().find(|p| p.rmse <= target).map(|p| p.time_s)
+        self.points
+            .iter()
+            .find(|p| p.rmse <= target)
+            .map(|p| p.time_s)
     }
 }
 
@@ -128,9 +131,20 @@ pub fn als_rmse_trajectory(
     seed: u64,
 ) -> Vec<f64> {
     let scaled = spec.scaled(scale);
-    let data = SyntheticConfig { rank: 8, noise_std: 0.3, ..SyntheticConfig::from_spec(&scaled, seed) }.generate();
+    let data = SyntheticConfig {
+        rank: 8,
+        noise_std: 0.3,
+        ..SyntheticConfig::from_spec(&scaled, seed)
+    }
+    .generate();
     let split = train_test_split(&data.ratings, 0.1, seed);
-    let config = AlsConfig { f: f_run, lambda, iterations, track_rmse: false, ..Default::default() };
+    let config = AlsConfig {
+        f: f_run,
+        lambda,
+        iterations,
+        track_rmse: false,
+        ..Default::default()
+    };
     let mut engine = BaseAls::new(config, split.train.clone());
     let mut out = Vec::with_capacity(iterations);
     for _ in 0..iterations {
@@ -152,15 +166,32 @@ pub fn sgd_rmse_trajectory(
     seed: u64,
 ) -> Vec<f64> {
     let scaled = spec.scaled(scale);
-    let data = SyntheticConfig { rank: 8, noise_std: 0.3, ..SyntheticConfig::from_spec(&scaled, seed) }.generate();
+    let data = SyntheticConfig {
+        rank: 8,
+        noise_std: 0.3,
+        ..SyntheticConfig::from_spec(&scaled, seed)
+    }
+    .generate();
     let split = train_test_split(&data.ratings, 0.1, seed);
     let mut solver: Box<dyn MfSolver> = match solver_kind {
         SgdBaselineKind::LibMf => Box::new(LibMfSgd::new(
-            LibMfConfig { f: f_run, lambda, threads: 4, seed, ..Default::default() },
+            LibMfConfig {
+                f: f_run,
+                lambda,
+                threads: 4,
+                seed,
+                ..Default::default()
+            },
             &split.train,
         )),
         SgdBaselineKind::Nomad => Box::new(NomadSgd::new(
-            NomadConfig { f: f_run, lambda, workers: 4, seed, ..Default::default() },
+            NomadConfig {
+                f: f_run,
+                lambda,
+                workers: 4,
+                seed,
+                ..Default::default()
+            },
             &split.train,
         )),
     };
@@ -181,20 +212,31 @@ pub enum SgdBaselineKind {
     Nomad,
 }
 
-fn series_from_trajectory(label: &str, rmse: &[f64], seconds_per_iteration: f64) -> ConvergenceSeries {
+fn series_from_trajectory(
+    label: &str,
+    rmse: &[f64],
+    seconds_per_iteration: f64,
+) -> ConvergenceSeries {
     ConvergenceSeries {
         label: label.to_string(),
         points: rmse
             .iter()
             .enumerate()
-            .map(|(i, &r)| ConvergencePoint { time_s: (i + 1) as f64 * seconds_per_iteration, rmse: r })
+            .map(|(i, &r)| ConvergencePoint {
+                time_s: (i + 1) as f64 * seconds_per_iteration,
+                rmse: r,
+            })
             .collect(),
     }
 }
 
 /// Full-scale per-iteration time of cuMF on `n_gpus` Titan X cards for the
 /// given data set at the paper's `f`.
-pub fn cumf_full_scale_iteration_s(spec: &DatasetSpec, n_gpus: usize, opts: MemoryOptConfig) -> f64 {
+pub fn cumf_full_scale_iteration_s(
+    spec: &DatasetSpec,
+    n_gpus: usize,
+    opts: MemoryOptConfig,
+) -> f64 {
     let dims = ProblemDims::new(spec.m, spec.n, spec.nz, spec.f as u64);
     let mut cluster = ClusterConfig::titan_x(n_gpus);
     cluster.opts = opts;
@@ -222,7 +264,11 @@ pub fn fig2() -> Vec<Fig2Point> {
         .iter()
         .map(|d| {
             let s = d.spec();
-            Fig2Point { name: s.name, model_parameters: s.model_parameters(), nz: s.nz }
+            Fig2Point {
+                name: s.name,
+                model_parameters: s.model_parameters(),
+                nz: s.nz,
+            }
         })
         .collect()
 }
@@ -240,7 +286,13 @@ pub fn table5() -> Vec<DatasetSpec> {
 /// Table 3 instantiated for a named data set at the paper's `f`.
 pub fn table3_for(dataset: PaperDataset, batch: u64) -> [Table3Row; 3] {
     let s = dataset.spec();
-    table3(s.m as f64, s.n as f64, s.nz as f64, s.f as f64, batch as f64)
+    table3(
+        s.m as f64,
+        s.n as f64,
+        s.nz as f64,
+        s.f as f64,
+        batch as f64,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -256,16 +308,40 @@ pub fn fig6(cfg: &ExperimentConfig) -> Vec<Figure> {
         (PaperDataset::YahooMusic, cfg.yahoo_scale),
     ] {
         let spec = dataset.spec();
-        let als_rmse =
-            als_rmse_trajectory(&spec, scale, cfg.f_run, spec.lambda, cfg.als_iterations, cfg.seed);
+        let als_rmse = als_rmse_trajectory(
+            &spec,
+            scale,
+            cfg.f_run,
+            spec.lambda,
+            cfg.als_iterations,
+            cfg.seed,
+        );
         let libmf_rmse = sgd_rmse_trajectory(
-            SgdBaselineKind::LibMf, &spec, scale, cfg.f_run, spec.lambda, cfg.sgd_epochs, cfg.seed);
+            SgdBaselineKind::LibMf,
+            &spec,
+            scale,
+            cfg.f_run,
+            spec.lambda,
+            cfg.sgd_epochs,
+            cfg.seed,
+        );
         let nomad_rmse = sgd_rmse_trajectory(
-            SgdBaselineKind::Nomad, &spec, scale, cfg.f_run, spec.lambda, cfg.sgd_epochs, cfg.seed);
+            SgdBaselineKind::Nomad,
+            &spec,
+            scale,
+            cfg.f_run,
+            spec.lambda,
+            cfg.sgd_epochs,
+            cfg.seed,
+        );
 
         let cumf_iter_s = cumf_full_scale_iteration_s(&spec, 1, MemoryOptConfig::optimized());
-        let libmf_epoch_s = BaselineSystem::LibMfSingle30.iteration_time(&spec, spec.f).total_s();
-        let nomad_epoch_s = BaselineSystem::NomadSingle30.iteration_time(&spec, spec.f).total_s();
+        let libmf_epoch_s = BaselineSystem::LibMfSingle30
+            .iteration_time(&spec, spec.f)
+            .total_s();
+        let nomad_epoch_s = BaselineSystem::NomadSingle30
+            .iteration_time(&spec, spec.f)
+            .total_s();
 
         figures.push(Figure {
             title: format!("Figure 6 ({})", spec.name),
@@ -288,11 +364,18 @@ pub fn fig6(cfg: &ExperimentConfig) -> Vec<Figure> {
 /// and the ablated configuration.
 pub fn memory_opt_ablation(cfg: &ExperimentConfig, ablate_registers: bool) -> Vec<Figure> {
     let (label_off, off_opts) = if ablate_registers {
-        ("cuMF without registers", MemoryOptConfig::without_registers())
+        (
+            "cuMF without registers",
+            MemoryOptConfig::without_registers(),
+        )
     } else {
         ("cuMF without texture", MemoryOptConfig::without_texture())
     };
-    let figure_name = if ablate_registers { "Figure 7" } else { "Figure 8" };
+    let figure_name = if ablate_registers {
+        "Figure 7"
+    } else {
+        "Figure 8"
+    };
 
     let mut figures = Vec::new();
     for (dataset, scale) in [
@@ -300,8 +383,14 @@ pub fn memory_opt_ablation(cfg: &ExperimentConfig, ablate_registers: bool) -> Ve
         (PaperDataset::YahooMusic, cfg.yahoo_scale),
     ] {
         let spec = dataset.spec();
-        let rmse =
-            als_rmse_trajectory(&spec, scale, cfg.f_run, spec.lambda, cfg.als_iterations, cfg.seed);
+        let rmse = als_rmse_trajectory(
+            &spec,
+            scale,
+            cfg.f_run,
+            spec.lambda,
+            cfg.als_iterations,
+            cfg.seed,
+        );
         let on_s = cumf_full_scale_iteration_s(&spec, 1, MemoryOptConfig::optimized());
         let off_s = cumf_full_scale_iteration_s(&spec, 1, off_opts);
         figures.push(Figure {
@@ -337,16 +426,29 @@ pub fn fig9(cfg: &ExperimentConfig) -> Vec<Figure> {
         (PaperDataset::YahooMusic, cfg.yahoo_scale),
     ] {
         let spec = dataset.spec();
-        let rmse =
-            als_rmse_trajectory(&spec, scale, cfg.f_run, spec.lambda, cfg.als_iterations, cfg.seed);
+        let rmse = als_rmse_trajectory(
+            &spec,
+            scale,
+            cfg.f_run,
+            spec.lambda,
+            cfg.als_iterations,
+            cfg.seed,
+        );
         let series = [1usize, 2, 4]
             .iter()
             .map(|&g| {
                 let t = cumf_full_scale_iteration_s(&spec, g, MemoryOptConfig::optimized());
-                series_from_trajectory(&format!("cuMF ({g} GPU{})", if g > 1 { "s" } else { "" }), &rmse, t)
+                series_from_trajectory(
+                    &format!("cuMF ({g} GPU{})", if g > 1 { "s" } else { "" }),
+                    &rmse,
+                    t,
+                )
             })
             .collect();
-        figures.push(Figure { title: format!("Figure 9 ({})", spec.name), series });
+        figures.push(Figure {
+            title: format!("Figure 9 ({})", spec.name),
+            series,
+        });
     }
     figures
 }
@@ -358,7 +460,12 @@ pub fn fig9_speedups(dataset: PaperDataset) -> Vec<(usize, f64)> {
     let t1 = cumf_full_scale_iteration_s(&spec, 1, MemoryOptConfig::optimized());
     [1usize, 2, 4]
         .iter()
-        .map(|&g| (g, t1 / cumf_full_scale_iteration_s(&spec, g, MemoryOptConfig::optimized())))
+        .map(|&g| {
+            (
+                g,
+                t1 / cumf_full_scale_iteration_s(&spec, g, MemoryOptConfig::optimized()),
+            )
+        })
         .collect()
 }
 
@@ -371,14 +478,31 @@ pub fn fig9_speedups(dataset: PaperDataset) -> Vec<(usize, f64)> {
 pub fn fig10(cfg: &ExperimentConfig) -> Figure {
     let spec = PaperDataset::Hugewiki.spec();
     let als_rmse = als_rmse_trajectory(
-        &spec, cfg.hugewiki_scale, cfg.f_run, spec.lambda, cfg.als_iterations, cfg.seed);
+        &spec,
+        cfg.hugewiki_scale,
+        cfg.f_run,
+        spec.lambda,
+        cfg.als_iterations,
+        cfg.seed,
+    );
     let nomad_rmse = sgd_rmse_trajectory(
-        SgdBaselineKind::Nomad, &spec, cfg.hugewiki_scale, cfg.f_run, spec.lambda, cfg.sgd_epochs, cfg.seed);
+        SgdBaselineKind::Nomad,
+        &spec,
+        cfg.hugewiki_scale,
+        cfg.f_run,
+        spec.lambda,
+        cfg.sgd_epochs,
+        cfg.seed,
+    );
 
     let dims = ProblemDims::new(spec.m, spec.n, spec.nz, spec.f as u64);
     let cumf_s = cumf_iteration_cost(&dims, &ClusterConfig::four_k80()).total_s();
-    let hpc_s = BaselineSystem::NomadHpc64.iteration_time(&spec, spec.f).total_s();
-    let aws_s = BaselineSystem::NomadAws32.iteration_time(&spec, spec.f).total_s();
+    let hpc_s = BaselineSystem::NomadHpc64
+        .iteration_time(&spec, spec.f)
+        .total_s();
+    let aws_s = BaselineSystem::NomadAws32
+        .iteration_time(&spec, spec.f)
+        .total_s();
 
     Figure {
         title: "Figure 10 (Hugewiki)".to_string(),
@@ -442,8 +566,16 @@ pub fn fig11() -> Vec<LargeScaleRow> {
     vec![
         entry(PaperDataset::SparkAls, BaselineSystem::SparkAls50, 24.0),
         entry(PaperDataset::Factorbird, BaselineSystem::Factorbird50, 92.0),
-        entry(PaperDataset::Facebook, BaselineSystem::FacebookGiraph50, 746.0),
-        entry(PaperDataset::CumfLargest, BaselineSystem::FacebookGiraph50, 3.8 * 3600.0),
+        entry(
+            PaperDataset::Facebook,
+            BaselineSystem::FacebookGiraph50,
+            746.0,
+        ),
+        entry(
+            PaperDataset::CumfLargest,
+            BaselineSystem::FacebookGiraph50,
+            3.8 * 3600.0,
+        ),
     ]
 }
 
@@ -456,7 +588,8 @@ pub fn table1() -> Vec<CostComparison> {
     // exhibits).
     let hugewiki = PaperDataset::Hugewiki.spec();
     let dims = ProblemDims::new(hugewiki.m, hugewiki.n, hugewiki.nz, hugewiki.f as u64);
-    let cumf_hugewiki_total = cumf_iteration_cost(&dims, &ClusterConfig::four_k80()).total_s() * 10.0;
+    let cumf_hugewiki_total =
+        cumf_iteration_cost(&dims, &ClusterConfig::four_k80()).total_s() * 10.0;
     let nomad_aws = BaselineSystem::NomadAws32;
     let nomad_total = nomad_aws.iteration_time(&hugewiki, hugewiki.f).total_s() * 40.0;
 
@@ -467,7 +600,12 @@ pub fn table1() -> Vec<CostComparison> {
     let spark_dims = ProblemDims::new(spark.m, spark.n, spark.nz, spark.f as u64);
     let cumf_spark = cumf_iteration_cost(&spark_dims, &ClusterConfig::four_k80()).total_s();
     let factorbird = PaperDataset::Factorbird.spec();
-    let fb_dims = ProblemDims::new(factorbird.m, factorbird.n, factorbird.nz, factorbird.f as u64);
+    let fb_dims = ProblemDims::new(
+        factorbird.m,
+        factorbird.n,
+        factorbird.nz,
+        factorbird.f as u64,
+    );
     let cumf_fb = cumf_iteration_cost(&fb_dims, &ClusterConfig::four_k80()).total_s();
 
     vec![
@@ -485,7 +623,9 @@ pub fn table1() -> Vec<CostComparison> {
             baseline_node: "m3.2xlarge".into(),
             baseline_nodes: 50,
             baseline_price_per_hour: BaselineSystem::SparkAls50.cluster().node.price_per_hour,
-            baseline_seconds: BaselineSystem::SparkAls50.iteration_time(&spark, spark.f).total_s(),
+            baseline_seconds: BaselineSystem::SparkAls50
+                .iteration_time(&spark, spark.f)
+                .total_s(),
             cumf_price_per_hour: cumf_price,
             cumf_seconds: cumf_spark,
         },
@@ -576,16 +716,39 @@ pub fn bin_ablation() -> Vec<BinAblationRow> {
     [5u32, 10, 20, 30, 40, 60, 80, 100]
         .iter()
         .map(|&bin| {
-            let opts = MemoryOptConfig { bin, ..MemoryOptConfig::optimized() };
+            let opts = MemoryOptConfig {
+                bin,
+                ..MemoryOptConfig::optimized()
+            };
             let occ = Occupancy::compute(
                 &spec,
                 100,
                 mo_als_regs_per_thread(100, true),
                 mo_als_shared_bytes(100, bin),
             );
-            let x = side_update_time(&spec, &timing, netflix.m as f64, netflix.nz as f64, netflix.n as f64, 100, &opts);
-            let t = side_update_time(&spec, &timing, netflix.n as f64, netflix.nz as f64, netflix.m as f64, 100, &opts);
-            BinAblationRow { bin, occupancy: occ.occupancy, iteration_s: x.total() + t.total() }
+            let x = side_update_time(
+                &spec,
+                &timing,
+                netflix.m as f64,
+                netflix.nz as f64,
+                netflix.n as f64,
+                100,
+                &opts,
+            );
+            let t = side_update_time(
+                &spec,
+                &timing,
+                netflix.n as f64,
+                netflix.nz as f64,
+                netflix.m as f64,
+                100,
+                &opts,
+            );
+            BinAblationRow {
+                bin,
+                occupancy: occ.occupancy,
+                iteration_s: x.total() + t.total(),
+            }
         })
         .collect()
 }
@@ -627,8 +790,14 @@ mod tests {
         // (the paper reports 2.5x on Netflix, 1.7x on YahooMusic).  The
         // secondary Netflix-vs-YahooMusic asymmetry is weaker in our traffic
         // model (see EXPERIMENTS.md), so only require it not to invert badly.
-        assert!(netflix_penalty > 1.3, "Netflix register penalty {netflix_penalty}");
-        assert!(yahoo_penalty > 1.3, "YahooMusic register penalty {yahoo_penalty}");
+        assert!(
+            netflix_penalty > 1.3,
+            "Netflix register penalty {netflix_penalty}"
+        );
+        assert!(
+            yahoo_penalty > 1.3,
+            "YahooMusic register penalty {yahoo_penalty}"
+        );
         assert!(
             netflix_penalty > 0.8 * yahoo_penalty,
             "Netflix ({netflix_penalty}) should not be hurt much less than YahooMusic ({yahoo_penalty})"
@@ -648,12 +817,30 @@ mod tests {
     fn fig11_cumf_beats_sparkals_and_factorbird() {
         let rows = fig11();
         let spark = rows.iter().find(|r| r.workload == "SparkALS").unwrap();
-        assert!(spark.modelled_speedup() > 3.0, "SparkALS speedup {}", spark.modelled_speedup());
+        assert!(
+            spark.modelled_speedup() > 3.0,
+            "SparkALS speedup {}",
+            spark.modelled_speedup()
+        );
         let fb = rows.iter().find(|r| r.workload == "Factorbird").unwrap();
-        assert!(fb.modelled_speedup() > 2.0, "Factorbird speedup {}", fb.modelled_speedup());
+        assert!(
+            fb.modelled_speedup() > 2.0,
+            "Factorbird speedup {}",
+            fb.modelled_speedup()
+        );
         // The f=100 run is the most expensive single workload.
-        let largest = rows.iter().find(|r| r.workload == "cuMF (largest)").unwrap();
-        assert!(largest.cumf_s > rows.iter().find(|r| r.workload == "Facebook").unwrap().cumf_s);
+        let largest = rows
+            .iter()
+            .find(|r| r.workload == "cuMF (largest)")
+            .unwrap();
+        assert!(
+            largest.cumf_s
+                > rows
+                    .iter()
+                    .find(|r| r.workload == "Facebook")
+                    .unwrap()
+                    .cumf_s
+        );
     }
 
     #[test]
@@ -662,7 +849,12 @@ mod tests {
         // multiples shift, but every row must show cuMF costing a small
         // fraction of the baseline.
         for row in table1() {
-            assert!(row.speedup() > 2.0, "{}: speedup {}", row.baseline_name, row.speedup());
+            assert!(
+                row.speedup() > 2.0,
+                "{}: speedup {}",
+                row.baseline_name,
+                row.speedup()
+            );
             assert!(
                 row.cost_fraction() < 0.2,
                 "{}: cost fraction {}",
@@ -676,14 +868,23 @@ mod tests {
     fn reduction_ablation_matches_the_papers_ordering() {
         let rows = reduction_ablation();
         let get = |scheme: &str, topo: &str| {
-            rows.iter().find(|r| r.scheme == scheme && r.topology == topo).unwrap().seconds
+            rows.iter()
+                .find(|r| r.scheme == scheme && r.topology == topo)
+                .unwrap()
+                .seconds
         };
         let single = get("reduce on one GPU", "flat PCIe");
         let one_flat = get("one-phase parallel", "flat PCIe");
         let one_dual = get("one-phase parallel", "dual socket");
         let two_dual = get("two-phase topology-aware", "dual socket");
-        assert!(single / one_flat > 1.5, "parallel reduction should be >1.5x faster");
-        assert!(one_dual / two_dual > 1.2, "two-phase should be >1.2x faster on dual socket");
+        assert!(
+            single / one_flat > 1.5,
+            "parallel reduction should be >1.5x faster"
+        );
+        assert!(
+            one_dual / two_dual > 1.2,
+            "two-phase should be >1.2x faster on dual socket"
+        );
     }
 
     #[test]
@@ -704,7 +905,12 @@ mod tests {
         for fig in &figures {
             assert_eq!(fig.series.len(), 3);
             let cumf = &fig.series[0];
-            assert!(cumf.final_rmse() < 1.5, "{}: cuMF rmse {}", fig.title, cumf.final_rmse());
+            assert!(
+                cumf.final_rmse() < 1.5,
+                "{}: cuMF rmse {}",
+                fig.title,
+                cumf.final_rmse()
+            );
             for s in &fig.series {
                 assert!(s.points.windows(2).all(|w| w[1].time_s > w[0].time_s));
             }
@@ -721,9 +927,18 @@ mod tests {
         let spec = PaperDataset::Hugewiki.spec();
         let dims = ProblemDims::new(spec.m, spec.n, spec.nz, spec.f as u64);
         let cumf_total = cumf_iteration_cost(&dims, &ClusterConfig::four_k80()).total_s() * 10.0;
-        let aws_total = BaselineSystem::NomadAws32.iteration_time(&spec, spec.f).total_s() * 40.0;
-        let hpc_total = BaselineSystem::NomadHpc64.iteration_time(&spec, spec.f).total_s() * 40.0;
-        assert!(aws_total > cumf_total * 2.0, "cuMF {cumf_total} s vs NOMAD-AWS {aws_total} s");
+        let aws_total = BaselineSystem::NomadAws32
+            .iteration_time(&spec, spec.f)
+            .total_s()
+            * 40.0;
+        let hpc_total = BaselineSystem::NomadHpc64
+            .iteration_time(&spec, spec.f)
+            .total_s()
+            * 40.0;
+        assert!(
+            aws_total > cumf_total * 2.0,
+            "cuMF {cumf_total} s vs NOMAD-AWS {aws_total} s"
+        );
         assert!(
             hpc_total > cumf_total * 0.2 && hpc_total < cumf_total * 5.0,
             "cuMF {cumf_total} s should be in the same ballpark as NOMAD-HPC {hpc_total} s"

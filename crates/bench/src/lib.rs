@@ -1,10 +1,28 @@
-//! Benchmark and reproduction harness for cumf-rs.
+//! Benchmark and reproduction harness for `cumf-rs`.
 //!
-//! The [`experiments`] module contains one function per table/figure of the
-//! cuMF paper; each returns structured data.  The `repro` binary prints them
-//! as text tables, the criterion benches under `benches/` measure the
-//! underlying kernels on real (scaled-down) workloads, and `EXPERIMENTS.md`
-//! records paper-reported vs reproduced values.
+//! This crate is the top of the dependency DAG: it pulls every other
+//! `cumf-*` crate together and turns them into the paper's evaluation.
+//!
+//! * [`experiments`] — one function per table/figure of the cuMF paper
+//!   ([`experiments::table1`], [`experiments::fig6`] … [`experiments::fig11`],
+//!   plus the §4.2 [`experiments::reduction_ablation`] and §3.3
+//!   [`experiments::bin_ablation`]).  Each returns structured data
+//!   (convergence series, cost rows) rather than printing, so tests and
+//!   future tooling can assert on the numbers.
+//! * `src/bin/repro.rs` — the `repro` binary: prints any experiment (or
+//!   `all`) as text tables; `--quick` shrinks the convergence runs for CI.
+//! * `benches/` — criterion micro-benchmarks of the ALS kernels, the MO-ALS
+//!   and SU-ALS engines, the CPU baselines, and end-to-end figure
+//!   regeneration, on real (scaled-down) workloads.
+//! * `examples/` — runnable walkthroughs of the public API: `quickstart`,
+//!   `movie_recommender`, `multi_gpu_scaling`, `out_of_core_planning`.
+//! * `tests/` — the workspace's end-to-end integration tests (full
+//!   train/evaluate cycles and experiment smoke runs).
+//!
+//! Scaled-down convergence runs are *numerically real* (the solvers execute
+//! on the host); wall-clock numbers at paper scale come from the analytic
+//! cost models in `cumf-core` and `cumf-cluster`, priced with the simulated
+//! hardware in `cumf-gpu-sim`.
 
 pub mod experiments;
 

@@ -10,7 +10,12 @@ use cumf_data::train_test_split;
 
 fn netflix_like() -> (cumf_sparse::Csr, Vec<cumf_sparse::Entry>, f64) {
     let spec = PaperDataset::Netflix.spec().scaled(0.003);
-    let data = SyntheticConfig { rank: 8, noise_std: 0.25, ..SyntheticConfig::from_spec(&spec, 71) }.generate();
+    let data = SyntheticConfig {
+        rank: 8,
+        noise_std: 0.25,
+        ..SyntheticConfig::from_spec(&spec, 71)
+    }
+    .generate();
     let noise_floor = data.noise_floor_rmse();
     let split = train_test_split(&data.ratings, 0.1, 71);
     (split.train, split.test, noise_floor)
@@ -19,7 +24,12 @@ fn netflix_like() -> (cumf_sparse::Csr, Vec<cumf_sparse::Entry>, f64) {
 #[test]
 fn full_pipeline_reaches_near_noise_floor_rmse() {
     let (train, test, noise_floor) = netflix_like();
-    let config = AlsConfig { f: 24, lambda: 0.05, iterations: 8, ..Default::default() };
+    let config = AlsConfig {
+        f: 24,
+        lambda: 0.05,
+        iterations: 8,
+        ..Default::default()
+    };
     let mut model = MatrixFactorizer::new(config, Backend::single_gpu());
     let report = model.fit(&train, &test);
 
@@ -32,7 +42,10 @@ fn full_pipeline_reaches_near_noise_floor_rmse() {
     );
     // RMSE improves monotonically up to small fluctuations.
     let first = report.iterations.first().unwrap().test_rmse;
-    assert!(final_rmse < first, "no improvement over training: {first} -> {final_rmse}");
+    assert!(
+        final_rmse < first,
+        "no improvement over training: {first} -> {final_rmse}"
+    );
     // Simulated time is positive and strictly increasing.
     assert!(report.total_sim_time() > 0.0);
 }
@@ -40,7 +53,12 @@ fn full_pipeline_reaches_near_noise_floor_rmse() {
 #[test]
 fn all_backends_agree_on_the_result() {
     let (train, test, _) = netflix_like();
-    let config = AlsConfig { f: 16, lambda: 0.05, iterations: 4, ..Default::default() };
+    let config = AlsConfig {
+        f: 16,
+        lambda: 0.05,
+        iterations: 4,
+        ..Default::default()
+    };
 
     let mut reference = MatrixFactorizer::new(config.clone(), Backend::Reference);
     let mut single = MatrixFactorizer::new(config.clone(), Backend::single_gpu());
@@ -56,8 +74,14 @@ fn all_backends_agree_on_the_result() {
         let a = r_ref.iterations[i].test_rmse;
         let b = r_single.iterations[i].test_rmse;
         let c = r_multi.iterations[i].test_rmse;
-        assert!((a - b).abs() < 5e-3, "iter {i}: reference {a} vs single-GPU {b}");
-        assert!((a - c).abs() < 5e-2, "iter {i}: reference {a} vs multi-GPU {c}");
+        assert!(
+            (a - b).abs() < 5e-3,
+            "iter {i}: reference {a} vs single-GPU {b}"
+        );
+        assert!(
+            (a - c).abs() < 5e-2,
+            "iter {i}: reference {a} vs multi-GPU {c}"
+        );
     }
     // Only the simulated backends report simulated time.
     assert_eq!(r_ref.total_sim_time(), 0.0);
@@ -68,10 +92,21 @@ fn all_backends_agree_on_the_result() {
 #[test]
 fn memory_optimizations_change_time_but_not_quality() {
     let (train, test, _) = netflix_like();
-    let base = AlsConfig { f: 16, lambda: 0.05, iterations: 3, ..Default::default() };
+    let base = AlsConfig {
+        f: 16,
+        lambda: 0.05,
+        iterations: 3,
+        ..Default::default()
+    };
 
-    let optimized = AlsConfig { memory_opt: MemoryOptConfig::optimized(), ..base.clone() };
-    let naive = AlsConfig { memory_opt: MemoryOptConfig::naive(), ..base };
+    let optimized = AlsConfig {
+        memory_opt: MemoryOptConfig::optimized(),
+        ..base.clone()
+    };
+    let naive = AlsConfig {
+        memory_opt: MemoryOptConfig::naive(),
+        ..base
+    };
 
     let mut m_opt = MatrixFactorizer::new(optimized, Backend::single_gpu());
     let mut m_naive = MatrixFactorizer::new(naive, Backend::single_gpu());
@@ -94,11 +129,23 @@ fn cumf_beats_cpu_baselines_in_progress_per_iteration() {
     use cumf_baselines::{LibMfSgd, MfSolver};
 
     let (train, test, _) = netflix_like();
-    let config = AlsConfig { f: 16, lambda: 0.05, iterations: 2, ..Default::default() };
+    let config = AlsConfig {
+        f: 16,
+        lambda: 0.05,
+        iterations: 2,
+        ..Default::default()
+    };
     let mut als = MatrixFactorizer::new(config, Backend::single_gpu());
     let als_report = als.fit(&train, &test);
 
-    let mut libmf = LibMfSgd::new(LibMfConfig { f: 16, threads: 4, ..Default::default() }, &train);
+    let mut libmf = LibMfSgd::new(
+        LibMfConfig {
+            f: 16,
+            threads: 4,
+            ..Default::default()
+        },
+        &train,
+    );
     for _ in 0..2 {
         libmf.iterate();
     }
@@ -114,7 +161,12 @@ fn cumf_beats_cpu_baselines_in_progress_per_iteration() {
 #[test]
 fn recommendations_prefer_highly_rated_held_out_items() {
     let (train, test, _) = netflix_like();
-    let config = AlsConfig { f: 24, lambda: 0.05, iterations: 6, ..Default::default() };
+    let config = AlsConfig {
+        f: 24,
+        lambda: 0.05,
+        iterations: 6,
+        ..Default::default()
+    };
     let mut model = MatrixFactorizer::new(config, Backend::Reference);
     model.fit(&train, &test);
 

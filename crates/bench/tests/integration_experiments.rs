@@ -55,7 +55,11 @@ fn fig7_and_fig8_ablations_only_stretch_the_time_axis() {
         let off = &fig.series[1];
         // Identical RMSE sequences...
         for (a, b) in on.points.iter().zip(off.points.iter()) {
-            assert_eq!(a.rmse, b.rmse, "{}: ablations must not change numerics", fig.title);
+            assert_eq!(
+                a.rmse, b.rmse,
+                "{}: ablations must not change numerics",
+                fig.title
+            );
         }
         // ... but the ablated run takes longer to get there.
         assert!(
@@ -70,7 +74,11 @@ fn fig7_and_fig8_ablations_only_stretch_the_time_axis() {
 fn fig9_time_axis_shrinks_with_more_gpus() {
     let cfg = ExperimentConfig::quick();
     for fig in exp::fig9(&cfg) {
-        let times: Vec<f64> = fig.series.iter().map(|s| s.points.last().unwrap().time_s).collect();
+        let times: Vec<f64> = fig
+            .series
+            .iter()
+            .map(|s| s.points.last().unwrap().time_s)
+            .collect();
         assert!(times[1] < times[0], "{}: 2 GPUs should beat 1", fig.title);
         assert!(times[2] < times[1], "{}: 4 GPUs should beat 2", fig.title);
     }

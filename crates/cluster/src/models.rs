@@ -221,7 +221,9 @@ mod tests {
     fn sparkals_model_lands_near_the_published_240s() {
         let data = PaperDataset::SparkAls.spec();
         let est = BaselineSystem::SparkAls50.iteration_time(&data, 10);
-        let published = BaselineSystem::SparkAls50.published_seconds_per_iteration().unwrap();
+        let published = BaselineSystem::SparkAls50
+            .published_seconds_per_iteration()
+            .unwrap();
         let ratio = est.total_s() / published;
         assert!(
             (0.3..3.0).contains(&ratio),
@@ -235,7 +237,9 @@ mod tests {
     fn factorbird_model_lands_near_the_published_563s() {
         let data = PaperDataset::Factorbird.spec();
         let est = BaselineSystem::Factorbird50.iteration_time(&data, 5);
-        let published = BaselineSystem::Factorbird50.published_seconds_per_iteration().unwrap();
+        let published = BaselineSystem::Factorbird50
+            .published_seconds_per_iteration()
+            .unwrap();
         let ratio = est.total_s() / published;
         assert!(
             (0.3..3.0).contains(&ratio),
@@ -250,8 +254,12 @@ mod tests {
         // Figure 10: the 64-node HPC cluster converges much faster than the
         // 32-node AWS cluster.
         let data = PaperDataset::Hugewiki.spec();
-        let aws = BaselineSystem::NomadAws32.iteration_time(&data, 100).total_s();
-        let hpc = BaselineSystem::NomadHpc64.iteration_time(&data, 100).total_s();
+        let aws = BaselineSystem::NomadAws32
+            .iteration_time(&data, 100)
+            .total_s();
+        let hpc = BaselineSystem::NomadHpc64
+            .iteration_time(&data, 100)
+            .total_s();
         assert!(hpc < aws * 0.5, "HPC {hpc} s vs AWS {aws} s");
     }
 

@@ -26,7 +26,11 @@ impl ClusterNetwork {
     /// 1 ms (MPI-class systems) — callers modelling Spark-style frameworks
     /// should raise this.
     pub fn new(node: NodeSpec, n_nodes: usize) -> Self {
-        Self { node, n_nodes, latency_s: 1e-3 }
+        Self {
+            node,
+            n_nodes,
+            latency_s: 1e-3,
+        }
     }
 
     /// Per-node bandwidth in bytes/second.
@@ -51,8 +55,7 @@ impl ClusterNetwork {
             return 0.0;
         }
         let n = self.n_nodes as f64;
-        2.0 * (n - 1.0) / n * bytes / self.node_bandwidth_bytes()
-            + 2.0 * (n - 1.0) * self.latency_s
+        2.0 * (n - 1.0) / n * bytes / self.node_bandwidth_bytes() + 2.0 * (n - 1.0) * self.latency_s
     }
 
     /// Time for an all-to-all shuffle where each node sends `bytes_per_node`
@@ -61,8 +64,7 @@ impl ClusterNetwork {
         if self.n_nodes <= 1 || bytes_per_node <= 0.0 {
             return 0.0;
         }
-        self.latency_s * (self.n_nodes as f64 - 1.0)
-            + bytes_per_node / self.node_bandwidth_bytes()
+        self.latency_s * (self.n_nodes as f64 - 1.0) + bytes_per_node / self.node_bandwidth_bytes()
     }
 
     /// Aggregate compute throughput of the cluster in GFLOP/s at the given
@@ -102,7 +104,10 @@ mod tests {
         let bytes = 10e9;
         let t = c.allreduce_time(bytes);
         let floor = 2.0 * bytes / c.node_bandwidth_bytes();
-        assert!(t >= floor * 0.9 && t < floor * 1.5, "t = {t}, floor = {floor}");
+        assert!(
+            t >= floor * 0.9 && t < floor * 1.5,
+            "t = {t}, floor = {floor}"
+        );
     }
 
     #[test]
@@ -115,7 +120,9 @@ mod tests {
     #[test]
     fn total_gflops_scales_with_nodes() {
         let c = aws32();
-        assert!((c.total_gflops(0.5) - 32.0 * NodeSpec::m3_xlarge().effective_gflops(0.5)).abs() < 1e-6);
+        assert!(
+            (c.total_gflops(0.5) - 32.0 * NodeSpec::m3_xlarge().effective_gflops(0.5)).abs() < 1e-6
+        );
     }
 
     #[test]

@@ -38,7 +38,11 @@ impl CostComparison {
 
     /// Baseline cost of the workload in dollars.
     pub fn baseline_cost(&self) -> f64 {
-        cost_of_run(self.baseline_price_per_hour, self.baseline_nodes, self.baseline_seconds)
+        cost_of_run(
+            self.baseline_price_per_hour,
+            self.baseline_nodes,
+            self.baseline_seconds,
+        )
     }
 
     /// cuMF cost of the workload in dollars.
@@ -117,7 +121,10 @@ mod tests {
             cumf_price_per_hour: 2.44,
             cumf_seconds: 24.0,
         };
-        let cheap = CostComparison { baseline_price_per_hour: 0.10, ..expensive.clone() };
+        let cheap = CostComparison {
+            baseline_price_per_hour: 0.10,
+            ..expensive.clone()
+        };
         assert!(cheap.cost_efficiency() < expensive.cost_efficiency());
     }
 }

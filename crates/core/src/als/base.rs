@@ -33,7 +33,13 @@ impl BaseAls {
         let x = FactorMatrix::random(r.n_rows() as usize, f, scale, config.seed);
         let theta = FactorMatrix::random(r.n_cols() as usize, f, scale, config.seed ^ 0xDEAD_BEEF);
         let r_t = r.transpose();
-        Self { config, r, r_t, x, theta }
+        Self {
+            config,
+            r,
+            r_t,
+            x,
+            theta,
+        }
     }
 
     /// The engine's configuration.
@@ -58,8 +64,16 @@ impl BaseAls {
 
     /// Replaces the current factors (used to resume from a checkpoint).
     pub fn set_factors(&mut self, x: FactorMatrix, theta: FactorMatrix) {
-        assert_eq!(x.len(), self.r.n_rows() as usize, "X has the wrong number of rows");
-        assert_eq!(theta.len(), self.r.n_cols() as usize, "Θ has the wrong number of rows");
+        assert_eq!(
+            x.len(),
+            self.r.n_rows() as usize,
+            "X has the wrong number of rows"
+        );
+        assert_eq!(
+            theta.len(),
+            self.r.n_cols() as usize,
+            "Θ has the wrong number of rows"
+        );
         assert_eq!(x.rank(), self.config.f, "X has the wrong rank");
         assert_eq!(theta.rank(), self.config.f, "Θ has the wrong rank");
         self.x = x;
@@ -100,9 +114,22 @@ mod tests {
     use cumf_data::synth::SyntheticConfig;
 
     fn engine(f: usize, iterations: usize) -> BaseAls {
-        let data = SyntheticConfig { m: 200, n: 100, nnz: 6000, rank: 4, noise_std: 0.05, ..Default::default() }
-            .generate();
-        let config = AlsConfig { f, lambda: 0.05, iterations, track_rmse: true, ..Default::default() };
+        let data = SyntheticConfig {
+            m: 200,
+            n: 100,
+            nnz: 6000,
+            rank: 4,
+            noise_std: 0.05,
+            ..Default::default()
+        }
+        .generate();
+        let config = AlsConfig {
+            f,
+            lambda: 0.05,
+            iterations,
+            track_rmse: true,
+            ..Default::default()
+        };
         BaseAls::new(config, data.to_csr())
     }
 
@@ -129,8 +156,14 @@ mod tests {
             e.iterate();
         }
         let after = e.train_rmse();
-        assert!(after < before * 0.5, "RMSE should at least halve: {before} -> {after}");
-        assert!(after < 0.5, "absolute training RMSE should be small, got {after}");
+        assert!(
+            after < before * 0.5,
+            "RMSE should at least halve: {before} -> {after}"
+        );
+        assert!(
+            after < 0.5,
+            "absolute training RMSE should be small, got {after}"
+        );
     }
 
     #[test]

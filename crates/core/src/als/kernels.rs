@@ -73,7 +73,11 @@ pub fn solve_side(r: &Csr, fixed: &FactorMatrix, lambda: f32) -> FactorMatrix {
 ///
 /// Returns `(hermitians, rhs)` with `hermitians.len() == rows · f²` and
 /// `rhs.len() == rows · f`.
-pub fn partial_hermitians(block: &Csr, fixed_part: &FactorMatrix, f: usize) -> (Vec<f32>, Vec<f32>) {
+pub fn partial_hermitians(
+    block: &Csr,
+    fixed_part: &FactorMatrix,
+    f: usize,
+) -> (Vec<f32>, Vec<f32>) {
     assert_eq!(fixed_part.rank(), f, "fixed factor rank mismatch");
     let rows = block.n_rows() as usize;
     let mut hermitians = vec![0.0f32; rows * f * f];
@@ -98,7 +102,11 @@ pub fn partial_hermitians(block: &Csr, fixed_part: &FactorMatrix, f: usize) -> (
 /// from different column partitions (the reduction of Algorithm 3,
 /// lines 15–16).
 pub fn accumulate_partials(acc_a: &mut [f32], acc_b: &mut [f32], part_a: &[f32], part_b: &[f32]) {
-    assert_eq!(acc_a.len(), part_a.len(), "hermitian partial length mismatch");
+    assert_eq!(
+        acc_a.len(),
+        part_a.len(),
+        "hermitian partial length mismatch"
+    );
     assert_eq!(acc_b.len(), part_b.len(), "rhs partial length mismatch");
     acc_a
         .par_iter_mut()
@@ -123,7 +131,11 @@ pub fn finalize_and_solve(
     f: usize,
 ) -> FactorMatrix {
     let rows = row_degrees.len();
-    assert_eq!(hermitians.len(), rows * f * f, "hermitian buffer size mismatch");
+    assert_eq!(
+        hermitians.len(),
+        rows * f * f,
+        "hermitian buffer size mismatch"
+    );
     assert_eq!(rhs.len(), rows * f, "rhs buffer size mismatch");
 
     hermitians
@@ -169,7 +181,14 @@ mod tests {
     use cumf_sparse::{vertical_partition, Coo};
 
     fn small_problem() -> (Csr, FactorMatrix) {
-        let data = SyntheticConfig { m: 120, n: 60, nnz: 2400, rank: 4, ..Default::default() }.generate();
+        let data = SyntheticConfig {
+            m: 120,
+            n: 60,
+            nnz: 2400,
+            rank: 4,
+            ..Default::default()
+        }
+        .generate();
         let r = data.to_csr();
         let theta = FactorMatrix::random(60, 8, 0.5, 11);
         (r, theta)
@@ -182,7 +201,10 @@ mod tests {
         let before = crate::loss::rmse_csr(&x0, &theta, &r);
         let x1 = solve_side(&r, &theta, 0.05);
         let after = crate::loss::rmse_csr(&x1, &theta, &r);
-        assert!(after < before, "solving X should reduce RMSE: {before} -> {after}");
+        assert!(
+            after < before,
+            "solving X should reduce RMSE: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -193,7 +215,8 @@ mod tests {
         let mut coo = Coo::new(2, 3);
         for u in 0..2u32 {
             for v in 0..3u32 {
-                coo.push(u, v, (u + 1) as f32 * theta.vector(v as usize)[0]).unwrap();
+                coo.push(u, v, (u + 1) as f32 * theta.vector(v as usize)[0])
+                    .unwrap();
             }
         }
         let r = coo.to_csr();
@@ -248,8 +271,16 @@ mod tests {
             let (pa, pb) = partial_hermitians(&block.csr, &part, f);
             accumulate_partials(&mut acc_a, &mut acc_b, &pa, &pb);
         }
-        let max_a = full_a.iter().zip(acc_a.iter()).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
-        let max_b = full_b.iter().zip(acc_b.iter()).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
+        let max_a = full_a
+            .iter()
+            .zip(acc_a.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        let max_b = full_b
+            .iter()
+            .zip(acc_b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
         assert!(max_a < 1e-3, "hermitian mismatch {max_a}");
         assert!(max_b < 1e-3, "rhs mismatch {max_b}");
     }

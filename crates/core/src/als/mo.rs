@@ -86,7 +86,11 @@ pub fn get_hermitian_traffic(
         global_read_bytes: csr_bytes + spill_bytes * 0.5,
         shared_read_bytes: shared_read,
         shared_write_bytes: shared_write,
-        register_bytes: if opts.use_registers { nnz * f * f * fbytes } else { 0.0 },
+        register_bytes: if opts.use_registers {
+            nnz * f * f * fbytes
+        } else {
+            0.0
+        },
         ..KernelTraffic::new()
     };
     if opts.use_texture {
@@ -224,7 +228,16 @@ impl MoAlsEngine {
         let upload_s = timing.transfer_time(bytes as f64, cluster.spec().pcie_gbs);
         cluster.run_transfer(0, "initial upload", upload_s, 0.0);
 
-        Self { config, cluster, r, r_t, x, theta, upload_s, total_sim_s: 0.0 }
+        Self {
+            config,
+            cluster,
+            r,
+            r_t,
+            x,
+            theta,
+            upload_s,
+            total_sim_s: 0.0,
+        }
     }
 
     /// Convenience constructor on a single Titan X.
@@ -281,8 +294,10 @@ impl MoAlsEngine {
             f,
             &opts,
         );
-        self.cluster.run_kernel(0, "get_hermitian_x", tx.get_hermitian_s);
-        self.cluster.run_kernel(0, "batch_solve_x", tx.batch_solve_s);
+        self.cluster
+            .run_kernel(0, "get_hermitian_x", tx.get_hermitian_s);
+        self.cluster
+            .run_kernel(0, "batch_solve_x", tx.batch_solve_s);
 
         // --- update Θ (solve rows of Rᵀ against X) ---
         self.theta = solve_side(&self.r_t, &self.x, self.config.lambda);
@@ -295,10 +310,15 @@ impl MoAlsEngine {
             f,
             &opts,
         );
-        self.cluster.run_kernel(0, "get_hermitian_theta", tt.get_hermitian_s);
-        self.cluster.run_kernel(0, "batch_solve_theta", tt.batch_solve_s);
+        self.cluster
+            .run_kernel(0, "get_hermitian_theta", tt.get_hermitian_s);
+        self.cluster
+            .run_kernel(0, "batch_solve_theta", tt.batch_solve_s);
 
-        let stats = MoIterationStats { update_x_s: tx.total(), update_theta_s: tt.total() };
+        let stats = MoIterationStats {
+            update_x_s: tx.total(),
+            update_theta_s: tt.total(),
+        };
         self.total_sim_s += stats.total();
         stats
     }
@@ -315,13 +335,25 @@ mod tests {
     use cumf_data::synth::SyntheticConfig;
 
     fn small_ratings() -> Csr {
-        SyntheticConfig { m: 150, n: 80, nnz: 4000, rank: 4, ..Default::default() }
-            .generate()
-            .to_csr()
+        SyntheticConfig {
+            m: 150,
+            n: 80,
+            nnz: 4000,
+            rank: 4,
+            ..Default::default()
+        }
+        .generate()
+        .to_csr()
     }
 
     fn config(opts: MemoryOptConfig) -> AlsConfig {
-        AlsConfig { f: 16, lambda: 0.05, iterations: 3, memory_opt: opts, ..Default::default() }
+        AlsConfig {
+            f: 16,
+            lambda: 0.05,
+            iterations: 3,
+            memory_opt: opts,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -398,7 +430,10 @@ mod tests {
         let t2 = mo.iterate().total();
         assert!((mo.simulated_time() - (t1 + t2)).abs() < 1e-12);
         assert!(mo.upload_time() > 0.0);
-        assert!(mo.cluster().profiler().len() >= 9, "kernels and upload are profiled");
+        assert!(
+            mo.cluster().profiler().len() >= 9,
+            "kernels and upload are profiled"
+        );
     }
 
     #[test]

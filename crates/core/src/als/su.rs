@@ -43,12 +43,20 @@ pub struct SuAlsConfig {
 impl SuAlsConfig {
     /// A configuration with the planner left in charge.
     pub fn auto(als: AlsConfig, reduction: ReductionScheme) -> Self {
-        Self { als, reduction, plan: None }
+        Self {
+            als,
+            reduction,
+            plan: None,
+        }
     }
 
     /// A configuration with an explicit `(p, q)` partitioning.
     pub fn with_plan(als: AlsConfig, reduction: ReductionScheme, p: usize, q: usize) -> Self {
-        Self { als, reduction, plan: Some(PartitionPlan { p, q }) }
+        Self {
+            als,
+            reduction,
+            plan: Some(PartitionPlan { p, q }),
+        }
     }
 }
 
@@ -116,8 +124,12 @@ impl SuAlsEngine {
                 return p;
             }
             let dims = ProblemDims::new(rows, cols, r.nnz() as u64, f as u64);
-            planner::plan(&dims, cluster.spec(), n_gpus.max(1) * 8, 1 << 20)
-                .unwrap_or(PartitionPlan { p: n_gpus, q: n_gpus })
+            planner::plan(&dims, cluster.spec(), n_gpus.max(1) * 8, 1 << 20).unwrap_or(
+                PartitionPlan {
+                    p: n_gpus,
+                    q: n_gpus,
+                },
+            )
         };
         let plan_x = plan_for(r.n_rows() as u64, r.n_cols() as u64);
         let plan_theta = plan_for(r.n_cols() as u64, r.n_rows() as u64);
@@ -127,7 +139,17 @@ impl SuAlsEngine {
         let theta =
             FactorMatrix::random(r.n_cols() as usize, f, scale, config.als.seed ^ 0xDEAD_BEEF);
         let r_t = r.transpose();
-        Self { config, cluster, r, r_t, x, theta, plan_x, plan_theta, total_sim_s: 0.0 }
+        Self {
+            config,
+            cluster,
+            r,
+            r_t,
+            x,
+            theta,
+            plan_x,
+            plan_theta,
+            total_sim_s: 0.0,
+        }
     }
 
     /// The engine's configuration.
@@ -172,7 +194,10 @@ impl SuAlsEngine {
         self.x = new_x;
         let (new_theta, tt) = self.update_side(false);
         self.theta = new_theta;
-        let stats = SuIterationStats { update_x: tx, update_theta: tt };
+        let stats = SuIterationStats {
+            update_x: tx,
+            update_theta: tt,
+        };
         self.total_sim_s += stats.total();
         stats
     }
@@ -209,7 +234,8 @@ impl SuAlsEngine {
                 let (cs, ce) = grid.col_range(i);
                 let mut part = FactorMatrix::zeros((ce - cs) as usize, f);
                 for c in cs..ce {
-                    part.vector_mut((c - cs) as usize).copy_from_slice(fixed.vector(c as usize));
+                    part.vector_mut((c - cs) as usize)
+                        .copy_from_slice(fixed.vector(c as usize));
                 }
                 part
             })
@@ -255,10 +281,10 @@ impl SuAlsEngine {
             let mut acc_b = vec![0.0f32; batch_rows * f];
             let mut batch_gh_max = 0.0f64;
             let mut batch_transfer: Vec<Transfer> = Vec::with_capacity(p);
-            for i in 0..p {
+            for (i, fixed_part) in fixed_parts.iter().enumerate() {
                 let gpu = if p > 1 { i % n_gpus } else { j % n_gpus };
                 let block = grid.block(i, j);
-                let (pa, pb) = partial_hermitians(&block.csr, &fixed_parts[i], f);
+                let (pa, pb) = partial_hermitians(&block.csr, fixed_part, f);
                 accumulate_partials(&mut acc_a, &mut acc_b, &pa, &pb);
 
                 // Simulated kernel time for this block on its GPU.
@@ -298,7 +324,8 @@ impl SuAlsEngine {
             let degrees: Vec<usize> = (rs..re).map(|u| r.nnz_row(u)).collect();
             let solved = finalize_and_solve(&mut acc_a, &mut acc_b, &degrees, lambda, f);
             for (local, u) in (rs..re).enumerate() {
-                out.vector_mut(u as usize).copy_from_slice(solved.vector(local));
+                out.vector_mut(u as usize)
+                    .copy_from_slice(solved.vector(local));
             }
             if p > 1 {
                 // The batch's systems are split across the p GPUs that already
@@ -334,13 +361,25 @@ mod tests {
     use cumf_data::synth::SyntheticConfig;
 
     fn ratings() -> Csr {
-        SyntheticConfig { m: 160, n: 90, nnz: 4500, rank: 4, ..Default::default() }
-            .generate()
-            .to_csr()
+        SyntheticConfig {
+            m: 160,
+            n: 90,
+            nnz: 4500,
+            rank: 4,
+            ..Default::default()
+        }
+        .generate()
+        .to_csr()
     }
 
     fn als_config() -> AlsConfig {
-        AlsConfig { f: 12, lambda: 0.05, iterations: 3, memory_opt: MemoryOptConfig::optimized(), ..Default::default() }
+        AlsConfig {
+            f: 12,
+            lambda: 0.05,
+            iterations: 3,
+            memory_opt: MemoryOptConfig::optimized(),
+            ..Default::default()
+        }
     }
 
     fn engine(n_gpus: usize, p: usize, q: usize, scheme: ReductionScheme) -> SuAlsEngine {
@@ -414,7 +453,7 @@ mod tests {
         assert!(s1.update_x.get_hermitian_s > 0.0);
         assert!(s1.update_x.batch_solve_s > 0.0);
         assert!(su.simulated_time() > 0.0);
-        assert!(su.cluster().profiler().len() > 0);
+        assert!(!su.cluster().profiler().is_empty());
     }
 
     #[test]

@@ -84,7 +84,10 @@ impl CheckpointManager {
             let entry = entry?;
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            if let Some(iter_str) = name.strip_prefix("checkpoint_").and_then(|s| s.strip_suffix(".cumf")) {
+            if let Some(iter_str) = name
+                .strip_prefix("checkpoint_")
+                .and_then(|s| s.strip_suffix(".cumf"))
+            {
                 if let Ok(iter) = iter_str.parse::<u64>() {
                     if best.as_ref().map(|(b, _)| iter > *b).unwrap_or(true) {
                         best = Some((iter, entry.path()));
@@ -104,12 +107,19 @@ impl CheckpointManager {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a cuMF checkpoint"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a cuMF checkpoint",
+            ));
         }
         let iteration = read_u64(&mut r)?;
         let x = read_factor(&mut r)?;
         let theta = read_factor(&mut r)?;
-        Ok(Checkpoint { iteration, x, theta })
+        Ok(Checkpoint {
+            iteration,
+            x,
+            theta,
+        })
     }
 
     /// Deletes every checkpoint older than the latest `keep` ones.

@@ -20,7 +20,11 @@ pub struct MemoryOptConfig {
 
 impl Default for MemoryOptConfig {
     fn default() -> Self {
-        Self { use_texture: true, use_registers: true, bin: 20 }
+        Self {
+            use_texture: true,
+            use_registers: true,
+            bin: 20,
+        }
     }
 }
 
@@ -34,17 +38,27 @@ impl MemoryOptConfig {
     /// implementation without memory optimization" the paper compares
     /// against in §1.
     pub fn naive() -> Self {
-        Self { use_texture: false, use_registers: false, bin: 20 }
+        Self {
+            use_texture: false,
+            use_registers: false,
+            bin: 20,
+        }
     }
 
     /// The optimized configuration minus register accumulation (Figure 7).
     pub fn without_registers() -> Self {
-        Self { use_registers: false, ..Self::default() }
+        Self {
+            use_registers: false,
+            ..Self::default()
+        }
     }
 
     /// The optimized configuration minus the texture path (Figure 8).
     pub fn without_texture() -> Self {
-        Self { use_texture: false, ..Self::default() }
+        Self {
+            use_texture: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -91,12 +105,20 @@ impl AlsConfig {
 
     /// The paper's configuration for the Netflix data set (f=100, λ=0.05).
     pub fn netflix_paper() -> Self {
-        Self { f: 100, lambda: 0.05, ..Default::default() }
+        Self {
+            f: 100,
+            lambda: 0.05,
+            ..Default::default()
+        }
     }
 
     /// The paper's configuration for the YahooMusic data set (f=100, λ=1.4).
     pub fn yahoo_music_paper() -> Self {
-        Self { f: 100, lambda: 1.4, ..Default::default() }
+        Self {
+            f: 100,
+            lambda: 1.4,
+            ..Default::default()
+        }
     }
 }
 
@@ -132,14 +154,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "latent dimension")]
     fn zero_f_is_invalid() {
-        AlsConfig { f: 0, ..Default::default() }.validate();
+        AlsConfig {
+            f: 0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "bin size")]
     fn zero_bin_is_invalid() {
         AlsConfig {
-            memory_opt: MemoryOptConfig { bin: 0, ..Default::default() },
+            memory_opt: MemoryOptConfig {
+                bin: 0,
+                ..Default::default()
+            },
             ..Default::default()
         }
         .validate();

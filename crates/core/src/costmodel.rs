@@ -8,8 +8,8 @@
 //! computed analytically with the very same traffic and interconnect models
 //! the engines use.
 
-use crate::config::MemoryOptConfig;
 use crate::als::mo::{batch_solve_traffic, get_hermitian_traffic};
+use crate::config::MemoryOptConfig;
 use crate::planner::{self, PartitionPlan, ProblemDims};
 use crate::reduce::{reduction_time, ReductionScheme};
 use cumf_gpu_sim::occupancy::{mo_als_regs_per_thread, mo_als_shared_bytes};
@@ -136,8 +136,12 @@ pub fn cumf_iteration_cost(dims: &ProblemDims, cluster: &ClusterConfig) -> Itera
 
     let plan_for = |rows: u64, cols: u64| {
         let d = ProblemDims::new(rows, cols, dims.nz, dims.f);
-        let mut plan = planner::plan(&d, &cluster.device, cluster.n_gpus * 64, 1 << 24)
-            .unwrap_or(PartitionPlan { p: cluster.n_gpus, q: cluster.n_gpus * 16 });
+        let mut plan = planner::plan(&d, &cluster.device, cluster.n_gpus * 64, 1 << 24).unwrap_or(
+            PartitionPlan {
+                p: cluster.n_gpus,
+                q: cluster.n_gpus * 16,
+            },
+        );
         // Elasticity (§4.4): with idle GPUs, split X into at least enough
         // batches for every GPU to work, and round q to a multiple of the
         // concurrent batch count so waves are balanced.
@@ -172,7 +176,12 @@ pub fn cumf_iteration_cost(dims: &ProblemDims, cluster: &ClusterConfig) -> Itera
         let block_traffic =
             get_hermitian_traffic(rows / q, nz / (p * q), cols / p, f, &cluster.opts);
         let gh_block = timing
-            .kernel_time(&cluster.device, &block_traffic, &gh_occ, !cluster.opts.use_texture)
+            .kernel_time(
+                &cluster.device,
+                &block_traffic,
+                &gh_occ,
+                !cluster.opts.use_texture,
+            )
             .total_s;
         let gh_total = gh_block * ((p * q) / n_gpus).ceil();
         cost.get_hermitian_s += gh_total;
@@ -181,22 +190,24 @@ pub fn cumf_iteration_cost(dims: &ProblemDims, cluster: &ClusterConfig) -> Itera
         // holding its reduced partials; with p = 1 the q batches themselves
         // spread over the GPUs.
         let bs_traffic = batch_solve_traffic(rows / (q * p), f);
-        let bs_total = timing.kernel_time(&cluster.device, &bs_traffic, &bs_occ, false).total_s
+        let bs_total = timing
+            .kernel_time(&cluster.device, &bs_traffic, &bs_occ, false)
+            .total_s
             * ((p * q) / n_gpus).ceil();
         cost.batch_solve_s += bs_total;
 
         // Reduction: per batch, each GPU holds (rows/q)·(f²+f) partial words.
         if plan.p > 1 {
             let bytes_per_gpu = rows / q * (f * f + f) * 4.0;
-            cost.reduce_s += reduction_time(cluster.reduction, &cluster.topology, bytes_per_gpu) * q;
+            cost.reduce_s +=
+                reduction_time(cluster.reduction, &cluster.topology, bytes_per_gpu) * q;
         }
 
         // Out-of-core streaming of R and Θ partitions: exposed time beyond
         // what prefetch hides behind compute.
         let r_bytes = 2.0 * nz * 4.0;
         let theta_bytes = cols * f * 4.0;
-        let stream_s =
-            timing.transfer_time(r_bytes + theta_bytes, cluster.topology.host_link_gbs);
+        let stream_s = timing.transfer_time(r_bytes + theta_bytes, cluster.topology.host_link_gbs);
         cost.transfer_s += (stream_s - gh_total).max(0.0) + gh_block.min(stream_s);
     };
 
@@ -242,18 +253,34 @@ mod tests {
     fn sparkals_iteration_is_tens_of_seconds_on_four_gpus() {
         // Figure 11: cuMF does one SparkALS-data iteration in ~24 s (vs 240 s
         // for 50-node Spark).  The model should land in the same decade.
-        let cost = cumf_iteration_cost(&dims(PaperDataset::SparkAls, 10), &ClusterConfig::four_k80());
+        let cost = cumf_iteration_cost(
+            &dims(PaperDataset::SparkAls, 10),
+            &ClusterConfig::four_k80(),
+        );
         let t = cost.total_s();
         assert!(t > 3.0 && t < 300.0, "SparkALS iteration estimate {t} s");
     }
 
     #[test]
     fn facebook_f16_is_minutes_and_f100_much_slower() {
-        let c16 = cumf_iteration_cost(&dims(PaperDataset::Facebook, 16), &ClusterConfig::four_k80());
-        let c100 =
-            cumf_iteration_cost(&dims(PaperDataset::CumfLargest, 100), &ClusterConfig::four_k80());
-        assert!(c16.total_s() > 60.0, "Facebook f=16 too fast: {}", c16.total_s());
-        assert!(c16.total_s() < 3600.0, "Facebook f=16 too slow: {}", c16.total_s());
+        let c16 = cumf_iteration_cost(
+            &dims(PaperDataset::Facebook, 16),
+            &ClusterConfig::four_k80(),
+        );
+        let c100 = cumf_iteration_cost(
+            &dims(PaperDataset::CumfLargest, 100),
+            &ClusterConfig::four_k80(),
+        );
+        assert!(
+            c16.total_s() > 60.0,
+            "Facebook f=16 too fast: {}",
+            c16.total_s()
+        );
+        assert!(
+            c16.total_s() < 3600.0,
+            "Facebook f=16 too slow: {}",
+            c16.total_s()
+        );
         assert!(
             c100.total_s() > 4.0 * c16.total_s(),
             "f=100 should be much slower than f=16: {} vs {}",
@@ -272,8 +299,15 @@ mod tests {
 
     #[test]
     fn netflix_plan_needs_batches() {
-        let cost = cumf_iteration_cost(&dims(PaperDataset::Netflix, 100), &ClusterConfig::titan_x(1));
+        let cost = cumf_iteration_cost(
+            &dims(PaperDataset::Netflix, 100),
+            &ClusterConfig::titan_x(1),
+        );
         assert!(cost.plan_x.q > 1);
-        assert!(cost.total_s() > 0.5 && cost.total_s() < 60.0, "Netflix iteration {}", cost.total_s());
+        assert!(
+            cost.total_s() > 0.5 && cost.total_s() < 60.0,
+            "Netflix iteration {}",
+            cost.total_s()
+        );
     }
 }

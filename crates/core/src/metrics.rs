@@ -52,7 +52,14 @@ pub fn ranking_metrics(
     }
     let users: Vec<(&u32, &HashSet<u32>)> = relevant.iter().collect();
     if users.is_empty() {
-        return RankingMetrics { k, precision: 0.0, recall: 0.0, ndcg: 0.0, hit_rate: 0.0, users_evaluated: 0 };
+        return RankingMetrics {
+            k,
+            precision: 0.0,
+            recall: 0.0,
+            ndcg: 0.0,
+            hit_rate: 0.0,
+            users_evaluated: 0,
+        };
     }
 
     let n_items = theta.len() as u32;
@@ -82,7 +89,9 @@ pub fn ranking_metrics(
                 .map(|(rank, _)| 1.0 / ((rank + 2) as f64).log2())
                 .sum();
             let ideal_hits = liked.len().min(k);
-            let idcg: f64 = (0..ideal_hits).map(|rank| 1.0 / ((rank + 2) as f64).log2()).sum();
+            let idcg: f64 = (0..ideal_hits)
+                .map(|rank| 1.0 / ((rank + 2) as f64).log2())
+                .sum();
             let ndcg = if idcg > 0.0 { dcg / idcg } else { 0.0 };
             (precision, recall, ndcg, hit)
         })
@@ -168,18 +177,33 @@ mod tests {
 
     #[test]
     fn trained_model_beats_an_untrained_one_on_ndcg() {
-        let data = SyntheticConfig { m: 250, n: 120, nnz: 9000, rank: 6, noise_std: 0.2, ..Default::default() }
-            .generate();
+        let data = SyntheticConfig {
+            m: 250,
+            n: 120,
+            nnz: 9000,
+            rank: 6,
+            noise_std: 0.2,
+            ..Default::default()
+        }
+        .generate();
         let split = train_test_split(&data.ratings, 0.2, 5);
-        let config = AlsConfig { f: 16, lambda: 0.05, iterations: 6, ..Default::default() };
+        let config = AlsConfig {
+            f: 16,
+            lambda: 0.05,
+            iterations: 6,
+            ..Default::default()
+        };
         let mut model = MatrixFactorizer::new(config, Backend::Reference);
         model.fit(&split.train, &split.test);
 
-        let trained = ranking_metrics(model.x(), model.theta(), &split.train, &split.test, 10, 3.5);
+        // Relevance threshold 3.0: the generator's ratings concentrate
+        // around rating_min + E[x·θ] ≈ 2.0, so 3.5 leaves almost no
+        // relevant held-out items and the assertion below becomes vacuous.
+        let trained = ranking_metrics(model.x(), model.theta(), &split.train, &split.test, 10, 3.0);
         let random_x = FactorMatrix::random(250, 16, 0.2, 999);
         let random_theta = FactorMatrix::random(120, 16, 0.2, 998);
         let untrained =
-            ranking_metrics(&random_x, &random_theta, &split.train, &split.test, 10, 3.5);
+            ranking_metrics(&random_x, &random_theta, &split.train, &split.test, 10, 3.0);
         assert!(trained.users_evaluated > 0);
         assert!(
             trained.ndcg > untrained.ndcg,

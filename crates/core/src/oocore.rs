@@ -85,7 +85,10 @@ impl<T: Send + 'static> Prefetcher<T> {
                 }
             }
         });
-        Self { receiver: rx, producer: Some(producer) }
+        Self {
+            receiver: rx,
+            producer: Some(producer),
+        }
     }
 
     /// Blocks until the next batch is available; `None` once all batches
@@ -122,15 +125,27 @@ mod tests {
     #[test]
     fn serial_time_is_the_sum() {
         let batches = vec![
-            BatchCost { transfer_s: 1.0, compute_s: 2.0 },
-            BatchCost { transfer_s: 1.0, compute_s: 2.0 },
+            BatchCost {
+                transfer_s: 1.0,
+                compute_s: 2.0,
+            },
+            BatchCost {
+                transfer_s: 1.0,
+                compute_s: 2.0,
+            },
         ];
         assert_eq!(pipeline_time(&batches, false), 6.0);
     }
 
     #[test]
     fn prefetch_hides_all_but_the_first_transfer_when_compute_dominates() {
-        let batches = vec![BatchCost { transfer_s: 0.5, compute_s: 2.0 }; 4];
+        let batches = vec![
+            BatchCost {
+                transfer_s: 0.5,
+                compute_s: 2.0
+            };
+            4
+        ];
         // 0.5 (first load) + 4 × 2.0 = 8.5
         assert_eq!(pipeline_time(&batches, true), 8.5);
         assert!((hidden_transfer_fraction(&batches) - 0.75).abs() < 1e-9);
@@ -138,7 +153,13 @@ mod tests {
 
     #[test]
     fn prefetch_cannot_hide_transfers_longer_than_compute() {
-        let batches = vec![BatchCost { transfer_s: 3.0, compute_s: 1.0 }; 3];
+        let batches = vec![
+            BatchCost {
+                transfer_s: 3.0,
+                compute_s: 1.0
+            };
+            3
+        ];
         // 3 + max(1,3) + max(1,3) + 1 = 10
         assert_eq!(pipeline_time(&batches, true), 10.0);
         assert!(pipeline_time(&batches, true) < pipeline_time(&batches, false));
@@ -147,7 +168,10 @@ mod tests {
     #[test]
     fn empty_and_single_batch_edge_cases() {
         assert_eq!(pipeline_time(&[], true), 0.0);
-        let one = [BatchCost { transfer_s: 1.0, compute_s: 2.0 }];
+        let one = [BatchCost {
+            transfer_s: 1.0,
+            compute_s: 2.0,
+        }];
         assert_eq!(pipeline_time(&one, true), 3.0);
         assert_eq!(pipeline_time(&one, false), 3.0);
         assert_eq!(hidden_transfer_fraction(&[]), 1.0);
@@ -171,7 +195,7 @@ mod tests {
             i
         });
         let mut consumed = 0;
-        while let Some(_) = p.next_batch() {
+        while p.next_batch().is_some() {
             std::thread::sleep(Duration::from_millis(load_ms));
             consumed += 1;
         }

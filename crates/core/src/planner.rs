@@ -70,7 +70,11 @@ pub struct PlanError {
 
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "no feasible (p ≤ {}, q ≤ {}) partitioning found", self.max_p, self.max_q)
+        write!(
+            f,
+            "no feasible (p ≤ {}, q ≤ {}) partitioning found",
+            self.max_p, self.max_q
+        )
     }
 }
 
@@ -92,7 +96,13 @@ pub fn footprint_words(dims: &ProblemDims, p: usize, q: usize) -> u64 {
 }
 
 /// Checks equation (8) for a given `(p, q)`.
-pub fn feasible(dims: &ProblemDims, p: usize, q: usize, capacity_words: u64, headroom_words: u64) -> bool {
+pub fn feasible(
+    dims: &ProblemDims,
+    p: usize,
+    q: usize,
+    capacity_words: u64,
+    headroom_words: u64,
+) -> bool {
     if p == 0 || q == 0 {
         return false;
     }
@@ -126,7 +136,10 @@ pub fn plan_with_capacity(
     max_p: usize,
     max_q: usize,
 ) -> Result<PartitionPlan, PlanError> {
-    assert!(max_p >= 1 && max_q >= 1, "partition limits must be at least 1");
+    assert!(
+        max_p >= 1 && max_q >= 1,
+        "partition limits must be at least 1"
+    );
     if feasible(dims, 1, 1, capacity_words, headroom_words) {
         return Ok(PartitionPlan { p: 1, q: 1 });
     }
@@ -141,8 +154,7 @@ pub fn plan_with_capacity(
             }
             // The q-dependent terms shrink as q grows; once they are already
             // tiny, growing q further cannot help — move on to a larger p.
-            let residual = footprint_words(dims, p, q)
-                - dims.n.div_ceil(p as u64) * dims.f;
+            let residual = footprint_words(dims, p, q) - dims.n.div_ceil(p as u64) * dims.f;
             if residual < budget / 64 {
                 break;
             }
@@ -168,7 +180,11 @@ mod tests {
         let dims = dims_of(PaperDataset::Netflix, 100);
         let plan = plan(&dims, &DeviceSpec::titan_x(), 4, 1024).unwrap();
         assert_eq!(plan.p, 1);
-        assert!(plan.q > 1, "Netflix must be solved in batches, got q = {}", plan.q);
+        assert!(
+            plan.q > 1,
+            "Netflix must be solved in batches, got q = {}",
+            plan.q
+        );
     }
 
     #[test]
@@ -178,7 +194,13 @@ mod tests {
         let plan = plan(&dims, &DeviceSpec::titan_x(), 4, 4096).unwrap();
         assert!(plan.p <= 4);
         assert!(plan.q >= 1);
-        assert!(feasible(&dims, plan.p, plan.q, DeviceSpec::titan_x().global_mem_f32_capacity(), DEFAULT_HEADROOM_WORDS));
+        assert!(feasible(
+            &dims,
+            plan.p,
+            plan.q,
+            DeviceSpec::titan_x().global_mem_f32_capacity(),
+            DEFAULT_HEADROOM_WORDS
+        ));
     }
 
     #[test]

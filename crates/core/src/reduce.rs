@@ -75,7 +75,11 @@ pub fn reduction_transfers(
                         // Peers on the owner's socket send their slice straight
                         // to the owner.
                         for &g in gpus.iter().filter(|&&g| g != owner) {
-                            phase1.push(Transfer::new(Endpoint::Gpu(g), Endpoint::Gpu(owner), slice));
+                            phase1.push(Transfer::new(
+                                Endpoint::Gpu(g),
+                                Endpoint::Gpu(owner),
+                                slice,
+                            ));
                         }
                     } else {
                         // On the remote socket, pick a combiner (same local
@@ -89,9 +93,17 @@ pub fn reduction_transfers(
                             .unwrap_or(0);
                         let combiner = *gpus.get(owner_local).unwrap_or(&gpus[0]);
                         for &g in gpus.iter().filter(|&&g| g != combiner) {
-                            phase1.push(Transfer::new(Endpoint::Gpu(g), Endpoint::Gpu(combiner), slice));
+                            phase1.push(Transfer::new(
+                                Endpoint::Gpu(g),
+                                Endpoint::Gpu(combiner),
+                                slice,
+                            ));
                         }
-                        phase2.push(Transfer::new(Endpoint::Gpu(combiner), Endpoint::Gpu(owner), slice));
+                        phase2.push(Transfer::new(
+                            Endpoint::Gpu(combiner),
+                            Endpoint::Gpu(owner),
+                            slice,
+                        ));
                     }
                 }
             }
@@ -175,13 +187,20 @@ mod tests {
         assert_eq!(phases.len(), 2);
         // Phase 1 is strictly intra-socket.
         for t in &phases[0] {
-            let (Endpoint::Gpu(a), Endpoint::Gpu(b)) = (t.src, t.dst) else { panic!() };
-            assert!(topo.same_socket(a, b), "phase-1 transfer {a}->{b} crosses sockets");
+            let (Endpoint::Gpu(a), Endpoint::Gpu(b)) = (t.src, t.dst) else {
+                panic!()
+            };
+            assert!(
+                topo.same_socket(a, b),
+                "phase-1 transfer {a}->{b} crosses sockets"
+            );
         }
         // Phase 2 is strictly inter-socket, one transfer per owner.
         assert_eq!(phases[1].len(), 4);
         for t in &phases[1] {
-            let (Endpoint::Gpu(a), Endpoint::Gpu(b)) = (t.src, t.dst) else { panic!() };
+            let (Endpoint::Gpu(a), Endpoint::Gpu(b)) = (t.src, t.dst) else {
+                panic!()
+            };
             assert!(!topo.same_socket(a, b));
         }
     }
@@ -192,7 +211,7 @@ mod tests {
         let topo = PcieTopology::dual_socket(4);
         for scheme in [ReductionScheme::OnePhase, ReductionScheme::TwoPhase] {
             let phases = reduction_transfers(scheme, &topo, GB);
-            let mut received = vec![0.0f64; 4];
+            let mut received = [0.0f64; 4];
             for t in phases.iter().flatten() {
                 if let Endpoint::Gpu(dst) = t.dst {
                     received[dst] += t.bytes;
@@ -202,8 +221,14 @@ mod tests {
             // forwards; owners still end up with at least their 3 slices of
             // net input overall, and total bytes moved is bounded by 2×.
             let total: f64 = received.iter().sum();
-            assert!(total >= 3.0 * GB - 1.0, "scheme {scheme:?} moved too few bytes");
-            assert!(total <= 6.0 * GB + 1.0, "scheme {scheme:?} moved too many bytes");
+            assert!(
+                total >= 3.0 * GB - 1.0,
+                "scheme {scheme:?} moved too few bytes"
+            );
+            assert!(
+                total <= 6.0 * GB + 1.0,
+                "scheme {scheme:?} moved too many bytes"
+            );
         }
     }
 

@@ -32,7 +32,14 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        Self { f: 32, learning_rate: 0.01, lambda: 0.05, epochs: 20, decay: 0.95, seed: 42 }
+        Self {
+            f: 32,
+            learning_rate: 0.01,
+            lambda: 0.05,
+            epochs: 20,
+            decay: 0.95,
+            seed: 42,
+        }
     }
 }
 
@@ -50,8 +57,14 @@ impl SgdReference {
     pub fn new(config: SgdConfig, r: Csr) -> Self {
         let scale = 1.0 / (config.f as f32).sqrt();
         let x = FactorMatrix::random(r.n_rows() as usize, config.f, scale, config.seed);
-        let theta = FactorMatrix::random(r.n_cols() as usize, config.f, scale, config.seed ^ 0xABCD);
-        Self { config, r, x, theta }
+        let theta =
+            FactorMatrix::random(r.n_cols() as usize, config.f, scale, config.seed ^ 0xABCD);
+        Self {
+            config,
+            r,
+            x,
+            theta,
+        }
     }
 
     /// Current user factors.
@@ -114,23 +127,47 @@ mod tests {
     use cumf_data::synth::SyntheticConfig;
 
     fn ratings() -> Csr {
-        SyntheticConfig { m: 150, n: 80, nnz: 5000, rank: 4, noise_std: 0.05, ..Default::default() }
-            .generate()
-            .to_csr()
+        SyntheticConfig {
+            m: 150,
+            n: 80,
+            nnz: 5000,
+            rank: 4,
+            noise_std: 0.05,
+            ..Default::default()
+        }
+        .generate()
+        .to_csr()
     }
 
     #[test]
     fn sgd_reduces_training_error() {
-        let mut sgd = SgdReference::new(SgdConfig { f: 8, epochs: 15, ..Default::default() }, ratings());
+        let mut sgd = SgdReference::new(
+            SgdConfig {
+                f: 8,
+                epochs: 15,
+                ..Default::default()
+            },
+            ratings(),
+        );
         let before = sgd.train_rmse();
         sgd.run();
         let after = sgd.train_rmse();
-        assert!(after < before * 0.7, "SGD should make progress: {before} -> {after}");
+        assert!(
+            after < before * 0.7,
+            "SGD should make progress: {before} -> {after}"
+        );
     }
 
     #[test]
     fn learning_rate_decays() {
-        let mut sgd = SgdReference::new(SgdConfig { f: 4, epochs: 2, ..Default::default() }, ratings());
+        let mut sgd = SgdReference::new(
+            SgdConfig {
+                f: 4,
+                epochs: 2,
+                ..Default::default()
+            },
+            ratings(),
+        );
         let a0 = sgd.epoch(0);
         let a5 = sgd.epoch(5);
         assert!(a5 < a0);
@@ -141,8 +178,22 @@ mod tests {
         // §2.1/§6: ALS converges in fewer iterations than SGD — one ALS
         // iteration should beat several SGD epochs on training RMSE.
         let r = ratings();
-        let mut als = BaseAls::new(AlsConfig { f: 8, iterations: 1, ..Default::default() }, r.clone());
-        let mut sgd = SgdReference::new(SgdConfig { f: 8, epochs: 3, ..Default::default() }, r);
+        let mut als = BaseAls::new(
+            AlsConfig {
+                f: 8,
+                iterations: 1,
+                ..Default::default()
+            },
+            r.clone(),
+        );
+        let mut sgd = SgdReference::new(
+            SgdConfig {
+                f: 8,
+                epochs: 3,
+                ..Default::default()
+            },
+            r,
+        );
         als.iterate();
         for e in 0..3 {
             sgd.epoch(e);
@@ -158,8 +209,22 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let r = ratings();
-        let mut a = SgdReference::new(SgdConfig { f: 4, epochs: 2, ..Default::default() }, r.clone());
-        let mut b = SgdReference::new(SgdConfig { f: 4, epochs: 2, ..Default::default() }, r);
+        let mut a = SgdReference::new(
+            SgdConfig {
+                f: 4,
+                epochs: 2,
+                ..Default::default()
+            },
+            r.clone(),
+        );
+        let mut b = SgdReference::new(
+            SgdConfig {
+                f: 4,
+                epochs: 2,
+                ..Default::default()
+            },
+            r,
+        );
         a.run();
         b.run();
         assert_eq!(a.x().max_abs_diff(b.x()), 0.0);

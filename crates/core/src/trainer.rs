@@ -93,17 +93,26 @@ pub struct TrainReport {
 impl TrainReport {
     /// Test RMSE after the final iteration (`NaN` when no test set).
     pub fn final_test_rmse(&self) -> f64 {
-        self.iterations.last().map(|r| r.test_rmse).unwrap_or(f64::NAN)
+        self.iterations
+            .last()
+            .map(|r| r.test_rmse)
+            .unwrap_or(f64::NAN)
     }
 
     /// Training RMSE after the final iteration.
     pub fn final_train_rmse(&self) -> f64 {
-        self.iterations.last().map(|r| r.train_rmse).unwrap_or(f64::NAN)
+        self.iterations
+            .last()
+            .map(|r| r.train_rmse)
+            .unwrap_or(f64::NAN)
     }
 
     /// Total simulated GPU seconds.
     pub fn total_sim_time(&self) -> f64 {
-        self.iterations.last().map(|r| r.cumulative_sim_time_s).unwrap_or(0.0)
+        self.iterations
+            .last()
+            .map(|r| r.cumulative_sim_time_s)
+            .unwrap_or(0.0)
     }
 
     /// Simulated seconds needed to reach a test RMSE at or below `target`;
@@ -134,12 +143,20 @@ impl MatrixFactorizer {
     /// Creates a factorizer with the given hyper-parameters and backend.
     pub fn new(config: AlsConfig, backend: Backend) -> Self {
         config.validate();
-        Self { config, backend, engine: None, checkpoints: None }
+        Self {
+            config,
+            backend,
+            engine: None,
+            checkpoints: None,
+        }
     }
 
     /// Enables checkpointing of the factors after every iteration into
     /// `dir`.
-    pub fn with_checkpointing(mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+    pub fn with_checkpointing(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> std::io::Result<Self> {
         self.checkpoints = Some(CheckpointManager::new(dir)?);
         Ok(self)
     }
@@ -151,11 +168,18 @@ impl MatrixFactorizer {
 
     fn build_engine(&self, train: &Csr) -> EngineImpl {
         match &self.backend {
-            Backend::Reference => EngineImpl::Base(BaseAls::new(self.config.clone(), train.clone())),
+            Backend::Reference => {
+                EngineImpl::Base(BaseAls::new(self.config.clone(), train.clone()))
+            }
             Backend::SingleGpu => {
                 EngineImpl::Mo(MoAlsEngine::on_titan_x(self.config.clone(), train.clone()))
             }
-            Backend::MultiGpu { n_gpus, topology, reduction, plan } => {
+            Backend::MultiGpu {
+                n_gpus,
+                topology,
+                reduction,
+                plan,
+            } => {
                 let cluster = match topology {
                     TopologyKind::FlatPcie => GpuCluster::titan_x_flat(*n_gpus),
                     TopologyKind::DualSocket => GpuCluster::new(
@@ -164,7 +188,11 @@ impl MatrixFactorizer {
                         *n_gpus,
                     ),
                 };
-                let su_cfg = SuAlsConfig { als: self.config.clone(), reduction: *reduction, plan: *plan };
+                let su_cfg = SuAlsConfig {
+                    als: self.config.clone(),
+                    reduction: *reduction,
+                    plan: *plan,
+                };
                 EngineImpl::Su(SuAlsEngine::new(su_cfg, train.clone(), cluster))
             }
         }
@@ -172,6 +200,26 @@ impl MatrixFactorizer {
 
     /// Fits the model to `train`, reporting per-iteration RMSE on `test`
     /// (pass an empty slice to skip test evaluation).
+    ///
+    /// ```
+    /// use cumf_core::config::AlsConfig;
+    /// use cumf_core::trainer::{Backend, MatrixFactorizer};
+    /// use cumf_data::synth::SyntheticConfig;
+    /// use cumf_data::train_test_split;
+    ///
+    /// let data = SyntheticConfig { m: 80, n: 40, nnz: 1600, ..Default::default() }.generate();
+    /// let split = train_test_split(&data.ratings, 0.1, 7);
+    ///
+    /// let config = AlsConfig { f: 8, iterations: 4, ..Default::default() };
+    /// let mut model = MatrixFactorizer::new(config, Backend::Reference);
+    /// let report = model.fit(&split.train, &split.test);
+    ///
+    /// assert_eq!(report.iterations.len(), 4);
+    /// // ALS monotonically decreases the training objective, so train RMSE
+    /// // after the last iteration is no worse than after the first.
+    /// assert!(report.final_train_rmse() <= report.iterations[0].train_rmse + 1e-9);
+    /// assert!(report.final_test_rmse().is_finite());
+    /// ```
     pub fn fit(&mut self, train: &Csr, test: &[Entry]) -> TrainReport {
         let mut engine = self.build_engine(train);
         let mut report = TrainReport::default();
@@ -233,7 +281,11 @@ impl MatrixFactorizer {
     /// # Panics
     /// Panics if [`MatrixFactorizer::fit`] has not been called.
     pub fn x(&self) -> &FactorMatrix {
-        match self.engine.as_ref().expect("call fit() before reading factors") {
+        match self
+            .engine
+            .as_ref()
+            .expect("call fit() before reading factors")
+        {
             EngineImpl::Base(e) => e.x(),
             EngineImpl::Mo(e) => e.x(),
             EngineImpl::Su(e) => e.x(),
@@ -242,7 +294,11 @@ impl MatrixFactorizer {
 
     /// Item factors of the fitted model.
     pub fn theta(&self) -> &FactorMatrix {
-        match self.engine.as_ref().expect("call fit() before reading factors") {
+        match self
+            .engine
+            .as_ref()
+            .expect("call fit() before reading factors")
+        {
             EngineImpl::Base(e) => e.theta(),
             EngineImpl::Mo(e) => e.theta(),
             EngineImpl::Su(e) => e.theta(),
@@ -250,6 +306,25 @@ impl MatrixFactorizer {
     }
 
     /// Predicted rating for `(user, item)`.
+    ///
+    /// ```
+    /// use cumf_core::config::AlsConfig;
+    /// use cumf_core::trainer::{Backend, MatrixFactorizer};
+    /// use cumf_data::synth::SyntheticConfig;
+    ///
+    /// let data = SyntheticConfig { m: 60, n: 30, nnz: 900, ..Default::default() }.generate();
+    /// let train = data.to_csr();
+    ///
+    /// let config = AlsConfig { f: 8, iterations: 3, ..Default::default() };
+    /// let mut model = MatrixFactorizer::new(config, Backend::Reference);
+    /// model.fit(&train, &[]);
+    ///
+    /// // Predictions are the dot products of the learned factors: finite,
+    /// // and identical on repeated calls.
+    /// let p = model.predict(0, 5);
+    /// assert!(p.is_finite());
+    /// assert_eq!(p, model.predict(0, 5));
+    /// ```
     pub fn predict(&self, user: u32, item: u32) -> f32 {
         loss::predict(self.x(), self.theta(), user, item)
     }
@@ -257,6 +332,27 @@ impl MatrixFactorizer {
     /// Top-`k` recommendations for `user`, excluding the items listed in
     /// `exclude` (typically the items the user has already rated).
     /// Returns `(item, predicted_rating)` pairs sorted by score.
+    ///
+    /// ```
+    /// use cumf_core::config::AlsConfig;
+    /// use cumf_core::trainer::{Backend, MatrixFactorizer};
+    /// use cumf_data::synth::SyntheticConfig;
+    ///
+    /// let data = SyntheticConfig { m: 60, n: 30, nnz: 900, ..Default::default() }.generate();
+    /// let train = data.to_csr();
+    ///
+    /// let config = AlsConfig { f: 8, iterations: 3, ..Default::default() };
+    /// let mut model = MatrixFactorizer::new(config, Backend::Reference);
+    /// model.fit(&train, &[]);
+    ///
+    /// let (seen, _) = train.row(0);
+    /// let recs = model.recommend(0, 5, seen);
+    ///
+    /// assert_eq!(recs.len(), 5);
+    /// // Sorted by predicted rating, and never recommends a seen item.
+    /// assert!(recs.windows(2).all(|w| w[0].1 >= w[1].1));
+    /// assert!(recs.iter().all(|(item, _)| !seen.contains(item)));
+    /// ```
     pub fn recommend(&self, user: u32, k: usize, exclude: &[u32]) -> Vec<(u32, f32)> {
         let theta = self.theta();
         let x = self.x();
@@ -278,14 +374,26 @@ mod tests {
     use cumf_data::train_test_split;
 
     fn problem() -> (Csr, Vec<Entry>) {
-        let data = SyntheticConfig { m: 250, n: 120, nnz: 8000, rank: 4, noise_std: 0.05, ..Default::default() }
-            .generate();
+        let data = SyntheticConfig {
+            m: 250,
+            n: 120,
+            nnz: 8000,
+            rank: 4,
+            noise_std: 0.05,
+            ..Default::default()
+        }
+        .generate();
         let split = train_test_split(&data.ratings, 0.1, 3);
         (split.train, split.test)
     }
 
     fn config(iterations: usize) -> AlsConfig {
-        AlsConfig { f: 12, lambda: 0.05, iterations, ..Default::default() }
+        AlsConfig {
+            f: 12,
+            lambda: 0.05,
+            iterations,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -305,7 +413,10 @@ mod tests {
         let mut model = MatrixFactorizer::new(config(3), Backend::single_gpu());
         let report = model.fit(&train, &test);
         assert!(report.total_sim_time() > 0.0);
-        assert!(report.iterations.windows(2).all(|w| w[1].cumulative_sim_time_s > w[0].cumulative_sim_time_s));
+        assert!(report
+            .iterations
+            .windows(2)
+            .all(|w| w[1].cumulative_sim_time_s > w[0].cumulative_sim_time_s));
     }
 
     #[test]
@@ -338,7 +449,10 @@ mod tests {
     #[test]
     fn rmse_tracking_can_be_disabled() {
         let (train, _) = problem();
-        let cfg = AlsConfig { track_rmse: false, ..config(2) };
+        let cfg = AlsConfig {
+            track_rmse: false,
+            ..config(2)
+        };
         let mut model = MatrixFactorizer::new(cfg, Backend::Reference);
         let report = model.fit(&train, &[]);
         assert!(report.final_train_rmse().is_nan());

@@ -18,9 +18,17 @@ use cumf_gpu_sim::{GpuCluster, PcieTopology};
 use proptest::prelude::*;
 
 fn synthetic(m: u32, n: u32, nnz: usize, seed: u64) -> cumf_sparse::Csr {
-    SyntheticConfig { m, n, nnz, rank: 4, noise_std: 0.2, seed, ..Default::default() }
-        .generate()
-        .to_csr()
+    SyntheticConfig {
+        m,
+        n,
+        nnz,
+        rank: 4,
+        noise_std: 0.2,
+        seed,
+        ..Default::default()
+    }
+    .generate()
+    .to_csr()
 }
 
 proptest! {

@@ -152,7 +152,14 @@ impl DatasetSpec {
         let nz_uncapped = ((self.nz as f64 * scale).round() as u64).max(256);
         // Never request more ratings than distinct cells.
         let nz = nz_uncapped.min(m * n);
-        DatasetSpec { name: self.name, m, n, nz, f: self.f, lambda: self.lambda }
+        DatasetSpec {
+            name: self.name,
+            m,
+            n,
+            nz,
+            f: self.f,
+            lambda: self.lambda,
+        }
     }
 
     /// Memory footprint in single-precision words of the CSR ratings plus

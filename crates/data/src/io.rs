@@ -62,7 +62,6 @@ pub fn read_matrix_market_from<R: BufRead>(reader: R) -> Result<Coo, IoError> {
     let mut lines = reader.lines().enumerate();
 
     // Header: skip comments, read the size line.
-    let (mut m, mut n, mut declared_nnz) = (0u32, 0u32, 0usize);
     let mut size_seen = false;
     let mut coo = Coo::new(0, 0);
     for (idx, line) in &mut lines {
@@ -79,9 +78,9 @@ pub fn read_matrix_market_from<R: BufRead>(reader: R) -> Result<Coo, IoError> {
                     message: format!("expected 'rows cols nnz', got '{trimmed}'"),
                 });
             }
-            m = parse(parts[0], idx)?;
-            n = parse(parts[1], idx)?;
-            declared_nnz = parse(parts[2], idx)?;
+            let m: u32 = parse(parts[0], idx)?;
+            let n: u32 = parse(parts[1], idx)?;
+            let declared_nnz: usize = parse(parts[2], idx)?;
             coo = Coo::with_capacity(m, n, declared_nnz);
             size_seen = true;
             continue;
@@ -96,7 +95,10 @@ pub fn read_matrix_market_from<R: BufRead>(reader: R) -> Result<Coo, IoError> {
         coo.push(u - 1, v - 1, r)?;
     }
     if !size_seen {
-        return Err(IoError::Parse { line: 0, message: "missing MatrixMarket size line".into() });
+        return Err(IoError::Parse {
+            line: 0,
+            message: "missing MatrixMarket size line".into(),
+        });
     }
     Ok(coo)
 }
@@ -181,7 +183,10 @@ fn parse<T: std::str::FromStr>(s: &str, line_idx: usize) -> Result<T, IoError>
 where
     T::Err: std::fmt::Display,
 {
-    s.parse().map_err(|e| IoError::Parse { line: line_idx + 1, message: format!("'{s}': {e}") })
+    s.parse().map_err(|e| IoError::Parse {
+        line: line_idx + 1,
+        message: format!("'{s}': {e}"),
+    })
 }
 
 fn parse_triplet(line: &str, line_idx: usize) -> Result<(u32, u32, f32), IoError> {
@@ -192,7 +197,11 @@ fn parse_triplet(line: &str, line_idx: usize) -> Result<(u32, u32, f32), IoError
             message: format!("expected 'row col value', got '{line}'"),
         });
     }
-    Ok((parse(parts[0], line_idx)?, parse(parts[1], line_idx)?, parse(parts[2], line_idx)?))
+    Ok((
+        parse(parts[0], line_idx)?,
+        parse(parts[1], line_idx)?,
+        parse(parts[2], line_idx)?,
+    ))
 }
 
 #[cfg(test)]
@@ -210,7 +219,14 @@ mod tests {
     }
 
     fn sample() -> Csr {
-        SyntheticConfig { m: 40, n: 25, nnz: 300, ..Default::default() }.generate().to_csr()
+        SyntheticConfig {
+            m: 40,
+            n: 25,
+            nnz: 300,
+            ..Default::default()
+        }
+        .generate()
+        .to_csr()
     }
 
     #[test]

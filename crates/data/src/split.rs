@@ -35,7 +35,10 @@ impl TrainTest {
 /// column is always kept in training, so no user or item is entirely unseen
 /// at training time (the usual protocol for rating prediction).
 pub fn train_test_split(ratings: &Coo, test_frac: f64, seed: u64) -> TrainTest {
-    assert!((0.0..1.0).contains(&test_frac), "test fraction must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&test_frac),
+        "test fraction must be in [0, 1)"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut train = Coo::with_capacity(ratings.n_rows(), ratings.n_cols(), ratings.nnz());
     let mut test = Vec::new();
@@ -44,14 +47,19 @@ pub fn train_test_split(ratings: &Coo, test_frac: f64, seed: u64) -> TrainTest {
     for e in ratings.entries() {
         let must_train = !row_seen[e.row as usize] || !col_seen[e.col as usize];
         if must_train || rng.random::<f64>() >= test_frac {
-            train.push(e.row, e.col, e.val).expect("entry indices already validated");
+            train
+                .push(e.row, e.col, e.val)
+                .expect("entry indices already validated");
             row_seen[e.row as usize] = true;
             col_seen[e.col as usize] = true;
         } else {
             test.push(*e);
         }
     }
-    TrainTest { train: train.to_csr(), test }
+    TrainTest {
+        train: train.to_csr(),
+        test,
+    }
 }
 
 #[cfg(test)]
@@ -60,7 +68,14 @@ mod tests {
     use crate::synth::SyntheticConfig;
 
     fn sample() -> Coo {
-        SyntheticConfig { m: 300, n: 120, nnz: 9000, ..Default::default() }.generate().ratings
+        SyntheticConfig {
+            m: 300,
+            n: 120,
+            nnz: 9000,
+            ..Default::default()
+        }
+        .generate()
+        .ratings
     }
 
     #[test]
@@ -92,8 +107,10 @@ mod tests {
         let tt = train_test_split(&ratings, 0.5, 4);
         let train_rows: std::collections::HashSet<u32> = tt.train.iter().map(|e| e.row).collect();
         let train_cols: std::collections::HashSet<u32> = tt.train.iter().map(|e| e.col).collect();
-        let all_rows: std::collections::HashSet<u32> = ratings.entries().iter().map(|e| e.row).collect();
-        let all_cols: std::collections::HashSet<u32> = ratings.entries().iter().map(|e| e.col).collect();
+        let all_rows: std::collections::HashSet<u32> =
+            ratings.entries().iter().map(|e| e.row).collect();
+        let all_cols: std::collections::HashSet<u32> =
+            ratings.entries().iter().map(|e| e.col).collect();
         assert_eq!(train_rows, all_rows);
         assert_eq!(train_cols, all_cols);
     }

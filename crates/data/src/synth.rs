@@ -108,7 +108,9 @@ impl SyntheticConfig {
         let rows: Vec<Vec<(u32, f32)>> = (0..self.m as usize)
             .into_par_iter()
             .map(|u| {
-                let mut rng = StdRng::seed_from_u64(self.seed ^ (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng = StdRng::seed_from_u64(
+                    self.seed ^ (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
                 let degree = degrees[u].min(self.n as usize);
                 let mut cols: HashSet<u32> = HashSet::with_capacity(degree * 2);
                 // Rejection-sample distinct columns from the popularity CDF;
@@ -133,7 +135,8 @@ impl SyntheticConfig {
                 chosen
                     .into_iter()
                     .map(|v| {
-                        let mean = self.rating_min + dot(true_x.vector(u), true_theta.vector(v as usize));
+                        let mean =
+                            self.rating_min + dot(true_x.vector(u), true_theta.vector(v as usize));
                         let noise = gaussian(&mut rng) * self.noise_std;
                         let r = (mean + noise).clamp(self.rating_min, self.rating_max);
                         (v, r)
@@ -145,17 +148,25 @@ impl SyntheticConfig {
         let mut coo = Coo::with_capacity(self.m, self.n, rows.iter().map(Vec::len).sum());
         for (u, row) in rows.iter().enumerate() {
             for &(v, r) in row {
-                coo.push(u as u32, v, r).expect("generated indices are in range");
+                coo.push(u as u32, v, r)
+                    .expect("generated indices are in range");
             }
         }
 
-        SyntheticDataset { ratings: coo, true_x, true_theta, config: self.clone() }
+        SyntheticDataset {
+            ratings: coo,
+            true_x,
+            true_theta,
+            config: self.clone(),
+        }
     }
 
     /// Draws per-user degrees whose sum approximates `nnz`.
     fn sample_degrees(&self) -> Vec<usize> {
         let m = self.m as usize;
-        let mut weights: Vec<f64> = (0..m).map(|k| 1.0 / ((k + 1) as f64).powf(self.user_zipf)).collect();
+        let mut weights: Vec<f64> = (0..m)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(self.user_zipf))
+            .collect();
         // Shuffle so user id does not encode activity.
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xA5A5);
         for i in (1..m).rev() {
@@ -200,7 +211,10 @@ impl SyntheticDataset {
         let mut count = 0usize;
         for e in self.ratings.entries() {
             let pred = self.config.rating_min
-                + dot(self.true_x.vector(e.row as usize), self.true_theta.vector(e.col as usize));
+                + dot(
+                    self.true_x.vector(e.row as usize),
+                    self.true_theta.vector(e.col as usize),
+                );
             let pred = pred.clamp(self.config.rating_min, self.config.rating_max);
             se += ((e.val - pred) as f64).powi(2);
             count += 1;
@@ -250,7 +264,12 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = SyntheticConfig { m: 200, n: 100, nnz: 4000, ..Default::default() };
+        let cfg = SyntheticConfig {
+            m: 200,
+            n: 100,
+            nnz: 4000,
+            ..Default::default()
+        };
         let a = cfg.generate();
         let b = cfg.generate();
         assert_eq!(a.ratings.entries(), b.ratings.entries());
@@ -259,14 +278,30 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let cfg = SyntheticConfig { m: 200, n: 100, nnz: 4000, ..Default::default() };
-        let other = SyntheticConfig { seed: 7, ..cfg.clone() };
-        assert_ne!(cfg.generate().ratings.entries(), other.generate().ratings.entries());
+        let cfg = SyntheticConfig {
+            m: 200,
+            n: 100,
+            nnz: 4000,
+            ..Default::default()
+        };
+        let other = SyntheticConfig {
+            seed: 7,
+            ..cfg.clone()
+        };
+        assert_ne!(
+            cfg.generate().ratings.entries(),
+            other.generate().ratings.entries()
+        );
     }
 
     #[test]
     fn nnz_is_close_to_target() {
-        let cfg = SyntheticConfig { m: 500, n: 300, nnz: 20_000, ..Default::default() };
+        let cfg = SyntheticConfig {
+            m: 500,
+            n: 300,
+            nnz: 20_000,
+            ..Default::default()
+        };
         let d = cfg.generate();
         let got = d.ratings.nnz() as f64;
         assert!(got > 15_000.0 && got < 25_000.0, "nnz = {got}");
@@ -274,7 +309,12 @@ mod tests {
 
     #[test]
     fn ratings_are_within_range_and_indices_valid() {
-        let cfg = SyntheticConfig { m: 300, n: 150, nnz: 9000, ..Default::default() };
+        let cfg = SyntheticConfig {
+            m: 300,
+            n: 150,
+            nnz: 9000,
+            ..Default::default()
+        };
         let d = cfg.generate();
         for e in d.ratings.entries() {
             assert!(e.row < cfg.m && e.col < cfg.n);
@@ -284,7 +324,12 @@ mod tests {
 
     #[test]
     fn no_duplicate_coordinates_within_a_row() {
-        let cfg = SyntheticConfig { m: 100, n: 60, nnz: 3000, ..Default::default() };
+        let cfg = SyntheticConfig {
+            m: 100,
+            n: 60,
+            nnz: 3000,
+            ..Default::default()
+        };
         let csr = cfg.generate().to_csr();
         for u in 0..csr.n_rows() {
             let (cols, _) = csr.row(u);
@@ -296,17 +341,31 @@ mod tests {
 
     #[test]
     fn item_popularity_is_skewed() {
-        let cfg = SyntheticConfig { m: 2000, n: 500, nnz: 60_000, item_zipf: 1.0, ..Default::default() };
+        let cfg = SyntheticConfig {
+            m: 2000,
+            n: 500,
+            nnz: 60_000,
+            item_zipf: 1.0,
+            ..Default::default()
+        };
         let csr = cfg.generate().to_csr();
         let degrees = stats::col_degrees(&csr);
         let max = *degrees.iter().max().unwrap() as f64;
         let mean = csr.nnz() as f64 / cfg.n as f64;
-        assert!(max > 4.0 * mean, "max {max} vs mean {mean}: popularity should be skewed");
+        assert!(
+            max > 4.0 * mean,
+            "max {max} vs mean {mean}: popularity should be skewed"
+        );
     }
 
     #[test]
     fn every_user_has_at_least_one_rating() {
-        let cfg = SyntheticConfig { m: 400, n: 200, nnz: 8000, ..Default::default() };
+        let cfg = SyntheticConfig {
+            m: 400,
+            n: 200,
+            nnz: 8000,
+            ..Default::default()
+        };
         let csr = cfg.generate().to_csr();
         let s = stats::row_stats(&csr);
         assert_eq!(s.empty, 0);
@@ -314,8 +373,20 @@ mod tests {
 
     #[test]
     fn noise_floor_tracks_noise_std() {
-        let quiet = SyntheticConfig { m: 300, n: 150, nnz: 10_000, noise_std: 0.01, ..Default::default() };
-        let loud = SyntheticConfig { m: 300, n: 150, nnz: 10_000, noise_std: 0.5, ..Default::default() };
+        let quiet = SyntheticConfig {
+            m: 300,
+            n: 150,
+            nnz: 10_000,
+            noise_std: 0.01,
+            ..Default::default()
+        };
+        let loud = SyntheticConfig {
+            m: 300,
+            n: 150,
+            nnz: 10_000,
+            noise_std: 0.5,
+            ..Default::default()
+        };
         let rq = quiet.generate().noise_floor_rmse();
         let rl = loud.generate().noise_floor_rmse();
         assert!(rq < 0.05, "quiet noise floor {rq}");
@@ -347,6 +418,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot place more ratings")]
     fn too_many_ratings_panics() {
-        SyntheticConfig { m: 10, n: 10, nnz: 101, ..Default::default() }.generate();
+        SyntheticConfig {
+            m: 10,
+            n: 10,
+            nnz: 101,
+            ..Default::default()
+        }
+        .generate();
     }
 }

@@ -147,10 +147,30 @@ impl DeviceSpec {
     /// The paper's Table 4: characteristics of the programmable memories.
     pub fn memory_table() -> Vec<MemoryTableRow> {
         vec![
-            MemoryTableRow { kind: MemoryKind::Global, size: "large", latency: "high", scope: "application" },
-            MemoryTableRow { kind: MemoryKind::Texture, size: "medium", latency: "medium", scope: "application, read-only" },
-            MemoryTableRow { kind: MemoryKind::Shared, size: "small", latency: "low", scope: "thread block" },
-            MemoryTableRow { kind: MemoryKind::Register, size: "small", latency: "lowest", scope: "thread; not indexable" },
+            MemoryTableRow {
+                kind: MemoryKind::Global,
+                size: "large",
+                latency: "high",
+                scope: "application",
+            },
+            MemoryTableRow {
+                kind: MemoryKind::Texture,
+                size: "medium",
+                latency: "medium",
+                scope: "application, read-only",
+            },
+            MemoryTableRow {
+                kind: MemoryKind::Shared,
+                size: "small",
+                latency: "low",
+                scope: "thread block",
+            },
+            MemoryTableRow {
+                kind: MemoryKind::Register,
+                size: "small",
+                latency: "lowest",
+                scope: "thread; not indexable",
+            },
         ]
     }
 

@@ -50,7 +50,13 @@ impl DeviceAllocator {
     /// Creates an allocator for a device with `capacity` bytes of global
     /// memory.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: 0, next_id: 0, live: HashMap::new(), peak: 0 }
+        Self {
+            capacity,
+            used: 0,
+            next_id: 0,
+            live: HashMap::new(),
+            peak: 0,
+        }
     }
 
     /// Total capacity in bytes.

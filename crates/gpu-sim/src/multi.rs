@@ -24,8 +24,14 @@ impl GpuCluster {
     /// topology.
     pub fn new(spec: DeviceSpec, topology: PcieTopology, n_gpus: usize) -> Self {
         assert!(n_gpus >= 1, "a cluster needs at least one GPU");
-        assert_eq!(topology.n_gpus(), n_gpus, "topology and cluster GPU count differ");
-        let allocators = (0..n_gpus).map(|_| DeviceAllocator::new(spec.global_mem_bytes)).collect();
+        assert_eq!(
+            topology.n_gpus(),
+            n_gpus,
+            "topology and cluster GPU count differ"
+        );
+        let allocators = (0..n_gpus)
+            .map(|_| DeviceAllocator::new(spec.global_mem_bytes))
+            .collect();
         let timelines = (0..n_gpus).map(|_| DeviceTimeline::new()).collect();
         Self {
             spec,
@@ -105,7 +111,10 @@ impl GpuCluster {
 
     /// Simulated wall-clock: the latest instant at which any device is busy.
     pub fn simulated_time(&self) -> f64 {
-        self.timelines.iter().map(|t| t.now()).fold(0.0f64, f64::max)
+        self.timelines
+            .iter()
+            .map(|t| t.now())
+            .fold(0.0f64, f64::max)
     }
 
     /// Advances every device to the same instant (a global barrier, used
@@ -123,7 +132,8 @@ impl GpuCluster {
     pub fn run_kernel(&mut self, g: usize, name: &str, duration: f64) -> f64 {
         let start = self.timelines[g].compute_idle_at();
         let done = self.timelines[g].enqueue_compute(duration);
-        self.profiler.record(g, name, EventKind::Kernel, start, duration);
+        self.profiler
+            .record(g, name, EventKind::Kernel, start, duration);
         done
     }
 
@@ -132,7 +142,8 @@ impl GpuCluster {
     pub fn run_transfer(&mut self, g: usize, name: &str, duration: f64, not_before: f64) -> f64 {
         let start = self.timelines[g].copy_idle_at().max(not_before);
         let done = self.timelines[g].enqueue_copy_after(duration, not_before);
-        self.profiler.record(g, name, EventKind::Transfer, start, duration);
+        self.profiler
+            .record(g, name, EventKind::Transfer, start, duration);
         done
     }
 

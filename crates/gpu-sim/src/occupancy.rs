@@ -67,22 +67,22 @@ impl Occupancy {
 
         let by_slots = spec.max_blocks_per_sm;
         let by_threads = spec.max_threads_per_sm / block_threads;
-        let by_shared = if shared_per_block_bytes == 0 {
-            u32::MAX
-        } else {
-            (spec.shared_mem_per_sm_kib * 1024) / shared_per_block_bytes
-        };
+        let by_shared = (spec.shared_mem_per_sm_kib * 1024)
+            .checked_div(shared_per_block_bytes)
+            .unwrap_or(u32::MAX);
         let regs_per_block = regs_per_thread as u64 * block_threads as u64 * 4;
-        let by_regs = if regs_per_block == 0 {
-            u32::MAX
-        } else {
-            ((spec.register_file_per_sm_kib as u64 * 1024) / regs_per_block) as u32
-        };
+        let by_regs = (spec.register_file_per_sm_kib as u64 * 1024)
+            .checked_div(regs_per_block)
+            .map_or(u32::MAX, |b| b as u32);
 
         let blocks = by_slots.min(by_threads).min(by_shared).min(by_regs);
         let limiter = if blocks == 0 {
             Limiter::DoesNotFit
-        } else if blocks == by_regs && by_regs <= by_shared && by_regs <= by_threads && by_regs <= by_slots {
+        } else if blocks == by_regs
+            && by_regs <= by_shared
+            && by_regs <= by_threads
+            && by_regs <= by_slots
+        {
             Limiter::Registers
         } else if blocks == by_shared && by_shared <= by_threads && by_shared <= by_slots {
             Limiter::SharedMemory
@@ -184,8 +184,12 @@ mod tests {
         assert_eq!(occ.limiter, Limiter::Registers);
         assert_eq!(occ.blocks_per_sm, 5);
         // Without register blocking more blocks fit.
-        let occ_no_reg =
-            Occupancy::compute(&spec, 100, mo_als_regs_per_thread(100, false), mo_als_shared_bytes(100, 20));
+        let occ_no_reg = Occupancy::compute(
+            &spec,
+            100,
+            mo_als_regs_per_thread(100, false),
+            mo_als_shared_bytes(100, 20),
+        );
         assert!(occ_no_reg.blocks_per_sm > occ.blocks_per_sm);
     }
 

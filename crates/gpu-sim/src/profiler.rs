@@ -4,9 +4,9 @@
 //! so the benchmark harness can answer "where did the iteration's time go",
 //! mirroring what `nvprof` provides on real hardware.
 
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Category of a simulated event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -50,7 +50,7 @@ impl Profiler {
 
     /// Records an event.
     pub fn record(&self, device: usize, name: &str, kind: EventKind, start: f64, duration: f64) {
-        self.events.lock().push(ProfileEvent {
+        self.events.lock().unwrap().push(ProfileEvent {
             device,
             name: name.to_string(),
             kind,
@@ -61,7 +61,7 @@ impl Profiler {
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.events.lock().unwrap().len()
     }
 
     /// True when nothing has been recorded.
@@ -71,18 +71,18 @@ impl Profiler {
 
     /// Snapshot of all events in recording order.
     pub fn events(&self) -> Vec<ProfileEvent> {
-        self.events.lock().clone()
+        self.events.lock().unwrap().clone()
     }
 
     /// Clears all recorded events.
     pub fn clear(&self) {
-        self.events.lock().clear();
+        self.events.lock().unwrap().clear();
     }
 
     /// Total simulated time per event kind.
     pub fn time_by_kind(&self) -> BTreeMap<EventKind, f64> {
         let mut map = BTreeMap::new();
-        for e in self.events.lock().iter() {
+        for e in self.events.lock().unwrap().iter() {
             *map.entry(e.kind).or_insert(0.0) += e.duration;
         }
         map
@@ -91,7 +91,7 @@ impl Profiler {
     /// Total simulated time per event name.
     pub fn time_by_name(&self) -> BTreeMap<String, f64> {
         let mut map = BTreeMap::new();
-        for e in self.events.lock().iter() {
+        for e in self.events.lock().unwrap().iter() {
             *map.entry(e.name.clone()).or_insert(0.0) += e.duration;
         }
         map
@@ -101,6 +101,7 @@ impl Profiler {
     pub fn makespan(&self) -> f64 {
         self.events
             .lock()
+            .unwrap()
             .iter()
             .map(|e| e.start + e.duration)
             .fold(0.0f64, f64::max)

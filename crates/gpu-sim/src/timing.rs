@@ -85,7 +85,11 @@ impl TimingModel {
         let peak_flops = spec.peak_gflops() * 1e9;
         let compute_s = traffic.flops / (peak_flops * self.compute_efficiency * occ);
 
-        let global_eff = if scattered { self.scattered_efficiency } else { self.coalesced_efficiency };
+        let global_eff = if scattered {
+            self.scattered_efficiency
+        } else {
+            self.coalesced_efficiency
+        };
         let global_bw = spec.global_bw_gbs * 1e9 * global_eff * occ;
         let texture_bw = spec.texture_bw_gbs * 1e9 * occ.max(0.5);
         let shared_bw = spec.shared_bw_gbs * 1e9;
@@ -127,13 +131,19 @@ mod tests {
         let occ = full_occupancy(&spec);
         let t1 = model.kernel_time(
             &spec,
-            &KernelTraffic { flops: 1e9, ..KernelTraffic::new() },
+            &KernelTraffic {
+                flops: 1e9,
+                ..KernelTraffic::new()
+            },
             &occ,
             false,
         );
         let t2 = model.kernel_time(
             &spec,
-            &KernelTraffic { flops: 2e9, ..KernelTraffic::new() },
+            &KernelTraffic {
+                flops: 2e9,
+                ..KernelTraffic::new()
+            },
             &occ,
             false,
         );
@@ -150,7 +160,11 @@ mod tests {
         // 1 GB of scattered reads but almost no flops.
         let t = model.kernel_time(
             &spec,
-            &KernelTraffic { flops: 1e6, global_read_bytes: 1e9, ..KernelTraffic::new() },
+            &KernelTraffic {
+                flops: 1e6,
+                global_read_bytes: 1e9,
+                ..KernelTraffic::new()
+            },
             &occ,
             true,
         );
@@ -163,7 +177,10 @@ mod tests {
         let spec = DeviceSpec::titan_x();
         let model = TimingModel::default();
         let occ = full_occupancy(&spec);
-        let uncached = KernelTraffic { global_read_bytes: 1e9, ..KernelTraffic::new() };
+        let uncached = KernelTraffic {
+            global_read_bytes: 1e9,
+            ..KernelTraffic::new()
+        };
         let cached = KernelTraffic {
             texture_read_bytes: 1e9,
             texture_hit_rate: 0.9,
@@ -187,7 +204,11 @@ mod tests {
         // Huge shared-memory block: only one or two resident blocks.
         let low = Occupancy::compute(&spec, 128, 32, 48 * 1024);
         assert!(low.occupancy < high.occupancy);
-        let traffic = KernelTraffic { flops: 1e9, global_read_bytes: 5e8, ..KernelTraffic::new() };
+        let traffic = KernelTraffic {
+            flops: 1e9,
+            global_read_bytes: 5e8,
+            ..KernelTraffic::new()
+        };
         let t_high = model.kernel_time(&spec, &traffic, &high, true);
         let t_low = model.kernel_time(&spec, &traffic, &low, true);
         assert!(t_low.total_s > t_high.total_s);
@@ -216,7 +237,11 @@ mod tests {
         let model = TimingModel::default();
         let titan = DeviceSpec::titan_x();
         let gk = DeviceSpec::gk210();
-        let traffic = KernelTraffic { flops: 1e10, global_read_bytes: 1e9, ..KernelTraffic::new() };
+        let traffic = KernelTraffic {
+            flops: 1e10,
+            global_read_bytes: 1e9,
+            ..KernelTraffic::new()
+        };
         let occ_t = full_occupancy(&titan);
         let occ_g = full_occupancy(&gk);
         let tt = model.kernel_time(&titan, &traffic, &occ_t, false);

@@ -153,7 +153,9 @@ impl PcieTopology {
 
     /// GPUs attached to the given socket.
     pub fn gpus_on_socket(&self, socket: usize) -> Vec<usize> {
-        (0..self.n_gpus).filter(|&g| self.socket_of(g) == socket).collect()
+        (0..self.n_gpus)
+            .filter(|&g| self.socket_of(g) == socket)
+            .collect()
     }
 
     fn endpoint_socket(&self, e: Endpoint) -> usize {
@@ -299,7 +301,10 @@ mod tests {
             Transfer::new(Endpoint::Gpu(0), Endpoint::Gpu(1), bytes),
             Transfer::new(Endpoint::Gpu(1), Endpoint::Gpu(0), bytes),
         ]);
-        assert!((both - one).abs() < 1e-9, "duplex transfers should overlap perfectly");
+        assert!(
+            (both - one).abs() < 1e-9,
+            "duplex transfers should overlap perfectly"
+        );
     }
 
     #[test]
@@ -319,10 +324,16 @@ mod tests {
     fn host_fanout_contends_on_the_root_complex() {
         let flat = PcieTopology::flat(4);
         let bytes = 2.5e9; // 2.5 GB: 0.1 s at the 25 GB/s root
-        let alone = flat.concurrent_transfer_time(&[Transfer::new(Endpoint::Host, Endpoint::Gpu(0), bytes)]);
-        let four = flat.concurrent_transfer_time(&(0..4)
-            .map(|g| Transfer::new(Endpoint::Host, Endpoint::Gpu(g), bytes))
-            .collect::<Vec<_>>());
+        let alone = flat.concurrent_transfer_time(&[Transfer::new(
+            Endpoint::Host,
+            Endpoint::Gpu(0),
+            bytes,
+        )]);
+        let four = flat.concurrent_transfer_time(
+            &(0..4)
+                .map(|g| Transfer::new(Endpoint::Host, Endpoint::Gpu(g), bytes))
+                .collect::<Vec<_>>(),
+        );
         // The shared 25 GB/s host link becomes the bottleneck: 10/25 = 0.4 s.
         assert!(four > alone * 2.0);
         assert!((four - (flat.latency_s + 4.0 * bytes / 25e9)).abs() < 1e-6);
@@ -356,7 +367,10 @@ mod tests {
     #[test]
     fn zero_byte_transfers_cost_nothing() {
         let flat = PcieTopology::flat(2);
-        assert_eq!(flat.transfer_time(&Transfer::new(Endpoint::Gpu(0), Endpoint::Gpu(1), 0.0)), 0.0);
+        assert_eq!(
+            flat.transfer_time(&Transfer::new(Endpoint::Gpu(0), Endpoint::Gpu(1), 0.0)),
+            0.0
+        );
         assert_eq!(flat.concurrent_transfer_time(&[]), 0.0);
     }
 

@@ -37,7 +37,11 @@ impl BatchSolveReport {
 /// reported in the returned [`BatchSolveReport`].
 pub fn batch_solve(hermitians: &mut [f32], rhs: &mut [f32], f: usize) -> BatchSolveReport {
     assert!(f > 0, "latent dimension must be positive");
-    assert_eq!(hermitians.len() % (f * f), 0, "hermitian buffer not a multiple of f*f");
+    assert_eq!(
+        hermitians.len() % (f * f),
+        0,
+        "hermitian buffer not a multiple of f*f"
+    );
     assert_eq!(rhs.len() % f, 0, "rhs buffer not a multiple of f");
     let batch = hermitians.len() / (f * f);
     assert_eq!(rhs.len() / f, batch, "hermitian and rhs batch sizes differ");
@@ -53,7 +57,10 @@ pub fn batch_solve(hermitians: &mut [f32], rhs: &mut [f32], f: usize) -> BatchSo
         .enumerate()
         .filter_map(|(i, r)| r.is_err().then_some(i))
         .collect();
-    BatchSolveReport { solved: batch - failed.len(), failed }
+    BatchSolveReport {
+        solved: batch - failed.len(),
+        failed,
+    }
 }
 
 /// Sequential reference implementation of [`batch_solve`], used by tests to
@@ -68,7 +75,10 @@ pub fn batch_solve_seq(hermitians: &mut [f32], rhs: &mut [f32], f: usize) -> Bat
             failed.push(i);
         }
     }
-    BatchSolveReport { solved: batch - failed.len(), failed }
+    BatchSolveReport {
+        solved: batch - failed.len(),
+        failed,
+    }
 }
 
 #[cfg(test)]
@@ -76,7 +86,7 @@ mod tests {
     use super::*;
     use crate::blas::{add_diagonal, syr_full};
     use crate::cholesky::residual_norm;
-    
+
     use rand::prelude::*;
 
     fn random_batch(batch: usize, f: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {

@@ -17,7 +17,11 @@ pub struct CholeskyError {
 
 impl fmt::Display for CholeskyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "matrix is not positive definite (pivot {} is non-positive)", self.pivot)
+        write!(
+            f,
+            "matrix is not positive definite (pivot {} is non-positive)",
+            self.pivot
+        )
     }
 }
 
@@ -107,7 +111,7 @@ pub fn residual_norm(a: &[f32], f: usize, x: &[f32], b: &[f32]) -> f64 {
 mod tests {
     use super::*;
     use crate::blas::{add_diagonal, syr_full};
-    
+
     use rand::prelude::*;
 
     /// Builds a random SPD matrix as a sum of rank-1 terms plus a ridge,
@@ -158,7 +162,12 @@ mod tests {
 
     #[test]
     fn random_spd_systems_have_small_residual() {
-        for (f, terms, seed) in [(4usize, 10usize, 1u64), (16, 40, 2), (32, 100, 3), (64, 200, 4)] {
+        for (f, terms, seed) in [
+            (4usize, 10usize, 1u64),
+            (16, 40, 2),
+            (32, 100, 3),
+            (64, 200, 4),
+        ] {
             let a = random_spd(f, terms, 0.1, seed);
             let mut rng = StdRng::seed_from_u64(seed + 100);
             let b: Vec<f32> = (0..f).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect();

@@ -1,6 +1,5 @@
 //! Row-major dense matrices and factor matrices.
 
-
 use rand::prelude::*;
 
 /// A general row-major dense matrix of `f32`.
@@ -14,7 +13,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major vector.
@@ -111,7 +114,11 @@ impl DenseMatrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Maximum absolute element-wise difference to another matrix of the same
@@ -143,7 +150,11 @@ pub struct FactorMatrix {
 impl FactorMatrix {
     /// Zero-initialized factor matrix.
     pub fn zeros(n: usize, f: usize) -> Self {
-        Self { n, f, data: vec![0.0; n * f] }
+        Self {
+            n,
+            f,
+            data: vec![0.0; n * f],
+        }
     }
 
     /// Random initialization with entries uniform in `[0, scale)`, matching

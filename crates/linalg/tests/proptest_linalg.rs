@@ -76,8 +76,8 @@ proptest! {
         let am = DenseMatrix::from_vec(rows, cols, a.data().to_vec());
         let xm = DenseMatrix::from_vec(cols, 1, x.data().to_vec());
         let expect = am.matmul(&xm);
-        for i in 0..rows {
-            prop_assert!((y[i] - expect.get(i, 0)).abs() < 1e-4);
+        for (i, &yi) in y.iter().enumerate() {
+            prop_assert!((yi - expect.get(i, 0)).abs() < 1e-4);
         }
     }
 

@@ -17,12 +17,20 @@ pub struct Coo {
 impl Coo {
     /// Creates an empty COO matrix with the given shape.
     pub fn new(n_rows: u32, n_cols: u32) -> Self {
-        Self { n_rows, n_cols, entries: Vec::new() }
+        Self {
+            n_rows,
+            n_cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty COO matrix with the given shape and reserved capacity.
     pub fn with_capacity(n_rows: u32, n_cols: u32, nnz: usize) -> Self {
-        Self { n_rows, n_cols, entries: Vec::with_capacity(nnz) }
+        Self {
+            n_rows,
+            n_cols,
+            entries: Vec::with_capacity(nnz),
+        }
     }
 
     /// Builds a COO matrix from raw triplets, validating index ranges.
@@ -39,16 +47,26 @@ impl Coo {
                 return Err(SparseError::ColOutOfBounds { col: e.col, n_cols });
             }
         }
-        Ok(Self { n_rows, n_cols, entries })
+        Ok(Self {
+            n_rows,
+            n_cols,
+            entries,
+        })
     }
 
     /// Appends one entry, validating its indices.
     pub fn push(&mut self, row: u32, col: u32, val: f32) -> Result<(), SparseError> {
         if row >= self.n_rows {
-            return Err(SparseError::RowOutOfBounds { row, n_rows: self.n_rows });
+            return Err(SparseError::RowOutOfBounds {
+                row,
+                n_rows: self.n_rows,
+            });
         }
         if col >= self.n_cols {
-            return Err(SparseError::ColOutOfBounds { col, n_cols: self.n_cols });
+            return Err(SparseError::ColOutOfBounds {
+                col,
+                n_cols: self.n_cols,
+            });
         }
         self.entries.push(Entry::new(row, col, val));
         Ok(())
@@ -104,7 +122,11 @@ impl Coo {
             .iter()
             .map(|e| Entry::new(e.col, e.row, e.val))
             .collect();
-        Coo { n_rows: self.n_cols, n_cols: self.n_rows, entries }
+        Coo {
+            n_rows: self.n_cols,
+            n_cols: self.n_rows,
+            entries,
+        }
     }
 
     /// Consumes the matrix and returns its triplets.

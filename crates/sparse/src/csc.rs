@@ -56,7 +56,13 @@ impl Csc {
                 return Err(SparseError::RowOutOfBounds { row: r, n_rows });
             }
         }
-        Ok(Self { n_rows, n_cols, col_ptr, row_idx, values })
+        Ok(Self {
+            n_rows,
+            n_cols,
+            col_ptr,
+            row_idx,
+            values,
+        })
     }
 
     /// Builds the CSC form of a CSR matrix (a transpose of the storage layout).
@@ -84,7 +90,13 @@ impl Csc {
                 cursor[c as usize] += 1;
             }
         }
-        Self { n_rows, n_cols, col_ptr, row_idx, values }
+        Self {
+            n_rows,
+            n_cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 
     /// Number of rows `m`.

@@ -57,7 +57,13 @@ impl Csr {
                 return Err(SparseError::ColOutOfBounds { col: c, n_cols });
             }
         }
-        Ok(Self { n_rows, n_cols, row_ptr, col_idx, values })
+        Ok(Self {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Builds a CSR matrix from a COO matrix (entries may be unsorted;
@@ -84,7 +90,13 @@ impl Csr {
             cursor[e.row as usize] += 1;
         }
         // Sort each row's columns for deterministic iteration order.
-        let mut csr = Self { n_rows, n_cols, row_ptr, col_idx, values };
+        let mut csr = Self {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        };
         csr.sort_rows();
         csr
     }

@@ -11,7 +11,11 @@ pub enum SparseError {
     ColOutOfBounds { col: u32, n_cols: u32 },
     /// A structural array has an inconsistent length (e.g. `row_ptr` not
     /// `n_rows + 1` long, or `col_idx` and `values` lengths differing).
-    InconsistentLength { what: &'static str, expected: usize, got: usize },
+    InconsistentLength {
+        what: &'static str,
+        expected: usize,
+        got: usize,
+    },
     /// A pointer array is not monotonically non-decreasing.
     NonMonotonicPtr { at: usize },
     /// A partition request is degenerate (zero parts, or more parts than rows/cols).
@@ -27,14 +31,27 @@ impl fmt::Display for SparseError {
             SparseError::ColOutOfBounds { col, n_cols } => {
                 write!(f, "column index {col} out of bounds for {n_cols} columns")
             }
-            SparseError::InconsistentLength { what, expected, got } => {
-                write!(f, "inconsistent length for {what}: expected {expected}, got {got}")
+            SparseError::InconsistentLength {
+                what,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "inconsistent length for {what}: expected {expected}, got {got}"
+                )
             }
             SparseError::NonMonotonicPtr { at } => {
                 write!(f, "pointer array decreases at position {at}")
             }
-            SparseError::InvalidPartition { requested, available } => {
-                write!(f, "invalid partition: requested {requested} parts over {available} elements")
+            SparseError::InvalidPartition {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "invalid partition: requested {requested} parts over {available} elements"
+                )
             }
         }
     }
@@ -52,11 +69,18 @@ mod tests {
         assert!(e.to_string().contains("row index 7"));
         let e = SparseError::ColOutOfBounds { col: 9, n_cols: 3 };
         assert!(e.to_string().contains("column index 9"));
-        let e = SparseError::InconsistentLength { what: "row_ptr", expected: 6, got: 5 };
+        let e = SparseError::InconsistentLength {
+            what: "row_ptr",
+            expected: 6,
+            got: 5,
+        };
         assert!(e.to_string().contains("row_ptr"));
         let e = SparseError::NonMonotonicPtr { at: 2 };
         assert!(e.to_string().contains("position 2"));
-        let e = SparseError::InvalidPartition { requested: 0, available: 10 };
+        let e = SparseError::InvalidPartition {
+            requested: 0,
+            available: 10,
+        };
         assert!(e.to_string().contains("0 parts"));
     }
 

@@ -56,7 +56,10 @@ impl SparseBlock {
 /// most one (the first `total % parts` ranges get the extra element).
 pub fn split_ranges(total: u32, parts: usize) -> Result<Vec<(u32, u32)>, SparseError> {
     if parts == 0 || parts as u64 > total.max(1) as u64 {
-        return Err(SparseError::InvalidPartition { requested: parts, available: total as usize });
+        return Err(SparseError::InvalidPartition {
+            requested: parts,
+            available: total as usize,
+        });
     }
     let base = total / parts as u32;
     let extra = total % parts as u32;
@@ -152,10 +155,22 @@ pub fn grid_partition(r: &Csr, p: usize, q: usize) -> Result<GridPartition, Spar
             blocks.push(extract_block(r, rs, re, cs, ce));
         }
     }
-    Ok(GridPartition { p, q, row_ranges, col_ranges, blocks })
+    Ok(GridPartition {
+        p,
+        q,
+        row_ranges,
+        col_ranges,
+        blocks,
+    })
 }
 
-fn extract_block(r: &Csr, row_start: u32, row_end: u32, col_start: u32, col_end: u32) -> SparseBlock {
+fn extract_block(
+    r: &Csr,
+    row_start: u32,
+    row_end: u32,
+    col_start: u32,
+    col_end: u32,
+) -> SparseBlock {
     let n_rows = row_end - row_start;
     let n_cols = col_end - col_start;
     let mut coo = Coo::new(n_rows, n_cols);
@@ -170,7 +185,11 @@ fn extract_block(r: &Csr, row_start: u32, row_end: u32, col_start: u32, col_end:
                 .expect("block-local indices are in range by construction");
         }
     }
-    SparseBlock { row_start, col_start, csr: coo.to_csr() }
+    SparseBlock {
+        row_start,
+        col_start,
+        csr: coo.to_csr(),
+    }
 }
 
 #[cfg(test)]

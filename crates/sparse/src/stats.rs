@@ -32,7 +32,15 @@ impl DegreeStats {
     fn from_degrees(degrees: &[usize]) -> Self {
         let count = degrees.len();
         if count == 0 {
-            return Self { count: 0, total: 0, min: 0, max: 0, mean: 0.0, std_dev: 0.0, empty: 0 };
+            return Self {
+                count: 0,
+                total: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                empty: 0,
+            };
         }
         let total: usize = degrees.iter().sum();
         let min = *degrees.iter().min().unwrap();
@@ -47,7 +55,15 @@ impl DegreeStats {
             .sum::<f64>()
             / count as f64;
         let empty = degrees.iter().filter(|&&d| d == 0).count();
-        Self { count, total, min, max, mean, std_dev: var.sqrt(), empty }
+        Self {
+            count,
+            total,
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+            empty,
+        }
     }
 }
 
@@ -92,7 +108,11 @@ pub fn density(r: &Csr) -> f64 {
 /// [`DegreeStats::empty`]; useful for eyeballing power-law shape.
 pub fn log2_degree_histogram(degrees: &[usize]) -> Vec<usize> {
     let max = degrees.iter().copied().max().unwrap_or(0);
-    let buckets = if max == 0 { 1 } else { (usize::BITS - max.leading_zeros()) as usize };
+    let buckets = if max == 0 {
+        1
+    } else {
+        (usize::BITS - max.leading_zeros()) as usize
+    };
     let mut hist = vec![0usize; buckets.max(1)];
     for &d in degrees {
         if d == 0 {
@@ -176,7 +196,7 @@ mod tests {
     #[test]
     fn sum_sq_matches_manual() {
         let r = sample();
-        assert_eq!(sum_sq_row_degrees(&r), 9 + 1 + 0 + 4);
+        assert_eq!(sum_sq_row_degrees(&r), (9 + 1) + 4);
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn arb_coo(max_rows: u32, max_cols: u32, max_nnz: usize) -> impl Strategy<Value 
 
 fn sorted_triplets(csr: &Csr) -> Vec<(u32, u32, f32)> {
     let mut t: Vec<(u32, u32, f32)> = csr.iter().map(|e| (e.row, e.col, e.val)).collect();
-    t.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    t.sort_by_key(|a| (a.0, a.1));
     t
 }
 
@@ -35,7 +35,7 @@ proptest! {
         prop_assert_eq!(csr.nnz(), coo.nnz());
         let mut original: Vec<(u32, u32, f32)> =
             coo.entries().iter().map(|e| (e.row, e.col, e.val)).collect();
-        original.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        original.sort_by_key(|a| (a.0, a.1));
         prop_assert_eq!(original, sorted_triplets(&csr));
     }
 

@@ -1,0 +1,304 @@
+//! API-compatible shim for [crossbeam](https://docs.rs/crossbeam)'s
+//! `channel` module.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset `cumf-rs` uses: multi-producer **multi-consumer** channels
+//! ([`channel::bounded`] / [`channel::unbounded`]) with clonable
+//! [`channel::Sender`] / [`channel::Receiver`] endpoints and disconnect
+//! semantics matching crossbeam's (`recv` fails once all senders are gone
+//! and the queue is drained; `send` fails once all receivers are gone).
+//!
+//! Implemented as a `Mutex<VecDeque>` + two `Condvar`s — adequate for the
+//! pipeline depths used here (out-of-core prefetch, NOMAD token rings); the
+//! real crate's lock-free implementation can be swapped back in via the root
+//! `Cargo.toml` when a registry is available.
+
+pub mod channel {
+    //! MPMC channels with crossbeam's API.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        cap: Option<usize>,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are dropped;
+    /// carries the unsent message back.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are dropped.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        /// Channel currently empty (senders still connected).
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    /// The sending half of a channel.  Clonable (MPMC).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.  Clonable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // Wake receivers blocked on an empty queue so they observe
+                // the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued (bounded channels block on a
+        /// full queue); fails only when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.shared.cap {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        inner = self.shared.not_full.wait(inner).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            inner.queue.push_back(msg);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; fails once the channel is empty
+        /// and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.not_empty.wait(inner).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if let Some(msg) = inner.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// A channel holding at most `cap` in-flight messages; `send` blocks
+    /// when full.  `cap = 0` is rounded up to 1 (the shim has no
+    /// rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(cap.max(1)))
+    }
+
+    /// A channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvError};
+    use std::thread;
+
+    #[test]
+    fn fifo_within_a_sender() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        let tx2 = tx.clone();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        let producer = thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_once() {
+        let (tx, rx) = unbounded();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut local = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        local.push(v);
+                    }
+                    local
+                })
+            })
+            .collect();
+        drop(rx);
+        for i in 0..1000u32 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+}

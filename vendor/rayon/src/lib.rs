@@ -1,0 +1,265 @@
+//! Sequential, API-compatible shim for [rayon](https://docs.rs/rayon).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the *interface* of the external crates it depends
+//! on.  This shim exposes the subset of rayon's parallel-iterator API that
+//! `cumf-rs` uses — `par_iter`, `par_iter_mut`, `into_par_iter`,
+//! `par_chunks_mut`, and the adapters `map` / `zip` / `enumerate` / `filter`
+//! / `for_each` / `collect` / `sum` / `count` / rayon-style two-argument
+//! `reduce` — executing everything **sequentially** on the calling thread.
+//!
+//! Correctness is unaffected: rayon's contract is that parallel execution is
+//! observationally equivalent to sequential execution for the pure
+//! operations used here.  Wall-clock scaling measurements are deferred until
+//! the real crate can be pulled; swap the `[workspace.dependencies]` entry
+//! in the root `Cargo.toml` from the `vendor/rayon` path to a crates.io
+//! version and everything compiles unchanged.
+
+use std::iter::{Enumerate, Filter, FilterMap, FlatMap, Map, Zip};
+
+/// Sequential stand-in for rayon's `ParallelIterator`.
+///
+/// Wraps a standard [`Iterator`] and re-exposes the adapter set with rayon's
+/// signatures (notably [`ParIter::reduce`], which takes an identity closure,
+/// unlike [`Iterator::reduce`]).
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Wraps any iterator as a "parallel" iterator.
+    pub fn new(inner: I) -> Self {
+        ParIter(inner)
+    }
+
+    /// Applies `f` to each item.
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Pairs items with another parallel iterator.
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<Zip<I, J::Iter>> {
+        ParIter(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// Pairs items with their indices.
+    pub fn enumerate(self) -> ParIter<Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Keeps items for which `f` returns true.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Filters and maps in one pass.
+    pub fn filter_map<O, F: FnMut(I::Item) -> Option<O>>(self, f: F) -> ParIter<FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Maps each item to an iterator and flattens the result.
+    pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
+        self,
+        f: F,
+    ) -> ParIter<FlatMap<I, O, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Consumes the iterator, applying `f` to each item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Collects into any [`FromIterator`] collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Counts the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Rayon-style reduction: folds every item into `identity()` with `op`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Rayon `min`/`max` need `Ord`; same here.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Minimum item, if any.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// No-op in the sequential shim (rayon uses it to bound task splitting).
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+}
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// The underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Converts `self` into a (sequential) "parallel" iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Iter = C::IntoIter;
+    type Item = C::Item;
+
+    fn into_par_iter(self) -> ParIter<C::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter()` for shared references.
+pub trait IntoParallelRefIterator<'data> {
+    /// The underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type (a shared reference).
+    type Item: 'data;
+    /// Iterates `&self` "in parallel".
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    type Item = <&'data C as IntoIterator>::Item;
+
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter_mut()` for mutable references.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type (a mutable reference).
+    type Item: 'data;
+    /// Iterates `&mut self` "in parallel".
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    type Item = <&'data mut C as IntoIterator>::Item;
+
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_chunks` / `par_chunks_mut` on slices.
+pub trait ParallelSlice<T> {
+    /// Non-overlapping chunks of `chunk_size` items.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// Mutable chunked access on slices.
+pub trait ParallelSliceMut<T> {
+    /// Non-overlapping mutable chunks of `chunk_size` items.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+}
+
+/// Runs two closures ("in parallel" — sequentially here) and returns both
+/// results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of "worker threads" — 1 in the sequential shim.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod prelude {
+    //! Rayon's prelude: the traits that add `par_iter` & friends to
+    //! standard collections.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_sum_matches_sequential() {
+        let v: Vec<u64> = (0..100).collect();
+        let par: u64 = v.par_iter().map(|&x| x * x).sum();
+        let seq: u64 = v.iter().map(|&x| x * x).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn reduce_uses_identity() {
+        let total = (1..=4u32).into_par_iter().reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn chunks_mut_zip_writes_through() {
+        let mut a = vec![0f32; 6];
+        let b = vec![1f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        a.par_chunks_mut(2)
+            .zip(b.par_chunks(2))
+            .for_each(|(ca, cb)| {
+                ca.copy_from_slice(cb);
+            });
+        assert_eq!(a, b);
+    }
+}
