@@ -41,6 +41,25 @@ pub fn init_factors(n: usize, f: usize, seed: u64) -> FactorMatrix {
     FactorMatrix::random(n, f, 1.0 / (f as f32).sqrt(), seed)
 }
 
+/// Mean of the stored ratings (1.0 for an empty matrix).
+pub fn mean_rating(r: &Csr) -> f32 {
+    if r.nnz() == 0 {
+        return 1.0;
+    }
+    let sum: f64 = r.values().iter().map(|&v| v as f64).sum();
+    (sum / r.nnz() as f64) as f32
+}
+
+/// Random factor initialization whose initial predictions center on `mean`:
+/// entries uniform in `[0, 2·√(mean/f))`, so `E[x·θ] = mean`.  The SGD-style
+/// baselines (libMF, NOMAD, HOGWILD!, CCD++) start this way — as the real
+/// libMF does — because gradient steps close the gap to the rating mean
+/// slowly, unlike an ALS sweep which jumps there in one solve.
+pub fn init_factors_to_mean(n: usize, f: usize, seed: u64, mean: f32) -> FactorMatrix {
+    let scale = 2.0 * (mean.max(0.0) / f as f32).sqrt();
+    FactorMatrix::random(n, f, scale.max(1e-3), seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,8 +51,10 @@ impl CcdPlusPlus {
     /// Builds the solver and initializes the residual from the (random)
     /// initial factors.
     pub fn new(config: CcdConfig, r: &Csr) -> Self {
-        let x = als_util::init_factors(r.n_rows() as usize, config.f, config.seed);
-        let theta = als_util::init_factors(r.n_cols() as usize, config.f, config.seed ^ 0x33);
+        let mean = als_util::mean_rating(r);
+        let x = als_util::init_factors_to_mean(r.n_rows() as usize, config.f, config.seed, mean);
+        let theta =
+            als_util::init_factors_to_mean(r.n_cols() as usize, config.f, config.seed ^ 0x33, mean);
         let r_t = r.to_csc();
         let mut solver = Self {
             config,

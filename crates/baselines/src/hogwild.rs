@@ -98,8 +98,10 @@ pub struct HogwildSgd {
 impl HogwildSgd {
     /// Builds the solver from a ratings matrix.
     pub fn new(config: HogwildConfig, r: &Csr) -> Self {
-        let x = als_util::init_factors(r.n_rows() as usize, config.f, config.seed);
-        let theta = als_util::init_factors(r.n_cols() as usize, config.f, config.seed ^ 0x77);
+        let mean = als_util::mean_rating(r);
+        let x = als_util::init_factors_to_mean(r.n_rows() as usize, config.f, config.seed, mean);
+        let theta =
+            als_util::init_factors_to_mean(r.n_cols() as usize, config.f, config.seed ^ 0x77, mean);
         let mut entries: Vec<Entry> = r.iter().collect();
         let mut rng = StdRng::seed_from_u64(config.seed);
         for i in (1..entries.len()).rev() {

@@ -38,7 +38,10 @@ impl Default for NomadConfig {
     fn default() -> Self {
         Self {
             f: 32,
-            learning_rate: 0.02,
+            // 0.05 closes the init→mean gap of the recalibrated full-span
+            // ratings in a handful of epochs (0.02 was tuned when ratings
+            // concentrated near 2.0 and needed smaller steps).
+            learning_rate: 0.05,
             lambda: 0.05,
             decay: 0.9,
             workers: 4,
@@ -97,8 +100,10 @@ impl NomadSgd {
             })
             .collect();
 
-        let x = als_util::init_factors(r.n_rows() as usize, config.f, config.seed);
-        let theta = als_util::init_factors(r.n_cols() as usize, config.f, config.seed ^ 0x99);
+        let mean = als_util::mean_rating(r);
+        let x = als_util::init_factors_to_mean(r.n_rows() as usize, config.f, config.seed, mean);
+        let theta =
+            als_util::init_factors_to_mean(r.n_cols() as usize, config.f, config.seed ^ 0x99, mean);
         Self {
             config,
             workers_data,

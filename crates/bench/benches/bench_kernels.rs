@@ -2,7 +2,7 @@
 //! the fused `get_hermitian` + solve, the partial-Hermitian path of SU-ALS,
 //! the batched Cholesky solve and the cross-partition accumulation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cumf_core::als::kernels::{accumulate_partials, partial_hermitians, solve_side};
 use cumf_data::synth::SyntheticConfig;
 use cumf_linalg::blas::{add_diagonal, syr_full};
@@ -30,6 +30,8 @@ fn bench_get_hermitian(c: &mut Criterion) {
     group.sample_size(10);
     for &nnz in &[20_000usize, 80_000] {
         let (r, theta) = workload(2_000, 500, nnz);
+        // One iteration processes every stored rating once.
+        group.throughput(Throughput::Elements(r.nnz() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(nnz), &nnz, |b, _| {
             b.iter(|| black_box(solve_side(&r, &theta, 0.05)));
         });
@@ -41,6 +43,7 @@ fn bench_partial_hermitians(c: &mut Criterion) {
     let mut group = c.benchmark_group("partial_hermitians");
     group.sample_size(10);
     let (r, theta) = workload(1_000, 400, 40_000);
+    group.throughput(Throughput::Elements(r.nnz() as u64));
     group.bench_function("1000x400_40k_f32", |b| {
         b.iter(|| black_box(partial_hermitians(&r, &theta, 32)));
     });
@@ -54,6 +57,10 @@ fn bench_accumulate(c: &mut Criterion) {
     let rows = 2_000usize;
     let a_src = vec![1.0f32; rows * f * f];
     let b_src = vec![1.0f32; rows * f];
+    // Bytes read from both partial buffers plus written to the accumulators.
+    group.throughput(Throughput::Bytes(
+        2 * 4 * (a_src.len() + b_src.len()) as u64,
+    ));
     group.bench_function("2000_rows_f32", |b| {
         let mut a_dst = vec![0.0f32; rows * f * f];
         let mut b_dst = vec![0.0f32; rows * f];
@@ -80,6 +87,8 @@ fn bench_batch_solve(c: &mut Criterion) {
             add_diagonal(a, f, 0.5);
         }
         let rhs = vec![1.0f32; batch * f];
+        // One iteration solves `batch` independent SPD systems.
+        group.throughput(Throughput::Elements(batch as u64));
         group.bench_with_input(BenchmarkId::new("1000_systems_f", f), &f, |b, &f| {
             b.iter(|| {
                 let mut a = hermitians.clone();

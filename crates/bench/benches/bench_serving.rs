@@ -1,0 +1,76 @@
+//! Serving-path benchmark: naive per-request scoring (score every item,
+//! sort the whole catalog — what `recommend()` did before the serving
+//! subsystem) versus the batched blocked top-k scorer of `cumf-serve`,
+//! across catalog sizes up to the ≥100k-item regime the paper's deployments
+//! imply.  Throughput is reported in requests/sec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cumf_linalg::blas::dot;
+use cumf_linalg::FactorMatrix;
+use cumf_serve::{FactorSnapshot, Query, ScoreKind, TopKIndex};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const F: usize = 32;
+const N_USERS: usize = 1_000;
+const REQUESTS: usize = 64;
+const K: usize = 10;
+
+fn snapshot(n_items: usize) -> Arc<FactorSnapshot> {
+    Arc::new(FactorSnapshot::from_factors(
+        FactorMatrix::random(N_USERS, F, 0.5, 11),
+        FactorMatrix::random(n_items, F, 0.5, 12),
+    ))
+}
+
+fn queries() -> Vec<Query> {
+    (0..REQUESTS as u32)
+        .map(|i| Query::new((i * 37) % N_USERS as u32, K))
+        .collect()
+}
+
+/// The pre-serving path: score the full catalog into a vector and sort it,
+/// once per request.
+fn naive_recommend(snap: &FactorSnapshot, user: u32, k: usize) -> Vec<(u32, f32)> {
+    let theta = snap.item_factors();
+    let x_u = snap.user_vector(user).expect("user in range");
+    let mut scored: Vec<(u32, f32)> = (0..theta.len() as u32)
+        .map(|v| (v, dot(x_u, theta.vector(v as usize))))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(k);
+    scored
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_topk");
+    group.sample_size(10);
+    for &n_items in &[10_000usize, 100_000, 250_000] {
+        let snap = snapshot(n_items);
+        let qs = queries();
+        group.throughput(Throughput::Elements(REQUESTS as u64));
+        group.bench_with_input(
+            BenchmarkId::new("naive_per_request", n_items),
+            &n_items,
+            |b, _| {
+                b.iter(|| {
+                    for q in &qs {
+                        black_box(naive_recommend(&snap, q.user, q.k));
+                    }
+                });
+            },
+        );
+        let index = TopKIndex::new(Arc::clone(&snap), 512, ScoreKind::Dot);
+        group.bench_with_input(
+            BenchmarkId::new("batched_blocked", n_items),
+            &n_items,
+            |b, _| {
+                b.iter(|| black_box(index.query_batch(&qs)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(serving, bench_serving);
+criterion_main!(serving);

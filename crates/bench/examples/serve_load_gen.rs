@@ -1,0 +1,179 @@
+//! Closed-loop load generator for the `cumf-serve` retrieval service.
+//!
+//! Spawns N client threads that each keep exactly one request in flight
+//! (closed loop), against a batching top-k service over a synthetic factor
+//! snapshot; user popularity is skewed so the LRU cache sees realistic
+//! traffic.  While the clients run, the main thread hot-swaps fresh
+//! snapshots to exercise publication under load.  Finishes by printing the
+//! achieved throughput, the service's own metrics, and a comparison against
+//! naive per-request full-catalog scoring.
+//!
+//! ```text
+//! usage: serve_load_gen [--users N] [--items N] [--f F] [--requests N]
+//!                       [--clients N] [--k K] [--publishes N]
+//!                       [--naive-sample N]
+//! ```
+//!
+//! CI runs `--requests 200` as an end-to-end smoke test of the serving
+//! path.
+
+use cumf_linalg::blas::dot;
+use cumf_linalg::FactorMatrix;
+use cumf_serve::{FactorSnapshot, ServeConfig, TopKService};
+use rand::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+struct Args {
+    users: usize,
+    items: usize,
+    f: usize,
+    requests: usize,
+    clients: usize,
+    k: usize,
+    publishes: usize,
+    naive_sample: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            users: 10_000,
+            items: 100_000,
+            f: 32,
+            requests: 10_000,
+            clients: 8,
+            k: 10,
+            publishes: 2,
+            naive_sample: 50,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            println!(
+                "usage: serve_load_gen [--users N] [--items N] [--f F] [--requests N] \
+                 [--clients N] [--k K] [--publishes N] [--naive-sample N]"
+            );
+            std::process::exit(0);
+        }
+        let value = argv
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("missing value for {flag}"))
+            .parse::<usize>()
+            .unwrap_or_else(|e| panic!("bad value for {flag}: {e}"));
+        match flag {
+            "--users" => args.users = value,
+            "--items" => args.items = value,
+            "--f" => args.f = value,
+            "--requests" => args.requests = value,
+            "--clients" => args.clients = value.max(1),
+            "--k" => args.k = value,
+            "--publishes" => args.publishes = value,
+            "--naive-sample" => args.naive_sample = value,
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+    args
+}
+
+fn snapshot(args: &Args, seed: u64) -> FactorSnapshot {
+    FactorSnapshot::from_factors(
+        FactorMatrix::random(args.users, args.f, 0.5, seed),
+        FactorMatrix::random(args.items, args.f, 0.5, seed ^ 0xABCD),
+    )
+}
+
+/// Zipf-ish skew: squaring a uniform sample concentrates traffic on low
+/// user ids, the way real request logs concentrate on active users.
+fn skewed_user(rng: &mut StdRng, users: usize) -> u32 {
+    let u: f64 = rng.random::<f64>();
+    ((u * u * users as f64) as usize).min(users - 1) as u32
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "serve_load_gen: {} requests, {} clients, catalog {} items, {} users, f={}, k={}",
+        args.requests, args.clients, args.items, args.users, args.f, args.k
+    );
+
+    let initial = snapshot(&args, 1);
+
+    // Naive baseline: score the whole catalog and sort, per request.
+    let naive_sample = args.naive_sample.min(args.requests).max(1);
+    let naive_start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..naive_sample {
+        let user = skewed_user(&mut rng, args.users);
+        let x_u = initial.user_vector(user).expect("user in range");
+        let theta = initial.item_factors();
+        let mut scored: Vec<(u32, f32)> = (0..theta.len() as u32)
+            .map(|v| (v, dot(x_u, theta.vector(v as usize))))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(args.k);
+        std::hint::black_box(scored);
+    }
+    let naive_per_request = naive_start.elapsed() / naive_sample as u32;
+    let naive_rps = 1.0 / naive_per_request.as_secs_f64();
+    println!(
+        "naive per-request scoring: {naive_per_request:?}/request ({naive_rps:.0} req/s single-threaded, {naive_sample} sampled)"
+    );
+
+    // Batched serving under closed-loop load.
+    let service = TopKService::start(initial, ServeConfig::default());
+    let served = AtomicU64::new(0);
+    let start = Instant::now();
+    let per_client = args.requests / args.clients;
+    let remainder = args.requests % args.clients;
+    std::thread::scope(|s| {
+        for c in 0..args.clients {
+            let client = service.client();
+            let served = &served;
+            let args = &args;
+            let budget = per_client + usize::from(c < remainder);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + c as u64);
+                for _ in 0..budget {
+                    let user = skewed_user(&mut rng, args.users);
+                    let recs = client
+                        .recommend(user, args.k, &[])
+                        .expect("service alive for the whole run");
+                    assert!(recs.len() <= args.k);
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Hot-swap fresh snapshots while the clients hammer the service.
+        for p in 0..args.publishes {
+            std::thread::sleep(Duration::from_millis(20));
+            let generation = service.publish(snapshot(&args, 2 + p as u64));
+            println!("published snapshot generation {generation} mid-load");
+        }
+    });
+    let elapsed = start.elapsed();
+    let total = served.load(Ordering::Relaxed);
+    let rps = total as f64 / elapsed.as_secs_f64();
+
+    println!("batched serving: {total} requests in {elapsed:.2?} → {rps:.0} req/s");
+    println!(
+        "speedup over naive single-threaded scoring: {:.1}×",
+        rps / naive_rps
+    );
+    println!("--- service metrics ---");
+    println!("{}", service.metrics());
+
+    assert_eq!(
+        total as usize, args.requests,
+        "every request must be served"
+    );
+}

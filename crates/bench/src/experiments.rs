@@ -120,6 +120,35 @@ pub struct Figure {
 // Shared runners
 // ---------------------------------------------------------------------------
 
+/// Subtracts the training-set global mean from both halves of a split —
+/// the standard offset handling for bias-free MF (cuMF, libMF and NOMAD all
+/// train on mean-centered ratings in practice).  Without it, weighted-λ
+/// regularization shrinks sparse rows toward a prediction of 0 while the
+/// data sits around the rating-scale midpoint, and test RMSE measures that
+/// offset instead of model quality.  Residual RMSE is unchanged by the
+/// shift, so trajectories stay comparable across systems.
+fn center_split(
+    train: &cumf_sparse::Csr,
+    test: &[cumf_sparse::Entry],
+) -> (cumf_sparse::Csr, Vec<cumf_sparse::Entry>) {
+    let nnz = train.nnz();
+    let mean = if nnz == 0 {
+        0.0
+    } else {
+        (train.values().iter().map(|&v| v as f64).sum::<f64>() / nnz as f64) as f32
+    };
+    let mut coo = cumf_sparse::Coo::with_capacity(train.n_rows(), train.n_cols(), nnz);
+    for e in train.iter() {
+        coo.push(e.row, e.col, e.val - mean)
+            .expect("indices already validated");
+    }
+    let test = test
+        .iter()
+        .map(|e| cumf_sparse::Entry::new(e.row, e.col, e.val - mean))
+        .collect();
+    (coo.to_csr(), test)
+}
+
 /// Runs ALS on a scaled instance of `spec` and returns the per-iteration
 /// test-RMSE trajectory (numerics only; no time axis).
 pub fn als_rmse_trajectory(
@@ -137,7 +166,8 @@ pub fn als_rmse_trajectory(
         ..SyntheticConfig::from_spec(&scaled, seed)
     }
     .generate();
-    let split = train_test_split(&data.ratings, 0.1, seed);
+    let raw = train_test_split(&data.ratings, 0.1, seed);
+    let (train, test) = center_split(&raw.train, &raw.test);
     let config = AlsConfig {
         f: f_run,
         lambda,
@@ -145,11 +175,11 @@ pub fn als_rmse_trajectory(
         track_rmse: false,
         ..Default::default()
     };
-    let mut engine = BaseAls::new(config, split.train.clone());
+    let mut engine = BaseAls::new(config, train);
     let mut out = Vec::with_capacity(iterations);
     for _ in 0..iterations {
         engine.iterate();
-        out.push(loss::rmse(engine.x(), engine.theta(), &split.test));
+        out.push(loss::rmse(engine.x(), engine.theta(), &test));
     }
     out
 }
@@ -172,7 +202,8 @@ pub fn sgd_rmse_trajectory(
         ..SyntheticConfig::from_spec(&scaled, seed)
     }
     .generate();
-    let split = train_test_split(&data.ratings, 0.1, seed);
+    let raw = train_test_split(&data.ratings, 0.1, seed);
+    let (train, test) = center_split(&raw.train, &raw.test);
     let mut solver: Box<dyn MfSolver> = match solver_kind {
         SgdBaselineKind::LibMf => Box::new(LibMfSgd::new(
             LibMfConfig {
@@ -182,7 +213,7 @@ pub fn sgd_rmse_trajectory(
                 seed,
                 ..Default::default()
             },
-            &split.train,
+            &train,
         )),
         SgdBaselineKind::Nomad => Box::new(NomadSgd::new(
             NomadConfig {
@@ -192,13 +223,13 @@ pub fn sgd_rmse_trajectory(
                 seed,
                 ..Default::default()
             },
-            &split.train,
+            &train,
         )),
     };
     let mut out = Vec::with_capacity(epochs);
     for _ in 0..epochs {
         solver.iterate();
-        out.push(solver.rmse(&split.test));
+        out.push(solver.rmse(&test));
     }
     out
 }

@@ -260,6 +260,20 @@ impl MoAlsEngine {
         &self.theta
     }
 
+    /// Replaces the current factors (used to resume from a checkpoint).
+    pub fn set_factors(&mut self, x: FactorMatrix, theta: FactorMatrix) {
+        assert_eq!(x.len(), self.r.n_rows() as usize, "X row count mismatch");
+        assert_eq!(
+            theta.len(),
+            self.r.n_cols() as usize,
+            "Θ row count mismatch"
+        );
+        assert_eq!(x.rank(), self.config.f, "X rank mismatch");
+        assert_eq!(theta.rank(), self.config.f, "Θ rank mismatch");
+        self.x = x;
+        self.theta = theta;
+    }
+
     /// Simulated seconds of the one-time initial upload.
     pub fn upload_time(&self) -> f64 {
         self.upload_s

@@ -177,6 +177,20 @@ impl SuAlsEngine {
         &self.theta
     }
 
+    /// Replaces the current factors (used to resume from a checkpoint).
+    pub fn set_factors(&mut self, x: FactorMatrix, theta: FactorMatrix) {
+        assert_eq!(x.len(), self.r.n_rows() as usize, "X row count mismatch");
+        assert_eq!(
+            theta.len(),
+            self.r.n_cols() as usize,
+            "Θ row count mismatch"
+        );
+        assert_eq!(x.rank(), self.config.als.f, "X rank mismatch");
+        assert_eq!(theta.rank(), self.config.als.f, "Θ rank mismatch");
+        self.x = x;
+        self.theta = theta;
+    }
+
     /// Accumulated simulated seconds.
     pub fn simulated_time(&self) -> f64 {
         self.total_sim_s

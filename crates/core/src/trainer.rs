@@ -137,6 +137,7 @@ pub struct MatrixFactorizer {
     backend: Backend,
     engine: Option<EngineImpl>,
     checkpoints: Option<CheckpointManager>,
+    warm_start: Option<(FactorMatrix, FactorMatrix)>,
 }
 
 impl MatrixFactorizer {
@@ -148,7 +149,26 @@ impl MatrixFactorizer {
             backend,
             engine: None,
             checkpoints: None,
+            warm_start: None,
         }
+    }
+
+    /// Starts the next [`MatrixFactorizer::fit`] from the given factors
+    /// instead of a random initialization.
+    ///
+    /// # Panics
+    /// Panics (at `fit` time) if the factor shapes do not match the training
+    /// matrix or the configured rank.
+    pub fn with_warm_start(mut self, x: FactorMatrix, theta: FactorMatrix) -> Self {
+        self.warm_start = Some((x, theta));
+        self
+    }
+
+    /// Resumes from a saved [`Checkpoint`]: the next `fit` call continues
+    /// training from the checkpointed factors (§4.4's failure-recovery
+    /// path).
+    pub fn with_checkpoint_restore(self, checkpoint: Checkpoint) -> Self {
+        self.with_warm_start(checkpoint.x, checkpoint.theta)
     }
 
     /// Enables checkpointing of the factors after every iteration into
@@ -167,6 +187,18 @@ impl MatrixFactorizer {
     }
 
     fn build_engine(&self, train: &Csr) -> EngineImpl {
+        let mut engine = self.build_engine_cold(train);
+        if let Some((x, theta)) = &self.warm_start {
+            match &mut engine {
+                EngineImpl::Base(e) => e.set_factors(x.clone(), theta.clone()),
+                EngineImpl::Mo(e) => e.set_factors(x.clone(), theta.clone()),
+                EngineImpl::Su(e) => e.set_factors(x.clone(), theta.clone()),
+            }
+        }
+        engine
+    }
+
+    fn build_engine_cold(&self, train: &Csr) -> EngineImpl {
         match &self.backend {
             Backend::Reference => {
                 EngineImpl::Base(BaseAls::new(self.config.clone(), train.clone()))
@@ -356,14 +388,18 @@ impl MatrixFactorizer {
     pub fn recommend(&self, user: u32, k: usize, exclude: &[u32]) -> Vec<(u32, f32)> {
         let theta = self.theta();
         let x = self.x();
+        // Single-request snapshot path: the same blocked scoring + bounded
+        // heap the `cumf-serve` batch scorer runs per user, instead of
+        // scoring and sorting the whole catalog.
         let excluded: std::collections::HashSet<u32> = exclude.iter().copied().collect();
-        let mut scored: Vec<(u32, f32)> = (0..theta.len() as u32)
-            .filter(|v| !excluded.contains(v))
-            .map(|v| (v, loss::predict(x, theta, user, v)))
-            .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.truncate(k);
-        scored
+        cumf_linalg::retrieve_top_k(
+            x.vector(user as usize),
+            theta.data(),
+            theta.rank(),
+            k,
+            cumf_linalg::topk::DEFAULT_ITEM_BLOCK,
+            |v| excluded.contains(&v),
+        )
     }
 }
 
@@ -483,6 +519,52 @@ mod tests {
         assert_eq!(latest.iteration, 2);
         assert_eq!(latest.x.max_abs_diff(model.x()), 0.0);
         std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn warm_start_resumes_exactly_where_the_checkpoint_left_off() {
+        let (train, test) = problem();
+        let dir = std::env::temp_dir().join(format!("cumf_warm_start_{}", std::process::id()));
+        let mut full = MatrixFactorizer::new(config(4), Backend::Reference)
+            .with_checkpointing(&dir)
+            .unwrap();
+        let full_report = full.fit(&train, &test);
+
+        // Restore the iteration-2 checkpoint into a *fresh* trainer and run
+        // the remaining two iterations: ALS is deterministic, so the resumed
+        // trajectory must coincide with the original run's iterations 3–4.
+        let ckpt_path = dir.join("checkpoint_00000002.cumf");
+        let ckpt = CheckpointManager::load(&ckpt_path).unwrap();
+        assert_eq!(ckpt.iteration, 2);
+        let mut resumed =
+            MatrixFactorizer::new(config(2), Backend::Reference).with_checkpoint_restore(ckpt);
+        let resumed_report = resumed.fit(&train, &test);
+
+        for (r, f) in resumed_report
+            .iterations
+            .iter()
+            .zip(&full_report.iterations[2..])
+        {
+            assert!(
+                (r.train_rmse - f.train_rmse).abs() < 1e-9,
+                "iteration {}: resumed {} vs original {}",
+                f.iteration,
+                r.train_rmse,
+                f.train_rmse
+            );
+        }
+        assert_eq!(resumed.x().max_abs_diff(full.x()), 0.0);
+        assert_eq!(resumed.theta().max_abs_diff(full.theta()), 0.0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "X has the wrong number of rows")]
+    fn warm_start_with_mismatched_shapes_panics() {
+        let (train, _) = problem();
+        let mut model = MatrixFactorizer::new(config(1), Backend::Reference)
+            .with_warm_start(FactorMatrix::zeros(3, 12), FactorMatrix::zeros(120, 12));
+        model.fit(&train, &[]);
     }
 
     #[test]

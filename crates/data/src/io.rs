@@ -290,6 +290,55 @@ mod tests {
         let text = "2 2 1\n5 1 1.0\n";
         let err = read_matrix_market_from(Cursor::new(text)).unwrap_err();
         assert!(matches!(err, IoError::Sparse(_)));
+        // Column out of range as well as row.
+        let text = "2 2 1\n1 9 1.0\n";
+        assert!(matches!(
+            read_matrix_market_from(Cursor::new(text)).unwrap_err(),
+            IoError::Sparse(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        // Comments only — the size line never arrives.
+        let text = "%%MatrixMarket matrix coordinate real general\n% truncated here\n";
+        let err = read_matrix_market_from(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("missing MatrixMarket size line"));
+        // Completely empty input.
+        let err = read_matrix_market_from(Cursor::new("")).unwrap_err();
+        assert!(err.to_string().contains("missing MatrixMarket size line"));
+        // Size line with too few fields.
+        let err = read_matrix_market_from(Cursor::new("4 4\n")).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_non_numeric_entries() {
+        // Non-numeric value field.
+        let text = "2 2 1\n1 1 four\n";
+        let err = read_matrix_market_from(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 2, .. }));
+        assert!(err.to_string().contains("four"));
+        // Non-numeric index field.
+        let text = "2 2 1\nx 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market_from(Cursor::new(text)).unwrap_err(),
+            IoError::Parse { line: 2, .. }
+        ));
+        // Non-numeric size line.
+        let text = "two 2 1\n";
+        assert!(matches!(
+            read_matrix_market_from(Cursor::new(text)).unwrap_err(),
+            IoError::Parse { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_data_line() {
+        let text = "3 3 2\n1 1 1.0\n2 2\n";
+        let err = read_matrix_market_from(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 3, .. }));
+        assert!(err.to_string().contains("expected 'row col value'"));
     }
 
     #[test]

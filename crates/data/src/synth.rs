@@ -89,12 +89,25 @@ impl SyntheticConfig {
             "cannot place more ratings than cells"
         );
 
-        // Ground-truth factors scaled so that x·θ spans the rating range.
-        let span = (self.rating_max - self.rating_min).max(1e-3);
-        let scale = (span / self.rank as f32).sqrt();
-        let true_x = FactorMatrix::random(self.m as usize, self.rank, scale, self.seed ^ 0x9e37);
-        let true_theta =
-            FactorMatrix::random(self.n as usize, self.rank, scale, self.seed ^ 0x7f4a_7c15);
+        // Zero-mean ground-truth factors sized so that `x·θ` has standard
+        // deviation ≈ span/4: ratings center on the midpoint of
+        // `[rating_min, rating_max]` and ±2σ reaches both ends of the range
+        // (the tails clamp).  Earlier revisions anchored ratings at
+        // `rating_min + E[x·θ]` ≈ 2.0, which left the upper range almost
+        // unused and ranking metrics with near-empty relevant sets.
+        let half_width = self.factor_half_width();
+        let true_x = FactorMatrix::random_centered(
+            self.m as usize,
+            self.rank,
+            half_width,
+            self.seed ^ 0x9e37,
+        );
+        let true_theta = FactorMatrix::random_centered(
+            self.n as usize,
+            self.rank,
+            half_width,
+            self.seed ^ 0x7f4a_7c15,
+        );
 
         // Per-user degrees proportional to Zipf weights over a shuffled rank
         // order (so user ids are not correlated with activity).
@@ -136,7 +149,7 @@ impl SyntheticConfig {
                     .into_iter()
                     .map(|v| {
                         let mean =
-                            self.rating_min + dot(true_x.vector(u), true_theta.vector(v as usize));
+                            self.mean_rating(dot(true_x.vector(u), true_theta.vector(v as usize)));
                         let noise = gaussian(&mut rng) * self.noise_std;
                         let r = (mean + noise).clamp(self.rating_min, self.rating_max);
                         (v, r)
@@ -159,6 +172,21 @@ impl SyntheticConfig {
             true_theta,
             config: self.clone(),
         }
+    }
+
+    /// The rating implied by a ground-truth dot product, before noise and
+    /// clamping: the midpoint of the rating range plus the (zero-mean) dot.
+    pub fn mean_rating(&self, dot: f32) -> f32 {
+        (self.rating_min + self.rating_max) / 2.0 + dot
+    }
+
+    /// Half-width of the centered uniform factor entries: chosen so the
+    /// rank-term dot product has standard deviation ≈ a quarter of the
+    /// rating span (entries uniform on `[-a, a)` give
+    /// `Var(x·θ) = rank · a⁴ / 9`).
+    fn factor_half_width(&self) -> f32 {
+        let span = (self.rating_max - self.rating_min).max(1e-3);
+        (3.0 * span / (4.0 * (self.rank as f32).sqrt())).sqrt()
     }
 
     /// Draws per-user degrees whose sum approximates `nnz`.
@@ -210,11 +238,10 @@ impl SyntheticDataset {
         let mut se = 0.0f64;
         let mut count = 0usize;
         for e in self.ratings.entries() {
-            let pred = self.config.rating_min
-                + dot(
-                    self.true_x.vector(e.row as usize),
-                    self.true_theta.vector(e.col as usize),
-                );
+            let pred = self.config.mean_rating(dot(
+                self.true_x.vector(e.row as usize),
+                self.true_theta.vector(e.col as usize),
+            ));
             let pred = pred.clamp(self.config.rating_min, self.config.rating_max);
             se += ((e.val - pred) as f64).powi(2);
             count += 1;
@@ -369,6 +396,40 @@ mod tests {
         let csr = cfg.generate().to_csr();
         let s = stats::row_stats(&csr);
         assert_eq!(s.empty, 0);
+    }
+
+    #[test]
+    fn ratings_span_the_whole_rating_range() {
+        let cfg = SyntheticConfig {
+            m: 500,
+            n: 250,
+            nnz: 20_000,
+            ..Default::default()
+        };
+        let d = cfg.generate();
+        let vals: Vec<f32> = d.ratings.entries().iter().map(|e| e.val).collect();
+        let mean = vals.iter().sum::<f32>() / vals.len() as f32;
+        let mid = (cfg.rating_min + cfg.rating_max) / 2.0;
+        let span = cfg.rating_max - cfg.rating_min;
+        assert!(
+            (mean - mid).abs() < 0.15 * span,
+            "ratings should center on the midpoint: mean {mean} vs mid {mid}"
+        );
+        // Both the bottom and top quarters of the range are populated.
+        let low = vals
+            .iter()
+            .filter(|&&v| v < cfg.rating_min + 0.25 * span)
+            .count();
+        let high = vals
+            .iter()
+            .filter(|&&v| v > cfg.rating_max - 0.25 * span)
+            .count();
+        let n = vals.len();
+        assert!(low * 20 > n, "only {low}/{n} ratings in the bottom quarter");
+        assert!(high * 20 > n, "only {high}/{n} ratings in the top quarter");
+        // And the extremes are actually reachable.
+        assert!(vals.contains(&cfg.rating_min));
+        assert!(vals.contains(&cfg.rating_max));
     }
 
     #[test]

@@ -63,6 +63,61 @@ pub fn batch_solve(hermitians: &mut [f32], rhs: &mut [f32], f: usize) -> BatchSo
     }
 }
 
+/// Scores a micro-batch of user vectors against a block of item vectors —
+/// the retrieval-time counterpart of the training-time batched GEMM: the
+/// same item block is reused across every user in the batch, which is the
+/// cache (and, on a GPU, shared-memory) win batched serving exploits.
+///
+/// * `users` — `n_users` row-major user vectors, `n_users · f` long.
+/// * `items` — `n_items` row-major item vectors, `n_items · f` long.
+/// * `out` — `n_users · n_items` scores, written as
+///   `out[i · n_items + j] = users[i] · items[j]`.
+///
+/// The loop order (item-major inner loop per user) streams each item block
+/// once per user while the user vector stays register/L1-resident.  Scores
+/// accumulate in `f32` with four independent lanes — retrieval ranks item
+/// scores against each other, so the f64 accumulation [`crate::blas::dot`]
+/// uses for the ill-conditioned Hermitian assembly is unnecessary here, and
+/// the independent lanes let the compiler keep the FMA pipeline full.
+pub fn batch_score_block(
+    users: &[f32],
+    n_users: usize,
+    items: &[f32],
+    n_items: usize,
+    f: usize,
+    out: &mut [f32],
+) {
+    assert!(f > 0, "latent dimension must be positive");
+    assert_eq!(users.len(), n_users * f, "user buffer size mismatch");
+    assert_eq!(items.len(), n_items * f, "item buffer size mismatch");
+    assert_eq!(out.len(), n_users * n_items, "score buffer size mismatch");
+    for (i, x_u) in users.chunks_exact(f).enumerate() {
+        let row = &mut out[i * n_items..(i + 1) * n_items];
+        for (s, theta_v) in row.iter_mut().zip(items.chunks_exact(f)) {
+            *s = score_dot(x_u, theta_v);
+        }
+    }
+}
+
+/// Four-lane `f32` dot product for retrieval scoring.
+#[inline]
+fn score_dot(x: &[f32], y: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let (x4, x_tail) = x.split_at(x.len() & !3);
+    let (y4, y_tail) = y.split_at(x4.len());
+    for (xc, yc) in x4.chunks_exact(4).zip(y4.chunks_exact(4)) {
+        acc[0] += xc[0] * yc[0];
+        acc[1] += xc[1] * yc[1];
+        acc[2] += xc[2] * yc[2];
+        acc[3] += xc[3] * yc[3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (a, b) in x_tail.iter().zip(y_tail.iter()) {
+        s += a * b;
+    }
+    s
+}
+
 /// Sequential reference implementation of [`batch_solve`], used by tests to
 /// check that parallel execution does not change results.
 pub fn batch_solve_seq(hermitians: &mut [f32], rhs: &mut [f32], f: usize) -> BatchSolveReport {
@@ -86,6 +141,7 @@ mod tests {
     use super::*;
     use crate::blas::{add_diagonal, syr_full};
     use crate::cholesky::residual_norm;
+    use crate::FactorMatrix;
 
     use rand::prelude::*;
 
@@ -159,6 +215,42 @@ mod tests {
         let report = batch_solve(&mut a, &mut b, 5);
         assert!(report.all_ok());
         assert_eq!(report.solved, 0);
+    }
+
+    #[test]
+    fn score_block_matches_per_pair_dots() {
+        use crate::blas::dot;
+        let f = 6; // not a multiple of 4: exercises the unroll tail
+        let users = FactorMatrix::random(4, f, 1.0, 21);
+        let items = FactorMatrix::random(9, f, 1.0, 22);
+        let mut out = vec![0.0f32; 4 * 9];
+        batch_score_block(users.data(), 4, items.data(), 9, f, &mut out);
+        for u in 0..4 {
+            for v in 0..9 {
+                let expect = dot(users.vector(u), items.vector(v));
+                let got = out[u * 9 + v];
+                // The scoring kernel re-associates the f32 sum; equality up
+                // to a few ulps of the f64-accumulated reference.
+                assert!(
+                    (got - expect).abs() <= 1e-5 * (1.0 + expect.abs()),
+                    "score ({u}, {v}): {got} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_block_empty_items_is_ok() {
+        let mut out = vec![];
+        batch_score_block(&[1.0, 2.0], 1, &[], 0, 2, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "score buffer size mismatch")]
+    fn score_block_rejects_bad_output_len() {
+        let mut out = vec![0.0f32; 3];
+        batch_score_block(&[1.0, 2.0], 1, &[1.0, 2.0], 1, 2, &mut out);
     }
 
     #[test]

@@ -166,6 +166,18 @@ impl FactorMatrix {
         Self { n, f, data }
     }
 
+    /// Random initialization with entries uniform in
+    /// `[-half_width, half_width)` — zero-mean, so dot products of two such
+    /// matrices are symmetric around zero (used by the synthetic generator
+    /// to spread ratings across the whole rating range).
+    pub fn random_centered(n: usize, f: usize, half_width: f32, seed: u64) -> Self {
+        let mut m = Self::random(n, f, 2.0 * half_width, seed);
+        for v in m.data_mut() {
+            *v -= half_width;
+        }
+        m
+    }
+
     /// Builds a factor matrix from a row-major vector.
     ///
     /// # Panics

@@ -17,13 +17,18 @@
 //! * [`cholesky`] — an in-place Cholesky / forward-backward solver for the
 //!   SPD `f × f` systems.
 //! * [`batch`] — a rayon-parallel batched solver standing in for the
-//!   cuBLAS batched routines.
+//!   cuBLAS batched routines, plus the blocked retrieval-time scoring
+//!   kernel ([`batch::batch_score_block`]).
+//! * [`topk`] — bounded-heap top-k selection and the blocked single-request
+//!   retrieval path shared by `recommend()` and the serving subsystem.
 
 pub mod batch;
 pub mod blas;
 pub mod cholesky;
 pub mod dense;
+pub mod topk;
 
-pub use batch::batch_solve;
+pub use batch::{batch_score_block, batch_solve};
 pub use cholesky::{cholesky_factor, cholesky_solve, CholeskyError};
 pub use dense::{DenseMatrix, FactorMatrix};
+pub use topk::{retrieve_top_k, TopK};

@@ -1,0 +1,242 @@
+//! Bounded top-k selection over scored items.
+//!
+//! Retrieval ranks every candidate item for a user but only ever returns the
+//! `k` best.  Sorting all `n` scores costs `O(n log n)` and materializes the
+//! whole score vector; the bounded min-heap here costs `O(n log k)` with
+//! `O(k)` state, which is what makes blocked scoring over 100k+ item
+//! catalogs cheap.  [`retrieve_top_k`] drives the heap over item blocks via
+//! [`crate::batch::batch_score_block`] — this is the single-request serving
+//! path that both `MatrixFactorizer::recommend` and the `cumf-serve` batch
+//! scorer share.
+
+use crate::batch::batch_score_block;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Number of items scored per block in [`retrieve_top_k`].  512 vectors of
+/// `f ≤ 128` floats keep the block within L2 while amortizing heap checks.
+pub const DEFAULT_ITEM_BLOCK: usize = 512;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scored {
+    score: f32,
+    item: u32,
+}
+
+impl Eq for Scored {}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Lower score = "greater" so BinaryHeap (a max-heap) keeps the
+        // *worst* kept item at the top, ready for eviction.  Ties break
+        // toward evicting the larger item id, so results prefer small ids —
+        // deterministic regardless of scoring order.
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.item.cmp(&other.item))
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded min-heap keeping the `k` highest-scored items seen so far.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Scored>,
+}
+
+impl TopK {
+    /// Creates an accumulator for the best `k` items.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers one scored item; keeps it only if it beats the current k-th
+    /// best.  NaN scores are rejected.
+    #[inline]
+    pub fn push(&mut self, item: u32, score: f32) {
+        if score.is_nan() {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(Scored { score, item });
+            return;
+        }
+        let worst = self.heap.peek().expect("heap is non-empty when full");
+        let candidate = Scored { score, item };
+        // `worst` sorts "greater" when its score is lower (see `Ord`).
+        if *worst > candidate {
+            self.heap.pop();
+            self.heap.push(candidate);
+        }
+    }
+
+    /// Lowest score currently kept, if the heap is full (useful for
+    /// short-circuiting whole blocks of low-scoring candidates).
+    pub fn threshold(&self) -> Option<f32> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|s| s.score)
+        }
+    }
+
+    /// Number of items currently held (`≤ k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no item has been kept yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consumes the heap, returning `(item, score)` sorted by score
+    /// descending (ties by item id ascending).
+    pub fn into_sorted_vec(self) -> Vec<(u32, f32)> {
+        let mut v: Vec<Scored> = self.heap.into_vec();
+        v.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.item.cmp(&b.item)));
+        v.into_iter().map(|s| (s.item, s.score)).collect()
+    }
+}
+
+/// Blocked top-k retrieval of a single user vector against a row-major item
+/// factor table: scores `items` in blocks of `item_block` vectors through
+/// [`batch_score_block`] and keeps the best `k` in a [`TopK`] heap.
+///
+/// `skip(item)` excludes items from the result (typically the user's
+/// already-rated items).  Returns `(item, score)` sorted by score descending.
+pub fn retrieve_top_k<F: FnMut(u32) -> bool>(
+    user: &[f32],
+    items: &[f32],
+    f: usize,
+    k: usize,
+    item_block: usize,
+    mut skip: F,
+) -> Vec<(u32, f32)> {
+    assert!(f > 0, "latent dimension must be positive");
+    assert!(item_block > 0, "item block must be positive");
+    assert_eq!(user.len(), f, "user vector length mismatch");
+    if k == 0 {
+        return Vec::new();
+    }
+    assert_eq!(items.len() % f, 0, "item buffer not a multiple of f");
+    let n_items = items.len() / f;
+    let mut topk = TopK::new(k);
+    let mut scores = vec![0.0f32; item_block.min(n_items.max(1))];
+    for start in (0..n_items).step_by(item_block) {
+        let end = (start + item_block).min(n_items);
+        let block = &items[start * f..end * f];
+        let out = &mut scores[..end - start];
+        batch_score_block(user, 1, block, end - start, f, out);
+        for (j, &s) in out.iter().enumerate() {
+            let item = (start + j) as u32;
+            if !skip(item) {
+                topk.push(item, s);
+            }
+        }
+    }
+    topk.into_sorted_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FactorMatrix;
+
+    #[test]
+    fn keeps_the_k_best_sorted() {
+        let mut t = TopK::new(3);
+        for (i, s) in [1.0f32, 5.0, 3.0, 4.0, 2.0].iter().enumerate() {
+            t.push(i as u32, *s);
+        }
+        assert_eq!(t.into_sorted_vec(), vec![(1, 5.0), (3, 4.0), (2, 3.0)]);
+    }
+
+    #[test]
+    fn fewer_items_than_k_returns_all() {
+        let mut t = TopK::new(10);
+        t.push(7, 0.5);
+        t.push(3, 1.5);
+        assert_eq!(t.into_sorted_vec(), vec![(3, 1.5), (7, 0.5)]);
+    }
+
+    #[test]
+    fn ties_prefer_small_item_ids() {
+        let mut t = TopK::new(2);
+        for item in [9u32, 1, 5, 3] {
+            t.push(item, 1.0);
+        }
+        assert_eq!(t.into_sorted_vec(), vec![(1, 1.0), (3, 1.0)]);
+    }
+
+    #[test]
+    fn threshold_tracks_the_kth_score() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), None);
+        t.push(0, 1.0);
+        assert_eq!(t.threshold(), None);
+        t.push(1, 3.0);
+        assert_eq!(t.threshold(), Some(1.0));
+        t.push(2, 2.0);
+        assert_eq!(t.threshold(), Some(2.0));
+    }
+
+    #[test]
+    fn nan_scores_are_ignored() {
+        let mut t = TopK::new(2);
+        t.push(0, f32::NAN);
+        t.push(1, 1.0);
+        assert_eq!(t.into_sorted_vec(), vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn retrieve_matches_full_sort_reference() {
+        let f = 8;
+        let n = 1000;
+        let theta = FactorMatrix::random(n, f, 1.0, 42);
+        let user: Vec<f32> = FactorMatrix::random(1, f, 1.0, 7).data().to_vec();
+        let got = retrieve_top_k(&user, theta.data(), f, 10, 64, |v| v % 97 == 0);
+
+        // Reference: score the whole table with the same kernel, then fully
+        // sort — the heap must select exactly the same winners.
+        let mut all_scores = vec![0.0f32; n];
+        batch_score_block(&user, 1, theta.data(), n, f, &mut all_scores);
+        let mut reference: Vec<(u32, f32)> = (0..n as u32)
+            .filter(|v| v % 97 != 0)
+            .map(|v| (v, all_scores[v as usize]))
+            .collect();
+        reference.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        reference.truncate(10);
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn block_size_does_not_change_results() {
+        let f = 4;
+        let theta = FactorMatrix::random(333, f, 1.0, 3);
+        let user: Vec<f32> = FactorMatrix::random(1, f, 1.0, 9).data().to_vec();
+        let a = retrieve_top_k(&user, theta.data(), f, 7, 8, |_| false);
+        let b = retrieve_top_k(&user, theta.data(), f, 7, 1000, |_| false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        TopK::new(0);
+    }
+}

@@ -1,0 +1,381 @@
+//! Request coalescing: many concurrent clients, one blocked scorer.
+//!
+//! [`TopKService`] owns a worker thread fed by an MPMC channel.  The worker
+//! assembles micro-batches that are **size-bounded** (`max_batch`) and
+//! **deadline-bounded** (`max_delay` from the first request of the batch),
+//! the standard dynamic-batching policy of inference servers: under load,
+//! batches fill instantly and scoring runs at full blocked throughput; when
+//! idle, a lone request waits at most `max_delay`.
+//!
+//! Per batch the worker captures the current snapshot `Arc` **once** —
+//! every request in the batch is answered from that generation, so a
+//! concurrent [`TopKService::publish`] can never produce a mixed-generation
+//! response.  Results are cached per `(user, k, exclusions)` with the
+//! generation stamped in; a publish invalidates lazily through the
+//! generation check.
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::metrics::{MetricsReport, ServeMetrics};
+use crate::snapshot::{FactorSnapshot, SnapshotStore};
+use crate::topk::{Query, ScoreKind, TopKIndex};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use cumf_linalg::topk::DEFAULT_ITEM_BLOCK;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`TopKService`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Largest micro-batch the worker scores at once.
+    pub max_batch: usize,
+    /// Longest a batch waits for co-travellers after its first request.
+    pub max_delay: Duration,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Items scored per block (see [`cumf_linalg::batch_score_block`]).
+    pub item_block: usize,
+    /// Scoring function.
+    pub score: ScoreKind,
+    /// Depth of the request queue; senders block (back-pressure) when the
+    /// worker falls this far behind.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_delay: Duration::from_millis(2),
+            cache_capacity: 4096,
+            item_block: DEFAULT_ITEM_BLOCK,
+            score: ScoreKind::Dot,
+            queue_depth: 1024,
+        }
+    }
+}
+
+/// Why a request failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The service worker has shut down.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Shutdown => f.write_str("serving worker has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+struct Request {
+    query: Query,
+    reply: Sender<Vec<(u32, f32)>>,
+}
+
+enum Msg {
+    Request(Request),
+    /// Sent by [`TopKService::drop`]; the worker finishes the batch in hand
+    /// and exits even while client handles are still alive.
+    Shutdown,
+}
+
+/// A batched, cached top-k retrieval service over hot-swappable snapshots.
+pub struct TopKService {
+    tx: Option<Sender<Msg>>,
+    store: Arc<SnapshotStore>,
+    metrics: Arc<ServeMetrics>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl TopKService {
+    /// Starts the worker serving `initial` under `config`.
+    pub fn start(initial: FactorSnapshot, config: ServeConfig) -> Self {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        let store = Arc::new(SnapshotStore::new(initial));
+        let metrics = Arc::new(ServeMetrics::new());
+        let (tx, rx) = bounded::<Msg>(config.queue_depth.max(1));
+        let worker = {
+            let store = Arc::clone(&store);
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || {
+                let mut cache = ResultCache::new(config.cache_capacity);
+                let mut shutdown = false;
+                while !shutdown {
+                    // Block for the batch's first request.
+                    let first = match rx.recv() {
+                        Ok(Msg::Request(r)) => r,
+                        Ok(Msg::Shutdown) | Err(_) => return,
+                    };
+                    let mut batch = vec![first];
+                    let deadline = Instant::now() + config.max_delay;
+                    while batch.len() < config.max_batch {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        match rx.recv_timeout(deadline - now) {
+                            Ok(Msg::Request(r)) => batch.push(r),
+                            Ok(Msg::Shutdown) => {
+                                shutdown = true;
+                                break;
+                            }
+                            Err(RecvTimeoutError::Timeout)
+                            | Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                    // Serve what was coalesced, even on the way out.
+                    Self::serve_batch(&batch, &store, &metrics, &mut cache, &config);
+                }
+            })
+        };
+        Self {
+            tx: Some(tx),
+            store,
+            metrics,
+            worker: Some(worker),
+        }
+    }
+
+    /// Starts with the default configuration.
+    pub fn start_default(initial: FactorSnapshot) -> Self {
+        Self::start(initial, ServeConfig::default())
+    }
+
+    fn serve_batch(
+        batch: &[Request],
+        store: &SnapshotStore,
+        metrics: &ServeMetrics,
+        cache: &mut ResultCache,
+        config: &ServeConfig,
+    ) {
+        let started = Instant::now();
+        // One snapshot per batch: the no-mixed-generations invariant.
+        let snapshot = store.load();
+        let generation = snapshot.generation();
+
+        // Keys are built once per request and carried through to the insert
+        // after scoring — hashing a heavy user's exclusion list is not free.
+        let mut to_score: Vec<(usize, CacheKey)> = Vec::with_capacity(batch.len());
+        for (i, req) in batch.iter().enumerate() {
+            metrics.record_request();
+            let key = CacheKey::new(req.query.user, req.query.k, &req.query.exclude);
+            if let Some(hit) = cache.get(&key, generation) {
+                metrics.record_cache_hit();
+                // Counted before the send: the client may observe its reply
+                // (and a test may read the metrics) immediately after.
+                metrics.record_response();
+                let _ = req.reply.send(hit.clone());
+            } else {
+                metrics.record_cache_miss();
+                to_score.push((i, key));
+            }
+        }
+
+        if !to_score.is_empty() {
+            let queries: Vec<Query> = to_score
+                .iter()
+                .map(|(i, _)| batch[*i].query.clone())
+                .collect();
+            let index = TopKIndex::new(snapshot, config.item_block, config.score);
+            let results = index.query_batch(&queries);
+            for ((i, key), result) in to_score.into_iter().zip(results) {
+                let req = &batch[i];
+                cache.insert(key, generation, result.clone());
+                metrics.record_response();
+                let _ = req.reply.send(result);
+            }
+        }
+        metrics.record_batch(batch.len(), started.elapsed());
+    }
+
+    /// A cloneable client handle.
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            tx: self
+                .tx
+                .as_ref()
+                .expect("service sender lives until drop")
+                .clone(),
+        }
+    }
+
+    /// Publishes new factors under load; returns the new generation.
+    /// In-flight batches finish on the previous snapshot; cached results of
+    /// older generations stop being served immediately (lazy eviction).
+    pub fn publish(&self, snapshot: FactorSnapshot) -> u64 {
+        let generation = self.store.publish(snapshot);
+        self.metrics.record_swap();
+        generation
+    }
+
+    /// The currently-published snapshot.
+    pub fn snapshot(&self) -> Arc<FactorSnapshot> {
+        self.store.load()
+    }
+
+    /// Point-in-time serving metrics.
+    pub fn metrics(&self) -> MetricsReport {
+        self.metrics.report()
+    }
+}
+
+impl Drop for TopKService {
+    fn drop(&mut self) {
+        // An explicit shutdown message (rather than sender disconnect) lets
+        // the worker exit even while client handles are still alive; their
+        // next send fails with [`ServeError::Shutdown`].
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Client handle: blocking request/response against the service worker.
+#[derive(Clone)]
+pub struct ServeClient {
+    tx: Sender<Msg>,
+}
+
+impl ServeClient {
+    /// Requests the top-`k` items for `user`, excluding `exclude`.
+    /// Blocks until the worker replies (one micro-batch of latency).
+    pub fn recommend(
+        &self,
+        user: u32,
+        k: usize,
+        exclude: &[u32],
+    ) -> Result<Vec<(u32, f32)>, ServeError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        let request = Msg::Request(Request {
+            query: Query {
+                user,
+                k,
+                exclude: exclude.to_vec(),
+            },
+            reply: reply_tx,
+        });
+        self.tx.send(request).map_err(|_| ServeError::Shutdown)?;
+        reply_rx.recv().map_err(|_| ServeError::Shutdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_linalg::FactorMatrix;
+
+    fn snapshot(seed: u64) -> FactorSnapshot {
+        FactorSnapshot::from_factors(
+            FactorMatrix::random(40, 8, 1.0, seed),
+            FactorMatrix::random(200, 8, 1.0, seed + 1),
+        )
+    }
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(4),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn replies_match_the_single_request_path() {
+        let service = TopKService::start(snapshot(1), config());
+        let reference = service.snapshot();
+        let client = service.client();
+        for user in 0..40u32 {
+            let got = client.recommend(user, 7, &[user % 5]).unwrap();
+            assert_eq!(got, reference.recommend_one(user, 7, &[user % 5]));
+        }
+    }
+
+    #[test]
+    fn concurrent_clients_coalesce_into_batches() {
+        let service = TopKService::start(snapshot(2), config());
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let client = service.client();
+                s.spawn(move || {
+                    for i in 0..25u32 {
+                        let user = (t * 25 + i) % 40;
+                        let r = client.recommend(user, 5, &[]).unwrap();
+                        assert_eq!(r.len(), 5);
+                    }
+                });
+            }
+        });
+        let m = service.metrics();
+        assert_eq!(m.requests, 200);
+        assert_eq!(m.responses, 200);
+        assert!(
+            m.batches < m.requests,
+            "expected coalescing: {} batches for {} requests",
+            m.batches,
+            m.requests
+        );
+        assert!(m.mean_batch_size > 1.0);
+    }
+
+    #[test]
+    fn identical_requests_hit_the_cache() {
+        let service = TopKService::start(snapshot(3), config());
+        let client = service.client();
+        let a = client.recommend(7, 5, &[1, 2]).unwrap();
+        let b = client.recommend(7, 5, &[1, 2]).unwrap();
+        assert_eq!(a, b);
+        let m = service.metrics();
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+    }
+
+    #[test]
+    fn publish_invalidates_cached_results() {
+        let service = TopKService::start(snapshot(4), config());
+        let client = service.client();
+        let old = client.recommend(3, 5, &[]).unwrap();
+        service.publish(snapshot(99));
+        let new = client.recommend(3, 5, &[]).unwrap();
+        let expect = service.snapshot().recommend_one(3, 5, &[]);
+        assert_eq!(new, expect);
+        assert_ne!(old, new, "stale cached result served after publish");
+        assert_eq!(service.metrics().snapshot_swaps, 1);
+    }
+
+    #[test]
+    fn single_request_is_flushed_by_the_deadline() {
+        let service = TopKService::start(
+            snapshot(5),
+            ServeConfig {
+                max_batch: 1024,
+                max_delay: Duration::from_millis(5),
+                ..Default::default()
+            },
+        );
+        let client = service.client();
+        let start = Instant::now();
+        let r = client.recommend(0, 3, &[]).unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "deadline flush took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn clients_error_cleanly_after_shutdown() {
+        let service = TopKService::start(snapshot(6), config());
+        let client = service.client();
+        drop(service);
+        assert_eq!(client.recommend(0, 3, &[]), Err(ServeError::Shutdown));
+    }
+}

@@ -1,0 +1,274 @@
+//! Per-user LRU result cache with snapshot-generation invalidation.
+//!
+//! Recommendation traffic is heavily skewed (the same Zipf skew the data
+//! generator models), so a small cache in front of the scorer absorbs the
+//! hottest users.  Entries are stamped with the snapshot generation they
+//! were computed against; a hot-swap therefore invalidates the whole cache
+//! *lazily* — stale entries are dropped on first touch, with no stop-the-
+//! world purge on the publish path.
+//!
+//! The implementation is a classic intrusive doubly-linked LRU over a slab,
+//! so `get`/`insert` are O(1) and eviction is exact (oldest-touched first).
+
+use std::collections::HashMap;
+
+/// Cache key: the full identity of a request, exclusion list included —
+/// two requests for the same user with different exclusions must never
+/// share a result, so the list is stored verbatim rather than hashed down
+/// to a collidable digest.  Equality is order-sensitive; callers pass the
+/// seen-item list as stored (CSR order), which is stable for a given user,
+/// so a permuted list merely misses and rescores.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    user: u32,
+    k: usize,
+    exclude: Box<[u32]>,
+}
+
+impl CacheKey {
+    /// Builds the key for `(user, k, exclude)`.
+    pub fn new(user: u32, k: usize, exclude: &[u32]) -> Self {
+        Self {
+            user,
+            k,
+            exclude: exclude.into(),
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node {
+    key: CacheKey,
+    generation: u64,
+    value: Vec<(u32, f32)>,
+    prev: usize,
+    next: usize,
+}
+
+/// Bounded LRU of ranked result lists.  `capacity == 0` disables caching
+/// (every `get` misses, every `insert` is dropped).
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<CacheKey, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` results.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of live entries (stale ones included until touched).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, requiring the entry to come from `generation`.
+    /// A generation mismatch removes the stale entry and reports a miss.
+    pub fn get(&mut self, key: &CacheKey, generation: u64) -> Option<&Vec<(u32, f32)>> {
+        let &idx = self.map.get(key)?;
+        if self.slab[idx].generation != generation {
+            self.remove(key);
+            return None;
+        }
+        self.touch(idx);
+        Some(&self.slab[idx].value)
+    }
+
+    /// Inserts (or refreshes) a result computed against `generation`,
+    /// evicting the least-recently-used entry when full.
+    pub fn insert(&mut self, key: CacheKey, generation: u64, value: Vec<(u32, f32)>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].generation = generation;
+            self.slab[idx].value = value;
+            self.touch(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            let evicted = self.slab[lru].key.clone();
+            self.remove(&evicted);
+        }
+        let node = Node {
+            key: key.clone(),
+            generation,
+            value,
+            prev: NIL,
+            next: self.head,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = node;
+                i
+            }
+            None => {
+                self.slab.push(node);
+                self.slab.len() - 1
+            }
+        };
+        self.attach_front(idx);
+        self.map.insert(key, idx);
+    }
+
+    /// Removes one entry; returns whether it existed.
+    pub fn remove(&mut self, key: &CacheKey) -> bool {
+        let Some(idx) = self.map.remove(key) else {
+            return false;
+        };
+        self.detach(idx);
+        self.slab[idx].value = Vec::new();
+        self.free.push(idx);
+        true
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.detach(idx);
+        self.attach_front(idx);
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(user: u32) -> CacheKey {
+        CacheKey::new(user, 10, &[])
+    }
+
+    fn val(v: u32) -> Vec<(u32, f32)> {
+        vec![(v, 1.0)]
+    }
+
+    #[test]
+    fn get_after_insert_hits_same_generation_only() {
+        let mut c = ResultCache::new(4);
+        c.insert(key(1), 1, val(7));
+        assert_eq!(c.get(&key(1), 1), Some(&val(7)));
+        // A published generation invalidates lazily.
+        assert_eq!(c.get(&key(1), 2), None);
+        assert!(c.is_empty(), "stale entry is dropped on touch");
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = ResultCache::new(3);
+        for u in 0..3 {
+            c.insert(key(u), 1, val(u));
+        }
+        // Touch 0 so 1 becomes the LRU.
+        assert!(c.get(&key(0), 1).is_some());
+        c.insert(key(3), 1, val(3));
+        assert_eq!(c.len(), 3);
+        assert!(c.get(&key(1), 1).is_none(), "LRU entry evicted");
+        assert!(c.get(&key(0), 1).is_some());
+        assert!(c.get(&key(2), 1).is_some());
+        assert!(c.get(&key(3), 1).is_some());
+    }
+
+    #[test]
+    fn different_exclusions_do_not_collide() {
+        let a = CacheKey::new(1, 10, &[1, 2, 3]);
+        let b = CacheKey::new(1, 10, &[1, 2, 4]);
+        let c = CacheKey::new(1, 10, &[]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        let mut cache = ResultCache::new(4);
+        cache.insert(a, 1, val(1));
+        assert!(cache.get(&b, 1).is_none());
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1), 1, val(1));
+        c.insert(key(2), 1, val(2));
+        c.insert(key(1), 1, val(9)); // refresh → key 2 is now LRU
+        c.insert(key(3), 1, val(3));
+        assert_eq!(c.get(&key(1), 1), Some(&val(9)));
+        assert!(c.get(&key(2), 1).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert(key(1), 1, val(1));
+        assert!(c.get(&key(1), 1).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn slab_slots_are_reused_after_eviction() {
+        let mut c = ResultCache::new(2);
+        for round in 0..100u32 {
+            c.insert(key(round), 1, val(round));
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.slab.len() <= 3, "slab grew: {}", c.slab.len());
+    }
+}

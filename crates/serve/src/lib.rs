@@ -1,0 +1,56 @@
+//! # cumf-serve — batched, cached top-k retrieval over factor snapshots
+//!
+//! Training produces factors; traffic wants rankings.  This crate turns a
+//! fitted [`cumf_core::trainer::MatrixFactorizer`] (or a saved
+//! [`cumf_core::checkpoint::Checkpoint`]) into a production-shaped
+//! retrieval service, reusing the paper's central trick — batch many small
+//! independent problems into one regular blocked kernel — at serving time:
+//!
+//! * [`snapshot::FactorSnapshot`] — an immutable, generation-stamped view of
+//!   the factors with precomputed item norms; [`snapshot::SnapshotStore`]
+//!   hot-swaps snapshots (`Arc` pointer swap) so a retrain publishes under
+//!   load without stalling in-flight batches.
+//! * [`topk::TopKIndex`] — scores micro-batches of requests as blocked
+//!   matrix-vector products ([`cumf_linalg::batch_score_block`]) with a
+//!   bounded heap per user and seen-item exclusion.
+//! * [`batcher::TopKService`] — coalesces concurrent requests into size- and
+//!   deadline-bounded micro-batches, fronted by a per-user LRU result cache
+//!   ([`cache::ResultCache`]) invalidated by snapshot generation.
+//! * [`metrics::ServeMetrics`] — request counts, batch-size histogram,
+//!   cache hit rate, batch latency, swap count.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cumf_core::config::AlsConfig;
+//! use cumf_core::trainer::{Backend, MatrixFactorizer};
+//! use cumf_data::synth::SyntheticConfig;
+//! use cumf_serve::{FactorSnapshot, ServeConfig, TopKService};
+//!
+//! let data = SyntheticConfig { m: 200, n: 100, nnz: 4000, ..Default::default() }.generate();
+//! let train = data.to_csr();
+//! let mut model = MatrixFactorizer::new(
+//!     AlsConfig { f: 8, iterations: 3, ..Default::default() },
+//!     Backend::Reference,
+//! );
+//! model.fit(&train, &[]);
+//!
+//! let service = TopKService::start(FactorSnapshot::from_trainer(&model), ServeConfig::default());
+//! let client = service.client();
+//! let (seen, _) = train.row(0);
+//! let recs = client.recommend(0, 10, seen).unwrap();
+//! assert_eq!(recs.len(), 10);
+//! assert!(recs.iter().all(|(item, _)| !seen.contains(item)));
+//! ```
+
+pub mod batcher;
+pub mod cache;
+pub mod metrics;
+pub mod snapshot;
+pub mod topk;
+
+pub use batcher::{ServeClient, ServeConfig, ServeError, TopKService};
+pub use cache::{CacheKey, ResultCache};
+pub use metrics::{MetricsReport, ServeMetrics};
+pub use snapshot::{FactorSnapshot, SnapshotStore};
+pub use topk::{Query, ScoreKind, TopKIndex};

@@ -1,0 +1,225 @@
+//! Lock-free serving metrics.
+//!
+//! Counters a production retrieval tier exports: request/response counts,
+//! cache hit rate, a power-of-two micro-batch-size histogram (how well the
+//! batcher coalesces), per-batch scoring latency, and snapshot swaps.  All
+//! writers are relaxed atomics — the worker records on the hot path without
+//! locks — and [`ServeMetrics::report`] takes a coherent-enough snapshot
+//! for dashboards/tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: batch sizes `1, 2–3, 4–7, …, ≥128`.
+pub const BATCH_SIZE_BUCKETS: usize = 8;
+
+/// Shared, lock-free serving counters.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    requests: AtomicU64,
+    responses: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    batches: AtomicU64,
+    batch_items: AtomicU64,
+    batch_size_hist: [AtomicU64; BATCH_SIZE_BUCKETS],
+    batch_latency_ns_total: AtomicU64,
+    batch_latency_ns_max: AtomicU64,
+    snapshot_swaps: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request entering the batcher.
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one reply sent.
+    pub fn record_response(&self) {
+        self.responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a result served from the cache.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a result that had to be scored.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one coalesced micro-batch of `size` requests scored in
+    /// `latency`.
+    pub fn record_batch(&self, size: usize, latency: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_items.fetch_add(size as u64, Ordering::Relaxed);
+        let bucket = (usize::BITS - 1)
+            .saturating_sub(size.max(1).leading_zeros())
+            .min(BATCH_SIZE_BUCKETS as u32 - 1) as usize;
+        self.batch_size_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.batch_latency_ns_total.fetch_add(ns, Ordering::Relaxed);
+        self.batch_latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Records a snapshot hot-swap.
+    pub fn record_swap(&self) {
+        self.snapshot_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters plus derived rates.
+    pub fn report(&self) -> MetricsReport {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batch_items = self.batch_items.load(Ordering::Relaxed);
+        let total_ns = self.batch_latency_ns_total.load(Ordering::Relaxed);
+        MetricsReport {
+            requests,
+            responses: self.responses.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            batches,
+            batch_size_hist: std::array::from_fn(|i| {
+                self.batch_size_hist[i].load(Ordering::Relaxed)
+            }),
+            mean_batch_size: if batches > 0 {
+                batch_items as f64 / batches as f64
+            } else {
+                0.0
+            },
+            cache_hit_rate: if hits + misses > 0 {
+                hits as f64 / (hits + misses) as f64
+            } else {
+                0.0
+            },
+            mean_batch_latency: Duration::from_nanos(total_ns.checked_div(batches).unwrap_or(0)),
+            max_batch_latency: Duration::from_nanos(
+                self.batch_latency_ns_max.load(Ordering::Relaxed),
+            ),
+            snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Read-side copy of [`ServeMetrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Requests accepted by the batcher.
+    pub requests: u64,
+    /// Replies delivered.
+    pub responses: u64,
+    /// Results served from the cache.
+    pub cache_hits: u64,
+    /// Results scored against a snapshot.
+    pub cache_misses: u64,
+    /// Coalesced micro-batches scored.
+    pub batches: u64,
+    /// Batch-size histogram (buckets `1, 2–3, 4–7, …, ≥128`).
+    pub batch_size_hist: [u64; BATCH_SIZE_BUCKETS],
+    /// Mean requests per micro-batch.
+    pub mean_batch_size: f64,
+    /// `hits / (hits + misses)`.
+    pub cache_hit_rate: f64,
+    /// Mean scoring latency per micro-batch.
+    pub mean_batch_latency: Duration,
+    /// Worst scoring latency of any micro-batch.
+    pub max_batch_latency: Duration,
+    /// Snapshot generations published.
+    pub snapshot_swaps: u64,
+}
+
+impl std::fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests: {}  responses: {}  batches: {}  mean batch {:.2}",
+            self.requests, self.responses, self.batches, self.mean_batch_size
+        )?;
+        writeln!(
+            f,
+            "cache: {:.1}% hit ({} hit / {} miss)  swaps: {}",
+            100.0 * self.cache_hit_rate,
+            self.cache_hits,
+            self.cache_misses,
+            self.snapshot_swaps
+        )?;
+        writeln!(
+            f,
+            "batch latency: mean {:?}  max {:?}",
+            self.mean_batch_latency, self.max_batch_latency
+        )?;
+        write!(
+            f,
+            "batch sizes [1,2,4,8,16,32,64,128+]: {:?}",
+            self.batch_size_hist
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_sizes_land_in_power_of_two_buckets() {
+        let m = ServeMetrics::new();
+        for size in [1usize, 2, 3, 4, 7, 8, 127, 128, 4096] {
+            m.record_batch(size, Duration::from_micros(10));
+        }
+        let r = m.report();
+        assert_eq!(r.batches, 9);
+        assert_eq!(r.batch_size_hist[0], 1); // 1
+        assert_eq!(r.batch_size_hist[1], 2); // 2, 3
+        assert_eq!(r.batch_size_hist[2], 2); // 4, 7
+        assert_eq!(r.batch_size_hist[3], 1); // 8
+        assert_eq!(r.batch_size_hist[6], 1); // 127 → bucket 64..127
+        assert_eq!(r.batch_size_hist[7], 2); // 128 and 4096 clamp to last
+    }
+
+    #[test]
+    fn rates_and_latencies_are_derived() {
+        let m = ServeMetrics::new();
+        for _ in 0..3 {
+            m.record_request();
+            m.record_response();
+        }
+        m.record_cache_hit();
+        m.record_cache_miss();
+        m.record_cache_miss();
+        m.record_batch(3, Duration::from_millis(2));
+        m.record_batch(1, Duration::from_millis(4));
+        m.record_swap();
+        let r = m.report();
+        assert_eq!(r.requests, 3);
+        assert!((r.cache_hit_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.mean_batch_size, 2.0);
+        assert_eq!(r.mean_batch_latency, Duration::from_millis(3));
+        assert_eq!(r.max_batch_latency, Duration::from_millis(4));
+        assert_eq!(r.snapshot_swaps, 1);
+    }
+
+    #[test]
+    fn empty_metrics_report_is_zeroed() {
+        let r = ServeMetrics::new().report();
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.cache_hit_rate, 0.0);
+        assert_eq!(r.mean_batch_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let m = ServeMetrics::new();
+        m.record_batch(2, Duration::from_micros(500));
+        let text = m.report().to_string();
+        assert!(text.contains("batches: 1"));
+        assert!(text.contains("cache"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Immutable factor snapshots and the atomically hot-swappable store.
+//!
+//! A [`FactorSnapshot`] freezes the trained factors at one point in time:
+//! user factors `X`, item factors `Θ` (row-major, so every `θ_v` is
+//! contiguous for the blocked scorer), the precomputed item L2 norms, and a
+//! `generation` number.  Snapshots are immutable by construction — the
+//! serving path never mutates one, so any number of in-flight batches can
+//! share it behind an [`Arc`].
+//!
+//! [`SnapshotStore`] is the publication point: a retrain (or a checkpoint
+//! restore) builds a fresh snapshot and [`SnapshotStore::publish`]es it.
+//! The swap is an `Arc` pointer replacement under a briefly-held lock —
+//! readers clone the `Arc` and then score against an immutable object, so a
+//! publish never stalls in-flight batches and a batch can never observe two
+//! generations.
+
+use cumf_core::checkpoint::Checkpoint;
+use cumf_core::trainer::MatrixFactorizer;
+use cumf_linalg::{retrieve_top_k, topk::DEFAULT_ITEM_BLOCK, FactorMatrix};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// An immutable, generation-stamped view of trained factors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorSnapshot {
+    generation: u64,
+    x: FactorMatrix,
+    theta: FactorMatrix,
+    item_norms: Vec<f32>,
+}
+
+impl FactorSnapshot {
+    /// Builds a snapshot from factor matrices (generation 0 until
+    /// published).
+    ///
+    /// # Panics
+    /// Panics if the two matrices disagree on the latent rank.
+    pub fn from_factors(x: FactorMatrix, theta: FactorMatrix) -> Self {
+        assert_eq!(x.rank(), theta.rank(), "factor rank mismatch");
+        let f = theta.rank();
+        let item_norms = theta
+            .data()
+            .chunks_exact(f.max(1))
+            .map(|v| cumf_linalg::blas::norm_sq(v).sqrt())
+            .collect();
+        Self {
+            generation: 0,
+            x,
+            theta,
+            item_norms,
+        }
+    }
+
+    /// Snapshots a live, fitted trainer.
+    ///
+    /// # Panics
+    /// Panics if [`MatrixFactorizer::fit`] has not been called.
+    pub fn from_trainer(model: &MatrixFactorizer) -> Self {
+        Self::from_factors(model.x().clone(), model.theta().clone())
+    }
+
+    /// Restores a snapshot from a saved checkpoint — the serving half of the
+    /// paper's §4.4 fault-tolerance story: a retrain crash loses no serving
+    /// capability, the last checkpoint serves on.
+    pub fn from_checkpoint(checkpoint: &Checkpoint) -> Self {
+        Self::from_factors(checkpoint.x.clone(), checkpoint.theta.clone())
+    }
+
+    /// The publication generation (0 for never-published snapshots).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Number of items in the catalog.
+    pub fn n_items(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// Latent rank `f`.
+    pub fn rank(&self) -> usize {
+        self.theta.rank()
+    }
+
+    /// User factor vector `x_u`, or `None` for out-of-range users.
+    pub fn user_vector(&self, user: u32) -> Option<&[f32]> {
+        ((user as usize) < self.x.len()).then(|| self.x.vector(user as usize))
+    }
+
+    /// The row-major item factor table.
+    pub fn item_factors(&self) -> &FactorMatrix {
+        &self.theta
+    }
+
+    /// Precomputed item L2 norms (`‖θ_v‖`), indexed by item id.
+    pub fn item_norms(&self) -> &[f32] {
+        &self.item_norms
+    }
+
+    /// Predicted rating `x_u · θ_v`; `None` for out-of-range ids.
+    pub fn predict(&self, user: u32, item: u32) -> Option<f32> {
+        let x_u = self.user_vector(user)?;
+        ((item as usize) < self.theta.len())
+            .then(|| cumf_linalg::blas::dot(x_u, self.theta.vector(item as usize)))
+    }
+
+    /// Single-request top-`k` retrieval: the blocked-scoring + bounded-heap
+    /// path a batch of size one takes.  Out-of-range users get an empty
+    /// result (a serving layer must not panic on bad requests).
+    pub fn recommend_one(&self, user: u32, k: usize, exclude: &[u32]) -> Vec<(u32, f32)> {
+        let Some(x_u) = self.user_vector(user) else {
+            return Vec::new();
+        };
+        let excluded: HashSet<u32> = exclude.iter().copied().collect();
+        retrieve_top_k(
+            x_u,
+            self.theta.data(),
+            self.rank(),
+            k,
+            DEFAULT_ITEM_BLOCK,
+            |v| excluded.contains(&v),
+        )
+    }
+}
+
+/// The hot-swappable publication point for [`FactorSnapshot`]s.
+///
+/// `load()` is a read-lock `Arc` clone; `publish()` stamps the next
+/// generation and swaps the pointer under a write lock held for the
+/// duration of one pointer assignment.  In-flight batches keep serving from
+/// the `Arc` they already cloned.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    current: RwLock<Arc<FactorSnapshot>>,
+    generation: AtomicU64,
+}
+
+impl SnapshotStore {
+    /// Creates a store serving `initial` as generation 1.
+    pub fn new(mut initial: FactorSnapshot) -> Self {
+        initial.generation = 1;
+        Self {
+            current: RwLock::new(Arc::new(initial)),
+            generation: AtomicU64::new(1),
+        }
+    }
+
+    /// The snapshot to serve the next batch from.
+    pub fn load(&self) -> Arc<FactorSnapshot> {
+        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Generation of the currently-published snapshot.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Publishes a new snapshot, returning its generation.  Queries that
+    /// already captured the previous `Arc` finish on the old factors; every
+    /// later `load()` observes the new ones.  The generation bump and the
+    /// pointer swap happen under one write lock, so concurrent publishers
+    /// serialize and generations can never be installed out of order.
+    pub fn publish(&self, mut snapshot: FactorSnapshot) -> u64 {
+        let mut current = self.current.write().expect("snapshot lock poisoned");
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        snapshot.generation = generation;
+        *current = Arc::new(snapshot);
+        generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_linalg::blas::dot;
+
+    fn snapshot(seed: u64) -> FactorSnapshot {
+        FactorSnapshot::from_factors(
+            FactorMatrix::random(20, 6, 1.0, seed),
+            FactorMatrix::random(50, 6, 1.0, seed + 1),
+        )
+    }
+
+    #[test]
+    fn norms_match_theta_rows() {
+        let s = snapshot(1);
+        assert_eq!(s.item_norms().len(), s.n_items());
+        for v in 0..s.n_items() {
+            let expect = dot(s.item_factors().vector(v), s.item_factors().vector(v)).sqrt();
+            assert!((s.item_norms()[v] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn recommend_one_excludes_and_sorts() {
+        let s = snapshot(2);
+        let exclude = vec![0, 1, 2, 3];
+        let recs = s.recommend_one(5, 10, &exclude);
+        assert_eq!(recs.len(), 10);
+        assert!(recs.iter().all(|(v, _)| !exclude.contains(v)));
+        assert!(recs.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn out_of_range_requests_are_empty_not_panics() {
+        let s = snapshot(3);
+        assert!(s.recommend_one(10_000, 5, &[]).is_empty());
+        assert_eq!(s.predict(10_000, 0), None);
+        assert_eq!(s.predict(0, 10_000), None);
+        assert!(s.predict(0, 0).is_some());
+    }
+
+    #[test]
+    fn store_publish_bumps_generation_and_swaps() {
+        let store = SnapshotStore::new(snapshot(4));
+        let first = store.load();
+        assert_eq!(first.generation(), 1);
+        let g2 = store.publish(snapshot(5));
+        assert_eq!(g2, 2);
+        assert_eq!(store.generation(), 2);
+        let second = store.load();
+        assert_eq!(second.generation(), 2);
+        // The old Arc is still intact for in-flight readers.
+        assert_eq!(first.generation(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor rank mismatch")]
+    fn mismatched_ranks_panic() {
+        FactorSnapshot::from_factors(FactorMatrix::zeros(2, 3), FactorMatrix::zeros(2, 4));
+    }
+}

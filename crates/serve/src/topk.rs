@@ -1,0 +1,245 @@
+//! Batched top-k scoring against one snapshot.
+//!
+//! The training-time insight of the paper — batch many independent small
+//! problems into one regular, blocked kernel — applied at serving time: a
+//! micro-batch of user requests is scored as blocked matrix-vector products
+//! ([`cumf_linalg::batch_score_block`]), so each item block is streamed from
+//! memory once per *tile of users* instead of once per request.  Each user
+//! folds block scores into a bounded heap ([`cumf_linalg::TopK`]), never
+//! materializing the full score vector.
+
+use crate::snapshot::FactorSnapshot;
+use cumf_linalg::batch_score_block;
+use cumf_linalg::TopK;
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// How a candidate item is scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoreKind {
+    /// Raw inner product `x_u · θ_v` (predicted rating).
+    #[default]
+    Dot,
+    /// Inner product divided by `‖θ_v‖` — uses the snapshot's precomputed
+    /// item norms to stop high-norm (popular) items from dominating every
+    /// list.  The user-norm factor is constant per request and cannot
+    /// change the ranking, so it is skipped.
+    Cosine,
+}
+
+/// One top-k retrieval request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// User to recommend for.
+    pub user: u32,
+    /// Number of items wanted.
+    pub k: usize,
+    /// Items to exclude (typically the user's already-rated items).
+    pub exclude: Vec<u32>,
+}
+
+impl Query {
+    /// A query with no exclusions.
+    pub fn new(user: u32, k: usize) -> Self {
+        Self {
+            user,
+            k,
+            exclude: Vec::new(),
+        }
+    }
+}
+
+/// Number of users scored together against each item block.  Eight user
+/// vectors of `f ≤ 128` floats fit comfortably in L1 next to the item block.
+const USER_TILE: usize = 8;
+
+/// Batched blocked top-k scorer over one immutable snapshot.
+///
+/// All queries of a [`TopKIndex::query_batch`] call are answered from the
+/// same snapshot generation — the index holds its own `Arc`, so a
+/// concurrent hot-swap cannot tear a batch.
+#[derive(Debug, Clone)]
+pub struct TopKIndex {
+    snapshot: Arc<FactorSnapshot>,
+    item_block: usize,
+    score: ScoreKind,
+}
+
+impl TopKIndex {
+    /// Creates an index over `snapshot` scoring `item_block` items per
+    /// block.
+    pub fn new(snapshot: Arc<FactorSnapshot>, item_block: usize, score: ScoreKind) -> Self {
+        assert!(item_block > 0, "item block must be positive");
+        Self {
+            snapshot,
+            item_block,
+            score,
+        }
+    }
+
+    /// The snapshot this index serves from.
+    pub fn snapshot(&self) -> &Arc<FactorSnapshot> {
+        &self.snapshot
+    }
+
+    /// Scores a micro-batch of queries, returning one ranked
+    /// `(item, score)` list per query, in query order.  Tiles of
+    /// [`USER_TILE`] users are scored in parallel; within a tile every item
+    /// block is scored for all users with one blocked kernel call.
+    pub fn query_batch(&self, queries: &[Query]) -> Vec<Vec<(u32, f32)>> {
+        let tiles: Vec<Vec<Vec<(u32, f32)>>> = queries
+            .par_chunks(USER_TILE)
+            .map(|tile| self.score_tile(tile))
+            .collect();
+        tiles.into_iter().flatten().collect()
+    }
+
+    fn score_tile(&self, tile: &[Query]) -> Vec<Vec<(u32, f32)>> {
+        let snap = &self.snapshot;
+        let f = snap.rank();
+        let n_items = snap.n_items();
+        let theta = snap.item_factors().data();
+        let norms = snap.item_norms();
+
+        // Gather the tile's user vectors into one contiguous buffer so the
+        // block scorer sees a dense (tile × f) operand.  Out-of-range users
+        // keep a zero vector and are marked invalid.
+        let mut users = vec![0.0f32; tile.len() * f];
+        let mut valid = vec![false; tile.len()];
+        for (i, q) in tile.iter().enumerate() {
+            if let Some(x_u) = snap.user_vector(q.user) {
+                users[i * f..(i + 1) * f].copy_from_slice(x_u);
+                valid[i] = true;
+            }
+        }
+
+        let mut heaps: Vec<Option<TopK>> = tile
+            .iter()
+            .zip(valid.iter())
+            .map(|(q, &ok)| (ok && q.k > 0).then(|| TopK::new(q.k)))
+            .collect();
+        let excluded: Vec<HashSet<u32>> = tile
+            .iter()
+            .map(|q| q.exclude.iter().copied().collect())
+            .collect();
+
+        let block = self.item_block.min(n_items.max(1));
+        let mut scores = vec![0.0f32; tile.len() * block];
+        for start in (0..n_items).step_by(block) {
+            let end = (start + block).min(n_items);
+            let nb = end - start;
+            let out = &mut scores[..tile.len() * nb];
+            batch_score_block(&users, tile.len(), &theta[start * f..end * f], nb, f, out);
+            for (i, heap) in heaps.iter_mut().enumerate() {
+                let Some(heap) = heap else { continue };
+                let row = &out[i * nb..(i + 1) * nb];
+                for (j, &s) in row.iter().enumerate() {
+                    let item = (start + j) as u32;
+                    if excluded[i].contains(&item) {
+                        continue;
+                    }
+                    let s = match self.score {
+                        ScoreKind::Dot => s,
+                        ScoreKind::Cosine => {
+                            let n = norms[start + j];
+                            if n > 0.0 {
+                                s / n
+                            } else {
+                                continue;
+                            }
+                        }
+                    };
+                    heap.push(item, s);
+                }
+            }
+        }
+
+        heaps
+            .into_iter()
+            .map(|h| h.map(TopK::into_sorted_vec).unwrap_or_default())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_linalg::FactorMatrix;
+
+    fn index(seed: u64, n_users: usize, n_items: usize, score: ScoreKind) -> TopKIndex {
+        let snap = FactorSnapshot::from_factors(
+            FactorMatrix::random(n_users, 8, 1.0, seed),
+            FactorMatrix::random(n_items, 8, 1.0, seed + 1),
+        );
+        TopKIndex::new(Arc::new(snap), 64, score)
+    }
+
+    #[test]
+    fn batch_matches_single_request_path() {
+        let idx = index(7, 30, 500, ScoreKind::Dot);
+        let queries: Vec<Query> = (0..30u32)
+            .map(|u| Query {
+                user: u,
+                k: 5,
+                exclude: vec![u % 11, u % 23],
+            })
+            .collect();
+        let batched = idx.query_batch(&queries);
+        assert_eq!(batched.len(), queries.len());
+        for (q, got) in queries.iter().zip(batched.iter()) {
+            let single = idx.snapshot().recommend_one(q.user, q.k, &q.exclude);
+            assert_eq!(got, &single, "user {}", q.user);
+        }
+    }
+
+    #[test]
+    fn exclusions_and_invalid_users_are_handled() {
+        let idx = index(9, 10, 100, ScoreKind::Dot);
+        let queries = vec![
+            Query {
+                user: 0,
+                k: 3,
+                exclude: (0..97).collect(),
+            },
+            Query::new(9999, 3), // out of range
+            Query {
+                user: 1,
+                k: 0,
+                exclude: vec![],
+            },
+        ];
+        let out = idx.query_batch(&queries);
+        assert_eq!(out[0].len(), 3);
+        assert!(out[0].iter().all(|(v, _)| *v >= 97));
+        assert!(out[1].is_empty());
+        assert!(out[2].is_empty());
+    }
+
+    #[test]
+    fn cosine_divides_by_item_norm() {
+        // Item 0 has a huge norm; under Dot it wins, under Cosine it ties
+        // with the identically-directed item 1.
+        let x = FactorMatrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let theta = FactorMatrix::from_vec(3, 2, vec![10.0, 0.0, 1.0, 0.0, 0.0, 5.0]);
+        let snap = Arc::new(FactorSnapshot::from_factors(x, theta));
+        let dot = TopKIndex::new(Arc::clone(&snap), 64, ScoreKind::Dot);
+        let cos = TopKIndex::new(snap, 64, ScoreKind::Cosine);
+        let q = vec![Query::new(0, 2)];
+        assert_eq!(dot.query_batch(&q)[0], vec![(0, 10.0), (1, 1.0)]);
+        // Cosine: items 0 and 1 both score 1.0; ties prefer small ids.
+        assert_eq!(cos.query_batch(&q)[0], vec![(0, 1.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn block_size_is_result_invariant() {
+        let snap = Arc::new(FactorSnapshot::from_factors(
+            FactorMatrix::random(5, 4, 1.0, 3),
+            FactorMatrix::random(777, 4, 1.0, 4),
+        ));
+        let q: Vec<Query> = (0..5u32).map(|u| Query::new(u, 9)).collect();
+        let small = TopKIndex::new(Arc::clone(&snap), 3, ScoreKind::Dot).query_batch(&q);
+        let large = TopKIndex::new(snap, 10_000, ScoreKind::Dot).query_batch(&q);
+        assert_eq!(small, large);
+    }
+}

@@ -20,6 +20,36 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// Workload size of one benchmark iteration, used to derive throughput
+/// (criterion's `Throughput`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements (ratings, requests,
+    /// systems, …); reported as `elem/s`.
+    Elements(u64),
+    /// Iteration moves this many bytes; reported as `B/s` (binary units).
+    Bytes(u64),
+}
+
+fn format_rate(per_second: f64, unit_elements: bool) -> String {
+    if unit_elements {
+        match per_second {
+            r if r >= 1e9 => format!("{:.3} Gelem/s", r / 1e9),
+            r if r >= 1e6 => format!("{:.3} Melem/s", r / 1e6),
+            r if r >= 1e3 => format!("{:.3} Kelem/s", r / 1e3),
+            r => format!("{r:.3} elem/s"),
+        }
+    } else {
+        const KIB: f64 = 1024.0;
+        match per_second {
+            r if r >= KIB * KIB * KIB => format!("{:.3} GiB/s", r / (KIB * KIB * KIB)),
+            r if r >= KIB * KIB => format!("{:.3} MiB/s", r / (KIB * KIB)),
+            r if r >= KIB => format!("{:.3} KiB/s", r / KIB),
+            r => format!("{r:.3} B/s"),
+        }
+    }
+}
+
 /// Identifies a benchmark within a group.
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {
@@ -85,14 +115,32 @@ fn format_ns(ns: u128) -> String {
     }
 }
 
-fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+fn run_one(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
     let mut bencher = Bencher {
         samples,
         median_ns: None,
     };
     f(&mut bencher);
     match bencher.median_ns {
-        Some(ns) => println!("{label:<50} median {}", format_ns(ns)),
+        Some(ns) => {
+            let rate = throughput
+                .filter(|_| ns > 0)
+                .map(|t| {
+                    let (count, elements) = match t {
+                        Throughput::Elements(n) => (n, true),
+                        Throughput::Bytes(n) => (n, false),
+                    };
+                    let per_second = count as f64 / (ns as f64 * 1e-9);
+                    format!("  thrpt {}", format_rate(per_second, elements))
+                })
+                .unwrap_or_default();
+            println!("{label:<50} median {}{rate}", format_ns(ns));
+        }
         None => println!("{label:<50} (no iter() call)"),
     }
 }
@@ -101,6 +149,7 @@ fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
 pub struct BenchmarkGroup<'a> {
     name: String,
     samples: usize,
+    throughput: Option<Throughput>,
     _parent: &'a mut Criterion,
 }
 
@@ -114,13 +163,21 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the per-iteration workload of the benchmarks that follow;
+    /// their report gains an elements/sec (or bytes/sec) rate.  As with the
+    /// real criterion, call again before the next benchmark to change it.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
     /// Runs a benchmark in this group.
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
     where
         F: FnOnce(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into().id);
-        run_one(&label, self.samples, f);
+        run_one(&label, self.samples, self.throughput, f);
         self
     }
 
@@ -135,7 +192,7 @@ impl BenchmarkGroup<'_> {
         F: FnOnce(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.into().id);
-        run_one(&label, self.samples, |b| f(b, input));
+        run_one(&label, self.samples, self.throughput, |b| f(b, input));
         self
     }
 
@@ -153,6 +210,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             samples: 5,
+            throughput: None,
             _parent: self,
         }
     }
@@ -162,7 +220,7 @@ impl Criterion {
     where
         F: FnOnce(&mut Bencher),
     {
-        run_one(&id.into().id, 5, f);
+        run_one(&id.into().id, 5, None, f);
         self
     }
 }
@@ -194,12 +252,28 @@ mod tests {
 
     #[test]
     fn bencher_records_a_median() {
-        run_one("smoke", 3, |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        run_one("smoke", 3, None, |b| b.iter(|| (0..1000u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn bencher_reports_throughput() {
+        run_one("smoke_thrpt", 3, Some(Throughput::Elements(1000)), |b| {
+            b.iter(|| (0..1000u64).sum::<u64>())
+        });
     }
 
     #[test]
     fn benchmark_ids_format() {
         assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
         assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn rates_format_with_scaled_units() {
+        assert_eq!(format_rate(1.5e9, true), "1.500 Gelem/s");
+        assert_eq!(format_rate(2.5e6, true), "2.500 Melem/s");
+        assert_eq!(format_rate(999.0, true), "999.000 elem/s");
+        assert_eq!(format_rate(3.0 * 1024.0 * 1024.0, false), "3.000 MiB/s");
+        assert_eq!(format_rate(512.0, false), "512.000 B/s");
     }
 }

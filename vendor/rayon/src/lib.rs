@@ -1,245 +1,1011 @@
-//! Sequential, API-compatible shim for [rayon](https://docs.rs/rayon).
+//! Multi-threaded, API-compatible shim for [rayon](https://docs.rs/rayon).
 //!
 //! The build environment for this repository has no access to crates.io, so
 //! the workspace vendors the *interface* of the external crates it depends
-//! on.  This shim exposes the subset of rayon's parallel-iterator API that
-//! `cumf-rs` uses — `par_iter`, `par_iter_mut`, `into_par_iter`,
-//! `par_chunks_mut`, and the adapters `map` / `zip` / `enumerate` / `filter`
-//! / `for_each` / `collect` / `sum` / `count` / rayon-style two-argument
-//! `reduce` — executing everything **sequentially** on the calling thread.
+//! on.  Earlier revisions of this shim executed everything sequentially;
+//! this version is a genuinely parallel implementation of the subset of
+//! rayon's API that `cumf-rs` uses:
 //!
-//! Correctness is unaffected: rayon's contract is that parallel execution is
-//! observationally equivalent to sequential execution for the pure
-//! operations used here.  Wall-clock scaling measurements are deferred until
-//! the real crate can be pulled; swap the `[workspace.dependencies]` entry
-//! in the root `Cargo.toml` from the `vendor/rayon` path to a crates.io
-//! version and everything compiles unchanged.
+//! * sources — `par_iter`, `par_iter_mut`, `into_par_iter` (ranges and
+//!   vectors), `par_chunks`, `par_chunks_mut`;
+//! * adapters — `map`, `zip`, `enumerate`, `filter`, `filter_map`,
+//!   `flat_map`, `with_min_len`;
+//! * terminals — `for_each`, `collect`, `sum`, `count`, `reduce`, `min`,
+//!   `max`;
+//! * plus [`join`] and [`current_num_threads`].
+//!
+//! # Execution model
+//!
+//! There is no work-stealing: every parallel iterator is an exactly
+//! splittable description of work (a slice, a range, or an adapter stack
+//! over one), and a terminal operation splits it into roughly
+//! [`current_num_threads`] contiguous pieces and runs each piece to
+//! completion on a scoped thread (`std::thread::scope`).  Closures are
+//! shared across the pieces behind an [`Arc`], so the adapter structs stay
+//! cheap to split.  This matches rayon's observable behaviour for the
+//! coarse-grained loops in this workspace (per-row ALS solves, chunked
+//! factor updates, block reductions) while remaining a few hundred lines of
+//! dependency-free code.
+//!
+//! Determinism: splitting preserves order, every piece is contiguous, and
+//! `collect` reassembles pieces in order, so order-sensitive results are
+//! identical to sequential execution.  Reductions (`sum`, `reduce`) combine
+//! per-piece partials in piece order; floating-point results can therefore
+//! differ from a sequential fold by the usual re-association error, exactly
+//! as with the real rayon.
+//!
+//! The thread count is `RAYON_NUM_THREADS` when set, otherwise
+//! `std::thread::available_parallelism()`.  Swap the
+//! `[workspace.dependencies]` entry in the root `Cargo.toml` from the
+//! `vendor/rayon` path to a crates.io version and everything compiles
+//! unchanged.
 
-use std::iter::{Enumerate, Filter, FilterMap, FlatMap, Map, Zip};
+use std::ops::Range;
+use std::sync::Arc;
+use std::sync::OnceLock;
 
-/// Sequential stand-in for rayon's `ParallelIterator`.
-///
-/// Wraps a standard [`Iterator`] and re-exposes the adapter set with rayon's
-/// signatures (notably [`ParIter::reduce`], which takes an identity closure,
-/// unlike [`Iterator::reduce`]).
-pub struct ParIter<I>(I);
+/// Number of worker threads a terminal operation fans out to.
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
 
-impl<I: Iterator> ParIter<I> {
-    /// Wraps any iterator as a "parallel" iterator.
-    pub fn new(inner: I) -> Self {
-        ParIter(inner)
+/// Runs two closures in parallel and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
     }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// A splittable description of parallel work.
+///
+/// Unlike the real rayon this is a single concrete trait: implementors know
+/// their (upper-bound) length, can split themselves at an element index, and
+/// can lower themselves into a sequential [`Iterator`] for one worker to
+/// drain.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+    /// The sequential iterator a worker drains one split with.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Number of *base* elements remaining (an upper bound once `filter` /
+    /// `filter_map` are involved); used only to place split points.
+    fn par_len(&self) -> usize;
+
+    /// Splits into `[0, mid)` and `[mid, len)` in base-element units.
+    fn split_at(self, mid: usize) -> (Self, Self);
+
+    /// Lowers this (piece of) work into a sequential iterator.
+    fn into_seq(self) -> Self::Seq;
+
+    /// Minimum piece length a terminal operation may split down to.
+    fn min_split_len(&self) -> usize {
+        1
+    }
+
+    // ---- adapters -------------------------------------------------------
 
     /// Applies `f` to each item.
-    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<Map<I, F>> {
-        ParIter(self.0.map(f))
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
     }
 
-    /// Pairs items with another parallel iterator.
-    pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<Zip<I, J::Iter>> {
-        ParIter(self.0.zip(other.into_par_iter().0))
+    /// Pairs items with another parallel iterator, in lockstep.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
     }
 
     /// Pairs items with their indices.
-    pub fn enumerate(self) -> ParIter<Enumerate<I>> {
-        ParIter(self.0.enumerate())
+    ///
+    /// As with rayon, `enumerate` assumes an exactly-sized base (do not use
+    /// it after `filter`-like adapters; indices would count filtered items).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
     }
 
     /// Keeps items for which `f` returns true.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<Filter<I, F>> {
-        ParIter(self.0.filter(f))
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        Filter {
+            base: self,
+            f: Arc::new(f),
+        }
     }
 
     /// Filters and maps in one pass.
-    pub fn filter_map<O, F: FnMut(I::Item) -> Option<O>>(self, f: F) -> ParIter<FilterMap<I, F>> {
-        ParIter(self.0.filter_map(f))
+    fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Item) -> Option<R> + Send + Sync,
+        R: Send,
+    {
+        FilterMap {
+            base: self,
+            f: Arc::new(f),
+        }
     }
 
     /// Maps each item to an iterator and flattens the result.
-    pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
-        self,
-        f: F,
-    ) -> ParIter<FlatMap<I, O, F>> {
-        ParIter(self.0.flat_map(f))
+    fn flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        F: Fn(Self::Item) -> O + Send + Sync,
+        O: IntoIterator,
+        O::Item: Send,
+    {
+        FlatMap {
+            base: self,
+            f: Arc::new(f),
+        }
     }
 
-    /// Consumes the iterator, applying `f` to each item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
+    /// Bounds how finely terminal operations may split the work.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min }
     }
 
-    /// Collects into any [`FromIterator`] collection.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    // ---- terminals ------------------------------------------------------
+
+    /// Consumes the iterator, applying `f` to each item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        execute(self, |piece| piece.into_seq().for_each(&f));
+    }
+
+    /// Collects into any [`FromIterator`] collection, preserving order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        let pieces: Vec<Vec<Self::Item>> = execute(self, |piece| piece.into_seq().collect());
+        pieces.into_iter().flatten().collect()
     }
 
     /// Sums the items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        execute(self, |piece| piece.into_seq().sum::<S>())
+            .into_iter()
+            .sum()
     }
 
     /// Counts the items.
-    pub fn count(self) -> usize {
-        self.0.count()
+    fn count(self) -> usize {
+        execute(self, |piece| piece.into_seq().count())
+            .into_iter()
+            .sum()
     }
 
-    /// Rayon-style reduction: folds every item into `identity()` with `op`.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// Rayon-style reduction: folds every item into `identity()` with `op`,
+    /// then combines the per-thread partials with `op`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
     {
-        self.0.fold(identity(), op)
+        execute(self, |piece| piece.into_seq().fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), &op)
     }
 
-    /// Rayon `min`/`max` need `Ord`; same here.
-    pub fn max(self) -> Option<I::Item>
+    /// Maximum item, if any.
+    fn max(self) -> Option<Self::Item>
     where
-        I::Item: Ord,
+        Self::Item: Ord,
     {
-        self.0.max()
+        execute(self, |piece| piece.into_seq().max())
+            .into_iter()
+            .flatten()
+            .max()
     }
 
     /// Minimum item, if any.
-    pub fn min(self) -> Option<I::Item>
+    fn min(self) -> Option<Self::Item>
     where
-        I::Item: Ord,
+        Self::Item: Ord,
     {
-        self.0.min()
-    }
-
-    /// No-op in the sequential shim (rayon uses it to bound task splitting).
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
+        execute(self, |piece| piece.into_seq().min())
+            .into_iter()
+            .flatten()
+            .min()
     }
 }
 
-impl<I: Iterator> Iterator for ParIter<I> {
-    type Item = I::Item;
+/// Splits `p` into at most `pieces` contiguous parts of roughly equal base
+/// length, appending them to `out` in order.
+fn split_into<P: ParallelIterator>(p: P, pieces: usize, out: &mut Vec<P>) {
+    let n = p.par_len();
+    if pieces <= 1 || n <= 1 {
+        out.push(p);
+        return;
+    }
+    let left_pieces = pieces / 2;
+    let mid = n * left_pieces / pieces;
+    if mid == 0 || mid >= n {
+        out.push(p);
+        return;
+    }
+    let (l, r) = p.split_at(mid);
+    split_into(l, left_pieces, out);
+    split_into(r, pieces - left_pieces, out);
+}
 
-    fn next(&mut self) -> Option<I::Item> {
-        self.0.next()
+/// Runs `work` over ~`current_num_threads()` splits of `p` on scoped
+/// threads, returning the per-piece results in piece order.  Worker panics
+/// are propagated to the caller.
+fn execute<P, R, F>(p: P, work: F) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let n = p.par_len();
+    let min = p.min_split_len().max(1);
+    // Floor division: with `pieces ≤ n / min`, an even split can never
+    // produce a piece shorter than `min` (rayon's `with_min_len` contract).
+    let pieces = current_num_threads().min(n / min).max(1);
+    if pieces == 1 {
+        return vec![work(p)];
+    }
+    let mut parts = Vec::with_capacity(pieces);
+    split_into(p, pieces, &mut parts);
+    if parts.len() == 1 {
+        return parts.into_iter().map(work).collect();
+    }
+    std::thread::scope(|s| {
+        let work = &work;
+        let mut parts = parts.into_iter();
+        let first = parts.next().expect("at least one piece");
+        let handles: Vec<_> = parts.map(|piece| s.spawn(move || work(piece))).collect();
+        let mut results = Vec::with_capacity(handles.len() + 1);
+        results.push(work(first));
+        for h in handles {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        results
+    })
+}
+
+// ---- sources ------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+pub struct IterPar<'a, T: Sync>(&'a [T]);
+
+impl<'a, T: Sync> ParallelIterator for IterPar<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at(mid);
+        (IterPar(l), IterPar(r))
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.0.iter()
     }
 }
+
+/// Parallel iterator over `&mut [T]`.
+pub struct IterMutPar<'a, T: Send>(&'a mut [T]);
+
+impl<'a, T: Send> ParallelIterator for IterMutPar<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at_mut(mid);
+        (IterMutPar(l), IterMutPar(r))
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.0.iter_mut()
+    }
+}
+
+/// Parallel iterator over non-overlapping chunks of a slice.
+pub struct ChunksPar<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksPar<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(at);
+        (
+            ChunksPar {
+                slice: l,
+                size: self.size,
+            },
+            ChunksPar {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Parallel iterator over non-overlapping mutable chunks of a slice.
+pub struct ChunksMutPar<'a, T: Send> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMutPar<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (
+            ChunksMutPar {
+                slice: l,
+                size: self.size,
+            },
+            ChunksMutPar {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Parallel iterator over an owned `Vec<T>`.
+pub struct VecPar<T: Send>(Vec<T>);
+
+impl<T: Send> ParallelIterator for VecPar<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn par_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let tail = self.0.split_off(mid);
+        (self, VecPar(tail))
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.0.into_iter()
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangePar<T> {
+    range: Range<T>,
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangePar<$t> {
+            type Item = $t;
+            type Seq = Range<$t>;
+
+            fn par_len(&self) -> usize {
+                self.range.end.saturating_sub(self.range.start) as usize
+            }
+
+            fn split_at(self, mid: usize) -> (Self, Self) {
+                let at = self.range.start + mid as $t;
+                (
+                    RangePar { range: self.range.start..at },
+                    RangePar { range: at..self.range.end },
+                )
+            }
+
+            fn into_seq(self) -> Self::Seq {
+                self.range
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = RangePar<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> RangePar<$t> {
+                RangePar { range: self }
+            }
+        }
+    )*};
+}
+
+impl_range_par!(usize, u64, u32);
+
+// ---- adapters -----------------------------------------------------------
+
+/// Parallel `map`.
+pub struct Map<B, F> {
+    base: B,
+    f: Arc<F>,
+}
+
+/// Sequential side of [`Map`].
+pub struct MapSeq<S, F> {
+    base: S,
+    f: Arc<F>,
+}
+
+impl<S: Iterator, F, R> Iterator for MapSeq<S, F>
+where
+    F: Fn(S::Item) -> R,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        self.base.next().map(|x| (self.f)(x))
+    }
+}
+
+impl<B, F, R> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    type Seq = MapSeq<B::Seq, F>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            Map {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            Map { base: r, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        MapSeq {
+            base: self.base.into_seq(),
+            f: self.f,
+        }
+    }
+
+    fn min_split_len(&self) -> usize {
+        self.base.min_split_len()
+    }
+}
+
+/// Parallel `zip`.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(mid);
+        let (bl, br) = self.b.split_at(mid);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+
+    fn min_split_len(&self) -> usize {
+        self.a.min_split_len().max(self.b.min_split_len())
+    }
+}
+
+/// Parallel `enumerate`.
+pub struct Enumerate<B> {
+    base: B,
+    offset: usize,
+}
+
+/// Sequential side of [`Enumerate`].
+pub struct EnumerateSeq<S> {
+    base: S,
+    idx: usize,
+}
+
+impl<S: Iterator> Iterator for EnumerateSeq<S> {
+    type Item = (usize, S::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.base.next()?;
+        let idx = self.idx;
+        self.idx += 1;
+        Some((idx, item))
+    }
+}
+
+impl<B: ParallelIterator> ParallelIterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+    type Seq = EnumerateSeq<B::Seq>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + mid,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        EnumerateSeq {
+            base: self.base.into_seq(),
+            idx: self.offset,
+        }
+    }
+
+    fn min_split_len(&self) -> usize {
+        self.base.min_split_len()
+    }
+}
+
+/// Parallel `filter`.
+pub struct Filter<B, F> {
+    base: B,
+    f: Arc<F>,
+}
+
+/// Sequential side of [`Filter`].
+pub struct FilterSeq<S, F> {
+    base: S,
+    f: Arc<F>,
+}
+
+impl<S: Iterator, F> Iterator for FilterSeq<S, F>
+where
+    F: Fn(&S::Item) -> bool,
+{
+    type Item = S::Item;
+
+    fn next(&mut self) -> Option<S::Item> {
+        self.base.by_ref().find(|x| (self.f)(x))
+    }
+}
+
+impl<B, F> ParallelIterator for Filter<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(&B::Item) -> bool + Send + Sync,
+{
+    type Item = B::Item;
+    type Seq = FilterSeq<B::Seq, F>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            Filter {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            Filter { base: r, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        FilterSeq {
+            base: self.base.into_seq(),
+            f: self.f,
+        }
+    }
+
+    fn min_split_len(&self) -> usize {
+        self.base.min_split_len()
+    }
+}
+
+/// Parallel `filter_map`.
+pub struct FilterMap<B, F> {
+    base: B,
+    f: Arc<F>,
+}
+
+/// Sequential side of [`FilterMap`].
+pub struct FilterMapSeq<S, F> {
+    base: S,
+    f: Arc<F>,
+}
+
+impl<S: Iterator, F, R> Iterator for FilterMapSeq<S, F>
+where
+    F: Fn(S::Item) -> Option<R>,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        for x in self.base.by_ref() {
+            if let Some(r) = (self.f)(x) {
+                return Some(r);
+            }
+        }
+        None
+    }
+}
+
+impl<B, F, R> ParallelIterator for FilterMap<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> Option<R> + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    type Seq = FilterMapSeq<B::Seq, F>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            FilterMap {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            FilterMap { base: r, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        FilterMapSeq {
+            base: self.base.into_seq(),
+            f: self.f,
+        }
+    }
+
+    fn min_split_len(&self) -> usize {
+        self.base.min_split_len()
+    }
+}
+
+/// Parallel `flat_map`.
+pub struct FlatMap<B, F> {
+    base: B,
+    f: Arc<F>,
+}
+
+/// Sequential side of [`FlatMap`].
+pub struct FlatMapSeq<S, F, O: IntoIterator> {
+    base: S,
+    f: Arc<F>,
+    cur: Option<O::IntoIter>,
+}
+
+impl<S: Iterator, F, O> Iterator for FlatMapSeq<S, F, O>
+where
+    F: Fn(S::Item) -> O,
+    O: IntoIterator,
+{
+    type Item = O::Item;
+
+    fn next(&mut self) -> Option<O::Item> {
+        loop {
+            if let Some(cur) = &mut self.cur {
+                if let Some(x) = cur.next() {
+                    return Some(x);
+                }
+            }
+            self.cur = Some((self.f)(self.base.next()?).into_iter());
+        }
+    }
+}
+
+impl<B, F, O> ParallelIterator for FlatMap<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> O + Send + Sync,
+    O: IntoIterator,
+    O::Item: Send,
+    O::IntoIter: Send,
+{
+    type Item = O::Item;
+    type Seq = FlatMapSeq<B::Seq, F, O>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            FlatMap {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            FlatMap { base: r, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        FlatMapSeq {
+            base: self.base.into_seq(),
+            f: self.f,
+            cur: None,
+        }
+    }
+
+    fn min_split_len(&self) -> usize {
+        self.base.min_split_len()
+    }
+}
+
+/// Limits how finely the base may be split (rayon's `with_min_len`).
+pub struct MinLen<B> {
+    base: B,
+    min: usize,
+}
+
+impl<B: ParallelIterator> ParallelIterator for MinLen<B> {
+    type Item = B::Item;
+    type Seq = B::Seq;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            MinLen {
+                base: l,
+                min: self.min,
+            },
+            MinLen {
+                base: r,
+                min: self.min,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq()
+    }
+
+    fn min_split_len(&self) -> usize {
+        self.min.max(self.base.min_split_len())
+    }
+}
+
+// ---- conversion traits --------------------------------------------------
 
 /// `into_par_iter()` for owned collections and ranges.
 pub trait IntoParallelIterator {
-    /// The underlying sequential iterator type.
-    type Iter: Iterator<Item = Self::Item>;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
     /// Item type.
-    type Item;
-    /// Converts `self` into a (sequential) "parallel" iterator.
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
 }
 
-impl<C: IntoIterator> IntoParallelIterator for C {
-    type Iter = C::IntoIter;
-    type Item = C::Item;
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecPar<T>;
+    type Item = T;
 
-    fn into_par_iter(self) -> ParIter<C::IntoIter> {
-        ParIter(self.into_iter())
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar(self)
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = IterPar<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> IterPar<'a, T> {
+        IterPar(self)
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = IterPar<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> IterPar<'a, T> {
+        IterPar(self)
     }
 }
 
 /// `par_iter()` for shared references.
 pub trait IntoParallelRefIterator<'data> {
-    /// The underlying sequential iterator type.
-    type Iter: Iterator<Item = Self::Item>;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
     /// Item type (a shared reference).
-    type Item: 'data;
-    /// Iterates `&self` "in parallel".
-    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+    type Item: Send + 'data;
+    /// Iterates `&self` in parallel.
+    fn par_iter(&'data self) -> Self::Iter;
 }
 
-impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
-where
-    &'data C: IntoIterator,
-{
-    type Iter = <&'data C as IntoIterator>::IntoIter;
-    type Item = <&'data C as IntoIterator>::Item;
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = IterPar<'data, T>;
+    type Item = &'data T;
 
-    fn par_iter(&'data self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
+    fn par_iter(&'data self) -> IterPar<'data, T> {
+        IterPar(self)
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = IterPar<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> IterPar<'data, T> {
+        IterPar(self.as_slice())
     }
 }
 
 /// `par_iter_mut()` for mutable references.
 pub trait IntoParallelRefMutIterator<'data> {
-    /// The underlying sequential iterator type.
-    type Iter: Iterator<Item = Self::Item>;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
     /// Item type (a mutable reference).
-    type Item: 'data;
-    /// Iterates `&mut self` "in parallel".
-    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+    type Item: Send + 'data;
+    /// Iterates `&mut self` in parallel.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
 }
 
-impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
-where
-    &'data mut C: IntoIterator,
-{
-    type Iter = <&'data mut C as IntoIterator>::IntoIter;
-    type Item = <&'data mut C as IntoIterator>::Item;
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = IterMutPar<'data, T>;
+    type Item = &'data mut T;
 
-    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
+    fn par_iter_mut(&'data mut self) -> IterMutPar<'data, T> {
+        IterMutPar(self)
     }
 }
 
-/// `par_chunks` / `par_chunks_mut` on slices.
-pub trait ParallelSlice<T> {
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = IterMutPar<'data, T>;
+    type Item = &'data mut T;
+
+    fn par_iter_mut(&'data mut self) -> IterMutPar<'data, T> {
+        IterMutPar(self.as_mut_slice())
+    }
+}
+
+/// `par_chunks` on slices.
+pub trait ParallelSlice<T: Sync> {
     /// Non-overlapping chunks of `chunk_size` items.
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T>;
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter(self.chunks(chunk_size))
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksPar {
+            slice: self,
+            size: chunk_size,
+        }
     }
 }
 
-/// Mutable chunked access on slices.
-pub trait ParallelSliceMut<T> {
+/// `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
     /// Non-overlapping mutable chunks of `chunk_size` items.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutPar<'_, T>;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter(self.chunks_mut(chunk_size))
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutPar<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksMutPar {
+            slice: self,
+            size: chunk_size,
+        }
     }
-}
-
-/// Runs two closures ("in parallel" — sequentially here) and returns both
-/// results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
-
-/// Number of "worker threads" — 1 in the sequential shim.
-pub fn current_num_threads() -> usize {
-    1
 }
 
 pub mod prelude {
     //! Rayon's prelude: the traits that add `par_iter` & friends to
     //! standard collections.
     pub use crate::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
-        ParallelSliceMut,
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSlice, ParallelSliceMut,
     };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
 
     #[test]
     fn map_sum_matches_sequential() {
-        let v: Vec<u64> = (0..100).collect();
+        let v: Vec<u64> = (0..10_000).collect();
         let par: u64 = v.par_iter().map(|&x| x * x).sum();
         let seq: u64 = v.iter().map(|&x| x * x).sum();
         assert_eq!(par, seq);
@@ -247,7 +1013,7 @@ mod tests {
 
     #[test]
     fn reduce_uses_identity() {
-        let total = (1..=4u32).into_par_iter().reduce(|| 0, |a, b| a + b);
+        let total = (1..5u32).into_par_iter().reduce(|| 0, |a, b| a + b);
         assert_eq!(total, 10);
     }
 
@@ -261,5 +1027,115 @@ mod tests {
                 ca.copy_from_slice(cb);
             });
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000usize).into_par_iter().map(|x| x * 2).collect();
+        let expect: Vec<usize> = (0..10_000).map(|x| x * 2).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn enumerate_indices_are_global() {
+        let mut data = vec![0usize; 5000];
+        data.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(i, x);
+        }
+    }
+
+    #[test]
+    fn filter_and_filter_map_and_flat_map() {
+        let evens: Vec<u32> = (0..100u32).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens.len(), 50);
+        let halves: Vec<u32> = (0..100u32)
+            .into_par_iter()
+            .filter_map(|x| (x % 2 == 0).then_some(x / 2))
+            .collect();
+        assert_eq!(halves, (0..50).collect::<Vec<_>>());
+        let pairs: Vec<u32> = (0..10u32).into_par_iter().flat_map(|x| [x, x]).collect();
+        assert_eq!(pairs.len(), 20);
+        assert_eq!(&pairs[..4], &[0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn work_actually_runs_on_multiple_threads() {
+        if super::current_num_threads() < 2 {
+            return; // nothing to assert on a single-core runner
+        }
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        (0..256usize).into_par_iter().for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            // A little work so pieces do not finish before others spawn.
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "expected more than one worker thread"
+        );
+    }
+
+    #[test]
+    fn min_len_bounds_splitting() {
+        // With min_len == n the work must run as a single piece (one thread).
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        (0..64usize).into_par_iter().with_min_len(64).for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert_eq!(ids.lock().unwrap().len(), 1);
+
+        // n slightly above min must still be one piece — splitting would
+        // leave at least one half under min (rayon guarantees pieces ≥ min).
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        (0..65usize).into_par_iter().with_min_len(64).for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert_eq!(ids.lock().unwrap().len(), 1);
+
+        // And n = 3×min may use at most 3 pieces.
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        (0..192usize)
+            .into_par_iter()
+            .with_min_len(64)
+            .for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        assert!(ids.lock().unwrap().len() <= 3);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u32> = Vec::new();
+        let s: u32 = v.par_iter().map(|&x| x).sum::<u32>();
+        assert_eq!(s, 0);
+        let c: Vec<u32> = (0..0u32).into_par_iter().collect();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn max_and_min() {
+        assert_eq!((0..100u32).into_par_iter().max(), Some(99));
+        assert_eq!((0..100u32).into_par_iter().min(), Some(0));
+        assert_eq!((0..0u32).into_par_iter().max(), None);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            (0..1000usize).into_par_iter().for_each(|i| {
+                if i == 777 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err());
     }
 }
