@@ -1,20 +1,46 @@
-//! Serving-path benchmark: naive per-request scoring (score every item,
-//! sort the whole catalog — what `recommend()` did before the serving
-//! subsystem) versus the batched blocked top-k scorer of `cumf-serve`,
-//! across catalog sizes up to the ≥100k-item regime the paper's deployments
-//! imply.  Throughput is reported in requests/sec.
+//! Serving-path benchmark, three rungs up the same ladder:
+//!
+//! 1. naive per-request scoring (score every item, sort the whole catalog —
+//!    what `recommend()` did before the serving subsystem),
+//! 2. the batched blocked top-k scorer of `cumf-serve` (PR 2), unsharded
+//!    and item-sharded,
+//! 3. the full `TopKService` under closed-loop concurrent load: the
+//!    single-worker PR 2 baseline versus the sharded scorer worker pool.
+//!
+//! Catalog sizes reach the ≥100k-item regime the paper's deployments imply.
+//! Throughput is reported in requests/sec.  Pool/shard sizing for rung 3
+//! follows `--workers N` / `--shards N` (after `--` in `cargo bench`),
+//! defaulting to 4×4; on a single-core runner the pool shows no speedup —
+//! the ≥2× claim is for multicore runners.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cumf_linalg::blas::dot;
 use cumf_linalg::FactorMatrix;
-use cumf_serve::{FactorSnapshot, Query, ScoreKind, TopKIndex};
+use cumf_serve::{FactorSnapshot, Query, ScoreKind, ServeConfig, TopKIndex, TopKService};
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Duration;
 
 const F: usize = 32;
 const N_USERS: usize = 1_000;
 const REQUESTS: usize = 64;
+const CLIENTS: usize = 8;
 const K: usize = 10;
+
+/// Pool sizing for the service-level benchmarks, overridable from the
+/// command line: `cargo bench --bench bench_serving -- --workers 8 --shards 8`.
+fn pool_args() -> (usize, usize) {
+    let argv: Vec<String> = std::env::args().collect();
+    let lookup = |flag: &str, default: usize| {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(default)
+            .max(1)
+    };
+    (lookup("--workers", 4), lookup("--shards", 4))
+}
 
 fn snapshot(n_items: usize) -> Arc<FactorSnapshot> {
     Arc::new(FactorSnapshot::from_factors(
@@ -43,6 +69,7 @@ fn naive_recommend(snap: &FactorSnapshot, user: u32, k: usize) -> Vec<(u32, f32)
 }
 
 fn bench_serving(c: &mut Criterion) {
+    let (_, shards) = pool_args();
     let mut group = c.benchmark_group("serving_topk");
     group.sample_size(10);
     for &n_items in &[10_000usize, 100_000, 250_000] {
@@ -68,9 +95,75 @@ fn bench_serving(c: &mut Criterion) {
                 b.iter(|| black_box(index.query_batch(&qs)));
             },
         );
+        let sharded = TopKIndex::with_shards(Arc::clone(&snap), 512, ScoreKind::Dot, shards);
+        group.bench_with_input(
+            BenchmarkId::new(format!("batched_sharded{shards}"), n_items),
+            &n_items,
+            |b, _| {
+                b.iter(|| black_box(sharded.query_batch(&qs)));
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(serving, bench_serving);
+/// Drives a running service with `REQUESTS` closed-loop requests from
+/// `CLIENTS` client threads and waits for every reply.
+fn drive_service(service: &TopKService) {
+    std::thread::scope(|s| {
+        for t in 0..CLIENTS {
+            let client = service.client();
+            s.spawn(move || {
+                let per_client = REQUESTS / CLIENTS;
+                for i in 0..per_client {
+                    let user = ((t * per_client + i) as u32 * 37) % N_USERS as u32;
+                    let r = client
+                        .recommend(user, K, &[])
+                        .expect("service alive during bench");
+                    black_box(r);
+                }
+            });
+        }
+    });
+}
+
+/// The tentpole comparison: one worker + one shard (the PR 2 service)
+/// versus the sharded worker pool, both scoring every request (cache off)
+/// at the 250k-item catalog size.
+fn bench_service_pool(c: &mut Criterion) {
+    let (workers, shards) = pool_args();
+    let n_items = 250_000;
+    let mut group = c.benchmark_group("serving_service");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REQUESTS as u64));
+    let mut configs = vec![(1usize, 1usize)];
+    if (workers, shards) != (1, 1) {
+        configs.push((workers, shards));
+    }
+    for (workers, shards) in configs {
+        let snap = snapshot(n_items);
+        let service = TopKService::start(
+            Arc::try_unwrap(snap).expect("sole owner"),
+            ServeConfig {
+                workers,
+                shards,
+                cache_capacity: 0, // every request must hit the scorer
+                max_batch: 16,
+                max_delay: Duration::from_millis(1),
+                ..Default::default()
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("workers{workers}_shards{shards}"), n_items),
+            &n_items,
+            |b, _| {
+                b.iter(|| drive_service(&service));
+            },
+        );
+        assert_eq!(service.metrics().worker_panics, 0);
+    }
+    group.finish();
+}
+
+criterion_group!(serving, bench_serving, bench_service_pool);
 criterion_main!(serving);

@@ -8,14 +8,19 @@
 //! achieved throughput, the service's own metrics, and a comparison against
 //! naive per-request full-catalog scoring.
 //!
+//! `--workers` sizes the scorer worker pool and `--shards` the item
+//! sharding of each scoring pass (both default to 1, the PR 2 baseline).
+//! The run **fails** (non-zero exit) if any worker panicked: the final
+//! metrics report must show zero worker panics.
+//!
 //! ```text
 //! usage: serve_load_gen [--users N] [--items N] [--f F] [--requests N]
 //!                       [--clients N] [--k K] [--publishes N]
-//!                       [--naive-sample N]
+//!                       [--naive-sample N] [--workers N] [--shards N]
 //! ```
 //!
-//! CI runs `--requests 200` as an end-to-end smoke test of the serving
-//! path.
+//! CI runs `--requests 200 --workers 4 --shards 4` as an end-to-end smoke
+//! test of the sharded-pool serving path.
 
 use cumf_linalg::blas::dot;
 use cumf_linalg::FactorMatrix;
@@ -34,6 +39,8 @@ struct Args {
     k: usize,
     publishes: usize,
     naive_sample: usize,
+    workers: usize,
+    shards: usize,
 }
 
 impl Default for Args {
@@ -47,6 +54,8 @@ impl Default for Args {
             k: 10,
             publishes: 2,
             naive_sample: 50,
+            workers: 1,
+            shards: 1,
         }
     }
 }
@@ -60,7 +69,8 @@ fn parse_args() -> Args {
         if flag == "--help" || flag == "-h" {
             println!(
                 "usage: serve_load_gen [--users N] [--items N] [--f F] [--requests N] \
-                 [--clients N] [--k K] [--publishes N] [--naive-sample N]"
+                 [--clients N] [--k K] [--publishes N] [--naive-sample N] \
+                 [--workers N] [--shards N]"
             );
             std::process::exit(0);
         }
@@ -78,6 +88,8 @@ fn parse_args() -> Args {
             "--k" => args.k = value,
             "--publishes" => args.publishes = value,
             "--naive-sample" => args.naive_sample = value,
+            "--workers" => args.workers = value.max(1),
+            "--shards" => args.shards = value.max(1),
             other => panic!("unknown flag {other}"),
         }
         i += 2;
@@ -102,8 +114,16 @@ fn skewed_user(rng: &mut StdRng, users: usize) -> u32 {
 fn main() {
     let args = parse_args();
     println!(
-        "serve_load_gen: {} requests, {} clients, catalog {} items, {} users, f={}, k={}",
-        args.requests, args.clients, args.items, args.users, args.f, args.k
+        "serve_load_gen: {} requests, {} clients, catalog {} items, {} users, f={}, k={}, \
+         {} workers, {} item shards",
+        args.requests,
+        args.clients,
+        args.items,
+        args.users,
+        args.f,
+        args.k,
+        args.workers,
+        args.shards
     );
 
     let initial = snapshot(&args, 1);
@@ -129,8 +149,15 @@ fn main() {
         "naive per-request scoring: {naive_per_request:?}/request ({naive_rps:.0} req/s single-threaded, {naive_sample} sampled)"
     );
 
-    // Batched serving under closed-loop load.
-    let service = TopKService::start(initial, ServeConfig::default());
+    // Batched serving under closed-loop load, on the configured pool.
+    let service = TopKService::start(
+        initial,
+        ServeConfig {
+            workers: args.workers,
+            shards: args.shards,
+            ..Default::default()
+        },
+    );
     let served = AtomicU64::new(0);
     let start = Instant::now();
     let per_client = args.requests / args.clients;
@@ -170,10 +197,21 @@ fn main() {
         rps / naive_rps
     );
     println!("--- service metrics ---");
-    println!("{}", service.metrics());
+    let metrics = service.metrics();
+    println!("{metrics}");
 
     assert_eq!(
         total as usize, args.requests,
         "every request must be served"
     );
+    // A worker panic is a failed run even if every request squeaked through
+    // on the survivors: CI smoke treats this as the red flag it is.
+    if metrics.worker_panics > 0 {
+        eprintln!(
+            "FAIL: {} worker(s) panicked during the run: {:?}",
+            metrics.worker_panics,
+            service.poisoned()
+        );
+        std::process::exit(1);
+    }
 }

@@ -113,6 +113,46 @@ impl TopK {
     }
 }
 
+/// Relative slack applied to the Cauchy–Schwarz bound `‖x‖·max‖θ‖` before
+/// comparing it against a heap [`TopK::threshold`].  The exact bound already
+/// dominates every exact dot product in the block; the slack additionally
+/// covers the `O(f·ε)` rounding of the four-lane f32 kernel (and of the
+/// norms themselves), so a block is only ever skipped when **no** computed
+/// score in it could enter the heap — pruning never changes results.
+pub const NORM_BOUND_SLACK: f32 = 1.0 + 1e-3;
+
+/// Per-block maxima of item L2 norms for `item_block`-sized blocks — the
+/// precomputed side of threshold pruning ([`retrieve_top_k_pruned`]): block
+/// `b` covers items `[b·item_block, (b+1)·item_block)` and no item in it can
+/// score above `‖x_u‖ · block_max[b]`.
+pub fn block_max_norms(item_norms: &[f32], item_block: usize) -> Vec<f32> {
+    assert!(item_block > 0, "item block must be positive");
+    item_norms
+        .chunks(item_block)
+        .map(|block| block.iter().fold(0.0f32, |m, &n| m.max(n)))
+        .collect()
+}
+
+/// Merges per-shard partial top-k lists into the final top-`k`.
+///
+/// Exactness: the [`TopK`] tie-break is a total order (score descending,
+/// item id ascending), so the kept set is independent of push order — as
+/// long as every item that would survive the unsharded heap appears in some
+/// partial list (guaranteed when each shard keeps its own top-`k`), the
+/// merged result is bit-identical to scoring the shards as one run.
+pub fn merge_top_k(parts: &[Vec<(u32, f32)>], k: usize) -> Vec<(u32, f32)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut topk = TopK::new(k);
+    for part in parts {
+        for &(item, score) in part {
+            topk.push(item, score);
+        }
+    }
+    topk.into_sorted_vec()
+}
+
 /// Blocked top-k retrieval of a single user vector against a row-major item
 /// factor table: scores `items` in blocks of `item_block` vectors through
 /// [`batch_score_block`] and keeps the best `k` in a [`TopK`] heap.
@@ -125,6 +165,39 @@ pub fn retrieve_top_k<F: FnMut(u32) -> bool>(
     f: usize,
     k: usize,
     item_block: usize,
+    skip: F,
+) -> Vec<(u32, f32)> {
+    retrieve_impl(user, items, f, k, item_block, None, skip)
+}
+
+/// [`retrieve_top_k`] with whole-block threshold short-circuiting: once the
+/// heap is full, any block whose score upper bound
+/// `‖x_u‖ · block_max[b] · NORM_BOUND_SLACK` falls strictly below the k-th
+/// best score ([`TopK::threshold`]) is skipped without touching its factors.
+///
+/// `block_max` must come from [`block_max_norms`] over the same item norms
+/// and the same `item_block`.  Results are bit-identical to
+/// [`retrieve_top_k`]; only dot-product scores may use this path (a
+/// norm-divided score has no per-block bound tighter than `‖x_u‖`).
+pub fn retrieve_top_k_pruned<F: FnMut(u32) -> bool>(
+    user: &[f32],
+    items: &[f32],
+    f: usize,
+    k: usize,
+    item_block: usize,
+    block_max: &[f32],
+    skip: F,
+) -> Vec<(u32, f32)> {
+    retrieve_impl(user, items, f, k, item_block, Some(block_max), skip)
+}
+
+fn retrieve_impl<F: FnMut(u32) -> bool>(
+    user: &[f32],
+    items: &[f32],
+    f: usize,
+    k: usize,
+    item_block: usize,
+    block_max: Option<&[f32]>,
     mut skip: F,
 ) -> Vec<(u32, f32)> {
     assert!(f > 0, "latent dimension must be positive");
@@ -135,9 +208,24 @@ pub fn retrieve_top_k<F: FnMut(u32) -> bool>(
     }
     assert_eq!(items.len() % f, 0, "item buffer not a multiple of f");
     let n_items = items.len() / f;
+    // The user norm feeds only the pruning bound; the unpruned path must
+    // not pay for it.
+    let user_norm = block_max.map(|bm| {
+        assert_eq!(
+            bm.len(),
+            n_items.div_ceil(item_block),
+            "block max norms do not match the item blocking"
+        );
+        crate::blas::norm_sq(user).sqrt()
+    });
     let mut topk = TopK::new(k);
     let mut scores = vec![0.0f32; item_block.min(n_items.max(1))];
-    for start in (0..n_items).step_by(item_block) {
+    for (b, start) in (0..n_items).step_by(item_block).enumerate() {
+        if let (Some(bm), Some(norm), Some(threshold)) = (block_max, user_norm, topk.threshold()) {
+            if norm * bm[b] * NORM_BOUND_SLACK < threshold {
+                continue;
+            }
+        }
         let end = (start + item_block).min(n_items);
         let block = &items[start * f..end * f];
         let out = &mut scores[..end - start];
@@ -238,5 +326,108 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
         TopK::new(0);
+    }
+
+    #[test]
+    fn block_max_norms_cover_every_block() {
+        let norms = vec![1.0f32, 3.0, 2.0, 0.5, 7.0, 0.0, 4.0];
+        assert_eq!(block_max_norms(&norms, 3), vec![3.0, 7.0, 4.0]);
+        assert_eq!(block_max_norms(&norms, 100), vec![7.0]);
+        assert!(block_max_norms(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn merge_of_shard_partials_matches_single_run() {
+        let f = 8;
+        let n = 600;
+        let theta = FactorMatrix::random(n, f, 1.0, 17);
+        let user: Vec<f32> = FactorMatrix::random(1, f, 1.0, 18).data().to_vec();
+        let whole = retrieve_top_k(&user, theta.data(), f, 9, 64, |_| false);
+        // Split the catalog into 4 uneven shards, keep top-9 per shard,
+        // merge: bit-identical to the single run.
+        let cuts = [0usize, 150, 151, 400, n];
+        let parts: Vec<Vec<(u32, f32)>> = cuts
+            .windows(2)
+            .map(|w| {
+                let part =
+                    retrieve_top_k(&user, &theta.data()[w[0] * f..w[1] * f], f, 9, 64, |_| {
+                        false
+                    });
+                part.into_iter()
+                    .map(|(v, s)| (v + w[0] as u32, s))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(merge_top_k(&parts, 9), whole);
+    }
+
+    #[test]
+    fn merge_top_k_handles_edge_shapes() {
+        assert!(merge_top_k(&[], 5).is_empty());
+        assert!(merge_top_k(&[vec![(1, 1.0)]], 0).is_empty());
+        // Duplicate items across parts keep a single entry per push order
+        // invariance (the heap dedupes nothing — callers shard disjointly —
+        // but ties still prefer small ids deterministically).
+        let merged = merge_top_k(&[vec![(3, 1.0), (1, 1.0)], vec![(2, 1.0)]], 2);
+        assert_eq!(merged, vec![(1, 1.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn pruned_retrieval_is_bit_identical_to_unpruned() {
+        let f = 6;
+        let n = 1111;
+        for seed in 0..4u64 {
+            let theta = FactorMatrix::random(n, f, 1.0, seed);
+            let user: Vec<f32> = FactorMatrix::random(1, f, 1.0, 100 + seed).data().to_vec();
+            let norms: Vec<f32> = theta
+                .data()
+                .chunks_exact(f)
+                .map(|v| crate::blas::norm_sq(v).sqrt())
+                .collect();
+            for item_block in [7usize, 64, 2000] {
+                let bm = block_max_norms(&norms, item_block);
+                let plain = retrieve_top_k(&user, theta.data(), f, 10, item_block, |v| v % 31 == 0);
+                let pruned =
+                    retrieve_top_k_pruned(&user, theta.data(), f, 10, item_block, &bm, |v| {
+                        v % 31 == 0
+                    });
+                assert_eq!(plain, pruned, "seed {seed} block {item_block}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_skips_low_norm_blocks_without_changing_winners() {
+        // First block holds all the mass; the long tail of near-zero blocks
+        // is prunable once the heap fills.  The result must still match the
+        // unpruned reference exactly.
+        let f = 4;
+        let n = 512;
+        let mut data = vec![1e-6f32; n * f];
+        for v in 0..8 {
+            for d in 0..f {
+                data[v * f + d] = (v + 2) as f32;
+            }
+        }
+        let theta = FactorMatrix::from_vec(n, f, data);
+        let user = vec![1.0f32; f];
+        let norms: Vec<f32> = theta
+            .data()
+            .chunks_exact(f)
+            .map(|v| crate::blas::norm_sq(v).sqrt())
+            .collect();
+        let bm = block_max_norms(&norms, 16);
+        let plain = retrieve_top_k(&user, theta.data(), f, 5, 16, |_| false);
+        let pruned = retrieve_top_k_pruned(&user, theta.data(), f, 5, 16, &bm, |_| false);
+        assert_eq!(plain, pruned);
+        assert_eq!(pruned[0].0, 9 - 2, "largest seeded item wins");
+    }
+
+    #[test]
+    #[should_panic(expected = "block max norms do not match")]
+    fn pruned_retrieval_rejects_mismatched_blocking() {
+        let theta = FactorMatrix::random(64, 4, 1.0, 1);
+        let user = vec![1.0f32; 4];
+        retrieve_top_k_pruned(&user, theta.data(), 4, 3, 16, &[1.0; 2], |_| false);
     }
 }

@@ -1,44 +1,74 @@
-//! Request coalescing: many concurrent clients, one blocked scorer.
+//! Request coalescing: many concurrent clients, a pool of blocked scorers.
 //!
-//! [`TopKService`] owns a worker thread fed by an MPMC channel.  The worker
-//! assembles micro-batches that are **size-bounded** (`max_batch`) and
-//! **deadline-bounded** (`max_delay` from the first request of the batch),
-//! the standard dynamic-batching policy of inference servers: under load,
-//! batches fill instantly and scoring runs at full blocked throughput; when
-//! idle, a lone request waits at most `max_delay`.
+//! [`TopKService`] owns a pool of `workers` scorer threads fed by one MPMC
+//! channel.  Each worker assembles micro-batches that are **size-bounded**
+//! (`max_batch`) and **deadline-bounded** (`max_delay` from the first
+//! request of the batch), the standard dynamic-batching policy of inference
+//! servers: under load, batches fill instantly and scoring runs at full
+//! blocked throughput on every worker; when idle, a lone request waits at
+//! most `max_delay`.  A sharded result cache
+//! ([`crate::cache::ShardedResultCache`]) sits behind the whole pool, so a
+//! result scored by one worker is a cache hit for every other.
 //!
 //! Per batch the worker captures the current snapshot `Arc` **once** —
 //! every request in the batch is answered from that generation, so a
 //! concurrent [`TopKService::publish`] can never produce a mixed-generation
-//! response.  Results are cached per `(user, k, exclusions)` with the
+//! response.  Identical `(user, k, exclusions)` requests that coalesce into
+//! the same micro-batch are **scored once** and fanned out to every waiter
+//! (the duplicates count as cache hits).  Results are cached with the
 //! generation stamped in; a publish invalidates lazily through the
 //! generation check.
+//!
+//! A panicking worker never fails silently: the panic is caught, its
+//! message recorded in a poison flag and the `worker_panics` metric, and
+//! every request that can no longer be served fails with
+//! [`ServeError::WorkerPanicked`] carrying the original message.
 
-use crate::cache::{CacheKey, ResultCache};
+use crate::cache::{CacheKey, ShardedResultCache};
 use crate::metrics::{MetricsReport, ServeMetrics};
 use crate::snapshot::{FactorSnapshot, SnapshotStore};
 use crate::topk::{Query, ScoreKind, TopKIndex};
-use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use cumf_linalg::topk::DEFAULT_ITEM_BLOCK;
-use std::sync::Arc;
+use std::any::Any;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`TopKService`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
-    /// Largest micro-batch the worker scores at once.
+    /// Largest micro-batch a worker scores at once.
     pub max_batch: usize,
     /// Longest a batch waits for co-travellers after its first request.
     pub max_delay: Duration,
+    /// Scorer worker threads pulling micro-batches off the shared queue
+    /// (clamped to at least 1).  One worker reproduces the single-threaded
+    /// batcher; more workers scale scoring past one core's budget and keep
+    /// serving while another worker is mid-batch.
+    pub workers: usize,
+    /// Item shards per scoring pass (see [`TopKIndex::with_shards`]):
+    /// partitions Θ into contiguous shards scored in parallel and merged.
+    /// Results are bit-identical for every value; > 1 buys parallelism for
+    /// small batches over large catalogs.
+    pub shards: usize,
     /// Result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Result-cache byte budget: each entry is charged `k · 8` result bytes
+    /// plus `4` per excluded item, so heavy-`k` / heavy-exclusion traffic
+    /// evicts instead of growing memory without bound.  0 means no byte
+    /// budget (entry capacity only).
+    pub cache_budget_bytes: usize,
     /// Items scored per block (see [`cumf_linalg::batch_score_block`]).
     pub item_block: usize,
     /// Scoring function.
     pub score: ScoreKind,
     /// Depth of the request queue; senders block (back-pressure) when the
-    /// worker falls this far behind.
+    /// workers fall this far behind.
     pub queue_depth: usize,
 }
 
@@ -47,7 +77,10 @@ impl Default for ServeConfig {
         Self {
             max_batch: 32,
             max_delay: Duration::from_millis(2),
+            workers: 1,
+            shards: 1,
             cache_capacity: 4096,
+            cache_budget_bytes: 16 << 20,
             item_block: DEFAULT_ITEM_BLOCK,
             score: ScoreKind::Dot,
             queue_depth: 1024,
@@ -56,21 +89,93 @@ impl Default for ServeConfig {
 }
 
 /// Why a request failed.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
-    /// The service worker has shut down.
+    /// The service was dropped; its workers have shut down cleanly.
     Shutdown,
+    /// A scorer worker died to a panic (message attached) and this request
+    /// can no longer be served.
+    WorkerPanicked(String),
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServeError::Shutdown => f.write_str("serving worker has shut down"),
+            ServeError::Shutdown => f.write_str("serving workers have shut down"),
+            ServeError::WorkerPanicked(msg) => {
+                write!(f, "serving worker panicked: {msg}")
+            }
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// Pool lifecycle shared by the service handle, the workers, and every
+/// client: a first-panic-wins poison record, the live-worker count, and the
+/// closed flag the drop path raises once every worker has been joined.
+///
+/// The flags exist because of a shutdown race inherent to the MPMC queue: a
+/// request enqueued *after* the shutdown markers (or after the last worker
+/// died to a panic) is never popped, so its client would block on the reply
+/// channel forever.  Clients therefore wait with a timeout and bail out as
+/// soon as the pool can no longer serve them.
+#[derive(Debug, Default)]
+struct PoolState {
+    panic: Mutex<Option<String>>,
+    alive_workers: AtomicUsize,
+    closed: AtomicBool,
+}
+
+impl PoolState {
+    fn record_panic(&self, message: String) {
+        let mut slot = self
+            .panic
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if slot.is_none() {
+            *slot = Some(message);
+        }
+    }
+
+    fn panic_cause(&self) -> Option<String> {
+        self.panic
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+
+    /// True once no worker can ever pop another request.
+    fn dead(&self) -> bool {
+        self.closed.load(Ordering::Acquire) || self.alive_workers.load(Ordering::Acquire) == 0
+    }
+}
+
+/// Decrements the live-worker count when a worker exits by any path —
+/// including an unwind that somehow escapes the scoring guard.
+struct AliveGuard<'a>(&'a PoolState);
+
+impl Drop for AliveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.alive_workers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// How often a waiting client rechecks pool liveness.  Purely a bound on
+/// how long a request stranded by a racing shutdown waits; replies that
+/// arrive wake the client immediately.
+const LIVENESS_POLL: Duration = Duration::from_millis(25);
+
+/// Best-effort text of a panic payload (`panic!` with a string or format).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
 
 struct Request {
     query: Query,
@@ -79,8 +184,8 @@ struct Request {
 
 enum Msg {
     Request(Request),
-    /// Sent by [`TopKService::drop`]; the worker finishes the batch in hand
-    /// and exits even while client handles are still alive.
+    /// Sent once per worker by [`TopKService::drop`]; a worker finishes the
+    /// batch in hand and exits even while client handles are still alive.
     Shutdown,
 }
 
@@ -89,55 +194,51 @@ pub struct TopKService {
     tx: Option<Sender<Msg>>,
     store: Arc<SnapshotStore>,
     metrics: Arc<ServeMetrics>,
-    worker: Option<JoinHandle<()>>,
+    state: Arc<PoolState>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl TopKService {
-    /// Starts the worker serving `initial` under `config`.
+    /// Starts `config.workers` scorer workers serving `initial` under
+    /// `config`.
     pub fn start(initial: FactorSnapshot, config: ServeConfig) -> Self {
         assert!(config.max_batch > 0, "max_batch must be positive");
+        let n_workers = config.workers.max(1);
         let store = Arc::new(SnapshotStore::new(initial));
         let metrics = Arc::new(ServeMetrics::new());
-        let (tx, rx) = bounded::<Msg>(config.queue_depth.max(1));
-        let worker = {
-            let store = Arc::clone(&store);
-            let metrics = Arc::clone(&metrics);
-            std::thread::spawn(move || {
-                let mut cache = ResultCache::new(config.cache_capacity);
-                let mut shutdown = false;
-                while !shutdown {
-                    // Block for the batch's first request.
-                    let first = match rx.recv() {
-                        Ok(Msg::Request(r)) => r,
-                        Ok(Msg::Shutdown) | Err(_) => return,
-                    };
-                    let mut batch = vec![first];
-                    let deadline = Instant::now() + config.max_delay;
-                    while batch.len() < config.max_batch {
-                        let now = Instant::now();
-                        if now >= deadline {
-                            break;
-                        }
-                        match rx.recv_timeout(deadline - now) {
-                            Ok(Msg::Request(r)) => batch.push(r),
-                            Ok(Msg::Shutdown) => {
-                                shutdown = true;
-                                break;
-                            }
-                            Err(RecvTimeoutError::Timeout)
-                            | Err(RecvTimeoutError::Disconnected) => break,
-                        }
-                    }
-                    // Serve what was coalesced, even on the way out.
-                    Self::serve_batch(&batch, &store, &metrics, &mut cache, &config);
-                }
-            })
+        let state = Arc::new(PoolState::default());
+        state.alive_workers.store(n_workers, Ordering::Release);
+        let budget = if config.cache_budget_bytes == 0 {
+            usize::MAX
+        } else {
+            config.cache_budget_bytes
         };
+        let cache = Arc::new(ShardedResultCache::new(
+            n_workers,
+            config.cache_capacity,
+            budget,
+        ));
+        let (tx, rx) = bounded::<Msg>(config.queue_depth.max(1));
+        let workers = (0..n_workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let store = Arc::clone(&store);
+                let metrics = Arc::clone(&metrics);
+                let cache = Arc::clone(&cache);
+                let state = Arc::clone(&state);
+                let config = config.clone();
+                std::thread::spawn(move || {
+                    let _alive = AliveGuard(&state);
+                    Self::worker_loop(&rx, &store, &metrics, &cache, &state, &config)
+                })
+            })
+            .collect();
         Self {
             tx: Some(tx),
             store,
             metrics,
-            worker: Some(worker),
+            state,
+            workers,
         }
     }
 
@@ -146,11 +247,57 @@ impl TopKService {
         Self::start(initial, ServeConfig::default())
     }
 
+    fn worker_loop(
+        rx: &Receiver<Msg>,
+        store: &SnapshotStore,
+        metrics: &ServeMetrics,
+        cache: &ShardedResultCache,
+        state: &PoolState,
+        config: &ServeConfig,
+    ) {
+        let mut shutdown = false;
+        while !shutdown {
+            // Block for the batch's first request.
+            let first = match rx.recv() {
+                Ok(Msg::Request(r)) => r,
+                Ok(Msg::Shutdown) | Err(_) => return,
+            };
+            let mut batch = vec![first];
+            let deadline = Instant::now() + config.max_delay;
+            while batch.len() < config.max_batch {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(Msg::Request(r)) => batch.push(r),
+                    Ok(Msg::Shutdown) => {
+                        shutdown = true;
+                        break;
+                    }
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            // Serve what was coalesced, even on the way out.  A panic while
+            // scoring must not vanish into the thread: record the message
+            // *before* the batch (and its reply channels) drops, so waiters
+            // waking to a closed channel can already see the cause.
+            let scored = catch_unwind(AssertUnwindSafe(|| {
+                Self::serve_batch(&batch, store, metrics, cache, config)
+            }));
+            if let Err(payload) = scored {
+                state.record_panic(panic_message(payload.as_ref()));
+                metrics.record_worker_panic();
+                return;
+            }
+        }
+    }
+
     fn serve_batch(
         batch: &[Request],
         store: &SnapshotStore,
         metrics: &ServeMetrics,
-        cache: &mut ResultCache,
+        cache: &ShardedResultCache,
         config: &ServeConfig,
     ) {
         let started = Instant::now();
@@ -160,7 +307,11 @@ impl TopKService {
 
         // Keys are built once per request and carried through to the insert
         // after scoring — hashing a heavy user's exclusion list is not free.
-        let mut to_score: Vec<(usize, CacheKey)> = Vec::with_capacity(batch.len());
+        // Identical keys within the batch collapse onto one slot: the first
+        // occurrence is the scored one, later ones just wait for its result
+        // (in-flight dedupe; the duplicates count as cache hits).
+        let mut pending: HashMap<CacheKey, usize> = HashMap::new();
+        let mut slots: Vec<(usize, Vec<usize>)> = Vec::new();
         for (i, req) in batch.iter().enumerate() {
             metrics.record_request();
             let key = CacheKey::new(req.query.user, req.query.k, &req.query.exclude);
@@ -169,25 +320,42 @@ impl TopKService {
                 // Counted before the send: the client may observe its reply
                 // (and a test may read the metrics) immediately after.
                 metrics.record_response();
-                let _ = req.reply.send(hit.clone());
-            } else {
-                metrics.record_cache_miss();
-                to_score.push((i, key));
+                let _ = req.reply.send(hit);
+                continue;
+            }
+            match pending.entry(key) {
+                Entry::Occupied(entry) => {
+                    metrics.record_cache_hit();
+                    slots[*entry.get()].1.push(i);
+                }
+                Entry::Vacant(entry) => {
+                    metrics.record_cache_miss();
+                    entry.insert(slots.len());
+                    slots.push((i, Vec::new()));
+                }
             }
         }
 
-        if !to_score.is_empty() {
-            let queries: Vec<Query> = to_score
+        if !slots.is_empty() {
+            let queries: Vec<Query> = slots
                 .iter()
-                .map(|(i, _)| batch[*i].query.clone())
+                .map(|&(first, _)| batch[first].query.clone())
                 .collect();
-            let index = TopKIndex::new(snapshot, config.item_block, config.score);
+            let index =
+                TopKIndex::with_shards(snapshot, config.item_block, config.score, config.shards);
             let results = index.query_batch(&queries);
-            for ((i, key), result) in to_score.into_iter().zip(results) {
-                let req = &batch[i];
-                cache.insert(key, generation, result.clone());
+            for ((first, extras), result) in slots.iter().zip(&results) {
                 metrics.record_response();
-                let _ = req.reply.send(result);
+                let _ = batch[*first].reply.send(result.clone());
+                for &i in extras {
+                    metrics.record_response();
+                    let _ = batch[i].reply.send(result.clone());
+                }
+            }
+            // One cache insert per unique key; `pending` still owns the
+            // keys, so no key is cloned on the way in.
+            for (key, slot) in pending {
+                cache.insert(key, generation, results[slot].clone());
             }
         }
         metrics.record_batch(batch.len(), started.elapsed());
@@ -201,6 +369,7 @@ impl TopKService {
                 .as_ref()
                 .expect("service sender lives until drop")
                 .clone(),
+            state: Arc::clone(&self.state),
         }
     }
 
@@ -222,31 +391,50 @@ impl TopKService {
     pub fn metrics(&self) -> MetricsReport {
         self.metrics.report()
     }
+
+    /// The first worker panic, if any worker has died (`None` = healthy).
+    pub fn poisoned(&self) -> Option<String> {
+        self.state.panic_cause()
+    }
 }
 
 impl Drop for TopKService {
     fn drop(&mut self) {
-        // An explicit shutdown message (rather than sender disconnect) lets
-        // the worker exit even while client handles are still alive; their
-        // next send fails with [`ServeError::Shutdown`].
+        // One explicit shutdown message per worker (rather than sender
+        // disconnect) lets the pool drain even while client handles are
+        // still alive; their next send fails with [`ServeError::Shutdown`].
+        // The queue is FIFO, so every request enqueued before the drop is
+        // still popped — and served — ahead of the shutdown markers.
         if let Some(tx) = self.tx.take() {
-            let _ = tx.send(Msg::Shutdown);
+            for _ in 0..self.workers.len() {
+                let _ = tx.send(Msg::Shutdown);
+            }
         }
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
+        for worker in self.workers.drain(..) {
+            // A panic that somehow escaped the scoring guard still
+            // surfaces here instead of being swallowed.
+            if let Err(payload) = worker.join() {
+                self.state.record_panic(panic_message(payload.as_ref()));
+                self.metrics.record_worker_panic();
+            }
         }
+        // From here on no request can ever be popped; clients stranded
+        // behind the shutdown markers stop waiting at their next liveness
+        // poll.
+        self.state.closed.store(true, Ordering::Release);
     }
 }
 
-/// Client handle: blocking request/response against the service worker.
+/// Client handle: blocking request/response against the worker pool.
 #[derive(Clone)]
 pub struct ServeClient {
     tx: Sender<Msg>,
+    state: Arc<PoolState>,
 }
 
 impl ServeClient {
     /// Requests the top-`k` items for `user`, excluding `exclude`.
-    /// Blocks until the worker replies (one micro-batch of latency).
+    /// Blocks until a worker replies (one micro-batch of latency).
     pub fn recommend(
         &self,
         user: u32,
@@ -262,8 +450,35 @@ impl ServeClient {
             },
             reply: reply_tx,
         });
-        self.tx.send(request).map_err(|_| ServeError::Shutdown)?;
-        reply_rx.recv().map_err(|_| ServeError::Shutdown)
+        self.tx.send(request).map_err(|_| self.death_cause())?;
+        loop {
+            match reply_rx.recv_timeout(LIVENESS_POLL) {
+                Ok(result) => return Ok(result),
+                Err(RecvTimeoutError::Disconnected) => return Err(self.death_cause()),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.state.dead() {
+                        // The request may sit unreachable behind the
+                        // shutdown markers — but a worker may also have
+                        // replied in the instant before the pool died, so
+                        // give the reply channel one last look.
+                        return match reply_rx.try_recv() {
+                            Ok(result) => Ok(result),
+                            Err(_) => Err(self.death_cause()),
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Distinguishes a clean shutdown from a worker death: a dead pool is a
+    /// [`ServeError::Shutdown`] unless some worker recorded a panic, whose
+    /// message the error then carries.
+    fn death_cause(&self) -> ServeError {
+        match self.state.panic_cause() {
+            Some(message) => ServeError::WorkerPanicked(message),
+            None => ServeError::Shutdown,
+        }
     }
 }
 
@@ -326,6 +541,37 @@ mod tests {
     }
 
     #[test]
+    fn pool_answers_from_every_worker() {
+        let service = TopKService::start(
+            snapshot(7),
+            ServeConfig {
+                workers: 4,
+                shards: 3,
+                ..config()
+            },
+        );
+        let reference = service.snapshot();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let client = service.client();
+                let reference = &reference;
+                s.spawn(move || {
+                    for i in 0..50u32 {
+                        let user = (t * 50 + i) % 40;
+                        let got = client.recommend(user, 6, &[user % 3]).unwrap();
+                        assert_eq!(got, reference.recommend_one(user, 6, &[user % 3]));
+                    }
+                });
+            }
+        });
+        let m = service.metrics();
+        assert_eq!(m.requests, 200);
+        assert_eq!(m.responses, 200);
+        assert_eq!(m.worker_panics, 0);
+        assert_eq!(service.poisoned(), None);
+    }
+
+    #[test]
     fn identical_requests_hit_the_cache() {
         let service = TopKService::start(snapshot(3), config());
         let client = service.client();
@@ -335,6 +581,66 @@ mod tests {
         let m = service.metrics();
         assert_eq!(m.cache_hits, 1);
         assert_eq!(m.cache_misses, 1);
+    }
+
+    #[test]
+    fn duplicate_requests_in_one_batch_are_scored_once() {
+        // Cache disabled: any recorded hit can only come from in-flight
+        // dedupe.  Two identical requests coalesce (max_batch 2, generous
+        // deadline), are scored once, and both waiters get the reply.
+        let service = TopKService::start(
+            snapshot(4),
+            ServeConfig {
+                max_batch: 2,
+                max_delay: Duration::from_secs(2),
+                cache_capacity: 0,
+                ..Default::default()
+            },
+        );
+        let reference = service.snapshot().recommend_one(9, 4, &[2]);
+        let (a, b) = std::thread::scope(|s| {
+            let ca = service.client();
+            let cb = service.client();
+            let ha = s.spawn(move || ca.recommend(9, 4, &[2]).unwrap());
+            let hb = s.spawn(move || cb.recommend(9, 4, &[2]).unwrap());
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        assert_eq!(a, reference);
+        assert_eq!(b, reference);
+        let m = service.metrics();
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.responses, 2);
+        assert_eq!(
+            (m.cache_misses, m.cache_hits),
+            (1, 1),
+            "one scored, one deduped"
+        );
+    }
+
+    #[test]
+    fn near_duplicates_are_not_deduped() {
+        // Same user, different exclusions: must be scored independently.
+        let service = TopKService::start(
+            snapshot(5),
+            ServeConfig {
+                max_batch: 2,
+                max_delay: Duration::from_secs(2),
+                cache_capacity: 0,
+                ..Default::default()
+            },
+        );
+        let (a, b) = std::thread::scope(|s| {
+            let ca = service.client();
+            let cb = service.client();
+            let ha = s.spawn(move || ca.recommend(9, 4, &[0]).unwrap());
+            let hb = s.spawn(move || cb.recommend(9, 4, &[1]).unwrap());
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        assert!(a.iter().all(|(v, _)| *v != 0));
+        assert!(b.iter().all(|(v, _)| *v != 1));
+        let m = service.metrics();
+        assert_eq!(m.cache_misses, 2);
+        assert_eq!(m.cache_hits, 0);
     }
 
     #[test]
@@ -377,5 +683,35 @@ mod tests {
         let client = service.client();
         drop(service);
         assert_eq!(client.recommend(0, 3, &[]), Err(ServeError::Shutdown));
+    }
+
+    #[test]
+    fn worker_panic_is_surfaced_with_its_message() {
+        // item_block = 0 is a config error that only explodes inside the
+        // scorer — it stands in for any scoring-time panic.  The request
+        // that triggered it and every later request must fail with the
+        // panic's message, not a silent Shutdown.
+        let service = TopKService::start(
+            snapshot(8),
+            ServeConfig {
+                item_block: 0,
+                max_delay: Duration::from_millis(1),
+                ..Default::default()
+            },
+        );
+        let client = service.client();
+        let err = client.recommend(0, 3, &[]).unwrap_err();
+        match &err {
+            ServeError::WorkerPanicked(msg) => {
+                assert!(msg.contains("item block"), "unexpected message: {msg}")
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // The poison is sticky: later requests see the same cause.
+        assert_eq!(client.recommend(1, 3, &[]), Err(err.clone()));
+        assert!(service.poisoned().is_some());
+        assert_eq!(service.metrics().worker_panics, 1);
+        // The error formats with its cause attached.
+        assert!(err.to_string().contains("item block"));
     }
 }

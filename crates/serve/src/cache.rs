@@ -1,4 +1,5 @@
-//! Per-user LRU result cache with snapshot-generation invalidation.
+//! Per-user LRU result cache with snapshot-generation invalidation and
+//! byte-budgeted eviction.
 //!
 //! Recommendation traffic is heavily skewed (the same Zipf skew the data
 //! generator models), so a small cache in front of the scorer absorbs the
@@ -7,10 +8,20 @@
 //! *lazily* — stale entries are dropped on first touch, with no stop-the-
 //! world purge on the publish path.
 //!
+//! Capacity is bounded twice: by entry count and by **bytes** — each entry
+//! is charged `k · 8` result bytes plus `4` per excluded item, so heavy-`k`
+//! or heavy-exclusion traffic evicts proportionally more entries instead of
+//! growing memory without bound.
+//!
 //! The implementation is a classic intrusive doubly-linked LRU over a slab,
 //! so `get`/`insert` are O(1) and eviction is exact (oldest-touched first).
+//! [`ShardedResultCache`] wraps `N` independently-locked instances behind a
+//! key hash so a scorer worker pool shares one logical cache without
+//! serializing on a single mutex.
 
 use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::Mutex;
 
 /// Cache key: the full identity of a request, exclusion list included —
 /// two requests for the same user with different exclusions must never
@@ -34,9 +45,31 @@ impl CacheKey {
             exclude: exclude.into(),
         }
     }
+
+    /// Placeholder left in a slab slot after its entry is removed, so the
+    /// real key (and its boxed exclusion list) is freed immediately rather
+    /// than lingering until the slot is reused.  The empty box does not
+    /// allocate.
+    fn tombstone() -> Self {
+        Self {
+            user: u32::MAX,
+            k: 0,
+            exclude: Box::new([]),
+        }
+    }
+
+    /// Bytes this key charges against a cache budget (its exclusion list).
+    fn cost(&self) -> usize {
+        self.exclude.len() * std::mem::size_of::<u32>()
+    }
 }
 
 const NIL: usize = usize::MAX;
+
+/// Bytes a cached result list charges against the budget.
+fn value_cost(value: &[(u32, f32)]) -> usize {
+    std::mem::size_of_val(value)
+}
 
 #[derive(Debug)]
 struct Node {
@@ -48,10 +81,13 @@ struct Node {
 }
 
 /// Bounded LRU of ranked result lists.  `capacity == 0` disables caching
-/// (every `get` misses, every `insert` is dropped).
+/// (every `get` misses, every `insert` is dropped); `budget_bytes` bounds
+/// the summed entry costs (`usize::MAX` = entry-count bound only).
 #[derive(Debug)]
 pub struct ResultCache {
     capacity: usize,
+    budget_bytes: usize,
+    bytes: usize,
     map: HashMap<CacheKey, usize>,
     slab: Vec<Node>,
     free: Vec<usize>,
@@ -60,10 +96,20 @@ pub struct ResultCache {
 }
 
 impl ResultCache {
-    /// Creates a cache holding at most `capacity` results.
+    /// Creates a cache holding at most `capacity` results with no byte
+    /// budget.
     pub fn new(capacity: usize) -> Self {
+        Self::with_budget(capacity, usize::MAX)
+    }
+
+    /// Creates a cache bounded by `capacity` entries **and** `budget_bytes`
+    /// total entry cost (`k·8` result bytes + `4` per excluded item each).
+    /// A `budget_bytes` of 0 disables caching, like a zero capacity.
+    pub fn with_budget(capacity: usize, budget_bytes: usize) -> Self {
         Self {
             capacity,
+            budget_bytes,
+            bytes: 0,
             map: HashMap::with_capacity(capacity.min(1 << 20)),
             slab: Vec::with_capacity(capacity.min(1 << 20)),
             free: Vec::new(),
@@ -82,9 +128,19 @@ impl ResultCache {
         self.map.is_empty()
     }
 
-    /// Configured capacity.
+    /// Configured capacity in entries.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Configured byte budget (`usize::MAX` = unbudgeted).
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn bytes(&self) -> usize {
+        self.bytes
     }
 
     /// Looks up `key`, requiring the entry to come from `generation`.
@@ -92,7 +148,7 @@ impl ResultCache {
     pub fn get(&mut self, key: &CacheKey, generation: u64) -> Option<&Vec<(u32, f32)>> {
         let &idx = self.map.get(key)?;
         if self.slab[idx].generation != generation {
-            self.remove(key);
+            self.remove_slot(idx);
             return None;
         }
         self.touch(idx);
@@ -100,23 +156,41 @@ impl ResultCache {
     }
 
     /// Inserts (or refreshes) a result computed against `generation`,
-    /// evicting the least-recently-used entry when full.
+    /// evicting least-recently-used entries while either bound is exceeded.
+    /// An entry whose cost alone exceeds the budget is not cached.
     pub fn insert(&mut self, key: CacheKey, generation: u64, value: Vec<(u32, f32)>) {
-        if self.capacity == 0 {
+        if self.capacity == 0 || self.budget_bytes == 0 {
             return;
         }
+        let cost = key.cost() + value_cost(&value);
         if let Some(&idx) = self.map.get(&key) {
+            if cost > self.budget_bytes {
+                // The refreshed entry alone exceeds the budget; drop it
+                // rather than keep serving the outdated value.
+                self.remove_slot(idx);
+                return;
+            }
+            let old = value_cost(&self.slab[idx].value);
+            self.bytes = self.bytes - old + value_cost(&value);
             self.slab[idx].generation = generation;
             self.slab[idx].value = value;
+            // MRU first, so a refresh that outgrew the budget evicts cold
+            // tail entries — never the (hot, just-refreshed) entry itself.
             self.touch(idx);
+            while self.bytes > self.budget_bytes {
+                debug_assert_ne!(self.tail, idx);
+                self.remove_slot(self.tail);
+            }
             return;
         }
-        if self.map.len() >= self.capacity {
-            let lru = self.tail;
-            debug_assert_ne!(lru, NIL);
-            let evicted = self.slab[lru].key.clone();
-            self.remove(&evicted);
+        if cost > self.budget_bytes {
+            return;
         }
+        while self.map.len() >= self.capacity || self.bytes + cost > self.budget_bytes {
+            debug_assert_ne!(self.tail, NIL);
+            self.remove_slot(self.tail);
+        }
+        self.bytes += cost;
         let node = Node {
             key: key.clone(),
             generation,
@@ -140,13 +214,24 @@ impl ResultCache {
 
     /// Removes one entry; returns whether it existed.
     pub fn remove(&mut self, key: &CacheKey) -> bool {
-        let Some(idx) = self.map.remove(key) else {
+        let Some(&idx) = self.map.get(key) else {
             return false;
         };
-        self.detach(idx);
-        self.slab[idx].value = Vec::new();
-        self.free.push(idx);
+        self.remove_slot(idx);
         true
+    }
+
+    /// Frees slot `idx`: unlinks it, takes the key out of the node (freeing
+    /// its boxed exclusion list now, not when the slot is reused), removes
+    /// the map entry through that owned key — no clone — and returns the
+    /// slot to the free list.
+    fn remove_slot(&mut self, idx: usize) {
+        self.detach(idx);
+        let key = std::mem::replace(&mut self.slab[idx].key, CacheKey::tombstone());
+        let value = std::mem::take(&mut self.slab[idx].value);
+        self.bytes -= key.cost() + value_cost(&value);
+        self.map.remove(&key);
+        self.free.push(idx);
     }
 
     /// Drops every entry.
@@ -154,6 +239,7 @@ impl ResultCache {
         self.map.clear();
         self.slab.clear();
         self.free.clear();
+        self.bytes = 0;
         self.head = NIL;
         self.tail = NIL;
     }
@@ -193,6 +279,82 @@ impl ResultCache {
     }
 }
 
+/// `N` independently-locked [`ResultCache`]s behind a key hash: the shared
+/// result cache of a scorer worker pool.  Capacity and budget are split
+/// evenly across shards, so the configured totals hold globally while two
+/// workers touching different keys almost never contend on the same lock.
+#[derive(Debug)]
+pub struct ShardedResultCache {
+    shards: Vec<Mutex<ResultCache>>,
+}
+
+impl ShardedResultCache {
+    /// Creates `shards` cache shards sharing `capacity` entries and
+    /// `budget_bytes` (`usize::MAX` = unbudgeted) between them.
+    pub fn new(shards: usize, capacity: usize, budget_bytes: usize) -> Self {
+        let n = shards.max(1);
+        let per_capacity = capacity.div_ceil(n);
+        let per_budget = if budget_bytes == usize::MAX {
+            usize::MAX
+        } else {
+            budget_bytes.div_ceil(n)
+        };
+        Self {
+            shards: (0..n)
+                .map(|_| Mutex::new(ResultCache::with_budget(per_capacity, per_budget)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<ResultCache> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Locks one shard; a shard poisoned by a panicking worker keeps
+    /// serving — every cache operation leaves the LRU structure consistent,
+    /// so the contents are still valid.
+    fn lock(shard: &Mutex<ResultCache>) -> std::sync::MutexGuard<'_, ResultCache> {
+        shard
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Generation-checked lookup; clones the hit out, bounding the lock to
+    /// the map probe plus one `k`-element copy (no caller-side borrow keeps
+    /// the shard locked).
+    pub fn get(&self, key: &CacheKey, generation: u64) -> Option<Vec<(u32, f32)>> {
+        Self::lock(self.shard(key)).get(key, generation).cloned()
+    }
+
+    /// Inserts a result into the owning shard.
+    pub fn insert(&self, key: CacheKey, generation: u64, value: Vec<(u32, f32)>) {
+        let shard = self.shard(&key);
+        Self::lock(shard).insert(key, generation, value);
+    }
+
+    /// Live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| Self::lock(s).len()).sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes charged across all shards.
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| Self::lock(s).bytes()).sum()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +375,7 @@ mod tests {
         // A published generation invalidates lazily.
         assert_eq!(c.get(&key(1), 2), None);
         assert!(c.is_empty(), "stale entry is dropped on touch");
+        assert_eq!(c.bytes(), 0, "stale entry refunds its bytes");
     }
 
     #[test]
@@ -263,6 +426,13 @@ mod tests {
     }
 
     #[test]
+    fn zero_budget_disables_caching() {
+        let mut c = ResultCache::with_budget(100, 0);
+        c.insert(key(1), 1, val(1));
+        assert!(c.get(&key(1), 1).is_none());
+    }
+
+    #[test]
     fn slab_slots_are_reused_after_eviction() {
         let mut c = ResultCache::new(2);
         for round in 0..100u32 {
@@ -270,5 +440,123 @@ mod tests {
         }
         assert_eq!(c.len(), 2);
         assert!(c.slab.len() <= 3, "slab grew: {}", c.slab.len());
+    }
+
+    #[test]
+    fn removed_slots_drop_their_key_exclusions() {
+        // A heavy exclusion list must be charged while cached and refunded
+        // (key freed, not parked in the slab) the moment it is removed.
+        let heavy = CacheKey::new(1, 10, &(0..1000).collect::<Vec<u32>>());
+        let mut c = ResultCache::new(4);
+        c.insert(heavy.clone(), 1, val(1));
+        assert_eq!(c.bytes(), 1000 * 4 + 8);
+        assert!(c.remove(&heavy));
+        assert_eq!(c.bytes(), 0);
+        assert!(c.slab[0].key.exclude.is_empty(), "evicted key still boxed");
+        assert!(c.slab[0].value.is_empty(), "evicted value still alive");
+        // The tombstoned slot is reusable.
+        c.insert(key(2), 1, val(2));
+        assert_eq!(c.get(&key(2), 1), Some(&val(2)));
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_entries() {
+        // Each entry: k=10 key with empty exclusions, value of 3 pairs →
+        // 24 bytes.  Budget of 80 holds 3 entries, not 4.
+        let entry = |u: u32| (key(u), vec![(u, 1.0f32), (u + 1, 1.0), (u + 2, 1.0)]);
+        let mut c = ResultCache::with_budget(100, 80);
+        for u in 0..4 {
+            let (k, v) = entry(u);
+            c.insert(k, 1, v);
+        }
+        assert_eq!(c.len(), 3);
+        assert!(c.bytes() <= 80);
+        assert!(c.get(&key(0), 1).is_none(), "oldest entry evicted first");
+        assert!(c.get(&key(3), 1).is_some());
+    }
+
+    #[test]
+    fn heavy_exclusion_entries_charge_their_keys() {
+        // One entry whose exclusion list dominates its cost: a 60-byte
+        // budget fits the 8-byte value plus a 48-byte exclusion list once,
+        // so a second such entry evicts the first.
+        let heavy = |u: u32| CacheKey::new(u, 1, &[0; 12]);
+        let mut c = ResultCache::with_budget(100, 60);
+        c.insert(heavy(1), 1, val(1));
+        assert_eq!(c.bytes(), 48 + 8);
+        c.insert(heavy(2), 1, val(2));
+        assert_eq!(c.len(), 1, "budget holds one heavy entry");
+        assert!(c.get(&heavy(2), 1).is_some());
+        assert!(c.get(&heavy(1), 1).is_none());
+    }
+
+    #[test]
+    fn oversized_entry_is_not_cached() {
+        let mut c = ResultCache::with_budget(100, 16);
+        c.insert(key(1), 1, vec![(0, 1.0); 10]); // 80 bytes > 16
+        assert!(c.is_empty());
+        // A fitting entry still caches fine afterwards.
+        c.insert(key(2), 1, val(2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn refresh_that_alone_exceeds_the_budget_drops_the_entry() {
+        let mut c = ResultCache::with_budget(100, 24);
+        c.insert(key(1), 1, val(1));
+        assert_eq!(c.len(), 1);
+        c.insert(key(1), 2, vec![(0, 1.0); 10]); // 80 bytes > 24
+        assert!(c.is_empty(), "stale small value must not survive");
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn refresh_that_outgrows_the_budget_evicts_cold_entries_not_itself() {
+        // Three 8-byte entries under a 40-byte budget; refreshing the
+        // oldest to 32 bytes must evict the now-coldest entry (key 2), not
+        // the refreshed hot one.
+        let mut c = ResultCache::with_budget(100, 40);
+        for u in 1..=3 {
+            c.insert(key(u), 1, val(u));
+        }
+        let fat = vec![(9, 1.0f32); 4]; // 32 bytes
+        c.insert(key(1), 1, fat.clone());
+        assert!(c.bytes() <= 40);
+        assert_eq!(c.get(&key(1), 1), Some(&fat), "hot entry survives");
+        assert!(c.get(&key(2), 1).is_none(), "coldest entry evicted");
+        assert!(c.get(&key(3), 1).is_some());
+    }
+
+    #[test]
+    fn sharded_cache_totals_and_isolation() {
+        let c = ShardedResultCache::new(4, 64, 1 << 20);
+        assert_eq!(c.shard_count(), 4);
+        for u in 0..32 {
+            c.insert(key(u), 1, val(u));
+        }
+        assert_eq!(c.len(), 32);
+        assert!(c.bytes() > 0);
+        for u in 0..32 {
+            assert_eq!(c.get(&key(u), 1), Some(val(u)), "user {u}");
+        }
+        // Generation mismatch invalidates lazily through the shards too.
+        assert_eq!(c.get(&key(0), 2), None);
+        assert_eq!(c.len(), 31);
+    }
+
+    #[test]
+    fn sharded_cache_is_shared_across_threads() {
+        let c = std::sync::Arc::new(ShardedResultCache::new(8, 1024, usize::MAX));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..64 {
+                        c.insert(key(t * 64 + i), 1, val(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 256);
     }
 }

@@ -12,12 +12,19 @@
 //!   load without stalling in-flight batches.
 //! * [`topk::TopKIndex`] — scores micro-batches of requests as blocked
 //!   matrix-vector products ([`cumf_linalg::batch_score_block`]) with a
-//!   bounded heap per user and seen-item exclusion.
-//! * [`batcher::TopKService`] — coalesces concurrent requests into size- and
-//!   deadline-bounded micro-batches, fronted by a per-user LRU result cache
-//!   ([`cache::ResultCache`]) invalidated by snapshot generation.
+//!   bounded heap per user and seen-item exclusion; the catalog can be
+//!   partitioned into item **shards** scored in parallel and merged
+//!   ([`cumf_linalg::merge_top_k`]) with bit-identical results, and whole
+//!   low-scoring blocks are skipped via norm-bound threshold pruning.
+//! * [`batcher::TopKService`] — a pool of `workers` scorer threads
+//!   coalescing concurrent requests into size- and deadline-bounded
+//!   micro-batches (identical in-flight requests are scored once), fronted
+//!   by a sharded, byte-budgeted LRU result cache
+//!   ([`cache::ShardedResultCache`]) invalidated by snapshot generation.
+//!   A panicking worker is surfaced as
+//!   [`batcher::ServeError::WorkerPanicked`] with the panic message.
 //! * [`metrics::ServeMetrics`] — request counts, batch-size histogram,
-//!   cache hit rate, batch latency, swap count.
+//!   cache hit rate, batch latency, swap count, worker panics.
 //!
 //! ## Quick start
 //!
@@ -50,7 +57,7 @@ pub mod snapshot;
 pub mod topk;
 
 pub use batcher::{ServeClient, ServeConfig, ServeError, TopKService};
-pub use cache::{CacheKey, ResultCache};
+pub use cache::{CacheKey, ResultCache, ShardedResultCache};
 pub use metrics::{MetricsReport, ServeMetrics};
 pub use snapshot::{FactorSnapshot, SnapshotStore};
 pub use topk::{Query, ScoreKind, TopKIndex};

@@ -26,6 +26,7 @@ pub struct ServeMetrics {
     batch_latency_ns_total: AtomicU64,
     batch_latency_ns_max: AtomicU64,
     snapshot_swaps: AtomicU64,
+    worker_panics: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -73,6 +74,12 @@ impl ServeMetrics {
         self.snapshot_swaps.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a scorer worker dying to a panic — any non-zero value in a
+    /// report means the service lost capacity and requests were dropped.
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of all counters plus derived rates.
     pub fn report(&self) -> MetricsReport {
         let requests = self.requests.load(Ordering::Relaxed);
@@ -105,6 +112,7 @@ impl ServeMetrics {
                 self.batch_latency_ns_max.load(Ordering::Relaxed),
             ),
             snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
         }
     }
 }
@@ -134,6 +142,8 @@ pub struct MetricsReport {
     pub max_batch_latency: Duration,
     /// Snapshot generations published.
     pub snapshot_swaps: u64,
+    /// Scorer workers lost to panics (0 in a healthy service).
+    pub worker_panics: u64,
 }
 
 impl std::fmt::Display for MetricsReport {
@@ -145,11 +155,12 @@ impl std::fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
-            "cache: {:.1}% hit ({} hit / {} miss)  swaps: {}",
+            "cache: {:.1}% hit ({} hit / {} miss)  swaps: {}  worker panics: {}",
             100.0 * self.cache_hit_rate,
             self.cache_hits,
             self.cache_misses,
-            self.snapshot_swaps
+            self.snapshot_swaps,
+            self.worker_panics
         )?;
         writeln!(
             f,

@@ -16,7 +16,7 @@
 
 use cumf_core::checkpoint::Checkpoint;
 use cumf_core::trainer::MatrixFactorizer;
-use cumf_linalg::{retrieve_top_k, topk::DEFAULT_ITEM_BLOCK, FactorMatrix};
+use cumf_linalg::{block_max_norms, retrieve_top_k_pruned, topk::DEFAULT_ITEM_BLOCK, FactorMatrix};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -28,6 +28,11 @@ pub struct FactorSnapshot {
     x: FactorMatrix,
     theta: FactorMatrix,
     item_norms: Vec<f32>,
+    /// Per-block maxima of `item_norms` at [`DEFAULT_ITEM_BLOCK`]
+    /// granularity (clamped to the catalog size), precomputed once so the
+    /// threshold-pruned retrieval paths never rescan the norms per request
+    /// or per micro-batch.
+    block_max: Vec<f32>,
 }
 
 impl FactorSnapshot {
@@ -39,16 +44,18 @@ impl FactorSnapshot {
     pub fn from_factors(x: FactorMatrix, theta: FactorMatrix) -> Self {
         assert_eq!(x.rank(), theta.rank(), "factor rank mismatch");
         let f = theta.rank();
-        let item_norms = theta
+        let item_norms: Vec<f32> = theta
             .data()
             .chunks_exact(f.max(1))
             .map(|v| cumf_linalg::blas::norm_sq(v).sqrt())
             .collect();
+        let block_max = block_max_norms(&item_norms, DEFAULT_ITEM_BLOCK.min(theta.len().max(1)));
         Self {
             generation: 0,
             x,
             theta,
             item_norms,
+            block_max,
         }
     }
 
@@ -102,6 +109,20 @@ impl FactorSnapshot {
         &self.item_norms
     }
 
+    /// The item block size the snapshot's precomputed block maxima
+    /// ([`FactorSnapshot::default_block_max`]) are aligned to:
+    /// [`DEFAULT_ITEM_BLOCK`] clamped to the catalog size.
+    pub fn default_item_block(&self) -> usize {
+        DEFAULT_ITEM_BLOCK.min(self.n_items().max(1))
+    }
+
+    /// Per-block maxima of the item norms at
+    /// [`FactorSnapshot::default_item_block`] granularity, for
+    /// threshold-pruned retrieval.
+    pub fn default_block_max(&self) -> &[f32] {
+        &self.block_max
+    }
+
     /// Predicted rating `x_u · θ_v`; `None` for out-of-range ids.
     pub fn predict(&self, user: u32, item: u32) -> Option<f32> {
         let x_u = self.user_vector(user)?;
@@ -110,19 +131,22 @@ impl FactorSnapshot {
     }
 
     /// Single-request top-`k` retrieval: the blocked-scoring + bounded-heap
-    /// path a batch of size one takes.  Out-of-range users get an empty
-    /// result (a serving layer must not panic on bad requests).
+    /// path a batch of size one takes, with whole-block threshold pruning
+    /// driven by the precomputed item norms (results are identical to the
+    /// unpruned path).  Out-of-range users get an empty result (a serving
+    /// layer must not panic on bad requests).
     pub fn recommend_one(&self, user: u32, k: usize, exclude: &[u32]) -> Vec<(u32, f32)> {
         let Some(x_u) = self.user_vector(user) else {
             return Vec::new();
         };
         let excluded: HashSet<u32> = exclude.iter().copied().collect();
-        retrieve_top_k(
+        retrieve_top_k_pruned(
             x_u,
             self.theta.data(),
             self.rank(),
             k,
-            DEFAULT_ITEM_BLOCK,
+            self.default_item_block(),
+            &self.block_max,
             |v| excluded.contains(&v),
         )
     }

@@ -1,4 +1,4 @@
-//! Batched top-k scoring against one snapshot.
+//! Batched, item-sharded top-k scoring against one snapshot.
 //!
 //! The training-time insight of the paper — batch many independent small
 //! problems into one regular, blocked kernel — applied at serving time: a
@@ -7,12 +7,30 @@
 //! memory once per *tile of users* instead of once per request.  Each user
 //! folds block scores into a bounded heap ([`cumf_linalg::TopK`]), never
 //! materializing the full score vector.
+//!
+//! Two levers scale the scorer past one core per batch:
+//!
+//! * **User tiles** — queries are split into [`USER_TILE`]-sized tiles that
+//!   score independently.
+//! * **Item shards** — the catalog Θ is partitioned into `shards` contiguous
+//!   runs of blocks; each `(tile, shard)` pair scores independently into a
+//!   per-shard bounded heap and the partial top-k lists are merged with
+//!   [`cumf_linalg::merge_top_k`].  The heap tie-break is a total order, so
+//!   results are **bit-identical for every shard count** — sharding is purely
+//!   a parallelism knob.
+//!
+//! Dot-product scoring also short-circuits whole low-scoring blocks: once a
+//! tile's heaps are full, a block whose Cauchy–Schwarz bound
+//! (`‖x_u‖ · max‖θ_v‖ ·` [`cumf_linalg::topk::NORM_BOUND_SLACK`]) cannot
+//! beat any heap threshold is skipped without touching its factors.
 
 use crate::snapshot::FactorSnapshot;
 use cumf_linalg::batch_score_block;
-use cumf_linalg::TopK;
+use cumf_linalg::topk::NORM_BOUND_SLACK;
+use cumf_linalg::{block_max_norms, merge_top_k, TopK};
 use rayon::prelude::*;
 use std::collections::HashSet;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// How a candidate item is scored.
@@ -24,7 +42,10 @@ pub enum ScoreKind {
     /// Inner product divided by `‖θ_v‖` — uses the snapshot's precomputed
     /// item norms to stop high-norm (popular) items from dominating every
     /// list.  The user-norm factor is constant per request and cannot
-    /// change the ranking, so it is skipped.
+    /// change the ranking, so it is skipped.  Zero-norm (cold, never
+    /// trained) items score 0.0 rather than being dropped, so a request
+    /// never comes back shorter than `k` just because the catalog has cold
+    /// entries.
     Cosine,
 }
 
@@ -54,54 +75,21 @@ impl Query {
 /// vectors of `f ≤ 128` floats fit comfortably in L1 next to the item block.
 const USER_TILE: usize = 8;
 
-/// Batched blocked top-k scorer over one immutable snapshot.
-///
-/// All queries of a [`TopKIndex::query_batch`] call are answered from the
-/// same snapshot generation — the index holds its own `Arc`, so a
-/// concurrent hot-swap cannot tear a batch.
-#[derive(Debug, Clone)]
-pub struct TopKIndex {
-    snapshot: Arc<FactorSnapshot>,
-    item_block: usize,
-    score: ScoreKind,
+/// Per-tile scoring state computed once and shared by every item shard the
+/// tile is scored against: the gathered contiguous user operand, validity
+/// flags, user norms (for block pruning), and the exclusion hash sets —
+/// hashing a heavy exclusion list per shard would erode the parallelism
+/// sharding buys.
+struct TileCtx {
+    users: Vec<f32>,
+    valid: Vec<bool>,
+    user_norms: Vec<f32>,
+    excluded: Vec<HashSet<u32>>,
 }
 
-impl TopKIndex {
-    /// Creates an index over `snapshot` scoring `item_block` items per
-    /// block.
-    pub fn new(snapshot: Arc<FactorSnapshot>, item_block: usize, score: ScoreKind) -> Self {
-        assert!(item_block > 0, "item block must be positive");
-        Self {
-            snapshot,
-            item_block,
-            score,
-        }
-    }
-
-    /// The snapshot this index serves from.
-    pub fn snapshot(&self) -> &Arc<FactorSnapshot> {
-        &self.snapshot
-    }
-
-    /// Scores a micro-batch of queries, returning one ranked
-    /// `(item, score)` list per query, in query order.  Tiles of
-    /// [`USER_TILE`] users are scored in parallel; within a tile every item
-    /// block is scored for all users with one blocked kernel call.
-    pub fn query_batch(&self, queries: &[Query]) -> Vec<Vec<(u32, f32)>> {
-        let tiles: Vec<Vec<Vec<(u32, f32)>>> = queries
-            .par_chunks(USER_TILE)
-            .map(|tile| self.score_tile(tile))
-            .collect();
-        tiles.into_iter().flatten().collect()
-    }
-
-    fn score_tile(&self, tile: &[Query]) -> Vec<Vec<(u32, f32)>> {
-        let snap = &self.snapshot;
+impl TileCtx {
+    fn new(tile: &[Query], snap: &FactorSnapshot) -> Self {
         let f = snap.rank();
-        let n_items = snap.n_items();
-        let theta = snap.item_factors().data();
-        let norms = snap.item_norms();
-
         // Gather the tile's user vectors into one contiguous buffer so the
         // block scorer sees a dense (tile × f) operand.  Out-of-range users
         // keep a zero vector and are marked invalid.
@@ -113,24 +101,207 @@ impl TopKIndex {
                 valid[i] = true;
             }
         }
+        let user_norms = users
+            .chunks_exact(f)
+            .map(|x| cumf_linalg::blas::norm_sq(x).sqrt())
+            .collect();
+        let excluded = tile
+            .iter()
+            .map(|q| q.exclude.iter().copied().collect())
+            .collect();
+        Self {
+            users,
+            valid,
+            user_norms,
+            excluded,
+        }
+    }
+}
+
+/// Batched blocked top-k scorer over one immutable snapshot.
+///
+/// All queries of a [`TopKIndex::query_batch`] call are answered from the
+/// same snapshot generation — the index holds its own `Arc`, so a
+/// concurrent hot-swap cannot tear a batch.
+#[derive(Debug, Clone)]
+pub struct TopKIndex {
+    snapshot: Arc<FactorSnapshot>,
+    item_block: usize,
+    score: ScoreKind,
+    shards: usize,
+    /// Per-block maxima of the snapshot's item norms, aligned to
+    /// `item_block`: the precomputed side of threshold pruning.
+    block_max: Vec<f32>,
+}
+
+impl TopKIndex {
+    /// Creates an unsharded index over `snapshot` scoring `item_block`
+    /// items per block.
+    pub fn new(snapshot: Arc<FactorSnapshot>, item_block: usize, score: ScoreKind) -> Self {
+        Self::with_shards(snapshot, item_block, score, 1)
+    }
+
+    /// Creates an index that partitions the catalog into `shards`
+    /// contiguous item shards scored in parallel (clamped to at least 1 and
+    /// at most one shard per block).  Results are bit-identical for every
+    /// shard count.
+    pub fn with_shards(
+        snapshot: Arc<FactorSnapshot>,
+        item_block: usize,
+        score: ScoreKind,
+        shards: usize,
+    ) -> Self {
+        assert!(item_block > 0, "item block must be positive");
+        let item_block = item_block.min(snapshot.n_items().max(1));
+        // The default blocking (the common case — `ServeConfig` builds an
+        // index per micro-batch) reuses the snapshot's precomputed maxima
+        // instead of rescanning the norms every batch.
+        let block_max = if item_block == snapshot.default_item_block() {
+            snapshot.default_block_max().to_vec()
+        } else {
+            block_max_norms(snapshot.item_norms(), item_block)
+        };
+        Self {
+            snapshot,
+            item_block,
+            score,
+            shards: shards.max(1),
+            block_max,
+        }
+    }
+
+    /// The snapshot this index serves from.
+    pub fn snapshot(&self) -> &Arc<FactorSnapshot> {
+        &self.snapshot
+    }
+
+    /// Number of item shards the catalog is partitioned into (≥ 1; the
+    /// effective count is further capped by the number of item blocks).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Contiguous block ranges, one per non-empty shard.
+    fn shard_ranges(&self) -> Vec<Range<usize>> {
+        let n_blocks = self.block_max.len();
+        let shards = self.shards.min(n_blocks.max(1));
+        let base = n_blocks / shards;
+        let rem = n_blocks % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0;
+        for s in 0..shards {
+            let len = base + usize::from(s < rem);
+            if len == 0 {
+                continue;
+            }
+            ranges.push(start..start + len);
+            start += len;
+        }
+        if ranges.is_empty() {
+            ranges.push(0..0);
+        }
+        ranges
+    }
+
+    /// Scores a micro-batch of queries, returning one ranked
+    /// `(item, score)` list per query, in query order.  `(tile, shard)`
+    /// pairs are scored in parallel; within each pair every item block is
+    /// scored for all tile users with one blocked kernel call, and each
+    /// query's per-shard partial top-k lists are merged into the final
+    /// ranking.
+    pub fn query_batch(&self, queries: &[Query]) -> Vec<Vec<(u32, f32)>> {
+        let ranges = self.shard_ranges();
+        if ranges.len() == 1 {
+            let range = ranges.into_iter().next().expect("one shard");
+            let tiles: Vec<Vec<Vec<(u32, f32)>>> = queries
+                .par_chunks(USER_TILE)
+                .map(|tile| {
+                    self.score_tile(tile, &TileCtx::new(tile, &self.snapshot), range.clone())
+                })
+                .collect();
+            return tiles.into_iter().flatten().collect();
+        }
+
+        let n_shards = ranges.len();
+        let n_tiles = queries.len().div_ceil(USER_TILE);
+        // The per-tile setup (user gather, norms, exclusion sets) is shared
+        // across that tile's shard units — heavy exclusion lists are hashed
+        // once per tile, not once per shard.
+        let contexts: Vec<TileCtx> = queries
+            .par_chunks(USER_TILE)
+            .map(|tile| TileCtx::new(tile, &self.snapshot))
+            .collect();
+        let units: Vec<(usize, usize)> = (0..n_tiles)
+            .flat_map(|t| (0..n_shards).map(move |s| (t, s)))
+            .collect();
+        let mut partials: Vec<Vec<Vec<(u32, f32)>>> = units
+            .par_iter()
+            .map(|&(t, s)| {
+                let tile = &queries[t * USER_TILE..((t + 1) * USER_TILE).min(queries.len())];
+                self.score_tile(tile, &contexts[t], ranges[s].clone())
+            })
+            .collect();
+        queries
+            .iter()
+            .enumerate()
+            .map(|(qi, q)| {
+                let (t, i) = (qi / USER_TILE, qi % USER_TILE);
+                let parts: Vec<Vec<(u32, f32)>> = (0..n_shards)
+                    .map(|s| std::mem::take(&mut partials[t * n_shards + s][i]))
+                    .collect();
+                merge_top_k(&parts, q.k)
+            })
+            .collect()
+    }
+
+    /// Scores one user tile against the item blocks in `blocks` (indices
+    /// into the `item_block`-sized blocking of Θ), returning each query's
+    /// top-k **within that shard**.
+    fn score_tile(
+        &self,
+        tile: &[Query],
+        ctx: &TileCtx,
+        blocks: Range<usize>,
+    ) -> Vec<Vec<(u32, f32)>> {
+        let snap = &self.snapshot;
+        let f = snap.rank();
+        let n_items = snap.n_items();
+        let theta = snap.item_factors().data();
+        let norms = snap.item_norms();
+        let TileCtx {
+            users,
+            valid,
+            user_norms,
+            excluded,
+        } = ctx;
 
         let mut heaps: Vec<Option<TopK>> = tile
             .iter()
             .zip(valid.iter())
             .map(|(q, &ok)| (ok && q.k > 0).then(|| TopK::new(q.k)))
             .collect();
-        let excluded: Vec<HashSet<u32>> = tile
-            .iter()
-            .map(|q| q.exclude.iter().copied().collect())
-            .collect();
 
-        let block = self.item_block.min(n_items.max(1));
+        let block = self.item_block;
         let mut scores = vec![0.0f32; tile.len() * block];
-        for start in (0..n_items).step_by(block) {
+        for b in blocks {
+            let start = b * block;
             let end = (start + block).min(n_items);
+            // Dot scoring admits a per-block Cauchy–Schwarz bound; skip the
+            // whole block when no user's heap could accept anything in it.
+            // (Cosine's bound is ‖x_u‖ for every block — nothing to prune.)
+            if self.score == ScoreKind::Dot {
+                let bound = self.block_max[b] * NORM_BOUND_SLACK;
+                let prunable = heaps.iter().enumerate().all(|(i, h)| match h {
+                    Some(h) => h.threshold().is_some_and(|t| user_norms[i] * bound < t),
+                    None => true,
+                });
+                if prunable {
+                    continue;
+                }
+            }
             let nb = end - start;
             let out = &mut scores[..tile.len() * nb];
-            batch_score_block(&users, tile.len(), &theta[start * f..end * f], nb, f, out);
+            batch_score_block(users, tile.len(), &theta[start * f..end * f], nb, f, out);
             for (i, heap) in heaps.iter_mut().enumerate() {
                 let Some(heap) = heap else { continue };
                 let row = &out[i * nb..(i + 1) * nb];
@@ -146,7 +317,7 @@ impl TopKIndex {
                             if n > 0.0 {
                                 s / n
                             } else {
-                                continue;
+                                0.0
                             }
                         }
                     };
@@ -232,6 +403,32 @@ mod tests {
     }
 
     #[test]
+    fn cosine_keeps_zero_norm_items_at_score_zero() {
+        // A catalog with cold (zero-vector, hence zero-norm) items: both
+        // score kinds must still return exactly k results when k ≤ catalog
+        // size, and cosine scores the cold items 0.0.
+        let x = FactorMatrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let mut theta = FactorMatrix::zeros(5, 2);
+        theta.vector_mut(1).copy_from_slice(&[2.0, 0.0]);
+        theta.vector_mut(3).copy_from_slice(&[0.5, 0.0]);
+        // Items 0, 2, 4 stay zero vectors (never trained).
+        let snap = Arc::new(FactorSnapshot::from_factors(x, theta));
+        let q = vec![Query::new(0, 5)];
+        let dot = TopKIndex::new(Arc::clone(&snap), 64, ScoreKind::Dot).query_batch(&q);
+        let cos = TopKIndex::new(snap, 64, ScoreKind::Cosine).query_batch(&q);
+        assert_eq!(
+            dot[0].len(),
+            cos[0].len(),
+            "Dot and Cosine must return the same number of results"
+        );
+        assert_eq!(cos[0].len(), 5, "cold items must not shrink the result");
+        assert_eq!(cos[0][0], (1, 1.0));
+        assert_eq!(cos[0][1], (3, 1.0));
+        // The cold items trail at exactly 0.0, smallest ids first.
+        assert_eq!(&cos[0][2..], &[(0, 0.0), (2, 0.0), (4, 0.0)]);
+    }
+
+    #[test]
     fn block_size_is_result_invariant() {
         let snap = Arc::new(FactorSnapshot::from_factors(
             FactorMatrix::random(5, 4, 1.0, 3),
@@ -241,5 +438,45 @@ mod tests {
         let small = TopKIndex::new(Arc::clone(&snap), 3, ScoreKind::Dot).query_batch(&q);
         let large = TopKIndex::new(snap, 10_000, ScoreKind::Dot).query_batch(&q);
         assert_eq!(small, large);
+    }
+
+    #[test]
+    fn shard_count_is_result_invariant() {
+        for score in [ScoreKind::Dot, ScoreKind::Cosine] {
+            let snap = Arc::new(FactorSnapshot::from_factors(
+                FactorMatrix::random(20, 6, 1.0, 5),
+                FactorMatrix::random(999, 6, 1.0, 6),
+            ));
+            let queries: Vec<Query> = (0..20u32)
+                .map(|u| Query {
+                    user: u,
+                    k: 7,
+                    exclude: vec![u % 13, u % 7],
+                })
+                .collect();
+            let baseline =
+                TopKIndex::with_shards(Arc::clone(&snap), 64, score, 1).query_batch(&queries);
+            // 999 items in 64-blocks = 16 blocks; 7 shards split unevenly,
+            // 100 shards clamp to one per block.
+            for shards in [2usize, 3, 7, 16, 100] {
+                let sharded = TopKIndex::with_shards(Arc::clone(&snap), 64, score, shards)
+                    .query_batch(&queries);
+                assert_eq!(sharded, baseline, "score {score:?} shards {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_an_empty_or_tiny_catalog_is_safe() {
+        let snap = Arc::new(FactorSnapshot::from_factors(
+            FactorMatrix::random(3, 4, 1.0, 8),
+            FactorMatrix::random(2, 4, 1.0, 9),
+        ));
+        let q = vec![Query::new(0, 5), Query::new(1, 1)];
+        let one = TopKIndex::with_shards(Arc::clone(&snap), 512, ScoreKind::Dot, 1).query_batch(&q);
+        let many =
+            TopKIndex::with_shards(Arc::clone(&snap), 512, ScoreKind::Dot, 8).query_batch(&q);
+        assert_eq!(one, many);
+        assert_eq!(one[0].len(), 2, "catalog smaller than k returns all");
     }
 }
