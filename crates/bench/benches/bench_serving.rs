@@ -1,22 +1,30 @@
-//! Serving-path benchmark, three rungs up the same ladder:
+//! Serving-path benchmark, four rungs up the same ladder:
 //!
 //! 1. naive per-request scoring (score every item, sort the whole catalog —
 //!    what `recommend()` did before the serving subsystem),
 //! 2. the batched blocked top-k scorer of `cumf-serve` (PR 2), unsharded
 //!    and item-sharded,
 //! 3. the full `TopKService` under closed-loop concurrent load: the
-//!    single-worker PR 2 baseline versus the sharded scorer worker pool.
+//!    single-worker PR 2 baseline versus the sharded scorer worker pool,
+//! 4. publication cost: a **full snapshot republication** versus a
+//!    **delta publish** folding in ≤1% of users on the same catalog — the
+//!    `O(m·f)` vs `O(u·f)` comparison the incremental path exists for.
 //!
 //! Catalog sizes reach the ≥100k-item regime the paper's deployments imply.
 //! Throughput is reported in requests/sec.  Pool/shard sizing for rung 3
 //! follows `--workers N` / `--shards N` (after `--` in `cargo bench`),
 //! defaulting to 4×4; on a single-core runner the pool shows no speedup —
-//! the ≥2× claim is for multicore runners.
+//! the ≥2× claim is for multicore runners.  `--quick` (used by the CI
+//! bench-smoke job) trims catalog sizes and skips the slow naive baseline
+//! at the largest size so the whole suite lands in seconds while still
+//! exercising every rung, including the delta-vs-full comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cumf_linalg::blas::dot;
 use cumf_linalg::FactorMatrix;
-use cumf_serve::{FactorSnapshot, Query, ScoreKind, ServeConfig, TopKIndex, TopKService};
+use cumf_serve::{
+    FactorSnapshot, Query, ScoreKind, ServeConfig, SnapshotStore, TopKIndex, TopKService,
+};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
@@ -26,6 +34,10 @@ const N_USERS: usize = 1_000;
 const REQUESTS: usize = 64;
 const CLIENTS: usize = 8;
 const K: usize = 10;
+/// Users in the delta-publish benchmark's snapshot (the publish cost under
+/// test scales with this for the full path, with the changed-user count for
+/// the delta path).
+const PUBLISH_USERS: usize = 50_000;
 
 /// Pool sizing for the service-level benchmarks, overridable from the
 /// command line: `cargo bench --bench bench_serving -- --workers 8 --shards 8`.
@@ -40,6 +52,11 @@ fn pool_args() -> (usize, usize) {
             .max(1)
     };
     (lookup("--workers", 4), lookup("--shards", 4))
+}
+
+/// CI smoke mode: `cargo bench --bench bench_serving -- --quick`.
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
 }
 
 fn snapshot(n_items: usize) -> Arc<FactorSnapshot> {
@@ -70,23 +87,31 @@ fn naive_recommend(snap: &FactorSnapshot, user: u32, k: usize) -> Vec<(u32, f32)
 
 fn bench_serving(c: &mut Criterion) {
     let (_, shards) = pool_args();
+    let quick = quick_mode();
+    let sizes: &[usize] = if quick {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 250_000]
+    };
     let mut group = c.benchmark_group("serving_topk");
-    group.sample_size(10);
-    for &n_items in &[10_000usize, 100_000, 250_000] {
+    group.sample_size(if quick { 3 } else { 10 });
+    for &n_items in sizes {
         let snap = snapshot(n_items);
         let qs = queries();
         group.throughput(Throughput::Elements(REQUESTS as u64));
-        group.bench_with_input(
-            BenchmarkId::new("naive_per_request", n_items),
-            &n_items,
-            |b, _| {
-                b.iter(|| {
-                    for q in &qs {
-                        black_box(naive_recommend(&snap, q.user, q.k));
-                    }
-                });
-            },
-        );
+        if !(quick && n_items > 10_000) {
+            group.bench_with_input(
+                BenchmarkId::new("naive_per_request", n_items),
+                &n_items,
+                |b, _| {
+                    b.iter(|| {
+                        for q in &qs {
+                            black_box(naive_recommend(&snap, q.user, q.k));
+                        }
+                    });
+                },
+            );
+        }
         let index = TopKIndex::new(Arc::clone(&snap), 512, ScoreKind::Dot);
         group.bench_with_input(
             BenchmarkId::new("batched_blocked", n_items),
@@ -127,14 +152,15 @@ fn drive_service(service: &TopKService) {
     });
 }
 
-/// The tentpole comparison: one worker + one shard (the PR 2 service)
-/// versus the sharded worker pool, both scoring every request (cache off)
-/// at the 250k-item catalog size.
+/// Pool comparison: one worker + one shard (the PR 2 service) versus the
+/// sharded worker pool, both scoring every request (cache off) at the
+/// 250k-item catalog size (100k in quick mode).
 fn bench_service_pool(c: &mut Criterion) {
     let (workers, shards) = pool_args();
-    let n_items = 250_000;
+    let quick = quick_mode();
+    let n_items = if quick { 100_000 } else { 250_000 };
     let mut group = c.benchmark_group("serving_service");
-    group.sample_size(10);
+    group.sample_size(if quick { 3 } else { 10 });
     group.throughput(Throughput::Elements(REQUESTS as u64));
     let mut configs = vec![(1usize, 1usize)];
     if (workers, shards) != (1, 1) {
@@ -165,5 +191,61 @@ fn bench_service_pool(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(serving, bench_serving, bench_service_pool);
+/// The incremental-update comparison: full snapshot republication (clone
+/// both factor matrices, recompute every item norm, swap) versus a delta
+/// publish folding in 0.1% / 1% of users against the same catalog.  The
+/// full path moves `O((m+n)·f)` bytes per publish; the delta path `O(u·f)`
+/// — at ≤1% changed users the delta must win by orders of magnitude.
+fn bench_publish(c: &mut Criterion) {
+    let quick = quick_mode();
+    let (m, n_items) = if quick {
+        (PUBLISH_USERS / 5, 50_000)
+    } else {
+        (PUBLISH_USERS, 250_000)
+    };
+    let x = FactorMatrix::random(m, F, 0.5, 21);
+    let theta = FactorMatrix::random(n_items, F, 0.5, 22);
+    let store = SnapshotStore::new(FactorSnapshot::from_factors(x.clone(), theta.clone()));
+
+    let mut group = c.benchmark_group("serving_publish");
+    group.sample_size(if quick { 3 } else { 10 });
+    group.throughput(Throughput::Bytes(((m + n_items) * F * 4) as u64));
+    group.bench_with_input(
+        BenchmarkId::new("full_publish", n_items),
+        &n_items,
+        |b, _| {
+            b.iter(|| {
+                // A full republication pays for fresh factor copies and a
+                // complete norm recompute, every time.
+                store.publish(FactorSnapshot::from_factors(x.clone(), theta.clone()))
+            });
+        },
+    );
+
+    for ppm in [1_000u64, 10_000] {
+        let u = (m as u64 * ppm / 1_000_000) as usize;
+        let rows = FactorMatrix::random(u, F, 0.5, 23);
+        group.throughput(Throughput::Bytes((u * F * 4) as u64));
+        group.bench_with_input(
+            BenchmarkId::new(
+                format!("delta_publish_{}pct_users", ppm as f64 / 10_000.0),
+                n_items,
+            ),
+            &n_items,
+            |b, _| {
+                b.iter(|| {
+                    let base = store.load();
+                    let mut delta = base.delta();
+                    for i in 0..u {
+                        delta.update_user(((i * 997) % m) as u32, rows.vector(i));
+                    }
+                    store.publish_delta(&delta).expect("sole publisher")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(serving, bench_serving, bench_service_pool, bench_publish);
 criterion_main!(serving);

@@ -10,18 +10,29 @@
 //!
 //! `--workers` sizes the scorer worker pool and `--shards` the item
 //! sharding of each scoring pass (both default to 1, the PR 2 baseline).
-//! The run **fails** (non-zero exit) if any worker panicked: the final
-//! metrics report must show zero worker panics.
+//! `--fold-in N` additionally performs N **incremental delta publishes**
+//! mid-load: each one genuinely solves a batch of users' normal equations
+//! against the current frozen item factors (`cumf_core::foldin`) and
+//! publishes the changed rows through the `O(u·f)` copy-on-write path with
+//! targeted cache invalidation.
+//!
+//! The run **fails** (non-zero exit) if any worker panicked, if any request
+//! on this warm catalog (every item trained, no exclusions, catalog ≥ k)
+//! came back with fewer than `k` results — the result-shrink regression
+//! class the pre-PR-3 Cosine bug belonged to — or if a fold-in delta was
+//! rejected.
 //!
 //! ```text
 //! usage: serve_load_gen [--users N] [--items N] [--f F] [--requests N]
-//!                       [--clients N] [--k K] [--publishes N]
+//!                       [--clients N] [--k K] [--publishes N] [--fold-in N]
 //!                       [--naive-sample N] [--workers N] [--shards N]
 //! ```
 //!
-//! CI runs `--requests 200 --workers 4 --shards 4` as an end-to-end smoke
-//! test of the sharded-pool serving path.
+//! CI runs `--requests 200 --workers 4 --shards 4 --fold-in 2` as an
+//! end-to-end smoke test of the sharded-pool serving path plus the
+//! incremental fold-in → delta-publish path.
 
+use cumf_core::foldin::{fold_in_users, ratings_rows};
 use cumf_linalg::blas::dot;
 use cumf_linalg::FactorMatrix;
 use cumf_serve::{FactorSnapshot, ServeConfig, TopKService};
@@ -38,6 +49,7 @@ struct Args {
     clients: usize,
     k: usize,
     publishes: usize,
+    fold_in: usize,
     naive_sample: usize,
     workers: usize,
     shards: usize,
@@ -53,6 +65,7 @@ impl Default for Args {
             clients: 8,
             k: 10,
             publishes: 2,
+            fold_in: 0,
             naive_sample: 50,
             workers: 1,
             shards: 1,
@@ -69,7 +82,7 @@ fn parse_args() -> Args {
         if flag == "--help" || flag == "-h" {
             println!(
                 "usage: serve_load_gen [--users N] [--items N] [--f F] [--requests N] \
-                 [--clients N] [--k K] [--publishes N] [--naive-sample N] \
+                 [--clients N] [--k K] [--publishes N] [--fold-in N] [--naive-sample N] \
                  [--workers N] [--shards N]"
             );
             std::process::exit(0);
@@ -87,6 +100,7 @@ fn parse_args() -> Args {
             "--clients" => args.clients = value.max(1),
             "--k" => args.k = value,
             "--publishes" => args.publishes = value,
+            "--fold-in" => args.fold_in = value,
             "--naive-sample" => args.naive_sample = value,
             "--workers" => args.workers = value.max(1),
             "--shards" => args.shards = value.max(1),
@@ -159,6 +173,8 @@ fn main() {
         },
     );
     let served = AtomicU64::new(0);
+    let short_results = AtomicU64::new(0);
+    let mut fold_in_failures = 0u64;
     let start = Instant::now();
     let per_client = args.requests / args.clients;
     let remainder = args.requests % args.clients;
@@ -166,6 +182,7 @@ fn main() {
         for c in 0..args.clients {
             let client = service.client();
             let served = &served;
+            let short_results = &short_results;
             let args = &args;
             let budget = per_client + usize::from(c < remainder);
             s.spawn(move || {
@@ -176,6 +193,11 @@ fn main() {
                         .recommend(user, args.k, &[])
                         .expect("service alive for the whole run");
                     assert!(recs.len() <= args.k);
+                    // Warm catalog, no exclusions, catalog >= k: anything
+                    // short of k results is a shrink regression.
+                    if recs.len() < args.k.min(args.items) {
+                        short_results.fetch_add(1, Ordering::Relaxed);
+                    }
                     served.fetch_add(1, Ordering::Relaxed);
                 }
             });
@@ -185,6 +207,45 @@ fn main() {
             std::thread::sleep(Duration::from_millis(20));
             let generation = service.publish(snapshot(&args, 2 + p as u64));
             println!("published snapshot generation {generation} mid-load");
+        }
+        // Incremental fold-ins: solve a small batch of users' normal
+        // equations against the frozen item factors and publish only their
+        // rows through the copy-on-write delta path.
+        let mut rng = StdRng::seed_from_u64(4242);
+        for fi in 0..args.fold_in {
+            std::thread::sleep(Duration::from_millis(20));
+            let snap = service.snapshot();
+            let batch_users: Vec<u32> =
+                (0..16).map(|_| skewed_user(&mut rng, args.users)).collect();
+            let rating_lists: Vec<Vec<(u32, f32)>> = batch_users
+                .iter()
+                .map(|_| {
+                    (0..20)
+                        .map(|_| {
+                            let item = ((rng.random::<f64>() * args.items as f64) as u32)
+                                .min(args.items as u32 - 1);
+                            (item, 1.0 + rng.random::<f32>() * 4.0)
+                        })
+                        .collect()
+                })
+                .collect();
+            let ratings = ratings_rows(&rating_lists, args.items as u32);
+            let rows = fold_in_users(&ratings, snap.item_factors(), 0.05);
+            let mut delta = snap.delta();
+            for (i, &u) in batch_users.iter().enumerate() {
+                delta.update_user(u, rows.vector(i));
+            }
+            match service.publish_delta(&delta) {
+                Ok((generation, stats)) => println!(
+                    "fold-in {fi}: delta generation {generation} ({} users, \
+                     {} factor bytes copied, {} blocks shared)",
+                    stats.changed_users, stats.user_factor_bytes_copied, stats.user_blocks_shared
+                ),
+                Err(e) => {
+                    fold_in_failures += 1;
+                    eprintln!("fold-in {fi} rejected: {e}");
+                }
+            }
         }
     });
     let elapsed = start.elapsed();
@@ -212,6 +273,21 @@ fn main() {
             metrics.worker_panics,
             service.poisoned()
         );
+        std::process::exit(1);
+    }
+    // Every item in this catalog is trained and no request excludes
+    // anything, so a result shorter than k is a shrink regression (the
+    // pre-PR-3 Cosine zero-norm bug class) — fail the smoke run on it.
+    let short = short_results.load(Ordering::Relaxed);
+    if short > 0 {
+        eprintln!(
+            "FAIL: {short} request(s) returned fewer than k={} results on a warm catalog",
+            args.k
+        );
+        std::process::exit(1);
+    }
+    if fold_in_failures > 0 {
+        eprintln!("FAIL: {fold_in_failures} fold-in delta publish(es) were rejected");
         std::process::exit(1);
     }
 }

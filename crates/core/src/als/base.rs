@@ -80,6 +80,13 @@ impl BaseAls {
         self.theta = theta;
     }
 
+    /// Solves a batch of new-or-updated users against this engine's frozen
+    /// `Θ` (one row of `ratings` per user, spanning the full catalog) —
+    /// the incremental fold-in path; training state is untouched.
+    pub fn fold_in_users(&self, ratings: &Csr) -> FactorMatrix {
+        crate::foldin::fold_in_users(ratings, &self.theta, self.config.lambda)
+    }
+
     /// Runs one full ALS iteration: update `X` with `Θ` fixed, then update
     /// `Θ` with `X` fixed (both halves of Algorithm 1).
     pub fn iterate(&mut self) {

@@ -274,6 +274,14 @@ impl MoAlsEngine {
         self.theta = theta;
     }
 
+    /// Solves a batch of new-or-updated users against this engine's frozen
+    /// `Θ` (the incremental fold-in path).  Runs on the host without
+    /// simulated GPU time: fold-in is a serving-side operation, not a
+    /// training iteration.
+    pub fn fold_in_users(&self, ratings: &Csr) -> FactorMatrix {
+        crate::foldin::fold_in_users(ratings, &self.theta, self.config.lambda)
+    }
+
     /// Simulated seconds of the one-time initial upload.
     pub fn upload_time(&self) -> f64 {
         self.upload_s

@@ -191,6 +191,14 @@ impl SuAlsEngine {
         self.theta = theta;
     }
 
+    /// Solves a batch of new-or-updated users against this engine's frozen
+    /// `Θ` (the incremental fold-in path).  Runs on the host without
+    /// simulated GPU time: fold-in is a serving-side operation, not a
+    /// training iteration.
+    pub fn fold_in_users(&self, ratings: &Csr) -> FactorMatrix {
+        crate::foldin::fold_in_users(ratings, &self.theta, self.config.als.lambda)
+    }
+
     /// Accumulated simulated seconds.
     pub fn simulated_time(&self) -> f64 {
         self.total_sim_s

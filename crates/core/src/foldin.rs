@@ -1,0 +1,154 @@
+//! Incremental user fold-in: solving new-or-updated users against frozen
+//! item factors.
+//!
+//! The ALS update of equation (2) solves every user's factors from an
+//! *independent* per-user Hermitian system — nothing couples user `u`'s
+//! solve to any other user once `Θ` is fixed.  That independence is what
+//! makes incremental serving cheap: a new user (or a user with fresh
+//! ratings) can be **folded in** by solving just their normal equations
+//! against the already-trained `Θ`, without touching the other `m − 1` users
+//! and without retraining.  The result feeds a serving-side delta
+//! publication (`cumf-serve`'s `SnapshotDelta`), which is the paper-scale
+//! point: at production sizes, moving whole factor matrices dominates cost,
+//! so an update that touches `u` users should move `O(u·f)` bytes.
+//!
+//! The solve itself is [`crate::als::kernels::solve_side`] — the same fused
+//! per-row kernel every training engine uses, parallel over users via
+//! rayon — so a folded-in user gets *exactly* the factors one more
+//! update-`X` half-iteration would have given them.
+
+use crate::als::kernels::solve_side;
+use cumf_linalg::FactorMatrix;
+use cumf_sparse::{Coo, Csr};
+
+/// Solves the ALS normal equations for a batch of users against frozen item
+/// factors.
+///
+/// * `ratings` — one row per folded-in user over the **full catalog** column
+///   space (`n_cols == theta.len()`); build it with [`ratings_rows`] from
+///   per-user rating lists.
+/// * `theta` — the frozen item factors.
+/// * `lambda` — the same weighted-λ regularization used in training: each
+///   row's ridge is `λ · n_u`.
+///
+/// Returns one factor row per input row (row `i` of the result belongs to
+/// row `i` of `ratings`).  Users with no ratings get a zero vector, exactly
+/// like an empty row in training.
+///
+/// # Panics
+/// Panics if `ratings.n_cols() != theta.len()`.
+pub fn fold_in_users(ratings: &Csr, theta: &FactorMatrix, lambda: f32) -> FactorMatrix {
+    assert_eq!(
+        ratings.n_cols() as usize,
+        theta.len(),
+        "fold-in ratings must span the item catalog"
+    );
+    solve_side(ratings, theta, lambda)
+}
+
+/// Builds the fold-in ratings matrix from per-user `(item, rating)` lists:
+/// row `i` holds `rows[i]` over an `n_items`-column space.
+///
+/// # Panics
+/// Panics if any item id is out of range.
+pub fn ratings_rows(rows: &[Vec<(u32, f32)>], n_items: u32) -> Csr {
+    let mut coo = Coo::with_capacity(rows.len() as u32, n_items, rows.iter().map(Vec::len).sum());
+    for (u, row) in rows.iter().enumerate() {
+        for &(item, rating) in row {
+            coo.push(u as u32, item, rating)
+                .expect("fold-in item id out of range");
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::als::BaseAls;
+    use crate::config::AlsConfig;
+    use cumf_data::synth::SyntheticConfig;
+
+    fn trained() -> (Csr, BaseAls) {
+        let data = SyntheticConfig {
+            m: 150,
+            n: 80,
+            nnz: 4000,
+            rank: 4,
+            noise_std: 0.05,
+            ..Default::default()
+        }
+        .generate();
+        let r = data.to_csr();
+        let mut engine = BaseAls::new(
+            AlsConfig {
+                f: 8,
+                lambda: 0.05,
+                iterations: 4,
+                ..Default::default()
+            },
+            r.clone(),
+        );
+        for _ in 0..4 {
+            engine.iterate();
+        }
+        (r, engine)
+    }
+
+    #[test]
+    fn folding_in_training_rows_matches_one_more_half_iteration() {
+        // fold_in_users solves the same system as update_x: feeding the
+        // training matrix back in must reproduce solve_side's X exactly.
+        let (r, mut engine) = trained();
+        let folded = fold_in_users(&r, engine.theta(), engine.config().lambda);
+        engine.update_x();
+        assert_eq!(folded.max_abs_diff(engine.x()), 0.0);
+    }
+
+    #[test]
+    fn folded_in_user_predicts_their_ratings() {
+        // A brand-new user whose ratings follow an existing user's row gets
+        // factors that reconstruct those ratings about as well as training
+        // did for the original user.
+        let (r, engine) = trained();
+        let (items, vals) = r.row(3);
+        let rows = vec![items.iter().copied().zip(vals.iter().copied()).collect()];
+        let batch = ratings_rows(&rows, r.n_cols());
+        let folded = fold_in_users(&batch, engine.theta(), engine.config().lambda);
+        assert_eq!(folded.len(), 1);
+        let mse: f64 = items
+            .iter()
+            .zip(vals.iter())
+            .map(|(&v, &rating)| {
+                let p = cumf_linalg::blas::dot(folded.vector(0), engine.theta().vector(v as usize));
+                ((p - rating) as f64).powi(2)
+            })
+            .sum::<f64>()
+            / items.len() as f64;
+        assert!(mse.sqrt() < 0.5, "fold-in RMSE too high: {}", mse.sqrt());
+    }
+
+    #[test]
+    fn empty_rating_rows_fold_to_zero_vectors() {
+        let (r, engine) = trained();
+        let rows = vec![Vec::new(), vec![(0u32, 4.0f32)]];
+        let batch = ratings_rows(&rows, r.n_cols());
+        let folded = fold_in_users(&batch, engine.theta(), 0.05);
+        assert!(folded.vector(0).iter().all(|&v| v == 0.0));
+        assert!(folded.vector(1).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must span the item catalog")]
+    fn catalog_width_mismatch_panics() {
+        let (_, engine) = trained();
+        let batch = ratings_rows(&[vec![(0, 1.0)]], 10);
+        fold_in_users(&batch, engine.theta(), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_item_panics() {
+        ratings_rows(&[vec![(99, 1.0)]], 10);
+    }
+}

@@ -22,7 +22,12 @@
 //! * [`planner`] — the memory-capacity partition planner of §4.3 (equation 8).
 //! * [`oocore`] — the out-of-core batch scheduler with asynchronous prefetch
 //!   of §4.4.
-//! * [`checkpoint`] — fault-tolerance checkpointing of §4.4.
+//! * [`checkpoint`] — fault-tolerance checkpointing of §4.4, including
+//!   delta records that journal incremental fold-ins between full
+//!   checkpoints.
+//! * [`foldin`] — incremental user fold-in: solving new-or-updated users
+//!   against frozen item factors (the training half of `cumf-serve`'s
+//!   delta-publication path).
 //! * [`costmodel`] — the analytic compute/footprint model of Table 3, used
 //!   to price iterations at full paper scale (Figure 11, Table 1).
 //! * [`trainer`] — the high-level [`trainer::MatrixFactorizer`] API
@@ -50,6 +55,7 @@ pub mod als;
 pub mod checkpoint;
 pub mod config;
 pub mod costmodel;
+pub mod foldin;
 pub mod loss;
 pub mod metrics;
 pub mod oocore;

@@ -361,6 +361,42 @@ impl MatrixFactorizer {
         loss::predict(self.x(), self.theta(), user, item)
     }
 
+    /// Solves the ALS normal equations for a batch of new-or-updated users
+    /// against the fitted (frozen) item factors — the incremental fold-in
+    /// path.  `ratings` carries one row per folded-in user over the full
+    /// item catalog (build it with [`crate::foldin::ratings_rows`]); row `i`
+    /// of the result is the factor vector for row `i`'s user.  The trained
+    /// model is untouched: feed the rows into a serving-side delta
+    /// publication instead of retraining.
+    ///
+    /// ```
+    /// use cumf_core::config::AlsConfig;
+    /// use cumf_core::foldin::ratings_rows;
+    /// use cumf_core::trainer::{Backend, MatrixFactorizer};
+    /// use cumf_data::synth::SyntheticConfig;
+    ///
+    /// let data = SyntheticConfig { m: 80, n: 40, nnz: 1600, ..Default::default() }.generate();
+    /// let train = data.to_csr();
+    /// let mut model = MatrixFactorizer::new(
+    ///     AlsConfig { f: 8, iterations: 3, ..Default::default() },
+    ///     Backend::Reference,
+    /// );
+    /// model.fit(&train, &[]);
+    ///
+    /// // A brand-new user rated three items; fold them in without retraining.
+    /// let batch = ratings_rows(&[vec![(0, 4.0), (7, 3.0), (21, 5.0)]], train.n_cols());
+    /// let folded = model.fold_in_users(&batch);
+    /// assert_eq!(folded.len(), 1);
+    /// assert!(folded.vector(0).iter().any(|&v| v != 0.0));
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if [`MatrixFactorizer::fit`] has not been called or the
+    /// ratings do not span the item catalog.
+    pub fn fold_in_users(&self, ratings: &Csr) -> FactorMatrix {
+        crate::foldin::fold_in_users(ratings, self.theta(), self.config.lambda)
+    }
+
     /// Top-`k` recommendations for `user`, excluding the items listed in
     /// `exclude` (typically the items the user has already rated).
     /// Returns `(item, predicted_rating)` pairs sorted by score.

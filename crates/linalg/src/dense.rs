@@ -248,6 +248,14 @@ impl FactorMatrix {
         self.data.copy_from_slice(&other.data);
     }
 
+    /// Appends the rows of `other` in place (ranks must match) — the
+    /// grow-the-matrix primitive of the incremental fold-in/delta paths.
+    pub fn append_rows(&mut self, other: &FactorMatrix) {
+        assert_eq!(self.f, other.f, "appended rows have the wrong rank");
+        self.data.extend_from_slice(&other.data);
+        self.n += other.n;
+    }
+
     /// Maximum absolute element-wise difference to another factor matrix.
     pub fn max_abs_diff(&self, other: &FactorMatrix) -> f32 {
         assert_eq!(self.n, other.n);
@@ -358,5 +366,25 @@ mod tests {
         let mut b = FactorMatrix::zeros(4, 3);
         b.copy_from(&a);
         assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn append_rows_grows_in_place() {
+        let mut a = FactorMatrix::random(4, 3, 1.0, 8);
+        let top = a.clone();
+        let b = FactorMatrix::random(2, 3, 1.0, 9);
+        a.append_rows(&b);
+        assert_eq!(a.len(), 6);
+        for v in 0..4 {
+            assert_eq!(a.vector(v), top.vector(v));
+        }
+        assert_eq!(a.vector(4), b.vector(0));
+        assert_eq!(a.vector(5), b.vector(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong rank")]
+    fn append_rows_rejects_rank_mismatch() {
+        FactorMatrix::zeros(2, 3).append_rows(&FactorMatrix::zeros(2, 4));
     }
 }

@@ -133,6 +133,44 @@ pub fn block_max_norms(item_norms: &[f32], item_block: usize) -> Vec<f32> {
         .collect()
 }
 
+/// L2 norms of every row of a row-major factor table (`‖θ_v‖` per item).
+pub fn item_norms(items: &[f32], f: usize) -> Vec<f32> {
+    assert!(f > 0, "latent dimension must be positive");
+    assert_eq!(items.len() % f, 0, "item buffer not a multiple of f");
+    items
+        .chunks_exact(f)
+        .map(|v| crate::blas::norm_sq(v).sqrt())
+        .collect()
+}
+
+/// Appends the norms of `appended` rows to an existing norm vector — the
+/// incremental half of [`item_norms`] for a delta publish that appends items
+/// to a catalog: only the new rows are touched.
+pub fn extend_item_norms(norms: &mut Vec<f32>, appended: &[f32], f: usize) {
+    norms.extend(item_norms(appended, f));
+}
+
+/// Extends [`block_max_norms`] after `norms` grew past `old_items` entries:
+/// only blocks overlapping the appended range are recomputed (the last old
+/// block may have been partial, so it is rebuilt too).  Equivalent to a full
+/// `block_max_norms(norms, item_block)` over the grown vector.
+pub fn extend_block_max(
+    block_max: &mut Vec<f32>,
+    norms: &[f32],
+    item_block: usize,
+    old_items: usize,
+) {
+    assert!(item_block > 0, "item block must be positive");
+    assert!(old_items <= norms.len(), "old item count exceeds norms");
+    let first_dirty = old_items / item_block;
+    block_max.truncate(first_dirty);
+    block_max.extend(
+        norms[first_dirty * item_block..]
+            .chunks(item_block)
+            .map(|block| block.iter().fold(0.0f32, |m, &n| m.max(n))),
+    );
+}
+
 /// Merges per-shard partial top-k lists into the final top-`k`.
 ///
 /// Exactness: the [`TopK`] tie-break is a total order (score descending,
@@ -334,6 +372,43 @@ mod tests {
         assert_eq!(block_max_norms(&norms, 3), vec![3.0, 7.0, 4.0]);
         assert_eq!(block_max_norms(&norms, 100), vec![7.0]);
         assert!(block_max_norms(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn item_norms_match_per_row_norms() {
+        let theta = FactorMatrix::random(37, 5, 1.0, 21);
+        let norms = item_norms(theta.data(), 5);
+        assert_eq!(norms.len(), 37);
+        for (v, &norm) in norms.iter().enumerate() {
+            let expect = crate::blas::norm_sq(theta.vector(v)).sqrt();
+            assert_eq!(norm, expect);
+        }
+        assert!(item_norms(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn extend_item_norms_appends_only_new_rows() {
+        let f = 4;
+        let base = FactorMatrix::random(20, f, 1.0, 5);
+        let appended = FactorMatrix::random(7, f, 1.0, 6);
+        let mut norms = item_norms(base.data(), f);
+        extend_item_norms(&mut norms, appended.data(), f);
+        let mut whole = base.data().to_vec();
+        whole.extend_from_slice(appended.data());
+        assert_eq!(norms, item_norms(&whole, f));
+    }
+
+    #[test]
+    fn extend_block_max_matches_full_recompute() {
+        // Grow past a partial last block, an exact block boundary, and from
+        // empty: the incremental extension must equal the full recompute.
+        for (old, new) in [(10usize, 17usize), (16, 32), (0, 5), (16, 16)] {
+            let norms: Vec<f32> = (0..new).map(|i| ((i * 7919) % 97) as f32).collect();
+            let item_block = 8;
+            let mut bm = block_max_norms(&norms[..old], item_block);
+            extend_block_max(&mut bm, &norms, item_block, old);
+            assert_eq!(bm, block_max_norms(&norms, item_block), "{old}->{new}");
+        }
     }
 
     #[test]

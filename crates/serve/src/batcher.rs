@@ -26,7 +26,7 @@
 
 use crate::cache::{CacheKey, ShardedResultCache};
 use crate::metrics::{MetricsReport, ServeMetrics};
-use crate::snapshot::{FactorSnapshot, SnapshotStore};
+use crate::snapshot::{DeltaError, DeltaStats, FactorSnapshot, SnapshotDelta, SnapshotStore};
 use crate::topk::{Query, ScoreKind, TopKIndex};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use cumf_linalg::topk::DEFAULT_ITEM_BLOCK;
@@ -194,6 +194,7 @@ pub struct TopKService {
     tx: Option<Sender<Msg>>,
     store: Arc<SnapshotStore>,
     metrics: Arc<ServeMetrics>,
+    cache: Arc<ShardedResultCache>,
     state: Arc<PoolState>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -237,6 +238,7 @@ impl TopKService {
             tx: Some(tx),
             store,
             metrics,
+            cache,
             state,
             workers,
         }
@@ -380,6 +382,33 @@ impl TopKService {
         let generation = self.store.publish(snapshot);
         self.metrics.record_swap();
         generation
+    }
+
+    /// Publishes an incremental [`SnapshotDelta`] under load: the next
+    /// snapshot shares every factor block the delta did not touch (a
+    /// `u`-user fold-in copies `O(u·f)` bytes, not `O(m·f)`), and the
+    /// result cache is invalidated **targetedly** — entries of changed or
+    /// appended users are dropped, everyone else's cached top-k is
+    /// re-stamped to the new generation and keeps serving.  A delta that
+    /// appends catalog items skips the retention fast path (a new item can
+    /// enter any user's top-k), falling back to lazy whole-cache
+    /// invalidation through the generation check.
+    pub fn publish_delta(&self, delta: &SnapshotDelta) -> Result<(u64, DeltaStats), DeltaError> {
+        let (generation, stats) = self.store.publish_delta(delta)?;
+        self.metrics.record_swap();
+        self.metrics.record_delta_publish();
+        if !delta.touches_items() {
+            let mut changed: std::collections::HashSet<u32> =
+                delta.changed_users().iter().copied().collect();
+            // Appended users were previously out of range; their (empty)
+            // results may be cached and are now wrong too.
+            for i in 0..stats.appended_users {
+                changed.insert((stats.user_base + i) as u32);
+            }
+            self.cache
+                .invalidate_users(&changed, delta.base_generation(), generation);
+        }
+        Ok((generation, stats))
     }
 
     /// The currently-published snapshot.

@@ -19,7 +19,7 @@
 //! key hash so a scorer worker pool shares one logical cache without
 //! serializing on a single mutex.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::Mutex;
 
@@ -144,11 +144,18 @@ impl ResultCache {
     }
 
     /// Looks up `key`, requiring the entry to come from `generation`.
-    /// A generation mismatch removes the stale entry and reports a miss.
+    /// An entry from an **older** generation is stale — it is removed and
+    /// the lookup misses.  An entry from a **newer** generation only misses:
+    /// the requester is an in-flight batch still scoring against a
+    /// pre-publish snapshot, and evicting the entry would undo the targeted
+    /// retention a delta publish just performed (see
+    /// [`ResultCache::invalidate_users`]).
     pub fn get(&mut self, key: &CacheKey, generation: u64) -> Option<&Vec<(u32, f32)>> {
         let &idx = self.map.get(key)?;
         if self.slab[idx].generation != generation {
-            self.remove_slot(idx);
+            if self.slab[idx].generation < generation {
+                self.remove_slot(idx);
+            }
             return None;
         }
         self.touch(idx);
@@ -164,6 +171,12 @@ impl ResultCache {
         }
         let cost = key.cost() + value_cost(&value);
         if let Some(&idx) = self.map.get(&key) {
+            if self.slab[idx].generation > generation {
+                // A worker finishing a batch against a pre-publish snapshot
+                // must not clobber an entry already valid for the current
+                // generation (e.g. one retained by a delta publish).
+                return;
+            }
             if cost > self.budget_bytes {
                 // The refreshed entry alone exceeds the budget; drop it
                 // rather than keep serving the outdated value.
@@ -210,6 +223,33 @@ impl ResultCache {
         };
         self.attach_front(idx);
         self.map.insert(key, idx);
+    }
+
+    /// Targeted invalidation for a **delta publish**: entries whose user is
+    /// in `changed` are dropped (their factors moved), while entries of
+    /// unchanged users computed at `from_generation` are re-stamped to
+    /// `to_generation` — their results are bit-identical under the new
+    /// snapshot (same user row, same catalog), so they keep serving instead
+    /// of being lazily evicted by the generation check.  Returns
+    /// `(removed, retained)`.
+    pub fn invalidate_users(
+        &mut self,
+        changed: &HashSet<u32>,
+        from_generation: u64,
+        to_generation: u64,
+    ) -> (usize, usize) {
+        let slots: Vec<usize> = self.map.values().copied().collect();
+        let (mut removed, mut retained) = (0, 0);
+        for idx in slots {
+            if changed.contains(&self.slab[idx].key.user) {
+                self.remove_slot(idx);
+                removed += 1;
+            } else if self.slab[idx].generation == from_generation {
+                self.slab[idx].generation = to_generation;
+                retained += 1;
+            }
+        }
+        (removed, retained)
     }
 
     /// Removes one entry; returns whether it existed.
@@ -332,6 +372,25 @@ impl ShardedResultCache {
     pub fn insert(&self, key: CacheKey, generation: u64, value: Vec<(u32, f32)>) {
         let shard = self.shard(&key);
         Self::lock(shard).insert(key, generation, value);
+    }
+
+    /// [`ResultCache::invalidate_users`] across every shard (each locked in
+    /// turn — a delta publish never stops the world).  Returns the summed
+    /// `(removed, retained)` counts.
+    pub fn invalidate_users(
+        &self,
+        changed: &HashSet<u32>,
+        from_generation: u64,
+        to_generation: u64,
+    ) -> (usize, usize) {
+        let (mut removed, mut retained) = (0, 0);
+        for shard in &self.shards {
+            let (r, k) =
+                Self::lock(shard).invalidate_users(changed, from_generation, to_generation);
+            removed += r;
+            retained += k;
+        }
+        (removed, retained)
     }
 
     /// Live entries across all shards.
@@ -525,6 +584,72 @@ mod tests {
         assert_eq!(c.get(&key(1), 1), Some(&fat), "hot entry survives");
         assert!(c.get(&key(2), 1).is_none(), "coldest entry evicted");
         assert!(c.get(&key(3), 1).is_some());
+    }
+
+    #[test]
+    fn invalidate_users_drops_changed_and_restamps_the_rest() {
+        let mut c = ResultCache::new(8);
+        for u in 0..4 {
+            c.insert(key(u), 1, val(u));
+        }
+        let changed: HashSet<u32> = [1, 3].into_iter().collect();
+        let (removed, retained) = c.invalidate_users(&changed, 1, 2);
+        assert_eq!((removed, retained), (2, 2));
+        // Changed users miss at the new generation; unchanged users hit.
+        assert!(c.get(&key(1), 2).is_none());
+        assert!(c.get(&key(3), 2).is_none());
+        assert_eq!(c.get(&key(0), 2), Some(&val(0)));
+        assert_eq!(c.get(&key(2), 2), Some(&val(2)));
+        // And the re-stamped entries no longer serve the old generation.
+        assert!(c.get(&key(0), 1).is_none());
+    }
+
+    #[test]
+    fn stragglers_from_older_generations_cannot_evict_or_clobber_newer_entries() {
+        // An in-flight batch that captured its snapshot before a delta
+        // publish races the publish's targeted retention: its lookups and
+        // inserts carry the old generation.  They must neither evict nor
+        // overwrite the retained (newer-generation) entry.
+        let mut c = ResultCache::new(4);
+        c.insert(key(1), 2, val(9)); // retained at the current generation
+        assert_eq!(c.get(&key(1), 1), None, "old-gen lookup misses");
+        assert_eq!(c.len(), 1, "newer entry survives the old-gen lookup");
+        c.insert(key(1), 1, val(3)); // straggler insert with the old result
+        assert_eq!(
+            c.get(&key(1), 2),
+            Some(&val(9)),
+            "newer entry not clobbered"
+        );
+    }
+
+    #[test]
+    fn invalidate_users_leaves_other_generations_alone() {
+        // An entry from an older generation is not upgraded — it was
+        // computed against factors two publishes back.
+        let mut c = ResultCache::new(8);
+        c.insert(key(0), 1, val(0));
+        c.insert(key(1), 2, val(1));
+        let (removed, retained) = c.invalidate_users(&HashSet::new(), 2, 3);
+        assert_eq!((removed, retained), (0, 1));
+        assert_eq!(c.get(&key(1), 3), Some(&val(1)));
+        assert!(c.get(&key(0), 3).is_none(), "gen-1 entry stays stale");
+    }
+
+    #[test]
+    fn sharded_invalidate_users_spans_all_shards() {
+        let c = ShardedResultCache::new(4, 64, usize::MAX);
+        for u in 0..32 {
+            c.insert(key(u), 1, val(u));
+        }
+        let changed: HashSet<u32> = (0..8).collect();
+        let (removed, retained) = c.invalidate_users(&changed, 1, 2);
+        assert_eq!((removed, retained), (8, 24));
+        for u in 0..8 {
+            assert_eq!(c.get(&key(u), 2), None, "changed user {u}");
+        }
+        for u in 8..32 {
+            assert_eq!(c.get(&key(u), 2), Some(val(u)), "retained user {u}");
+        }
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //! independent problems into one regular blocked kernel — at serving time:
 //!
 //! * [`snapshot::FactorSnapshot`] — an immutable, generation-stamped view of
-//!   the factors with precomputed item norms; [`snapshot::SnapshotStore`]
-//!   hot-swaps snapshots (`Arc` pointer swap) so a retrain publishes under
-//!   load without stalling in-flight batches.
+//!   the factors with precomputed item norms, stored as `Arc`-shared
+//!   copy-on-write user blocks; [`snapshot::SnapshotStore`] hot-swaps
+//!   snapshots (`Arc` pointer swap) so a retrain publishes under load
+//!   without stalling in-flight batches, and
+//!   [`snapshot::SnapshotStore::publish_delta`] publishes an incremental
+//!   [`snapshot::SnapshotDelta`] (folded-in users, appended items) copying
+//!   only `O(u·f)` bytes for `u` changed users.
 //! * [`topk::TopKIndex`] — scores micro-batches of requests as blocked
 //!   matrix-vector products ([`cumf_linalg::batch_score_block`]) with a
 //!   bounded heap per user and seen-item exclusion; the catalog can be
@@ -59,5 +63,7 @@ pub mod topk;
 pub use batcher::{ServeClient, ServeConfig, ServeError, TopKService};
 pub use cache::{CacheKey, ResultCache, ShardedResultCache};
 pub use metrics::{MetricsReport, ServeMetrics};
-pub use snapshot::{FactorSnapshot, SnapshotStore};
+pub use snapshot::{
+    DeltaError, DeltaStats, FactorSnapshot, SnapshotDelta, SnapshotStore, USER_COW_ROWS,
+};
 pub use topk::{Query, ScoreKind, TopKIndex};

@@ -26,6 +26,7 @@ pub struct ServeMetrics {
     batch_latency_ns_total: AtomicU64,
     batch_latency_ns_max: AtomicU64,
     snapshot_swaps: AtomicU64,
+    delta_publishes: AtomicU64,
     worker_panics: AtomicU64,
 }
 
@@ -74,6 +75,12 @@ impl ServeMetrics {
         self.snapshot_swaps.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a swap that went through the incremental delta path (also
+    /// counted in `snapshot_swaps`).
+    pub fn record_delta_publish(&self) {
+        self.delta_publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a scorer worker dying to a panic — any non-zero value in a
     /// report means the service lost capacity and requests were dropped.
     pub fn record_worker_panic(&self) {
@@ -112,6 +119,7 @@ impl ServeMetrics {
                 self.batch_latency_ns_max.load(Ordering::Relaxed),
             ),
             snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed),
+            delta_publishes: self.delta_publishes.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
         }
     }
@@ -142,6 +150,9 @@ pub struct MetricsReport {
     pub max_batch_latency: Duration,
     /// Snapshot generations published.
     pub snapshot_swaps: u64,
+    /// Publications that went through the incremental delta path (a subset
+    /// of `snapshot_swaps`).
+    pub delta_publishes: u64,
     /// Scorer workers lost to panics (0 in a healthy service).
     pub worker_panics: u64,
 }
@@ -155,11 +166,12 @@ impl std::fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
-            "cache: {:.1}% hit ({} hit / {} miss)  swaps: {}  worker panics: {}",
+            "cache: {:.1}% hit ({} hit / {} miss)  swaps: {} ({} delta)  worker panics: {}",
             100.0 * self.cache_hit_rate,
             self.cache_hits,
             self.cache_misses,
             self.snapshot_swaps,
+            self.delta_publishes,
             self.worker_panics
         )?;
         writeln!(

@@ -1,4 +1,5 @@
-//! Immutable factor snapshots and the atomically hot-swappable store.
+//! Immutable factor snapshots, the atomically hot-swappable store, and the
+//! incremental delta-publication path.
 //!
 //! A [`FactorSnapshot`] freezes the trained factors at one point in time:
 //! user factors `X`, item factors `Θ` (row-major, so every `θ_v` is
@@ -7,32 +8,354 @@
 //! serving path never mutates one, so any number of in-flight batches can
 //! share it behind an [`Arc`].
 //!
+//! Internally the user factors are stored as fixed-size **copy-on-write
+//! blocks** ([`USER_COW_ROWS`] rows each, `Arc`-shared between snapshots).
+//! A full snapshot owns all of its blocks; a snapshot built by
+//! [`FactorSnapshot::apply_delta`] shares every block the delta did not
+//! touch with its base, so folding in `u` users copies `O(u·f)` factor
+//! bytes instead of the `O(m·f)` a full republication moves.  The item side
+//! (`Θ`, norms, block maxima) is shared whole via `Arc` when a delta leaves
+//! the catalog untouched; appending items copies the catalog once but
+//! recomputes norms only for the appended rows
+//! ([`cumf_linalg::extend_item_norms`]).
+//!
 //! [`SnapshotStore`] is the publication point: a retrain (or a checkpoint
-//! restore) builds a fresh snapshot and [`SnapshotStore::publish`]es it.
-//! The swap is an `Arc` pointer replacement under a briefly-held lock —
-//! readers clone the `Arc` and then score against an immutable object, so a
-//! publish never stalls in-flight batches and a batch can never observe two
-//! generations.
+//! restore) builds a fresh snapshot and [`SnapshotStore::publish`]es it,
+//! while an incremental fold-in goes through
+//! [`SnapshotStore::publish_delta`].  Either way the swap is an `Arc`
+//! pointer replacement under a briefly-held lock — readers clone the `Arc`
+//! and then score against an immutable object, so a publish never stalls
+//! in-flight batches and a batch can never observe two generations.
 
 use cumf_core::checkpoint::Checkpoint;
 use cumf_core::trainer::MatrixFactorizer;
-use cumf_linalg::{block_max_norms, retrieve_top_k_pruned, topk::DEFAULT_ITEM_BLOCK, FactorMatrix};
-use std::collections::HashSet;
+use cumf_linalg::{
+    block_max_norms, extend_block_max, extend_item_norms, item_norms, retrieve_top_k_pruned,
+    topk::DEFAULT_ITEM_BLOCK, FactorMatrix,
+};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// Rows per copy-on-write user-factor block.  Small enough that updating one
+/// user copies at most `USER_COW_ROWS · f` floats (the `O(u·f)` bound of a
+/// delta publish), large enough that a million-user snapshot is ~16k `Arc`s,
+/// not a pointer per row.
+pub const USER_COW_ROWS: usize = 64;
+
+/// User factors as `Arc`-shared fixed-size row blocks: the structural-
+/// sharing half of delta publication.  Logically identical to a row-major
+/// `FactorMatrix`; physically, consecutive snapshots share every block that
+/// no delta between them touched.
+#[derive(Debug, Clone, PartialEq)]
+struct UserFactors {
+    n: usize,
+    f: usize,
+    /// `ceil(n / USER_COW_ROWS)` blocks of `USER_COW_ROWS · f` floats (the
+    /// last one possibly partial).
+    blocks: Vec<Arc<Vec<f32>>>,
+}
+
+impl UserFactors {
+    fn from_matrix(m: &FactorMatrix) -> Self {
+        let f = m.rank();
+        let blocks = m
+            .data()
+            .chunks(USER_COW_ROWS * f.max(1))
+            .map(|b| Arc::new(b.to_vec()))
+            .collect();
+        Self {
+            n: m.len(),
+            f,
+            blocks,
+        }
+    }
+
+    #[inline]
+    fn vector(&self, u: usize) -> &[f32] {
+        let block = &self.blocks[u / USER_COW_ROWS];
+        let r = u % USER_COW_ROWS;
+        &block[r * self.f..(r + 1) * self.f]
+    }
+
+    /// Copy-on-write update: returns a new `UserFactors` where blocks
+    /// containing a changed user are copied (and overwritten) and every
+    /// other block is `Arc`-shared with `self`; `appended` rows extend the
+    /// matrix (copying the partial last block once, if any).  Also returns
+    /// the factor bytes that were physically copied.
+    fn apply(
+        &self,
+        changed: &[(u32, &[f32])],
+        appended: Option<&FactorMatrix>,
+    ) -> (UserFactors, usize) {
+        let f = self.f;
+        let mut blocks = self.blocks.clone();
+        let mut copied: HashMap<usize, Vec<f32>> = HashMap::new();
+        for &(user, row) in changed {
+            let b = user as usize / USER_COW_ROWS;
+            let staged = copied
+                .entry(b)
+                .or_insert_with(|| blocks[b].as_ref().clone());
+            let r = user as usize % USER_COW_ROWS;
+            staged[r * f..(r + 1) * f].copy_from_slice(row);
+        }
+        let mut bytes = copied.len() * USER_COW_ROWS * f * 4;
+        // The partial tail block (if the user count is not block-aligned)
+        // is smaller; correct the accounting for it.
+        if let Some(staged) = copied.get(&(self.blocks.len().saturating_sub(1))) {
+            if !self.blocks.is_empty() {
+                bytes -= (USER_COW_ROWS * f - staged.len().min(USER_COW_ROWS * f)) * 4;
+            }
+        }
+        let mut n = self.n;
+        if let Some(app) = appended {
+            bytes += app.data().len() * 4;
+            let mut tail: Vec<f32> = if !n.is_multiple_of(USER_COW_ROWS) {
+                // Copy the partial last block once to extend it in place.
+                let last = blocks.pop().expect("partial tail implies a block");
+                let staged = copied.remove(&blocks.len());
+                let tail = staged.unwrap_or_else(|| {
+                    bytes += last.len() * 4;
+                    last.as_ref().clone()
+                });
+                tail
+            } else {
+                Vec::new()
+            };
+            for row in app.data().chunks(f.max(1)) {
+                tail.extend_from_slice(row);
+                if tail.len() == USER_COW_ROWS * f {
+                    blocks.push(Arc::new(std::mem::take(&mut tail)));
+                }
+            }
+            if !tail.is_empty() {
+                blocks.push(Arc::new(tail));
+            }
+            n += app.len();
+        }
+        for (b, staged) in copied {
+            blocks[b] = Arc::new(staged);
+        }
+        (UserFactors { n, f, blocks }, bytes)
+    }
+
+    /// True when row block `b` is physically the same allocation in both —
+    /// the structural-sharing invariant the tests pin.
+    #[cfg(test)]
+    fn shares_block_with(&self, other: &UserFactors, b: usize) -> bool {
+        Arc::ptr_eq(&self.blocks[b], &other.blocks[b])
+    }
+}
+
+/// A generation-chained incremental update: changed user rows, optional
+/// appended user rows (fold-in of brand-new users) and optional appended
+/// item rows.  Built against the generation it is based on
+/// ([`SnapshotDelta::base_generation`]); applying it to any other
+/// generation fails with [`DeltaError::StaleBase`], so a delta can never
+/// silently clobber a concurrent publish.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotDelta {
+    base_generation: u64,
+    f: usize,
+    changed_ids: Vec<u32>,
+    changed_rows: Vec<f32>,
+    index: HashMap<u32, usize>,
+    appended_users: Option<FactorMatrix>,
+    appended_items: Option<FactorMatrix>,
+}
+
+impl SnapshotDelta {
+    /// An empty delta chained onto `base_generation`, carrying rank-`f`
+    /// factor rows.
+    pub fn new(base_generation: u64, f: usize) -> Self {
+        assert!(f > 0, "latent rank must be positive");
+        Self {
+            base_generation,
+            f,
+            changed_ids: Vec::new(),
+            changed_rows: Vec::new(),
+            index: HashMap::new(),
+            appended_users: None,
+            appended_items: None,
+        }
+    }
+
+    /// The generation this delta chains from.
+    pub fn base_generation(&self) -> u64 {
+        self.base_generation
+    }
+
+    /// Latent rank of the carried rows.
+    pub fn rank(&self) -> usize {
+        self.f
+    }
+
+    /// Replaces user `user`'s factor vector (last update per user wins).
+    ///
+    /// # Panics
+    /// Panics if `row.len() != rank()`.
+    pub fn update_user(&mut self, user: u32, row: &[f32]) -> &mut Self {
+        assert_eq!(row.len(), self.f, "user row has the wrong rank");
+        match self.index.get(&user) {
+            Some(&i) => self.changed_rows[i * self.f..(i + 1) * self.f].copy_from_slice(row),
+            None => {
+                self.index.insert(user, self.changed_ids.len());
+                self.changed_ids.push(user);
+                self.changed_rows.extend_from_slice(row);
+            }
+        }
+        self
+    }
+
+    /// Appends brand-new users (they get the next ids after the base
+    /// snapshot's user count, in row order).
+    ///
+    /// # Panics
+    /// Panics if `rows.rank() != rank()`.
+    pub fn append_users(&mut self, rows: &FactorMatrix) -> &mut Self {
+        assert_eq!(rows.rank(), self.f, "appended users have the wrong rank");
+        match &mut self.appended_users {
+            Some(existing) => existing.append_rows(rows),
+            None => self.appended_users = Some(rows.clone()),
+        }
+        self
+    }
+
+    /// Appends new catalog items (they get the next ids after the base
+    /// snapshot's item count, in row order).  Note that appending items
+    /// invalidates every cached ranking — a new item may enter anyone's
+    /// top-k — so the targeted cache-retention fast path does not apply.
+    ///
+    /// # Panics
+    /// Panics if `rows.rank() != rank()`.
+    pub fn append_items(&mut self, rows: &FactorMatrix) -> &mut Self {
+        assert_eq!(rows.rank(), self.f, "appended items have the wrong rank");
+        match &mut self.appended_items {
+            Some(existing) => existing.append_rows(rows),
+            None => self.appended_items = Some(rows.clone()),
+        }
+        self
+    }
+
+    /// Ids of the users whose rows this delta replaces.
+    pub fn changed_users(&self) -> &[u32] {
+        &self.changed_ids
+    }
+
+    /// Number of appended (brand-new) users.
+    pub fn appended_user_count(&self) -> usize {
+        self.appended_users.as_ref().map_or(0, FactorMatrix::len)
+    }
+
+    /// Number of appended catalog items.
+    pub fn appended_item_count(&self) -> usize {
+        self.appended_items.as_ref().map_or(0, FactorMatrix::len)
+    }
+
+    /// True when the delta touches the item catalog (cached rankings of
+    /// *all* users become stale).
+    pub fn touches_items(&self) -> bool {
+        self.appended_items.is_some()
+    }
+
+    /// True when the delta carries no changes at all.
+    pub fn is_empty(&self) -> bool {
+        self.changed_ids.is_empty()
+            && self.appended_users.is_none()
+            && self.appended_items.is_none()
+    }
+}
+
+/// Byte accounting of one [`FactorSnapshot::apply_delta`]: what was
+/// physically copied versus structurally shared.  The acceptance invariant
+/// of the delta path is `user_factor_bytes_copied = O(u·f)` for `u` changed
+/// users — asserted by tests, reported by the benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaStats {
+    /// Users whose rows were replaced.
+    pub changed_users: usize,
+    /// Brand-new users appended.
+    pub appended_users: usize,
+    /// Catalog items appended.
+    pub appended_items: usize,
+    /// User count of the base snapshot (appended users got ids starting
+    /// here).
+    pub user_base: usize,
+    /// User-factor bytes physically copied (touched COW blocks + appended
+    /// rows); every other user block is shared with the base snapshot.
+    pub user_factor_bytes_copied: usize,
+    /// User COW blocks shared untouched with the base snapshot.
+    pub user_blocks_shared: usize,
+    /// Item-factor bytes physically copied (0 unless the delta appends
+    /// items, which copies the catalog once).
+    pub item_factor_bytes_copied: usize,
+    /// Item norms recomputed (appended items only; existing norms are
+    /// reused).
+    pub norms_recomputed: usize,
+}
+
+/// Why a delta could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The delta chains from a generation that is no longer current — a
+    /// full or delta publish intervened.  Rebuild the delta against the
+    /// current snapshot and retry.
+    StaleBase {
+        /// Generation the delta was built against.
+        delta: u64,
+        /// Generation actually published.
+        current: u64,
+    },
+    /// The delta's rows have a different latent rank than the snapshot.
+    RankMismatch {
+        /// The snapshot's rank.
+        snapshot: usize,
+        /// The delta's rank.
+        delta: usize,
+    },
+    /// A changed-user id is outside the base snapshot (use
+    /// [`SnapshotDelta::append_users`] for new users).
+    UserOutOfRange {
+        /// The offending user id.
+        user: u32,
+        /// User count of the base snapshot.
+        n_users: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::StaleBase { delta, current } => write!(
+                f,
+                "delta chains from generation {delta} but generation {current} is published"
+            ),
+            DeltaError::RankMismatch { snapshot, delta } => {
+                write!(f, "delta rank {delta} != snapshot rank {snapshot}")
+            }
+            DeltaError::UserOutOfRange { user, n_users } => write!(
+                f,
+                "changed user {user} outside the base snapshot ({n_users} users); \
+                 append new users instead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
 
 /// An immutable, generation-stamped view of trained factors.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FactorSnapshot {
     generation: u64,
-    x: FactorMatrix,
-    theta: FactorMatrix,
-    item_norms: Vec<f32>,
+    x: UserFactors,
+    theta: Arc<FactorMatrix>,
+    item_norms: Arc<Vec<f32>>,
     /// Per-block maxima of `item_norms` at [`DEFAULT_ITEM_BLOCK`]
     /// granularity (clamped to the catalog size), precomputed once so the
     /// threshold-pruned retrieval paths never rescan the norms per request
     /// or per micro-batch.
-    block_max: Vec<f32>,
+    block_max: Arc<Vec<f32>>,
 }
 
 impl FactorSnapshot {
@@ -44,18 +367,14 @@ impl FactorSnapshot {
     pub fn from_factors(x: FactorMatrix, theta: FactorMatrix) -> Self {
         assert_eq!(x.rank(), theta.rank(), "factor rank mismatch");
         let f = theta.rank();
-        let item_norms: Vec<f32> = theta
-            .data()
-            .chunks_exact(f.max(1))
-            .map(|v| cumf_linalg::blas::norm_sq(v).sqrt())
-            .collect();
-        let block_max = block_max_norms(&item_norms, DEFAULT_ITEM_BLOCK.min(theta.len().max(1)));
+        let norms = item_norms(theta.data(), f.max(1));
+        let block_max = block_max_norms(&norms, DEFAULT_ITEM_BLOCK.min(theta.len().max(1)));
         Self {
             generation: 0,
-            x,
-            theta,
-            item_norms,
-            block_max,
+            x: UserFactors::from_matrix(&x),
+            theta: Arc::new(theta),
+            item_norms: Arc::new(norms),
+            block_max: Arc::new(block_max),
         }
     }
 
@@ -81,7 +400,7 @@ impl FactorSnapshot {
 
     /// Number of users.
     pub fn n_users(&self) -> usize {
-        self.x.len()
+        self.x.n
     }
 
     /// Number of items in the catalog.
@@ -96,7 +415,7 @@ impl FactorSnapshot {
 
     /// User factor vector `x_u`, or `None` for out-of-range users.
     pub fn user_vector(&self, user: u32) -> Option<&[f32]> {
-        ((user as usize) < self.x.len()).then(|| self.x.vector(user as usize))
+        ((user as usize) < self.x.n).then(|| self.x.vector(user as usize))
     }
 
     /// The row-major item factor table.
@@ -121,6 +440,116 @@ impl FactorSnapshot {
     /// threshold-pruned retrieval.
     pub fn default_block_max(&self) -> &[f32] {
         &self.block_max
+    }
+
+    /// An empty [`SnapshotDelta`] chained onto this snapshot's generation
+    /// and rank.
+    pub fn delta(&self) -> SnapshotDelta {
+        SnapshotDelta::new(self.generation, self.rank())
+    }
+
+    /// Builds the next snapshot from this one plus a delta, sharing every
+    /// untouched user block and (when no items are appended) the whole item
+    /// side.  The result carries this snapshot's generation until a store
+    /// publishes it; byte accounting comes back in [`DeltaStats`].
+    ///
+    /// Retrieval against the result is bit-identical to a full rebuild
+    /// ([`FactorSnapshot::from_factors`]) with the same post-delta factors —
+    /// pinned by the delta proptests.
+    pub fn apply_delta(
+        &self,
+        delta: &SnapshotDelta,
+    ) -> Result<(FactorSnapshot, DeltaStats), DeltaError> {
+        if delta.base_generation != self.generation {
+            return Err(DeltaError::StaleBase {
+                delta: delta.base_generation,
+                current: self.generation,
+            });
+        }
+        if delta.f != self.rank() {
+            return Err(DeltaError::RankMismatch {
+                snapshot: self.rank(),
+                delta: delta.f,
+            });
+        }
+        if let Some(&user) = delta
+            .changed_ids
+            .iter()
+            .find(|&&u| (u as usize) >= self.x.n)
+        {
+            return Err(DeltaError::UserOutOfRange {
+                user,
+                n_users: self.x.n,
+            });
+        }
+
+        let f = delta.f;
+        let changed: Vec<(u32, &[f32])> = delta
+            .changed_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u, &delta.changed_rows[i * f..(i + 1) * f]))
+            .collect();
+        let (x, user_bytes) = self.x.apply(&changed, delta.appended_users.as_ref());
+
+        let mut stats = DeltaStats {
+            changed_users: delta.changed_ids.len(),
+            appended_users: delta.appended_user_count(),
+            appended_items: delta.appended_item_count(),
+            user_base: self.x.n,
+            user_factor_bytes_copied: user_bytes,
+            user_blocks_shared: 0,
+            item_factor_bytes_copied: 0,
+            norms_recomputed: 0,
+        };
+        stats.user_blocks_shared = self
+            .x
+            .blocks
+            .iter()
+            .zip(x.blocks.iter())
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count();
+
+        let (theta, item_norms, block_max) = match &delta.appended_items {
+            None => (
+                Arc::clone(&self.theta),
+                Arc::clone(&self.item_norms),
+                Arc::clone(&self.block_max),
+            ),
+            Some(app) => {
+                let old_items = self.theta.len();
+                let mut theta = self.theta.as_ref().clone();
+                theta.append_rows(app);
+                stats.item_factor_bytes_copied = theta.data().len() * 4;
+                let mut norms = self.item_norms.as_ref().clone();
+                extend_item_norms(&mut norms, app.data(), f);
+                stats.norms_recomputed = app.len();
+                // The default blocking is clamped to the catalog size, so a
+                // small catalog that grows changes its block size — rebuild
+                // the (tiny) maxima outright in that case.
+                let old_block = DEFAULT_ITEM_BLOCK.min(old_items.max(1));
+                let new_block = DEFAULT_ITEM_BLOCK.min(theta.len().max(1));
+                let block_max = if old_block == new_block {
+                    let mut bm = self.block_max.as_ref().clone();
+                    extend_block_max(&mut bm, &norms, new_block, old_items);
+                    bm
+                } else {
+                    block_max_norms(&norms, new_block)
+                };
+                (Arc::new(theta), Arc::new(norms), Arc::new(block_max))
+            }
+        };
+
+        Ok((
+            FactorSnapshot {
+                generation: self.generation,
+                x,
+                theta,
+                item_norms,
+                block_max,
+            },
+            stats,
+        ))
     }
 
     /// Predicted rating `x_u · θ_v`; `None` for out-of-range ids.
@@ -157,7 +586,9 @@ impl FactorSnapshot {
 /// `load()` is a read-lock `Arc` clone; `publish()` stamps the next
 /// generation and swaps the pointer under a write lock held for the
 /// duration of one pointer assignment.  In-flight batches keep serving from
-/// the `Arc` they already cloned.
+/// the `Arc` they already cloned.  [`SnapshotStore::publish_delta`] applies
+/// a [`SnapshotDelta`] *outside* the lock (the copy is `O(u·f)` but still
+/// work) and swaps only if the base generation is still current.
 #[derive(Debug)]
 pub struct SnapshotStore {
     current: RwLock<Arc<FactorSnapshot>>,
@@ -196,6 +627,28 @@ impl SnapshotStore {
         *current = Arc::new(snapshot);
         generation
     }
+
+    /// Applies `delta` to the currently-published snapshot and publishes the
+    /// result, returning the new generation and the copy accounting.  The
+    /// `O(u·f)` copy-on-write happens outside the lock; the swap then only
+    /// goes through if the published generation is still the delta's base —
+    /// a concurrent publish in the window makes the delta
+    /// [`DeltaError::StaleBase`] instead of silently overwriting it.
+    pub fn publish_delta(&self, delta: &SnapshotDelta) -> Result<(u64, DeltaStats), DeltaError> {
+        let base = self.load();
+        let (mut next, stats) = base.apply_delta(delta)?;
+        let mut current = self.current.write().expect("snapshot lock poisoned");
+        if current.generation != base.generation {
+            return Err(DeltaError::StaleBase {
+                delta: delta.base_generation,
+                current: current.generation,
+            });
+        }
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        next.generation = generation;
+        *current = Arc::new(next);
+        Ok((generation, stats))
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +660,14 @@ mod tests {
         FactorSnapshot::from_factors(
             FactorMatrix::random(20, 6, 1.0, seed),
             FactorMatrix::random(50, 6, 1.0, seed + 1),
+        )
+    }
+
+    /// A snapshot big enough to span several COW blocks.
+    fn blocky_snapshot(seed: u64) -> FactorSnapshot {
+        FactorSnapshot::from_factors(
+            FactorMatrix::random(USER_COW_ROWS * 5 + 13, 8, 1.0, seed),
+            FactorMatrix::random(700, 8, 1.0, seed + 1),
         )
     }
 
@@ -257,5 +718,199 @@ mod tests {
     #[should_panic(expected = "factor rank mismatch")]
     fn mismatched_ranks_panic() {
         FactorSnapshot::from_factors(FactorMatrix::zeros(2, 3), FactorMatrix::zeros(2, 4));
+    }
+
+    #[test]
+    fn cow_user_vectors_round_trip() {
+        let m = FactorMatrix::random(USER_COW_ROWS * 3 + 7, 5, 1.0, 9);
+        let s = FactorSnapshot::from_factors(m.clone(), FactorMatrix::random(10, 5, 1.0, 10));
+        for u in 0..m.len() {
+            assert_eq!(s.user_vector(u as u32).unwrap(), m.vector(u), "user {u}");
+        }
+        assert_eq!(s.user_vector(m.len() as u32), None);
+    }
+
+    #[test]
+    fn delta_updates_users_and_shares_untouched_blocks() {
+        let base = blocky_snapshot(11);
+        let f = base.rank();
+        let row = vec![9.0f32; f];
+        let mut delta = base.delta();
+        // Two users in block 0, one in block 2.
+        delta
+            .update_user(1, &row)
+            .update_user(3, &row)
+            .update_user((2 * USER_COW_ROWS + 5) as u32, &row);
+        let (next, stats) = base.apply_delta(&delta).unwrap();
+
+        assert_eq!(next.user_vector(1).unwrap(), &row[..]);
+        assert_eq!(next.user_vector(3).unwrap(), &row[..]);
+        assert_eq!(
+            next.user_vector((2 * USER_COW_ROWS + 5) as u32).unwrap(),
+            &row[..]
+        );
+        // Untouched users keep their rows...
+        assert_eq!(next.user_vector(0), base.user_vector(0));
+        // ...and untouched blocks are the same allocation, not a copy.
+        assert!(next.x.shares_block_with(&base.x, 1));
+        assert!(next.x.shares_block_with(&base.x, 3));
+        assert!(!next.x.shares_block_with(&base.x, 0));
+        assert!(!next.x.shares_block_with(&base.x, 2));
+        assert_eq!(stats.changed_users, 3);
+        assert_eq!(stats.user_blocks_shared, 4);
+        // 2 blocks copied: exactly 2 · USER_COW_ROWS · f · 4 bytes.
+        assert_eq!(stats.user_factor_bytes_copied, 2 * USER_COW_ROWS * f * 4);
+        // The item side is shared whole.
+        assert_eq!(stats.item_factor_bytes_copied, 0);
+        assert!(Arc::ptr_eq(&next.theta, &base.theta));
+        assert!(Arc::ptr_eq(&next.item_norms, &base.item_norms));
+    }
+
+    #[test]
+    fn delta_appends_users_and_items() {
+        let base = blocky_snapshot(13);
+        let f = base.rank();
+        let new_users = FactorMatrix::random(10, f, 1.0, 77);
+        let new_items = FactorMatrix::random(9, f, 1.0, 78);
+        let mut delta = base.delta();
+        delta.append_users(&new_users).append_items(&new_items);
+        let (next, stats) = base.apply_delta(&delta).unwrap();
+
+        assert_eq!(next.n_users(), base.n_users() + 10);
+        assert_eq!(next.n_items(), base.n_items() + 9);
+        for i in 0..10 {
+            assert_eq!(
+                next.user_vector((base.n_users() + i) as u32).unwrap(),
+                new_users.vector(i)
+            );
+        }
+        for i in 0..9 {
+            assert_eq!(
+                next.item_factors().vector(base.n_items() + i),
+                new_items.vector(i)
+            );
+        }
+        // Norms cover the appended items and match a full recompute.
+        let full = FactorSnapshot::from_factors(
+            FactorMatrix::from_vec(next.n_users(), f, {
+                let mut d = Vec::new();
+                for u in 0..next.n_users() {
+                    d.extend_from_slice(next.user_vector(u as u32).unwrap());
+                }
+                d
+            }),
+            next.item_factors().clone(),
+        );
+        assert_eq!(next.item_norms(), full.item_norms());
+        assert_eq!(next.default_block_max(), full.default_block_max());
+        assert_eq!(stats.appended_users, 10);
+        assert_eq!(stats.appended_items, 9);
+        assert_eq!(stats.norms_recomputed, 9, "only appended norms computed");
+        assert!(stats.item_factor_bytes_copied > 0);
+    }
+
+    #[test]
+    fn delta_update_user_last_write_wins() {
+        let base = snapshot(21);
+        let f = base.rank();
+        let mut delta = base.delta();
+        delta
+            .update_user(2, &vec![1.0; f])
+            .update_user(2, &vec![5.0; f]);
+        assert_eq!(delta.changed_users(), &[2]);
+        let (next, stats) = base.apply_delta(&delta).unwrap();
+        assert_eq!(next.user_vector(2).unwrap(), &vec![5.0f32; f][..]);
+        assert_eq!(stats.changed_users, 1);
+    }
+
+    #[test]
+    fn delta_rejects_stale_base_rank_mismatch_and_bad_users() {
+        let base = snapshot(22);
+        let stale = SnapshotDelta::new(base.generation() + 7, base.rank());
+        assert_eq!(
+            base.apply_delta(&stale),
+            Err(DeltaError::StaleBase {
+                delta: base.generation() + 7,
+                current: base.generation()
+            })
+        );
+        let wrong_rank = SnapshotDelta::new(base.generation(), base.rank() + 1);
+        assert!(matches!(
+            base.apply_delta(&wrong_rank),
+            Err(DeltaError::RankMismatch { .. })
+        ));
+        let mut bad_user = base.delta();
+        bad_user.update_user(10_000, &vec![0.0; base.rank()]);
+        assert_eq!(
+            base.apply_delta(&bad_user),
+            Err(DeltaError::UserOutOfRange {
+                user: 10_000,
+                n_users: base.n_users()
+            })
+        );
+    }
+
+    #[test]
+    fn store_publish_delta_chains_generations() {
+        let store = SnapshotStore::new(blocky_snapshot(31));
+        let base = store.load();
+        let f = base.rank();
+        let mut delta = base.delta();
+        delta.update_user(5, &vec![2.5; f]);
+        let (generation, stats) = store.publish_delta(&delta).unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(stats.changed_users, 1);
+        let next = store.load();
+        assert_eq!(next.generation(), 2);
+        assert_eq!(next.user_vector(5).unwrap(), &vec![2.5f32; f][..]);
+        // The base snapshot is untouched for in-flight readers.
+        assert_ne!(base.user_vector(5).unwrap(), &vec![2.5f32; f][..]);
+
+        // A delta rebuilt on the old generation is now stale.
+        let mut stale = base.delta();
+        stale.update_user(6, &vec![1.0; f]);
+        assert_eq!(
+            store.publish_delta(&stale),
+            Err(DeltaError::StaleBase {
+                delta: 1,
+                current: 2
+            })
+        );
+    }
+
+    #[test]
+    fn delta_on_partial_tail_block_appends_correctly() {
+        // 13 users with USER_COW_ROWS = 64: one partial block.  Updating a
+        // user and appending users must extend the tail without losing rows.
+        let f = 4;
+        let base = FactorSnapshot::from_factors(
+            FactorMatrix::random(13, f, 1.0, 41),
+            FactorMatrix::random(30, f, 1.0, 42),
+        );
+        let mut delta = base.delta();
+        delta.update_user(12, &vec![7.0; f]);
+        delta.append_users(&FactorMatrix::random(3, f, 1.0, 43));
+        let (next, stats) = base.apply_delta(&delta).unwrap();
+        assert_eq!(next.n_users(), 16);
+        assert_eq!(next.user_vector(12).unwrap(), &vec![7.0f32; f][..]);
+        for u in 0..12u32 {
+            assert_eq!(next.user_vector(u), base.user_vector(u));
+        }
+        // Partial tail (13 rows) copied once + 3 appended rows.
+        assert_eq!(stats.user_factor_bytes_copied, (13 + 3) * f * 4);
+    }
+
+    #[test]
+    fn empty_delta_is_a_cheap_generation_bump() {
+        let store = SnapshotStore::new(blocky_snapshot(51));
+        let base = store.load();
+        let delta = base.delta();
+        assert!(delta.is_empty());
+        let (generation, stats) = store.publish_delta(&delta).unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(stats.user_factor_bytes_copied, 0);
+        assert_eq!(stats.item_factor_bytes_copied, 0);
+        let next = store.load();
+        assert_eq!(next.recommend_one(0, 5, &[]), base.recommend_one(0, 5, &[]));
     }
 }

@@ -10,7 +10,7 @@
 //!
 //! Two levers scale the scorer past one core per batch:
 //!
-//! * **User tiles** — queries are split into [`USER_TILE`]-sized tiles that
+//! * **User tiles** — queries are split into `USER_TILE`-sized tiles that
 //!   score independently.
 //! * **Item shards** — the catalog Θ is partitioned into `shards` contiguous
 //!   runs of blocks; each `(tile, shard)` pair scores independently into a

@@ -160,7 +160,7 @@ pub mod collection {
     use rand::prelude::*;
     use std::ops::{Range, RangeInclusive};
 
-    /// Lengths accepted by [`vec`]: an exact `usize`, `lo..hi`, or
+    /// Lengths accepted by [`vec()`]: an exact `usize`, `lo..hi`, or
     /// `lo..=hi`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
