@@ -146,10 +146,11 @@ fn main() {
     let naive_sample = args.naive_sample.min(args.requests).max(1);
     let naive_start = Instant::now();
     let mut rng = StdRng::seed_from_u64(7);
+    let naive_theta = initial.item_factors_matrix();
     for _ in 0..naive_sample {
         let user = skewed_user(&mut rng, args.users);
         let x_u = initial.user_vector(user).expect("user in range");
-        let theta = initial.item_factors();
+        let theta = &naive_theta;
         let mut scored: Vec<(u32, f32)> = (0..theta.len() as u32)
             .map(|v| (v, dot(x_u, theta.vector(v as usize))))
             .collect();
@@ -230,7 +231,9 @@ fn main() {
                 })
                 .collect();
             let ratings = ratings_rows(&rating_lists, args.items as u32);
-            let rows = fold_in_users(&ratings, snap.item_factors(), 0.05);
+            // Fold-in solves want one contiguous catalog-order Θ;
+            // materialize it from the segmented store.
+            let rows = fold_in_users(&ratings, &snap.item_factors_matrix(), 0.05);
             let mut delta = snap.delta();
             for (i, &u) in batch_users.iter().enumerate() {
                 delta.update_user(u, rows.vector(i));

@@ -17,6 +17,17 @@
 //! [`CheckpointManager::load_latest_with_deltas`] replays the chain on
 //! restore, so a crash after a fold-in loses nothing even though no full
 //! checkpoint was rewritten.
+//!
+//! Left alone, a delta chain grows until the next retrain, and restore time
+//! grows with it.  A [`CompactionPolicy`] bounds that:
+//! [`CheckpointManager::compact`] folds the latest chain into a fresh full
+//! checkpoint (stamped `base_iteration + 1`, so a crash between the write
+//! and the cleanup can never replay a delta twice — the folded chain is
+//! keyed to the old iteration and simply ignored) and prunes the folded
+//! records; [`CheckpointManager::save_delta_compacting`] journals a delta
+//! and compacts automatically once the chain exceeds the policy's record
+//! count or its on-disk size exceeds the configured fraction of the base
+//! checkpoint.
 
 use cumf_linalg::FactorMatrix;
 use std::fs::{self, File};
@@ -25,7 +36,9 @@ use std::path::{Path, PathBuf};
 use std::thread::JoinHandle;
 
 const MAGIC: &[u8; 8] = b"CUMFCKP1";
-const DELTA_MAGIC: &[u8; 8] = b"CUMFDLT1";
+/// Version 2 adds the base factor shapes (replay-safety guard); v1 records
+/// are rejected as unreadable rather than replayed without the guard.
+const DELTA_MAGIC: &[u8; 8] = b"CUMFDLT2";
 
 /// A checkpoint of the factor matrices after a given iteration.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +59,14 @@ pub struct CheckpointDelta {
     pub base_iteration: u64,
     /// 1-based position in the delta chain after that checkpoint.
     pub seq: u64,
+    /// User rows (`X`) of the exact state this delta was built against —
+    /// the base checkpoint plus every earlier delta in the chain.  Guards
+    /// replay: an iteration number alone cannot tell a stale chain from
+    /// the checkpoint a later run rewrote under the same number, but a
+    /// shape mismatch turns that silent corruption into a loud error.
+    pub base_users: u64,
+    /// Item rows (`Θ`) of the state this delta was built against.
+    pub base_items: u64,
     /// Users whose factor rows changed (parallel to `changed_rows`).
     pub changed_ids: Vec<u32>,
     /// One replacement row per changed user.
@@ -61,11 +82,20 @@ impl CheckpointDelta {
     ///
     /// # Panics
     /// Panics if the delta does not chain from `checkpoint`'s iteration,
-    /// a changed id is out of range, or ranks disagree.
+    /// the checkpoint's factor shapes differ from the state the delta was
+    /// built against (a reused iteration number over different factors —
+    /// replaying would corrupt silently), a changed id is out of range, or
+    /// ranks disagree.
     pub fn apply_to(&self, checkpoint: &mut Checkpoint) {
         assert_eq!(
             self.base_iteration, checkpoint.iteration,
             "delta chains from a different checkpoint"
+        );
+        assert_eq!(
+            (self.base_users, self.base_items),
+            (checkpoint.x.len() as u64, checkpoint.theta.len() as u64),
+            "delta was built against different factor shapes; refusing to \
+             replay onto a checkpoint that reused the iteration number"
         );
         assert_eq!(
             self.changed_ids.len(),
@@ -87,6 +117,39 @@ impl CheckpointDelta {
             checkpoint.theta.append_rows(app);
         }
     }
+}
+
+/// When to rewrite a full checkpoint instead of letting the delta chain
+/// grow (restore time is `O(base + chain)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionPolicy {
+    /// Compact once the chain holds this many delta records (0 = never by
+    /// count).
+    pub max_deltas: usize,
+    /// Compact once the chain's on-disk bytes exceed this fraction of the
+    /// base checkpoint's size (≤ 0.0 = never by size).
+    pub max_chain_fraction: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        Self {
+            max_deltas: 16,
+            max_chain_fraction: 0.5,
+        }
+    }
+}
+
+/// What a [`CheckpointManager::compact`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Iteration of the checkpoint the chain was folded into.
+    pub base_iteration: u64,
+    /// Iteration stamped on the rewritten full checkpoint
+    /// (`base_iteration + 1`).
+    pub new_iteration: u64,
+    /// Delta records folded in (and pruned).
+    pub folded_deltas: usize,
 }
 
 /// Writes and restores checkpoints in a directory.
@@ -138,8 +201,8 @@ impl CheckpointManager {
         std::thread::spawn(move || manager.save(&checkpoint))
     }
 
-    /// Loads the checkpoint with the highest iteration number, if any.
-    pub fn load_latest(&self) -> io::Result<Option<Checkpoint>> {
+    /// The highest-iteration checkpoint file, if any.
+    fn latest_checkpoint_entry(&self) -> io::Result<Option<(u64, PathBuf)>> {
         let mut best: Option<(u64, PathBuf)> = None;
         for entry in fs::read_dir(&self.dir)? {
             let entry = entry?;
@@ -156,7 +219,12 @@ impl CheckpointManager {
                 }
             }
         }
-        match best {
+        Ok(best)
+    }
+
+    /// Loads the checkpoint with the highest iteration number, if any.
+    pub fn load_latest(&self) -> io::Result<Option<Checkpoint>> {
+        match self.latest_checkpoint_entry()? {
             None => Ok(None),
             Some((_, path)) => Ok(Some(Self::load(&path)?)),
         }
@@ -204,6 +272,8 @@ impl CheckpointManager {
             w.write_all(DELTA_MAGIC)?;
             w.write_all(&delta.base_iteration.to_le_bytes())?;
             w.write_all(&delta.seq.to_le_bytes())?;
+            w.write_all(&delta.base_users.to_le_bytes())?;
+            w.write_all(&delta.base_items.to_le_bytes())?;
             w.write_all(&(delta.changed_ids.len() as u64).to_le_bytes())?;
             for &id in &delta.changed_ids {
                 w.write_all(&id.to_le_bytes())?;
@@ -237,6 +307,8 @@ impl CheckpointManager {
         }
         let base_iteration = read_u64(&mut r)?;
         let seq = read_u64(&mut r)?;
+        let base_users = read_u64(&mut r)?;
+        let base_items = read_u64(&mut r)?;
         let n_changed = read_u64(&mut r)? as usize;
         let mut changed_ids = Vec::with_capacity(n_changed);
         for _ in 0..n_changed {
@@ -257,6 +329,8 @@ impl CheckpointManager {
         Ok(CheckpointDelta {
             base_iteration,
             seq,
+            base_users,
+            base_items,
             changed_ids,
             changed_rows,
             appended_users,
@@ -264,15 +338,9 @@ impl CheckpointManager {
         })
     }
 
-    /// Restores the latest full checkpoint **with its delta chain
-    /// replayed**: every `delta_<iteration>_<seq>` record chained onto the
-    /// latest checkpoint is applied in sequence order.  Returns the
-    /// reconstructed checkpoint and the number of deltas replayed.
-    pub fn load_latest_with_deltas(&self) -> io::Result<Option<(Checkpoint, usize)>> {
-        let Some(mut checkpoint) = self.load_latest()? else {
-            return Ok(None);
-        };
-        let prefix = format!("delta_{:08}_", checkpoint.iteration);
+    /// The delta files chained onto `iteration`, sorted by sequence number.
+    fn chain_files(&self, iteration: u64) -> io::Result<Vec<(u64, PathBuf)>> {
+        let prefix = format!("delta_{iteration:08}_");
         let mut chain: Vec<(u64, PathBuf)> = fs::read_dir(&self.dir)?
             .filter_map(|e| e.ok())
             .filter_map(|e| {
@@ -285,11 +353,115 @@ impl CheckpointManager {
             })
             .collect();
         chain.sort_by_key(|(seq, _)| *seq);
+        Ok(chain)
+    }
+
+    /// Restores the latest full checkpoint **with its delta chain
+    /// replayed**: every `delta_<iteration>_<seq>` record chained onto the
+    /// latest checkpoint is applied in sequence order.  Returns the
+    /// reconstructed checkpoint and the number of deltas replayed.
+    pub fn load_latest_with_deltas(&self) -> io::Result<Option<(Checkpoint, usize)>> {
+        let Some(mut checkpoint) = self.load_latest()? else {
+            return Ok(None);
+        };
+        let chain = self.chain_files(checkpoint.iteration)?;
         let replayed = chain.len();
         for (_, path) in chain {
             Self::load_delta(&path)?.apply_to(&mut checkpoint);
         }
         Ok(Some((checkpoint, replayed)))
+    }
+
+    /// Record count and summed on-disk bytes of the delta chain hanging off
+    /// `iteration`.
+    pub fn chain_stats(&self, iteration: u64) -> io::Result<(usize, u64)> {
+        let chain = self.chain_files(iteration)?;
+        let mut bytes = 0u64;
+        for (_, path) in &chain {
+            bytes += fs::metadata(path)?.len();
+        }
+        Ok((chain.len(), bytes))
+    }
+
+    /// True when the latest checkpoint's delta chain exceeds `policy` —
+    /// either by record count or by on-disk size relative to the base
+    /// checkpoint file.  `false` when no checkpoint (or no chain) exists.
+    pub fn should_compact(&self, policy: &CompactionPolicy) -> io::Result<bool> {
+        let Some((iteration, path)) = self.latest_checkpoint_entry()? else {
+            return Ok(false);
+        };
+        let (count, chain_bytes) = self.chain_stats(iteration)?;
+        if count == 0 {
+            return Ok(false);
+        }
+        if policy.max_deltas > 0 && count >= policy.max_deltas {
+            return Ok(true);
+        }
+        if policy.max_chain_fraction > 0.0 {
+            let base_bytes = fs::metadata(&path)?.len();
+            if chain_bytes as f64 > policy.max_chain_fraction * base_bytes as f64 {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Folds the latest checkpoint's delta chain into a fresh full
+    /// checkpoint stamped `base_iteration + 1` and prunes the folded
+    /// records, bounding restore time to one file read again.  Returns
+    /// `None` when there is nothing to fold.
+    ///
+    /// Crash safety: the new checkpoint is written (atomically) **before**
+    /// the chain is deleted.  A crash in between leaves both on disk — but
+    /// the stale chain is keyed to the *old* iteration, the restore path
+    /// follows the highest iteration, and the orphaned records are swept by
+    /// the next [`CheckpointManager::prune`].  A delta is therefore never
+    /// replayed on top of a checkpoint that already contains it (replaying
+    /// appended rows twice would corrupt the factors).
+    ///
+    /// Namespace caveat: the synthetic `base_iteration + 1` shares the
+    /// trainer's iteration numbering.  Reusing a checkpoint directory
+    /// across unrelated runs can therefore shadow (or be shadowed by) a
+    /// retrain's own files — a hazard that predates compaction and is why
+    /// runs should get fresh directories or `prune` aggressively.  If a
+    /// retrain *does* overwrite an iteration that still has journaled
+    /// deltas, replay fails loudly on the deltas' recorded base shapes
+    /// ([`CheckpointDelta::base_users`]/[`CheckpointDelta::base_items`])
+    /// instead of corrupting the factors silently.
+    pub fn compact(&self) -> io::Result<Option<CompactionReport>> {
+        let Some((mut checkpoint, folded_deltas)) = self.load_latest_with_deltas()? else {
+            return Ok(None);
+        };
+        if folded_deltas == 0 {
+            return Ok(None);
+        }
+        let base_iteration = checkpoint.iteration;
+        checkpoint.iteration = base_iteration + 1;
+        self.save(&checkpoint)?;
+        self.remove_delta_chain(base_iteration)?;
+        Ok(Some(CompactionReport {
+            base_iteration,
+            new_iteration: checkpoint.iteration,
+            folded_deltas,
+        }))
+    }
+
+    /// Journals `delta` and then compacts if the grown chain now exceeds
+    /// `policy` — the bounded-restore write path an incremental serving
+    /// loop should use.  Returns the delta's path and the compaction
+    /// report, if one ran.
+    pub fn save_delta_compacting(
+        &self,
+        delta: &CheckpointDelta,
+        policy: &CompactionPolicy,
+    ) -> io::Result<(PathBuf, Option<CompactionReport>)> {
+        let path = self.save_delta(delta)?;
+        let report = if self.should_compact(policy)? {
+            self.compact()?
+        } else {
+            None
+        };
+        Ok((path, report))
     }
 
     /// Deletes every checkpoint older than the latest `keep` ones, along
@@ -467,10 +639,15 @@ mod tests {
         fs::remove_dir_all(dir).unwrap();
     }
 
+    /// A delta chained directly onto a [`sample_checkpoint`] (50 users, 30
+    /// items); chained deltas must override `base_users`/`base_items` to
+    /// the post-predecessor shapes.
     fn sample_delta(base: u64, seq: u64, seed: u64) -> CheckpointDelta {
         CheckpointDelta {
             base_iteration: base,
             seq,
+            base_users: 50,
+            base_items: 30,
             changed_ids: vec![1, 7, 40],
             changed_rows: FactorMatrix::random(3, 8, 1.0, seed),
             appended_users: Some(FactorMatrix::random(2, 8, 1.0, seed + 1)),
@@ -504,9 +681,14 @@ mod tests {
         let base = sample_checkpoint(5, 70);
         mgr.save(&base).unwrap();
         // Two chained deltas; the second overwrites user 1 again, so replay
-        // order matters.
+        // order matters.  d2 records the post-d1 shapes (52 users, 34
+        // items) it was built against.
         let d1 = sample_delta(5, 1, 80);
-        let mut d2 = sample_delta(5, 2, 90);
+        let mut d2 = CheckpointDelta {
+            base_users: 52,
+            base_items: 34,
+            ..sample_delta(5, 2, 90)
+        };
         d2.appended_users = None;
         d2.appended_items = None;
         // A delta chained onto a *different* checkpoint must be ignored.
@@ -543,10 +725,140 @@ mod tests {
     }
 
     #[test]
+    fn compact_folds_the_chain_and_prunes_it() {
+        let dir = temp_dir();
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        let base = sample_checkpoint(5, 70);
+        mgr.save(&base).unwrap();
+        let d1 = sample_delta(5, 1, 80);
+        // d1 appended 2 users and 4 items; d2 chains onto that state.
+        let d2 = CheckpointDelta {
+            base_users: 52,
+            base_items: 34,
+            ..sample_delta(5, 2, 81)
+        };
+        mgr.save_delta(&d1).unwrap();
+        mgr.save_delta(&d2).unwrap();
+
+        // What a replaying restore would reconstruct...
+        let (replayed, n) = mgr.load_latest_with_deltas().unwrap().unwrap();
+        assert_eq!(n, 2);
+
+        let report = mgr.compact().unwrap().expect("chain to fold");
+        assert_eq!(report.base_iteration, 5);
+        assert_eq!(report.new_iteration, 6);
+        assert_eq!(report.folded_deltas, 2);
+
+        // ...is exactly what the folded checkpoint restores to, with no
+        // deltas left to replay.
+        let (restored, replayed_after) = mgr.load_latest_with_deltas().unwrap().unwrap();
+        assert_eq!(replayed_after, 0);
+        assert_eq!(restored.iteration, 6);
+        assert_eq!(restored.x, replayed.x);
+        assert_eq!(restored.theta, replayed.theta);
+        assert_eq!(mgr.chain_stats(5).unwrap(), (0, 0), "folded chain pruned");
+
+        // Nothing to fold twice.
+        assert_eq!(mgr.compact().unwrap(), None);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn save_delta_compacting_triggers_on_record_count() {
+        let dir = temp_dir();
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        mgr.save(&sample_checkpoint(1, 7)).unwrap();
+        let policy = CompactionPolicy {
+            max_deltas: 3,
+            max_chain_fraction: 0.0,
+        };
+        // Two deltas stay journaled...
+        for seq in 1..=2 {
+            let lean = CheckpointDelta {
+                appended_users: None,
+                appended_items: None,
+                ..sample_delta(1, seq, 30 + seq)
+            };
+            let (_, report) = mgr.save_delta_compacting(&lean, &policy).unwrap();
+            assert_eq!(report, None, "seq {seq}");
+        }
+        assert_eq!(mgr.chain_stats(1).unwrap().0, 2);
+        // ...the third crosses the bound and folds the chain.
+        let lean = CheckpointDelta {
+            appended_users: None,
+            appended_items: None,
+            ..sample_delta(1, 3, 33)
+        };
+        let (_, report) = mgr.save_delta_compacting(&lean, &policy).unwrap();
+        let report = report.expect("compaction to run");
+        assert_eq!(report.folded_deltas, 3);
+        assert_eq!(report.new_iteration, 2);
+        assert_eq!(mgr.load_latest_with_deltas().unwrap().unwrap().1, 0);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn save_delta_compacting_triggers_on_chain_size_fraction() {
+        let dir = temp_dir();
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        // Tiny base, fat deltas: the size trigger fires long before any
+        // count bound would.
+        mgr.save(&Checkpoint {
+            iteration: 1,
+            x: FactorMatrix::random(4, 8, 1.0, 1),
+            theta: FactorMatrix::random(4, 8, 1.0, 2),
+        })
+        .unwrap();
+        let policy = CompactionPolicy {
+            max_deltas: 0,
+            max_chain_fraction: 0.5,
+        };
+        let fat = CheckpointDelta {
+            base_iteration: 1,
+            seq: 1,
+            base_users: 4,
+            base_items: 4,
+            changed_ids: vec![0],
+            changed_rows: FactorMatrix::random(1, 8, 1.0, 3),
+            appended_users: Some(FactorMatrix::random(64, 8, 1.0, 4)),
+            appended_items: None,
+        };
+        let (_, report) = mgr.save_delta_compacting(&fat, &policy).unwrap();
+        assert!(report.is_some(), "fat chain must trip the size fraction");
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn should_compact_is_quiet_without_chain_or_checkpoint() {
+        let dir = temp_dir();
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        let policy = CompactionPolicy::default();
+        assert!(!mgr.should_compact(&policy).unwrap(), "empty dir");
+        mgr.save(&sample_checkpoint(1, 9)).unwrap();
+        assert!(!mgr.should_compact(&policy).unwrap(), "no chain");
+        assert_eq!(mgr.compact().unwrap(), None);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
     #[should_panic(expected = "different checkpoint")]
     fn delta_refuses_a_mismatched_base() {
         let mut ckpt = sample_checkpoint(3, 1);
         sample_delta(9, 1, 2).apply_to(&mut ckpt);
+    }
+
+    #[test]
+    #[should_panic(expected = "different factor shapes")]
+    fn delta_refuses_a_checkpoint_with_reused_iteration_but_other_factors() {
+        // A retrain overwrote iteration 3 with a differently-shaped model;
+        // the journaled delta's base shapes (50 × 30) no longer match, and
+        // replaying must fail loudly instead of corrupting silently.
+        let mut ckpt = Checkpoint {
+            iteration: 3,
+            x: FactorMatrix::random(40, 8, 1.0, 1),
+            theta: FactorMatrix::random(30, 8, 1.0, 2),
+        };
+        sample_delta(3, 1, 5).apply_to(&mut ckpt);
     }
 
     #[test]

@@ -113,11 +113,17 @@ impl SyntheticConfig {
         // order (so user ids are not correlated with activity).
         let degrees = self.sample_degrees();
 
-        // Item-popularity cumulative distribution for inverse-CDF sampling.
-        let item_cdf = zipf_cdf(self.n as usize, self.item_zipf);
+        // Item-popularity distribution as a Walker/Vose alias table: O(n)
+        // to build once, O(1) per draw.  The per-user rejection loop below
+        // draws up to 20× the row degree, so the draw cost dominates
+        // generation; the binary search over a cumulative distribution this
+        // replaces made every draw O(log n) and was the remaining serial
+        // hot spot *within* each user's row of the integration suites.
+        let item_dist = AliasTable::from_zipf(self.n as usize, self.item_zipf);
 
-        // Generate each user's ratings independently (deterministic per-row
-        // seeding keeps the result identical regardless of thread count).
+        // Generate each user's ratings independently over rayon
+        // (deterministic per-row seeding keeps the result identical
+        // regardless of thread count or split points).
         let rows: Vec<Vec<(u32, f32)>> = (0..self.m as usize)
             .into_par_iter()
             .map(|u| {
@@ -126,12 +132,12 @@ impl SyntheticConfig {
                 );
                 let degree = degrees[u].min(self.n as usize);
                 let mut cols: HashSet<u32> = HashSet::with_capacity(degree * 2);
-                // Rejection-sample distinct columns from the popularity CDF;
-                // fall back to uniform once the row is nearly full.
+                // Rejection-sample distinct columns from the popularity
+                // table; fall back to uniform once the row is nearly full.
                 let mut attempts = 0usize;
                 while cols.len() < degree {
                     let v = if attempts < degree * 20 {
-                        sample_from_cdf(&item_cdf, rng.random::<f64>())
+                        item_dist.sample(&mut rng)
                     } else {
                         rng.random_range(0..self.n)
                     };
@@ -254,26 +260,85 @@ impl SyntheticDataset {
     }
 }
 
-/// Cumulative Zipf distribution over `n` items with the given exponent.
-fn zipf_cdf(n: usize, exponent: f64) -> Vec<f64> {
-    let mut cdf = Vec::with_capacity(n);
-    let mut acc = 0.0f64;
-    for k in 0..n {
-        acc += 1.0 / ((k + 1) as f64).powf(exponent);
-        cdf.push(acc);
-    }
-    let total = acc;
-    for c in &mut cdf {
-        *c /= total;
-    }
-    cdf
+/// Walker/Vose alias table: draws from an arbitrary discrete distribution
+/// in O(1) per sample (one uniform, one table probe) after an O(n) build.
+///
+/// Replaces inverse-CDF binary search on the generator's hot path; the two
+/// methods sample the *same* distribution, though a given RNG stream maps
+/// to different items, so regenerated data sets differ from pre-alias
+/// revisions (determinism per seed is unaffected).
+#[derive(Debug, Clone)]
+struct AliasTable {
+    /// Per-cell acceptance threshold in `[0, 1]`.
+    prob: Vec<f64>,
+    /// Donor index used when a cell rejects.
+    alias: Vec<u32>,
 }
 
-/// Inverse-CDF sampling: returns the first index whose cumulative weight
-/// exceeds `u ∈ [0, 1)`.
-fn sample_from_cdf(cdf: &[f64], u: f64) -> u32 {
-    let idx = cdf.partition_point(|&c| c < u);
-    idx.min(cdf.len() - 1) as u32
+impl AliasTable {
+    /// Builds the table for `weights` (need not be normalized; must be
+    /// non-empty with a positive sum).
+    fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "alias table needs a positive weight sum");
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w / total * n as f64).collect();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let Some(s) = small.pop() {
+            let Some(l) = large.pop() else {
+                // Numerical leftover: an effectively exactly-1 cell.
+                prob[s as usize] = 1.0;
+                continue;
+            };
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Remaining large cells are exactly-1 cells.
+        for i in large {
+            prob[i as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// The table for a Zipf distribution over `n` items with the given
+    /// exponent (0 = uniform).
+    fn from_zipf(n: usize, exponent: f64) -> Self {
+        let weights: Vec<f64> = (0..n)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(exponent))
+            .collect();
+        Self::new(&weights)
+    }
+
+    /// Draws one index using a single uniform: the integer part picks the
+    /// cell, the fractional part decides cell-vs-alias.
+    fn sample(&self, rng: &mut StdRng) -> u32 {
+        let n = self.prob.len();
+        let r = rng.random::<f64>() * n as f64;
+        let i = (r as usize).min(n - 1);
+        let frac = r - i as f64;
+        if frac < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
 }
 
 /// A standard-normal sample via Box–Muller (avoids an extra dependency).
@@ -466,14 +531,66 @@ mod tests {
     }
 
     #[test]
-    fn zipf_cdf_is_monotone_and_normalized() {
-        let cdf = zipf_cdf(100, 0.9);
-        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
-        for w in cdf.windows(2) {
-            assert!(w[1] >= w[0]);
+    fn alias_table_cells_are_consistent() {
+        let table = AliasTable::from_zipf(100, 0.9);
+        assert_eq!(table.prob.len(), 100);
+        for (i, &p) in table.prob.iter().enumerate() {
+            assert!((0.0..=1.0 + 1e-9).contains(&p), "cell {i}: {p}");
+            assert!((table.alias[i] as usize) < 100);
         }
-        assert_eq!(sample_from_cdf(&cdf, 0.0), 0);
-        assert_eq!(sample_from_cdf(&cdf, 0.999999), 99);
+        // Per-cell masses reassemble the normalized weights exactly: cell i
+        // contributes prob[i]/n to item i and (1-prob[i])/n to alias[i].
+        let n = 100usize;
+        let mut mass = vec![0.0f64; n];
+        for i in 0..n {
+            mass[i] += table.prob[i] / n as f64;
+            mass[table.alias[i] as usize] += (1.0 - table.prob[i]) / n as f64;
+        }
+        let total: f64 = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(0.9)).sum();
+        for (k, &m) in mass.iter().enumerate() {
+            let expect = 1.0 / ((k + 1) as f64).powf(0.9) / total;
+            assert!((m - expect).abs() < 1e-12, "item {k}: {m} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn alias_sampling_tracks_the_zipf_weights() {
+        let table = AliasTable::from_zipf(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut counts = [0u32; 50];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        let total: f64 = (0..50).map(|k| 1.0 / (k + 1) as f64).sum();
+        for k in [0usize, 1, 5, 20] {
+            let expect = 1.0 / (k + 1) as f64 / total * draws as f64;
+            let got = counts[k] as f64;
+            assert!(
+                (got - expect).abs() < 0.1 * expect + 30.0,
+                "item {k}: {got} draws vs expected {expect}"
+            );
+        }
+        // Sampling is deterministic per RNG stream.
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut a), table.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn alias_table_handles_degenerate_weights() {
+        // A single item always wins; an all-equal table is uniform.
+        let one = AliasTable::new(&[3.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(one.sample(&mut rng), 0);
+        }
+        let flat = AliasTable::new(&[1.0; 8]);
+        for p in &flat.prob {
+            assert!((p - 1.0).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -99,6 +99,99 @@ pub fn batch_score_block(
     }
 }
 
+/// A borrowed, scoring-ready view of one **item-factor segment**: a
+/// contiguous run of catalog items stored in their own row-major slab, in an
+/// order that may differ from catalog order (norm-descending layouts), plus
+/// the tables retrieval needs to prune blocks and to remap stored rows back
+/// to global item ids.
+///
+/// A segmented catalog (base slab + appended tails) is scored by walking a
+/// slice of views — each segment is block-aligned on its own, so the blocked
+/// kernels never straddle a segment boundary.  The stored order never
+/// changes a score (`x_u · θ_v` depends only on the two vectors) and the
+/// top-k heap's tie-break is a total order on `(score, global id)`, so
+/// segmentation and permutation are layout-only: results are bit-identical
+/// to scoring one contiguous catalog-order slab.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentView<'a> {
+    /// Row-major item factors in *stored* order (`n_items · f` floats).
+    pub items: &'a [f32],
+    /// Per-stored-row L2 norms (threshold pruning, Cosine scoring).
+    pub norms: &'a [f32],
+    /// Per-block norm maxima over the stored order, at `item_block`
+    /// granularity (`block_max_norms` over `norms`).
+    pub block_max: &'a [f32],
+    /// Items per block of this segment's `block_max` table.
+    pub item_block: usize,
+    /// Global id of stored row `i` when `ids` is `None`: `first_id + i`.
+    pub first_id: u32,
+    /// Stored-row → global-id remap for permuted segments (`None` =
+    /// identity off `first_id`).
+    pub ids: Option<&'a [u32]>,
+}
+
+impl SegmentView<'_> {
+    /// Number of items in this segment.
+    pub fn n_items(&self) -> usize {
+        self.norms.len()
+    }
+
+    /// Global item id of stored row `row`.
+    #[inline]
+    pub fn global_id(&self, row: usize) -> u32 {
+        match self.ids {
+            Some(ids) => ids[row],
+            None => self.first_id + row as u32,
+        }
+    }
+
+    /// Checks the view's internal consistency for rank `f`.
+    ///
+    /// # Panics
+    /// Panics if the slab, norms, remap, or block-max table disagree.
+    pub fn validate(&self, f: usize) {
+        assert!(f > 0, "latent dimension must be positive");
+        assert!(self.item_block > 0, "item block must be positive");
+        assert_eq!(
+            self.items.len(),
+            self.norms.len() * f,
+            "segment slab does not match its norms"
+        );
+        assert_eq!(
+            self.block_max.len(),
+            self.n_items().div_ceil(self.item_block),
+            "segment block maxima do not match its blocking"
+        );
+        if let Some(ids) = self.ids {
+            assert_eq!(ids.len(), self.n_items(), "segment id remap length");
+        }
+    }
+}
+
+/// [`batch_score_block`] addressed through a [`SegmentView`]: scores stored
+/// rows `[start, end)` of the segment for `n_users` users.  This is the
+/// segment-aware entry point the serving tile scorer and the single-user
+/// segmented retrieval share.
+pub fn batch_score_segment(
+    users: &[f32],
+    n_users: usize,
+    seg: &SegmentView<'_>,
+    start: usize,
+    end: usize,
+    f: usize,
+    out: &mut [f32],
+) {
+    assert!(start <= end && end <= seg.n_items(), "segment row range");
+    batch_score_block(
+        users,
+        n_users,
+        &seg.items[start * f..end * f],
+        end - start,
+        f,
+        out,
+    );
+}
+
 /// Four-lane `f32` dot product for retrieval scoring.
 #[inline]
 fn score_dot(x: &[f32], y: &[f32]) -> f32 {
@@ -237,6 +330,64 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn segment_view_scores_and_remaps_like_the_flat_kernel() {
+        let f = 5;
+        let items = FactorMatrix::random(12, f, 1.0, 31);
+        let norms: Vec<f32> = items
+            .data()
+            .chunks_exact(f)
+            .map(|v| crate::blas::norm_sq(v).sqrt())
+            .collect();
+        let block_max = crate::topk::block_max_norms(&norms, 4);
+        let ids: Vec<u32> = (0..12u32).map(|i| 100 + i * 2).collect();
+        let seg = SegmentView {
+            items: items.data(),
+            norms: &norms,
+            block_max: &block_max,
+            item_block: 4,
+            first_id: 0,
+            ids: Some(&ids),
+        };
+        seg.validate(f);
+        assert_eq!(seg.n_items(), 12);
+        assert_eq!(seg.global_id(3), 106);
+        let no_remap = SegmentView {
+            ids: None,
+            first_id: 7,
+            ..seg
+        };
+        assert_eq!(no_remap.global_id(3), 10);
+
+        let users = FactorMatrix::random(2, f, 1.0, 32);
+        let mut seg_out = vec![0.0f32; 2 * 3];
+        batch_score_segment(users.data(), 2, &seg, 4, 7, f, &mut seg_out);
+        let mut flat_out = vec![0.0f32; 2 * 3];
+        batch_score_block(
+            users.data(),
+            2,
+            &items.data()[4 * f..7 * f],
+            3,
+            f,
+            &mut flat_out,
+        );
+        assert_eq!(seg_out, flat_out);
+    }
+
+    #[test]
+    #[should_panic(expected = "block maxima")]
+    fn segment_view_rejects_mismatched_block_max() {
+        let seg = SegmentView {
+            items: &[0.0; 8],
+            norms: &[0.0; 4],
+            block_max: &[0.0; 3],
+            item_block: 2,
+            first_id: 0,
+            ids: None,
+        };
+        seg.validate(2);
     }
 
     #[test]

@@ -28,10 +28,10 @@ pub mod cholesky;
 pub mod dense;
 pub mod topk;
 
-pub use batch::{batch_score_block, batch_solve};
+pub use batch::{batch_score_block, batch_score_segment, batch_solve, SegmentView};
 pub use cholesky::{cholesky_factor, cholesky_solve, CholeskyError};
 pub use dense::{DenseMatrix, FactorMatrix};
 pub use topk::{
-    block_max_norms, extend_block_max, extend_item_norms, item_norms, merge_top_k, retrieve_top_k,
-    retrieve_top_k_pruned, TopK,
+    block_max_norms, item_norms, merge_top_k, retrieve_top_k, retrieve_top_k_pruned,
+    retrieve_top_k_segments, PruneStats, TopK,
 };

@@ -9,7 +9,7 @@
 //! path that both `MatrixFactorizer::recommend` and the `cumf-serve` batch
 //! scorer share.
 
-use crate::batch::batch_score_block;
+use crate::batch::{batch_score_block, batch_score_segment, SegmentView};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -143,32 +143,100 @@ pub fn item_norms(items: &[f32], f: usize) -> Vec<f32> {
         .collect()
 }
 
-/// Appends the norms of `appended` rows to an existing norm vector — the
-/// incremental half of [`item_norms`] for a delta publish that appends items
-/// to a catalog: only the new rows are touched.
-pub fn extend_item_norms(norms: &mut Vec<f32>, appended: &[f32], f: usize) {
-    norms.extend(item_norms(appended, f));
+/// Effectiveness counters of whole-block threshold pruning: how many item
+/// blocks were actually scored versus skipped on the Cauchy–Schwarz bound.
+///
+/// A norm-descending item layout clusters high-norm items into the first
+/// blocks, so the heap threshold rises early and the long low-norm tail is
+/// skipped **systematically**; in catalog order the same pruning is
+/// data-dependent.  These counters make that difference measurable (and
+/// testable) without changing a single result — pruning is exact either
+/// way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneStats {
+    /// Item blocks whose factors were streamed and scored.
+    pub blocks_scored: u64,
+    /// Item blocks skipped whole on the norm bound.
+    pub blocks_pruned: u64,
 }
 
-/// Extends [`block_max_norms`] after `norms` grew past `old_items` entries:
-/// only blocks overlapping the appended range are recomputed (the last old
-/// block may have been partial, so it is rebuilt too).  Equivalent to a full
-/// `block_max_norms(norms, item_block)` over the grown vector.
-pub fn extend_block_max(
-    block_max: &mut Vec<f32>,
-    norms: &[f32],
-    item_block: usize,
-    old_items: usize,
-) {
-    assert!(item_block > 0, "item block must be positive");
-    assert!(old_items <= norms.len(), "old item count exceeds norms");
-    let first_dirty = old_items / item_block;
-    block_max.truncate(first_dirty);
-    block_max.extend(
-        norms[first_dirty * item_block..]
-            .chunks(item_block)
-            .map(|block| block.iter().fold(0.0f32, |m, &n| m.max(n))),
-    );
+impl PruneStats {
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &PruneStats) {
+        self.blocks_scored += other.blocks_scored;
+        self.blocks_pruned += other.blocks_pruned;
+    }
+
+    /// Fraction of visited blocks that were pruned (`0.0` when none were
+    /// visited).
+    pub fn pruned_fraction(&self) -> f64 {
+        let total = self.blocks_scored + self.blocks_pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.blocks_pruned as f64 / total as f64
+        }
+    }
+}
+
+/// Blocked, threshold-pruned top-`k` retrieval of one user vector over a
+/// **segmented** item catalog: each [`SegmentView`] is scored block by block
+/// with its own block-max table (segments are block-aligned on their own, so
+/// no kernel call straddles a boundary), stored rows are remapped to global
+/// item ids on the way into one shared [`TopK`] heap, and whole blocks are
+/// skipped exactly as in [`retrieve_top_k_pruned`].
+///
+/// Results are bit-identical to [`retrieve_top_k`] over the equivalent
+/// contiguous catalog-order slab, for any segmentation and any per-segment
+/// permutation — scores depend only on the vectors and the heap tie-break
+/// is a total order on `(score, global id)`.  Dot-product scores only (the
+/// norm bound does not apply to norm-divided scores).
+///
+/// `stats` accumulates the per-block prune/score decisions.
+pub fn retrieve_top_k_segments<F: FnMut(u32) -> bool>(
+    user: &[f32],
+    f: usize,
+    k: usize,
+    segments: &[SegmentView<'_>],
+    mut skip: F,
+    stats: &mut PruneStats,
+) -> Vec<(u32, f32)> {
+    assert!(f > 0, "latent dimension must be positive");
+    assert_eq!(user.len(), f, "user vector length mismatch");
+    if k == 0 {
+        return Vec::new();
+    }
+    let user_norm = crate::blas::norm_sq(user).sqrt();
+    let scratch = segments
+        .iter()
+        .map(|s| s.item_block.min(s.n_items().max(1)))
+        .max()
+        .unwrap_or(1);
+    let mut topk = TopK::new(k);
+    let mut scores = vec![0.0f32; scratch];
+    for seg in segments {
+        seg.validate(f);
+        let n = seg.n_items();
+        for (b, start) in (0..n).step_by(seg.item_block).enumerate() {
+            if let Some(threshold) = topk.threshold() {
+                if user_norm * seg.block_max[b] * NORM_BOUND_SLACK < threshold {
+                    stats.blocks_pruned += 1;
+                    continue;
+                }
+            }
+            stats.blocks_scored += 1;
+            let end = (start + seg.item_block).min(n);
+            let out = &mut scores[..end - start];
+            batch_score_segment(user, 1, seg, start, end, f, out);
+            for (j, &s) in out.iter().enumerate() {
+                let item = seg.global_id(start + j);
+                if !skip(item) {
+                    topk.push(item, s);
+                }
+            }
+        }
+    }
+    topk.into_sorted_vec()
 }
 
 /// Merges per-shard partial top-k lists into the final top-`k`.
@@ -176,8 +244,9 @@ pub fn extend_block_max(
 /// Exactness: the [`TopK`] tie-break is a total order (score descending,
 /// item id ascending), so the kept set is independent of push order — as
 /// long as every item that would survive the unsharded heap appears in some
-/// partial list (guaranteed when each shard keeps its own top-`k`), the
-/// merged result is bit-identical to scoring the shards as one run.
+/// partial list (guaranteed when each shard keeps its own top-`k`, and the
+/// shards may span any mix of catalog segments), the merged result is
+/// bit-identical to scoring the shards as one run.
 pub fn merge_top_k(parts: &[Vec<(u32, f32)>], k: usize) -> Vec<(u32, f32)> {
     if k == 0 {
         return Vec::new();
@@ -387,31 +456,6 @@ mod tests {
     }
 
     #[test]
-    fn extend_item_norms_appends_only_new_rows() {
-        let f = 4;
-        let base = FactorMatrix::random(20, f, 1.0, 5);
-        let appended = FactorMatrix::random(7, f, 1.0, 6);
-        let mut norms = item_norms(base.data(), f);
-        extend_item_norms(&mut norms, appended.data(), f);
-        let mut whole = base.data().to_vec();
-        whole.extend_from_slice(appended.data());
-        assert_eq!(norms, item_norms(&whole, f));
-    }
-
-    #[test]
-    fn extend_block_max_matches_full_recompute() {
-        // Grow past a partial last block, an exact block boundary, and from
-        // empty: the incremental extension must equal the full recompute.
-        for (old, new) in [(10usize, 17usize), (16, 32), (0, 5), (16, 16)] {
-            let norms: Vec<f32> = (0..new).map(|i| ((i * 7919) % 97) as f32).collect();
-            let item_block = 8;
-            let mut bm = block_max_norms(&norms[..old], item_block);
-            extend_block_max(&mut bm, &norms, item_block, old);
-            assert_eq!(bm, block_max_norms(&norms, item_block), "{old}->{new}");
-        }
-    }
-
-    #[test]
     fn merge_of_shard_partials_matches_single_run() {
         let f = 8;
         let n = 600;
@@ -496,6 +540,108 @@ mod tests {
         let pruned = retrieve_top_k_pruned(&user, theta.data(), f, 5, 16, &bm, |_| false);
         assert_eq!(plain, pruned);
         assert_eq!(pruned[0].0, 9 - 2, "largest seeded item wins");
+    }
+
+    /// Builds catalog-order segment views over `theta` split at `cuts`
+    /// (global item offsets), each blocked at `item_block`.
+    fn views_at<'a>(
+        theta: &'a FactorMatrix,
+        cuts: &[usize],
+        item_block: usize,
+        norms: &'a [f32],
+        tables: &'a mut Vec<Vec<f32>>,
+    ) -> Vec<SegmentView<'a>> {
+        let f = theta.rank();
+        tables.clear();
+        for w in cuts.windows(2) {
+            tables.push(block_max_norms(&norms[w[0]..w[1]], item_block));
+        }
+        cuts.windows(2)
+            .zip(tables.iter())
+            .map(|(w, bm)| SegmentView {
+                items: &theta.data()[w[0] * f..w[1] * f],
+                norms: &norms[w[0]..w[1]],
+                block_max: bm,
+                item_block,
+                first_id: w[0] as u32,
+                ids: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn segmented_retrieval_matches_contiguous_for_any_split() {
+        let f = 6;
+        let n = 777;
+        let theta = FactorMatrix::random(n, f, 1.0, 51);
+        let user: Vec<f32> = FactorMatrix::random(1, f, 1.0, 52).data().to_vec();
+        let norms = item_norms(theta.data(), f);
+        let bm = block_max_norms(&norms, 64);
+        let expect = retrieve_top_k_pruned(&user, theta.data(), f, 9, 64, &bm, |v| v % 13 == 0);
+        for cuts in [
+            vec![0usize, n],
+            vec![0, 100, n],
+            vec![0, 64, 65, 300, n],
+            vec![0, 1, 2, 3, n],
+        ] {
+            let mut tables = Vec::new();
+            let views = views_at(&theta, &cuts, 64, &norms, &mut tables);
+            let mut stats = PruneStats::default();
+            let got = retrieve_top_k_segments(&user, f, 9, &views, |v| v % 13 == 0, &mut stats);
+            assert_eq!(got, expect, "cuts {cuts:?}");
+            assert!(
+                stats.blocks_scored + stats.blocks_pruned > 0,
+                "counters must see every block decision"
+            );
+        }
+    }
+
+    #[test]
+    fn segmented_retrieval_remaps_permuted_rows_to_global_ids() {
+        // Store the catalog in reverse order with an explicit id remap: the
+        // returned ids and scores must match the catalog-order run exactly.
+        let f = 4;
+        let n = 120;
+        let theta = FactorMatrix::random(n, f, 1.0, 61);
+        let norms = item_norms(theta.data(), f);
+        let mut rev_data = Vec::with_capacity(n * f);
+        let mut rev_norms = Vec::with_capacity(n);
+        let ids: Vec<u32> = (0..n as u32).rev().collect();
+        for &g in &ids {
+            rev_data.extend_from_slice(theta.vector(g as usize));
+            rev_norms.push(norms[g as usize]);
+        }
+        let bm = block_max_norms(&rev_norms, 16);
+        let view = SegmentView {
+            items: &rev_data,
+            norms: &rev_norms,
+            block_max: &bm,
+            item_block: 16,
+            first_id: 0,
+            ids: Some(&ids),
+        };
+        let user: Vec<f32> = FactorMatrix::random(1, f, 1.0, 62).data().to_vec();
+        let plain_bm = block_max_norms(&norms, 16);
+        let expect = retrieve_top_k_pruned(&user, theta.data(), f, 7, 16, &plain_bm, |_| false);
+        let mut stats = PruneStats::default();
+        let got = retrieve_top_k_segments(&user, f, 7, &[view], |_| false, &mut stats);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn prune_stats_merge_and_fraction() {
+        let mut a = PruneStats {
+            blocks_scored: 3,
+            blocks_pruned: 1,
+        };
+        a.merge(&PruneStats {
+            blocks_scored: 1,
+            blocks_pruned: 3,
+        });
+        assert_eq!(a.blocks_scored, 4);
+        assert_eq!(a.blocks_pruned, 4);
+        assert!((a.pruned_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(PruneStats::default().pruned_fraction(), 0.0);
     }
 
     #[test]

@@ -19,10 +19,20 @@
 //! generation stamped in; a publish invalidates lazily through the
 //! generation check.
 //!
-//! A panicking worker never fails silently: the panic is caught, its
-//! message recorded in a poison flag and the `worker_panics` metric, and
-//! every request that can no longer be served fails with
-//! [`ServeError::WorkerPanicked`] carrying the original message.
+//! A panicking worker never fails silently: the panic is caught and its
+//! message recorded, the batch it was scoring fails with
+//! [`ServeError::WorkerPanicked`] carrying the original message — and then
+//! a **supervisor policy** decides what happens to the worker.  Each panic
+//! consumes one unit of the pool-wide [`ServeConfig::panic_budget`]; while
+//! budget remains the worker resumes its loop (a restart: full capacity,
+//! no dead thread, `worker_restarts` metric), and once the budget is
+//! exhausted the original poison path applies — that worker exits for good
+//! and [`TopKService::poisoned`] reports the cause.  Surviving workers
+//! keep serving at reduced capacity (a health check should watch
+//! `poisoned()`/`worker_panics`, not wait for requests to fail); only once
+//! every worker has died does each request fail with the recorded cause.
+//! A crash-looping scorer therefore degrades loudly instead of either
+//! dying on the first transient or looping forever.
 
 use crate::cache::{CacheKey, ShardedResultCache};
 use crate::metrics::{MetricsReport, ServeMetrics};
@@ -70,6 +80,17 @@ pub struct ServeConfig {
     /// Depth of the request queue; senders block (back-pressure) when the
     /// workers fall this far behind.
     pub queue_depth: usize,
+    /// Pool-wide scoring-panic budget: how many worker panics are absorbed
+    /// by restarting the worker (capacity restored, `worker_restarts`
+    /// metric) before the pool falls back to the poison path and stays
+    /// degraded.  0 poisons on the first panic (the pre-supervisor
+    /// behaviour).
+    pub panic_budget: usize,
+    /// Item-segment bound for automatic compaction: after an
+    /// item-appending delta publish leaves the snapshot with more than this
+    /// many segments, [`TopKService::compact_items`] runs inline (0 = never
+    /// auto-compact).
+    pub max_item_segments: usize,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +105,8 @@ impl Default for ServeConfig {
             item_block: DEFAULT_ITEM_BLOCK,
             score: ScoreKind::Dot,
             queue_depth: 1024,
+            panic_budget: 2,
+            max_item_segments: 8,
         }
     }
 }
@@ -112,17 +135,25 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 /// Pool lifecycle shared by the service handle, the workers, and every
-/// client: a first-panic-wins poison record, the live-worker count, and the
-/// closed flag the drop path raises once every worker has been joined.
+/// client: a first-panic-wins panic record, the restart budget, the
+/// poisoned flag (budget exhausted — permanently degraded), the live-worker
+/// count, and the closed flag the drop path raises once every worker has
+/// been joined.
 ///
-/// The flags exist because of a shutdown race inherent to the MPMC queue: a
-/// request enqueued *after* the shutdown markers (or after the last worker
-/// died to a panic) is never popped, so its client would block on the reply
-/// channel forever.  Clients therefore wait with a timeout and bail out as
-/// soon as the pool can no longer serve them.
+/// The liveness flags exist because of a shutdown race inherent to the MPMC
+/// queue: a request enqueued *after* the shutdown markers (or after the
+/// last worker died to a panic) is never popped, so its client would block
+/// on the reply channel forever.  Clients therefore wait with a timeout and
+/// bail out as soon as the pool can no longer serve them.
 #[derive(Debug, Default)]
 struct PoolState {
+    /// First panic message recorded, restarted or not — the cause attached
+    /// to [`ServeError::WorkerPanicked`].
     panic: Mutex<Option<String>>,
+    /// Restarts consumed so far out of [`ServeConfig::panic_budget`].
+    restarts_used: AtomicUsize,
+    /// Budget exhausted: a worker has died and stays dead.
+    poisoned: AtomicBool,
     alive_workers: AtomicUsize,
     closed: AtomicBool,
 }
@@ -143,6 +174,25 @@ impl PoolState {
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
             .clone()
+    }
+
+    /// Consumes one restart from the budget; `false` once exhausted (the
+    /// caller must take the poison path).
+    fn try_restart(&self, budget: usize) -> bool {
+        self.restarts_used
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |used| {
+                (used < budget).then_some(used + 1)
+            })
+            .is_ok()
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// True once a worker has died for good (restart budget exhausted).
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 
     /// True once no worker can ever pop another request.
@@ -189,6 +239,12 @@ enum Msg {
     Shutdown,
 }
 
+/// Test-only fault injection: a predicate that makes the scorer panic on
+/// matching queries, standing in for data-dependent scoring bugs the
+/// supervisor must survive.  Always `None` in production (not reachable
+/// from the public constructors' config).
+type FaultHook = Arc<dyn Fn(&Query) -> bool + Send + Sync>;
+
 /// A batched, cached top-k retrieval service over hot-swappable snapshots.
 pub struct TopKService {
     tx: Option<Sender<Msg>>,
@@ -197,12 +253,23 @@ pub struct TopKService {
     cache: Arc<ShardedResultCache>,
     state: Arc<PoolState>,
     workers: Vec<JoinHandle<()>>,
+    /// Segment bound for post-delta auto-compaction (see
+    /// [`ServeConfig::max_item_segments`]).
+    max_item_segments: usize,
 }
 
 impl TopKService {
     /// Starts `config.workers` scorer workers serving `initial` under
     /// `config`.
     pub fn start(initial: FactorSnapshot, config: ServeConfig) -> Self {
+        Self::start_with_fault(initial, config, None)
+    }
+
+    fn start_with_fault(
+        initial: FactorSnapshot,
+        config: ServeConfig,
+        fault: Option<FaultHook>,
+    ) -> Self {
         assert!(config.max_batch > 0, "max_batch must be positive");
         let n_workers = config.workers.max(1);
         let store = Arc::new(SnapshotStore::new(initial));
@@ -220,6 +287,7 @@ impl TopKService {
             budget,
         ));
         let (tx, rx) = bounded::<Msg>(config.queue_depth.max(1));
+        let max_item_segments = config.max_item_segments;
         let workers = (0..n_workers)
             .map(|_| {
                 let rx = rx.clone();
@@ -228,9 +296,10 @@ impl TopKService {
                 let cache = Arc::clone(&cache);
                 let state = Arc::clone(&state);
                 let config = config.clone();
+                let fault = fault.clone();
                 std::thread::spawn(move || {
                     let _alive = AliveGuard(&state);
-                    Self::worker_loop(&rx, &store, &metrics, &cache, &state, &config)
+                    Self::worker_loop(&rx, &store, &metrics, &cache, &state, &config, &fault)
                 })
             })
             .collect();
@@ -241,6 +310,7 @@ impl TopKService {
             cache,
             state,
             workers,
+            max_item_segments,
         }
     }
 
@@ -249,6 +319,7 @@ impl TopKService {
         Self::start(initial, ServeConfig::default())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn worker_loop(
         rx: &Receiver<Msg>,
         store: &SnapshotStore,
@@ -256,6 +327,7 @@ impl TopKService {
         cache: &ShardedResultCache,
         state: &PoolState,
         config: &ServeConfig,
+        fault: &Option<FaultHook>,
     ) {
         let mut shutdown = false;
         while !shutdown {
@@ -283,13 +355,24 @@ impl TopKService {
             // Serve what was coalesced, even on the way out.  A panic while
             // scoring must not vanish into the thread: record the message
             // *before* the batch (and its reply channels) drops, so waiters
-            // waking to a closed channel can already see the cause.
+            // waking to a closed channel can already see the cause.  The
+            // panicked batch itself always fails — the supervisor policy
+            // only decides whether the *worker* survives: within the
+            // pool-wide panic budget it resumes the loop (a restart); once
+            // the budget is spent it takes the original poison path and the
+            // pool stays degraded.
             let scored = catch_unwind(AssertUnwindSafe(|| {
-                Self::serve_batch(&batch, store, metrics, cache, config)
+                Self::serve_batch(&batch, store, metrics, cache, config, fault)
             }));
             if let Err(payload) = scored {
                 state.record_panic(panic_message(payload.as_ref()));
                 metrics.record_worker_panic();
+                drop(batch); // fail this batch's waiters before resuming
+                if state.try_restart(config.panic_budget) {
+                    metrics.record_worker_restart();
+                    continue;
+                }
+                state.poison();
                 return;
             }
         }
@@ -301,8 +384,14 @@ impl TopKService {
         metrics: &ServeMetrics,
         cache: &ShardedResultCache,
         config: &ServeConfig,
+        fault: &Option<FaultHook>,
     ) {
         let started = Instant::now();
+        if let Some(fault) = fault {
+            if let Some(req) = batch.iter().find(|r| fault(&r.query)) {
+                panic!("injected fault on user {}", req.query.user);
+            }
+        }
         // One snapshot per batch: the no-mixed-generations invariant.
         let snapshot = store.load();
         let generation = snapshot.generation();
@@ -345,7 +434,8 @@ impl TopKService {
                 .collect();
             let index =
                 TopKIndex::with_shards(snapshot, config.item_block, config.score, config.shards);
-            let results = index.query_batch(&queries);
+            let (results, prune) = index.query_batch_stats(&queries);
+            metrics.record_pruning(prune.blocks_scored, prune.blocks_pruned);
             for ((first, extras), result) in slots.iter().zip(&results) {
                 metrics.record_response();
                 let _ = batch[*first].reply.send(result.clone());
@@ -407,8 +497,38 @@ impl TopKService {
             }
             self.cache
                 .invalidate_users(&changed, delta.base_generation(), generation);
+        } else if self.max_item_segments > 0
+            && self.store.load().items().segment_count() > self.max_item_segments
+        {
+            // Sustained item appends grew the segment list past the bound:
+            // fold the tails back into one base.  Best-effort — a racing
+            // publish simply wins and the next append retries.
+            let _ = self.compact_items();
         }
         Ok((generation, stats))
+    }
+
+    /// Merges the published snapshot's item segments back into one base and
+    /// republishes ([`SnapshotStore::compact_items`]).  Retrieval results
+    /// are bit-identical, so the entire result cache is **retained**: every
+    /// current-generation entry is re-stamped to the new generation instead
+    /// of going stale.  Returns the new generation, or `None` when the
+    /// catalog is already one segment or a concurrent publish won the race.
+    pub fn compact_items(&self) -> Option<u64> {
+        match self.store.compact_items() {
+            Ok(Some((base_generation, generation))) => {
+                self.metrics.record_swap();
+                self.metrics.record_item_compaction();
+                // Nothing changed observably: retain everyone's entries.
+                self.cache.invalidate_users(
+                    &std::collections::HashSet::new(),
+                    base_generation,
+                    generation,
+                );
+                Some(generation)
+            }
+            Ok(None) | Err(_) => None,
+        }
     }
 
     /// The currently-published snapshot.
@@ -421,9 +541,15 @@ impl TopKService {
         self.metrics.report()
     }
 
-    /// The first worker panic, if any worker has died (`None` = healthy).
+    /// The first recorded panic once a worker has died **for good** (its
+    /// restart budget exhausted); `None` while the pool is healthy or
+    /// recovering within budget.
     pub fn poisoned(&self) -> Option<String> {
-        self.state.panic_cause()
+        self.state.is_poisoned().then(|| {
+            self.state
+                .panic_cause()
+                .unwrap_or_else(|| "worker died without a recorded panic".to_string())
+        })
     }
 }
 
@@ -444,6 +570,7 @@ impl Drop for TopKService {
             // surfaces here instead of being swallowed.
             if let Err(payload) = worker.join() {
                 self.state.record_panic(panic_message(payload.as_ref()));
+                self.state.poison();
                 self.metrics.record_worker_panic();
             }
         }
@@ -500,9 +627,11 @@ impl ServeClient {
         }
     }
 
-    /// Distinguishes a clean shutdown from a worker death: a dead pool is a
-    /// [`ServeError::Shutdown`] unless some worker recorded a panic, whose
-    /// message the error then carries.
+    /// Distinguishes a clean shutdown from a panic: a request whose batch
+    /// died to a caught panic (reply channel dropped while the pool lives
+    /// on — the restart path) and a pool whose workers died for good both
+    /// carry the recorded panic message; only a panic-free pool reports
+    /// [`ServeError::Shutdown`].
     fn death_cause(&self) -> ServeError {
         match self.state.panic_cause() {
             Some(message) => ServeError::WorkerPanicked(message),
@@ -717,14 +846,16 @@ mod tests {
     #[test]
     fn worker_panic_is_surfaced_with_its_message() {
         // item_block = 0 is a config error that only explodes inside the
-        // scorer — it stands in for any scoring-time panic.  The request
-        // that triggered it and every later request must fail with the
-        // panic's message, not a silent Shutdown.
+        // scorer — it stands in for any scoring-time panic.  With a zero
+        // panic budget (the pre-supervisor policy) the request that
+        // triggered it and every later request must fail with the panic's
+        // message, not a silent Shutdown.
         let service = TopKService::start(
             snapshot(8),
             ServeConfig {
                 item_block: 0,
                 max_delay: Duration::from_millis(1),
+                panic_budget: 0,
                 ..Default::default()
             },
         );
@@ -739,8 +870,89 @@ mod tests {
         // The poison is sticky: later requests see the same cause.
         assert_eq!(client.recommend(1, 3, &[]), Err(err.clone()));
         assert!(service.poisoned().is_some());
-        assert_eq!(service.metrics().worker_panics, 1);
+        let m = service.metrics();
+        assert_eq!(m.worker_panics, 1);
+        assert_eq!(m.worker_restarts, 0);
         // The error formats with its cause attached.
         assert!(err.to_string().contains("item block"));
+    }
+
+    /// A data-dependent scoring panic within the budget costs only the
+    /// panicked batch: the worker restarts, later requests are served at
+    /// full capacity, and the pool is not poisoned.
+    #[test]
+    fn worker_restarts_within_the_panic_budget() {
+        let fault: super::FaultHook = Arc::new(|q: &Query| q.user == 13);
+        let service = TopKService::start_with_fault(
+            snapshot(9),
+            ServeConfig {
+                workers: 1,
+                panic_budget: 2,
+                max_delay: Duration::from_millis(1),
+                ..Default::default()
+            },
+            Some(fault),
+        );
+        let reference = service.snapshot();
+        let client = service.client();
+
+        // Poisoned batch fails with the cause...
+        match client.recommend(13, 3, &[]) {
+            Err(ServeError::WorkerPanicked(msg)) => {
+                assert!(msg.contains("injected fault"), "{msg}")
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // ...but the worker came back: healthy requests serve correctly.
+        assert_eq!(
+            client.recommend(1, 3, &[]).unwrap(),
+            reference.recommend_one(1, 3, &[])
+        );
+        assert_eq!(service.poisoned(), None, "restart must not poison");
+        let m = service.metrics();
+        assert_eq!((m.worker_panics, m.worker_restarts), (1, 1));
+
+        // Second panic: budget still covers it.
+        assert!(client.recommend(13, 3, &[]).is_err());
+        assert_eq!(
+            client.recommend(2, 3, &[]).unwrap(),
+            reference.recommend_one(2, 3, &[])
+        );
+        assert_eq!(service.poisoned(), None);
+
+        // Third panic exhausts the budget: the existing poison path.
+        assert!(client.recommend(13, 3, &[]).is_err());
+        assert!(service.poisoned().is_some(), "budget exhausted ⇒ poisoned");
+        assert!(matches!(
+            client.recommend(3, 3, &[]),
+            Err(ServeError::WorkerPanicked(_))
+        ));
+        let m = service.metrics();
+        assert_eq!((m.worker_panics, m.worker_restarts), (3, 2));
+    }
+
+    /// The panic budget is pool-wide: restarts on different workers draw
+    /// from the same budget, and a healthy pool keeps serving meanwhile.
+    #[test]
+    fn restart_budget_is_shared_across_the_pool() {
+        let fault: super::FaultHook = Arc::new(|q: &Query| q.user >= 1000);
+        let service = TopKService::start_with_fault(
+            snapshot(10),
+            ServeConfig {
+                workers: 3,
+                panic_budget: 4,
+                max_delay: Duration::from_millis(1),
+                cache_capacity: 0,
+                ..Default::default()
+            },
+            Some(fault),
+        );
+        let client = service.client();
+        for round in 0..4u32 {
+            let _ = client.recommend(1000 + round, 3, &[]);
+            assert_eq!(client.recommend(round % 40, 3, &[]).unwrap().len(), 3);
+        }
+        assert_eq!(service.poisoned(), None);
+        assert_eq!(service.metrics().worker_restarts, 4);
     }
 }

@@ -1,0 +1,492 @@
+//! Segmented, optionally norm-ordered storage of the serving-side item
+//! factors Θ.
+//!
+//! The paper's core trick is a blocked, memory-aware layout of the factor
+//! matrices; this module applies it to the serving catalog.  An
+//! [`ItemStore`] owns Θ as a sequence of block-aligned, `Arc`-shared
+//! **segments**: one base slab plus a tail segment per item-appending delta.
+//! Appending `a` items builds one new `a`-row segment — `O(a·f)` bytes — and
+//! clones the `Arc` list; every existing segment (factors, norms, block
+//! maxima) is shared untouched with the previous snapshot, making catalog
+//! growth as cheap as the user side's copy-on-write blocks.
+//!
+//! Each segment covers a **contiguous global id range** (`start ..
+//! start + len`), because appended items always take the next catalog ids.
+//! Within a segment the stored row order is a layout choice
+//! ([`ItemLayout`]):
+//!
+//! * [`ItemLayout::CatalogOrder`] — rows stored by catalog id (the PR 2–4
+//!   layout).
+//! * [`ItemLayout::NormDescending`] — rows sorted by `‖θ_v‖` descending.
+//!   High-norm items cluster into the first blocks, so the top-k heap
+//!   threshold rises early and Cauchy–Schwarz block pruning skips the long
+//!   low-norm tail **systematically** instead of data-dependently (the
+//!   layout the approximate-computing follow-up paper motivates).  A
+//!   per-segment id remap (`stored row → global id`) restores catalog ids
+//!   on result output, and the inverse map serves point lookups; results
+//!   are bit-identical to catalog order.
+//!
+//! Sustained appends would otherwise grow the segment list without bound;
+//! [`ItemStore::compact`] merges every tail back into one base segment
+//! (re-deriving the layout), and the serving tier republishes the compacted
+//! snapshot through the ordinary hot-swap path.
+
+use cumf_linalg::topk::DEFAULT_ITEM_BLOCK;
+use cumf_linalg::{block_max_norms, item_norms, FactorMatrix, SegmentView};
+use std::sync::Arc;
+
+/// Stored row order of each [`ItemStore`] segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ItemLayout {
+    /// Rows stored by catalog id — no remap, no reordering.
+    #[default]
+    CatalogOrder,
+    /// Rows stored by item norm, descending (ties by catalog id ascending,
+    /// so the layout is deterministic), with an id remap applied on result
+    /// output.  Makes block threshold pruning systematic.
+    NormDescending,
+}
+
+/// One immutable, block-aligned segment of the item catalog: a contiguous
+/// global id range `[start, start + len)` stored as its own row-major slab
+/// with precomputed norms and block maxima, plus the id remap when the
+/// layout permutes rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemSegment {
+    start: u32,
+    /// Item factors in stored order.
+    theta: FactorMatrix,
+    /// `‖θ_v‖` per stored row.
+    norms: Vec<f32>,
+    /// Block maxima of `norms` at [`ItemSegment::default_block`]
+    /// granularity.
+    block_max: Vec<f32>,
+    /// Stored row → global id (`None` = identity off `start`).
+    ids: Option<Vec<u32>>,
+    /// Global offset (`id - start`) → stored row; inverse of `ids`.
+    pos: Option<Vec<u32>>,
+}
+
+impl ItemSegment {
+    fn build(theta: FactorMatrix, start: u32, layout: ItemLayout) -> Self {
+        let f = theta.rank().max(1);
+        let norms = item_norms(theta.data(), f);
+        match layout {
+            ItemLayout::CatalogOrder => {
+                let block_max = block_max_norms(&norms, DEFAULT_ITEM_BLOCK.min(theta.len().max(1)));
+                Self {
+                    start,
+                    theta,
+                    norms,
+                    block_max,
+                    ids: None,
+                    pos: None,
+                }
+            }
+            ItemLayout::NormDescending => {
+                let n = theta.len();
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                order.sort_by(|&a, &b| {
+                    norms[b as usize]
+                        .total_cmp(&norms[a as usize])
+                        .then(a.cmp(&b))
+                });
+                let rank = theta.rank();
+                let mut data = Vec::with_capacity(n * rank);
+                let mut sorted_norms = Vec::with_capacity(n);
+                let mut pos = vec![0u32; n];
+                for (row, &orig) in order.iter().enumerate() {
+                    data.extend_from_slice(theta.vector(orig as usize));
+                    sorted_norms.push(norms[orig as usize]);
+                    pos[orig as usize] = row as u32;
+                }
+                let ids: Vec<u32> = order.iter().map(|&orig| start + orig).collect();
+                let block_max = block_max_norms(&sorted_norms, DEFAULT_ITEM_BLOCK.min(n.max(1)));
+                Self {
+                    start,
+                    theta: FactorMatrix::from_vec(n, rank, data),
+                    norms: sorted_norms,
+                    block_max,
+                    ids: Some(ids),
+                    pos: Some(pos),
+                }
+            }
+        }
+    }
+
+    /// First global item id covered by this segment.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Number of items in the segment.
+    pub fn len(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// True when the segment holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.theta.is_empty()
+    }
+
+    /// True when the stored order differs from catalog order.
+    pub fn is_permuted(&self) -> bool {
+        self.ids.is_some()
+    }
+
+    /// The stored-order factor slab.
+    pub fn theta(&self) -> &FactorMatrix {
+        &self.theta
+    }
+
+    /// Per-stored-row norms.
+    pub fn norms(&self) -> &[f32] {
+        &self.norms
+    }
+
+    /// Precomputed block maxima at [`ItemSegment::default_block`]
+    /// granularity.
+    pub fn block_max(&self) -> &[f32] {
+        &self.block_max
+    }
+
+    /// Block size the precomputed [`ItemSegment::block_max`] is aligned to:
+    /// [`DEFAULT_ITEM_BLOCK`] clamped to the segment size.
+    pub fn default_block(&self) -> usize {
+        DEFAULT_ITEM_BLOCK.min(self.len().max(1))
+    }
+
+    /// Global item id of stored row `row`.
+    #[inline]
+    pub fn global_id(&self, row: usize) -> u32 {
+        match &self.ids {
+            Some(ids) => ids[row],
+            None => self.start + row as u32,
+        }
+    }
+
+    /// Stored row holding global offset `offset` (`id - start`).
+    #[inline]
+    fn stored_row(&self, offset: usize) -> usize {
+        match &self.pos {
+            Some(pos) => pos[offset] as usize,
+            None => offset,
+        }
+    }
+
+    /// Factor vector of the item at global offset `offset` into this
+    /// segment.
+    pub fn vector_at(&self, offset: usize) -> &[f32] {
+        self.theta.vector(self.stored_row(offset))
+    }
+
+    /// Norm of the item at global offset `offset` into this segment.
+    pub fn norm_at(&self, offset: usize) -> f32 {
+        self.norms[self.stored_row(offset)]
+    }
+
+    /// A scoring view of the whole segment at its default blocking.
+    pub fn view(&self) -> SegmentView<'_> {
+        self.view_with(self.default_block(), &self.block_max)
+    }
+
+    /// A scoring view at a caller-chosen blocking, with a matching
+    /// `block_max` table (`block_max_norms(self.norms(), item_block)`).
+    pub fn view_with<'a>(&'a self, item_block: usize, block_max: &'a [f32]) -> SegmentView<'a> {
+        SegmentView {
+            items: self.theta.data(),
+            norms: &self.norms,
+            block_max,
+            item_block,
+            first_id: self.start,
+            ids: self.ids.as_deref(),
+        }
+    }
+}
+
+/// The serving-side item factors as block-aligned, `Arc`-shared segments.
+///
+/// Cloning a store clones the `Arc` list, not the factors; two snapshots
+/// chained by an item-appending delta share every pre-existing segment
+/// allocation.  See the module docs for the layout story.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemStore {
+    f: usize,
+    n_items: usize,
+    layout: ItemLayout,
+    segments: Vec<Arc<ItemSegment>>,
+}
+
+impl ItemStore {
+    /// Builds a single-segment store over `theta` (rows in catalog order)
+    /// with the given layout.
+    pub fn new(theta: FactorMatrix, layout: ItemLayout) -> Self {
+        let f = theta.rank();
+        let n_items = theta.len();
+        let segments = vec![Arc::new(ItemSegment::build(theta, 0, layout))];
+        Self {
+            f,
+            n_items,
+            layout,
+            segments,
+        }
+    }
+
+    /// Latent rank `f`.
+    pub fn rank(&self) -> usize {
+        self.f
+    }
+
+    /// Total items across all segments.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// The stored row order of every segment.
+    pub fn layout(&self) -> ItemLayout {
+        self.layout
+    }
+
+    /// Number of segments (1 after a full build or [`ItemStore::compact`]).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The segments, base first, tails in append order.
+    pub fn segments(&self) -> &[Arc<ItemSegment>] {
+        &self.segments
+    }
+
+    /// Appends `rows` as a new tail segment taking the next catalog ids.
+    /// Returns the new store and the factor bytes physically copied —
+    /// exactly `rows.len() · f · 4` (`O(a·f)`): every existing segment is
+    /// shared by `Arc`, never copied.
+    ///
+    /// # Panics
+    /// Panics if `rows` has a different rank.
+    pub fn append(&self, rows: &FactorMatrix) -> (ItemStore, usize) {
+        assert_eq!(rows.rank(), self.f, "appended items have the wrong rank");
+        let bytes = rows.data().len() * 4;
+        let mut segments = self.segments.clone();
+        segments.push(Arc::new(ItemSegment::build(
+            rows.clone(),
+            self.n_items as u32,
+            self.layout,
+        )));
+        (
+            Self {
+                f: self.f,
+                n_items: self.n_items + rows.len(),
+                layout: self.layout,
+                segments,
+            },
+            bytes,
+        )
+    }
+
+    /// Merges every segment back into one base segment, re-deriving the
+    /// layout over the whole catalog.  Costs one `O(n·f)` materialization —
+    /// the price an append-heavy store pays once per compaction instead of
+    /// on every delta.  Retrieval against the compacted store is
+    /// bit-identical.
+    pub fn compact(&self) -> ItemStore {
+        ItemStore::new(self.to_matrix(), self.layout)
+    }
+
+    /// Materializes the catalog in global id order — the contiguous Θ a
+    /// fold-in solve or an external consumer wants.  `O(n·f)`.
+    pub fn to_matrix(&self) -> FactorMatrix {
+        let f = self.f;
+        let mut data = vec![0.0f32; self.n_items * f];
+        for seg in &self.segments {
+            for row in 0..seg.len() {
+                let g = seg.global_id(row) as usize;
+                data[g * f..(g + 1) * f].copy_from_slice(seg.theta.vector(row));
+            }
+        }
+        FactorMatrix::from_vec(self.n_items, f, data)
+    }
+
+    /// The segment covering global item id `v`.
+    ///
+    /// # Panics
+    /// Panics if `v >= n_items()`.
+    fn segment_for(&self, v: usize) -> &ItemSegment {
+        assert!(v < self.n_items, "item {v} out of range");
+        let i = self
+            .segments
+            .partition_point(|s| (s.start as usize) <= v)
+            .saturating_sub(1);
+        &self.segments[i]
+    }
+
+    /// Factor vector of catalog item `v` (id-remap applied).
+    ///
+    /// # Panics
+    /// Panics if `v >= n_items()`.
+    pub fn vector(&self, v: usize) -> &[f32] {
+        let seg = self.segment_for(v);
+        seg.vector_at(v - seg.start as usize)
+    }
+
+    /// Norm of catalog item `v`.
+    ///
+    /// # Panics
+    /// Panics if `v >= n_items()`.
+    pub fn norm(&self, v: usize) -> f32 {
+        let seg = self.segment_for(v);
+        seg.norm_at(v - seg.start as usize)
+    }
+
+    /// Scoring views of every segment at their default blocking.
+    pub fn views(&self) -> Vec<SegmentView<'_>> {
+        self.segments.iter().map(|s| s.view()).collect()
+    }
+
+    /// True when segment `i` is physically the same allocation in both
+    /// stores — the structural-sharing invariant the tests pin.
+    #[cfg(test)]
+    pub(crate) fn shares_segment_with(&self, other: &ItemStore, i: usize) -> bool {
+        Arc::ptr_eq(&self.segments[i], &other.segments[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn theta(n: usize, f: usize, seed: u64) -> FactorMatrix {
+        FactorMatrix::random(n, f, 1.0, seed)
+    }
+
+    #[test]
+    fn catalog_order_store_round_trips_vectors_and_norms() {
+        let t = theta(37, 5, 1);
+        let store = ItemStore::new(t.clone(), ItemLayout::CatalogOrder);
+        assert_eq!(store.n_items(), 37);
+        assert_eq!(store.segment_count(), 1);
+        for v in 0..37 {
+            assert_eq!(store.vector(v), t.vector(v), "item {v}");
+            let expect = cumf_linalg::blas::norm_sq(t.vector(v)).sqrt();
+            assert_eq!(store.norm(v), expect);
+        }
+        assert_eq!(store.to_matrix(), t);
+    }
+
+    #[test]
+    fn norm_descending_store_permutes_rows_but_remaps_ids() {
+        let t = theta(100, 6, 2);
+        let store = ItemStore::new(t.clone(), ItemLayout::NormDescending);
+        let seg = &store.segments()[0];
+        assert!(seg.is_permuted());
+        // Stored norms are non-increasing.
+        assert!(seg.norms().windows(2).all(|w| w[0] >= w[1]));
+        // Global lookups are id-remapped back to catalog order.
+        for v in 0..100 {
+            assert_eq!(store.vector(v), t.vector(v), "item {v}");
+        }
+        assert_eq!(store.to_matrix(), t);
+        // Stored rows carry their true global ids.
+        for row in 0..seg.len() {
+            let g = seg.global_id(row) as usize;
+            assert_eq!(seg.theta().vector(row), t.vector(g));
+        }
+    }
+
+    #[test]
+    fn norm_permutation_is_deterministic_under_ties() {
+        // All-equal norms: the permutation must fall back to id order.
+        let t = FactorMatrix::from_vec(
+            6,
+            2,
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0],
+        );
+        let store = ItemStore::new(t, ItemLayout::NormDescending);
+        let seg = &store.segments()[0];
+        let ids: Vec<u32> = (0..seg.len()).map(|r| seg.global_id(r)).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn append_pushes_a_tail_segment_and_shares_the_base() {
+        for layout in [ItemLayout::CatalogOrder, ItemLayout::NormDescending] {
+            let base_theta = theta(90, 4, 3);
+            let store = ItemStore::new(base_theta.clone(), layout);
+            let tail = theta(15, 4, 4);
+            let (grown, bytes) = store.append(&tail);
+            assert_eq!(bytes, 15 * 4 * 4, "O(a·f) bytes for {layout:?}");
+            assert_eq!(grown.n_items(), 105);
+            assert_eq!(grown.segment_count(), 2);
+            assert!(grown.shares_segment_with(&store, 0), "base Arc-shared");
+            for v in 0..90 {
+                assert_eq!(grown.vector(v), base_theta.vector(v));
+            }
+            for i in 0..15 {
+                assert_eq!(grown.vector(90 + i), tail.vector(i), "{layout:?}");
+            }
+            // A second append shares both existing segments.
+            let (grown2, _) = grown.append(&theta(7, 4, 5));
+            assert_eq!(grown2.segment_count(), 3);
+            assert!(grown2.shares_segment_with(&grown, 0));
+            assert!(grown2.shares_segment_with(&grown, 1));
+        }
+    }
+
+    #[test]
+    fn compact_merges_tails_into_one_identical_base() {
+        for layout in [ItemLayout::CatalogOrder, ItemLayout::NormDescending] {
+            let store = ItemStore::new(theta(60, 5, 6), layout);
+            let (store, _) = store.append(&theta(20, 5, 7));
+            let (store, _) = store.append(&theta(3, 5, 8));
+            assert_eq!(store.segment_count(), 3);
+            let compacted = store.compact();
+            assert_eq!(compacted.segment_count(), 1);
+            assert_eq!(compacted.n_items(), store.n_items());
+            assert_eq!(compacted.to_matrix(), store.to_matrix(), "{layout:?}");
+            for v in 0..store.n_items() {
+                assert_eq!(compacted.vector(v), store.vector(v));
+                assert_eq!(compacted.norm(v), store.norm(v));
+            }
+        }
+    }
+
+    #[test]
+    fn views_cover_every_item_exactly_once() {
+        let store = ItemStore::new(theta(50, 4, 9), ItemLayout::NormDescending);
+        let (store, _) = store.append(&theta(11, 4, 10));
+        let views = store.views();
+        assert_eq!(views.len(), 2);
+        let mut seen: Vec<u32> = views
+            .iter()
+            .flat_map(|v| (0..v.n_items()).map(move |r| v.global_id(r)))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..61u32).collect::<Vec<_>>());
+        for v in &views {
+            v.validate(4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_vector_panics() {
+        ItemStore::new(theta(3, 2, 11), ItemLayout::CatalogOrder).vector(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong rank")]
+    fn append_rejects_rank_mismatch() {
+        ItemStore::new(theta(3, 2, 12), ItemLayout::CatalogOrder).append(&theta(1, 3, 13));
+    }
+
+    #[test]
+    fn empty_catalog_is_representable() {
+        let store = ItemStore::new(FactorMatrix::zeros(0, 4), ItemLayout::NormDescending);
+        assert_eq!(store.n_items(), 0);
+        assert_eq!(store.views().len(), 1);
+        assert!(store.segments()[0].is_empty());
+        let (grown, bytes) = store.append(&theta(5, 4, 14));
+        assert_eq!(grown.n_items(), 5);
+        assert_eq!(bytes, 5 * 4 * 4);
+    }
+}

@@ -6,29 +6,41 @@
 //! retrieval service, reusing the paper's central trick — batch many small
 //! independent problems into one regular blocked kernel — at serving time:
 //!
-//! * [`snapshot::FactorSnapshot`] — an immutable, generation-stamped view of
-//!   the factors with precomputed item norms, stored as `Arc`-shared
-//!   copy-on-write user blocks; [`snapshot::SnapshotStore`] hot-swaps
-//!   snapshots (`Arc` pointer swap) so a retrain publishes under load
-//!   without stalling in-flight batches, and
+//! * [`itemstore::ItemStore`] — the item factors Θ as block-aligned,
+//!   `Arc`-shared **segments** (base + appended tails), each with its own
+//!   precomputed norms and block-max pruning tables, optionally stored
+//!   **norm-descending** ([`itemstore::ItemLayout`]) with an id remap on
+//!   output so block pruning fires systematically; `compact()` folds tails
+//!   back into one base.
+//! * [`snapshot::FactorSnapshot`] — an immutable, generation-stamped view
+//!   of the factors: `Arc`-shared copy-on-write user blocks over a
+//!   segmented item store; [`snapshot::SnapshotStore`] hot-swaps snapshots
+//!   (`Arc` pointer swap) so a retrain publishes under load without
+//!   stalling in-flight batches, and
 //!   [`snapshot::SnapshotStore::publish_delta`] publishes an incremental
-//!   [`snapshot::SnapshotDelta`] (folded-in users, appended items) copying
-//!   only `O(u·f)` bytes for `u` changed users.
+//!   [`snapshot::SnapshotDelta`] copying only `O(u·f)` bytes for `u`
+//!   changed users and `O(a·f)` (one tail segment) for `a` appended items.
 //! * [`topk::TopKIndex`] — scores micro-batches of requests as blocked
-//!   matrix-vector products ([`cumf_linalg::batch_score_block`]) with a
-//!   bounded heap per user and seen-item exclusion; the catalog can be
-//!   partitioned into item **shards** scored in parallel and merged
-//!   ([`cumf_linalg::merge_top_k`]) with bit-identical results, and whole
-//!   low-scoring blocks are skipped via norm-bound threshold pruning.
+//!   matrix-vector products ([`cumf_linalg::batch_score_segment`]) with a
+//!   bounded heap per user and seen-item exclusion; the catalog's blocks —
+//!   spanning every segment — can be partitioned into item **shards**
+//!   scored in parallel and merged ([`cumf_linalg::merge_top_k`]) with
+//!   bit-identical results, whole low-scoring blocks are skipped via
+//!   norm-bound threshold pruning, and every skip/score decision is
+//!   counted ([`cumf_linalg::PruneStats`]).
 //! * [`batcher::TopKService`] — a pool of `workers` scorer threads
 //!   coalescing concurrent requests into size- and deadline-bounded
 //!   micro-batches (identical in-flight requests are scored once), fronted
 //!   by a sharded, byte-budgeted LRU result cache
 //!   ([`cache::ShardedResultCache`]) invalidated by snapshot generation.
-//!   A panicking worker is surfaced as
-//!   [`batcher::ServeError::WorkerPanicked`] with the panic message.
+//!   A panicking worker fails its batch with
+//!   [`batcher::ServeError::WorkerPanicked`] and restarts within the
+//!   pool-wide [`batcher::ServeConfig::panic_budget`]; past the budget the
+//!   pool poisons.  Item-appending deltas auto-compact past
+//!   [`batcher::ServeConfig::max_item_segments`].
 //! * [`metrics::ServeMetrics`] — request counts, batch-size histogram,
-//!   cache hit rate, batch latency, swap count, worker panics.
+//!   cache hit rate, batch latency, swap/delta/compaction counts, worker
+//!   panics and restarts, block-pruning counters.
 //!
 //! ## Quick start
 //!
@@ -56,12 +68,15 @@
 
 pub mod batcher;
 pub mod cache;
+pub mod itemstore;
 pub mod metrics;
 pub mod snapshot;
 pub mod topk;
 
 pub use batcher::{ServeClient, ServeConfig, ServeError, TopKService};
 pub use cache::{CacheKey, ResultCache, ShardedResultCache};
+pub use cumf_linalg::PruneStats;
+pub use itemstore::{ItemLayout, ItemSegment, ItemStore};
 pub use metrics::{MetricsReport, ServeMetrics};
 pub use snapshot::{
     DeltaError, DeltaStats, FactorSnapshot, SnapshotDelta, SnapshotStore, USER_COW_ROWS,

@@ -27,7 +27,11 @@ pub struct ServeMetrics {
     batch_latency_ns_max: AtomicU64,
     snapshot_swaps: AtomicU64,
     delta_publishes: AtomicU64,
+    item_compactions: AtomicU64,
     worker_panics: AtomicU64,
+    worker_restarts: AtomicU64,
+    blocks_scored: AtomicU64,
+    blocks_pruned: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -81,10 +85,29 @@ impl ServeMetrics {
         self.delta_publishes.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records a scorer worker dying to a panic — any non-zero value in a
-    /// report means the service lost capacity and requests were dropped.
+    /// Records an item-segment compaction republish (also counted in
+    /// `snapshot_swaps`).
+    pub fn record_item_compaction(&self) {
+        self.item_compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a scorer worker panicking while scoring — the panicked batch
+    /// was dropped; whether capacity was lost depends on the restart
+    /// budget (`worker_restarts` counts the recoveries).
     pub fn record_worker_panic(&self) {
         self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a panicked worker resuming within its panic budget.
+    pub fn record_worker_restart(&self) {
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one batch's block-pruning outcome: how many item blocks the
+    /// scorer streamed versus skipped on the norm bound.
+    pub fn record_pruning(&self, scored: u64, pruned: u64) {
+        self.blocks_scored.fetch_add(scored, Ordering::Relaxed);
+        self.blocks_pruned.fetch_add(pruned, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of all counters plus derived rates.
@@ -120,7 +143,11 @@ impl ServeMetrics {
             ),
             snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed),
             delta_publishes: self.delta_publishes.load(Ordering::Relaxed),
+            item_compactions: self.item_compactions.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            blocks_scored: self.blocks_scored.load(Ordering::Relaxed),
+            blocks_pruned: self.blocks_pruned.load(Ordering::Relaxed),
         }
     }
 }
@@ -153,8 +180,31 @@ pub struct MetricsReport {
     /// Publications that went through the incremental delta path (a subset
     /// of `snapshot_swaps`).
     pub delta_publishes: u64,
-    /// Scorer workers lost to panics (0 in a healthy service).
+    /// Item-segment compaction republishes (a subset of `snapshot_swaps`).
+    pub item_compactions: u64,
+    /// Scoring panics caught in workers (0 in a healthy service).
     pub worker_panics: u64,
+    /// Panicked workers restarted within the panic budget (`worker_panics -
+    /// worker_restarts` workers died for good).
+    pub worker_restarts: u64,
+    /// Item blocks streamed and scored by the blocked scorer.
+    pub blocks_scored: u64,
+    /// Item blocks skipped whole on the Cauchy–Schwarz norm bound — the
+    /// pruning-effectiveness counter a norm-descending layout drives up.
+    pub blocks_pruned: u64,
+}
+
+impl MetricsReport {
+    /// Fraction of visited item blocks skipped by threshold pruning
+    /// (`0.0` when nothing was scored).
+    pub fn pruned_block_rate(&self) -> f64 {
+        let total = self.blocks_scored + self.blocks_pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.blocks_pruned as f64 / total as f64
+        }
+    }
 }
 
 impl std::fmt::Display for MetricsReport {
@@ -166,13 +216,23 @@ impl std::fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
-            "cache: {:.1}% hit ({} hit / {} miss)  swaps: {} ({} delta)  worker panics: {}",
+            "cache: {:.1}% hit ({} hit / {} miss)  swaps: {} ({} delta, {} compaction)  \
+             worker panics: {} ({} restarted)",
             100.0 * self.cache_hit_rate,
             self.cache_hits,
             self.cache_misses,
             self.snapshot_swaps,
             self.delta_publishes,
-            self.worker_panics
+            self.item_compactions,
+            self.worker_panics,
+            self.worker_restarts
+        )?;
+        writeln!(
+            f,
+            "pruning: {} blocks scored, {} pruned ({:.1}% skipped)",
+            self.blocks_scored,
+            self.blocks_pruned,
+            100.0 * self.pruned_block_rate()
         )?;
         writeln!(
             f,
@@ -235,6 +295,22 @@ mod tests {
         assert_eq!(r.requests, 0);
         assert_eq!(r.cache_hit_rate, 0.0);
         assert_eq!(r.mean_batch_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn pruning_and_supervisor_counters_accumulate() {
+        let m = ServeMetrics::new();
+        m.record_pruning(6, 2);
+        m.record_pruning(0, 8);
+        m.record_worker_panic();
+        m.record_worker_restart();
+        m.record_item_compaction();
+        let r = m.report();
+        assert_eq!((r.blocks_scored, r.blocks_pruned), (6, 10));
+        assert!((r.pruned_block_rate() - 10.0 / 16.0).abs() < 1e-12);
+        assert_eq!((r.worker_panics, r.worker_restarts), (1, 1));
+        assert_eq!(r.item_compactions, 1);
+        assert_eq!(ServeMetrics::new().report().pruned_block_rate(), 0.0);
     }
 
     #[test]

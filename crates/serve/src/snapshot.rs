@@ -14,10 +14,14 @@
 //! [`FactorSnapshot::apply_delta`] shares every block the delta did not
 //! touch with its base, so folding in `u` users copies `O(u·f)` factor
 //! bytes instead of the `O(m·f)` a full republication moves.  The item side
-//! (`Θ`, norms, block maxima) is shared whole via `Arc` when a delta leaves
-//! the catalog untouched; appending items copies the catalog once but
-//! recomputes norms only for the appended rows
-//! ([`cumf_linalg::extend_item_norms`]).
+//! is a segmented [`ItemStore`] (see [`crate::itemstore`]): a delta that
+//! leaves the catalog untouched shares every segment via `Arc`, and a delta
+//! that **appends** `a` items pushes one new `a`-row segment — `O(a·f)`
+//! bytes, norms computed only for the appended rows — instead of copying Θ
+//! whole.  [`FactorSnapshot::compacted`] merges accumulated tail segments
+//! back into one base so segment count stays bounded under sustained
+//! appends; [`SnapshotStore::compact_items`] republishes the result through
+//! the ordinary swap.
 //!
 //! [`SnapshotStore`] is the publication point: a retrain (or a checkpoint
 //! restore) builds a fresh snapshot and [`SnapshotStore::publish`]es it,
@@ -27,12 +31,10 @@
 //! and then score against an immutable object, so a publish never stalls
 //! in-flight batches and a batch can never observe two generations.
 
+use crate::itemstore::{ItemLayout, ItemStore};
 use cumf_core::checkpoint::Checkpoint;
 use cumf_core::trainer::MatrixFactorizer;
-use cumf_linalg::{
-    block_max_norms, extend_block_max, extend_item_norms, item_norms, retrieve_top_k_pruned,
-    topk::DEFAULT_ITEM_BLOCK, FactorMatrix,
-};
+use cumf_linalg::{retrieve_top_k_segments, FactorMatrix, PruneStats};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -286,8 +288,9 @@ pub struct DeltaStats {
     pub user_factor_bytes_copied: usize,
     /// User COW blocks shared untouched with the base snapshot.
     pub user_blocks_shared: usize,
-    /// Item-factor bytes physically copied (0 unless the delta appends
-    /// items, which copies the catalog once).
+    /// Item-factor bytes physically copied — `O(a·f)` for `a` appended
+    /// items (the new tail segment); every pre-existing segment is shared
+    /// by `Arc`, never copied.
     pub item_factor_bytes_copied: usize,
     /// Item norms recomputed (appended items only; existing norms are
     /// reused).
@@ -349,32 +352,40 @@ impl std::error::Error for DeltaError {}
 pub struct FactorSnapshot {
     generation: u64,
     x: UserFactors,
-    theta: Arc<FactorMatrix>,
-    item_norms: Arc<Vec<f32>>,
-    /// Per-block maxima of `item_norms` at [`DEFAULT_ITEM_BLOCK`]
-    /// granularity (clamped to the catalog size), precomputed once so the
-    /// threshold-pruned retrieval paths never rescan the norms per request
-    /// or per micro-batch.
-    block_max: Arc<Vec<f32>>,
+    /// The segmented (optionally norm-ordered) item catalog; each segment
+    /// carries its own precomputed norms and block maxima so the
+    /// threshold-pruned retrieval paths never rescan norms per request or
+    /// per micro-batch.
+    items: ItemStore,
 }
 
 impl FactorSnapshot {
     /// Builds a snapshot from factor matrices (generation 0 until
-    /// published).
+    /// published), storing the catalog in [`ItemLayout::CatalogOrder`].
     ///
     /// # Panics
     /// Panics if the two matrices disagree on the latent rank.
     pub fn from_factors(x: FactorMatrix, theta: FactorMatrix) -> Self {
+        Self::from_factors_with_layout(x, theta, ItemLayout::CatalogOrder)
+    }
+
+    /// [`FactorSnapshot::from_factors`] with an explicit item layout.
+    /// [`ItemLayout::NormDescending`] stores each catalog segment sorted by
+    /// item norm (id-remapped on output) so block threshold pruning fires
+    /// systematically; results are bit-identical to catalog order.
+    ///
+    /// # Panics
+    /// Panics if the two matrices disagree on the latent rank.
+    pub fn from_factors_with_layout(
+        x: FactorMatrix,
+        theta: FactorMatrix,
+        layout: ItemLayout,
+    ) -> Self {
         assert_eq!(x.rank(), theta.rank(), "factor rank mismatch");
-        let f = theta.rank();
-        let norms = item_norms(theta.data(), f.max(1));
-        let block_max = block_max_norms(&norms, DEFAULT_ITEM_BLOCK.min(theta.len().max(1)));
         Self {
             generation: 0,
             x: UserFactors::from_matrix(&x),
-            theta: Arc::new(theta),
-            item_norms: Arc::new(norms),
-            block_max: Arc::new(block_max),
+            items: ItemStore::new(theta, layout),
         }
     }
 
@@ -386,11 +397,21 @@ impl FactorSnapshot {
         Self::from_factors(model.x().clone(), model.theta().clone())
     }
 
+    /// [`FactorSnapshot::from_trainer`] with an explicit item layout.
+    pub fn from_trainer_with_layout(model: &MatrixFactorizer, layout: ItemLayout) -> Self {
+        Self::from_factors_with_layout(model.x().clone(), model.theta().clone(), layout)
+    }
+
     /// Restores a snapshot from a saved checkpoint — the serving half of the
     /// paper's §4.4 fault-tolerance story: a retrain crash loses no serving
     /// capability, the last checkpoint serves on.
     pub fn from_checkpoint(checkpoint: &Checkpoint) -> Self {
         Self::from_factors(checkpoint.x.clone(), checkpoint.theta.clone())
+    }
+
+    /// [`FactorSnapshot::from_checkpoint`] with an explicit item layout.
+    pub fn from_checkpoint_with_layout(checkpoint: &Checkpoint, layout: ItemLayout) -> Self {
+        Self::from_factors_with_layout(checkpoint.x.clone(), checkpoint.theta.clone(), layout)
     }
 
     /// The publication generation (0 for never-published snapshots).
@@ -405,12 +426,12 @@ impl FactorSnapshot {
 
     /// Number of items in the catalog.
     pub fn n_items(&self) -> usize {
-        self.theta.len()
+        self.items.n_items()
     }
 
     /// Latent rank `f`.
     pub fn rank(&self) -> usize {
-        self.theta.rank()
+        self.items.rank()
     }
 
     /// User factor vector `x_u`, or `None` for out-of-range users.
@@ -418,28 +439,41 @@ impl FactorSnapshot {
         ((user as usize) < self.x.n).then(|| self.x.vector(user as usize))
     }
 
-    /// The row-major item factor table.
-    pub fn item_factors(&self) -> &FactorMatrix {
-        &self.theta
+    /// The segmented item store backing this snapshot.
+    pub fn items(&self) -> &ItemStore {
+        &self.items
     }
 
-    /// Precomputed item L2 norms (`‖θ_v‖`), indexed by item id.
-    pub fn item_norms(&self) -> &[f32] {
-        &self.item_norms
+    /// Factor vector `θ_v` of catalog item `v` (segment lookup + id remap),
+    /// or `None` for out-of-range items.
+    pub fn item_vector(&self, item: u32) -> Option<&[f32]> {
+        ((item as usize) < self.items.n_items()).then(|| self.items.vector(item as usize))
     }
 
-    /// The item block size the snapshot's precomputed block maxima
-    /// ([`FactorSnapshot::default_block_max`]) are aligned to:
-    /// [`DEFAULT_ITEM_BLOCK`] clamped to the catalog size.
-    pub fn default_item_block(&self) -> usize {
-        DEFAULT_ITEM_BLOCK.min(self.n_items().max(1))
+    /// Precomputed L2 norm `‖θ_v‖` of catalog item `v`, or `None` for
+    /// out-of-range items.
+    pub fn item_norm(&self, item: u32) -> Option<f32> {
+        ((item as usize) < self.items.n_items()).then(|| self.items.norm(item as usize))
     }
 
-    /// Per-block maxima of the item norms at
-    /// [`FactorSnapshot::default_item_block`] granularity, for
-    /// threshold-pruned retrieval.
-    pub fn default_block_max(&self) -> &[f32] {
-        &self.block_max
+    /// Materializes the catalog as one contiguous row-major matrix in
+    /// catalog-id order — what a fold-in solve against frozen Θ wants.
+    /// `O(n·f)`; retrieval never needs this.
+    pub fn item_factors_matrix(&self) -> FactorMatrix {
+        self.items.to_matrix()
+    }
+
+    /// A snapshot whose item segments are merged back into one base segment
+    /// ([`ItemStore::compact`]); user blocks are shared with `self`, and
+    /// retrieval is bit-identical.  Publish the result through
+    /// [`SnapshotStore::compact_items`] (or `publish`) to bound segment
+    /// count under sustained item appends.
+    pub fn compacted(&self) -> FactorSnapshot {
+        Self {
+            generation: self.generation,
+            x: self.x.clone(),
+            items: self.items.compact(),
+        }
     }
 
     /// An empty [`SnapshotDelta`] chained onto this snapshot's generation
@@ -510,33 +544,17 @@ impl FactorSnapshot {
             .filter(|(a, b)| Arc::ptr_eq(a, b))
             .count();
 
-        let (theta, item_norms, block_max) = match &delta.appended_items {
-            None => (
-                Arc::clone(&self.theta),
-                Arc::clone(&self.item_norms),
-                Arc::clone(&self.block_max),
-            ),
+        // The item side: untouched catalogs share every segment by `Arc`;
+        // an append pushes one new O(a·f) tail segment — never a full Θ
+        // copy — with norms and block maxima computed only for the appended
+        // rows.
+        let items = match &delta.appended_items {
+            None => self.items.clone(),
             Some(app) => {
-                let old_items = self.theta.len();
-                let mut theta = self.theta.as_ref().clone();
-                theta.append_rows(app);
-                stats.item_factor_bytes_copied = theta.data().len() * 4;
-                let mut norms = self.item_norms.as_ref().clone();
-                extend_item_norms(&mut norms, app.data(), f);
+                let (items, bytes) = self.items.append(app);
+                stats.item_factor_bytes_copied = bytes;
                 stats.norms_recomputed = app.len();
-                // The default blocking is clamped to the catalog size, so a
-                // small catalog that grows changes its block size — rebuild
-                // the (tiny) maxima outright in that case.
-                let old_block = DEFAULT_ITEM_BLOCK.min(old_items.max(1));
-                let new_block = DEFAULT_ITEM_BLOCK.min(theta.len().max(1));
-                let block_max = if old_block == new_block {
-                    let mut bm = self.block_max.as_ref().clone();
-                    extend_block_max(&mut bm, &norms, new_block, old_items);
-                    bm
-                } else {
-                    block_max_norms(&norms, new_block)
-                };
-                (Arc::new(theta), Arc::new(norms), Arc::new(block_max))
+                items
             }
         };
 
@@ -544,9 +562,7 @@ impl FactorSnapshot {
             FactorSnapshot {
                 generation: self.generation,
                 x,
-                theta,
-                item_norms,
-                block_max,
+                items,
             },
             stats,
         ))
@@ -555,28 +571,28 @@ impl FactorSnapshot {
     /// Predicted rating `x_u · θ_v`; `None` for out-of-range ids.
     pub fn predict(&self, user: u32, item: u32) -> Option<f32> {
         let x_u = self.user_vector(user)?;
-        ((item as usize) < self.theta.len())
-            .then(|| cumf_linalg::blas::dot(x_u, self.theta.vector(item as usize)))
+        Some(cumf_linalg::blas::dot(x_u, self.item_vector(item)?))
     }
 
     /// Single-request top-`k` retrieval: the blocked-scoring + bounded-heap
-    /// path a batch of size one takes, with whole-block threshold pruning
-    /// driven by the precomputed item norms (results are identical to the
-    /// unpruned path).  Out-of-range users get an empty result (a serving
-    /// layer must not panic on bad requests).
+    /// path a batch of size one takes, walking the item segments with
+    /// whole-block threshold pruning driven by each segment's precomputed
+    /// norms (results are identical to the unpruned path, for any segment
+    /// count and layout).  Out-of-range users get an empty result (a
+    /// serving layer must not panic on bad requests).
     pub fn recommend_one(&self, user: u32, k: usize, exclude: &[u32]) -> Vec<(u32, f32)> {
         let Some(x_u) = self.user_vector(user) else {
             return Vec::new();
         };
         let excluded: HashSet<u32> = exclude.iter().copied().collect();
-        retrieve_top_k_pruned(
+        let mut stats = PruneStats::default();
+        retrieve_top_k_segments(
             x_u,
-            self.theta.data(),
             self.rank(),
             k,
-            self.default_item_block(),
-            &self.block_max,
+            &self.items.views(),
             |v| excluded.contains(&v),
+            &mut stats,
         )
     }
 }
@@ -636,18 +652,50 @@ impl SnapshotStore {
     /// [`DeltaError::StaleBase`] instead of silently overwriting it.
     pub fn publish_delta(&self, delta: &SnapshotDelta) -> Result<(u64, DeltaStats), DeltaError> {
         let base = self.load();
-        let (mut next, stats) = base.apply_delta(delta)?;
+        let (next, stats) = base.apply_delta(delta)?;
+        let generation = self.publish_if_current(next, base.generation)?;
+        Ok((generation, stats))
+    }
+
+    /// Publishes `snapshot` only if `base_generation` is still the
+    /// published generation — the compare-and-swap every derived publish
+    /// (delta apply, item compaction) funnels through so a concurrent
+    /// publish can never be silently overwritten.
+    pub fn publish_if_current(
+        &self,
+        mut snapshot: FactorSnapshot,
+        base_generation: u64,
+    ) -> Result<u64, DeltaError> {
         let mut current = self.current.write().expect("snapshot lock poisoned");
-        if current.generation != base.generation {
+        if current.generation != base_generation {
             return Err(DeltaError::StaleBase {
-                delta: delta.base_generation,
+                delta: base_generation,
                 current: current.generation,
             });
         }
         let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
-        next.generation = generation;
-        *current = Arc::new(next);
-        Ok((generation, stats))
+        snapshot.generation = generation;
+        *current = Arc::new(snapshot);
+        Ok(generation)
+    }
+
+    /// Merges the published snapshot's item tail segments back into one
+    /// base ([`FactorSnapshot::compacted`]) and republishes, bounding
+    /// segment count under sustained item-appending deltas.  The `O(n·f)`
+    /// merge runs outside the lock; the swap only goes through if no other
+    /// publish intervened (otherwise the compaction is simply dropped —
+    /// the intervening publisher owns the newer state).  Returns `Ok(None)`
+    /// when the catalog is already a single segment, and
+    /// `Ok(Some((base_generation, new_generation)))` on success — the base
+    /// generation is what a cache-retention layer must re-stamp *from*.
+    pub fn compact_items(&self) -> Result<Option<(u64, u64)>, DeltaError> {
+        let base = self.load();
+        if base.items().segment_count() <= 1 {
+            return Ok(None);
+        }
+        let compacted = base.compacted();
+        let generation = self.publish_if_current(compacted, base.generation)?;
+        Ok(Some((base.generation, generation)))
     }
 }
 
@@ -674,11 +722,12 @@ mod tests {
     #[test]
     fn norms_match_theta_rows() {
         let s = snapshot(1);
-        assert_eq!(s.item_norms().len(), s.n_items());
-        for v in 0..s.n_items() {
-            let expect = dot(s.item_factors().vector(v), s.item_factors().vector(v)).sqrt();
-            assert!((s.item_norms()[v] - expect).abs() < 1e-6);
+        for v in 0..s.n_items() as u32 {
+            let theta_v = s.item_vector(v).unwrap();
+            let expect = dot(theta_v, theta_v).sqrt();
+            assert!((s.item_norm(v).unwrap() - expect).abs() < 1e-6);
         }
+        assert_eq!(s.item_norm(s.n_items() as u32), None);
     }
 
     #[test]
@@ -760,10 +809,9 @@ mod tests {
         assert_eq!(stats.user_blocks_shared, 4);
         // 2 blocks copied: exactly 2 · USER_COW_ROWS · f · 4 bytes.
         assert_eq!(stats.user_factor_bytes_copied, 2 * USER_COW_ROWS * f * 4);
-        // The item side is shared whole.
+        // The item side is shared whole: same segment allocation.
         assert_eq!(stats.item_factor_bytes_copied, 0);
-        assert!(Arc::ptr_eq(&next.theta, &base.theta));
-        assert!(Arc::ptr_eq(&next.item_norms, &base.item_norms));
+        assert!(next.items.shares_segment_with(&base.items, 0));
     }
 
     #[test]
@@ -786,7 +834,7 @@ mod tests {
         }
         for i in 0..9 {
             assert_eq!(
-                next.item_factors().vector(base.n_items() + i),
+                next.item_vector((base.n_items() + i) as u32).unwrap(),
                 new_items.vector(i)
             );
         }
@@ -799,14 +847,26 @@ mod tests {
                 }
                 d
             }),
-            next.item_factors().clone(),
+            next.item_factors_matrix(),
         );
-        assert_eq!(next.item_norms(), full.item_norms());
-        assert_eq!(next.default_block_max(), full.default_block_max());
+        for v in 0..next.n_items() as u32 {
+            assert_eq!(next.item_norm(v), full.item_norm(v), "item {v}");
+        }
         assert_eq!(stats.appended_users, 10);
         assert_eq!(stats.appended_items, 9);
         assert_eq!(stats.norms_recomputed, 9, "only appended norms computed");
-        assert!(stats.item_factor_bytes_copied > 0);
+        // The append is a new tail segment: exactly O(a·f) bytes, while the
+        // base segment is shared untouched.
+        assert_eq!(stats.item_factor_bytes_copied, 9 * f * 4);
+        assert_eq!(next.items().segment_count(), 2);
+        assert!(next.items.shares_segment_with(&base.items, 0));
+        // Compaction folds the tail back in and changes nothing observable.
+        let compacted = next.compacted();
+        assert_eq!(compacted.items().segment_count(), 1);
+        assert_eq!(
+            compacted.recommend_one(0, 7, &[]),
+            next.recommend_one(0, 7, &[])
+        );
     }
 
     #[test]
@@ -898,6 +958,43 @@ mod tests {
         }
         // Partial tail (13 rows) copied once + 3 appended rows.
         assert_eq!(stats.user_factor_bytes_copied, (13 + 3) * f * 4);
+    }
+
+    #[test]
+    fn store_compact_items_republishes_identical_results() {
+        let store = SnapshotStore::new(snapshot(61));
+        // No tails yet: compaction is a no-op.
+        assert_eq!(store.compact_items(), Ok(None));
+
+        let base = store.load();
+        let f = base.rank();
+        let mut delta = base.delta();
+        delta.append_items(&FactorMatrix::random(12, f, 1.0, 62));
+        store.publish_delta(&delta).unwrap();
+        let mut delta = store.load().delta();
+        delta.append_items(&FactorMatrix::random(5, f, 1.0, 63));
+        store.publish_delta(&delta).unwrap();
+
+        let before = store.load();
+        assert_eq!(before.items().segment_count(), 3);
+        let expect: Vec<_> = (0..5u32).map(|u| before.recommend_one(u, 9, &[])).collect();
+
+        let (base_gen, generation) = store.compact_items().unwrap().expect("tails to merge");
+        assert_eq!((base_gen, generation), (3, 4));
+        let after = store.load();
+        assert_eq!(after.items().segment_count(), 1);
+        assert_eq!(after.n_items(), before.n_items());
+        for (u, e) in expect.iter().enumerate() {
+            assert_eq!(&after.recommend_one(u as u32, 9, &[]), e, "user {u}");
+        }
+
+        // A compaction racing a publish loses cleanly: rebuild on a stale
+        // base is rejected, not silently swapped in.
+        let stale = before.compacted();
+        assert!(matches!(
+            store.publish_if_current(stale, before.generation()),
+            Err(DeltaError::StaleBase { .. })
+        ));
     }
 
     #[test]

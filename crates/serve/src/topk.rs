@@ -12,9 +12,11 @@
 //!
 //! * **User tiles** — queries are split into `USER_TILE`-sized tiles that
 //!   score independently.
-//! * **Item shards** — the catalog Θ is partitioned into `shards` contiguous
-//!   runs of blocks; each `(tile, shard)` pair scores independently into a
-//!   per-shard bounded heap and the partial top-k lists are merged with
+//! * **Item shards** — the catalog's item blocks (spanning every
+//!   [`crate::itemstore::ItemStore`] segment, base and appended tails
+//!   alike) are partitioned into `shards` contiguous runs; each
+//!   `(tile, shard)` pair scores independently into a per-shard bounded
+//!   heap and the partial top-k lists are merged with
 //!   [`cumf_linalg::merge_top_k`].  The heap tie-break is a total order, so
 //!   results are **bit-identical for every shard count** — sharding is purely
 //!   a parallelism knob.
@@ -22,16 +24,24 @@
 //! Dot-product scoring also short-circuits whole low-scoring blocks: once a
 //! tile's heaps are full, a block whose Cauchy–Schwarz bound
 //! (`‖x_u‖ · max‖θ_v‖ ·` [`cumf_linalg::topk::NORM_BOUND_SLACK`]) cannot
-//! beat any heap threshold is skipped without touching its factors.
+//! beat any heap threshold is skipped without touching its factors.  Blocks
+//! never straddle a segment boundary (segments are block-aligned on their
+//! own), each segment prunes against its own block-max table — which a
+//! norm-descending layout makes fire systematically — and the
+//! skipped/scored decisions are counted in a [`PruneStats`]
+//! ([`TopKIndex::query_batch_stats`]).
 
 use crate::snapshot::FactorSnapshot;
-use cumf_linalg::batch_score_block;
 use cumf_linalg::topk::NORM_BOUND_SLACK;
-use cumf_linalg::{block_max_norms, merge_top_k, TopK};
+use cumf_linalg::{batch_score_segment, block_max_norms, merge_top_k, PruneStats, TopK};
 use rayon::prelude::*;
 use std::collections::HashSet;
 use std::ops::Range;
 use std::sync::Arc;
+
+/// One shard's partial output for a user tile: per-query top-k lists plus
+/// the shard's pruning counters.
+type TilePartials = (Vec<Vec<(u32, f32)>>, PruneStats);
 
 /// How a candidate item is scored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -118,6 +128,24 @@ impl TileCtx {
     }
 }
 
+/// One item segment's blocking as resolved by a [`TopKIndex`]: the index's
+/// `item_block` clamped to the segment, a matching block-max table (reusing
+/// the segment's precomputed table when the granularity matches), and the
+/// segment's position in the global block numbering the shard partition
+/// runs over.
+#[derive(Debug, Clone)]
+struct IndexSegment {
+    /// Index into the snapshot's `ItemStore::segments()`.
+    seg: usize,
+    /// Items per block within this segment.
+    item_block: usize,
+    /// Block maxima of the segment's stored-order norms at `item_block`
+    /// granularity.
+    block_max: Vec<f32>,
+    /// Global index of this segment's first block.
+    first_block: usize,
+}
+
 /// Batched blocked top-k scorer over one immutable snapshot.
 ///
 /// All queries of a [`TopKIndex::query_batch`] call are answered from the
@@ -126,12 +154,14 @@ impl TileCtx {
 #[derive(Debug, Clone)]
 pub struct TopKIndex {
     snapshot: Arc<FactorSnapshot>,
-    item_block: usize,
     score: ScoreKind,
     shards: usize,
-    /// Per-block maxima of the snapshot's item norms, aligned to
-    /// `item_block`: the precomputed side of threshold pruning.
-    block_max: Vec<f32>,
+    /// Per-segment blocking, base segment first, in global block order.
+    segs: Vec<IndexSegment>,
+    /// Total blocks across all segments (what shards partition).
+    n_blocks: usize,
+    /// Largest per-segment block size (scratch-buffer sizing).
+    max_block: usize,
 }
 
 impl TopKIndex {
@@ -141,10 +171,10 @@ impl TopKIndex {
         Self::with_shards(snapshot, item_block, score, 1)
     }
 
-    /// Creates an index that partitions the catalog into `shards`
-    /// contiguous item shards scored in parallel (clamped to at least 1 and
-    /// at most one shard per block).  Results are bit-identical for every
-    /// shard count.
+    /// Creates an index that partitions the catalog's item blocks — across
+    /// every store segment — into `shards` contiguous runs scored in
+    /// parallel (clamped to at least 1 and at most one shard per block).
+    /// Results are bit-identical for every shard count.
     pub fn with_shards(
         snapshot: Arc<FactorSnapshot>,
         item_block: usize,
@@ -152,21 +182,37 @@ impl TopKIndex {
         shards: usize,
     ) -> Self {
         assert!(item_block > 0, "item block must be positive");
-        let item_block = item_block.min(snapshot.n_items().max(1));
-        // The default blocking (the common case — `ServeConfig` builds an
-        // index per micro-batch) reuses the snapshot's precomputed maxima
-        // instead of rescanning the norms every batch.
-        let block_max = if item_block == snapshot.default_item_block() {
-            snapshot.default_block_max().to_vec()
-        } else {
-            block_max_norms(snapshot.item_norms(), item_block)
-        };
+        // Resolve the blocking per segment.  The default blocking (the
+        // common case — `ServeConfig` builds an index per micro-batch)
+        // reuses each segment's precomputed maxima instead of rescanning
+        // the norms every batch.
+        let mut segs = Vec::with_capacity(snapshot.items().segment_count());
+        let mut n_blocks = 0usize;
+        let mut max_block = 1usize;
+        for (i, seg) in snapshot.items().segments().iter().enumerate() {
+            let block = item_block.min(seg.len().max(1));
+            let block_max = if block == seg.default_block() {
+                seg.block_max().to_vec()
+            } else {
+                block_max_norms(seg.norms(), block)
+            };
+            let first_block = n_blocks;
+            n_blocks += block_max.len();
+            max_block = max_block.max(block);
+            segs.push(IndexSegment {
+                seg: i,
+                item_block: block,
+                block_max,
+                first_block,
+            });
+        }
         Self {
             snapshot,
-            item_block,
             score,
             shards: shards.max(1),
-            block_max,
+            segs,
+            n_blocks,
+            max_block,
         }
     }
 
@@ -183,7 +229,7 @@ impl TopKIndex {
 
     /// Contiguous block ranges, one per non-empty shard.
     fn shard_ranges(&self) -> Vec<Range<usize>> {
-        let n_blocks = self.block_max.len();
+        let n_blocks = self.n_blocks;
         let shards = self.shards.min(n_blocks.max(1));
         let base = n_blocks / shards;
         let rem = n_blocks % shards;
@@ -210,16 +256,29 @@ impl TopKIndex {
     /// query's per-shard partial top-k lists are merged into the final
     /// ranking.
     pub fn query_batch(&self, queries: &[Query]) -> Vec<Vec<(u32, f32)>> {
+        self.query_batch_stats(queries).0
+    }
+
+    /// [`TopKIndex::query_batch`] plus the batch's aggregated block-pruning
+    /// counters — the observable half of the norm-ordered layout's value
+    /// (more blocks skipped, same results).
+    pub fn query_batch_stats(&self, queries: &[Query]) -> (Vec<Vec<(u32, f32)>>, PruneStats) {
         let ranges = self.shard_ranges();
         if ranges.len() == 1 {
             let range = ranges.into_iter().next().expect("one shard");
-            let tiles: Vec<Vec<Vec<(u32, f32)>>> = queries
+            let tiles: Vec<TilePartials> = queries
                 .par_chunks(USER_TILE)
                 .map(|tile| {
                     self.score_tile(tile, &TileCtx::new(tile, &self.snapshot), range.clone())
                 })
                 .collect();
-            return tiles.into_iter().flatten().collect();
+            let mut stats = PruneStats::default();
+            let mut results = Vec::with_capacity(queries.len());
+            for (tile_results, tile_stats) in tiles {
+                stats.merge(&tile_stats);
+                results.extend(tile_results);
+            }
+            return (results, stats);
         }
 
         let n_shards = ranges.len();
@@ -234,40 +293,40 @@ impl TopKIndex {
         let units: Vec<(usize, usize)> = (0..n_tiles)
             .flat_map(|t| (0..n_shards).map(move |s| (t, s)))
             .collect();
-        let mut partials: Vec<Vec<Vec<(u32, f32)>>> = units
+        let mut partials: Vec<TilePartials> = units
             .par_iter()
             .map(|&(t, s)| {
                 let tile = &queries[t * USER_TILE..((t + 1) * USER_TILE).min(queries.len())];
                 self.score_tile(tile, &contexts[t], ranges[s].clone())
             })
             .collect();
-        queries
+        let mut stats = PruneStats::default();
+        for (_, s) in &partials {
+            stats.merge(s);
+        }
+        let results = queries
             .iter()
             .enumerate()
             .map(|(qi, q)| {
                 let (t, i) = (qi / USER_TILE, qi % USER_TILE);
                 let parts: Vec<Vec<(u32, f32)>> = (0..n_shards)
-                    .map(|s| std::mem::take(&mut partials[t * n_shards + s][i]))
+                    .map(|s| std::mem::take(&mut partials[t * n_shards + s].0[i]))
                     .collect();
                 merge_top_k(&parts, q.k)
             })
-            .collect()
+            .collect();
+        (results, stats)
     }
 
-    /// Scores one user tile against the item blocks in `blocks` (indices
-    /// into the `item_block`-sized blocking of Θ), returning each query's
-    /// top-k **within that shard**.
-    fn score_tile(
-        &self,
-        tile: &[Query],
-        ctx: &TileCtx,
-        blocks: Range<usize>,
-    ) -> Vec<Vec<(u32, f32)>> {
+    /// Scores one user tile against the global block range `blocks` (the
+    /// shard-partitioned numbering spanning every store segment), returning
+    /// each query's top-k **within that shard** plus the shard's pruning
+    /// counters.  Blocks are resolved segment by segment; a block never
+    /// straddles a segment boundary.
+    fn score_tile(&self, tile: &[Query], ctx: &TileCtx, blocks: Range<usize>) -> TilePartials {
         let snap = &self.snapshot;
         let f = snap.rank();
-        let n_items = snap.n_items();
-        let theta = snap.item_factors().data();
-        let norms = snap.item_norms();
+        let segments = snap.items().segments();
         let TileCtx {
             users,
             valid,
@@ -281,55 +340,69 @@ impl TopKIndex {
             .map(|(q, &ok)| (ok && q.k > 0).then(|| TopK::new(q.k)))
             .collect();
 
-        let block = self.item_block;
-        let mut scores = vec![0.0f32; tile.len() * block];
-        for b in blocks {
-            let start = b * block;
-            let end = (start + block).min(n_items);
-            // Dot scoring admits a per-block Cauchy–Schwarz bound; skip the
-            // whole block when no user's heap could accept anything in it.
-            // (Cosine's bound is ‖x_u‖ for every block — nothing to prune.)
-            if self.score == ScoreKind::Dot {
-                let bound = self.block_max[b] * NORM_BOUND_SLACK;
-                let prunable = heaps.iter().enumerate().all(|(i, h)| match h {
-                    Some(h) => h.threshold().is_some_and(|t| user_norms[i] * bound < t),
-                    None => true,
-                });
-                if prunable {
-                    continue;
-                }
+        let mut stats = PruneStats::default();
+        let mut scores = vec![0.0f32; tile.len() * self.max_block];
+        for is in &self.segs {
+            let lo = blocks.start.max(is.first_block);
+            let hi = blocks.end.min(is.first_block + is.block_max.len());
+            if lo >= hi {
+                continue;
             }
-            let nb = end - start;
-            let out = &mut scores[..tile.len() * nb];
-            batch_score_block(users, tile.len(), &theta[start * f..end * f], nb, f, out);
-            for (i, heap) in heaps.iter_mut().enumerate() {
-                let Some(heap) = heap else { continue };
-                let row = &out[i * nb..(i + 1) * nb];
-                for (j, &s) in row.iter().enumerate() {
-                    let item = (start + j) as u32;
-                    if excluded[i].contains(&item) {
+            let seg = &segments[is.seg];
+            let view = seg.view_with(is.item_block, &is.block_max);
+            let n = seg.len();
+            for b in (lo - is.first_block)..(hi - is.first_block) {
+                let start = b * is.item_block;
+                let end = (start + is.item_block).min(n);
+                // Dot scoring admits a per-block Cauchy–Schwarz bound; skip
+                // the whole block when no user's heap could accept anything
+                // in it.  (Cosine's bound is ‖x_u‖ for every block —
+                // nothing to prune.)
+                if self.score == ScoreKind::Dot {
+                    let bound = is.block_max[b] * NORM_BOUND_SLACK;
+                    let prunable = heaps.iter().enumerate().all(|(i, h)| match h {
+                        Some(h) => h.threshold().is_some_and(|t| user_norms[i] * bound < t),
+                        None => true,
+                    });
+                    if prunable {
+                        stats.blocks_pruned += 1;
                         continue;
                     }
-                    let s = match self.score {
-                        ScoreKind::Dot => s,
-                        ScoreKind::Cosine => {
-                            let n = norms[start + j];
-                            if n > 0.0 {
-                                s / n
-                            } else {
-                                0.0
-                            }
+                }
+                stats.blocks_scored += 1;
+                let nb = end - start;
+                let out = &mut scores[..tile.len() * nb];
+                batch_score_segment(users, tile.len(), &view, start, end, f, out);
+                for (i, heap) in heaps.iter_mut().enumerate() {
+                    let Some(heap) = heap else { continue };
+                    let row = &out[i * nb..(i + 1) * nb];
+                    for (j, &s) in row.iter().enumerate() {
+                        let item = view.global_id(start + j);
+                        if excluded[i].contains(&item) {
+                            continue;
                         }
-                    };
-                    heap.push(item, s);
+                        let s = match self.score {
+                            ScoreKind::Dot => s,
+                            ScoreKind::Cosine => {
+                                let n = view.norms[start + j];
+                                if n > 0.0 {
+                                    s / n
+                                } else {
+                                    0.0
+                                }
+                            }
+                        };
+                        heap.push(item, s);
+                    }
                 }
             }
         }
 
-        heaps
+        let results = heaps
             .into_iter()
             .map(|h| h.map(TopK::into_sorted_vec).unwrap_or_default())
-            .collect()
+            .collect();
+        (results, stats)
     }
 }
 

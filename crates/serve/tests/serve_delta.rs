@@ -118,8 +118,10 @@ proptest! {
 
         prop_assert_eq!(next.n_users(), rebuilt.n_users());
         prop_assert_eq!(next.n_items(), rebuilt.n_items());
-        prop_assert_eq!(next.item_norms(), rebuilt.item_norms());
-        prop_assert_eq!(next.default_block_max(), rebuilt.default_block_max());
+        for v in 0..next.n_items() as u32 {
+            prop_assert_eq!(next.item_norm(v), rebuilt.item_norm(v), "item {}", v);
+            prop_assert_eq!(next.item_vector(v), rebuilt.item_vector(v), "item {}", v);
+        }
         for u in 0..next.n_users() as u32 {
             prop_assert_eq!(next.user_vector(u), rebuilt.user_vector(u), "user {}", u);
         }

@@ -60,7 +60,45 @@ pub fn current_num_threads() -> usize {
     })
 }
 
+/// Concurrency permits for [`join`]'s spawned halves: at most
+/// `current_num_threads() - 1` extra threads may be live at once across
+/// every `join` in the process.  A `join` that cannot take a permit runs
+/// both closures sequentially on the current thread — so deeply or widely
+/// recursive joins degrade to sequential execution instead of spawning a
+/// thread per recursion frame and oversubscribing the machine (the real
+/// rayon gets this for free from its fixed worker pool).
+fn join_permits() -> &'static std::sync::atomic::AtomicIsize {
+    static PERMITS: OnceLock<std::sync::atomic::AtomicIsize> = OnceLock::new();
+    PERMITS.get_or_init(|| std::sync::atomic::AtomicIsize::new(current_num_threads() as isize - 1))
+}
+
+/// Releases a [`join_permits`] permit on drop — panic-safe, so a panicking
+/// closure cannot leak the permit.
+struct JoinPermit;
+
+impl Drop for JoinPermit {
+    fn drop(&mut self) {
+        use std::sync::atomic::Ordering;
+        join_permits().fetch_add(1, Ordering::AcqRel);
+        #[cfg(test)]
+        join_audit::LIVE.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Test-only high-water-mark instrumentation of concurrent join threads.
+#[cfg(test)]
+mod join_audit {
+    use std::sync::atomic::AtomicIsize;
+    pub static LIVE: AtomicIsize = AtomicIsize::new(0);
+    pub static PEAK: AtomicIsize = AtomicIsize::new(0);
+}
+
 /// Runs two closures in parallel and returns both results.
+///
+/// Parallelism is best-effort: the second closure runs on a scoped thread
+/// only while a global permit is available (`threads − 1` permits);
+/// otherwise both run sequentially on the caller's thread, which keeps
+/// recursive joins from oversubscribing.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -68,11 +106,25 @@ where
     RA: Send,
     RB: Send,
 {
+    use std::sync::atomic::Ordering;
     if current_num_threads() <= 1 {
         return (a(), b());
     }
+    if join_permits().fetch_sub(1, Ordering::AcqRel) <= 0 {
+        join_permits().fetch_add(1, Ordering::AcqRel);
+        return (a(), b());
+    }
+    let permit = JoinPermit;
+    #[cfg(test)]
+    {
+        let live = join_audit::LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+        join_audit::PEAK.fetch_max(live, Ordering::SeqCst);
+    }
     std::thread::scope(|s| {
-        let hb = s.spawn(b);
+        let hb = s.spawn(move || {
+            let _permit = permit; // released when the spawned half finishes
+            b()
+        });
         let ra = a();
         let rb = match hb.join() {
             Ok(v) => v,
@@ -1109,6 +1161,64 @@ mod tests {
         let (a, b) = super::join(|| 2 + 2, || "ok");
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn recursive_joins_stay_within_the_permit_pool() {
+        // A full binary join tree over 2^12 leaves: without the permit
+        // guard every internal node would hold a live scoped thread (~4096
+        // concurrent at the leaf level); with it, spawned-thread
+        // concurrency must never exceed the pool (threads - 1), the rest
+        // degrading to sequential execution — with identical results.
+        fn sum(range: std::ops::Range<u64>) -> u64 {
+            let len = range.end - range.start;
+            if len <= 1 {
+                return range.start;
+            }
+            let mid = range.start + len / 2;
+            let (l, r) = super::join(move || sum(range.start..mid), move || sum(mid..range.end));
+            l + r
+        }
+        super::join_audit::PEAK.store(0, std::sync::atomic::Ordering::SeqCst);
+        let n = 1u64 << 12;
+        assert_eq!(sum(0..n), n * (n - 1) / 2);
+        let peak = super::join_audit::PEAK.load(std::sync::atomic::Ordering::SeqCst);
+        let bound = super::current_num_threads() as isize - 1;
+        assert!(
+            peak <= bound.max(0),
+            "{peak} concurrent join threads exceeds the {bound}-permit pool"
+        );
+        assert_eq!(
+            super::join_audit::LIVE.load(std::sync::atomic::Ordering::SeqCst),
+            0,
+            "every permit must be released"
+        );
+    }
+
+    #[test]
+    fn join_releases_its_permit_when_a_closure_panics() {
+        let permits_before = super::join_permits().load(std::sync::atomic::Ordering::SeqCst);
+        for _ in 0..32 {
+            let result =
+                std::panic::catch_unwind(|| super::join(|| 1, || -> i32 { panic!("boom") }));
+            assert!(result.is_err());
+        }
+        // Panic-unwound joins must not leak permits (drop-guard release).
+        // Other tests' joins may hold permits transiently, so wait for the
+        // pool to refill rather than snapshotting it — a leak of even one
+        // permit per panic above would keep it permanently below the mark.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let now = super::join_permits().load(std::sync::atomic::Ordering::SeqCst);
+            if now >= permits_before {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "permits leaked: {now} < {permits_before}"
+            );
+            std::thread::yield_now();
+        }
     }
 
     #[test]
