@@ -1,4 +1,4 @@
-//! Serving-path benchmark, six rungs up the same ladder:
+//! Serving-path benchmark, seven rungs up the same ladder:
 //!
 //! 1. naive per-request scoring (score every item, sort the whole catalog —
 //!    what `recommend()` did before the serving subsystem),
@@ -13,7 +13,11 @@
 //!    layout on a skewed-norm catalog, with the blocks-scored/blocks-pruned
 //!    counters printed into the bench report (results are bit-identical;
 //!    the permuted layout must skip strictly more blocks),
-//! 6. item-append publication: pushing an `O(a·f)` tail **segment** versus
+//! 6. approximation: the epsilon → (recall@k, blocks scanned, latency)
+//!    tradeoff curve of early-terminated retrieval on the skewed-norm
+//!    catalog, with epsilon-0 bit-identity and the default epsilon's
+//!    recall target asserted by the run itself,
+//! 7. item-append publication: pushing an `O(a·f)` tail **segment** versus
 //!    the full-Θ-copy rebuild the pre-segmented store paid.
 //!
 //! Catalog sizes reach the ≥100k-item regime the paper's deployments imply.
@@ -30,8 +34,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use cumf_linalg::blas::dot;
 use cumf_linalg::FactorMatrix;
 use cumf_serve::{
-    FactorSnapshot, ItemLayout, Query, ScoreKind, ServeConfig, SnapshotStore, TopKIndex,
-    TopKService,
+    measure_recall, ApproxPolicy, FactorSnapshot, ItemLayout, Query, ScoreKind, ServeConfig,
+    SnapshotStore, TopKIndex, TopKService, DEFAULT_APPROX_EPSILON,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -275,14 +279,7 @@ fn bench_pruning(c: &mut Criterion) {
     // Skewed norms with the heavy items scattered across the id space: the
     // worst case for catalog-order pruning, the motivating case for the
     // norm-descending layout.
-    let mut theta = FactorMatrix::random(n_items, F, 0.5, 32);
-    for v in 0..n_items {
-        let h = v.wrapping_mul(2654435761) % 64;
-        let scale = if h == 0 { 4.0 } else { 0.01 + 0.001 * h as f32 };
-        for e in theta.vector_mut(v) {
-            *e *= scale;
-        }
-    }
+    let theta = skewed_theta(n_items, 32);
     let qs = queries();
     let layouts = [
         ("catalog_order", ItemLayout::CatalogOrder),
@@ -321,6 +318,86 @@ fn bench_pruning(c: &mut Criterion) {
         "norm-descending must skip strictly more blocks: {} vs {}",
         stats[1].blocks_pruned,
         stats[0].blocks_pruned
+    );
+}
+
+/// Skewed-norm item factors: a few heavy hitters scattered across the id
+/// space, a long cheap tail — shared by the pruning and approximation
+/// benchmarks.
+fn skewed_theta(n_items: usize, seed: u64) -> FactorMatrix {
+    let mut theta = FactorMatrix::random(n_items, F, 0.5, seed);
+    for v in 0..n_items {
+        let h = (v as u32).wrapping_mul(2654435761) % 64;
+        let scale = if h == 0 { 4.0 } else { 0.01 + 0.001 * h as f32 };
+        for e in theta.vector_mut(v) {
+            *e *= scale;
+        }
+    }
+    theta
+}
+
+/// The approximation tradeoff curve: for a ladder of epsilons on the
+/// skewed-norm, norm-descending catalog, print measured recall@k and
+/// blocks scanned (via [`measure_recall`], the same harness the tests and
+/// the load-gen gate use) and benchmark the retrieval latency — so the CI
+/// artifact records the full epsilon → (recall, blocks, latency) table.
+/// The run itself asserts the repo's acceptance criteria: epsilon 0 is
+/// bit-identical, and the default epsilon meets its recall target while
+/// scanning strictly fewer blocks than exact.
+fn bench_approximate(c: &mut Criterion) {
+    let quick = quick_mode();
+    let (_, shards) = pool_args();
+    let n_items = if quick { 50_000 } else { 200_000 };
+    let x = FactorMatrix::random(N_USERS, F, 0.5, 51);
+    let snap = Arc::new(FactorSnapshot::from_factors_with_layout(
+        x,
+        skewed_theta(n_items, 52),
+        ItemLayout::NormDescending,
+    ));
+    let qs = queries();
+    let mut group = c.benchmark_group("serving_approximate");
+    group.sample_size(if quick { 3 } else { 10 });
+    group.throughput(Throughput::Elements(REQUESTS as u64));
+    let mut default_report = None;
+    for eps in [0.0f32, 0.05, DEFAULT_APPROX_EPSILON, 0.25, 0.5] {
+        let policy = ApproxPolicy::with_epsilon(eps);
+        let report = measure_recall(&snap, &qs, 512, ScoreKind::Dot, shards, &policy);
+        println!(
+            "approximate[eps={eps:.2}]: mean recall {:.4}, min {:.4}, blocks {} (exact {}), {} terminated",
+            report.mean_recall,
+            report.min_recall,
+            report.approx_stats.blocks_scored,
+            report.exact_stats.blocks_scored,
+            report.approx_stats.blocks_terminated,
+        );
+        if eps == 0.0 {
+            assert!(
+                report.all_identical(),
+                "epsilon 0 must be bit-identical to exact: {report}"
+            );
+        }
+        if eps == DEFAULT_APPROX_EPSILON {
+            default_report = Some((policy, report));
+        }
+        let index =
+            TopKIndex::with_approx(Arc::clone(&snap), 512, ScoreKind::Dot, shards, Some(policy));
+        group.bench_with_input(
+            BenchmarkId::new(format!("eps{eps:.2}"), n_items),
+            &n_items,
+            |b, _| {
+                b.iter(|| black_box(index.query_batch(&qs)));
+            },
+        );
+    }
+    group.finish();
+    let (policy, report) = default_report.expect("default epsilon is in the ladder");
+    assert!(
+        report.mean_recall >= policy.target_recall,
+        "default epsilon misses its recall target: {report}"
+    );
+    assert!(
+        report.approx_stats.blocks_scored < report.exact_stats.blocks_scored,
+        "default epsilon saved no scanning on the skewed catalog: {report}"
     );
 }
 
@@ -380,6 +457,7 @@ criterion_group!(
     bench_service_pool,
     bench_publish,
     bench_pruning,
+    bench_approximate,
     bench_item_append
 );
 criterion_main!(serving);

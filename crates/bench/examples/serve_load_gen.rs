@@ -22,22 +22,36 @@
 //! class the pre-PR-3 Cosine bug belonged to — or if a fold-in delta was
 //! rejected.
 //!
+//! `--recall FLOOR` adds an approximate-retrieval gate after the load
+//! phase: recall@k of the `--approx-epsilon` policy (default
+//! [`cumf_serve::DEFAULT_APPROX_EPSILON`]) is measured against exact
+//! ground truth on the live snapshot, and the run fails if mean recall
+//! falls below `FLOOR`, if any exact-mode request through the live service
+//! diverges from ground truth, or if any approximate list comes back
+//! short.
+//!
 //! ```text
 //! usage: serve_load_gen [--users N] [--items N] [--f F] [--requests N]
 //!                       [--clients N] [--k K] [--publishes N] [--fold-in N]
 //!                       [--naive-sample N] [--workers N] [--shards N]
+//!                       [--recall FLOOR] [--approx-epsilon EPS]
 //! ```
 //!
-//! CI runs `--requests 200 --workers 4 --shards 4 --fold-in 2` as an
-//! end-to-end smoke test of the sharded-pool serving path plus the
-//! incremental fold-in → delta-publish path.
+//! CI runs `--requests 200 --workers 4 --shards 4 --fold-in 2
+//! --recall 0.95` as an end-to-end smoke test of the sharded-pool serving
+//! path, the incremental fold-in → delta-publish path, and the
+//! approximate-retrieval recall floor.
 
 use cumf_core::foldin::{fold_in_users, ratings_rows};
 use cumf_linalg::blas::dot;
 use cumf_linalg::FactorMatrix;
-use cumf_serve::{FactorSnapshot, ServeConfig, TopKService};
+use cumf_serve::{
+    measure_recall, ApproxPolicy, FactorSnapshot, Query, ServeConfig, TopKIndex, TopKService,
+    DEFAULT_APPROX_EPSILON,
+};
 use rand::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 #[derive(Debug, Clone)]
@@ -53,6 +67,11 @@ struct Args {
     naive_sample: usize,
     workers: usize,
     shards: usize,
+    /// Mean-recall floor for the post-load approximate gate (`None` skips
+    /// the gate entirely).
+    recall: Option<f64>,
+    /// Epsilon of the policy the recall gate measures.
+    approx_epsilon: f32,
 }
 
 impl Default for Args {
@@ -69,6 +88,8 @@ impl Default for Args {
             naive_sample: 50,
             workers: 1,
             shards: 1,
+            recall: None,
+            approx_epsilon: DEFAULT_APPROX_EPSILON,
         }
     }
 }
@@ -83,27 +104,42 @@ fn parse_args() -> Args {
             println!(
                 "usage: serve_load_gen [--users N] [--items N] [--f F] [--requests N] \
                  [--clients N] [--k K] [--publishes N] [--fold-in N] [--naive-sample N] \
-                 [--workers N] [--shards N]"
+                 [--workers N] [--shards N] [--recall FLOOR] [--approx-epsilon EPS]"
             );
             std::process::exit(0);
         }
-        let value = argv
+        let raw = argv
             .get(i + 1)
-            .unwrap_or_else(|| panic!("missing value for {flag}"))
-            .parse::<usize>()
-            .unwrap_or_else(|e| panic!("bad value for {flag}: {e}"));
+            .unwrap_or_else(|| panic!("missing value for {flag}"));
+        let int = |raw: &str| {
+            raw.parse::<usize>()
+                .unwrap_or_else(|e| panic!("bad value for {flag}: {e}"))
+        };
+        let float = |raw: &str| {
+            raw.parse::<f64>()
+                .unwrap_or_else(|e| panic!("bad value for {flag}: {e}"))
+        };
         match flag {
-            "--users" => args.users = value,
-            "--items" => args.items = value,
-            "--f" => args.f = value,
-            "--requests" => args.requests = value,
-            "--clients" => args.clients = value.max(1),
-            "--k" => args.k = value,
-            "--publishes" => args.publishes = value,
-            "--fold-in" => args.fold_in = value,
-            "--naive-sample" => args.naive_sample = value,
-            "--workers" => args.workers = value.max(1),
-            "--shards" => args.shards = value.max(1),
+            "--users" => args.users = int(raw),
+            "--items" => args.items = int(raw),
+            "--f" => args.f = int(raw),
+            "--requests" => args.requests = int(raw),
+            "--clients" => args.clients = int(raw).max(1),
+            "--k" => args.k = int(raw),
+            "--publishes" => args.publishes = int(raw),
+            "--fold-in" => args.fold_in = int(raw),
+            "--naive-sample" => args.naive_sample = int(raw),
+            "--workers" => args.workers = int(raw).max(1),
+            "--shards" => args.shards = int(raw).max(1),
+            "--recall" => {
+                let floor = float(raw);
+                assert!(
+                    (0.0..=1.0).contains(&floor),
+                    "--recall must be within [0, 1], got {floor}"
+                );
+                args.recall = Some(floor);
+            }
+            "--approx-epsilon" => args.approx_epsilon = float(raw) as f32,
             other => panic!("unknown flag {other}"),
         }
         i += 2;
@@ -292,5 +328,77 @@ fn main() {
     if fold_in_failures > 0 {
         eprintln!("FAIL: {fold_in_failures} fold-in delta publish(es) were rejected");
         std::process::exit(1);
+    }
+
+    // Approximate-retrieval gate: measured recall@k of the configured
+    // epsilon against exact ground truth on the snapshot the service is
+    // actually serving, plus a live-service divergence check — exact-mode
+    // requests must match ground truth bit-for-bit even when approximate
+    // traffic shares the same workers and cache.
+    if let Some(floor) = args.recall {
+        let policy = ApproxPolicy {
+            epsilon: args.approx_epsilon,
+            target_recall: floor,
+            ..ApproxPolicy::default()
+        };
+        let snap = service.snapshot();
+        let mut rng = StdRng::seed_from_u64(777);
+        let queries: Vec<Query> = (0..128)
+            .map(|_| Query::new(skewed_user(&mut rng, args.users), args.k))
+            .collect();
+        let config = ServeConfig::default();
+        let report = measure_recall(
+            &snap,
+            &queries,
+            config.item_block,
+            config.score,
+            args.shards,
+            &policy,
+        );
+        println!(
+            "recall gate (epsilon {:.2}, floor {floor:.2}): {report}",
+            args.approx_epsilon
+        );
+        if report.mean_recall < floor {
+            eprintln!(
+                "FAIL: mean recall {:.4} below the {floor:.2} floor at epsilon {:.2}",
+                report.mean_recall, args.approx_epsilon
+            );
+            std::process::exit(1);
+        }
+        let truth = TopKIndex::with_shards(
+            Arc::clone(&snap),
+            config.item_block,
+            config.score,
+            args.shards,
+        );
+        let client = service.client();
+        let mut exact_divergent = 0u64;
+        let mut short_approx = 0u64;
+        for q in queries.iter().take(32) {
+            let expect = truth.query_batch(std::slice::from_ref(q)).remove(0);
+            let exact = client
+                .recommend_exact(q.user, q.k, &[])
+                .expect("service alive for the gate");
+            if exact != expect {
+                exact_divergent += 1;
+            }
+            let approx = client
+                .recommend_approx(q.user, q.k, &[], policy)
+                .expect("service alive for the gate");
+            if approx.len() < expect.len() {
+                short_approx += 1;
+            }
+        }
+        if exact_divergent > 0 {
+            eprintln!("FAIL: {exact_divergent} exact-mode request(s) diverged from ground truth");
+            std::process::exit(1);
+        }
+        if short_approx > 0 {
+            eprintln!(
+                "FAIL: {short_approx} approximate request(s) returned fewer results than exact"
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -33,5 +33,6 @@ pub use cholesky::{cholesky_factor, cholesky_solve, CholeskyError};
 pub use dense::{DenseMatrix, FactorMatrix};
 pub use topk::{
     block_max_norms, item_norms, merge_top_k, retrieve_top_k, retrieve_top_k_pruned,
-    retrieve_top_k_segments, PruneStats, TopK,
+    retrieve_top_k_segments, retrieve_top_k_segments_approx, suffix_max_norms, ApproxPolicy,
+    PruneStats, TopK, DEFAULT_APPROX_EPSILON,
 };

@@ -152,12 +152,24 @@ pub fn item_norms(items: &[f32], f: usize) -> Vec<f32> {
 /// data-dependent.  These counters make that difference measurable (and
 /// testable) without changing a single result — pruning is exact either
 /// way.
+///
+/// Approximate retrieval ([`retrieve_top_k_segments_approx`]) adds a third
+/// outcome: blocks skipped because an [`ApproxPolicy`] **terminated** the
+/// scan early.  Those skips may change results (that is the point of
+/// approximation), so they are counted in their own field — an exact-mode
+/// dashboard reading `pruned_fraction()` stays truthful when a deployment
+/// mixes in approximate traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PruneStats {
     /// Item blocks whose factors were streamed and scored.
     pub blocks_scored: u64,
-    /// Item blocks skipped whole on the norm bound.
+    /// Item blocks skipped whole on the norm bound — an **exact** decision
+    /// that can never change results.
     pub blocks_pruned: u64,
+    /// Item blocks skipped because an [`ApproxPolicy`] ended the scan early
+    /// (epsilon slack or block budget) — an **approximate** decision; always
+    /// 0 on the exact retrieval paths.
+    pub blocks_terminated: u64,
 }
 
 impl PruneStats {
@@ -165,18 +177,154 @@ impl PruneStats {
     pub fn merge(&mut self, other: &PruneStats) {
         self.blocks_scored += other.blocks_scored;
         self.blocks_pruned += other.blocks_pruned;
+        self.blocks_terminated += other.blocks_terminated;
     }
 
-    /// Fraction of visited blocks that were pruned (`0.0` when none were
-    /// visited).
+    /// Every block the scan made a decision about (scored, pruned, or
+    /// terminated).
+    pub fn blocks_visited(&self) -> u64 {
+        self.blocks_scored + self.blocks_pruned + self.blocks_terminated
+    }
+
+    /// Fraction of visited blocks skipped by **exact** threshold pruning
+    /// (`0.0` when none were visited).  Early-terminated blocks count in
+    /// the denominator but not the numerator — approximate skips do not
+    /// inflate the exact-pruning rate.
     pub fn pruned_fraction(&self) -> f64 {
-        let total = self.blocks_scored + self.blocks_pruned;
+        let total = self.blocks_visited();
         if total == 0 {
             0.0
         } else {
             self.blocks_pruned as f64 / total as f64
         }
     }
+
+    /// Fraction of visited blocks skipped by **approximate** early
+    /// termination (`0.0` when none were visited).
+    pub fn terminated_fraction(&self) -> f64 {
+        let total = self.blocks_visited();
+        if total == 0 {
+            0.0
+        } else {
+            self.blocks_terminated as f64 / total as f64
+        }
+    }
+}
+
+/// Knobs of approximate top-k retrieval: trade a bounded score loss for an
+/// early end to the block scan.
+///
+/// Exact retrieval must keep scanning until every remaining block's
+/// Cauchy–Schwarz bound `‖x_u‖ · max‖θ_v‖` falls below the heap threshold
+/// `t`.  Approximate retrieval discounts that bound by `1 − epsilon` before
+/// comparing: the scan of a segment stops at the first block `b` where
+///
+/// ```text
+/// ‖x_u‖ · suffix_max[b] · NORM_BOUND_SLACK · (1 − epsilon) < t
+/// ```
+///
+/// (`suffix_max[b]` = the largest block-max norm from `b` to the end of the
+/// segment, so the rule is safe for **any** stored order; in a
+/// norm-descending layout it equals `block_max[b]` and fires
+/// systematically).  Every item the stop can drop satisfies
+/// `score < t / (1 − epsilon)` — the score loss is bounded relative to the
+/// k-th best already found, which is why small epsilons cost little recall.
+/// At `epsilon = 0` the stop rule coincides with exact per-block pruning
+/// and results are **bit-identical** to the exact path.
+///
+/// `max_blocks` is an orthogonal hard budget on blocks *scored* per
+/// retrieval.  Both mechanisms only engage once the heap holds `k` items —
+/// a `k ≥ catalog` request (the heap never fills) or a zero-norm user
+/// (threshold stuck at 0, bound 0 everywhere) always scans exhaustively and
+/// returns full exact results, never a short list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxPolicy {
+    /// Relative slack on the termination bound, in `[0, 1)`.  `0` keeps the
+    /// scan exact; larger values stop earlier and lose more recall.
+    pub epsilon: f32,
+    /// Hard budget of blocks scored per retrieval once the heap is full
+    /// (`0` = unlimited).
+    pub max_blocks: usize,
+    /// Advisory recall floor for measurement harnesses and smoke gates —
+    /// does not influence the scan itself.
+    pub target_recall: f64,
+}
+
+/// Default `epsilon` of [`ApproxPolicy::default`] — chosen so the recall
+/// harness stays ≥ 0.95 on skewed-norm catalogs while the scan stops
+/// measurably earlier than exact pruning.
+pub const DEFAULT_APPROX_EPSILON: f32 = 0.1;
+
+impl Default for ApproxPolicy {
+    fn default() -> Self {
+        Self {
+            epsilon: DEFAULT_APPROX_EPSILON,
+            max_blocks: 0,
+            target_recall: 0.95,
+        }
+    }
+}
+
+impl ApproxPolicy {
+    /// A policy equivalent to exact retrieval (`epsilon = 0`, no budget).
+    pub fn exact() -> Self {
+        Self {
+            epsilon: 0.0,
+            max_blocks: 0,
+            target_recall: 1.0,
+        }
+    }
+
+    /// A policy with the given epsilon and no block budget.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ epsilon < 1`.
+    pub fn with_epsilon(epsilon: f32) -> Self {
+        let p = Self {
+            epsilon,
+            ..Self::default()
+        };
+        p.validate();
+        p
+    }
+
+    /// True when this policy cannot change results (`epsilon ≤ 0` and no
+    /// block budget) — such a policy may share cache entries and micro-
+    /// batches with exact requests.
+    pub fn is_exact(&self) -> bool {
+        self.epsilon <= 0.0 && self.max_blocks == 0
+    }
+
+    /// Asserts the policy is usable.
+    ///
+    /// # Panics
+    /// Panics when `epsilon` is outside `[0, 1)` or not finite.
+    pub fn validate(&self) {
+        assert!(
+            self.epsilon.is_finite() && (0.0..1.0).contains(&self.epsilon),
+            "approx epsilon must lie in [0, 1), got {}",
+            self.epsilon
+        );
+    }
+
+    /// The multiplier applied to the Cauchy–Schwarz bound before the
+    /// termination comparison (slack for f32 rounding included).
+    pub fn termination_slack(&self) -> f32 {
+        NORM_BOUND_SLACK * (1.0 - self.epsilon)
+    }
+}
+
+/// Largest block-max norm from each block to the end of the segment:
+/// `suffix_max[b] = max(block_max[b..])`.  The early-termination rule
+/// compares against this (not `block_max[b]`) so stopping a segment scan is
+/// safe for any stored order; for a norm-descending layout the two tables
+/// coincide.
+pub fn suffix_max_norms(block_max: &[f32]) -> Vec<f32> {
+    let mut suffix = block_max.to_vec();
+    for b in (0..suffix.len().saturating_sub(1)).rev() {
+        suffix[b] = suffix[b].max(suffix[b + 1]);
+    }
+    suffix
 }
 
 /// Blocked, threshold-pruned top-`k` retrieval of one user vector over a
@@ -225,6 +373,89 @@ pub fn retrieve_top_k_segments<F: FnMut(u32) -> bool>(
                 }
             }
             stats.blocks_scored += 1;
+            let end = (start + seg.item_block).min(n);
+            let out = &mut scores[..end - start];
+            batch_score_segment(user, 1, seg, start, end, f, out);
+            for (j, &s) in out.iter().enumerate() {
+                let item = seg.global_id(start + j);
+                if !skip(item) {
+                    topk.push(item, s);
+                }
+            }
+        }
+    }
+    topk.into_sorted_vec()
+}
+
+/// Early-exit variant of [`retrieve_top_k_segments`]: identical blocked,
+/// threshold-pruned scan, but an [`ApproxPolicy`] may end a segment's scan
+/// before the exact bound does.
+///
+/// Two stop rules, both gated on the heap already holding `k` items:
+///
+/// * **Epsilon termination** — the scan of a segment stops at the first
+///   block `b` where `‖x_u‖ · suffix_max[b] · NORM_BOUND_SLACK ·
+///   (1 − epsilon) < threshold`; the blocks left behind are counted in
+///   [`PruneStats::blocks_terminated`].  With `epsilon = 0` the rule is
+///   implied by the exact per-block bound on every remaining block, so
+///   results are **bit-identical** to [`retrieve_top_k_segments`] for any
+///   segmentation and any stored order (only the pruned/terminated
+///   classification of the skipped tail may differ).
+/// * **Block budget** — once `policy.max_blocks > 0` blocks have been
+///   scored, further blocks are skipped as terminated.
+///
+/// Because both rules require a full heap, a request with `k ≥` catalog
+/// size or a zero-norm user vector (threshold pinned at `0`, bound `0`
+/// everywhere, and `0 < 0` is false) degrades to the full exact scan and
+/// always returns complete results.  Dot-product scores only, like the
+/// exact variant.
+pub fn retrieve_top_k_segments_approx<F: FnMut(u32) -> bool>(
+    user: &[f32],
+    f: usize,
+    k: usize,
+    segments: &[SegmentView<'_>],
+    mut skip: F,
+    policy: &ApproxPolicy,
+    stats: &mut PruneStats,
+) -> Vec<(u32, f32)> {
+    assert!(f > 0, "latent dimension must be positive");
+    assert_eq!(user.len(), f, "user vector length mismatch");
+    policy.validate();
+    if k == 0 {
+        return Vec::new();
+    }
+    let user_norm = crate::blas::norm_sq(user).sqrt();
+    let term_slack = policy.termination_slack();
+    let scratch = segments
+        .iter()
+        .map(|s| s.item_block.min(s.n_items().max(1)))
+        .max()
+        .unwrap_or(1);
+    let mut topk = TopK::new(k);
+    let mut scores = vec![0.0f32; scratch];
+    let mut scored_blocks = 0usize;
+    for seg in segments {
+        seg.validate(f);
+        let n = seg.n_items();
+        let n_blocks = n.div_ceil(seg.item_block.max(1));
+        let suffix = suffix_max_norms(seg.block_max);
+        for (b, start) in (0..n).step_by(seg.item_block).enumerate() {
+            if let Some(threshold) = topk.threshold() {
+                if user_norm * suffix[b] * term_slack < threshold {
+                    stats.blocks_terminated += (n_blocks - b) as u64;
+                    break;
+                }
+                if user_norm * seg.block_max[b] * NORM_BOUND_SLACK < threshold {
+                    stats.blocks_pruned += 1;
+                    continue;
+                }
+                if policy.max_blocks > 0 && scored_blocks >= policy.max_blocks {
+                    stats.blocks_terminated += 1;
+                    continue;
+                }
+            }
+            stats.blocks_scored += 1;
+            scored_blocks += 1;
             let end = (start + seg.item_block).min(n);
             let out = &mut scores[..end - start];
             batch_score_segment(user, 1, seg, start, end, f, out);
@@ -633,15 +864,220 @@ mod tests {
         let mut a = PruneStats {
             blocks_scored: 3,
             blocks_pruned: 1,
+            blocks_terminated: 2,
         };
         a.merge(&PruneStats {
             blocks_scored: 1,
             blocks_pruned: 3,
+            blocks_terminated: 4,
         });
         assert_eq!(a.blocks_scored, 4);
         assert_eq!(a.blocks_pruned, 4);
-        assert!((a.pruned_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(a.blocks_terminated, 6);
+        assert_eq!(a.blocks_visited(), 14);
+        // Terminated blocks widen the denominator of both rates but feed
+        // only their own numerator — the exact-pruning rate must not claim
+        // credit for approximate skips.
+        assert!((a.pruned_fraction() - 4.0 / 14.0).abs() < 1e-12);
+        assert!((a.terminated_fraction() - 6.0 / 14.0).abs() < 1e-12);
         assert_eq!(PruneStats::default().pruned_fraction(), 0.0);
+        assert_eq!(PruneStats::default().terminated_fraction(), 0.0);
+    }
+
+    #[test]
+    fn suffix_max_runs_right_to_left() {
+        assert_eq!(
+            suffix_max_norms(&[1.0, 5.0, 2.0, 4.0, 3.0]),
+            vec![5.0, 5.0, 4.0, 4.0, 3.0]
+        );
+        // Already descending: suffix max coincides with the table itself.
+        let desc = [7.0f32, 6.0, 2.0, 1.0];
+        assert_eq!(suffix_max_norms(&desc), desc.to_vec());
+        assert!(suffix_max_norms(&[]).is_empty());
+    }
+
+    #[test]
+    fn approx_policy_shapes() {
+        assert!(ApproxPolicy::exact().is_exact());
+        assert!(ApproxPolicy::with_epsilon(0.0).is_exact());
+        assert!(!ApproxPolicy::with_epsilon(0.05).is_exact());
+        assert!(!ApproxPolicy {
+            epsilon: 0.0,
+            max_blocks: 3,
+            target_recall: 1.0,
+        }
+        .is_exact());
+        assert_eq!(ApproxPolicy::exact().termination_slack(), NORM_BOUND_SLACK);
+    }
+
+    #[test]
+    #[should_panic(expected = "approx epsilon must lie in [0, 1)")]
+    fn approx_policy_rejects_epsilon_of_one() {
+        ApproxPolicy::with_epsilon(1.0);
+    }
+
+    /// Sorts `theta` rows by norm descending and returns the permuted data,
+    /// norms, and the global-id remap — a hand-rolled norm-descending
+    /// segment like the serve-side `ItemStore` builds.
+    fn norm_descending(theta: &FactorMatrix) -> (Vec<f32>, Vec<f32>, Vec<u32>) {
+        let f = theta.rank();
+        let norms = item_norms(theta.data(), f);
+        let mut order: Vec<u32> = (0..norms.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            norms[b as usize]
+                .total_cmp(&norms[a as usize])
+                .then(a.cmp(&b))
+        });
+        let mut data = Vec::with_capacity(theta.data().len());
+        let mut perm_norms = Vec::with_capacity(norms.len());
+        for &g in &order {
+            data.extend_from_slice(theta.vector(g as usize));
+            perm_norms.push(norms[g as usize]);
+        }
+        (data, perm_norms, order)
+    }
+
+    #[test]
+    fn approx_with_zero_epsilon_is_bit_identical_for_any_split() {
+        let f = 6;
+        let n = 777;
+        let theta = FactorMatrix::random(n, f, 1.0, 51);
+        let user: Vec<f32> = FactorMatrix::random(1, f, 1.0, 52).data().to_vec();
+        let norms = item_norms(theta.data(), f);
+        for cuts in [vec![0usize, n], vec![0, 100, n], vec![0, 64, 65, 300, n]] {
+            let mut tables = Vec::new();
+            let views = views_at(&theta, &cuts, 64, &norms, &mut tables);
+            let mut exact_stats = PruneStats::default();
+            let expect =
+                retrieve_top_k_segments(&user, f, 9, &views, |v| v % 13 == 0, &mut exact_stats);
+            let mut stats = PruneStats::default();
+            let got = retrieve_top_k_segments_approx(
+                &user,
+                f,
+                9,
+                &views,
+                |v| v % 13 == 0,
+                &ApproxPolicy::exact(),
+                &mut stats,
+            );
+            assert_eq!(got, expect, "cuts {cuts:?}");
+            // At epsilon = 0 termination only fires where exact pruning
+            // would skip every remaining block — never on blocks that would
+            // have been scored.
+            assert_eq!(
+                stats.blocks_scored, exact_stats.blocks_scored,
+                "cuts {cuts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn approx_scans_monotonically_fewer_blocks_as_epsilon_grows() {
+        // Skewed norms, stored norm-descending (one segment) — exactly the
+        // serving-side layout that makes epsilon termination systematic.
+        let f = 8;
+        let n = 4096;
+        let base = FactorMatrix::random(n, f, 1.0, 77);
+        let mut data = base.data().to_vec();
+        for v in 0..n {
+            let h = (v as u32).wrapping_mul(2654435761) % 64;
+            let scale = if h == 0 { 4.0 } else { 0.01 + 0.001 * h as f32 };
+            for d in 0..f {
+                data[v * f + d] *= scale;
+            }
+        }
+        let theta = FactorMatrix::from_vec(n, f, data);
+        let (perm_data, perm_norms, order) = norm_descending(&theta);
+        let bm = block_max_norms(&perm_norms, 64);
+        let view = SegmentView {
+            items: &perm_data,
+            norms: &perm_norms,
+            block_max: &bm,
+            item_block: 64,
+            first_id: 0,
+            ids: Some(&order),
+        };
+        let user: Vec<f32> = FactorMatrix::random(1, f, 1.0, 78).data().to_vec();
+        let mut prev_scored = u64::MAX;
+        for eps in [0.0f32, 0.05, 0.1, 0.3, 0.6] {
+            let mut stats = PruneStats::default();
+            let got = retrieve_top_k_segments_approx(
+                &user,
+                f,
+                10,
+                std::slice::from_ref(&view),
+                |_| false,
+                &ApproxPolicy::with_epsilon(eps),
+                &mut stats,
+            );
+            assert_eq!(got.len(), 10, "eps {eps}");
+            assert!(
+                stats.blocks_scored <= prev_scored,
+                "eps {eps}: scored {} after {} at the smaller epsilon",
+                stats.blocks_scored,
+                prev_scored
+            );
+            prev_scored = stats.blocks_scored;
+        }
+        // A coarse epsilon on a skewed catalog must actually terminate.
+        assert!(prev_scored < bm.len() as u64);
+    }
+
+    #[test]
+    fn approx_block_budget_caps_scored_blocks_only_once_full() {
+        let f = 4;
+        let n = 640; // 10 blocks of 64
+        let theta = FactorMatrix::random(n, f, 1.0, 90);
+        let user: Vec<f32> = FactorMatrix::random(1, f, 1.0, 91).data().to_vec();
+        let norms = item_norms(theta.data(), f);
+        let mut tables = Vec::new();
+        let views = views_at(&theta, &[0, n], 64, &norms, &mut tables);
+        let policy = ApproxPolicy {
+            epsilon: 0.0,
+            max_blocks: 2,
+            target_recall: 1.0,
+        };
+        let mut stats = PruneStats::default();
+        let got =
+            retrieve_top_k_segments_approx(&user, f, 5, &views, |_| false, &policy, &mut stats);
+        assert_eq!(got.len(), 5, "budgeted scan still returns a full list");
+        assert_eq!(stats.blocks_scored, 2);
+        assert!(stats.blocks_terminated > 0);
+
+        // k ≥ catalog: the heap never fills, so the budget never engages and
+        // every item comes back — never a short list.
+        let mut stats = PruneStats::default();
+        let all =
+            retrieve_top_k_segments_approx(&user, f, n + 5, &views, |_| false, &policy, &mut stats);
+        assert_eq!(all.len(), n);
+        assert_eq!(stats.blocks_scored, 10);
+        assert_eq!(stats.blocks_terminated, 0);
+        let mut exact_stats = PruneStats::default();
+        let exact = retrieve_top_k_segments(&user, f, n + 5, &views, |_| false, &mut exact_stats);
+        assert_eq!(all, exact);
+    }
+
+    #[test]
+    fn approx_zero_norm_user_degrades_to_full_exact_scan() {
+        let f = 4;
+        let n = 320;
+        let theta = FactorMatrix::random(n, f, 1.0, 93);
+        let norms = item_norms(theta.data(), f);
+        let mut tables = Vec::new();
+        let views = views_at(&theta, &[0, n], 64, &norms, &mut tables);
+        let user = vec![0.0f32; f];
+        let policy = ApproxPolicy::with_epsilon(0.5);
+        let mut stats = PruneStats::default();
+        let got =
+            retrieve_top_k_segments_approx(&user, f, 7, &views, |_| false, &policy, &mut stats);
+        let mut exact_stats = PruneStats::default();
+        let exact = retrieve_top_k_segments(&user, f, 7, &views, |_| false, &mut exact_stats);
+        // Bound and threshold are both 0; `0 < 0` never holds, so nothing
+        // is pruned or terminated and the results are the exact ones.
+        assert_eq!(got, exact);
+        assert_eq!(got.len(), 7);
+        assert_eq!(stats.blocks_terminated, 0);
+        assert_eq!(stats.blocks_scored, 5);
     }
 
     #[test]

@@ -2,8 +2,87 @@
 
 use cumf_linalg::blas::{add_diagonal, dot, gemv, symmetrize_upper, syr_full, syr_upper};
 use cumf_linalg::cholesky::{cholesky_solve, residual_norm};
-use cumf_linalg::{batch_solve, DenseMatrix, FactorMatrix};
+use cumf_linalg::{
+    batch_solve, block_max_norms, item_norms, retrieve_top_k_segments,
+    retrieve_top_k_segments_approx, ApproxPolicy, DenseMatrix, FactorMatrix, PruneStats,
+    SegmentView,
+};
 use proptest::prelude::*;
+
+/// Owned backing storage for a set of segment views over one catalog: the
+/// (possibly permuted) slabs, norms, block-max tables, and id remaps.
+struct SegmentedCatalog {
+    slabs: Vec<Vec<f32>>,
+    norms: Vec<Vec<f32>>,
+    tables: Vec<Vec<f32>>,
+    ids: Vec<Option<Vec<u32>>>,
+    firsts: Vec<u32>,
+    item_block: usize,
+}
+
+impl SegmentedCatalog {
+    /// Splits `theta` at `cuts` (global item offsets, ending at `n`); when
+    /// `norm_descending` each segment's rows are stored sorted by norm
+    /// (descending) with an id remap, mirroring the serve-tier layout.
+    fn build(
+        theta: &FactorMatrix,
+        cuts: &[usize],
+        item_block: usize,
+        norm_descending: bool,
+    ) -> Self {
+        let f = theta.rank();
+        let all_norms = item_norms(theta.data(), f);
+        let mut out = SegmentedCatalog {
+            slabs: Vec::new(),
+            norms: Vec::new(),
+            tables: Vec::new(),
+            ids: Vec::new(),
+            firsts: Vec::new(),
+            item_block,
+        };
+        for w in cuts.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let mut order: Vec<usize> = (lo..hi).collect();
+            if norm_descending {
+                order.sort_by(|&a, &b| {
+                    all_norms[b]
+                        .partial_cmp(&all_norms[a])
+                        .unwrap()
+                        .then(a.cmp(&b))
+                });
+            }
+            let mut slab = Vec::with_capacity((hi - lo) * f);
+            let mut norms = Vec::with_capacity(hi - lo);
+            for &v in &order {
+                slab.extend_from_slice(&theta.data()[v * f..(v + 1) * f]);
+                norms.push(all_norms[v]);
+            }
+            out.tables.push(block_max_norms(&norms, item_block));
+            out.slabs.push(slab);
+            out.norms.push(norms);
+            out.ids.push(if norm_descending {
+                Some(order.iter().map(|&v| v as u32).collect())
+            } else {
+                None
+            });
+            out.firsts.push(lo as u32);
+        }
+        out
+    }
+
+    fn views(&self) -> Vec<SegmentView<'_>> {
+        (0..self.slabs.len())
+            .map(|i| SegmentView {
+                items: &self.slabs[i],
+                norms: &self.norms[i],
+                block_max: &self.tables[i],
+                item_block: self.item_block,
+                first_id: self.firsts[i],
+                ids: self.ids[i].as_deref(),
+            })
+            .collect()
+    }
+}
 
 /// A strategy for an SPD system built the way ALS builds them: a sum of
 /// rank-1 outer products plus a positive ridge.
@@ -111,6 +190,99 @@ proptest! {
             for (got, want) in rhs[i * f..(i + 1) * f].iter().zip(x.iter()) {
                 prop_assert!((got - want).abs() < 1e-5);
             }
+        }
+    }
+
+    /// Satellite invariant: `epsilon = 0` with an unlimited block budget is
+    /// bit-identical to exact segmented retrieval for any segmentation,
+    /// blocking, and layout (catalog-order or norm-descending-with-remap).
+    #[test]
+    fn approx_epsilon_zero_is_bit_identical_to_exact(
+        (n, f, seed) in (100usize..500, 3usize..9, 0u64..300),
+        cut_a in 1usize..80,
+        cut_b in 0usize..80,
+        k in 1usize..12,
+        block_sel in 0usize..3,
+    ) {
+        let item_block = [16usize, 33, 64][block_sel];
+        let theta = FactorMatrix::random(n, f, 1.0, seed);
+        let user: Vec<f32> = FactorMatrix::random(1, f, 1.0, seed + 1).data().to_vec();
+        let mut cuts = vec![0, cut_a.min(n - 1).max(1), (cut_a + cut_b).min(n - 1).max(1), n];
+        cuts.dedup();
+        for norm_descending in [false, true] {
+            let catalog = SegmentedCatalog::build(&theta, &cuts, item_block, norm_descending);
+            let views = catalog.views();
+            let mut exact_stats = PruneStats::default();
+            let exact = retrieve_top_k_segments(
+                &user, f, k, &views, |v| v % 11 == 0, &mut exact_stats,
+            );
+            let mut approx_stats = PruneStats::default();
+            let approx = retrieve_top_k_segments_approx(
+                &user, f, k, &views, |v| v % 11 == 0,
+                &ApproxPolicy::exact(), &mut approx_stats,
+            );
+            prop_assert_eq!(
+                &approx, &exact,
+                "eps=0 diverged: norm_descending={} cuts={:?} block={}",
+                norm_descending, cuts, item_block
+            );
+            // It must also do exactly the same amount of work — the
+            // termination bound with zero slack can only fire where every
+            // remaining block would have been pruned anyway.
+            prop_assert_eq!(approx_stats.blocks_scored, exact_stats.blocks_scored);
+        }
+    }
+
+    /// Satellite invariant: on a norm-descending catalog, recall@k is
+    /// monotone non-increasing in epsilon and the scan never grows.
+    #[test]
+    fn approx_recall_is_monotone_non_increasing_in_epsilon(
+        seed in 0u64..300,
+        k in 1usize..10,
+    ) {
+        let f = 8;
+        let n = 2000;
+        // Skew the norms so early termination has something to exploit.
+        let mut theta = FactorMatrix::random(n, f, 1.0, seed);
+        for v in 0..n {
+            let h = (v as u32).wrapping_mul(2654435761) % 64;
+            let scale = if h == 0 { 4.0 } else { 0.01 + 0.001 * h as f32 };
+            for x in theta.vector_mut(v) {
+                *x *= scale;
+            }
+        }
+        let user: Vec<f32> = FactorMatrix::random(1, f, 1.0, seed + 1).data().to_vec();
+        let catalog = SegmentedCatalog::build(&theta, &[0, n], 64, true);
+        let views = catalog.views();
+        let mut exact_stats = PruneStats::default();
+        let exact = retrieve_top_k_segments(&user, f, k, &views, |_| false, &mut exact_stats);
+        let truth: std::collections::HashSet<u32> = exact.iter().map(|&(v, _)| v).collect();
+        let mut prev_recall = f64::INFINITY;
+        let mut prev_scored = u64::MAX;
+        for eps in [0.0f32, 0.05, 0.1, 0.25, 0.5, 0.9] {
+            let mut stats = PruneStats::default();
+            let got = retrieve_top_k_segments_approx(
+                &user, f, k, &views, |_| false,
+                &ApproxPolicy::with_epsilon(eps), &mut stats,
+            );
+            prop_assert_eq!(got.len(), exact.len(), "approx list must stay full-length");
+            let recall = if truth.is_empty() {
+                1.0
+            } else {
+                got.iter().filter(|&&(v, _)| truth.contains(&v)).count() as f64
+                    / truth.len() as f64
+            };
+            prop_assert!(
+                recall <= prev_recall + 1e-12,
+                "recall rose from {} to {} at eps {}", prev_recall, recall, eps
+            );
+            prop_assert!(
+                stats.blocks_scored <= prev_scored,
+                "scan grew from {} to {} blocks at eps {}",
+                prev_scored, stats.blocks_scored, eps
+            );
+            prev_recall = recall;
+            prev_scored = stats.blocks_scored;
         }
     }
 

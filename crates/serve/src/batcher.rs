@@ -40,6 +40,7 @@ use crate::snapshot::{DeltaError, DeltaStats, FactorSnapshot, SnapshotDelta, Sna
 use crate::topk::{Query, ScoreKind, TopKIndex};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use cumf_linalg::topk::DEFAULT_ITEM_BLOCK;
+use cumf_linalg::{ApproxPolicy, PruneStats};
 use std::any::Any;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -91,6 +92,14 @@ pub struct ServeConfig {
     /// many segments, [`TopKService::compact_items`] runs inline (0 = never
     /// auto-compact).
     pub max_item_segments: usize,
+    /// Service-wide retrieval policy: `None` (the default) scores every
+    /// request exactly; `Some(policy)` lets the scorer terminate block
+    /// scans early within the policy's epsilon/budget.  Individual requests
+    /// override it ([`ServeClient::recommend_exact`],
+    /// [`ServeClient::recommend_approx`]); requests under different
+    /// effective policies never share a scoring micro-batch or a cache
+    /// entry.
+    pub approx: Option<ApproxPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -107,7 +116,36 @@ impl Default for ServeConfig {
             queue_depth: 1024,
             panic_budget: 2,
             max_item_segments: 8,
+            approx: None,
         }
+    }
+}
+
+/// Per-request retrieval-mode override carried alongside the query.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RequestMode {
+    /// Score under the service-wide policy ([`ServeConfig::approx`]).
+    #[default]
+    Inherit,
+    /// Force exact retrieval regardless of the service default.
+    Exact,
+    /// Force this approximate policy for this request only.
+    Approx(ApproxPolicy),
+}
+
+impl RequestMode {
+    /// The policy this request actually scores under, given the service
+    /// default.  A policy that cannot change results (`epsilon = 0`, no
+    /// budget) normalizes to `None`, so epsilon-zero traffic shares cache
+    /// entries and micro-batches with exact traffic — their results are
+    /// bit-identical by construction.
+    fn effective(&self, service_default: &Option<ApproxPolicy>) -> Option<ApproxPolicy> {
+        let policy = match self {
+            RequestMode::Inherit => *service_default,
+            RequestMode::Exact => None,
+            RequestMode::Approx(p) => Some(*p),
+        };
+        policy.filter(|p| !p.is_exact())
     }
 }
 
@@ -229,6 +267,7 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
 
 struct Request {
     query: Query,
+    mode: RequestMode,
     reply: Sender<Vec<(u32, f32)>>,
 }
 
@@ -271,6 +310,9 @@ impl TopKService {
         fault: Option<FaultHook>,
     ) -> Self {
         assert!(config.max_batch > 0, "max_batch must be positive");
+        if let Some(policy) = &config.approx {
+            policy.validate();
+        }
         let n_workers = config.workers.max(1);
         let store = Arc::new(SnapshotStore::new(initial));
         let metrics = Arc::new(ServeMetrics::new());
@@ -400,12 +442,31 @@ impl TopKService {
         // after scoring — hashing a heavy user's exclusion list is not free.
         // Identical keys within the batch collapse onto one slot: the first
         // occurrence is the scored one, later ones just wait for its result
-        // (in-flight dedupe; the duplicates count as cache hits).
+        // (in-flight dedupe; the duplicates count as cache hits).  The key
+        // carries the request's effective retrieval policy, so an exact
+        // request can never be answered by an approximate result — not from
+        // the cache and not by riding along on a deduped slot.
+        let policies: Vec<Option<ApproxPolicy>> = batch
+            .iter()
+            .map(|req| req.mode.effective(&config.approx))
+            .collect();
         let mut pending: HashMap<CacheKey, usize> = HashMap::new();
         let mut slots: Vec<(usize, Vec<usize>)> = Vec::new();
         for (i, req) in batch.iter().enumerate() {
             metrics.record_request();
-            let key = CacheKey::new(req.query.user, req.query.k, &req.query.exclude);
+            let key = match &policies[i] {
+                None => CacheKey::new(req.query.user, req.query.k, &req.query.exclude),
+                Some(p) => {
+                    metrics.record_approx_requests(1);
+                    CacheKey::new_approx(
+                        req.query.user,
+                        req.query.k,
+                        &req.query.exclude,
+                        p.epsilon,
+                        p.max_blocks,
+                    )
+                }
+            };
             if let Some(hit) = cache.get(&key, generation) {
                 metrics.record_cache_hit();
                 // Counted before the send: the client may observe its reply
@@ -428,14 +489,41 @@ impl TopKService {
         }
 
         if !slots.is_empty() {
-            let queries: Vec<Query> = slots
-                .iter()
-                .map(|&(first, _)| batch[first].query.clone())
-                .collect();
-            let index =
-                TopKIndex::with_shards(snapshot, config.item_block, config.score, config.shards);
-            let (results, prune) = index.query_batch_stats(&queries);
-            metrics.record_pruning(prune.blocks_scored, prune.blocks_pruned);
+            // Slots are scored policy group by policy group: exact and
+            // approximate requests (or two different epsilons) coalesced
+            // into the same popped batch still score as separate
+            // micro-batches, each against an index carrying its own policy.
+            // The group count is bounded by the distinct policies in one
+            // batch — almost always 1 or 2.
+            let mut groups: Vec<(Option<ApproxPolicy>, Vec<usize>)> = Vec::new();
+            for (slot, &(first, _)) in slots.iter().enumerate() {
+                let policy = policies[first];
+                match groups.iter_mut().find(|(p, _)| *p == policy) {
+                    Some((_, members)) => members.push(slot),
+                    None => groups.push((policy, vec![slot])),
+                }
+            }
+            let mut results: Vec<Vec<(u32, f32)>> = vec![Vec::new(); slots.len()];
+            let mut prune = PruneStats::default();
+            for (policy, members) in groups {
+                let queries: Vec<Query> = members
+                    .iter()
+                    .map(|&slot| batch[slots[slot].0].query.clone())
+                    .collect();
+                let index = TopKIndex::with_approx(
+                    Arc::clone(&snapshot),
+                    config.item_block,
+                    config.score,
+                    config.shards,
+                    policy,
+                );
+                let (group_results, group_prune) = index.query_batch_stats(&queries);
+                prune.merge(&group_prune);
+                for (slot, result) in members.into_iter().zip(group_results) {
+                    results[slot] = result;
+                }
+            }
+            metrics.record_pruning(&prune);
             for ((first, extras), result) in slots.iter().zip(&results) {
                 metrics.record_response();
                 let _ = batch[*first].reply.send(result.clone());
@@ -589,13 +677,49 @@ pub struct ServeClient {
 }
 
 impl ServeClient {
-    /// Requests the top-`k` items for `user`, excluding `exclude`.
+    /// Requests the top-`k` items for `user`, excluding `exclude`, under
+    /// the service-wide retrieval policy ([`ServeConfig::approx`]).
     /// Blocks until a worker replies (one micro-batch of latency).
     pub fn recommend(
         &self,
         user: u32,
         k: usize,
         exclude: &[u32],
+    ) -> Result<Vec<(u32, f32)>, ServeError> {
+        self.recommend_with_mode(user, k, exclude, RequestMode::Inherit)
+    }
+
+    /// [`ServeClient::recommend`] forced exact, regardless of the service's
+    /// default policy — the escape hatch for traffic that must not trade
+    /// recall for latency.
+    pub fn recommend_exact(
+        &self,
+        user: u32,
+        k: usize,
+        exclude: &[u32],
+    ) -> Result<Vec<(u32, f32)>, ServeError> {
+        self.recommend_with_mode(user, k, exclude, RequestMode::Exact)
+    }
+
+    /// [`ServeClient::recommend`] under an explicit per-request
+    /// [`ApproxPolicy`], overriding the service default.
+    pub fn recommend_approx(
+        &self,
+        user: u32,
+        k: usize,
+        exclude: &[u32],
+        policy: ApproxPolicy,
+    ) -> Result<Vec<(u32, f32)>, ServeError> {
+        policy.validate();
+        self.recommend_with_mode(user, k, exclude, RequestMode::Approx(policy))
+    }
+
+    fn recommend_with_mode(
+        &self,
+        user: u32,
+        k: usize,
+        exclude: &[u32],
+        mode: RequestMode,
     ) -> Result<Vec<(u32, f32)>, ServeError> {
         let (reply_tx, reply_rx) = bounded(1);
         let request = Msg::Request(Request {
@@ -604,6 +728,7 @@ impl ServeClient {
                 k,
                 exclude: exclude.to_vec(),
             },
+            mode,
             reply: reply_tx,
         });
         self.tx.send(request).map_err(|_| self.death_cause())?;
@@ -929,6 +1054,117 @@ mod tests {
         ));
         let m = service.metrics();
         assert_eq!((m.worker_panics, m.worker_restarts), (3, 2));
+    }
+
+    #[test]
+    fn approx_and_exact_requests_do_not_share_cache_entries() {
+        // Exact first, approximate second, for the same (user, k, exclude):
+        // the cached exact result must not answer the approximate request —
+        // both must be scored (two misses, zero hits).
+        let service = TopKService::start(snapshot(11), config());
+        let client = service.client();
+        let exact = client.recommend_exact(5, 6, &[1]).unwrap();
+        let coarse = ApproxPolicy {
+            epsilon: 0.6,
+            max_blocks: 0,
+            target_recall: 0.0,
+        };
+        let approx = client.recommend_approx(5, 6, &[1], coarse).unwrap();
+        assert_eq!(exact.len(), 6);
+        assert_eq!(approx.len(), 6, "approximate list must not shrink");
+        let m = service.metrics();
+        assert_eq!((m.cache_misses, m.cache_hits), (2, 0));
+        assert_eq!(m.approx_requests, 1);
+        // Repeats of each mode now hit their own entries.
+        assert_eq!(client.recommend_exact(5, 6, &[1]).unwrap(), exact);
+        assert_eq!(client.recommend_approx(5, 6, &[1], coarse).unwrap(), approx);
+        let m = service.metrics();
+        assert_eq!((m.cache_misses, m.cache_hits), (2, 2));
+    }
+
+    #[test]
+    fn mixed_batch_scores_exact_and_approx_in_separate_micro_batches() {
+        // Two identical (user, k, exclude) requests — one exact, one under a
+        // coarse policy — coalesce into one popped batch (max_batch 2, long
+        // deadline).  They must NOT dedupe onto one slot: the exact reply
+        // must equal the exact reference even though an approximate request
+        // rode in the same batch.
+        let service = TopKService::start(
+            snapshot(12),
+            ServeConfig {
+                max_batch: 2,
+                max_delay: Duration::from_secs(2),
+                cache_capacity: 0,
+                ..Default::default()
+            },
+        );
+        let reference = service.snapshot().recommend_one(9, 5, &[2]);
+        let coarse = ApproxPolicy {
+            epsilon: 0.9,
+            max_blocks: 1,
+            target_recall: 0.0,
+        };
+        let (exact, approx) = std::thread::scope(|s| {
+            let ca = service.client();
+            let cb = service.client();
+            let ha = s.spawn(move || ca.recommend_exact(9, 5, &[2]).unwrap());
+            let hb = s.spawn(move || cb.recommend_approx(9, 5, &[2], coarse).unwrap());
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        assert_eq!(exact, reference, "exact result contaminated by approx");
+        assert_eq!(approx.len(), 5);
+        let m = service.metrics();
+        assert_eq!(m.requests, 2);
+        assert_eq!(
+            (m.cache_misses, m.cache_hits),
+            (2, 0),
+            "different policies must not dedupe onto one slot"
+        );
+        assert_eq!(m.approx_requests, 1);
+    }
+
+    #[test]
+    fn service_wide_policy_applies_to_inherit_and_is_overridable() {
+        // A service defaulting to a coarse policy: plain recommend() scans
+        // approximately (terminated blocks show up in the metrics), while
+        // recommend_exact() still matches the exact single-request path.
+        let service = TopKService::start(
+            snapshot(13),
+            ServeConfig {
+                approx: Some(ApproxPolicy {
+                    epsilon: 0.8,
+                    max_blocks: 0,
+                    target_recall: 0.0,
+                }),
+                cache_capacity: 0,
+                max_delay: Duration::from_millis(1),
+                ..Default::default()
+            },
+        );
+        let client = service.client();
+        let exact = client.recommend_exact(3, 5, &[]).unwrap();
+        assert_eq!(exact, service.snapshot().recommend_one(3, 5, &[]));
+        let inherited = client.recommend(3, 5, &[]).unwrap();
+        assert_eq!(inherited.len(), 5);
+        let m = service.metrics();
+        assert_eq!(m.approx_requests, 1, "only the inherit request is approx");
+    }
+
+    #[test]
+    fn epsilon_zero_policy_normalizes_to_exact_and_shares_the_cache() {
+        // ApproxPolicy::exact() cannot change results, so it must coalesce
+        // with exact traffic: the second request is a cache hit, not a
+        // second scoring pass.
+        let service = TopKService::start(snapshot(14), config());
+        let client = service.client();
+        let a = client.recommend_exact(4, 5, &[]).unwrap();
+        let b = client
+            .recommend_approx(4, 5, &[], ApproxPolicy::exact())
+            .unwrap();
+        assert_eq!(a, b);
+        let m = service.metrics();
+        assert_eq!((m.cache_misses, m.cache_hits), (1, 1));
+        assert_eq!(m.approx_requests, 0, "exact-equivalent policy is exact");
     }
 
     /// The panic budget is pool-wide: restarts on different workers draw

@@ -34,15 +34,42 @@ pub struct CacheKey {
     user: u32,
     k: usize,
     exclude: Box<[u32]>,
+    /// Approximate-retrieval discriminator: `(epsilon.to_bits(), max_blocks)`
+    /// of the effective [`cumf_linalg::ApproxPolicy`], `None` for exact.
+    /// An approximate result must never be served to an exact request (or to
+    /// a request with a different epsilon) from the cache — the policies
+    /// produce different lists by design.  `target_recall` is advisory and
+    /// deliberately excluded: it cannot change a result.
+    approx: Option<(u32, usize)>,
 }
 
 impl CacheKey {
-    /// Builds the key for `(user, k, exclude)`.
+    /// Builds the key for an **exact** `(user, k, exclude)` request.
     pub fn new(user: u32, k: usize, exclude: &[u32]) -> Self {
         Self {
             user,
             k,
             exclude: exclude.into(),
+            approx: None,
+        }
+    }
+
+    /// Builds the key for a request scored under an approximate policy.
+    /// `epsilon` and `max_blocks` are the result-affecting knobs; two
+    /// requests agreeing on them (and on user/k/exclusions) may share a
+    /// cached list.
+    pub fn new_approx(
+        user: u32,
+        k: usize,
+        exclude: &[u32],
+        epsilon: f32,
+        max_blocks: usize,
+    ) -> Self {
+        Self {
+            user,
+            k,
+            exclude: exclude.into(),
+            approx: Some((epsilon.to_bits(), max_blocks)),
         }
     }
 
@@ -55,6 +82,7 @@ impl CacheKey {
             user: u32::MAX,
             k: 0,
             exclude: Box::new([]),
+            approx: None,
         }
     }
 
@@ -451,6 +479,31 @@ mod tests {
         assert!(c.get(&key(0), 1).is_some());
         assert!(c.get(&key(2), 1).is_some());
         assert!(c.get(&key(3), 1).is_some());
+    }
+
+    #[test]
+    fn approx_and_exact_keys_do_not_collide() {
+        // Same user/k/exclusions, different retrieval policy: three distinct
+        // cache identities — exact, epsilon 0.1, epsilon 0.2 — plus a
+        // budget-only variant.  A cached approximate list must never answer
+        // an exact request and vice versa.
+        let exact = CacheKey::new(1, 10, &[2, 3]);
+        let eps1 = CacheKey::new_approx(1, 10, &[2, 3], 0.1, 0);
+        let eps2 = CacheKey::new_approx(1, 10, &[2, 3], 0.2, 0);
+        let budget = CacheKey::new_approx(1, 10, &[2, 3], 0.1, 16);
+        assert_ne!(exact, eps1);
+        assert_ne!(eps1, eps2);
+        assert_ne!(eps1, budget);
+        let mut cache = ResultCache::new(8);
+        cache.insert(eps1.clone(), 1, val(7));
+        assert!(
+            cache.get(&exact, 1).is_none(),
+            "approx result leaked to exact"
+        );
+        assert!(cache.get(&eps2, 1).is_none());
+        assert_eq!(cache.get(&eps1, 1), Some(&val(7)));
+        // Same policy parameters rebuild an equal key.
+        assert_eq!(eps1, CacheKey::new_approx(1, 10, &[2, 3], 0.1, 0));
     }
 
     #[test]

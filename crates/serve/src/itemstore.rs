@@ -36,14 +36,21 @@ use cumf_linalg::{block_max_norms, item_norms, FactorMatrix, SegmentView};
 use std::sync::Arc;
 
 /// Stored row order of each [`ItemStore`] segment.
+///
+/// `NormDescending` is the default: it is bit-identical to `CatalogOrder`
+/// under exact retrieval (results depend only on vectors and the total-order
+/// tie-break, never on stored order) and is the precondition for
+/// approximate early termination ([`cumf_linalg::ApproxPolicy`]) to fire
+/// systematically rather than data-dependently.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ItemLayout {
-    /// Rows stored by catalog id — no remap, no reordering.
-    #[default]
+    /// Rows stored by catalog id — no remap, no reordering (the PR 2–4
+    /// layout; still used by tests pinning layout invariance).
     CatalogOrder,
     /// Rows stored by item norm, descending (ties by catalog id ascending,
     /// so the layout is deterministic), with an id remap applied on result
     /// output.  Makes block threshold pruning systematic.
+    #[default]
     NormDescending,
 }
 

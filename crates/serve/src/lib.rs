@@ -40,7 +40,16 @@
 //!   [`batcher::ServeConfig::max_item_segments`].
 //! * [`metrics::ServeMetrics`] — request counts, batch-size histogram,
 //!   cache hit rate, batch latency, swap/delta/compaction counts, worker
-//!   panics and restarts, block-pruning counters.
+//!   panics and restarts, block-pruning and early-termination counters.
+//! * **Approximate retrieval** — an opt-in
+//!   [`cumf_linalg::ApproxPolicy`] (service-wide via
+//!   [`batcher::ServeConfig::approx`], per request via
+//!   [`batcher::ServeClient::recommend_approx`]) lets the scorer stop a
+//!   norm-descending segment scan once the discounted Cauchy–Schwarz
+//!   bound says nothing left can improve the heap by more than `epsilon`;
+//!   requests under different policies never share a micro-batch or cache
+//!   entry, and [`recall::measure_recall`] reports the measured
+//!   recall@k/blocks-scanned tradeoff against exact ground truth.
 //!
 //! ## Quick start
 //!
@@ -70,14 +79,16 @@ pub mod batcher;
 pub mod cache;
 pub mod itemstore;
 pub mod metrics;
+pub mod recall;
 pub mod snapshot;
 pub mod topk;
 
-pub use batcher::{ServeClient, ServeConfig, ServeError, TopKService};
+pub use batcher::{RequestMode, ServeClient, ServeConfig, ServeError, TopKService};
 pub use cache::{CacheKey, ResultCache, ShardedResultCache};
-pub use cumf_linalg::PruneStats;
+pub use cumf_linalg::{ApproxPolicy, PruneStats, DEFAULT_APPROX_EPSILON};
 pub use itemstore::{ItemLayout, ItemSegment, ItemStore};
 pub use metrics::{MetricsReport, ServeMetrics};
+pub use recall::{measure_recall, recall_at_k, report_from_lists, RecallReport};
 pub use snapshot::{
     DeltaError, DeltaStats, FactorSnapshot, SnapshotDelta, SnapshotStore, USER_COW_ROWS,
 };

@@ -7,6 +7,7 @@
 //! locks — and [`ServeMetrics::report`] takes a coherent-enough snapshot
 //! for dashboards/tests.
 
+use cumf_linalg::PruneStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -32,6 +33,8 @@ pub struct ServeMetrics {
     worker_restarts: AtomicU64,
     blocks_scored: AtomicU64,
     blocks_pruned: AtomicU64,
+    blocks_terminated: AtomicU64,
+    approx_requests: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -103,11 +106,24 @@ impl ServeMetrics {
         self.worker_restarts.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one batch's block-pruning outcome: how many item blocks the
-    /// scorer streamed versus skipped on the norm bound.
-    pub fn record_pruning(&self, scored: u64, pruned: u64) {
-        self.blocks_scored.fetch_add(scored, Ordering::Relaxed);
-        self.blocks_pruned.fetch_add(pruned, Ordering::Relaxed);
+    /// Records one batch's block-scan outcome: how many item blocks the
+    /// scorer streamed, skipped exactly on the norm bound, and skipped by
+    /// approximate early termination.  Keeping the three counts separate is
+    /// what keeps [`MetricsReport::pruned_block_rate`] truthful when exact
+    /// and approximate traffic mix.
+    pub fn record_pruning(&self, stats: &PruneStats) {
+        self.blocks_scored
+            .fetch_add(stats.blocks_scored, Ordering::Relaxed);
+        self.blocks_pruned
+            .fetch_add(stats.blocks_pruned, Ordering::Relaxed);
+        self.blocks_terminated
+            .fetch_add(stats.blocks_terminated, Ordering::Relaxed);
+    }
+
+    /// Records `n` requests scored under an approximate policy (cache hits
+    /// of approximate entries included — the caller counts what it serves).
+    pub fn record_approx_requests(&self, n: u64) {
+        self.approx_requests.fetch_add(n, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of all counters plus derived rates.
@@ -148,6 +164,8 @@ impl ServeMetrics {
             worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
             blocks_scored: self.blocks_scored.load(Ordering::Relaxed),
             blocks_pruned: self.blocks_pruned.load(Ordering::Relaxed),
+            blocks_terminated: self.blocks_terminated.load(Ordering::Relaxed),
+            approx_requests: self.approx_requests.load(Ordering::Relaxed),
         }
     }
 }
@@ -191,18 +209,37 @@ pub struct MetricsReport {
     pub blocks_scored: u64,
     /// Item blocks skipped whole on the Cauchy–Schwarz norm bound — the
     /// pruning-effectiveness counter a norm-descending layout drives up.
+    /// An **exact** decision; never changes results.
     pub blocks_pruned: u64,
+    /// Item blocks skipped by approximate early termination (epsilon slack
+    /// or block budget) — a result-affecting skip, counted apart from
+    /// `blocks_pruned` so the exact-pruning rate stays honest.
+    pub blocks_terminated: u64,
+    /// Requests scored (or served from cache) under an approximate policy.
+    pub approx_requests: u64,
 }
 
 impl MetricsReport {
-    /// Fraction of visited item blocks skipped by threshold pruning
-    /// (`0.0` when nothing was scored).
+    /// Fraction of visited item blocks skipped by **exact** threshold
+    /// pruning (`0.0` when nothing was scored).  Terminated blocks widen
+    /// the denominator but never the numerator.
     pub fn pruned_block_rate(&self) -> f64 {
-        let total = self.blocks_scored + self.blocks_pruned;
+        let total = self.blocks_scored + self.blocks_pruned + self.blocks_terminated;
         if total == 0 {
             0.0
         } else {
             self.blocks_pruned as f64 / total as f64
+        }
+    }
+
+    /// Fraction of visited item blocks skipped by **approximate** early
+    /// termination (`0.0` when nothing was scored).
+    pub fn terminated_block_rate(&self) -> f64 {
+        let total = self.blocks_scored + self.blocks_pruned + self.blocks_terminated;
+        if total == 0 {
+            0.0
+        } else {
+            self.blocks_terminated as f64 / total as f64
         }
     }
 }
@@ -229,10 +266,14 @@ impl std::fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
-            "pruning: {} blocks scored, {} pruned ({:.1}% skipped)",
+            "pruning: {} blocks scored, {} pruned ({:.1}% exact skip), \
+             {} terminated ({:.1}% approx skip)  approx requests: {}",
             self.blocks_scored,
             self.blocks_pruned,
-            100.0 * self.pruned_block_rate()
+            100.0 * self.pruned_block_rate(),
+            self.blocks_terminated,
+            100.0 * self.terminated_block_rate(),
+            self.approx_requests
         )?;
         writeln!(
             f,
@@ -300,8 +341,16 @@ mod tests {
     #[test]
     fn pruning_and_supervisor_counters_accumulate() {
         let m = ServeMetrics::new();
-        m.record_pruning(6, 2);
-        m.record_pruning(0, 8);
+        m.record_pruning(&PruneStats {
+            blocks_scored: 6,
+            blocks_pruned: 2,
+            blocks_terminated: 0,
+        });
+        m.record_pruning(&PruneStats {
+            blocks_scored: 0,
+            blocks_pruned: 8,
+            blocks_terminated: 0,
+        });
         m.record_worker_panic();
         m.record_worker_restart();
         m.record_item_compaction();
@@ -311,6 +360,29 @@ mod tests {
         assert_eq!((r.worker_panics, r.worker_restarts), (1, 1));
         assert_eq!(r.item_compactions, 1);
         assert_eq!(ServeMetrics::new().report().pruned_block_rate(), 0.0);
+    }
+
+    #[test]
+    fn terminated_blocks_do_not_inflate_the_exact_pruning_rate() {
+        // 4 scored + 4 pruned + 8 terminated: the exact skip rate must be
+        // 4/16, not 12/16 — the display would otherwise credit approximate
+        // truncation to the (result-preserving) norm bound.
+        let m = ServeMetrics::new();
+        m.record_pruning(&PruneStats {
+            blocks_scored: 4,
+            blocks_pruned: 4,
+            blocks_terminated: 8,
+        });
+        m.record_approx_requests(3);
+        let r = m.report();
+        assert_eq!(r.blocks_terminated, 8);
+        assert_eq!(r.approx_requests, 3);
+        assert!((r.pruned_block_rate() - 4.0 / 16.0).abs() < 1e-12);
+        assert!((r.terminated_block_rate() - 8.0 / 16.0).abs() < 1e-12);
+        assert_eq!(ServeMetrics::new().report().terminated_block_rate(), 0.0);
+        let text = r.to_string();
+        assert!(text.contains("8 terminated"));
+        assert!(text.contains("approx requests: 3"));
     }
 
     #[test]

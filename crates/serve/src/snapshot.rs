@@ -361,12 +361,17 @@ pub struct FactorSnapshot {
 
 impl FactorSnapshot {
     /// Builds a snapshot from factor matrices (generation 0 until
-    /// published), storing the catalog in [`ItemLayout::CatalogOrder`].
+    /// published), storing the catalog in the default serving layout —
+    /// [`ItemLayout::NormDescending`] since the approximate-retrieval PR.
+    /// Exact results are bit-identical across layouts (pinned by the
+    /// segment proptests); callers that need catalog-row storage pass
+    /// [`ItemLayout::CatalogOrder`] to
+    /// [`FactorSnapshot::from_factors_with_layout`] explicitly.
     ///
     /// # Panics
     /// Panics if the two matrices disagree on the latent rank.
     pub fn from_factors(x: FactorMatrix, theta: FactorMatrix) -> Self {
-        Self::from_factors_with_layout(x, theta, ItemLayout::CatalogOrder)
+        Self::from_factors_with_layout(x, theta, ItemLayout::default())
     }
 
     /// [`FactorSnapshot::from_factors`] with an explicit item layout.

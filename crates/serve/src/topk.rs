@@ -33,7 +33,10 @@
 
 use crate::snapshot::FactorSnapshot;
 use cumf_linalg::topk::NORM_BOUND_SLACK;
-use cumf_linalg::{batch_score_segment, block_max_norms, merge_top_k, PruneStats, TopK};
+use cumf_linalg::{
+    batch_score_segment, block_max_norms, merge_top_k, suffix_max_norms, ApproxPolicy, PruneStats,
+    TopK,
+};
 use rayon::prelude::*;
 use std::collections::HashSet;
 use std::ops::Range;
@@ -142,6 +145,11 @@ struct IndexSegment {
     /// Block maxima of the segment's stored-order norms at `item_block`
     /// granularity.
     block_max: Vec<f32>,
+    /// Running maxima of `block_max` from each block to the segment's end —
+    /// the approximate stop rule compares against this so terminating a
+    /// segment scan is safe for any stored order (in a norm-descending
+    /// segment it equals `block_max`).
+    suffix_max: Vec<f32>,
     /// Global index of this segment's first block.
     first_block: usize,
 }
@@ -156,6 +164,8 @@ pub struct TopKIndex {
     snapshot: Arc<FactorSnapshot>,
     score: ScoreKind,
     shards: usize,
+    /// Early-termination policy; `None` keeps the scan exact.
+    approx: Option<ApproxPolicy>,
     /// Per-segment blocking, base segment first, in global block order.
     segs: Vec<IndexSegment>,
     /// Total blocks across all segments (what shards partition).
@@ -181,7 +191,31 @@ impl TopKIndex {
         score: ScoreKind,
         shards: usize,
     ) -> Self {
+        Self::with_approx(snapshot, item_block, score, shards, None)
+    }
+
+    /// [`TopKIndex::with_shards`] with an optional early-termination policy.
+    ///
+    /// With `Some(policy)` the scorer may stop scanning a segment once the
+    /// discounted Cauchy–Schwarz bound says nothing left in it can improve
+    /// any tile heap by more than the policy's epsilon slack, and may cap
+    /// scored blocks at `policy.max_blocks` per `(tile, shard)` scan.  Both
+    /// rules only engage once every heap in the tile holds its `k` items, so
+    /// result lists never come back short.  A policy with `epsilon = 0` and
+    /// no budget is bit-identical to the exact index.  Epsilon termination
+    /// applies to [`ScoreKind::Dot`] only (a norm-divided score has no
+    /// per-block bound); the block budget applies to both score kinds.
+    pub fn with_approx(
+        snapshot: Arc<FactorSnapshot>,
+        item_block: usize,
+        score: ScoreKind,
+        shards: usize,
+        approx: Option<ApproxPolicy>,
+    ) -> Self {
         assert!(item_block > 0, "item block must be positive");
+        if let Some(p) = &approx {
+            p.validate();
+        }
         // Resolve the blocking per segment.  The default blocking (the
         // common case — `ServeConfig` builds an index per micro-batch)
         // reuses each segment's precomputed maxima instead of rescanning
@@ -199,10 +233,12 @@ impl TopKIndex {
             let first_block = n_blocks;
             n_blocks += block_max.len();
             max_block = max_block.max(block);
+            let suffix_max = suffix_max_norms(&block_max);
             segs.push(IndexSegment {
                 seg: i,
                 item_block: block,
                 block_max,
+                suffix_max,
                 first_block,
             });
         }
@@ -210,6 +246,7 @@ impl TopKIndex {
             snapshot,
             score,
             shards: shards.max(1),
+            approx,
             segs,
             n_blocks,
             max_block,
@@ -225,6 +262,11 @@ impl TopKIndex {
     /// effective count is further capped by the number of item blocks).
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// The early-termination policy, if this index scans approximately.
+    pub fn approx(&self) -> Option<&ApproxPolicy> {
+        self.approx.as_ref()
     }
 
     /// Contiguous block ranges, one per non-empty shard.
@@ -342,6 +384,9 @@ impl TopKIndex {
 
         let mut stats = PruneStats::default();
         let mut scores = vec![0.0f32; tile.len() * self.max_block];
+        let mut scored_blocks = 0usize;
+        let term_slack = self.approx.as_ref().map(ApproxPolicy::termination_slack);
+        let block_budget = self.approx.as_ref().map_or(0, |p| p.max_blocks);
         for is in &self.segs {
             let lo = blocks.start.max(is.first_block);
             let hi = blocks.end.min(is.first_block + is.block_max.len());
@@ -359,6 +404,24 @@ impl TopKIndex {
                 // in it.  (Cosine's bound is ‖x_u‖ for every block —
                 // nothing to prune.)
                 if self.score == ScoreKind::Dot {
+                    // Approximate mode first asks the stronger question: can
+                    // anything in the *rest of the segment* beat any heap by
+                    // more than the epsilon slack?  `suffix_max` bounds every
+                    // remaining block, so a "no" ends the segment scan — in a
+                    // norm-descending segment that fires as soon as the first
+                    // prunable block appears.
+                    if let Some(slack) = term_slack {
+                        let done = heaps.iter().enumerate().all(|(i, h)| match h {
+                            Some(h) => h
+                                .threshold()
+                                .is_some_and(|t| user_norms[i] * is.suffix_max[b] * slack < t),
+                            None => true,
+                        });
+                        if done {
+                            stats.blocks_terminated += (hi - is.first_block - b) as u64;
+                            break;
+                        }
+                    }
                     let bound = is.block_max[b] * NORM_BOUND_SLACK;
                     let prunable = heaps.iter().enumerate().all(|(i, h)| match h {
                         Some(h) => h.threshold().is_some_and(|t| user_norms[i] * bound < t),
@@ -369,7 +432,21 @@ impl TopKIndex {
                         continue;
                     }
                 }
+                // The block budget (both score kinds) skips further blocks
+                // once the tile has scored its allowance — but only after
+                // every heap holds its k items, so a k ≥ catalog request is
+                // never cut short.
+                if block_budget > 0
+                    && scored_blocks >= block_budget
+                    && heaps
+                        .iter()
+                        .all(|h| h.as_ref().is_none_or(|h| h.threshold().is_some()))
+                {
+                    stats.blocks_terminated += 1;
+                    continue;
+                }
                 stats.blocks_scored += 1;
+                scored_blocks += 1;
                 let nb = end - start;
                 let out = &mut scores[..tile.len() * nb];
                 batch_score_segment(users, tile.len(), &view, start, end, f, out);
@@ -537,6 +614,140 @@ mod tests {
                 assert_eq!(sharded, baseline, "score {score:?} shards {shards}");
             }
         }
+    }
+
+    /// A skewed-norm catalog (a few heavy items, a long light tail) — the
+    /// shape that makes early termination effective under the
+    /// norm-descending default layout.
+    fn skewed_snapshot(n_users: usize, n_items: usize, seed: u64) -> Arc<FactorSnapshot> {
+        let f = 8;
+        let base = FactorMatrix::random(n_items, f, 1.0, seed);
+        let mut data = base.data().to_vec();
+        for v in 0..n_items {
+            let h = (v as u32).wrapping_mul(2654435761) % 64;
+            let scale = if h == 0 { 4.0 } else { 0.01 + 0.001 * h as f32 };
+            for d in 0..f {
+                data[v * f + d] *= scale;
+            }
+        }
+        Arc::new(FactorSnapshot::from_factors(
+            FactorMatrix::random(n_users, f, 1.0, seed + 1),
+            FactorMatrix::from_vec(n_items, f, data),
+        ))
+    }
+
+    #[test]
+    fn approx_index_with_exact_policy_is_bit_identical() {
+        let snap = skewed_snapshot(20, 2000, 30);
+        let queries: Vec<Query> = (0..20u32)
+            .map(|u| Query {
+                user: u,
+                k: 10,
+                exclude: vec![u % 17],
+            })
+            .collect();
+        for shards in [1usize, 3, 8] {
+            let exact = TopKIndex::with_shards(Arc::clone(&snap), 64, ScoreKind::Dot, shards)
+                .query_batch(&queries);
+            let approx = TopKIndex::with_approx(
+                Arc::clone(&snap),
+                64,
+                ScoreKind::Dot,
+                shards,
+                Some(ApproxPolicy::exact()),
+            )
+            .query_batch(&queries);
+            assert_eq!(approx, exact, "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn approx_index_terminates_early_on_skewed_norm_descending_catalog() {
+        let snap = skewed_snapshot(16, 8192, 33);
+        let queries: Vec<Query> = (0..16u32).map(|u| Query::new(u, 10)).collect();
+        let (exact_res, exact_stats) =
+            TopKIndex::with_shards(Arc::clone(&snap), 64, ScoreKind::Dot, 1)
+                .query_batch_stats(&queries);
+        let (approx_res, approx_stats) = TopKIndex::with_approx(
+            Arc::clone(&snap),
+            64,
+            ScoreKind::Dot,
+            1,
+            Some(ApproxPolicy::default()),
+        )
+        .query_batch_stats(&queries);
+        assert_eq!(exact_stats.blocks_terminated, 0, "exact never terminates");
+        assert!(
+            approx_stats.blocks_scored < exact_stats.blocks_scored,
+            "default epsilon must scan fewer blocks: approx {} vs exact {}",
+            approx_stats.blocks_scored,
+            exact_stats.blocks_scored
+        );
+        assert!(approx_stats.blocks_terminated > 0);
+        for (e, a) in exact_res.iter().zip(&approx_res) {
+            assert_eq!(a.len(), e.len(), "approximate lists must not shrink");
+        }
+    }
+
+    #[test]
+    fn approx_block_budget_never_shortens_results() {
+        let snap = skewed_snapshot(8, 500, 36);
+        let budget = ApproxPolicy {
+            epsilon: 0.0,
+            max_blocks: 1,
+            target_recall: 0.0,
+        };
+        // k ≥ catalog: the heap never fills, the budget never engages —
+        // every item comes back, exactly.
+        let q = vec![Query::new(0, 1000)];
+        let exact =
+            TopKIndex::with_shards(Arc::clone(&snap), 64, ScoreKind::Dot, 1).query_batch(&q);
+        let capped = TopKIndex::with_approx(Arc::clone(&snap), 64, ScoreKind::Dot, 1, Some(budget))
+            .query_batch(&q);
+        assert_eq!(capped, exact);
+        assert_eq!(capped[0].len(), 500);
+        // Small k: the budget truncates the scan but the list stays full
+        // length.
+        let q = vec![Query::new(0, 5)];
+        let (capped, stats) =
+            TopKIndex::with_approx(Arc::clone(&snap), 64, ScoreKind::Dot, 1, Some(budget))
+                .query_batch_stats(&q);
+        assert_eq!(capped[0].len(), 5);
+        assert!(stats.blocks_terminated > 0);
+        // The budget also bounds Cosine scans (no epsilon bound there).
+        let (cos, cos_stats) =
+            TopKIndex::with_approx(Arc::clone(&snap), 64, ScoreKind::Cosine, 1, Some(budget))
+                .query_batch_stats(&q);
+        assert_eq!(cos[0].len(), 5);
+        assert!(cos_stats.blocks_terminated > 0);
+    }
+
+    #[test]
+    fn approx_zero_norm_user_gets_full_exact_results() {
+        // A user whose factor row is all zeros: every score is 0, the
+        // threshold pins at 0, and no termination rule may fire — the
+        // approximate path must return the same full list as the exact one.
+        let f = 6;
+        let mut x = FactorMatrix::random(4, f, 1.0, 44);
+        x.vector_mut(2).fill(0.0);
+        let snap = Arc::new(FactorSnapshot::from_factors(
+            x,
+            FactorMatrix::random(300, f, 1.0, 45),
+        ));
+        let q = vec![Query::new(2, 9)];
+        let exact =
+            TopKIndex::with_shards(Arc::clone(&snap), 64, ScoreKind::Dot, 1).query_batch(&q);
+        let (approx, stats) = TopKIndex::with_approx(
+            Arc::clone(&snap),
+            64,
+            ScoreKind::Dot,
+            1,
+            Some(ApproxPolicy::with_epsilon(0.5)),
+        )
+        .query_batch_stats(&q);
+        assert_eq!(approx, exact);
+        assert_eq!(approx[0].len(), 9, "zero-norm user still gets k items");
+        assert_eq!(stats.blocks_terminated, 0, "0 < 0 must never terminate");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use cumf_linalg::FactorMatrix;
 use cumf_serve::{
-    FactorSnapshot, ItemLayout, Query, ScoreKind, ServeConfig, TopKIndex, TopKService,
+    ApproxPolicy, FactorSnapshot, ItemLayout, Query, ScoreKind, ServeConfig, TopKIndex, TopKService,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -91,7 +91,8 @@ proptest! {
 
     /// Acceptance invariant: every (variant, layout, shard count, score
     /// kind) combination is bit-identical to the contiguous catalog-order
-    /// baseline.
+    /// baseline — and approximate retrieval with `epsilon = 0` and no
+    /// block budget is bit-identical to all of them.
     #[test]
     fn segmented_and_permuted_retrieval_is_bit_identical(
         (m, n, f, seed) in (20usize..60, 200usize..600, 4usize..10, 0u64..500),
@@ -108,7 +109,10 @@ proptest! {
         let queries: Vec<Query> = (0..m as u32)
             .map(|u| Query { user: u, k, exclude: vec![u % 19, u % 7] })
             .collect();
-        let baseline_snap = FactorSnapshot::from_factors(x.clone(), theta.clone());
+        // The baseline is the contiguous catalog-order store — explicit,
+        // since the construction default is norm-descending now.
+        let baseline_snap =
+            FactorSnapshot::from_factors_with_layout(x.clone(), theta.clone(), ItemLayout::CatalogOrder);
         let baseline = TopKIndex::new(Arc::new(baseline_snap), 64, score).query_batch(&queries);
 
         for layout in [ItemLayout::CatalogOrder, ItemLayout::NormDescending] {
@@ -121,6 +125,17 @@ proptest! {
                         &got, &baseline,
                         "{} {:?} shards {} score {:?}", name, layout, shards, score
                     );
+                    // Epsilon-zero approximate mode must not change a bit
+                    // either, for any segmentation × layout × shard count ×
+                    // score kind.
+                    let approx = TopKIndex::with_approx(
+                        Arc::clone(&snap), 64, score, shards, Some(ApproxPolicy::exact()),
+                    )
+                    .query_batch(&queries);
+                    prop_assert_eq!(
+                        &approx, &baseline,
+                        "approx eps=0 {} {:?} shards {} score {:?}", name, layout, shards, score
+                    );
                 }
                 // The single-request path agrees too.
                 let one = snap.recommend_one(0, k, &[0, 19]);
@@ -131,6 +146,43 @@ proptest! {
                     "recommend_one {} {:?}", name, layout
                 );
             }
+        }
+    }
+
+    /// Recall degrades monotonically in epsilon on a fixed seeded catalog:
+    /// a larger epsilon never scans more blocks and never recalls more of
+    /// the exact top-k (single compacted segment — the scanned item set
+    /// shrinks as epsilon grows, so recall is monotone non-increasing).
+    #[test]
+    fn recall_is_monotone_non_increasing_in_epsilon(
+        seed in 0u64..200,
+        k in 1usize..12,
+    ) {
+        let x = FactorMatrix::random(12, 8, 1.0, seed);
+        let theta = skewed_norm_theta(3000, 8, seed + 1);
+        let snap = Arc::new(FactorSnapshot::from_factors_with_layout(
+            x, theta, ItemLayout::NormDescending,
+        ));
+        let queries: Vec<Query> = (0..12u32).map(|u| Query::new(u, k)).collect();
+        let mut prev_recall = f64::INFINITY;
+        let mut prev_scored = u64::MAX;
+        for eps in [0.0f32, 0.05, 0.1, 0.2, 0.4, 0.8] {
+            let report = cumf_serve::measure_recall(
+                &snap, &queries, 64, ScoreKind::Dot, 1, &ApproxPolicy::with_epsilon(eps),
+            );
+            prop_assert!(
+                report.mean_recall <= prev_recall + 1e-12,
+                "recall rose from {} to {} at eps {}", prev_recall, report.mean_recall, eps
+            );
+            prop_assert!(
+                report.approx_stats.blocks_scored <= prev_scored,
+                "scan grew from {} to {} blocks at eps {}",
+                prev_scored, report.approx_stats.blocks_scored, eps
+            );
+            // Full-length lists at every epsilon (never short, never empty).
+            prop_assert!(report.queries == 12);
+            prev_recall = report.mean_recall;
+            prev_scored = report.approx_stats.blocks_scored;
         }
     }
 }
