@@ -205,7 +205,12 @@ fn bench_service_pool(c: &mut Criterion) {
                 b.iter(|| drive_service(&service));
             },
         );
-        assert_eq!(service.metrics().worker_panics, 0);
+        let metrics = service.metrics();
+        assert_eq!(metrics.worker_panics, 0);
+        // The stage percentile table (queue-wait → reply + e2e) lands in
+        // the captured bench report, so per-PR latency-breakdown
+        // trajectories are recorded alongside throughput.
+        println!("--- service metrics (workers{workers}_shards{shards}) ---\n{metrics}");
     }
     group.finish();
 }

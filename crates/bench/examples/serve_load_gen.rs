@@ -30,11 +30,20 @@
 //! diverges from ground truth, or if any approximate list comes back
 //! short.
 //!
+//! `--metrics-json PATH` turns on the observability reporter: a sidecar
+//! thread polls [`cumf_serve::TopKService::window_report`] every 250 ms and
+//! prints a one-line since-last-poll summary (requests, e2e p50/p99, queue
+//! depth) while the load runs, and on completion the **cumulative** metrics
+//! — per-stage latency percentiles included — are exported as flat JSON to
+//! `PATH` for CI to assert on.  `--trace-jsonl PATH` additionally dumps the
+//! sampled per-request stage traces (1-in-`trace_sample`) as JSONL.
+//!
 //! ```text
 //! usage: serve_load_gen [--users N] [--items N] [--f F] [--requests N]
 //!                       [--clients N] [--k K] [--publishes N] [--fold-in N]
 //!                       [--naive-sample N] [--workers N] [--shards N]
 //!                       [--recall FLOOR] [--approx-epsilon EPS]
+//!                       [--metrics-json PATH] [--trace-jsonl PATH]
 //! ```
 //!
 //! CI runs `--requests 200 --workers 4 --shards 4 --fold-in 2
@@ -72,6 +81,11 @@ struct Args {
     recall: Option<f64>,
     /// Epsilon of the policy the recall gate measures.
     approx_epsilon: f32,
+    /// Where to write the final cumulative metrics as flat JSON (also
+    /// enables the 250 ms windowed reporter while the load runs).
+    metrics_json: Option<std::path::PathBuf>,
+    /// Where to dump the sampled per-request stage traces as JSONL.
+    trace_jsonl: Option<std::path::PathBuf>,
 }
 
 impl Default for Args {
@@ -90,6 +104,8 @@ impl Default for Args {
             shards: 1,
             recall: None,
             approx_epsilon: DEFAULT_APPROX_EPSILON,
+            metrics_json: None,
+            trace_jsonl: None,
         }
     }
 }
@@ -104,7 +120,8 @@ fn parse_args() -> Args {
             println!(
                 "usage: serve_load_gen [--users N] [--items N] [--f F] [--requests N] \
                  [--clients N] [--k K] [--publishes N] [--fold-in N] [--naive-sample N] \
-                 [--workers N] [--shards N] [--recall FLOOR] [--approx-epsilon EPS]"
+                 [--workers N] [--shards N] [--recall FLOOR] [--approx-epsilon EPS] \
+                 [--metrics-json PATH] [--trace-jsonl PATH]"
             );
             std::process::exit(0);
         }
@@ -140,6 +157,8 @@ fn parse_args() -> Args {
                 args.recall = Some(floor);
             }
             "--approx-epsilon" => args.approx_epsilon = float(raw) as f32,
+            "--metrics-json" => args.metrics_json = Some(raw.into()),
+            "--trace-jsonl" => args.trace_jsonl = Some(raw.into()),
             other => panic!("unknown flag {other}"),
         }
         i += 2;
@@ -216,6 +235,30 @@ fn main() {
     let per_client = args.requests / args.clients;
     let remainder = args.requests % args.clients;
     std::thread::scope(|s| {
+        // Windowed observability reporter: a since-last-poll view of the
+        // pipeline every 250 ms while the clients run.  Exits once every
+        // request has been served, so the scope can join.
+        if args.metrics_json.is_some() {
+            let service = &service;
+            let served = &served;
+            let total = args.requests as u64;
+            s.spawn(move || loop {
+                std::thread::sleep(Duration::from_millis(250));
+                let done = served.load(Ordering::Relaxed) >= total;
+                let w = service.window_report();
+                println!(
+                    "[window] {} req  e2e p50 {:?} p99 {:?}  score p99 {:?}  queue hwm {}",
+                    w.window.requests,
+                    Duration::from_nanos(w.window.request_e2e.quantile(0.5)),
+                    Duration::from_nanos(w.window.request_e2e.quantile(0.99)),
+                    Duration::from_nanos(w.window.stage(cumf_serve::Stage::Score).quantile(0.99)),
+                    w.cumulative.queue_depth_high_water
+                );
+                if done {
+                    break;
+                }
+            });
+        }
         for c in 0..args.clients {
             let client = service.client();
             let served = &served;
@@ -299,6 +342,22 @@ fn main() {
     println!("--- service metrics ---");
     let metrics = service.metrics();
     println!("{metrics}");
+
+    // Machine-readable exports for CI and offline analysis.
+    if let Some(path) = &args.metrics_json {
+        let json = metrics.exporter().to_json();
+        std::fs::write(path, &json).expect("write --metrics-json file");
+        println!("wrote cumulative metrics JSON to {}", path.display());
+    }
+    if let Some(path) = &args.trace_jsonl {
+        let jsonl = service.traces_jsonl();
+        std::fs::write(path, &jsonl).expect("write --trace-jsonl file");
+        println!(
+            "wrote {} sampled stage traces to {}",
+            jsonl.lines().count(),
+            path.display()
+        );
+    }
 
     assert_eq!(
         total as usize, args.requests,

@@ -5,11 +5,13 @@
 //! two normal-equation solves until the configured number of iterations is
 //! reached.
 
-use crate::als::kernels::solve_side;
+use crate::als::kernels::solve_side_instrumented;
 use crate::config::AlsConfig;
+use crate::instrument::TrainMetrics;
 use crate::loss;
 use cumf_linalg::FactorMatrix;
 use cumf_sparse::Csr;
+use std::sync::Arc;
 
 /// The reference ALS engine (Algorithm 1 of the paper).
 #[derive(Debug, Clone)]
@@ -19,6 +21,7 @@ pub struct BaseAls {
     r_t: Csr,
     x: FactorMatrix,
     theta: FactorMatrix,
+    metrics: Option<Arc<TrainMetrics>>,
 }
 
 impl BaseAls {
@@ -39,7 +42,15 @@ impl BaseAls {
             r_t,
             x,
             theta,
+            metrics: None,
         }
+    }
+
+    /// Attaches a shared [`TrainMetrics`] sink: every subsequent
+    /// half-iteration records its per-row assembly/solve phases and whole
+    /// `solve_side` latency there.
+    pub fn attach_metrics(&mut self, metrics: Arc<TrainMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// The engine's configuration.
@@ -90,18 +101,28 @@ impl BaseAls {
     /// Runs one full ALS iteration: update `X` with `Θ` fixed, then update
     /// `Θ` with `X` fixed (both halves of Algorithm 1).
     pub fn iterate(&mut self) {
-        self.x = solve_side(&self.r, &self.theta, self.config.lambda);
-        self.theta = solve_side(&self.r_t, &self.x, self.config.lambda);
+        self.update_x();
+        self.update_theta();
     }
 
     /// Runs only the update-X half (used by equivalence tests).
     pub fn update_x(&mut self) {
-        self.x = solve_side(&self.r, &self.theta, self.config.lambda);
+        self.x = solve_side_instrumented(
+            &self.r,
+            &self.theta,
+            self.config.lambda,
+            self.metrics.as_deref(),
+        );
     }
 
     /// Runs only the update-Θ half.
     pub fn update_theta(&mut self) {
-        self.theta = solve_side(&self.r_t, &self.x, self.config.lambda);
+        self.theta = solve_side_instrumented(
+            &self.r_t,
+            &self.x,
+            self.config.lambda,
+            self.metrics.as_deref(),
+        );
     }
 
     /// Training RMSE of the current factors.

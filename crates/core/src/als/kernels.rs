@@ -13,12 +13,15 @@
 //! engines agree bit-for-bit up to floating-point summation order, which the
 //! integration tests check.
 
+use crate::instrument::TrainMetrics;
 use cumf_linalg::batch::batch_solve;
 use cumf_linalg::blas::{add_diagonal, axpy, syr_full};
 use cumf_linalg::cholesky::cholesky_solve;
 use cumf_linalg::FactorMatrix;
+use cumf_obs::ns_between;
 use cumf_sparse::Csr;
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Solves one side of the ALS update with the fused per-row kernel: for each
 /// row `u` of `r`, builds the regularized Hermitian and right-hand side and
@@ -33,6 +36,22 @@ use rayon::prelude::*;
 /// Rows with no ratings get a zero vector (their system is singular under
 /// weighted regularization, matching the behaviour of the original cuMF).
 pub fn solve_side(r: &Csr, fixed: &FactorMatrix, lambda: f32) -> FactorMatrix {
+    solve_side_instrumented(r, fixed, lambda, None)
+}
+
+/// [`solve_side`] with optional per-row phase timing.
+///
+/// When `metrics` is present, each non-empty row records its
+/// Hermitian-assembly and solve phase separately (plus the whole call into
+/// the `solve_side` histogram); with `None` the timing branches compile to
+/// nothing on the hot path.  Results are identical either way.
+pub fn solve_side_instrumented(
+    r: &Csr,
+    fixed: &FactorMatrix,
+    lambda: f32,
+    metrics: Option<&TrainMetrics>,
+) -> FactorMatrix {
+    let call_start = metrics.map(|_| Instant::now());
     let f = fixed.rank();
     let m = r.n_rows() as usize;
     let mut out = FactorMatrix::zeros(m, f);
@@ -45,6 +64,7 @@ pub fn solve_side(r: &Csr, fixed: &FactorMatrix, lambda: f32) -> FactorMatrix {
             if cols.is_empty() {
                 return;
             }
+            let row_start = metrics.map(|_| Instant::now());
             let mut a = vec![0.0f32; f * f];
             let mut b = vec![0.0f32; f];
             for (&v, &val) in cols.iter().zip(vals.iter()) {
@@ -52,13 +72,20 @@ pub fn solve_side(r: &Csr, fixed: &FactorMatrix, lambda: f32) -> FactorMatrix {
                 syr_full(&mut a, theta_v);
                 axpy(val, theta_v, &mut b);
             }
+            let assembled = metrics.map(|_| Instant::now());
             add_diagonal(&mut a, f, lambda * cols.len() as f32);
             if cholesky_solve(&mut a, f, &mut b).is_ok() {
                 x_u.copy_from_slice(&b);
             }
             // On (numerically) singular systems the row keeps its zero
             // initialization rather than propagating NaNs.
+            if let (Some(m), Some(t0), Some(t1)) = (metrics, row_start, assembled) {
+                m.record_row(ns_between(t0, t1), ns_between(t1, Instant::now()));
+            }
         });
+    if let (Some(m), Some(t0)) = (metrics, call_start) {
+        m.record_solve_side(t0.elapsed());
+    }
     out
 }
 

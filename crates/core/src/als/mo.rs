@@ -15,13 +15,15 @@
 //!
 //! Disabling each of these reproduces the ablations of Figures 7 and 8.
 
-use crate::als::kernels::solve_side;
+use crate::als::kernels::solve_side_instrumented;
 use crate::config::{AlsConfig, MemoryOptConfig};
+use crate::instrument::TrainMetrics;
 use crate::loss;
 use cumf_gpu_sim::occupancy::{mo_als_regs_per_thread, mo_als_shared_bytes};
 use cumf_gpu_sim::{DeviceSpec, GpuCluster, KernelTraffic, Occupancy, TimingModel};
 use cumf_linalg::FactorMatrix;
 use cumf_sparse::Csr;
+use std::sync::Arc;
 
 /// Approximate on-chip read-only cache available to texture fetches
 /// (per-SM texture/L1 plus the shared L2), in bytes.
@@ -192,6 +194,7 @@ pub struct MoAlsEngine {
     theta: FactorMatrix,
     upload_s: f64,
     total_sim_s: f64,
+    metrics: Option<Arc<TrainMetrics>>,
 }
 
 impl MoAlsEngine {
@@ -237,7 +240,16 @@ impl MoAlsEngine {
             theta,
             upload_s,
             total_sim_s: 0.0,
+            metrics: None,
         }
+    }
+
+    /// Attaches a shared [`TrainMetrics`] sink: every subsequent iteration
+    /// records its host-side per-row assembly/solve phases and whole
+    /// `solve_side` latency there (simulated GPU time is tracked separately
+    /// by [`MoAlsEngine::iterate`]'s [`MoIterationStats`]).
+    pub fn attach_metrics(&mut self, metrics: Arc<TrainMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// Convenience constructor on a single Titan X.
@@ -306,7 +318,12 @@ impl MoAlsEngine {
         let f = self.config.f;
 
         // --- update X (solve rows of R against Θ) ---
-        self.x = solve_side(&self.r, &self.theta, self.config.lambda);
+        self.x = solve_side_instrumented(
+            &self.r,
+            &self.theta,
+            self.config.lambda,
+            self.metrics.as_deref(),
+        );
         let tx = side_update_time(
             &spec,
             &timing,
@@ -322,7 +339,12 @@ impl MoAlsEngine {
             .run_kernel(0, "batch_solve_x", tx.batch_solve_s);
 
         // --- update Θ (solve rows of Rᵀ against X) ---
-        self.theta = solve_side(&self.r_t, &self.x, self.config.lambda);
+        self.theta = solve_side_instrumented(
+            &self.r_t,
+            &self.x,
+            self.config.lambda,
+            self.metrics.as_deref(),
+        );
         let tt = side_update_time(
             &spec,
             &timing,

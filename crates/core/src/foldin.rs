@@ -17,9 +17,11 @@
 //! rayon — so a folded-in user gets *exactly* the factors one more
 //! update-`X` half-iteration would have given them.
 
-use crate::als::kernels::solve_side;
+use crate::als::kernels::solve_side_instrumented;
+use crate::instrument::TrainMetrics;
 use cumf_linalg::FactorMatrix;
 use cumf_sparse::{Coo, Csr};
+use std::time::Instant;
 
 /// Solves the ALS normal equations for a batch of users against frozen item
 /// factors.
@@ -38,12 +40,30 @@ use cumf_sparse::{Coo, Csr};
 /// # Panics
 /// Panics if `ratings.n_cols() != theta.len()`.
 pub fn fold_in_users(ratings: &Csr, theta: &FactorMatrix, lambda: f32) -> FactorMatrix {
+    fold_in_users_instrumented(ratings, theta, lambda, None)
+}
+
+/// [`fold_in_users`] with optional batch-latency recording: the whole
+/// batch's wall time lands in the [`TrainMetrics`] `fold_in` histogram and
+/// each non-empty row records its assembly/solve phases, exactly like an
+/// instrumented training half-iteration.
+pub fn fold_in_users_instrumented(
+    ratings: &Csr,
+    theta: &FactorMatrix,
+    lambda: f32,
+    metrics: Option<&TrainMetrics>,
+) -> FactorMatrix {
     assert_eq!(
         ratings.n_cols() as usize,
         theta.len(),
         "fold-in ratings must span the item catalog"
     );
-    solve_side(ratings, theta, lambda)
+    let started = metrics.map(|_| Instant::now());
+    let out = solve_side_instrumented(ratings, theta, lambda, metrics);
+    if let (Some(m), Some(t0)) = (metrics, started) {
+        m.record_fold_in(t0.elapsed());
+    }
+    out
 }
 
 /// Builds the fold-in ratings matrix from per-user `(item, rating)` lists:

@@ -30,6 +30,11 @@
 //!   delta-publication path).
 //! * [`costmodel`] — the analytic compute/footprint model of Table 3, used
 //!   to price iterations at full paper scale (Figure 11, Table 1).
+//! * [`instrument`] — trainer-side observability: wait-free
+//!   [`cumf_obs`] latency histograms splitting each solved row into its
+//!   Hermitian-assembly and solve phases (the host analogue of
+//!   `get_hermitian` / `batch_solve`), plus whole-call and fold-in-batch
+//!   timings, with a `train_*` Prometheus/JSON exporter.
 //! * [`trainer`] — the high-level [`trainer::MatrixFactorizer`] API
 //!   (fit / predict / recommend) that examples and benches drive.
 //!
@@ -56,6 +61,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod costmodel;
 pub mod foldin;
+pub mod instrument;
 pub mod loss;
 pub mod metrics;
 pub mod oocore;
@@ -65,4 +71,5 @@ pub mod sgd;
 pub mod trainer;
 
 pub use config::{AlsConfig, MemoryOptConfig};
+pub use instrument::{TrainMetrics, TrainMetricsReport};
 pub use trainer::{Backend, MatrixFactorizer, TrainReport};

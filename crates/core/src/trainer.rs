@@ -9,12 +9,14 @@
 use crate::als::{BaseAls, MoAlsEngine, SuAlsConfig, SuAlsEngine};
 use crate::checkpoint::{Checkpoint, CheckpointManager};
 use crate::config::AlsConfig;
+use crate::instrument::{TrainMetrics, TrainMetricsReport};
 use crate::loss;
 use crate::planner::PartitionPlan;
 use crate::reduce::ReductionScheme;
 use cumf_gpu_sim::{GpuCluster, TopologyKind};
 use cumf_linalg::FactorMatrix;
 use cumf_sparse::{Csr, Entry};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which engine executes the factorization.
@@ -138,6 +140,7 @@ pub struct MatrixFactorizer {
     engine: Option<EngineImpl>,
     checkpoints: Option<CheckpointManager>,
     warm_start: Option<(FactorMatrix, FactorMatrix)>,
+    metrics: Arc<TrainMetrics>,
 }
 
 impl MatrixFactorizer {
@@ -150,6 +153,7 @@ impl MatrixFactorizer {
             engine: None,
             checkpoints: None,
             warm_start: None,
+            metrics: Arc::new(TrainMetrics::new()),
         }
     }
 
@@ -188,6 +192,14 @@ impl MatrixFactorizer {
 
     fn build_engine(&self, train: &Csr) -> EngineImpl {
         let mut engine = self.build_engine_cold(train);
+        // SU-ALS solves through the partial-Hermitian reduction path whose
+        // cost is simulator-modeled per block; host-side per-row phase
+        // timing only instruments the fused kernel the other engines run.
+        match &mut engine {
+            EngineImpl::Base(e) => e.attach_metrics(Arc::clone(&self.metrics)),
+            EngineImpl::Mo(e) => e.attach_metrics(Arc::clone(&self.metrics)),
+            EngineImpl::Su(_) => {}
+        }
         if let Some((x, theta)) = &self.warm_start {
             match &mut engine {
                 EngineImpl::Base(e) => e.set_factors(x.clone(), theta.clone()),
@@ -394,7 +406,28 @@ impl MatrixFactorizer {
     /// Panics if [`MatrixFactorizer::fit`] has not been called or the
     /// ratings do not span the item catalog.
     pub fn fold_in_users(&self, ratings: &Csr) -> FactorMatrix {
-        crate::foldin::fold_in_users(ratings, self.theta(), self.config.lambda)
+        crate::foldin::fold_in_users_instrumented(
+            ratings,
+            self.theta(),
+            self.config.lambda,
+            Some(&self.metrics),
+        )
+    }
+
+    /// A snapshot of the trainer-side latency metrics: per-row
+    /// Hermitian-assembly and solve phases, whole `solve_side` calls, and
+    /// fold-in batches (see [`crate::instrument::TrainMetrics`]).  Empty
+    /// until [`MatrixFactorizer::fit`] or
+    /// [`MatrixFactorizer::fold_in_users`] has run; the SU-ALS backend only
+    /// records fold-ins (its training solves go through the
+    /// simulator-priced reduction path).
+    pub fn train_metrics(&self) -> TrainMetricsReport {
+        self.metrics.report()
+    }
+
+    /// The live, shared metrics sink (for periodic reporters).
+    pub fn train_metrics_handle(&self) -> Arc<TrainMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Top-`k` recommendations for `user`, excluding the items listed in
@@ -608,5 +641,46 @@ mod tests {
     fn reading_factors_before_fit_panics() {
         let model = MatrixFactorizer::new(config(1), Backend::Reference);
         let _ = model.x();
+    }
+
+    #[test]
+    fn fit_populates_train_metrics() {
+        let (train, _) = problem();
+        let mut model = MatrixFactorizer::new(config(3), Backend::Reference);
+        assert_eq!(model.train_metrics().rows_solved, 0, "empty before fit");
+        model.fit(&train, &[]);
+
+        let r = model.train_metrics();
+        // Two solve_side calls per iteration (update X, update Θ).
+        assert_eq!(r.solve_side.count(), 6);
+        // Every non-empty row of R and Rᵀ records both phases, every
+        // iteration — at most (m + n) rows each.
+        assert_eq!(r.assembly.count(), r.solve.count());
+        assert_eq!(r.rows_solved, r.assembly.count());
+        assert!(r.rows_solved >= 6, "rows must have been timed");
+        assert!(r.rows_solved <= 3 * (250 + 120));
+        // Whole-call time dominates any single row's phases.
+        assert!(r.solve_side.max_ns() >= r.assembly.max_ns());
+        assert_eq!(r.fold_in.count(), 0, "no fold-in ran");
+
+        // Fold-in records its batch latency through the same sink.
+        let batch = crate::foldin::ratings_rows(&[vec![(0, 4.0), (5, 3.0)]], train.n_cols());
+        model.fold_in_users(&batch);
+        let r = model.train_metrics();
+        assert_eq!(r.fold_in.count(), 1);
+        assert_eq!(r.solve_side.count(), 7, "fold-in is one more solve_side");
+    }
+
+    #[test]
+    fn single_gpu_backend_also_records_metrics() {
+        let (train, _) = problem();
+        let mut model = MatrixFactorizer::new(config(2), Backend::single_gpu());
+        model.fit(&train, &[]);
+        let r = model.train_metrics();
+        assert_eq!(r.solve_side.count(), 4);
+        assert!(r.rows_solved > 0);
+        let json = r.exporter().to_json();
+        assert!(json.contains("\"train_solve_side_count\":4"));
+        assert!(json.contains("\"train_assembly_p50_ns\":"));
     }
 }

@@ -1,0 +1,206 @@
+//! Machine-readable rendering of metric sets.
+//!
+//! The exporter is a deliberately dumb builder: callers push named
+//! counters, gauges, and [`HistogramSnapshot`]s, then render the whole set
+//! as **Prometheus text exposition** (counters/gauges plus summary-style
+//! quantiles) or as a **flat JSON object** whose keys are stable enough to
+//! assert in CI — a histogram `foo` expands to `foo_count`, `foo_sum_ns`,
+//! `foo_mean_ns`, `foo_p50_ns`, `foo_p90_ns`, `foo_p99_ns`, `foo_max_ns`.
+//!
+//! Both renderers are allocation-light and dependency-free (no serde in
+//! this workspace); JSON numbers are emitted from finite values only, so
+//! the output always parses.
+
+use crate::histogram::HistogramSnapshot;
+
+/// Quantiles every exported histogram reports.
+pub const EXPORT_QUANTILES: [(f64, &str); 3] = [(0.5, "p50"), (0.9, "p90"), (0.99, "p99")];
+
+/// One exported metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A point-in-time level.
+    Gauge(f64),
+    /// A latency distribution.
+    Histogram(HistogramSnapshot),
+}
+
+#[derive(Debug, Clone)]
+struct Metric {
+    name: String,
+    help: String,
+    value: MetricValue,
+}
+
+/// A buildable, renderable set of metrics.
+#[derive(Debug, Clone, Default)]
+pub struct Exporter {
+    metrics: Vec<Metric>,
+}
+
+impl Exporter {
+    /// An empty exporter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, name: &str, help: &str, value: MetricValue) -> &mut Self {
+        debug_assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "metric names must be [A-Za-z0-9_]: {name}"
+        );
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            value,
+        });
+        self
+    }
+
+    /// Adds a counter.
+    pub fn counter(&mut self, name: &str, help: &str, v: u64) -> &mut Self {
+        self.push(name, help, MetricValue::Counter(v))
+    }
+
+    /// Adds a gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, v: f64) -> &mut Self {
+        self.push(name, help, MetricValue::Gauge(v))
+    }
+
+    /// Adds a histogram.
+    pub fn histogram(&mut self, name: &str, help: &str, snap: HistogramSnapshot) -> &mut Self {
+        self.push(name, help, MetricValue::Histogram(snap))
+    }
+
+    /// Renders Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {} counter\n{} {}\n", m.name, m.name, v));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "# TYPE {} gauge\n{} {}\n",
+                        m.name,
+                        m.name,
+                        finite(*v)
+                    ));
+                }
+                MetricValue::Histogram(s) => {
+                    out.push_str(&format!("# TYPE {} summary\n", m.name));
+                    for (q, _) in EXPORT_QUANTILES {
+                        out.push_str(&format!(
+                            "{}{{quantile=\"{}\"}} {}\n",
+                            m.name,
+                            q,
+                            s.quantile(q)
+                        ));
+                    }
+                    out.push_str(&format!("{}_sum {}\n", m.name, s.sum_ns()));
+                    out.push_str(&format!("{}_count {}\n", m.name, s.count()));
+                    out.push_str(&format!("{}_max {}\n", m.name, s.max_ns()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders one flat JSON object.
+    pub fn to_json(&self) -> String {
+        let mut fields: Vec<String> = Vec::new();
+        for m in &self.metrics {
+            match &m.value {
+                MetricValue::Counter(v) => fields.push(format!("\"{}\":{}", m.name, v)),
+                MetricValue::Gauge(v) => fields.push(format!("\"{}\":{}", m.name, finite(*v))),
+                MetricValue::Histogram(s) => {
+                    fields.push(format!("\"{}_count\":{}", m.name, s.count()));
+                    fields.push(format!("\"{}_sum_ns\":{}", m.name, s.sum_ns()));
+                    fields.push(format!("\"{}_mean_ns\":{}", m.name, finite(s.mean_ns())));
+                    for (q, label) in EXPORT_QUANTILES {
+                        fields.push(format!("\"{}_{}_ns\":{}", m.name, label, s.quantile(q)));
+                    }
+                    fields.push(format!("\"{}_max_ns\":{}", m.name, s.max_ns()));
+                }
+            }
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+/// JSON/Prometheus-safe float rendering: NaN/∞ become 0 so the document
+/// always parses.
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    fn sample_hist() -> HistogramSnapshot {
+        let h = Histogram::new();
+        for v in [100u64, 200, 300, 4000] {
+            h.record_ns(v);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn prometheus_renders_all_kinds() {
+        let mut e = Exporter::new();
+        e.counter("serve_requests", "requests accepted", 42)
+            .gauge("serve_cache_hit_rate", "hit fraction", 0.75)
+            .histogram("serve_stage_score", "score stage latency", sample_hist());
+        let text = e.to_prometheus();
+        assert!(text.contains("# TYPE serve_requests counter"));
+        assert!(text.contains("serve_requests 42"));
+        assert!(text.contains("serve_cache_hit_rate 0.75"));
+        assert!(text.contains("serve_stage_score{quantile=\"0.5\"}"));
+        assert!(text.contains("serve_stage_score_count 4"));
+        assert!(text.contains("serve_stage_score_max 4000"));
+    }
+
+    #[test]
+    fn json_is_flat_and_parseable_shaped() {
+        let mut e = Exporter::new();
+        e.counter("requests", "r", 7)
+            .gauge("rate", "g", f64::NAN)
+            .histogram("lat", "h", sample_hist());
+        let json = e.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"requests\":7"));
+        assert!(json.contains("\"rate\":0"), "NaN must render finite");
+        assert!(json.contains("\"lat_count\":4"));
+        assert!(json.contains("\"lat_p50_ns\":"));
+        assert!(json.contains("\"lat_p99_ns\":"));
+        assert!(json.contains("\"lat_max_ns\":4000"));
+        // p99 >= p50 — the invariant the CI gate asserts on the real file.
+        let grab = |key: &str| -> u64 {
+            let at = json.find(key).unwrap() + key.len();
+            json[at..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        };
+        assert!(grab("\"lat_p99_ns\":") >= grab("\"lat_p50_ns\":"));
+    }
+
+    #[test]
+    fn empty_exporter_renders_empty_documents() {
+        let e = Exporter::new();
+        assert_eq!(e.to_json(), "{}");
+        assert_eq!(e.to_prometheus(), "");
+    }
+}

@@ -1,0 +1,441 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! The source paper's analysis lives and dies on knowing *where time goes*
+//! — its wins came from profiling the memory-bound Hermitian assembly and
+//! the aliasing transfer costs.  A mean and a max (what the serving tier
+//! kept before this module) cannot answer that question under a skewed
+//! latency distribution, and a full reservoir of samples cannot be recorded
+//! from a scoring hot path without allocating.  This histogram is the
+//! standard HDR compromise: **fixed storage, bounded relative error,
+//! wait-free recording**.
+//!
+//! ## Bucket scheme
+//!
+//! Values are non-negative integers (nanoseconds, by convention).  The
+//! value range is split into octaves (powers of two), each octave into
+//! `2^SUB_BUCKET_BITS = 16` linear sub-buckets, so any recorded value lands
+//! in a bucket whose width is at most `value / 16` — every reported
+//! quantile is within **6.25 %** of the true value, at any magnitude from
+//! 1 ns to `u64::MAX` ns.  Values below 16 get exact unit buckets.  The
+//! whole table is `976` buckets (≈ 8 KiB of counters) regardless of range,
+//! so a metrics struct can afford one histogram per pipeline stage.
+//!
+//! ## Concurrency
+//!
+//! [`Histogram::record_ns`] is two relaxed `fetch_add`s and two
+//! `fetch_max`/`fetch_min`s — no locks, no allocation, safe from any number
+//! of threads (rayon workers, scorer pools).  Counts are exact: concurrent
+//! recorders never lose increments, which the crate's tests pin by summing
+//! from many threads.  [`Histogram::snapshot`] takes a relaxed point-in-time
+//! copy: it may tear *between* buckets under concurrent writes (a snapshot
+//! is a dashboard read, not a barrier) but each counter is individually
+//! consistent and monotone.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BUCKET_BITS` linear buckets, bounding relative error at
+/// `2^-SUB_BUCKET_BITS` (6.25 %).
+pub const SUB_BUCKET_BITS: u32 = 4;
+
+/// Sub-buckets per octave.
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+
+/// Total bucket count covering the full `u64` range: 16 exact unit buckets
+/// for values `< 16`, then 16 buckets per octave for exponents `4..=63`.
+pub const BUCKETS: usize = (64 - SUB_BUCKET_BITS as usize) * SUB_BUCKETS + SUB_BUCKETS;
+
+/// Bucket index of a value — total order preserving (monotone in `v`).
+#[inline]
+fn index_of(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize;
+        let shift = exp - SUB_BUCKET_BITS as usize;
+        let sub = ((v >> shift) as usize) & (SUB_BUCKETS - 1);
+        (exp - SUB_BUCKET_BITS as usize + 1) * SUB_BUCKETS + sub
+    }
+}
+
+/// Smallest value landing in bucket `i`.
+#[inline]
+fn bucket_low(i: usize) -> u64 {
+    if i < SUB_BUCKETS {
+        i as u64
+    } else {
+        let octave = i / SUB_BUCKETS;
+        let sub = i % SUB_BUCKETS;
+        let shift = octave - 1;
+        ((SUB_BUCKETS + sub) as u64) << shift
+    }
+}
+
+/// Largest value landing in bucket `i` — what quantiles report, so the
+/// estimate errs on the conservative (pessimistic-latency) side.
+#[inline]
+fn bucket_high(i: usize) -> u64 {
+    if i < SUB_BUCKETS {
+        i as u64
+    } else {
+        let shift = i / SUB_BUCKETS - 1;
+        // `(1 << shift) - 1` first: adding the bucket width before
+        // subtracting would overflow on the topmost bucket.
+        bucket_low(i) + ((1u64 << shift) - 1)
+    }
+}
+
+/// A wait-free, fixed-size, log-bucketed histogram of `u64` values
+/// (nanoseconds by convention).
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    /// Exact sum of every recorded value (saturating), so the mean carries
+    /// no bucket error.
+    sum: AtomicU64,
+    /// Exact max of every recorded value.
+    max: AtomicU64,
+    /// Exact min of every recorded value (`u64::MAX` while empty).
+    min: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = buckets
+            .into_boxed_slice()
+            .try_into()
+            .expect("BUCKETS-sized vec");
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Records one value.  Wait-free; callable from any thread.
+    pub fn record_ns(&self, v: u64) {
+        self.buckets[index_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating sum: fetch_add wraps, so clamp pre-emptively.  A sum
+        // near u64::MAX means ~584 years of nanoseconds — the clamp exists
+        // for adversarial inputs, not real clocks.
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(v);
+            match self
+                .sum
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`] as nanoseconds (saturating at `u64::MAX`).
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Folds `other`'s recorded values into `self` (both keep accepting
+    /// concurrent records).  Merge is associative and commutative up to the
+    /// saturating sum, which the tests pin.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        let add = other.sum.load(Ordering::Relaxed);
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(add);
+            match self
+                .sum
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for quantile queries, diffing, and export.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+        }
+    }
+}
+
+/// Read-side copy of a [`Histogram`]: supports quantiles, means, merging,
+/// and windowed differencing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+    min: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with nothing recorded.
+    pub fn empty() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: 0,
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded values in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact mean in nanoseconds (`0.0` when empty) — derived from the
+    /// exact sum, so it carries no bucket error.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact largest recorded value in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact smallest recorded value in nanoseconds (`0` when empty).
+    pub fn min_ns(&self) -> u64 {
+        self.min
+    }
+
+    /// The `p`-quantile (`0.0 ..= 1.0`) in nanoseconds: the upper bound of
+    /// the bucket holding the value of rank `ceil(p·count)`, clamped to the
+    /// exact recorded max.  Within 6.25 % of the true order statistic, never
+    /// below it, and monotone in `p`.  Returns `0` when empty.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self` (the read-side counterpart of
+    /// [`Histogram::merge`]).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        let had_values = self.count > 0;
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        if other.count > 0 {
+            self.min = if had_values {
+                self.min.min(other.min)
+            } else {
+                other.min
+            };
+        }
+    }
+
+    /// The window of values recorded since `baseline` was snapped from the
+    /// same histogram: per-bucket saturating difference.
+    ///
+    /// Counts, sums, means and quantiles of the result are exact for the
+    /// window; `max`/`min` cannot be recovered from monotone counters, so
+    /// they are bounded from the differenced buckets (within the 6.25 %
+    /// bucket error) and clamped to the cumulative exact max.
+    pub fn since(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .zip(baseline.counts.iter())
+            .map(|(now, then)| now.saturating_sub(*then))
+            .collect();
+        let highest = counts.iter().rposition(|&n| n > 0);
+        let lowest = counts.iter().position(|&n| n > 0);
+        HistogramSnapshot {
+            count: self.count.saturating_sub(baseline.count),
+            sum: self.sum.saturating_sub(baseline.sum),
+            max: highest.map_or(0, |i| bucket_high(i).min(self.max)),
+            min: lowest.map_or(0, bucket_low),
+            counts,
+        }
+    }
+
+    /// Iterator over the non-empty buckets as `(low, high, count)` — the
+    /// exporter's raw view.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_low(i), bucket_high(i), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..SUB_BUCKETS as u64 * 2 {
+            let i = index_of(v);
+            assert!(bucket_low(i) <= v && v <= bucket_high(i), "v={v} i={i}");
+        }
+        // Values below 32 are exact (unit buckets through two octaves).
+        for v in 0..32u64 {
+            let i = index_of(v);
+            assert_eq!((bucket_low(i), bucket_high(i)), (v, v));
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_range() {
+        // Consecutive buckets tile the u64 range with no gaps or overlaps.
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(
+                bucket_high(i) + 1,
+                bucket_low(i + 1),
+                "gap/overlap at bucket {i}"
+            );
+        }
+        assert_eq!(bucket_low(0), 0);
+        assert_eq!(bucket_high(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [1u64, 17, 100, 1_000, 123_456, u32::MAX as u64, 1 << 60] {
+            let i = index_of(v);
+            let err = (bucket_high(i) - bucket_low(i)) as f64;
+            assert!(
+                err <= v as f64 / SUB_BUCKETS as f64 + 1.0,
+                "bucket {i} too wide for {v}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_known_distributions() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record_ns(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.max_ns(), 1000);
+        assert_eq!(s.min_ns(), 1);
+        assert_eq!(s.mean_ns(), 500.5);
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        assert!((500..=532).contains(&p50), "p50={p50}");
+        assert!((990..=1000).contains(&p99), "p99={p99}");
+        assert_eq!(s.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn windowed_diff_isolates_the_new_records() {
+        let h = Histogram::new();
+        h.record_ns(10);
+        h.record_ns(20);
+        let baseline = h.snapshot();
+        h.record_ns(1000);
+        h.record_ns(2000);
+        let window = h.snapshot().since(&baseline);
+        assert_eq!(window.count(), 2);
+        assert_eq!(window.sum_ns(), 3000);
+        assert_eq!(window.mean_ns(), 1500.0);
+        // Window max is bucket-bounded: within 6.25 % above 2000.
+        assert!(window.max_ns() >= 2000 && window.max_ns() <= 2125);
+        assert!(window.min_ns() <= 1000 && window.min_ns() >= 938);
+        // Diffing against itself leaves nothing.
+        let s = h.snapshot();
+        assert_eq!(s.since(&s).count(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean_ns(), 0.0);
+        assert_eq!(s.min_ns(), 0);
+        assert_eq!(s.max_ns(), 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! The histogram contract the serving and training metrics stand on:
+//!
+//! 1. **Bucket soundness** — every recorded value's reported quantile
+//!    bracket contains it within the documented 6.25 % relative error.
+//! 2. **Quantile monotonicity** — `quantile(p)` is non-decreasing in `p`
+//!    for any recorded multiset (so `p99 ≥ p50` always holds, which CI
+//!    asserts on the exported JSON).
+//! 3. **Merge associativity/commutativity** — splitting a record stream
+//!    across histograms and merging in any grouping yields the same
+//!    snapshot.
+//! 4. **Concurrent exactness** — hammering `record_ns` from many threads
+//!    loses no increments: counts and sums match the serial total exactly.
+
+use cumf_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Records each value into a fresh histogram.
+fn hist_of(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record_ns(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn quantile_brackets_every_recorded_value(
+        values in proptest::collection::vec(0u64..u64::MAX / 2, 1..200),
+    ) {
+        let s = hist_of(&values).snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(s.count(), values.len() as u64);
+        prop_assert_eq!(s.max_ns(), *sorted.last().unwrap());
+        prop_assert_eq!(s.min_ns(), sorted[0]);
+        // The p-quantile never under-reports the true order statistic and
+        // overshoots by at most one sub-bucket (6.25 %) plus one unit.
+        for (i, &true_val) in sorted.iter().enumerate() {
+            // (i + 0.5)/n ceils to rank i+1 exactly — float rounding on
+            // (i + 1)/n could otherwise bump the rank past a far larger
+            // neighbour and void the bracket bound.
+            let p = (i as f64 + 0.5) / sorted.len() as f64;
+            let q = s.quantile(p);
+            prop_assert!(q >= true_val, "p={p}: {q} < true {true_val}");
+            let bound = true_val + true_val / 16 + 1;
+            prop_assert!(q <= bound, "p={p}: {q} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_p(
+        values in proptest::collection::vec(0u64..1_000_000_000u64, 1..300),
+        cuts in proptest::collection::vec(0u32..=1000, 2..20),
+    ) {
+        let s = hist_of(&values).snapshot();
+        let mut ps: Vec<f64> = cuts.iter().map(|&c| c as f64 / 1000.0).collect();
+        ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let qs: Vec<u64> = ps.iter().map(|&p| s.quantile(p)).collect();
+        prop_assert!(
+            qs.windows(2).all(|w| w[0] <= w[1]),
+            "quantiles not monotone: {qs:?} at {ps:?}"
+        );
+        prop_assert!(s.quantile(0.99) >= s.quantile(0.5));
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..1u64 << 48, 0..100),
+        b in proptest::collection::vec(0u64..1u64 << 48, 0..100),
+        c in proptest::collection::vec(0u64..1u64 << 48, 0..100),
+    ) {
+        // (a ∪ b) ∪ c, a ∪ (b ∪ c), and recording everything into one
+        // histogram must produce identical snapshots.
+        let ab_c = {
+            let ab = hist_of(&a);
+            ab.merge(&hist_of(&b));
+            ab.merge(&hist_of(&c));
+            ab.snapshot()
+        };
+        let a_bc = {
+            let bc = hist_of(&b);
+            bc.merge(&hist_of(&c));
+            let h = hist_of(&a);
+            h.merge(&bc);
+            h.snapshot()
+        };
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let flat = hist_of(&all).snapshot();
+        prop_assert_eq!(&ab_c, &a_bc);
+        prop_assert_eq!(&ab_c, &flat);
+        // Commutativity: c ∪ b ∪ a too.
+        let cba = {
+            let h = hist_of(&c);
+            h.merge(&hist_of(&b));
+            h.merge(&hist_of(&a));
+            h.snapshot()
+        };
+        prop_assert_eq!(&cba, &flat);
+    }
+
+    #[test]
+    fn windowed_diff_equals_the_tail_records(
+        head in proptest::collection::vec(0u64..1u64 << 40, 0..100),
+        tail in proptest::collection::vec(0u64..1u64 << 40, 1..100),
+    ) {
+        let h = hist_of(&head);
+        let baseline = h.snapshot();
+        for &v in &tail {
+            h.record_ns(v);
+        }
+        let window = h.snapshot().since(&baseline);
+        let expect = hist_of(&tail).snapshot();
+        prop_assert_eq!(window.count(), expect.count());
+        prop_assert_eq!(window.sum_ns(), expect.sum_ns());
+        // The diffed buckets are exactly the tail's, so quantiles land in
+        // the same bucket; only the max-clamp differs (the window's max is
+        // bucket-bounded, the fresh histogram's is exact), so the window
+        // may over-report by at most one sub-bucket.
+        for p in [0.5, 0.9, 0.99] {
+            let (w, e) = (window.quantile(p), expect.quantile(p));
+            prop_assert!(w >= e, "p={p}: window {w} < fresh {e}");
+            prop_assert!(w <= e + e / 16 + 1, "p={p}: window {w} >> fresh {e}");
+        }
+    }
+}
+
+#[test]
+fn concurrent_records_sum_exactly() {
+    // 8 threads × 20_000 records with known per-thread totals: the merged
+    // counters must equal the serial sum to the nanosecond — relaxed
+    // atomics may reorder, but they may not lose increments.
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let h = Histogram::new();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = &h;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Distinct magnitudes per thread exercise many buckets.
+                    h.record_ns(t * 1_000_000 + i);
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), THREADS * PER_THREAD);
+    let expect_sum: u64 = (0..THREADS)
+        .map(|t| (0..PER_THREAD).map(|i| t * 1_000_000 + i).sum::<u64>())
+        .sum();
+    assert_eq!(snap.sum_ns(), expect_sum);
+    assert_eq!(snap.max_ns(), (THREADS - 1) * 1_000_000 + PER_THREAD - 1);
+    assert_eq!(snap.min_ns(), 0);
+    // Bucket totals account for every record.
+    let bucket_total: u64 = snap.nonzero_buckets().map(|(_, _, n)| n).sum();
+    assert_eq!(bucket_total, THREADS * PER_THREAD);
+}
+
+#[test]
+fn concurrent_merge_and_record_interleave_safely() {
+    // A loom-style smoke (coarse, not exhaustive): one thread records while
+    // another repeatedly merges into an accumulator; nothing is lost from
+    // the source histogram, and the accumulator only ever grows.
+    let src = Histogram::new();
+    let acc = Histogram::new();
+    std::thread::scope(|s| {
+        let src_ref = &src;
+        let acc_ref = &acc;
+        s.spawn(move || {
+            for i in 0..50_000u64 {
+                src_ref.record_ns(i % 4096);
+            }
+        });
+        s.spawn(move || {
+            let mut last = 0u64;
+            for _ in 0..50 {
+                acc_ref.merge(src_ref);
+                let now = acc_ref.count();
+                assert!(now >= last, "merge went backwards: {last} -> {now}");
+                last = now;
+            }
+        });
+    });
+    assert_eq!(src.snapshot().count(), 50_000);
+}
+
+#[test]
+fn snapshot_equality_drives_window_reuse() {
+    // `since` of identical snapshots is empty — the property the windowed
+    // metrics reporter relies on between idle polls.
+    let h = hist_of(&[5, 10, 20]);
+    let a = h.snapshot();
+    let b = h.snapshot();
+    assert_eq!(a, b);
+    let diff = b.since(&a);
+    assert_eq!(diff.count(), 0);
+    assert_eq!(diff.sum_ns(), 0);
+    assert_eq!(diff.quantile(0.99), 0);
+}
+
+fn hist_of_snapshot(values: &[u64]) -> HistogramSnapshot {
+    hist_of(values).snapshot()
+}
+
+#[test]
+fn snapshot_merge_matches_histogram_merge() {
+    let a = [1u64, 50, 900, 70_000];
+    let b = [3u64, 3, 1_000_000];
+    let h = hist_of(&a);
+    h.merge(&hist_of(&b));
+    let mut s = hist_of_snapshot(&a);
+    s.merge(&hist_of_snapshot(&b));
+    assert_eq!(h.snapshot(), s);
+}

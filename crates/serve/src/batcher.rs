@@ -35,17 +35,18 @@
 //! dying on the first transient or looping forever.
 
 use crate::cache::{CacheKey, ShardedResultCache};
-use crate::metrics::{MetricsReport, ServeMetrics};
+use crate::metrics::{MetricsReport, ServeMetrics, Stage, WindowedReport};
 use crate::snapshot::{DeltaError, DeltaStats, FactorSnapshot, SnapshotDelta, SnapshotStore};
 use crate::topk::{Query, ScoreKind, TopKIndex};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use cumf_linalg::topk::DEFAULT_ITEM_BLOCK;
 use cumf_linalg::{ApproxPolicy, PruneStats};
+use cumf_obs::{ns_between, Sampler, Trace, TraceLog};
 use std::any::Any;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -100,6 +101,13 @@ pub struct ServeConfig {
     /// effective policies never share a scoring micro-batch or a cache
     /// entry.
     pub approx: Option<ApproxPolicy>,
+    /// Trace one request in `trace_sample` (0 disables tracing, 1 traces
+    /// everything).  Only sampled requests allocate a per-request
+    /// [`Trace`]; everyone else pays one relaxed counter increment.
+    pub trace_sample: u64,
+    /// How many completed traces the in-memory ring buffer retains
+    /// ([`TopKService::traces_jsonl`] drains the most recent window).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -117,7 +125,53 @@ impl Default for ServeConfig {
             panic_budget: 2,
             max_item_segments: 8,
             approx: None,
+            trace_sample: 64,
+            trace_capacity: 1024,
         }
+    }
+}
+
+/// Sampled request tracing shared by every client and worker: a 1-in-N
+/// [`Sampler`] decides at enqueue whether a request carries a [`Trace`];
+/// the worker stamps the stage timings onto it and the completed trace
+/// lands in a bounded ring ([`TraceLog`]).
+#[derive(Debug)]
+pub struct Tracer {
+    sampler: Sampler,
+    log: TraceLog,
+    next_id: AtomicU64,
+}
+
+impl Tracer {
+    fn new(sample: u64, capacity: usize) -> Self {
+        Self {
+            sampler: Sampler::new(sample),
+            log: TraceLog::new(capacity),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Admission decision for one request (boxed so the unsampled hot path
+    /// carries only a null-ish `Option`).
+    fn begin(&self) -> Option<Box<Trace>> {
+        self.sampler
+            .sample()
+            .then(|| Box::new(Trace::begin(self.next_id.fetch_add(1, Ordering::Relaxed))))
+    }
+
+    /// Files a completed trace into the ring.
+    fn finish(&self, trace: Trace) {
+        self.log.push(trace);
+    }
+
+    /// The retained traces, oldest first.
+    pub fn traces(&self) -> Vec<Trace> {
+        self.log.snapshot()
+    }
+
+    /// The retained traces rendered as JSONL.
+    pub fn to_jsonl(&self) -> String {
+        self.log.to_jsonl()
     }
 }
 
@@ -269,6 +323,18 @@ struct Request {
     query: Query,
     mode: RequestMode,
     reply: Sender<Vec<(u32, f32)>>,
+    /// When the client handed this request to the channel — the start of
+    /// the queue-wait stage and of the end-to-end clock.
+    enqueued_at: Instant,
+    /// Present iff the sampler admitted this request at enqueue.
+    trace: Option<Box<Trace>>,
+}
+
+/// A request plus the instant a worker popped it off the queue (the
+/// queue-wait / coalesce stage boundary).
+struct Popped {
+    request: Request,
+    popped_at: Instant,
 }
 
 enum Msg {
@@ -291,6 +357,7 @@ pub struct TopKService {
     metrics: Arc<ServeMetrics>,
     cache: Arc<ShardedResultCache>,
     state: Arc<PoolState>,
+    tracer: Arc<Tracer>,
     workers: Vec<JoinHandle<()>>,
     /// Segment bound for post-delta auto-compaction (see
     /// [`ServeConfig::max_item_segments`]).
@@ -330,6 +397,7 @@ impl TopKService {
         ));
         let (tx, rx) = bounded::<Msg>(config.queue_depth.max(1));
         let max_item_segments = config.max_item_segments;
+        let tracer = Arc::new(Tracer::new(config.trace_sample, config.trace_capacity));
         let workers = (0..n_workers)
             .map(|_| {
                 let rx = rx.clone();
@@ -337,11 +405,14 @@ impl TopKService {
                 let metrics = Arc::clone(&metrics);
                 let cache = Arc::clone(&cache);
                 let state = Arc::clone(&state);
+                let tracer = Arc::clone(&tracer);
                 let config = config.clone();
                 let fault = fault.clone();
                 std::thread::spawn(move || {
                     let _alive = AliveGuard(&state);
-                    Self::worker_loop(&rx, &store, &metrics, &cache, &state, &config, &fault)
+                    Self::worker_loop(
+                        &rx, &store, &metrics, &cache, &state, &tracer, &config, &fault,
+                    )
                 })
             })
             .collect();
@@ -351,6 +422,7 @@ impl TopKService {
             metrics,
             cache,
             state,
+            tracer,
             workers,
             max_item_segments,
         }
@@ -368,14 +440,24 @@ impl TopKService {
         metrics: &ServeMetrics,
         cache: &ShardedResultCache,
         state: &PoolState,
+        tracer: &Tracer,
         config: &ServeConfig,
         fault: &Option<FaultHook>,
     ) {
+        // Stamps the queue-exit instant (the queue-wait / coalesce stage
+        // boundary) and un-counts the request from the queue-depth gauge.
+        let pop = |request: Request| {
+            metrics.record_queue_exit();
+            Popped {
+                request,
+                popped_at: Instant::now(),
+            }
+        };
         let mut shutdown = false;
         while !shutdown {
             // Block for the batch's first request.
             let first = match rx.recv() {
-                Ok(Msg::Request(r)) => r,
+                Ok(Msg::Request(r)) => pop(r),
                 Ok(Msg::Shutdown) | Err(_) => return,
             };
             let mut batch = vec![first];
@@ -386,7 +468,7 @@ impl TopKService {
                     break;
                 }
                 match rx.recv_timeout(deadline - now) {
-                    Ok(Msg::Request(r)) => batch.push(r),
+                    Ok(Msg::Request(r)) => batch.push(pop(r)),
                     Ok(Msg::Shutdown) => {
                         shutdown = true;
                         break;
@@ -404,7 +486,7 @@ impl TopKService {
             // the budget is spent it takes the original poison path and the
             // pool stays degraded.
             let scored = catch_unwind(AssertUnwindSafe(|| {
-                Self::serve_batch(&batch, store, metrics, cache, config, fault)
+                Self::serve_batch(&mut batch, store, metrics, cache, tracer, config, fault)
             }));
             if let Err(payload) = scored {
                 state.record_panic(panic_message(payload.as_ref()));
@@ -420,18 +502,55 @@ impl TopKService {
         }
     }
 
+    /// Stamps one finished request's stage timings, end-to-end latency, and
+    /// (if sampled) its trace.  Adjacent stages share the phase instants
+    /// `sealed ≤ scored ≤ merged ≤ replied`, so per request
+    /// `queue_wait + coalesce + score + merge + reply = e2e` **exactly** —
+    /// the identity the observability test pins.  Cache hits pass
+    /// `sealed` for `scored`/`merged` (their score and merge stages are
+    /// zero-width by construction).
+    fn finish_request(
+        popped: &mut Popped,
+        metrics: &ServeMetrics,
+        tracer: &Tracer,
+        sealed: Instant,
+        scored: Instant,
+        merged: Instant,
+        replied: Instant,
+    ) {
+        let enqueued = popped.request.enqueued_at;
+        let popped_at = popped.popped_at;
+        metrics.record_stage_ns(Stage::QueueWait, ns_between(enqueued, popped_at));
+        metrics.record_stage_ns(Stage::Coalesce, ns_between(popped_at, sealed));
+        metrics.record_stage_ns(Stage::Score, ns_between(sealed, scored));
+        metrics.record_stage_ns(Stage::Merge, ns_between(scored, merged));
+        metrics.record_stage_ns(Stage::Reply, ns_between(merged, replied));
+        metrics.record_request_e2e_ns(ns_between(enqueued, replied));
+        if let Some(mut trace) = popped.request.trace.take() {
+            trace.event_between(Stage::QueueWait.name(), enqueued, popped_at);
+            trace.event_between(Stage::Coalesce.name(), popped_at, sealed);
+            trace.event_between(Stage::Score.name(), sealed, scored);
+            trace.event_between(Stage::Merge.name(), scored, merged);
+            trace.event_between(Stage::Reply.name(), merged, replied);
+            tracer.finish(*trace);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn serve_batch(
-        batch: &[Request],
+        batch: &mut [Popped],
         store: &SnapshotStore,
         metrics: &ServeMetrics,
         cache: &ShardedResultCache,
+        tracer: &Tracer,
         config: &ServeConfig,
         fault: &Option<FaultHook>,
     ) {
-        let started = Instant::now();
+        // The batch is sealed: coalescing ends here for every member.
+        let sealed = Instant::now();
         if let Some(fault) = fault {
-            if let Some(req) = batch.iter().find(|r| fault(&r.query)) {
-                panic!("injected fault on user {}", req.query.user);
+            if let Some(p) = batch.iter().find(|p| fault(&p.request.query)) {
+                panic!("injected fault on user {}", p.request.query.user);
             }
         }
         // One snapshot per batch: the no-mixed-generations invariant.
@@ -448,11 +567,12 @@ impl TopKService {
         // the cache and not by riding along on a deduped slot.
         let policies: Vec<Option<ApproxPolicy>> = batch
             .iter()
-            .map(|req| req.mode.effective(&config.approx))
+            .map(|p| p.request.mode.effective(&config.approx))
             .collect();
         let mut pending: HashMap<CacheKey, usize> = HashMap::new();
         let mut slots: Vec<(usize, Vec<usize>)> = Vec::new();
-        for (i, req) in batch.iter().enumerate() {
+        for (i, popped) in batch.iter_mut().enumerate() {
+            let req = &popped.request;
             metrics.record_request();
             let key = match &policies[i] {
                 None => CacheKey::new(req.query.user, req.query.k, &req.query.exclude),
@@ -469,10 +589,14 @@ impl TopKService {
             };
             if let Some(hit) = cache.get(&key, generation) {
                 metrics.record_cache_hit();
-                // Counted before the send: the client may observe its reply
-                // (and a test may read the metrics) immediately after.
+                // Counted (and stage-stamped) before the send: the client
+                // may observe its reply — and a test may read the metrics —
+                // immediately after.  The reply stage therefore measures up
+                // to the hand-off, not the channel send itself.
                 metrics.record_response();
-                let _ = req.reply.send(hit);
+                let replied = Instant::now();
+                Self::finish_request(popped, metrics, tracer, sealed, sealed, sealed, replied);
+                let _ = popped.request.reply.send(hit);
                 continue;
             }
             match pending.entry(key) {
@@ -508,7 +632,7 @@ impl TopKService {
             for (policy, members) in groups {
                 let queries: Vec<Query> = members
                     .iter()
-                    .map(|&slot| batch[slots[slot].0].query.clone())
+                    .map(|&slot| batch[slots[slot].0].request.query.clone())
                     .collect();
                 let index = TopKIndex::with_approx(
                     Arc::clone(&snapshot),
@@ -524,21 +648,42 @@ impl TopKService {
                 }
             }
             metrics.record_pruning(&prune);
+            // Scoring ends, merging begins: fan each scored slot's result
+            // out to its recipients (the scored request plus its in-flight
+            // duplicates).
+            let scored = Instant::now();
+            let mut outgoing: Vec<(usize, Vec<(u32, f32)>)> = Vec::with_capacity(batch.len());
             for ((first, extras), result) in slots.iter().zip(&results) {
-                metrics.record_response();
-                let _ = batch[*first].reply.send(result.clone());
+                outgoing.push((*first, result.clone()));
                 for &i in extras {
-                    metrics.record_response();
-                    let _ = batch[i].reply.send(result.clone());
+                    outgoing.push((i, result.clone()));
                 }
             }
+            let merged = Instant::now();
+            for (i, result) in outgoing {
+                // Stamped before the send, like record_response: the reply
+                // stage measures up to the hand-off.
+                metrics.record_response();
+                let replied = Instant::now();
+                Self::finish_request(
+                    &mut batch[i],
+                    metrics,
+                    tracer,
+                    sealed,
+                    scored,
+                    merged,
+                    replied,
+                );
+                let _ = batch[i].request.reply.send(result);
+            }
             // One cache insert per unique key; `pending` still owns the
-            // keys, so no key is cloned on the way in.
+            // keys, so no key is cloned on the way in.  Deliberately after
+            // the replies: insert time is not on any request's e2e clock.
             for (key, slot) in pending {
                 cache.insert(key, generation, results[slot].clone());
             }
         }
-        metrics.record_batch(batch.len(), started.elapsed());
+        metrics.record_batch(batch.len(), sealed.elapsed());
     }
 
     /// A cloneable client handle.
@@ -550,6 +695,8 @@ impl TopKService {
                 .expect("service sender lives until drop")
                 .clone(),
             state: Arc::clone(&self.state),
+            metrics: Arc::clone(&self.metrics),
+            tracer: Arc::clone(&self.tracer),
         }
     }
 
@@ -557,8 +704,10 @@ impl TopKService {
     /// In-flight batches finish on the previous snapshot; cached results of
     /// older generations stop being served immediately (lazy eviction).
     pub fn publish(&self, snapshot: FactorSnapshot) -> u64 {
+        let started = Instant::now();
         let generation = self.store.publish(snapshot);
         self.metrics.record_swap();
+        self.metrics.record_publish_latency(started.elapsed());
         generation
     }
 
@@ -572,9 +721,11 @@ impl TopKService {
     /// enter any user's top-k), falling back to lazy whole-cache
     /// invalidation through the generation check.
     pub fn publish_delta(&self, delta: &SnapshotDelta) -> Result<(u64, DeltaStats), DeltaError> {
+        let started = Instant::now();
         let (generation, stats) = self.store.publish_delta(delta)?;
         self.metrics.record_swap();
         self.metrics.record_delta_publish();
+        self.metrics.record_publish_latency(started.elapsed());
         if !delta.touches_items() {
             let mut changed: std::collections::HashSet<u32> =
                 delta.changed_users().iter().copied().collect();
@@ -624,9 +775,31 @@ impl TopKService {
         self.store.load()
     }
 
-    /// Point-in-time serving metrics.
+    /// Point-in-time serving metrics (cumulative since startup).
     pub fn metrics(&self) -> MetricsReport {
         self.metrics.report()
+    }
+
+    /// Cumulative metrics plus the window since the previous
+    /// `window_report` call — what a periodic poller should use.
+    pub fn window_report(&self) -> WindowedReport {
+        self.metrics.window_report()
+    }
+
+    /// The live metrics registry shared with workers and clients, for
+    /// pollers that outlive this handle's borrows.
+    pub fn metrics_handle(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The request tracer (sampled stage-timing traces).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The retained sampled traces rendered as JSONL, oldest first.
+    pub fn traces_jsonl(&self) -> String {
+        self.tracer.to_jsonl()
     }
 
     /// The first recorded panic once a worker has died **for good** (its
@@ -674,6 +847,8 @@ impl Drop for TopKService {
 pub struct ServeClient {
     tx: Sender<Msg>,
     state: Arc<PoolState>,
+    metrics: Arc<ServeMetrics>,
+    tracer: Arc<Tracer>,
 }
 
 impl ServeClient {
@@ -722,6 +897,11 @@ impl ServeClient {
         mode: RequestMode,
     ) -> Result<Vec<(u32, f32)>, ServeError> {
         let (reply_tx, reply_rx) = bounded(1);
+        let trace = self.tracer.begin();
+        // A sampled request's enqueue instant IS its trace origin, so the
+        // trace's stage events tile [0, total_ns] with no gap before the
+        // queue-wait stage.
+        let enqueued_at = trace.as_ref().map_or_else(Instant::now, |t| t.origin());
         let request = Msg::Request(Request {
             query: Query {
                 user,
@@ -730,8 +910,17 @@ impl ServeClient {
             },
             mode,
             reply: reply_tx,
+            enqueued_at,
+            trace,
         });
-        self.tx.send(request).map_err(|_| self.death_cause())?;
+        // Depth is counted *before* the send: the channel's happens-before
+        // guarantees the worker's matching exit never observes a depth its
+        // own message hasn't raised, so the gauge cannot underflow.
+        self.metrics.record_queue_enter();
+        if self.tx.send(request).is_err() {
+            self.metrics.record_queue_exit();
+            return Err(self.death_cause());
+        }
         loop {
             match reply_rx.recv_timeout(LIVENESS_POLL) {
                 Ok(result) => return Ok(result),

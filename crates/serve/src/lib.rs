@@ -39,8 +39,16 @@
 //!   pool poisons.  Item-appending deltas auto-compact past
 //!   [`batcher::ServeConfig::max_item_segments`].
 //! * [`metrics::ServeMetrics`] — request counts, batch-size histogram,
-//!   cache hit rate, batch latency, swap/delta/compaction counts, worker
-//!   panics and restarts, block-pruning and early-termination counters.
+//!   cache hit rate, swap/delta/compaction counts, worker panics and
+//!   restarts, block-pruning and early-termination counters — plus, via
+//!   [`cumf_obs`], wait-free latency **histograms** for every pipeline
+//!   [`metrics::Stage`] (queue-wait → coalesce → score → merge → reply,
+//!   summing exactly to the end-to-end request latency), windowed
+//!   since-last-poll reports ([`metrics::ServeMetrics::window_report`]),
+//!   batcher queue-depth high-water tracking, 1-in-N sampled per-request
+//!   traces ([`batcher::Tracer`],
+//!   [`batcher::TopKService::traces_jsonl`]), and a Prometheus/JSON
+//!   [`metrics::MetricsReport::exporter`].
 //! * **Approximate retrieval** — an opt-in
 //!   [`cumf_linalg::ApproxPolicy`] (service-wide via
 //!   [`batcher::ServeConfig::approx`], per request via
@@ -83,11 +91,12 @@ pub mod recall;
 pub mod snapshot;
 pub mod topk;
 
-pub use batcher::{RequestMode, ServeClient, ServeConfig, ServeError, TopKService};
+pub use batcher::{RequestMode, ServeClient, ServeConfig, ServeError, TopKService, Tracer};
 pub use cache::{CacheKey, ResultCache, ShardedResultCache};
 pub use cumf_linalg::{ApproxPolicy, PruneStats, DEFAULT_APPROX_EPSILON};
+pub use cumf_obs::{Exporter, Histogram, HistogramSnapshot, Trace, TraceEvent};
 pub use itemstore::{ItemLayout, ItemSegment, ItemStore};
-pub use metrics::{MetricsReport, ServeMetrics};
+pub use metrics::{MetricsReport, ServeMetrics, Stage, WindowedReport};
 pub use recall::{measure_recall, recall_at_k, report_from_lists, RecallReport};
 pub use snapshot::{
     DeltaError, DeltaStats, FactorSnapshot, SnapshotDelta, SnapshotStore, USER_COW_ROWS,

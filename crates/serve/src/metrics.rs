@@ -1,20 +1,86 @@
-//! Lock-free serving metrics.
+//! Lock-free serving metrics with per-stage latency histograms.
 //!
 //! Counters a production retrieval tier exports: request/response counts,
 //! cache hit rate, a power-of-two micro-batch-size histogram (how well the
-//! batcher coalesces), per-batch scoring latency, and snapshot swaps.  All
-//! writers are relaxed atomics — the worker records on the hot path without
-//! locks — and [`ServeMetrics::report`] takes a coherent-enough snapshot
-//! for dashboards/tests.
+//! batcher coalesces), snapshot swaps — plus, since the observability
+//! layer, full [`cumf_obs::Histogram`] latency distributions for every
+//! pipeline [`Stage`] a request passes through and for the end-to-end
+//! request latency itself.  All writers are relaxed atomics — the worker
+//! records on the hot path without locks — and [`ServeMetrics::report`]
+//! takes a coherent-enough snapshot for dashboards/tests.
+//!
+//! ## Stage partition
+//!
+//! The batcher stamps each request's journey so that, per request,
+//!
+//! ```text
+//! e2e = queue_wait + coalesce + score + merge + reply    (exactly)
+//! ```
+//!
+//! because adjacent stages share their boundary timestamps.  The serving
+//! observability test pins this: the sum of stage means equals the e2e
+//! mean up to float rounding.
+//!
+//! ## Windowed reports
+//!
+//! `batch_latency_ns_max` used to be cumulative-only, so a dashboard
+//! polling [`report`](ServeMetrics::report) could never see a spike clear.
+//! [`ServeMetrics::window_report`] returns both the **cumulative** report
+//! and the **window** since the previous `window_report` call, diffed
+//! bucket-by-bucket via [`HistogramSnapshot::since`].
 
 use cumf_linalg::PruneStats;
+use cumf_obs::{Exporter, Histogram, HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Number of histogram buckets: batch sizes `1, 2–3, 4–7, …, ≥128`.
 pub const BATCH_SIZE_BUCKETS: usize = 8;
 
-/// Shared, lock-free serving counters.
+/// The pipeline stages every served request passes through, in order.
+/// Adjacent stages share boundary timestamps, so per request the stage
+/// durations sum exactly to the end-to-end latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Enqueue into the batcher channel → popped by a worker.
+    QueueWait = 0,
+    /// Popped → the micro-batch is sealed (coalescing window).
+    Coalesce = 1,
+    /// Batch sealed → all top-k scoring done (cache lookups included).
+    Score = 2,
+    /// Scoring done → per-request results distributed to reply slots.
+    Merge = 3,
+    /// Results distributed → this request's reply handed to the channel.
+    Reply = 4,
+}
+
+/// Number of pipeline stages.
+pub const STAGES: usize = 5;
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; STAGES] = [
+        Stage::QueueWait,
+        Stage::Coalesce,
+        Stage::Score,
+        Stage::Merge,
+        Stage::Reply,
+    ];
+
+    /// Stable snake_case name (used in exporter keys and trace stages).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::Coalesce => "coalesce",
+            Stage::Score => "score",
+            Stage::Merge => "merge",
+            Stage::Reply => "reply",
+        }
+    }
+}
+
+/// Shared, lock-free serving counters and latency histograms.
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     requests: AtomicU64,
@@ -24,8 +90,18 @@ pub struct ServeMetrics {
     batches: AtomicU64,
     batch_items: AtomicU64,
     batch_size_hist: [AtomicU64; BATCH_SIZE_BUCKETS],
-    batch_latency_ns_total: AtomicU64,
-    batch_latency_ns_max: AtomicU64,
+    /// Per-batch serve_batch wall time (exact sum/max live inside).
+    batch_latency: Histogram,
+    /// Per-request latency of each pipeline stage.
+    stages: [Histogram; STAGES],
+    /// Per-request end-to-end latency (enqueue → reply sent).
+    request_e2e: Histogram,
+    /// Publisher-observed snapshot/delta publish latency.
+    publish_latency: Histogram,
+    /// Requests currently sitting in the batcher channel.
+    queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth` since startup.
+    queue_depth_hwm: AtomicU64,
     snapshot_swaps: AtomicU64,
     delta_publishes: AtomicU64,
     item_compactions: AtomicU64,
@@ -35,6 +111,8 @@ pub struct ServeMetrics {
     blocks_pruned: AtomicU64,
     blocks_terminated: AtomicU64,
     approx_requests: AtomicU64,
+    /// Baseline of the previous `window_report` call.
+    window_baseline: Mutex<Option<MetricsReport>>,
 }
 
 impl ServeMetrics {
@@ -72,9 +150,39 @@ impl ServeMetrics {
             .saturating_sub(size.max(1).leading_zeros())
             .min(BATCH_SIZE_BUCKETS as u32 - 1) as usize;
         self.batch_size_hist[bucket].fetch_add(1, Ordering::Relaxed);
-        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
-        self.batch_latency_ns_total.fetch_add(ns, Ordering::Relaxed);
-        self.batch_latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+        self.batch_latency.record(latency);
+    }
+
+    /// Records one request's time in `stage`, in nanoseconds.
+    pub fn record_stage_ns(&self, stage: Stage, ns: u64) {
+        self.stages[stage as usize].record_ns(ns);
+    }
+
+    /// Records one request's end-to-end latency (enqueue → reply sent).
+    pub fn record_request_e2e_ns(&self, ns: u64) {
+        self.request_e2e.record_ns(ns);
+    }
+
+    /// Records a request entering the batcher queue.  Call **before** the
+    /// channel send: the worker's matching [`record_queue_exit`] can then
+    /// only observe a depth its own message contributed to, so the gauge
+    /// never underflows.
+    ///
+    /// [`record_queue_exit`]: ServeMetrics::record_queue_exit
+    pub fn record_queue_enter(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records a request leaving the batcher queue (popped by a worker, or
+    /// un-counts a failed send).
+    pub fn record_queue_exit(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests currently queued (an instantaneous gauge).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
     }
 
     /// Records a snapshot hot-swap.
@@ -86,6 +194,12 @@ impl ServeMetrics {
     /// counted in `snapshot_swaps`).
     pub fn record_delta_publish(&self) {
         self.delta_publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records how long a snapshot/delta publication took from the
+    /// publisher's point of view (build + swap, not reader visibility lag).
+    pub fn record_publish_latency(&self, latency: Duration) {
+        self.publish_latency.record(latency);
     }
 
     /// Records an item-segment compaction republish (also counted in
@@ -126,14 +240,16 @@ impl ServeMetrics {
         self.approx_requests.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// A point-in-time copy of all counters plus derived rates.
+    /// A point-in-time copy of all counters plus derived rates.  Cumulative
+    /// since startup; see [`window_report`](ServeMetrics::window_report)
+    /// for since-last-poll semantics.
     pub fn report(&self) -> MetricsReport {
         let requests = self.requests.load(Ordering::Relaxed);
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let batch_items = self.batch_items.load(Ordering::Relaxed);
-        let total_ns = self.batch_latency_ns_total.load(Ordering::Relaxed);
+        let batch_latency = self.batch_latency.snapshot();
         MetricsReport {
             requests,
             responses: self.responses.load(Ordering::Relaxed),
@@ -148,15 +264,21 @@ impl ServeMetrics {
             } else {
                 0.0
             },
+            batch_items,
             cache_hit_rate: if hits + misses > 0 {
                 hits as f64 / (hits + misses) as f64
             } else {
                 0.0
             },
-            mean_batch_latency: Duration::from_nanos(total_ns.checked_div(batches).unwrap_or(0)),
-            max_batch_latency: Duration::from_nanos(
-                self.batch_latency_ns_max.load(Ordering::Relaxed),
+            mean_batch_latency: Duration::from_nanos(
+                batch_latency.sum_ns().checked_div(batches).unwrap_or(0),
             ),
+            max_batch_latency: Duration::from_nanos(batch_latency.max_ns()),
+            batch_latency,
+            stages: std::array::from_fn(|i| self.stages[i].snapshot()),
+            request_e2e: self.request_e2e.snapshot(),
+            publish_latency: self.publish_latency.snapshot(),
+            queue_depth_high_water: self.queue_depth_hwm.load(Ordering::Relaxed),
             snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed),
             delta_publishes: self.delta_publishes.load(Ordering::Relaxed),
             item_compactions: self.item_compactions.load(Ordering::Relaxed),
@@ -168,6 +290,34 @@ impl ServeMetrics {
             approx_requests: self.approx_requests.load(Ordering::Relaxed),
         }
     }
+
+    /// Takes a cumulative report **and** the window since the previous
+    /// `window_report` call (the whole history on the first call).  This is
+    /// what a periodic poller should use: cumulative maxima never reset, so
+    /// only the window shows a latency spike clearing.
+    pub fn window_report(&self) -> WindowedReport {
+        let cumulative = self.report();
+        let mut baseline = self
+            .window_baseline
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let window = match baseline.as_ref() {
+            Some(prev) => cumulative.since(prev),
+            None => cumulative.clone(),
+        };
+        *baseline = Some(cumulative.clone());
+        WindowedReport { window, cumulative }
+    }
+}
+
+/// A paired since-last-poll and since-startup report from
+/// [`ServeMetrics::window_report`].
+#[derive(Debug, Clone)]
+pub struct WindowedReport {
+    /// Activity since the previous `window_report` call.
+    pub window: MetricsReport,
+    /// Activity since startup.
+    pub cumulative: MetricsReport,
 }
 
 /// Read-side copy of [`ServeMetrics`].
@@ -183,16 +333,31 @@ pub struct MetricsReport {
     pub cache_misses: u64,
     /// Coalesced micro-batches scored.
     pub batches: u64,
+    /// Total requests across all micro-batches.
+    pub batch_items: u64,
     /// Batch-size histogram (buckets `1, 2–3, 4–7, …, ≥128`).
     pub batch_size_hist: [u64; BATCH_SIZE_BUCKETS],
     /// Mean requests per micro-batch.
     pub mean_batch_size: f64,
     /// `hits / (hits + misses)`.
     pub cache_hit_rate: f64,
-    /// Mean scoring latency per micro-batch.
+    /// Mean scoring latency per micro-batch (exact — from the histogram's
+    /// exact sum).
     pub mean_batch_latency: Duration,
-    /// Worst scoring latency of any micro-batch.
+    /// Worst scoring latency of any micro-batch (exact in a cumulative
+    /// report; bucket-bounded in a window).
     pub max_batch_latency: Duration,
+    /// Full per-batch scoring latency distribution.
+    pub batch_latency: HistogramSnapshot,
+    /// Per-request latency distribution of each pipeline stage, indexed by
+    /// `Stage as usize` (see [`MetricsReport::stage`]).
+    pub stages: [HistogramSnapshot; STAGES],
+    /// Per-request end-to-end latency distribution (enqueue → reply sent).
+    pub request_e2e: HistogramSnapshot,
+    /// Publisher-side snapshot/delta publish latency distribution.
+    pub publish_latency: HistogramSnapshot,
+    /// Most requests ever simultaneously queued in the batcher channel.
+    pub queue_depth_high_water: u64,
     /// Snapshot generations published.
     pub snapshot_swaps: u64,
     /// Publications that went through the incremental delta path (a subset
@@ -220,6 +385,11 @@ pub struct MetricsReport {
 }
 
 impl MetricsReport {
+    /// The latency distribution of one pipeline stage.
+    pub fn stage(&self, stage: Stage) -> &HistogramSnapshot {
+        &self.stages[stage as usize]
+    }
+
     /// Fraction of visited item blocks skipped by **exact** threshold
     /// pruning (`0.0` when nothing was scored).  Terminated blocks widen
     /// the denominator but never the numerator.
@@ -242,6 +412,179 @@ impl MetricsReport {
             self.blocks_terminated as f64 / total as f64
         }
     }
+
+    /// The activity between `baseline` and `self`, where `baseline` is an
+    /// earlier report from the same [`ServeMetrics`].  Counters subtract;
+    /// histograms diff bucket-by-bucket ([`HistogramSnapshot::since`]), so
+    /// window quantiles and means are exact while window maxima are
+    /// bucket-bounded.  `queue_depth_high_water` stays cumulative (a
+    /// high-water mark has no meaningful difference).
+    pub fn since(&self, baseline: &MetricsReport) -> MetricsReport {
+        let requests = self.requests.saturating_sub(baseline.requests);
+        let hits = self.cache_hits.saturating_sub(baseline.cache_hits);
+        let misses = self.cache_misses.saturating_sub(baseline.cache_misses);
+        let batches = self.batches.saturating_sub(baseline.batches);
+        let batch_items = self.batch_items.saturating_sub(baseline.batch_items);
+        let batch_latency = self.batch_latency.since(&baseline.batch_latency);
+        MetricsReport {
+            requests,
+            responses: self.responses.saturating_sub(baseline.responses),
+            cache_hits: hits,
+            cache_misses: misses,
+            batches,
+            batch_items,
+            batch_size_hist: std::array::from_fn(|i| {
+                self.batch_size_hist[i].saturating_sub(baseline.batch_size_hist[i])
+            }),
+            mean_batch_size: if batches > 0 {
+                batch_items as f64 / batches as f64
+            } else {
+                0.0
+            },
+            cache_hit_rate: if hits + misses > 0 {
+                hits as f64 / (hits + misses) as f64
+            } else {
+                0.0
+            },
+            mean_batch_latency: Duration::from_nanos(
+                batch_latency.sum_ns().checked_div(batches).unwrap_or(0),
+            ),
+            max_batch_latency: Duration::from_nanos(batch_latency.max_ns()),
+            batch_latency,
+            stages: std::array::from_fn(|i| self.stages[i].since(&baseline.stages[i])),
+            request_e2e: self.request_e2e.since(&baseline.request_e2e),
+            publish_latency: self.publish_latency.since(&baseline.publish_latency),
+            queue_depth_high_water: self.queue_depth_high_water,
+            snapshot_swaps: self.snapshot_swaps.saturating_sub(baseline.snapshot_swaps),
+            delta_publishes: self
+                .delta_publishes
+                .saturating_sub(baseline.delta_publishes),
+            item_compactions: self
+                .item_compactions
+                .saturating_sub(baseline.item_compactions),
+            worker_panics: self.worker_panics.saturating_sub(baseline.worker_panics),
+            worker_restarts: self
+                .worker_restarts
+                .saturating_sub(baseline.worker_restarts),
+            blocks_scored: self.blocks_scored.saturating_sub(baseline.blocks_scored),
+            blocks_pruned: self.blocks_pruned.saturating_sub(baseline.blocks_pruned),
+            blocks_terminated: self
+                .blocks_terminated
+                .saturating_sub(baseline.blocks_terminated),
+            approx_requests: self
+                .approx_requests
+                .saturating_sub(baseline.approx_requests),
+        }
+    }
+
+    /// Renders this report as a [`cumf_obs::Exporter`] metric set with
+    /// stable `serve_*` names (`serve_stage_<name>` histograms expand to
+    /// `serve_stage_<name>_p50_ns` etc. in the JSON rendering — the keys CI
+    /// asserts on).
+    pub fn exporter(&self) -> Exporter {
+        let mut e = Exporter::new();
+        e.counter(
+            "serve_requests",
+            "requests accepted by the batcher",
+            self.requests,
+        )
+        .counter("serve_responses", "replies delivered", self.responses)
+        .counter(
+            "serve_cache_hits",
+            "results served from cache",
+            self.cache_hits,
+        )
+        .counter("serve_cache_misses", "results scored", self.cache_misses)
+        .counter("serve_batches", "micro-batches scored", self.batches)
+        .gauge(
+            "serve_cache_hit_rate",
+            "hits / (hits + misses)",
+            self.cache_hit_rate,
+        )
+        .gauge(
+            "serve_mean_batch_size",
+            "mean requests per micro-batch",
+            self.mean_batch_size,
+        )
+        .counter(
+            "serve_queue_depth_high_water",
+            "most requests ever simultaneously queued",
+            self.queue_depth_high_water,
+        )
+        .counter(
+            "serve_snapshot_swaps",
+            "snapshot generations published",
+            self.snapshot_swaps,
+        )
+        .counter(
+            "serve_delta_publishes",
+            "publications through the delta path",
+            self.delta_publishes,
+        )
+        .counter(
+            "serve_item_compactions",
+            "item-segment compaction republishes",
+            self.item_compactions,
+        )
+        .counter(
+            "serve_worker_panics",
+            "scoring panics caught",
+            self.worker_panics,
+        )
+        .counter(
+            "serve_worker_restarts",
+            "panicked workers restarted",
+            self.worker_restarts,
+        )
+        .counter(
+            "serve_blocks_scored",
+            "item blocks streamed and scored",
+            self.blocks_scored,
+        )
+        .counter(
+            "serve_blocks_pruned",
+            "item blocks skipped exactly",
+            self.blocks_pruned,
+        )
+        .counter(
+            "serve_blocks_terminated",
+            "item blocks skipped approximately",
+            self.blocks_terminated,
+        )
+        .counter(
+            "serve_approx_requests",
+            "requests served under an approximate policy",
+            self.approx_requests,
+        );
+        for stage in Stage::ALL {
+            e.histogram(
+                &format!("serve_stage_{}", stage.name()),
+                &format!("per-request {} stage latency", stage.name()),
+                self.stage(stage).clone(),
+            );
+        }
+        e.histogram(
+            "serve_request_e2e",
+            "per-request end-to-end latency (enqueue to reply)",
+            self.request_e2e.clone(),
+        )
+        .histogram(
+            "serve_batch_latency",
+            "per-micro-batch scoring wall time",
+            self.batch_latency.clone(),
+        )
+        .histogram(
+            "serve_delta_publish",
+            "publisher-side snapshot/delta publish latency",
+            self.publish_latency.clone(),
+        );
+        e
+    }
+}
+
+/// Formats nanoseconds as a humane `Duration` debug string.
+fn fmt_ns(ns: u64) -> String {
+    format!("{:?}", Duration::from_nanos(ns))
 }
 
 impl std::fmt::Display for MetricsReport {
@@ -280,11 +623,37 @@ impl std::fmt::Display for MetricsReport {
             "batch latency: mean {:?}  max {:?}",
             self.mean_batch_latency, self.max_batch_latency
         )?;
-        write!(
+        writeln!(
             f,
             "batch sizes [1,2,4,8,16,32,64,128+]: {:?}",
             self.batch_size_hist
-        )
+        )?;
+        writeln!(f, "queue depth high-water: {}", self.queue_depth_high_water)?;
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>8}",
+            "stage", "p50", "p90", "p99", "max", "count"
+        )?;
+        let mut rows: Vec<(&str, &HistogramSnapshot)> = Stage::ALL
+            .iter()
+            .map(|&s| (s.name(), self.stage(s)))
+            .collect();
+        rows.push(("e2e", &self.request_e2e));
+        rows.push(("batch", &self.batch_latency));
+        rows.push(("publish", &self.publish_latency));
+        for (name, h) in rows {
+            writeln!(
+                f,
+                "{:<12} {:>10} {:>10} {:>10} {:>10} {:>8}",
+                name,
+                fmt_ns(h.quantile(0.5)),
+                fmt_ns(h.quantile(0.9)),
+                fmt_ns(h.quantile(0.99)),
+                fmt_ns(h.max_ns()),
+                h.count()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -336,6 +705,92 @@ mod tests {
         assert_eq!(r.requests, 0);
         assert_eq!(r.cache_hit_rate, 0.0);
         assert_eq!(r.mean_batch_latency, Duration::ZERO);
+        assert_eq!(r.request_e2e.count(), 0);
+        assert_eq!(r.queue_depth_high_water, 0);
+    }
+
+    #[test]
+    fn stage_histograms_accumulate_and_export() {
+        let m = ServeMetrics::new();
+        for ns in [1_000u64, 2_000, 10_000] {
+            m.record_stage_ns(Stage::QueueWait, ns);
+            m.record_stage_ns(Stage::Score, ns * 2);
+            m.record_request_e2e_ns(ns * 3);
+        }
+        let r = m.report();
+        assert_eq!(r.stage(Stage::QueueWait).count(), 3);
+        assert_eq!(r.stage(Stage::Score).sum_ns(), 26_000);
+        assert_eq!(r.stage(Stage::Coalesce).count(), 0);
+        assert_eq!(r.request_e2e.max_ns(), 30_000);
+        let json = r.exporter().to_json();
+        for key in [
+            "\"serve_requests\":",
+            "\"serve_stage_queue_wait_p50_ns\":",
+            "\"serve_stage_queue_wait_p99_ns\":",
+            "\"serve_stage_score_p99_ns\":",
+            "\"serve_stage_coalesce_count\":0",
+            "\"serve_request_e2e_p50_ns\":",
+            "\"serve_request_e2e_max_ns\":30000",
+            "\"serve_batch_latency_count\":",
+            "\"serve_delta_publish_count\":",
+            "\"serve_queue_depth_high_water\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let prom = r.exporter().to_prometheus();
+        assert!(prom.contains("# TYPE serve_stage_score summary"));
+        assert!(prom.contains("serve_request_e2e_count 3"));
+    }
+
+    #[test]
+    fn windowed_report_resets_the_latency_view() {
+        let m = ServeMetrics::new();
+        m.record_batch(1, Duration::from_millis(50)); // the spike
+        m.record_request();
+        let first = m.window_report();
+        assert_eq!(first.window.batches, 1);
+        assert_eq!(first.window.requests, 1);
+        assert_eq!(
+            first.cumulative.max_batch_latency,
+            Duration::from_millis(50)
+        );
+
+        // Quiet window with one fast batch: the window max clears the
+        // spike (bucket-bounded around 1 ms), the cumulative max does not.
+        m.record_batch(1, Duration::from_millis(1));
+        let second = m.window_report();
+        assert_eq!(second.window.batches, 1);
+        assert_eq!(second.window.requests, 0);
+        assert!(second.window.max_batch_latency <= Duration::from_micros(1100));
+        assert_eq!(
+            second.cumulative.max_batch_latency,
+            Duration::from_millis(50)
+        );
+        assert_eq!(second.cumulative.batches, 2);
+
+        // Idle window: everything zero.
+        let third = m.window_report();
+        assert_eq!(third.window.batches, 0);
+        assert_eq!(third.window.batch_latency.count(), 0);
+        assert_eq!(third.window.mean_batch_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn queue_depth_tracks_the_high_water_mark() {
+        let m = ServeMetrics::new();
+        m.record_queue_enter();
+        m.record_queue_enter();
+        m.record_queue_enter();
+        m.record_queue_exit();
+        m.record_queue_enter();
+        assert_eq!(m.queue_depth(), 3);
+        assert_eq!(m.report().queue_depth_high_water, 3);
+        m.record_queue_exit();
+        m.record_queue_exit();
+        m.record_queue_exit();
+        assert_eq!(m.queue_depth(), 0);
+        // The mark survives the drain.
+        assert_eq!(m.report().queue_depth_high_water, 3);
     }
 
     #[test]
@@ -389,8 +844,15 @@ mod tests {
     fn display_is_humane() {
         let m = ServeMetrics::new();
         m.record_batch(2, Duration::from_micros(500));
+        m.record_stage_ns(Stage::Score, 250_000);
+        m.record_request_e2e_ns(400_000);
         let text = m.report().to_string();
         assert!(text.contains("batches: 1"));
         assert!(text.contains("cache"));
+        // The percentile table lists every stage plus e2e.
+        for row in ["queue_wait", "coalesce", "score", "merge", "reply", "e2e"] {
+            assert!(text.contains(row), "missing {row} row in:\n{text}");
+        }
+        assert!(text.contains("queue depth high-water"));
     }
 }

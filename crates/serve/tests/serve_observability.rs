@@ -1,0 +1,236 @@
+//! End-to-end observability contract of the serving tier.
+//!
+//! The load-bearing claim: the five pipeline stages partition each
+//! request's end-to-end latency, because adjacent stages share their
+//! boundary timestamps inside the batcher.  The acceptance test pins that
+//! the **sum of stage means equals the e2e mean** (within 10 %, though the
+//! construction makes it exact up to float rounding) on a synthetic load.
+//! Around it: queue-depth high-water, windowed report semantics through
+//! the service handle, trace sampling, and the exported JSON keys CI
+//! asserts on.
+
+use cumf_linalg::FactorMatrix;
+use cumf_serve::{FactorSnapshot, ServeConfig, Stage, TopKService};
+use std::time::Duration;
+
+fn snapshot(seed: u64) -> FactorSnapshot {
+    FactorSnapshot::from_factors(
+        FactorMatrix::random(64, 8, 1.0, seed),
+        FactorMatrix::random(400, 8, 1.0, seed + 1),
+    )
+}
+
+/// Cache off so every request takes the full score path; the stage
+/// partition holds either way, but an all-miss load exercises every stage
+/// with non-trivial durations.
+fn observability_config() -> ServeConfig {
+    ServeConfig {
+        max_batch: 8,
+        max_delay: Duration::from_millis(1),
+        workers: 2,
+        cache_capacity: 0,
+        trace_sample: 1,
+        trace_capacity: 64,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn stage_means_sum_to_the_e2e_mean() {
+    let service = TopKService::start(snapshot(21), observability_config());
+    std::thread::scope(|s| {
+        for t in 0..4u32 {
+            let client = service.client();
+            s.spawn(move || {
+                for i in 0..50u32 {
+                    let user = (t * 50 + i) % 64;
+                    client.recommend(user, 5, &[]).unwrap();
+                }
+            });
+        }
+    });
+    let r = service.metrics();
+    assert_eq!(r.requests, 200);
+    assert_eq!(r.request_e2e.count(), 200, "every request records an e2e");
+    for stage in Stage::ALL {
+        assert_eq!(
+            r.stage(stage).count(),
+            200,
+            "every request records stage {}",
+            stage.name()
+        );
+    }
+    let stage_mean_sum: f64 = Stage::ALL.iter().map(|&s| r.stage(s).mean_ns()).sum();
+    let e2e_mean = r.request_e2e.mean_ns();
+    assert!(e2e_mean > 0.0);
+    let rel = (stage_mean_sum - e2e_mean).abs() / e2e_mean;
+    assert!(
+        rel < 0.10,
+        "stage means sum {stage_mean_sum:.0} ns vs e2e mean {e2e_mean:.0} ns ({rel:.4} off)"
+    );
+    // The construction is exact, not just within 10%: stage sums (exact
+    // integers) telescope to the e2e sum per request.
+    let stage_sum: u64 = Stage::ALL.iter().map(|&s| r.stage(s).sum_ns()).sum();
+    assert_eq!(stage_sum, r.request_e2e.sum_ns(), "partition must be exact");
+}
+
+#[test]
+fn cache_hits_keep_the_partition_exact() {
+    // With the cache on and repeated identical requests, hits take the
+    // zero-width score/merge path — the partition identity must survive
+    // the mix.
+    let service = TopKService::start(
+        snapshot(22),
+        ServeConfig {
+            max_delay: Duration::from_millis(1),
+            ..Default::default()
+        },
+    );
+    let client = service.client();
+    for _ in 0..3 {
+        for user in 0..10u32 {
+            client.recommend(user, 5, &[]).unwrap();
+        }
+    }
+    let r = service.metrics();
+    assert!(r.cache_hits > 0, "repeats must hit the cache");
+    let stage_sum: u64 = Stage::ALL.iter().map(|&s| r.stage(s).sum_ns()).sum();
+    assert_eq!(stage_sum, r.request_e2e.sum_ns());
+}
+
+#[test]
+fn queue_depth_high_water_reflects_concurrency() {
+    let service = TopKService::start(snapshot(23), observability_config());
+    std::thread::scope(|s| {
+        for t in 0..8u32 {
+            let client = service.client();
+            s.spawn(move || {
+                for i in 0..20u32 {
+                    client.recommend((t * 20 + i) % 64, 4, &[]).unwrap();
+                }
+            });
+        }
+    });
+    let r = service.metrics();
+    let hwm = r.queue_depth_high_water;
+    assert!(hwm >= 1, "something must have queued");
+    assert!(hwm <= 160, "high-water {hwm} exceeds total requests");
+}
+
+#[test]
+fn window_report_through_the_service_handle() {
+    let service = TopKService::start(snapshot(24), observability_config());
+    let client = service.client();
+    for user in 0..10u32 {
+        client.recommend(user, 5, &[]).unwrap();
+    }
+    let first = service.window_report();
+    assert_eq!(first.window.requests, 10);
+    assert_eq!(first.cumulative.requests, 10);
+
+    for user in 0..4u32 {
+        client.recommend(user + 30, 5, &[]).unwrap();
+    }
+    let second = service.window_report();
+    assert_eq!(second.window.requests, 4, "window counts only the delta");
+    assert_eq!(second.cumulative.requests, 14);
+    assert_eq!(second.window.request_e2e.count(), 4);
+
+    let idle = service.window_report();
+    assert_eq!(idle.window.requests, 0);
+    assert_eq!(idle.window.request_e2e.count(), 0);
+}
+
+#[test]
+fn sampled_traces_cover_every_stage() {
+    // trace_sample = 1: every request is traced.
+    let service = TopKService::start(snapshot(25), observability_config());
+    let client = service.client();
+    for user in 0..12u32 {
+        client.recommend(user, 5, &[]).unwrap();
+    }
+    let traces = service.tracer().traces();
+    assert_eq!(traces.len(), 12);
+    for t in &traces {
+        let stages: Vec<&str> = t.events.iter().map(|e| e.stage).collect();
+        assert_eq!(
+            stages,
+            vec!["queue_wait", "coalesce", "score", "merge", "reply"],
+            "trace {} missing stages",
+            t.id
+        );
+        // Events tile the trace: each starts where the previous ended.
+        for w in t.events.windows(2) {
+            assert_eq!(w[0].start_ns + w[0].dur_ns, w[1].start_ns);
+        }
+    }
+    let jsonl = service.traces_jsonl();
+    assert_eq!(jsonl.lines().count(), 12);
+    assert!(jsonl.contains("\"queue_wait\""));
+    assert!(jsonl.contains("\"total_ns\""));
+}
+
+#[test]
+fn sampling_rate_bounds_the_trace_count() {
+    let service = TopKService::start(
+        snapshot(26),
+        ServeConfig {
+            trace_sample: 4,
+            cache_capacity: 0,
+            max_delay: Duration::from_millis(1),
+            ..Default::default()
+        },
+    );
+    let client = service.client();
+    for user in 0..40u32 {
+        client.recommend(user % 64, 4, &[]).unwrap();
+    }
+    let n = service.tracer().traces().len();
+    assert_eq!(n, 10, "1-in-4 sampling of 40 sequential requests");
+
+    // trace_sample = 0 disables tracing entirely.
+    let off = TopKService::start(
+        snapshot(27),
+        ServeConfig {
+            trace_sample: 0,
+            ..Default::default()
+        },
+    );
+    let client = off.client();
+    for user in 0..5u32 {
+        client.recommend(user, 3, &[]).unwrap();
+    }
+    assert!(off.tracer().traces().is_empty());
+}
+
+#[test]
+fn exported_json_carries_the_ci_contract_keys() {
+    let service = TopKService::start(snapshot(28), observability_config());
+    let client = service.client();
+    for user in 0..30u32 {
+        client.recommend(user, 5, &[]).unwrap();
+    }
+    let json = service.metrics().exporter().to_json();
+    let grab = |key: &str| -> u64 {
+        let pat = format!("\"{key}\":");
+        let at = json.find(&pat).unwrap_or_else(|| panic!("missing {key}")) + pat.len();
+        json[at..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(grab("serve_requests"), 30);
+    for stage in ["queue_wait", "coalesce", "score", "merge", "reply"] {
+        let p50 = grab(&format!("serve_stage_{stage}_p50_ns"));
+        let p99 = grab(&format!("serve_stage_{stage}_p99_ns"));
+        assert!(p99 >= p50, "{stage}: p99 {p99} < p50 {p50}");
+    }
+    let (p50, p99) = (
+        grab("serve_request_e2e_p50_ns"),
+        grab("serve_request_e2e_p99_ns"),
+    );
+    assert!(p99 >= p50 && p99 > 0);
+    assert_eq!(grab("serve_request_e2e_count"), 30);
+}
