@@ -67,19 +67,19 @@ impl AtomicFactors {
             self.f,
             self.data
                 .iter()
-                .map(|a| f32::from_bits(a.load(Ordering::Relaxed)))
+                .map(|a| f32::from_bits(a.load(Ordering::Relaxed))) // relaxed-ok: Hogwild! reads are racy by design; SGD tolerates stale components
                 .collect(),
         )
     }
 
     #[inline]
     fn load(&self, row: usize, k: usize) -> f32 {
-        f32::from_bits(self.data[row * self.f + k].load(Ordering::Relaxed))
+        f32::from_bits(self.data[row * self.f + k].load(Ordering::Relaxed)) // relaxed-ok: Hogwild! reads are racy by design; SGD tolerates stale components
     }
 
     #[inline]
     fn store(&self, row: usize, k: usize, v: f32) {
-        self.data[row * self.f + k].store(v.to_bits(), Ordering::Relaxed);
+        self.data[row * self.f + k].store(v.to_bits(), Ordering::Relaxed); // relaxed-ok: Hogwild! lock-free write; lost updates are the algorithm's stated trade
     }
 }
 

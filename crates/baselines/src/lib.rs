@@ -18,6 +18,7 @@
 //! Cluster-scale *wall-clock* for these systems comes from `cumf-cluster`'s
 //! cost models; this crate is about numerics on (scaled-down) data.
 
+#![forbid(unsafe_code)]
 pub mod als_util;
 pub mod ccd;
 pub mod hogwild;

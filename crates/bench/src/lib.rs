@@ -24,6 +24,7 @@
 //! cost models in `cumf-core` and `cumf-cluster`, priced with the simulated
 //! hardware in `cumf-gpu-sim`.
 
+#![forbid(unsafe_code)]
 pub mod experiments;
 
 pub use experiments::*;

@@ -1,0 +1,27 @@
+//! Clean-fixture obs crate: every rule satisfied.
+use crate::sync::atomic::{AtomicU64, Ordering};
+
+pub mod sync {
+    // lint-ok-file: sync-facade this module IS the facade re-export.
+    pub use std::sync::atomic;
+}
+
+pub struct Counter {
+    hits: AtomicU64,
+}
+
+impl Counter {
+    pub fn bump(&self) {
+        // relaxed-ok: monotonic counter, read only for reporting
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn publish(&self, n: u64) {
+        // ordering-ok: Release pairs with the Acquire in read() to publish n
+        self.hits.store(n, Ordering::Release);
+    }
+
+    pub fn read(&self) -> u64 {
+        self.hits.load(Ordering::Acquire) // ordering-ok: pairs with publish()
+    }
+}

@@ -1,0 +1,14 @@
+//! Clean-fixture serve crate: no panics on the request path, facade only.
+pub mod sync {
+    // lint-ok-file: sync-facade this module IS the facade re-export.
+    pub use std::sync::{Mutex, MutexGuard};
+}
+
+pub fn lookup(v: &[u32], i: usize) -> Result<u32, String> {
+    v.get(i).copied().ok_or_else(|| format!("index {i} out of range"))
+}
+
+pub fn guarded(m: &sync::Mutex<u32>) -> u32 {
+    // lint-ok: serve-unwrap fixture exercises a justified expect
+    *m.lock().expect("fixture mutex never poisoned")
+}

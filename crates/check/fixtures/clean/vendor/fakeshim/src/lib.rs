@@ -1,0 +1,4 @@
+//! Clean-fixture shim: surface matches SURFACE.txt exactly.
+pub fn stable() {}
+
+pub(crate) fn hidden_helper() {}

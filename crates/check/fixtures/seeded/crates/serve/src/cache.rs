@@ -1,0 +1,28 @@
+//! Seeded-fixture cache: every lock-order violation flavor.
+use std::sync::{Mutex, MutexGuard};
+
+pub struct ResultCache;
+pub struct ShardedResultCache {
+    shards: Vec<Mutex<ResultCache>>,
+}
+
+impl ShardedResultCache {
+    fn lock(shard: &Mutex<ResultCache>) -> MutexGuard<'_, ResultCache> {
+        shard.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    pub fn held_guard(&self) {
+        let guard = Self::lock(&self.shards[0]);
+        drop(guard);
+    }
+
+    pub fn double_lock(&self) {
+        let _ = (Self::lock(&self.shards[0]), Self::lock(&self.shards[1]));
+    }
+
+    pub fn reverse_sweep(&self) {
+        for shard in self.shards.iter().rev() {
+            drop(Self::lock(shard));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Seeded-fixture serve crate: panics on the request path.
+pub mod cache;
+
+pub fn lookup(v: &[u32], i: usize) -> u32 {
+    *v.get(i).unwrap()
+}
+
+pub fn described(v: &[u32]) -> u32 {
+    *v.first().expect("fixture: non-empty")
+}
+
+#[cfg(all(test, cumf_model_check))]
+mod model_tests {
+    #[test]
+    fn model_only_unwrap_is_exempt() {
+        let v = [1u32];
+        let _ = *v.first().unwrap(); // IN_TEST_MOD
+    }
+}

@@ -1,0 +1,12 @@
+//! Seeded-fixture shim: grew `sneaky()` without updating SURFACE.txt,
+//! while the recorded `removed()` no longer exists.
+pub fn stable() {}
+
+pub fn sneaky() {}
+
+pub(crate) fn hidden_helper() {}
+
+#[cfg(test)]
+mod tests {
+    pub fn hidden_test_only() {}
+}

@@ -1,0 +1,77 @@
+//! CLI entry point for the workspace concurrency lint.
+//!
+//! ```text
+//! cargo run -p cumf-check --bin lint                    # lint the tree
+//! cargo run -p cumf-check --bin lint -- --root <path>   # lint another root
+//! cargo run -p cumf-check --bin lint -- --update-surface
+//! ```
+//!
+//! Exits 0 when the tree is clean (no unbaselined findings, no stale
+//! baseline entries), 1 otherwise, 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut update_surface = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--update-surface" => update_surface = true,
+            "-h" | "--help" => {
+                println!(
+                    "usage: lint [--root <workspace-root>] [--update-surface]\n\n\
+                     Source-level concurrency lint for the cumf workspace.\n\
+                     See `cumf_check` crate docs for the rule table."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(cumf_check::default_root);
+
+    if update_surface {
+        return match cumf_check::update_surfaces(&root) {
+            Ok(written) => {
+                for p in &written {
+                    println!("wrote {}", p.display());
+                }
+                println!("{} SURFACE.txt files regenerated", written.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("failed to write SURFACE.txt: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let report = cumf_check::run(&root);
+    for f in report.unbaselined.iter().chain(&report.stale) {
+        println!("{f}\n");
+    }
+    println!(
+        "cumf-check: {} findings ({} baselined, {} unbaselined, {} stale baseline entries)",
+        report.total,
+        report.baselined,
+        report.unbaselined.len(),
+        report.stale.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -17,6 +17,7 @@
 //! * [`pricing`] — run-cost computation and the speed/cost comparison rows
 //!   of Table 1.
 
+#![forbid(unsafe_code)]
 pub mod models;
 pub mod network;
 pub mod node;

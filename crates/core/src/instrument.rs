@@ -49,7 +49,7 @@ impl TrainMetrics {
     pub fn record_row(&self, assembly_ns: u64, solve_ns: u64) {
         self.assembly.record_ns(assembly_ns);
         self.solve.record_ns(solve_ns);
-        self.rows_solved.fetch_add(1, Ordering::Relaxed);
+        self.rows_solved.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic progress counter
     }
 
     /// Records one whole `solve_side` call.
@@ -64,7 +64,7 @@ impl TrainMetrics {
 
     /// Non-empty rows solved so far.
     pub fn rows_solved(&self) -> u64 {
-        self.rows_solved.load(Ordering::Relaxed)
+        self.rows_solved.load(Ordering::Relaxed) // relaxed-ok: monotonic progress counter read
     }
 
     /// A point-in-time snapshot of every histogram and counter.

@@ -56,6 +56,7 @@
 //! assert!(report.final_test_rmse() < 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod als;
 pub mod checkpoint;
 pub mod config;

@@ -17,6 +17,7 @@
 //!   each descriptor; timing is extrapolated analytically.
 //! * [`split`] — train/test splitting used for test-RMSE curves.
 
+#![forbid(unsafe_code)]
 pub mod datasets;
 pub mod io;
 pub mod split;

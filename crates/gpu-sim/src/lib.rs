@@ -30,6 +30,7 @@
 //! experimental shape (which optimization wins, by what factor) without the
 //! physical card.
 
+#![forbid(unsafe_code)]
 pub mod device;
 pub mod mem;
 pub mod multi;

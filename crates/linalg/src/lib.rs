@@ -22,6 +22,7 @@
 //! * [`topk`] — bounded-heap top-k selection and the blocked single-request
 //!   retrieval path shared by `recommend()` and the serving subsystem.
 
+#![forbid(unsafe_code)]
 pub mod batch;
 pub mod blas;
 pub mod cholesky;

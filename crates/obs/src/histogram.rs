@@ -31,7 +31,7 @@
 //! is a dashboard read, not a barrier) but each counter is individually
 //! consistent and monotone.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Sub-bucket resolution: each power-of-two octave is split into
@@ -103,8 +103,8 @@ pub struct Histogram {
 impl std::fmt::Debug for Histogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Histogram")
-            .field("count", &self.count.load(Ordering::Relaxed))
-            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .field("count", &self.count.load(Ordering::Relaxed)) // relaxed-ok: Debug peek, no consistency promised
+            .field("sum", &self.sum.load(Ordering::Relaxed)) // relaxed-ok: Debug peek, no consistency promised
             .finish_non_exhaustive()
     }
 }
@@ -134,24 +134,24 @@ impl Histogram {
 
     /// Records one value.  Wait-free; callable from any thread.
     pub fn record_ns(&self, v: u64) {
-        self.buckets[index_of(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        // Saturating sum: fetch_add wraps, so clamp pre-emptively.  A sum
-        // near u64::MAX means ~584 years of nanoseconds — the clamp exists
-        // for adversarial inputs, not real clocks.
-        let mut cur = self.sum.load(Ordering::Relaxed);
+        self.buckets[index_of(v)].fetch_add(1, Ordering::Relaxed); // relaxed-ok: bucket += 1 BEFORE count (snapshot reads count first, so bucket_total >= count)
+        self.count.fetch_add(1, Ordering::Relaxed); // relaxed-ok: per-field fetch_add cannot lose updates; model-checked in tests/model_check.rs
+                                                    // Saturating sum: fetch_add wraps, so clamp pre-emptively.  A sum
+                                                    // near u64::MAX means ~584 years of nanoseconds — the clamp exists
+                                                    // for adversarial inputs, not real clocks.
+        let mut cur = self.sum.load(Ordering::Relaxed); // relaxed-ok: CAS loop re-reads on failure; stale first read only costs a retry
         loop {
             let next = cur.saturating_add(v);
             match self
                 .sum
-                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) // relaxed-ok: the CAS retries through contention; only sum's own value matters
             {
                 Ok(_) => break,
                 Err(seen) => cur = seen,
             }
         }
-        self.max.fetch_max(v, Ordering::Relaxed);
-        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed); // relaxed-ok: fetch_max is order-insensitive (max is commutative)
+        self.min.fetch_min(v, Ordering::Relaxed); // relaxed-ok: fetch_min is order-insensitive (min is commutative)
     }
 
     /// Records a [`Duration`] as nanoseconds (saturating at `u64::MAX`).
@@ -164,52 +164,52 @@ impl Histogram {
     /// saturating sum, which the tests pin.
     pub fn merge(&self, other: &Histogram) {
         for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
-            let n = theirs.load(Ordering::Relaxed);
+            let n = theirs.load(Ordering::Relaxed); // relaxed-ok: merge reads a live source; torn reads shift values between concurrent merges, never lose them
             if n > 0 {
-                mine.fetch_add(n, Ordering::Relaxed);
+                mine.fetch_add(n, Ordering::Relaxed); // relaxed-ok: destination fetch_add conserves totals under concurrent merges
             }
         }
         self.count
-            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
-        let add = other.sum.load(Ordering::Relaxed);
-        let mut cur = self.sum.load(Ordering::Relaxed);
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed); // relaxed-ok: count folded independently of buckets; one-sided skew is documented
+        let add = other.sum.load(Ordering::Relaxed); // relaxed-ok: live source read; saturating fold tolerates staleness
+        let mut cur = self.sum.load(Ordering::Relaxed); // relaxed-ok: CAS loop re-reads on failure
         loop {
             let next = cur.saturating_add(add);
             match self
                 .sum
-                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) // relaxed-ok: the CAS retries through contention
             {
                 Ok(_) => break,
                 Err(seen) => cur = seen,
             }
         }
         self.max
-            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed); // relaxed-ok: max fold is commutative
         self.min
-            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed); // relaxed-ok: min fold is commutative
     }
 
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // relaxed-ok: monotonic counter read
     }
 
     /// A point-in-time copy for quantile queries, diffing, and export.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let count = self.count.load(Ordering::Relaxed);
+        let count = self.count.load(Ordering::Relaxed); // relaxed-ok: count read FIRST, buckets after; any tear overcounts buckets, never undercounts
         HistogramSnapshot {
             counts: self
                 .buckets
                 .iter()
-                .map(|b| b.load(Ordering::Relaxed))
+                .map(|b| b.load(Ordering::Relaxed)) // relaxed-ok: bucket reads after count; one-sided tear is the documented invariant
                 .collect(),
             count,
-            sum: self.sum.load(Ordering::Relaxed),
-            max: self.max.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed), // relaxed-ok: saturating sum sample, report-only
+            max: self.max.load(Ordering::Relaxed), // relaxed-ok: monotonic max sample
             min: if count == 0 {
                 0
             } else {
-                self.min.load(Ordering::Relaxed)
+                self.min.load(Ordering::Relaxed) // relaxed-ok: monotonic min sample
             },
         }
     }

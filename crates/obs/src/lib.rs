@@ -20,9 +20,11 @@
 //! * [`exporter`] — renders metric sets as Prometheus text or a flat JSON
 //!   object with CI-assertable keys (`foo_p50_ns`, `foo_p99_ns`, …).
 
+#![forbid(unsafe_code)]
 pub mod exporter;
 pub mod histogram;
 pub mod span;
+pub mod sync;
 
 pub use exporter::{Exporter, MetricValue, EXPORT_QUANTILES};
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS, SUB_BUCKET_BITS};

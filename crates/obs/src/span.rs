@@ -12,9 +12,9 @@
 //! drained as JSONL for offline analysis — the same role the paper's
 //! profiler traces played for the Hermitian-assembly bottleneck hunt.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// A started stage timer.
@@ -156,7 +156,7 @@ impl Sampler {
             return false;
         }
         self.counter
-            .fetch_add(1, Ordering::Relaxed)
+            .fetch_add(1, Ordering::Relaxed) // relaxed-ok: sequence numbers only need uniqueness, not order
             .is_multiple_of(self.every)
     }
 }

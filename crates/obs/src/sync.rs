@@ -1,0 +1,38 @@
+//! Synchronization facade: `std::sync` normally, instrumented loom types
+//! under `--cfg cumf_model_check`.
+//!
+//! Every concurrency-bearing module in `cumf-obs` and `cumf-serve` imports
+//! its primitives from here (the `cumf-check` lint's `sync-facade` rule
+//! enforces it).  In a normal build the re-exports *are* the std types —
+//! zero wrappers, zero overhead.  Under the model-check cfg
+//! (`RUSTFLAGS="--cfg cumf_model_check"`, see `crates/check`) the same
+//! names resolve to `loom`'s instrumented versions, so the histogram,
+//! snapshot-store, batcher-gauge, and permit-pool code paths run under the
+//! schedule-exploring checker *unchanged*.
+//!
+//! The facade deliberately exposes only the surface those paths use:
+//! `Arc`, `Mutex`/`RwLock` (+ guards), and the `atomic` module.  Anything
+//! else would silently run uninstrumented in model builds, which is
+//! exactly the hole the lint exists to close.
+
+// lint-ok-file: sync-facade this module IS the facade; it is the one place
+// the primitives may be named directly.
+
+#[cfg(not(cumf_model_check))]
+pub use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(cumf_model_check)]
+pub use loom::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Atomic types and `Ordering`, switched with the same cfg.
+pub mod atomic {
+    #[cfg(not(cumf_model_check))]
+    pub use std::sync::atomic::{
+        AtomicBool, AtomicIsize, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+    };
+
+    #[cfg(cumf_model_check)]
+    pub use loom::sync::atomic::{
+        AtomicBool, AtomicIsize, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+    };
+}

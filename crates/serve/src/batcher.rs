@@ -37,8 +37,10 @@
 use crate::cache::{CacheKey, ShardedResultCache};
 use crate::metrics::{MetricsReport, ServeMetrics, Stage, WindowedReport};
 use crate::snapshot::{DeltaError, DeltaStats, FactorSnapshot, SnapshotDelta, SnapshotStore};
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Arc, Mutex};
 use crate::topk::{Query, ScoreKind, TopKIndex};
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use cumf_linalg::topk::DEFAULT_ITEM_BLOCK;
 use cumf_linalg::{ApproxPolicy, PruneStats};
 use cumf_obs::{ns_between, Sampler, Trace, TraceLog};
@@ -46,8 +48,6 @@ use std::any::Any;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -154,6 +154,7 @@ impl Tracer {
     /// Admission decision for one request (boxed so the unsampled hot path
     /// carries only a null-ish `Option`).
     fn begin(&self) -> Option<Box<Trace>> {
+        // relaxed-ok: trace ids only need uniqueness, not order
         self.sampler
             .sample()
             .then(|| Box::new(Trace::begin(self.next_id.fetch_add(1, Ordering::Relaxed))))
@@ -271,6 +272,8 @@ impl PoolState {
     /// Consumes one restart from the budget; `false` once exhausted (the
     /// caller must take the poison path).
     fn try_restart(&self, budget: usize) -> bool {
+        // ordering-ok: AcqRel CAS serializes restart claims; the Acquire
+        // failure load sees the final count
         self.restarts_used
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |used| {
                 (used < budget).then_some(used + 1)
@@ -279,16 +282,18 @@ impl PoolState {
     }
 
     fn poison(&self) {
-        self.poisoned.store(true, Ordering::Release);
+        self.poisoned.store(true, Ordering::Release); // ordering-ok: Release publishes the verdict before is_poisoned()'s Acquire load
     }
 
     /// True once a worker has died for good (restart budget exhausted).
     fn is_poisoned(&self) -> bool {
-        self.poisoned.load(Ordering::Acquire)
+        self.poisoned.load(Ordering::Acquire) // ordering-ok: pairs with poison()'s Release store
     }
 
     /// True once no worker can ever pop another request.
     fn dead(&self) -> bool {
+        // ordering-ok: Acquire pairs with the Release writes in
+        // close()/AliveGuard, so dead() implies no future pop
         self.closed.load(Ordering::Acquire) || self.alive_workers.load(Ordering::Acquire) == 0
     }
 }
@@ -299,7 +304,7 @@ struct AliveGuard<'a>(&'a PoolState);
 
 impl Drop for AliveGuard<'_> {
     fn drop(&mut self) {
-        self.0.alive_workers.fetch_sub(1, Ordering::AcqRel);
+        self.0.alive_workers.fetch_sub(1, Ordering::AcqRel); // ordering-ok: AcqRel orders the worker's final queue pop before dead() can observe zero
     }
 }
 
@@ -384,7 +389,7 @@ impl TopKService {
         let store = Arc::new(SnapshotStore::new(initial));
         let metrics = Arc::new(ServeMetrics::new());
         let state = Arc::new(PoolState::default());
-        state.alive_workers.store(n_workers, Ordering::Release);
+        state.alive_workers.store(n_workers, Ordering::Release); // ordering-ok: publishes the worker count before any AliveGuard can decrement it
         let budget = if config.cache_budget_bytes == 0 {
             usize::MAX
         } else {
@@ -692,6 +697,8 @@ impl TopKService {
             tx: self
                 .tx
                 .as_ref()
+                // lint-ok: serve-unwrap tx is Some until Drop takes it; clients
+                // cannot be minted from a dropped service
                 .expect("service sender lives until drop")
                 .clone(),
             state: Arc::clone(&self.state),
@@ -838,7 +845,7 @@ impl Drop for TopKService {
         // From here on no request can ever be popped; clients stranded
         // behind the shutdown markers stop waiting at their next liveness
         // poll.
-        self.state.closed.store(true, Ordering::Release);
+        self.state.closed.store(true, Ordering::Release); // ordering-ok: Release pairs with dead()'s Acquire; after this no pop can be ordered later
     }
 }
 
@@ -933,7 +940,22 @@ impl ServeClient {
                         // give the reply channel one last look.
                         return match reply_rx.try_recv() {
                             Ok(result) => Ok(result),
-                            Err(_) => Err(self.death_cause()),
+                            Err(TryRecvError::Empty) => {
+                                // No reply and the reply sender still lives:
+                                // the request sits in the queue, unpopped.
+                                // `dead()` is permanent (workers only leave
+                                // it, never rejoin), so the worker-side
+                                // `record_queue_exit` will never run for
+                                // this message — un-count it here or the
+                                // gauge leaks one slot per stranded request
+                                // for the rest of the process.
+                                self.metrics.record_queue_exit();
+                                Err(self.death_cause())
+                            }
+                            // Disconnected: a worker popped the request
+                            // (recording the exit) and dropped the reply
+                            // with its panicked batch — nothing to undo.
+                            Err(TryRecvError::Disconnected) => Err(self.death_cause()),
                         };
                     }
                 }
@@ -1158,6 +1180,26 @@ mod tests {
     }
 
     #[test]
+    fn stranded_requests_do_not_leak_the_queue_gauge() {
+        // A request enqueued after shutdown sits behind the markers forever:
+        // no worker records its queue exit, so the bailing client must —
+        // otherwise every stranded request inflates the depth gauge for the
+        // life of the process (and drags the high-water mark with it).
+        let service = TopKService::start(snapshot(6), config());
+        let client = service.client();
+        let metrics = service.metrics_handle();
+        drop(service);
+        for _ in 0..3 {
+            assert_eq!(client.recommend(0, 3, &[]), Err(ServeError::Shutdown));
+        }
+        assert_eq!(
+            metrics.queue_depth(),
+            0,
+            "stranded requests leaked the queue-depth gauge"
+        );
+    }
+
+    #[test]
     fn worker_panic_is_surfaced_with_its_message() {
         // item_block = 0 is a config error that only explodes inside the
         // scorer — it stands in for any scoring-time panic.  With a zero
@@ -1379,5 +1421,117 @@ mod tests {
         }
         assert_eq!(service.poisoned(), None);
         assert_eq!(service.metrics().worker_restarts, 4);
+    }
+}
+
+/// Model-checked regression for the PR 3 shutdown-vs-enqueue race.
+///
+/// The race: a request enqueued concurrently with the drop path's shutdown
+/// markers can land *behind* the marker in the MPMC queue; the worker exits
+/// at the marker, so the request is never popped and — before PR 3 — its
+/// client waited on the reply channel forever.  The fix gave clients the
+/// [`PoolState`] liveness signal ([`PoolState::dead`]): once the pool can
+/// no longer serve, the timeout loop bails.
+///
+/// The model abstracts the crossbeam channel as a loom-`Mutex`ed FIFO (the
+/// channel itself is uninstrumented and FIFO is its only property used
+/// here) but runs the **real** [`PoolState`]/[`AliveGuard`] liveness
+/// machinery.  One thread races the client's enqueue; the other plays the
+/// drop path: marker enqueue, worker drain-until-marker, worker exit,
+/// closed flag.  At quiescence the client is exactly in the state the wait
+/// loop would be stuck in, so the pinned invariant is:
+/// `reply_received || dead()` — no interleaving may leave a client with
+/// no reply *and* no liveness signal.
+#[cfg(all(test, cumf_model_check))]
+mod model_tests {
+    use super::PoolState;
+    use crate::sync::atomic::{AtomicBool, Ordering};
+    use crate::sync::{Arc, Mutex};
+    use loom::thread;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Item {
+        Request,
+        ShutdownMarker,
+    }
+
+    /// Runs the scenario; `liveness_signal` gates whether the client gets
+    /// to consult [`PoolState::dead`] (true = PR 3 behaviour, false = the
+    /// pre-fix client that only ever waits for a reply).
+    fn run_shutdown_scenario(liveness_signal: bool) -> loom::Stats {
+        loom::Builder::new().preemption_bound(3).check(move || {
+            let state = Arc::new(PoolState::default());
+            state.alive_workers.store(1, Ordering::Release);
+            let queue: Arc<Mutex<Vec<Item>>> = Arc::new(Mutex::new(Vec::new()));
+            let reply_received = Arc::new(AtomicBool::new(false));
+
+            let (q2, s2, r2) = (
+                Arc::clone(&queue),
+                Arc::clone(&state),
+                Arc::clone(&reply_received),
+            );
+            // Drop path + worker: marker in, drain to the marker (serving
+            // anything queued ahead of it), worker exit, closed flag.
+            let shutdown = thread::spawn(move || {
+                q2.lock().expect("model queue").push(Item::ShutdownMarker);
+                let drained = std::mem::take(&mut *q2.lock().expect("model queue"));
+                for item in drained {
+                    match item {
+                        Item::Request => r2.store(true, Ordering::Release),
+                        Item::ShutdownMarker => break,
+                    }
+                }
+                s2.alive_workers.fetch_sub(1, Ordering::AcqRel); // AliveGuard drop
+                s2.closed.store(true, Ordering::Release);
+            });
+
+            // Client: enqueue races the marker; then observe the terminal
+            // state of the wait loop.
+            queue.lock().expect("model queue").push(Item::Request);
+            // Two bounded wait-loop polls (the real client's timeout ticks)
+            // racing the drop path's flag writes — mid-shutdown reads of
+            // `dead()` are part of the explored window, not just its final
+            // value at quiescence.
+            for _ in 0..2 {
+                if reply_received.load(Ordering::Acquire) || (liveness_signal && state.dead()) {
+                    break;
+                }
+            }
+            shutdown.join().expect("model thread");
+            let got_reply = reply_received.load(Ordering::Acquire);
+            let can_bail = liveness_signal && state.dead();
+            assert!(
+                got_reply || can_bail,
+                "client stranded: no reply and no liveness signal"
+            );
+        })
+    }
+
+    #[test]
+    fn shutdown_race_clients_always_get_reply_or_liveness_signal() {
+        let stats = run_shutdown_scenario(true);
+        assert!(
+            stats.interleavings >= 100,
+            "scenario explored only {} interleavings",
+            stats.interleavings
+        );
+        assert!(!stats.nondeterminism);
+    }
+
+    /// Mutation direction: strip the liveness signal (the pre-PR 3 client)
+    /// and the checker must find a stranding interleaving — proving the
+    /// scenario actually exercises the race rather than vacuously passing.
+    #[test]
+    fn checker_finds_stranded_client_without_liveness_signal() {
+        let result = std::panic::catch_unwind(|| run_shutdown_scenario(false));
+        let payload = result.expect_err("pre-PR 3 client must strand in some interleaving");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("failure carries a message");
+        assert!(
+            message.contains("client stranded"),
+            "unexpected failure: {message}"
+        );
     }
 }

@@ -19,9 +19,9 @@
 //! key hash so a scorer worker pool shares one logical cache without
 //! serializing on a single mutex.
 
+use crate::sync::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::hash::{DefaultHasher, Hash, Hasher};
-use std::sync::Mutex;
 
 /// Cache key: the full identity of a request, exclusion list included —
 /// two requests for the same user with different exclusions must never
@@ -383,7 +383,7 @@ impl ShardedResultCache {
     /// Locks one shard; a shard poisoned by a panicking worker keeps
     /// serving — every cache operation leaves the LRU structure consistent,
     /// so the contents are still valid.
-    fn lock(shard: &Mutex<ResultCache>) -> std::sync::MutexGuard<'_, ResultCache> {
+    fn lock(shard: &Mutex<ResultCache>) -> crate::sync::MutexGuard<'_, ResultCache> {
         shard
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())

@@ -31,9 +31,9 @@
 //! (re-deriving the layout), and the serving tier republishes the compacted
 //! snapshot through the ordinary hot-swap path.
 
+use crate::sync::Arc;
 use cumf_linalg::topk::DEFAULT_ITEM_BLOCK;
 use cumf_linalg::{block_max_norms, item_norms, FactorMatrix, SegmentView};
-use std::sync::Arc;
 
 /// Stored row order of each [`ItemStore`] segment.
 ///

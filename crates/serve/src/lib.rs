@@ -83,12 +83,14 @@
 //! assert!(recs.iter().all(|(item, _)| !seen.contains(item)));
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod batcher;
 pub mod cache;
 pub mod itemstore;
 pub mod metrics;
 pub mod recall;
 pub mod snapshot;
+pub mod sync;
 pub mod topk;
 
 pub use batcher::{RequestMode, ServeClient, ServeConfig, ServeError, TopKService, Tracer};

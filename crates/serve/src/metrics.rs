@@ -29,10 +29,10 @@
 //! and the **window** since the previous `window_report` call, diffed
 //! bucket-by-bucket via [`HistogramSnapshot::since`].
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
 use cumf_linalg::PruneStats;
 use cumf_obs::{Exporter, Histogram, HistogramSnapshot};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
 /// Number of histogram buckets: batch sizes `1, 2–3, 4–7, …, ≥128`.
@@ -123,33 +123,33 @@ impl ServeMetrics {
 
     /// Records one request entering the batcher.
     pub fn record_request(&self) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
     }
 
     /// Records one reply sent.
     pub fn record_response(&self) {
-        self.responses.fetch_add(1, Ordering::Relaxed);
+        self.responses.fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
     }
 
     /// Records a result served from the cache.
     pub fn record_cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
     }
 
     /// Records a result that had to be scored.
     pub fn record_cache_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
     }
 
     /// Records one coalesced micro-batch of `size` requests scored in
     /// `latency`.
     pub fn record_batch(&self, size: usize, latency: Duration) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batch_items.fetch_add(size as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
+        self.batch_items.fetch_add(size as u64, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
         let bucket = (usize::BITS - 1)
             .saturating_sub(size.max(1).leading_zeros())
             .min(BATCH_SIZE_BUCKETS as u32 - 1) as usize;
-        self.batch_size_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        self.batch_size_hist[bucket].fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
         self.batch_latency.record(latency);
     }
 
@@ -170,30 +170,30 @@ impl ServeMetrics {
     ///
     /// [`record_queue_exit`]: ServeMetrics::record_queue_exit
     pub fn record_queue_enter(&self) {
-        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
-        self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1; // relaxed-ok: atomic +1 keeps the gauge balanced; no payload is published through it
+        self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed); // relaxed-ok: monotonic max of this thread's own post-increment depth
     }
 
     /// Records a request leaving the batcher queue (popped by a worker, or
     /// un-counts a failed send).
     pub fn record_queue_exit(&self) {
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed); // relaxed-ok: the matching -1; atomicity alone keeps the gauge balanced
     }
 
     /// Requests currently queued (an instantaneous gauge).
     pub fn queue_depth(&self) -> u64 {
-        self.queue_depth.load(Ordering::Relaxed)
+        self.queue_depth.load(Ordering::Relaxed) // relaxed-ok: instantaneous gauge read, report-only
     }
 
     /// Records a snapshot hot-swap.
     pub fn record_swap(&self) {
-        self.snapshot_swaps.fetch_add(1, Ordering::Relaxed);
+        self.snapshot_swaps.fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
     }
 
     /// Records a swap that went through the incremental delta path (also
     /// counted in `snapshot_swaps`).
     pub fn record_delta_publish(&self) {
-        self.delta_publishes.fetch_add(1, Ordering::Relaxed);
+        self.delta_publishes.fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
     }
 
     /// Records how long a snapshot/delta publication took from the
@@ -205,19 +205,19 @@ impl ServeMetrics {
     /// Records an item-segment compaction republish (also counted in
     /// `snapshot_swaps`).
     pub fn record_item_compaction(&self) {
-        self.item_compactions.fetch_add(1, Ordering::Relaxed);
+        self.item_compactions.fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
     }
 
     /// Records a scorer worker panicking while scoring — the panicked batch
     /// was dropped; whether capacity was lost depends on the restart
     /// budget (`worker_restarts` counts the recoveries).
     pub fn record_worker_panic(&self) {
-        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+        self.worker_panics.fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
     }
 
     /// Records a panicked worker resuming within its panic budget.
     pub fn record_worker_restart(&self) {
-        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
     }
 
     /// Records one batch's block-scan outcome: how many item blocks the
@@ -227,37 +227,37 @@ impl ServeMetrics {
     /// and approximate traffic mix.
     pub fn record_pruning(&self, stats: &PruneStats) {
         self.blocks_scored
-            .fetch_add(stats.blocks_scored, Ordering::Relaxed);
+            .fetch_add(stats.blocks_scored, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
         self.blocks_pruned
-            .fetch_add(stats.blocks_pruned, Ordering::Relaxed);
+            .fetch_add(stats.blocks_pruned, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
         self.blocks_terminated
-            .fetch_add(stats.blocks_terminated, Ordering::Relaxed);
+            .fetch_add(stats.blocks_terminated, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
     }
 
     /// Records `n` requests scored under an approximate policy (cache hits
     /// of approximate entries included — the caller counts what it serves).
     pub fn record_approx_requests(&self, n: u64) {
-        self.approx_requests.fetch_add(n, Ordering::Relaxed);
+        self.approx_requests.fetch_add(n, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
     }
 
     /// A point-in-time copy of all counters plus derived rates.  Cumulative
     /// since startup; see [`window_report`](ServeMetrics::window_report)
     /// for since-last-poll semantics.
     pub fn report(&self) -> MetricsReport {
-        let requests = self.requests.load(Ordering::Relaxed);
-        let hits = self.cache_hits.load(Ordering::Relaxed);
-        let misses = self.cache_misses.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
-        let batch_items = self.batch_items.load(Ordering::Relaxed);
+        let requests = self.requests.load(Ordering::Relaxed); // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
+        let hits = self.cache_hits.load(Ordering::Relaxed); // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
+        let misses = self.cache_misses.load(Ordering::Relaxed); // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
+        let batches = self.batches.load(Ordering::Relaxed); // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
+        let batch_items = self.batch_items.load(Ordering::Relaxed); // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
         let batch_latency = self.batch_latency.snapshot();
         MetricsReport {
             requests,
-            responses: self.responses.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
             cache_hits: hits,
             cache_misses: misses,
             batches,
             batch_size_hist: std::array::from_fn(|i| {
-                self.batch_size_hist[i].load(Ordering::Relaxed)
+                self.batch_size_hist[i].load(Ordering::Relaxed) // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
             }),
             mean_batch_size: if batches > 0 {
                 batch_items as f64 / batches as f64
@@ -278,16 +278,16 @@ impl ServeMetrics {
             stages: std::array::from_fn(|i| self.stages[i].snapshot()),
             request_e2e: self.request_e2e.snapshot(),
             publish_latency: self.publish_latency.snapshot(),
-            queue_depth_high_water: self.queue_depth_hwm.load(Ordering::Relaxed),
-            snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed),
-            delta_publishes: self.delta_publishes.load(Ordering::Relaxed),
-            item_compactions: self.item_compactions.load(Ordering::Relaxed),
-            worker_panics: self.worker_panics.load(Ordering::Relaxed),
-            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
-            blocks_scored: self.blocks_scored.load(Ordering::Relaxed),
-            blocks_pruned: self.blocks_pruned.load(Ordering::Relaxed),
-            blocks_terminated: self.blocks_terminated.load(Ordering::Relaxed),
-            approx_requests: self.approx_requests.load(Ordering::Relaxed),
+            queue_depth_high_water: self.queue_depth_hwm.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
+            snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
+            delta_publishes: self.delta_publishes.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
+            item_compactions: self.item_compactions.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
+            worker_panics: self.worker_panics.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
+            blocks_scored: self.blocks_scored.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
+            blocks_pruned: self.blocks_pruned.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
+            blocks_terminated: self.blocks_terminated.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
+            approx_requests: self.approx_requests.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
         }
     }
 

@@ -15,9 +15,9 @@
 //! it never changes the score of an item it did return.
 
 use crate::snapshot::FactorSnapshot;
+use crate::sync::Arc;
 use crate::topk::{Query, ScoreKind, TopKIndex};
 use cumf_linalg::{ApproxPolicy, PruneStats};
-use std::sync::Arc;
 
 /// Outcome of one [`measure_recall`] run: per-query recall aggregates plus
 /// both sides' block-scan counters.

@@ -32,12 +32,12 @@
 //! in-flight batches and a batch can never observe two generations.
 
 use crate::itemstore::{ItemLayout, ItemStore};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, RwLock};
 use cumf_core::checkpoint::Checkpoint;
 use cumf_core::trainer::MatrixFactorizer;
 use cumf_linalg::{retrieve_top_k_segments, FactorMatrix, PruneStats};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
 
 /// Rows per copy-on-write user-factor block.  Small enough that updating one
 /// user copies at most `USER_COW_ROWS · f` floats (the `O(u·f)` bound of a
@@ -114,6 +114,7 @@ impl UserFactors {
             bytes += app.data().len() * 4;
             let mut tail: Vec<f32> = if !n.is_multiple_of(USER_COW_ROWS) {
                 // Copy the partial last block once to extend it in place.
+                // lint-ok: serve-unwrap n % USER_COW_ROWS != 0 guarantees a block
                 let last = blocks.pop().expect("partial tail implies a block");
                 let staged = copied.remove(&blocks.len());
                 let tail = staged.unwrap_or_else(|| {
@@ -628,12 +629,14 @@ impl SnapshotStore {
 
     /// The snapshot to serve the next batch from.
     pub fn load(&self) -> Arc<FactorSnapshot> {
+        // lint-ok: serve-unwrap poisoning means a publisher panicked mid-swap;
+        // serving a possibly half-installed snapshot would be worse than dying
         Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
     }
 
     /// Generation of the currently-published snapshot.
     pub fn generation(&self) -> u64 {
-        self.generation.load(Ordering::Acquire)
+        self.generation.load(Ordering::Acquire) // ordering-ok: Acquire pairs with the AcqRel bump under the publishers' write lock
     }
 
     /// Publishes a new snapshot, returning its generation.  Queries that
@@ -642,8 +645,9 @@ impl SnapshotStore {
     /// pointer swap happen under one write lock, so concurrent publishers
     /// serialize and generations can never be installed out of order.
     pub fn publish(&self, mut snapshot: FactorSnapshot) -> u64 {
+        // lint-ok: serve-unwrap propagate a poisoned store rather than publish over it
         let mut current = self.current.write().expect("snapshot lock poisoned");
-        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1; // ordering-ok: AcqRel under the write lock; lock-free generation() readers see bumps in publish order
         snapshot.generation = generation;
         *current = Arc::new(snapshot);
         generation
@@ -671,6 +675,7 @@ impl SnapshotStore {
         mut snapshot: FactorSnapshot,
         base_generation: u64,
     ) -> Result<u64, DeltaError> {
+        // lint-ok: serve-unwrap propagate a poisoned store rather than publish over it
         let mut current = self.current.write().expect("snapshot lock poisoned");
         if current.generation != base_generation {
             return Err(DeltaError::StaleBase {
@@ -678,7 +683,7 @@ impl SnapshotStore {
                 current: current.generation,
             });
         }
-        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1; // ordering-ok: AcqRel under the write lock; lock-free generation() readers see bumps in publish order
         snapshot.generation = generation;
         *current = Arc::new(snapshot);
         Ok(generation)

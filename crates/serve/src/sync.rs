@@ -1,0 +1,8 @@
+//! Synchronization facade for `cumf-serve` — one re-export of
+//! [`cumf_obs::sync`] so both facade-covered crates switch on the same
+//! `cumf_model_check` cfg from a single definition.  See that module for
+//! the full contract.
+
+// lint-ok-file: sync-facade this module IS the facade re-export.
+
+pub use cumf_obs::sync::*;

@@ -32,6 +32,7 @@
 //! ([`TopKIndex::query_batch_stats`]).
 
 use crate::snapshot::FactorSnapshot;
+use crate::sync::Arc;
 use cumf_linalg::topk::NORM_BOUND_SLACK;
 use cumf_linalg::{
     batch_score_segment, block_max_norms, merge_top_k, suffix_max_norms, ApproxPolicy, PruneStats,
@@ -40,7 +41,6 @@ use cumf_linalg::{
 use rayon::prelude::*;
 use std::collections::HashSet;
 use std::ops::Range;
-use std::sync::Arc;
 
 /// One shard's partial output for a user tile: per-query top-k lists plus
 /// the shard's pruning counters.
@@ -307,6 +307,7 @@ impl TopKIndex {
     pub fn query_batch_stats(&self, queries: &[Query]) -> (Vec<Vec<(u32, f32)>>, PruneStats) {
         let ranges = self.shard_ranges();
         if ranges.len() == 1 {
+            // lint-ok: serve-unwrap guarded by the ranges.len() == 1 branch
             let range = ranges.into_iter().next().expect("one shard");
             let tiles: Vec<TilePartials> = queries
                 .par_chunks(USER_TILE)

@@ -18,6 +18,7 @@
 //! while row/column pointer arrays are `usize` so that `Nz` may exceed
 //! `u32::MAX` if a user generates a very large matrix.
 
+#![forbid(unsafe_code)]
 pub mod coo;
 pub mod csc;
 pub mod csr;

@@ -1,0 +1,379 @@
+//! Vendored dependency-free stand-in for the `loom` permutation-testing
+//! crate (<https://github.com/tokio-rs/loom>), API-compatible for the
+//! subset this workspace uses.
+//!
+//! [`model`] runs a closure many times, each time under a cooperative
+//! scheduler that forces a different interleaving of the closure's
+//! instrumented operations ([`sync::atomic`] atomics, [`sync::Mutex`],
+//! [`sync::RwLock`], [`thread::spawn`]/join).  The default strategy is a
+//! CHESS-style depth-first enumeration bounded by a **preemption budget**
+//! (2 by default): every schedule reachable with at most that many forced
+//! context switches is explored.  A found failure panics with the full
+//! schedule trace; because executions are a pure function of their
+//! schedule, re-running the same model reproduces the same failure
+//! deterministically.
+//!
+//! ## Differences from real loom
+//!
+//! - Interleavings are explored under **sequential consistency** — this
+//!   shim checks protocol/interleaving correctness (lost updates, CAS
+//!   publish ordering, torn multi-step invariants, deadlocks), not C11
+//!   weak-memory reorderings.  `Ordering` arguments are accepted and
+//!   passed through, but do not change the explored behaviours.
+//! - No `UnsafeCell`/`lazy_static` modeling (the workspace forbids
+//!   `unsafe` and uses const-init statics).
+//! - Closures run on the calling thread plus real (but strictly
+//!   one-at-a-time) OS threads, so `model` bodies may borrow locals.
+//!
+//! See `vendor/README.md` for the swap-back contract shared by all shims.
+
+pub(crate) mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::Strategy;
+
+use rt::{Execution, Schedule};
+
+/// Summary of a completed exploration, returned by [`Builder::check`].
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Distinct interleavings executed.
+    pub interleavings: usize,
+    /// `true` when the bounded schedule space was fully enumerated
+    /// (exhaustive strategy only; random runs report `false`).
+    pub complete: bool,
+    /// `true` when a replayed choice point diverged — the model closure
+    /// itself is nondeterministic and coverage is best-effort.
+    pub nondeterminism: bool,
+}
+
+/// Configures and runs a model exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Builder {
+    /// Preemption budget for the exhaustive strategy (CHESS bound).
+    /// Switches at blocking or thread exit are free; only a switch away
+    /// from a thread that could have continued costs budget.
+    pub max_preemptions: usize,
+    /// Safety cap on the number of interleavings executed.  Hitting it
+    /// stops exploration with `Stats::complete == false` rather than
+    /// failing.
+    pub max_iterations: usize,
+    /// Per-interleaving instrumented-step budget; exceeding it aborts the
+    /// model (livelock / unbounded loop guard).
+    pub max_steps: usize,
+    /// Schedule selection strategy.
+    pub strategy: Strategy,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self {
+            max_preemptions: 2,
+            max_iterations: 100_000,
+            max_steps: 50_000,
+            strategy: Strategy::Exhaustive,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounded-exhaustive configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Switches to seeded random exploration for `iterations` runs.
+    pub fn random(mut self, seed: u64, iterations: usize) -> Self {
+        self.strategy = Strategy::Random { seed, iterations };
+        self
+    }
+
+    /// Sets the preemption budget.
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.max_preemptions = bound;
+        self
+    }
+
+    /// Explores `f` under every schedule the strategy yields.  Panics on
+    /// the first failing interleaving, with the schedule trace embedded in
+    /// the message so the failure is identifiable and reproducible (the
+    /// same builder + closure always fails on the same interleaving).
+    pub fn check<F: Fn()>(&self, f: F) -> Stats {
+        let mut schedule = Some(Schedule::new(self.strategy, self.max_preemptions));
+        let mut interleavings = 0usize;
+        let mut nondeterminism = false;
+        loop {
+            let exec = Execution::new(
+                schedule.take().expect("schedule threaded through each run"),
+                self.max_steps,
+            );
+            rt::run_root(&exec, &f);
+            if exec.aborted() {
+                // Unpark blocked threads so they unwind and finish before
+                // the failure is reported.
+                exec.force_teardown();
+            }
+            let (mut sched, abort, abort_reason, trace) = exec.take_outcome();
+            interleavings += 1;
+            sched.runs_counter = interleavings;
+            nondeterminism |= sched.nondeterminism;
+            if let Some(reason) = abort_reason {
+                panic!(
+                    "loom: model failed on interleaving #{interleavings} \
+                     ({:?}, max_preemptions={}): {reason}",
+                    self.strategy, self.max_preemptions
+                );
+            }
+            if let Some(payload) = abort {
+                let cause = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                panic!(
+                    "loom: model failed on interleaving #{interleavings} \
+                     ({:?}, max_preemptions={}): {cause}; schedule trace: {trace:?}",
+                    self.strategy, self.max_preemptions
+                );
+            }
+            if interleavings >= self.max_iterations {
+                return Stats {
+                    interleavings,
+                    complete: false,
+                    nondeterminism,
+                };
+            }
+            if !sched.advance() {
+                return Stats {
+                    interleavings,
+                    complete: matches!(self.strategy, Strategy::Exhaustive),
+                    nondeterminism,
+                };
+            }
+            schedule = Some(sched);
+        }
+    }
+}
+
+/// Explores `f` with the default bounded-exhaustive [`Builder`] — the
+/// drop-in equivalent of real loom's `loom::model`.
+pub fn model<F: Fn()>(f: F) {
+    Builder::new().check(f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn failure_message(r: std::thread::Result<()>) -> String {
+        let payload = r.expect_err("model should have failed");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("failure payload is a message")
+    }
+
+    #[test]
+    fn mutex_preserves_mutual_exclusion() {
+        let stats = Builder::new().check(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let m2 = Arc::clone(&m);
+            let h = thread::spawn(move || {
+                for _ in 0..3 {
+                    let mut g = m2.lock().expect("model mutex");
+                    let v = *g;
+                    thread::yield_now();
+                    *g = v + 1;
+                }
+            });
+            for _ in 0..3 {
+                let mut g = m.lock().expect("model mutex");
+                let v = *g;
+                thread::yield_now();
+                *g = v + 1;
+            }
+            h.join().expect("model thread");
+            assert_eq!(*m.lock().expect("model mutex"), 6);
+        });
+        assert!(stats.complete, "bounded space should be enumerable");
+        assert!(!stats.nondeterminism);
+    }
+
+    #[test]
+    fn detects_lost_update_between_unsynchronized_threads() {
+        // Classic racy read-modify-write: load, yield, store.  Some
+        // interleaving loses an increment, and the checker must find it.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            model(|| {
+                let n = Arc::new(AtomicUsize::new(0));
+                let n2 = Arc::clone(&n);
+                let h = thread::spawn(move || {
+                    let v = n2.load(Ordering::SeqCst);
+                    n2.store(v + 1, Ordering::SeqCst);
+                });
+                let v = n.load(Ordering::SeqCst);
+                n.store(v + 1, Ordering::SeqCst);
+                h.join().expect("model thread");
+                assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+            });
+        }));
+        let msg = failure_message(result);
+        assert!(msg.contains("lost update"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn failing_interleaving_reproduces_deterministically() {
+        // The same model run twice must fail on the same interleaving with
+        // the same schedule trace — that is the reproducibility contract.
+        let run = || {
+            failure_message(catch_unwind(AssertUnwindSafe(|| {
+                model(|| {
+                    let n = Arc::new(AtomicUsize::new(0));
+                    let n2 = Arc::clone(&n);
+                    let h = thread::spawn(move || {
+                        let v = n2.load(Ordering::SeqCst);
+                        n2.store(v + 1, Ordering::SeqCst);
+                    });
+                    let v = n.load(Ordering::SeqCst);
+                    n.store(v + 1, Ordering::SeqCst);
+                    h.join().expect("model thread");
+                    assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+                });
+            })))
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second, "failure must replay bit-for-bit");
+        assert!(
+            first.contains("schedule trace"),
+            "failure message should carry the trace: {first}"
+        );
+    }
+
+    #[test]
+    fn detects_deadlock_from_inverted_lock_order() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let h = thread::spawn(move || {
+                    let _ga = a2.lock().expect("model mutex");
+                    thread::yield_now();
+                    let _gb = b2.lock().expect("model mutex");
+                });
+                let _gb = b.lock().expect("model mutex");
+                thread::yield_now();
+                let _ga = a.lock().expect("model mutex");
+                drop((_gb, _ga));
+                h.join().expect("model thread");
+            });
+        }));
+        let msg = failure_message(result);
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn bounded_mode_explores_at_least_100_interleavings() {
+        // Two threads with a handful of instrumented steps each: the
+        // preemption-bounded space must still contain >= 100 schedules
+        // (the ISSUE's floor for real scenarios).
+        let stats = Builder::new().preemption_bound(3).check(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let h = thread::spawn(move || {
+                for _ in 0..6 {
+                    n2.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            for _ in 0..6 {
+                n.fetch_add(1, Ordering::SeqCst);
+            }
+            h.join().expect("model thread");
+            assert_eq!(n.load(Ordering::SeqCst), 12);
+        });
+        assert!(
+            stats.interleavings >= 100,
+            "only {} interleavings explored",
+            stats.interleavings
+        );
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn join_returns_the_thread_value() {
+        model(|| {
+            let h = thread::spawn(|| 40 + 2);
+            assert_eq!(h.join().expect("model thread"), 42);
+        });
+    }
+
+    #[test]
+    fn random_strategy_is_seed_deterministic() {
+        let explore = |seed| {
+            let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let hits2 = Arc::clone(&hits);
+            let stats = Builder::new().random(seed, 64).check(move || {
+                let flag = Arc::new(AtomicBool::new(false));
+                let flag2 = Arc::clone(&flag);
+                let h = thread::spawn(move || flag2.store(true, Ordering::SeqCst));
+                if flag.load(Ordering::SeqCst) {
+                    // Observed only under schedules that run the child
+                    // before the parent's load.
+                    hits2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                }
+                h.join().expect("model thread");
+            });
+            (
+                stats.interleavings,
+                hits.load(std::sync::atomic::Ordering::SeqCst),
+            )
+        };
+        let a = explore(0xC0FFEE);
+        let b = explore(0xC0FFEE);
+        assert_eq!(a, b, "same seed must explore the same schedules");
+        assert_eq!(a.0, 64);
+        let c = explore(0xBEEF);
+        // Different seeds give a different (but still deterministic)
+        // schedule mix; the run count is fixed either way.
+        assert_eq!(c.0, 64);
+    }
+
+    #[test]
+    fn instrumented_types_degrade_gracefully_outside_a_model() {
+        // No active execution: every op must behave exactly like std.
+        let n = AtomicUsize::new(1);
+        assert_eq!(n.fetch_add(1, Ordering::SeqCst), 1);
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+        let m = Mutex::new(7u32);
+        *m.lock().expect("plain mutex") += 1;
+        assert_eq!(*m.lock().expect("plain mutex"), 8);
+        let b = AtomicBool::new(false);
+        assert!(!b.swap(true, Ordering::SeqCst));
+    }
+
+    #[test]
+    fn step_budget_catches_unbounded_loops() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Builder {
+                max_steps: 200,
+                ..Builder::new()
+            }
+            .check(|| {
+                let n = AtomicUsize::new(0);
+                loop {
+                    if n.fetch_add(1, Ordering::SeqCst) > 1_000_000 {
+                        break;
+                    }
+                }
+            });
+        }));
+        let msg = failure_message(result);
+        assert!(msg.contains("steps"), "unexpected failure: {msg}");
+    }
+}

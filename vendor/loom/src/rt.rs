@@ -1,0 +1,571 @@
+//! The model-checking runtime: a cooperative scheduler over real OS
+//! threads.
+//!
+//! Exactly **one** model thread runs at any instant.  Every instrumented
+//! operation (an atomic access, a lock acquisition, a spawn, a join) calls
+//! [`yield_point`], which hands control to the scheduler; the scheduler
+//! consults the current [`Schedule`] to decide which runnable thread
+//! proceeds.  Because the threads only ever interleave at these points and
+//! the decision sequence is recorded, an execution is a pure function of
+//! its schedule — re-running the same schedule replays the same
+//! interleaving bit-for-bit, which is what makes a found race
+//! *deterministically reproducible*.
+//!
+//! Exploration is the CHESS-style bounded search: the scheduler enumerates
+//! schedules depth-first, bounding the number of **preemptions** (a switch
+//! away from a thread that could have kept running; switches at blocking
+//! or termination are free).  Most real concurrency bugs manifest within
+//! two preemptions, so the bounded search covers the interesting
+//! interleavings at a tiny fraction of the full factorial cost.  A seeded
+//! random strategy is available for state spaces too large to enumerate.
+//!
+//! ## Semantic scope
+//!
+//! Interleavings are explored under **sequential consistency**: the shim
+//! validates protocol/interleaving correctness (lost updates, ordering of
+//! CAS publishes, torn multi-step invariants, deadlocks), not C11 weak
+//! memory.  Weak-memory hygiene is covered by the `cumf-check` lint pass
+//! (every `Relaxed` justified) and the best-effort Miri/TSan CI lanes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Sentinel payload for the "unwind quietly, the model is aborting" panic
+/// used to tear down threads blocked in the scheduler.
+pub(crate) struct ModelAbort;
+
+thread_local! {
+    static CONTEXT: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// What a not-currently-running model thread is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Resource {
+    /// A lock (keyed by the primitive's address).
+    Lock(usize),
+    /// Another model thread's termination (keyed by tid).
+    Thread(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    Blocked(Resource),
+    Finished,
+}
+
+/// One scheduling decision: the runnable candidates at a choice point
+/// (continuation-first, then ascending tid) and which was chosen.
+#[derive(Debug, Clone)]
+struct ChoicePoint {
+    candidates: Vec<usize>,
+    chosen: usize,
+    /// Whether `candidates[0]` is the previously-running thread (so picking
+    /// any other index costs a preemption).
+    has_continuation: bool,
+    /// Preemptions consumed by the prefix strictly before this point.
+    preemptions_before: usize,
+}
+
+/// How the scheduler explores interleavings (see [`crate::Builder`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Depth-first enumeration of every schedule within the preemption
+    /// bound (complete unless the iteration cap truncates it).
+    Exhaustive,
+    /// Seeded pseudo-random scheduling for `iterations` runs — for state
+    /// spaces too large to enumerate; the same seed explores the same
+    /// schedules.
+    Random {
+        /// Seed of the xorshift decision stream.
+        seed: u64,
+        /// Number of runs.
+        iterations: usize,
+    },
+}
+
+/// The cross-run exploration state: a decision prefix (DFS) or a PRNG
+/// stream (random), plus the trace of the current run.
+pub(crate) struct Schedule {
+    strategy: Strategy,
+    max_preemptions: usize,
+    prefix: Vec<ChoicePoint>,
+    /// Cursor into `prefix` during a run.
+    pos: usize,
+    /// xorshift state (random strategy).
+    rng: u64,
+    /// Chosen tids of the current run, for failure reports.
+    trace: Vec<usize>,
+    /// Set when a replayed choice point's candidates diverged — the model
+    /// closure is not deterministic, so DFS results are best-effort.
+    pub(crate) nondeterminism: bool,
+    /// Completed runs (maintained by the model loop; consulted only by the
+    /// random strategy's continuation test).
+    pub(crate) runs_counter: usize,
+}
+
+impl Schedule {
+    pub(crate) fn new(strategy: Strategy, max_preemptions: usize) -> Self {
+        let rng = match strategy {
+            Strategy::Random { seed, .. } => seed | 1,
+            Strategy::Exhaustive => 1,
+        };
+        Self {
+            strategy,
+            max_preemptions,
+            prefix: Vec::new(),
+            pos: 0,
+            rng,
+            trace: Vec::new(),
+            nondeterminism: false,
+            runs_counter: 0,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* — deterministic, seed-stable across platforms.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Decides which of `candidates` (continuation-first ordering) runs
+    /// next.  Records the decision for replay/backtracking.
+    fn decide(&mut self, candidates: Vec<usize>, has_continuation: bool) -> usize {
+        debug_assert!(!candidates.is_empty());
+        let preemptions_before = self.preemptions_up_to(self.pos);
+        let chosen = match self.strategy {
+            Strategy::Exhaustive => {
+                if self.pos < self.prefix.len() {
+                    // Replaying the prefix.
+                    let cp = &self.prefix[self.pos];
+                    if cp.candidates != candidates {
+                        self.nondeterminism = true;
+                    }
+                    cp.chosen.min(candidates.len() - 1)
+                } else {
+                    // Fresh territory: take the non-preemptive default and
+                    // record the point for later backtracking.
+                    self.prefix.push(ChoicePoint {
+                        candidates: candidates.clone(),
+                        chosen: 0,
+                        has_continuation,
+                        preemptions_before,
+                    });
+                    0
+                }
+            }
+            Strategy::Random { .. } => {
+                let i = (self.next_u64() % candidates.len() as u64) as usize;
+                self.prefix.push(ChoicePoint {
+                    candidates: candidates.clone(),
+                    chosen: i,
+                    has_continuation,
+                    preemptions_before,
+                });
+                i
+            }
+        };
+        self.pos += 1;
+        let tid = candidates[chosen];
+        self.trace.push(tid);
+        tid
+    }
+
+    fn preemptions_up_to(&self, pos: usize) -> usize {
+        self.prefix[..pos.min(self.prefix.len())]
+            .iter()
+            .filter(|cp| cp.has_continuation && cp.chosen != 0)
+            .count()
+    }
+
+    /// Advances DFS to the next unexplored schedule.  Returns `false` when
+    /// the bounded space is exhausted.
+    pub(crate) fn advance(&mut self) -> bool {
+        if let Strategy::Random { iterations, .. } = self.strategy {
+            self.prefix.clear();
+            self.pos = 0;
+            self.trace.clear();
+            return self.runs_done() < iterations;
+        }
+        while let Some(mut cp) = self.prefix.pop() {
+            // The prefix just shrank, so this is cp's own preemption count.
+            let preemptions = self.preemptions_up_to(self.prefix.len());
+            let budget_left = preemptions < self.max_preemptions;
+            let next = cp.chosen + 1;
+            if next < cp.candidates.len() {
+                // Every alternative beyond index 0 is a preemption when a
+                // continuation exists; only take it within budget.
+                let preemptive = cp.has_continuation;
+                if !preemptive || budget_left {
+                    cp.chosen = next;
+                    cp.preemptions_before = preemptions;
+                    self.prefix.push(cp);
+                    self.pos = 0;
+                    self.trace.clear();
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn runs_done(&self) -> usize {
+        self.runs_counter
+    }
+}
+
+struct Shared {
+    threads: Vec<ThreadState>,
+    /// The tid currently allowed to run (`None` once all have finished).
+    active: Option<usize>,
+    /// The previously-running tid, for continuation-first candidate order.
+    last_running: usize,
+    schedule: Schedule,
+    /// First real panic payload observed in any model thread.
+    abort: Option<Box<dyn std::any::Any + Send>>,
+    /// Human-readable reason when the abort was scheduler-initiated
+    /// (deadlock, step budget) rather than a test assertion.
+    abort_reason: Option<String>,
+    steps: usize,
+    max_steps: usize,
+}
+
+pub(crate) struct Execution {
+    shared: Mutex<Shared>,
+    cv: Condvar,
+}
+
+impl Execution {
+    pub(crate) fn new(schedule: Schedule, max_steps: usize) -> Arc<Self> {
+        Arc::new(Self {
+            shared: Mutex::new(Shared {
+                threads: vec![ThreadState::Runnable],
+                active: Some(0),
+                last_running: 0,
+                schedule,
+                abort: None,
+                abort_reason: None,
+                steps: 0,
+                max_steps,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Shared> {
+        self.shared.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Installs this execution as the calling thread's context.
+    pub(crate) fn enter(self: &Arc<Self>, tid: usize) {
+        CONTEXT.with(|c| *c.borrow_mut() = Some((Arc::clone(self), tid)));
+    }
+
+    pub(crate) fn exit() {
+        CONTEXT.with(|c| *c.borrow_mut() = None);
+    }
+
+    pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+        CONTEXT.with(|c| c.borrow().clone())
+    }
+
+    /// Registers a new model thread; returns its tid.  Counts as an
+    /// instrumented step for the spawner.
+    pub(crate) fn register_thread(self: &Arc<Self>) -> usize {
+        let mut s = self.lock();
+        s.threads.push(ThreadState::Runnable);
+        s.threads.len() - 1
+    }
+
+    /// Parks the calling OS thread until the scheduler makes `tid` active.
+    pub(crate) fn wait_until_scheduled(&self, tid: usize) {
+        let mut s = self.lock();
+        while s.active != Some(tid) {
+            if s.abort.is_some() || s.abort_reason.is_some() {
+                drop(s);
+                std::panic::panic_any(ModelAbort);
+            }
+            s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// The heart of the runtime: one instrumented step by thread `tid`.
+    /// Picks (via the schedule) who runs next and parks the caller until
+    /// it is scheduled again.
+    pub(crate) fn yield_point(&self, tid: usize) {
+        let mut s = self.lock();
+        if s.abort.is_some() || s.abort_reason.is_some() {
+            drop(s);
+            std::panic::panic_any(ModelAbort);
+        }
+        s.steps += 1;
+        if s.steps > s.max_steps {
+            s.abort_reason = Some(format!(
+                "model exceeded {} steps — livelock or unbounded loop (trace: {:?})",
+                s.max_steps, s.schedule.trace
+            ));
+            self.cv.notify_all();
+            drop(s);
+            std::panic::panic_any(ModelAbort);
+        }
+        let next = self.pick_next(&mut s, tid);
+        if next != tid {
+            s.active = Some(next);
+            s.last_running = next;
+            self.cv.notify_all();
+            while s.active != Some(tid) {
+                if s.abort.is_some() || s.abort_reason.is_some() {
+                    drop(s);
+                    std::panic::panic_any(ModelAbort);
+                }
+                s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+    }
+
+    /// Chooses the next thread to run from `current`'s yield.  `current`
+    /// must be runnable (it is mid-yield, not blocked).
+    fn pick_next(&self, s: &mut Shared, current: usize) -> usize {
+        let mut candidates: Vec<usize> = Vec::new();
+        // Continuation-first ordering: index 0 = "keep running", so DFS's
+        // first visit of every point is the preemption-free schedule.
+        if s.threads[current] == ThreadState::Runnable {
+            candidates.push(current);
+        }
+        for (tid, st) in s.threads.iter().enumerate() {
+            if tid != current && *st == ThreadState::Runnable {
+                candidates.push(tid);
+            }
+        }
+        match candidates.len() {
+            0 => unreachable!("pick_next from a non-runnable thread"),
+            1 => candidates[0],
+            _ => {
+                let has_continuation = candidates[0] == current;
+                s.schedule.decide(candidates, has_continuation)
+            }
+        }
+    }
+
+    /// Marks `tid` blocked on `resource` and schedules someone else.
+    /// Returns when `tid` is runnable and scheduled again.
+    pub(crate) fn block_on(&self, tid: usize, resource: Resource) {
+        let mut s = self.lock();
+        if s.abort.is_some() || s.abort_reason.is_some() {
+            drop(s);
+            std::panic::panic_any(ModelAbort);
+        }
+        s.threads[tid] = ThreadState::Blocked(resource);
+        let runnable: Vec<usize> = s
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| **st == ThreadState::Runnable)
+            .map(|(t, _)| t)
+            .collect();
+        if runnable.is_empty() {
+            let held = s
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, st)| matches!(st, ThreadState::Blocked(_)))
+                .map(|(t, st)| format!("thread {t} blocked on {st:?}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            s.abort_reason = Some(format!(
+                "deadlock: every live thread is blocked ({held}); trace: {:?}",
+                s.schedule.trace
+            ));
+            self.cv.notify_all();
+            drop(s);
+            std::panic::panic_any(ModelAbort);
+        }
+        let next = if runnable.len() == 1 {
+            runnable[0]
+        } else {
+            // A switch away from a *blocked* thread is free: no
+            // continuation candidate.
+            s.schedule.decide(runnable, false)
+        };
+        s.active = Some(next);
+        s.last_running = next;
+        self.cv.notify_all();
+        while s.active != Some(tid) {
+            if s.abort.is_some() || s.abort_reason.is_some() {
+                drop(s);
+                std::panic::panic_any(ModelAbort);
+            }
+            s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Wakes every thread blocked on `resource` (they become runnable and
+    /// compete at the next choice point).
+    pub(crate) fn unblock(&self, resource: Resource) {
+        let mut s = self.lock();
+        for st in s.threads.iter_mut() {
+            if *st == ThreadState::Blocked(resource) {
+                *st = ThreadState::Runnable;
+            }
+        }
+    }
+
+    /// Whether model thread `tid` has finished.
+    pub(crate) fn is_finished(&self, tid: usize) -> bool {
+        self.lock().threads[tid] == ThreadState::Finished
+    }
+
+    /// Records the first real panic payload (test assertion failures etc.).
+    pub(crate) fn record_abort(&self, payload: Box<dyn std::any::Any + Send>) {
+        if payload.downcast_ref::<ModelAbort>().is_some() {
+            return; // secondary teardown unwind, not a finding
+        }
+        let mut s = self.lock();
+        if s.abort.is_none() {
+            s.abort = Some(payload);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Marks `tid` finished, wakes joiners, and hands the token onward.
+    pub(crate) fn finish_thread(&self, tid: usize) {
+        let mut s = self.lock();
+        s.threads[tid] = ThreadState::Finished;
+        // Wake joiners.
+        for st in s.threads.iter_mut() {
+            if *st == ThreadState::Blocked(Resource::Thread(tid)) {
+                *st = ThreadState::Runnable;
+            }
+        }
+        if s.abort.is_some() || s.abort_reason.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        let runnable: Vec<usize> = s
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| **st == ThreadState::Runnable)
+            .map(|(t, _)| t)
+            .collect();
+        match runnable.len() {
+            0 => {
+                if s.threads.iter().all(|st| *st == ThreadState::Finished) {
+                    s.active = None; // execution complete
+                } else {
+                    let held = s
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, st)| matches!(st, ThreadState::Blocked(_)))
+                        .map(|(t, st)| format!("thread {t} blocked on {st:?}"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    s.abort_reason = Some(format!(
+                        "deadlock after thread {tid} exited ({held}); trace: {:?}",
+                        s.schedule.trace
+                    ));
+                }
+            }
+            1 => {
+                s.active = Some(runnable[0]);
+                s.last_running = runnable[0];
+            }
+            _ => {
+                let next = s.schedule.decide(runnable, false);
+                s.active = Some(next);
+                s.last_running = next;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Waits (on the caller's OS thread, outside the model) until every
+    /// model thread has finished or the execution aborted.
+    pub(crate) fn wait_all_finished(&self) {
+        let mut s = self.lock();
+        loop {
+            let done = s.threads.iter().all(|st| *st == ThreadState::Finished);
+            if done || s.abort.is_some() || s.abort_reason.is_some() {
+                return;
+            }
+            s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Tears down a (possibly aborted) execution: unparks everyone so
+    /// blocked threads unwind via [`ModelAbort`].
+    pub(crate) fn force_teardown(&self) {
+        let mut s = self.lock();
+        if s.abort.is_none() && s.abort_reason.is_none() {
+            s.abort_reason = Some("execution torn down".to_string());
+        }
+        self.cv.notify_all();
+        drop(s);
+        // Give unwinding threads their wake-ups until all are finished.
+        loop {
+            let s = self.lock();
+            if s.threads.iter().all(|st| *st == ThreadState::Finished) {
+                return;
+            }
+            self.cv.notify_all();
+            drop(s);
+            std::thread::yield_now();
+        }
+    }
+
+    /// Whether the execution has aborted (panic, deadlock, or step budget).
+    pub(crate) fn aborted(&self) -> bool {
+        let s = self.lock();
+        s.abort.is_some() || s.abort_reason.is_some()
+    }
+
+    pub(crate) fn take_outcome(&self) -> Outcome {
+        let mut s = self.lock();
+        let trace = s.schedule.trace.clone();
+        let schedule = std::mem::replace(&mut s.schedule, Schedule::new(Strategy::Exhaustive, 0));
+        (schedule, s.abort.take(), s.abort_reason.take(), trace)
+    }
+}
+
+/// What one finished execution hands back to [`crate::Builder::check`]:
+/// the consumed schedule, the abort payload (if any), the abort reason,
+/// and the decision trace for failure reporting.
+pub(crate) type Outcome = (
+    Schedule,
+    Option<Box<dyn std::any::Any + Send>>,
+    Option<String>,
+    Vec<usize>,
+);
+
+/// One instrumented step for the calling thread, if it is a model thread;
+/// a no-op otherwise (so instrumented types degrade to plain std behaviour
+/// outside [`crate::model`]).
+pub(crate) fn yield_point() {
+    if std::thread::panicking() {
+        // Instrumented ops reached from destructors during an abort unwind
+        // must not re-enter the scheduler (it would double-panic).
+        return;
+    }
+    if let Some((exec, tid)) = Execution::current() {
+        exec.yield_point(tid);
+    }
+}
+
+/// Runs `body` as model thread 0 of `exec` on the calling thread,
+/// capturing a panic as the execution's abort.
+pub(crate) fn run_root(exec: &Arc<Execution>, body: impl FnOnce()) {
+    exec.enter(0);
+    let result = catch_unwind(AssertUnwindSafe(body));
+    if let Err(payload) = result {
+        exec.record_abort(payload);
+    }
+    exec.finish_thread(0);
+    Execution::exit();
+    exec.wait_all_finished();
+}

@@ -1,0 +1,455 @@
+//! Instrumented drop-in replacements for the `std::sync` surface the
+//! workspace's facades cover.
+//!
+//! Every operation is a scheduler yield point; because only one model
+//! thread runs at a time the values themselves stay sequentially
+//! consistent, and the exploration comes from *where* the scheduler
+//! interleaves the threads.  Lock acquisition blocks model-aware (the
+//! scheduler knows the thread cannot progress, enabling deadlock
+//! detection) rather than OS-blocking.
+//!
+//! Outside a [`crate::model`] execution every type degrades to plain std
+//! behaviour (the yield points no-op), so a test binary compiled with the
+//! model-check cfg can still run its non-model tests.
+
+use crate::rt::{self, Execution, Resource};
+use std::sync::{LockResult, TryLockError};
+
+pub use std::sync::Arc;
+
+/// Instrumented atomics.
+pub mod atomic {
+    use super::rt;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! instrumented_atomic {
+        ($name:ident, $std:ty, $value:ty) => {
+            /// An instrumented atomic: every access is a model scheduling
+            /// point; the value itself is sequentially consistent.
+            #[derive(Debug, Default)]
+            pub struct $name(pub(crate) $std);
+
+            impl $name {
+                /// Creates a new atomic (const, so statics work).
+                pub const fn new(v: $value) -> Self {
+                    Self(<$std>::new(v))
+                }
+
+                /// Instrumented load.
+                pub fn load(&self, order: Ordering) -> $value {
+                    rt::yield_point();
+                    self.0.load(order)
+                }
+
+                /// Instrumented store.
+                pub fn store(&self, v: $value, order: Ordering) {
+                    rt::yield_point();
+                    self.0.store(v, order);
+                }
+
+                /// Instrumented swap.
+                pub fn swap(&self, v: $value, order: Ordering) -> $value {
+                    rt::yield_point();
+                    self.0.swap(v, order)
+                }
+
+                /// Instrumented compare-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $value,
+                    new: $value,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$value, $value> {
+                    rt::yield_point();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                /// Instrumented compare-exchange (spuriously-failing form;
+                /// the shim's never fails spuriously, which only prunes
+                /// retry interleavings).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $value,
+                    new: $value,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$value, $value> {
+                    rt::yield_point();
+                    self.0.compare_exchange_weak(current, new, success, failure)
+                }
+
+                /// Instrumented fetch-update loop.
+                pub fn fetch_update<F>(
+                    &self,
+                    set_order: Ordering,
+                    fetch_order: Ordering,
+                    f: F,
+                ) -> Result<$value, $value>
+                where
+                    F: FnMut($value) -> Option<$value>,
+                {
+                    rt::yield_point();
+                    self.0.fetch_update(set_order, fetch_order, f)
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $value {
+                    self.0.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! instrumented_arith {
+        ($name:ident, $value:ty) => {
+            impl $name {
+                /// Instrumented fetch_add.
+                pub fn fetch_add(&self, v: $value, order: Ordering) -> $value {
+                    rt::yield_point();
+                    self.0.fetch_add(v, order)
+                }
+
+                /// Instrumented fetch_sub.
+                pub fn fetch_sub(&self, v: $value, order: Ordering) -> $value {
+                    rt::yield_point();
+                    self.0.fetch_sub(v, order)
+                }
+
+                /// Instrumented fetch_max.
+                pub fn fetch_max(&self, v: $value, order: Ordering) -> $value {
+                    rt::yield_point();
+                    self.0.fetch_max(v, order)
+                }
+
+                /// Instrumented fetch_min.
+                pub fn fetch_min(&self, v: $value, order: Ordering) -> $value {
+                    rt::yield_point();
+                    self.0.fetch_min(v, order)
+                }
+            }
+        };
+    }
+
+    instrumented_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    instrumented_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    instrumented_atomic!(AtomicIsize, std::sync::atomic::AtomicIsize, isize);
+    instrumented_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    instrumented_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    instrumented_arith!(AtomicU64, u64);
+    instrumented_arith!(AtomicUsize, usize);
+    instrumented_arith!(AtomicIsize, isize);
+    instrumented_arith!(AtomicU32, u32);
+
+    impl AtomicBool {
+        /// Instrumented fetch_or.
+        pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+            rt::yield_point();
+            self.0.fetch_or(v, order)
+        }
+
+        /// Instrumented fetch_and.
+        pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+            rt::yield_point();
+            self.0.fetch_and(v, order)
+        }
+    }
+}
+
+/// A model-aware mutex: contended acquisition blocks in the *scheduler*
+/// (visible to deadlock detection), not the OS.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`]; releasing wakes model-blocked
+/// waiters.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    resource: usize,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex (const, so statics work).
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.0.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn resource_id(&self) -> usize {
+        self as *const _ as *const () as usize
+    }
+
+    /// Instrumented, model-blocking lock.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let resource = self.resource_id();
+        if std::thread::panicking() {
+            // During an abort unwind the scheduler must not be re-entered;
+            // other threads are concurrently unwinding and will release.
+            return match self.0.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    inner: Some(g),
+                    resource,
+                }),
+                Err(p) => Err(std::sync::PoisonError::new(MutexGuard {
+                    inner: Some(p.into_inner()),
+                    resource,
+                })),
+            };
+        }
+        loop {
+            rt::yield_point();
+            match self.0.try_lock() {
+                Ok(g) => {
+                    return Ok(MutexGuard {
+                        inner: Some(g),
+                        resource,
+                    });
+                }
+                Err(TryLockError::Poisoned(p)) => {
+                    return Err(std::sync::PoisonError::new(MutexGuard {
+                        inner: Some(p.into_inner()),
+                        resource,
+                    }));
+                }
+                Err(TryLockError::WouldBlock) => {
+                    if let Some((exec, tid)) = Execution::current() {
+                        exec.block_on(tid, Resource::Lock(resource));
+                    } else {
+                        // Outside a model: degrade to a real blocking lock.
+                        return match self.0.lock() {
+                            Ok(g) => Ok(MutexGuard {
+                                inner: Some(g),
+                                resource,
+                            }),
+                            Err(p) => Err(std::sync::PoisonError::new(MutexGuard {
+                                inner: Some(p.into_inner()),
+                                resource,
+                            })),
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Instrumented try_lock.
+    pub fn try_lock(&self) -> Result<MutexGuard<'_, T>, TryLockError<MutexGuard<'_, T>>> {
+        rt::yield_point();
+        let resource = self.resource_id();
+        match self.0.try_lock() {
+            Ok(g) => Ok(MutexGuard {
+                inner: Some(g),
+                resource,
+            }),
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            Err(TryLockError::Poisoned(p)) => Err(TryLockError::Poisoned(
+                std::sync::PoisonError::new(MutexGuard {
+                    inner: Some(p.into_inner()),
+                    resource,
+                }),
+            )),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the OS lock first, then wake model waiters.
+        self.inner.take();
+        if let Some((exec, _)) = Execution::current() {
+            exec.unblock(Resource::Lock(self.resource));
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard not yet dropped")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard not yet dropped")
+    }
+}
+
+/// A model-aware reader-writer lock (same blocking discipline as
+/// [`Mutex`]).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    resource: usize,
+}
+
+/// Guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    resource: usize,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock (const, so statics work).
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.0.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn resource_id(&self) -> usize {
+        self as *const _ as *const () as usize
+    }
+
+    /// Instrumented, model-blocking shared acquisition.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let resource = self.resource_id();
+        if std::thread::panicking() {
+            return match self.0.read() {
+                Ok(g) => Ok(RwLockReadGuard {
+                    inner: Some(g),
+                    resource,
+                }),
+                Err(p) => Err(std::sync::PoisonError::new(RwLockReadGuard {
+                    inner: Some(p.into_inner()),
+                    resource,
+                })),
+            };
+        }
+        loop {
+            rt::yield_point();
+            match self.0.try_read() {
+                Ok(g) => {
+                    return Ok(RwLockReadGuard {
+                        inner: Some(g),
+                        resource,
+                    });
+                }
+                Err(TryLockError::Poisoned(p)) => {
+                    return Err(std::sync::PoisonError::new(RwLockReadGuard {
+                        inner: Some(p.into_inner()),
+                        resource,
+                    }));
+                }
+                Err(TryLockError::WouldBlock) => {
+                    if let Some((exec, tid)) = Execution::current() {
+                        exec.block_on(tid, Resource::Lock(resource));
+                    } else {
+                        return match self.0.read() {
+                            Ok(g) => Ok(RwLockReadGuard {
+                                inner: Some(g),
+                                resource,
+                            }),
+                            Err(p) => Err(std::sync::PoisonError::new(RwLockReadGuard {
+                                inner: Some(p.into_inner()),
+                                resource,
+                            })),
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Instrumented, model-blocking exclusive acquisition.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let resource = self.resource_id();
+        if std::thread::panicking() {
+            return match self.0.write() {
+                Ok(g) => Ok(RwLockWriteGuard {
+                    inner: Some(g),
+                    resource,
+                }),
+                Err(p) => Err(std::sync::PoisonError::new(RwLockWriteGuard {
+                    inner: Some(p.into_inner()),
+                    resource,
+                })),
+            };
+        }
+        loop {
+            rt::yield_point();
+            match self.0.try_write() {
+                Ok(g) => {
+                    return Ok(RwLockWriteGuard {
+                        inner: Some(g),
+                        resource,
+                    });
+                }
+                Err(TryLockError::Poisoned(p)) => {
+                    return Err(std::sync::PoisonError::new(RwLockWriteGuard {
+                        inner: Some(p.into_inner()),
+                        resource,
+                    }));
+                }
+                Err(TryLockError::WouldBlock) => {
+                    if let Some((exec, tid)) = Execution::current() {
+                        exec.block_on(tid, Resource::Lock(resource));
+                    } else {
+                        return match self.0.write() {
+                            Ok(g) => Ok(RwLockWriteGuard {
+                                inner: Some(g),
+                                resource,
+                            }),
+                            Err(p) => Err(std::sync::PoisonError::new(RwLockWriteGuard {
+                                inner: Some(p.into_inner()),
+                                resource,
+                            })),
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some((exec, _)) = Execution::current() {
+            exec.unblock(Resource::Lock(self.resource));
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some((exec, _)) = Execution::current() {
+            exec.unblock(Resource::Lock(self.resource));
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard not yet dropped")
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard not yet dropped")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard not yet dropped")
+    }
+}

@@ -1,0 +1,103 @@
+//! Model-aware thread spawn/join.
+//!
+//! [`spawn`] registers a new **model thread** with the active execution:
+//! the OS thread it starts does not run until the scheduler hands it the
+//! token, and every handoff is a recorded scheduling decision.  Calling
+//! [`spawn`] outside [`crate::model`] panics — unlike the instrumented
+//! sync types (which degrade to plain std behaviour), an uninstrumented
+//! free-running thread inside a model would silently void the exploration
+//! guarantee, so the API refuses instead.
+
+use crate::rt::{Execution, Resource};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a spawned model thread (join is an instrumented blocking
+/// point, like std's).
+pub struct JoinHandle<T> {
+    tid: usize,
+    exec: Arc<Execution>,
+    slot: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    os_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Spawns a model thread running `f` under the active execution's
+/// scheduler.  Panics if no model is running.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, spawner) =
+        Execution::current().expect("loom::thread::spawn requires an active loom::model execution");
+    let tid = exec.register_thread();
+    let slot: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let os_handle = {
+        let exec = Arc::clone(&exec);
+        let slot = Arc::clone(&slot);
+        std::thread::spawn(move || {
+            exec.enter(tid);
+            // The scheduler wait is inside the catch: a teardown unwind
+            // raised there must still reach `finish_thread`, or the
+            // execution would never observe this thread as done.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                exec.wait_until_scheduled(tid);
+                f()
+            }));
+            match result {
+                Ok(value) => {
+                    *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(Ok(value));
+                }
+                Err(payload) => {
+                    exec.record_abort(payload);
+                    *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(Err(Box::new(
+                        "model thread panicked",
+                    )
+                        as Box<dyn std::any::Any + Send>));
+                }
+            }
+            exec.finish_thread(tid);
+            Execution::exit();
+        })
+    };
+    // The spawn itself is an instrumented step: the new thread may be
+    // scheduled before the spawner's next operation.
+    exec.yield_point(spawner);
+    JoinHandle {
+        tid,
+        exec,
+        slot,
+        os_handle: Some(os_handle),
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits (model-blocking) for the thread to finish and returns its
+    /// result.  A panicking model thread aborts the whole model, so the
+    /// `Err` arm is reachable only during teardown.
+    pub fn join(mut self) -> std::thread::Result<T> {
+        let (exec, me) = Execution::current()
+            .expect("JoinHandle::join requires an active loom::model execution");
+        loop {
+            exec.yield_point(me);
+            if self.exec.is_finished(self.tid) {
+                break;
+            }
+            exec.block_on(me, Resource::Thread(self.tid));
+        }
+        if let Some(h) = self.os_handle.take() {
+            let _ = h.join();
+        }
+        self.slot
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+            .unwrap_or_else(|| Err(Box::new("model thread produced no result")))
+    }
+}
+
+/// An instrumented scheduling point with no memory effect — a model-aware
+/// `std::thread::yield_now`.
+pub fn yield_now() {
+    crate::rt::yield_point();
+}
