@@ -7,10 +7,12 @@
 //! ALS's `O(Nz · f²)`, at the price of less progress per iteration (the
 //! trade-off §6.2 of the cuMF paper describes).
 
-use crate::{als_util, MfSolver};
+use crate::als_util;
+use cumf_core::{Engine, TrainMetrics};
 use cumf_linalg::FactorMatrix;
-use cumf_sparse::{Csc, Csr};
+use cumf_sparse::{Csc, Csr, Entry};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Hyper-parameters of the CCD++ solver.
 #[derive(Debug, Clone, PartialEq)]
@@ -165,13 +167,14 @@ impl CcdPlusPlus {
     }
 }
 
-impl MfSolver for CcdPlusPlus {
+impl Engine for CcdPlusPlus {
     fn name(&self) -> &'static str {
         "CCD++"
     }
 
-    fn iterate(&mut self) {
+    fn train_sweep(&mut self) -> f64 {
         self.sweep();
+        0.0
     }
 
     fn x(&self) -> &FactorMatrix {
@@ -180,6 +183,29 @@ impl MfSolver for CcdPlusPlus {
 
     fn theta(&self) -> &FactorMatrix {
         &self.theta
+    }
+
+    fn set_factors(&mut self, x: FactorMatrix, theta: FactorMatrix) {
+        assert_eq!(x.len(), self.x.len(), "X has the wrong number of rows");
+        assert_eq!(
+            theta.len(),
+            self.theta.len(),
+            "Θ has the wrong number of rows"
+        );
+        assert_eq!(x.rank(), self.config.f, "X has the wrong rank");
+        assert_eq!(theta.rank(), self.config.f, "Θ has the wrong rank");
+        self.x = x;
+        self.theta = theta;
+        // The residual caches r − XΘᵀ, so replacing the factors invalidates
+        // it; CCD++'s correctness depends on it being exact.
+        self.recompute_residual();
+    }
+
+    fn attach_metrics(&mut self, _metrics: Arc<TrainMetrics>) {}
+
+    fn train_rmse(&self) -> f64 {
+        let entries: Vec<Entry> = self.r.iter().collect();
+        self.rmse(&entries)
     }
 }
 
@@ -211,11 +237,11 @@ mod tests {
             },
             &r,
         );
-        let before = solver.train_rmse(&r);
+        let before = solver.train_rmse();
         for _ in 0..5 {
-            solver.iterate();
+            solver.train_sweep();
         }
-        let after = solver.train_rmse(&r);
+        let after = solver.train_rmse();
         assert!(
             after < before * 0.6,
             "CCD++ should converge: {before} -> {after}"
@@ -232,9 +258,9 @@ mod tests {
             },
             &r,
         );
-        solver.iterate();
+        solver.train_sweep();
         let maintained = solver.residual_rmse();
-        let recomputed = solver.train_rmse(&r);
+        let recomputed = solver.train_rmse();
         assert!(
             (maintained - recomputed).abs() < 1e-3,
             "residual bookkeeping drifted: {maintained} vs {recomputed}"
@@ -251,7 +277,7 @@ mod tests {
             },
             &r,
         );
-        assert!((solver.residual_rmse() - solver.train_rmse(&r)).abs() < 1e-3);
+        assert!((solver.residual_rmse() - solver.train_rmse()).abs() < 1e-3);
     }
 
     #[test]
@@ -274,9 +300,9 @@ mod tests {
             &r,
         );
         for _ in 0..3 {
-            one.iterate();
-            three.iterate();
+            one.train_sweep();
+            three.train_sweep();
         }
-        assert!(three.train_rmse(&r) <= one.train_rmse(&r) * 1.05);
+        assert!(three.train_rmse() <= one.train_rmse() * 1.05);
     }
 }

@@ -7,12 +7,14 @@
 //! and updated with relaxed loads/stores — the same "racy but memory-safe"
 //! semantics HOGWILD! relies on, without undefined behaviour.
 
-use crate::{als_util, MfSolver};
+use crate::als_util;
+use cumf_core::{Engine, TrainMetrics};
 use cumf_linalg::FactorMatrix;
 use cumf_sparse::{Csr, Entry};
 use rand::prelude::*;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// Hyper-parameters of the HOGWILD solver.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,7 +91,7 @@ pub struct HogwildSgd {
     entries: Vec<Entry>,
     x_atomic: AtomicFactors,
     theta_atomic: AtomicFactors,
-    // Cached snapshots for the MfSolver accessors.
+    // Cached snapshots for the `Engine` accessors.
     x_snapshot: FactorMatrix,
     theta_snapshot: FactorMatrix,
     epoch: usize,
@@ -149,13 +151,14 @@ impl HogwildSgd {
     }
 }
 
-impl MfSolver for HogwildSgd {
+impl Engine for HogwildSgd {
     fn name(&self) -> &'static str {
         "HOGWILD! SGD"
     }
 
-    fn iterate(&mut self) {
+    fn train_sweep(&mut self) -> f64 {
         self.epoch();
+        0.0
     }
 
     fn x(&self) -> &FactorMatrix {
@@ -164,6 +167,31 @@ impl MfSolver for HogwildSgd {
 
     fn theta(&self) -> &FactorMatrix {
         &self.theta_snapshot
+    }
+
+    fn set_factors(&mut self, x: FactorMatrix, theta: FactorMatrix) {
+        assert_eq!(
+            x.len(),
+            self.x_snapshot.len(),
+            "X has the wrong number of rows"
+        );
+        assert_eq!(
+            theta.len(),
+            self.theta_snapshot.len(),
+            "Θ has the wrong number of rows"
+        );
+        assert_eq!(x.rank(), self.config.f, "X has the wrong rank");
+        assert_eq!(theta.rank(), self.config.f, "Θ has the wrong rank");
+        self.x_atomic = AtomicFactors::from_factor_matrix(&x);
+        self.theta_atomic = AtomicFactors::from_factor_matrix(&theta);
+        self.x_snapshot = x;
+        self.theta_snapshot = theta;
+    }
+
+    fn attach_metrics(&mut self, _metrics: Arc<TrainMetrics>) {}
+
+    fn train_rmse(&self) -> f64 {
+        self.rmse(&self.entries)
     }
 }
 
@@ -195,11 +223,11 @@ mod tests {
             },
             &r,
         );
-        let before = solver.train_rmse(&r);
+        let before = solver.train_rmse();
         for _ in 0..10 {
-            solver.iterate();
+            solver.train_sweep();
         }
-        let after = solver.train_rmse(&r);
+        let after = solver.train_rmse();
         assert!(
             after < before * 0.7,
             "HOGWILD should converge: {before} -> {after}"
@@ -217,7 +245,7 @@ mod tests {
             &r,
         );
         for _ in 0..5 {
-            solver.iterate();
+            solver.train_sweep();
         }
         assert!(solver.x().data().iter().all(|v| v.is_finite()));
         assert!(solver.theta().data().iter().all(|v| v.is_finite()));
@@ -234,7 +262,7 @@ mod tests {
             &r,
         );
         let before = solver.x().clone();
-        solver.iterate();
+        solver.train_sweep();
         assert!(solver.x().max_abs_diff(&before) > 0.0);
     }
 

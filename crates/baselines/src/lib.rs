@@ -27,47 +27,28 @@ pub mod nomad;
 pub mod pals;
 pub mod spark_als;
 
-use cumf_linalg::FactorMatrix;
-use cumf_sparse::{Csr, Entry};
+pub use cumf_core::Engine;
 
-/// Common interface the benchmark harness drives every baseline through.
-pub trait MfSolver {
-    /// Human-readable solver name.
-    fn name(&self) -> &'static str;
-
+/// Compatibility alias for the pre-unification baseline interface.
+///
+/// Every baseline now implements [`cumf_core::Engine`] directly, so the
+/// benchmark harness drives the baselines and the cuMF engines through one
+/// trait.  `MfSolver` survives only so downstream code keeps compiling: it is
+/// a blanket extension of `Engine` whose sole method, [`MfSolver::iterate`],
+/// forwards to [`Engine::train_sweep`].
+#[deprecated(
+    since = "0.9.0",
+    note = "drive solvers through cumf_core::Engine; MfSolver is a compatibility alias"
+)]
+pub trait MfSolver: Engine {
     /// Runs one iteration (ALS) or one epoch (SGD/CCD).
-    fn iterate(&mut self);
-
-    /// Current user factors.
-    fn x(&self) -> &FactorMatrix;
-
-    /// Current item factors.
-    fn theta(&self) -> &FactorMatrix;
-
-    /// Root-mean-square error on an explicit set of held-out ratings.
-    fn rmse(&self, entries: &[Entry]) -> f64 {
-        if entries.is_empty() {
-            return 0.0;
-        }
-        let se: f64 = entries
-            .iter()
-            .map(|e| {
-                let p = cumf_linalg::blas::dot(
-                    self.x().vector(e.row as usize),
-                    self.theta().vector(e.col as usize),
-                );
-                ((e.val - p) as f64).powi(2)
-            })
-            .sum();
-        (se / entries.len() as f64).sqrt()
-    }
-
-    /// Root-mean-square error over the stored entries of `r`.
-    fn train_rmse(&self, r: &Csr) -> f64 {
-        let entries: Vec<Entry> = r.iter().collect();
-        self.rmse(&entries)
+    fn iterate(&mut self) {
+        self.train_sweep();
     }
 }
+
+#[allow(deprecated)]
+impl<T: Engine + ?Sized> MfSolver for T {}
 
 pub use ccd::CcdPlusPlus;
 pub use hogwild::HogwildSgd;

@@ -6,11 +6,13 @@
 //! the same row of `X` or the same column of `Θ`.  One epoch performs `T`
 //! rotations and therefore visits every rating exactly once.
 
-use crate::{als_util, MfSolver};
+use crate::als_util;
+use cumf_core::{Engine, TrainMetrics};
 use cumf_linalg::blas::dot;
 use cumf_linalg::FactorMatrix;
-use cumf_sparse::{split_ranges, Csr};
+use cumf_sparse::{split_ranges, Csr, Entry};
 use rand::prelude::*;
+use std::sync::Arc;
 
 /// Hyper-parameters of the blocked SGD solver.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +58,7 @@ struct LocalRating {
 /// libMF-style blocked SGD solver.
 pub struct LibMfSgd {
     config: LibMfConfig,
+    train_entries: Vec<Entry>,
     x: FactorMatrix,
     theta: FactorMatrix,
     row_ranges: Vec<(u32, u32)>,
@@ -107,6 +110,7 @@ impl LibMfSgd {
         );
         Self {
             config,
+            train_entries: r.iter().collect(),
             x,
             theta,
             row_ranges,
@@ -180,13 +184,14 @@ impl LibMfSgd {
     }
 }
 
-impl MfSolver for LibMfSgd {
+impl Engine for LibMfSgd {
     fn name(&self) -> &'static str {
         "libMF (blocked SGD)"
     }
 
-    fn iterate(&mut self) {
+    fn train_sweep(&mut self) -> f64 {
         self.epoch();
+        0.0
     }
 
     fn x(&self) -> &FactorMatrix {
@@ -195,6 +200,25 @@ impl MfSolver for LibMfSgd {
 
     fn theta(&self) -> &FactorMatrix {
         &self.theta
+    }
+
+    fn set_factors(&mut self, x: FactorMatrix, theta: FactorMatrix) {
+        assert_eq!(x.len(), self.x.len(), "X has the wrong number of rows");
+        assert_eq!(
+            theta.len(),
+            self.theta.len(),
+            "Θ has the wrong number of rows"
+        );
+        assert_eq!(x.rank(), self.config.f, "X has the wrong rank");
+        assert_eq!(theta.rank(), self.config.f, "Θ has the wrong rank");
+        self.x = x;
+        self.theta = theta;
+    }
+
+    fn attach_metrics(&mut self, _metrics: Arc<TrainMetrics>) {}
+
+    fn train_rmse(&self) -> f64 {
+        self.rmse(&self.train_entries)
     }
 }
 
@@ -227,11 +251,11 @@ mod tests {
             },
             &r,
         );
-        let before = solver.train_rmse(&r);
+        let before = solver.train_rmse();
         for _ in 0..10 {
-            solver.iterate();
+            solver.train_sweep();
         }
-        let after = solver.train_rmse(&r);
+        let after = solver.train_rmse();
         assert!(
             after < before * 0.7,
             "libMF should converge: {before} -> {after}"
@@ -251,10 +275,10 @@ mod tests {
                 &r,
             );
             for _ in 0..6 {
-                solver.iterate();
+                solver.train_sweep();
             }
             assert!(
-                solver.train_rmse(&r) < 0.6,
+                solver.train_rmse() < 0.6,
                 "{threads}-thread run failed to converge"
             );
         }

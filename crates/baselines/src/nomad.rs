@@ -10,12 +10,14 @@
 //! This implementation reproduces that structure with OS threads and
 //! crossbeam channels arranged in a ring.
 
-use crate::{als_util, MfSolver};
+use crate::als_util;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use cumf_core::{Engine, TrainMetrics};
 use cumf_linalg::blas::dot;
 use cumf_linalg::FactorMatrix;
-use cumf_sparse::{split_ranges, Csc, Csr};
+use cumf_sparse::{split_ranges, Csc, Csr, Entry};
 use rand::prelude::*;
+use std::sync::Arc;
 
 /// Hyper-parameters of the NOMAD solver.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +71,7 @@ struct WorkerData {
 /// NOMAD-style asynchronous SGD solver.
 pub struct NomadSgd {
     config: NomadConfig,
+    train_entries: Vec<Entry>,
     workers_data: Vec<WorkerData>,
     row_ranges: Vec<(u32, u32)>,
     x: FactorMatrix,
@@ -106,6 +109,7 @@ impl NomadSgd {
             als_util::init_factors_to_mean(r.n_cols() as usize, config.f, config.seed ^ 0x99, mean);
         Self {
             config,
+            train_entries: r.iter().collect(),
             workers_data,
             row_ranges,
             x,
@@ -208,13 +212,14 @@ impl NomadSgd {
     }
 }
 
-impl MfSolver for NomadSgd {
+impl Engine for NomadSgd {
     fn name(&self) -> &'static str {
         "NOMAD (async SGD)"
     }
 
-    fn iterate(&mut self) {
+    fn train_sweep(&mut self) -> f64 {
         self.epoch();
+        0.0
     }
 
     fn x(&self) -> &FactorMatrix {
@@ -223,6 +228,25 @@ impl MfSolver for NomadSgd {
 
     fn theta(&self) -> &FactorMatrix {
         &self.theta
+    }
+
+    fn set_factors(&mut self, x: FactorMatrix, theta: FactorMatrix) {
+        assert_eq!(x.len(), self.x.len(), "X has the wrong number of rows");
+        assert_eq!(
+            theta.len(),
+            self.theta.len(),
+            "Θ has the wrong number of rows"
+        );
+        assert_eq!(x.rank(), self.config.f, "X has the wrong rank");
+        assert_eq!(theta.rank(), self.config.f, "Θ has the wrong rank");
+        self.x = x;
+        self.theta = theta;
+    }
+
+    fn attach_metrics(&mut self, _metrics: Arc<TrainMetrics>) {}
+
+    fn train_rmse(&self) -> f64 {
+        self.rmse(&self.train_entries)
     }
 }
 
@@ -255,11 +279,11 @@ mod tests {
             },
             &r,
         );
-        let before = solver.train_rmse(&r);
+        let before = solver.train_rmse();
         for _ in 0..10 {
-            solver.iterate();
+            solver.train_sweep();
         }
-        let after = solver.train_rmse(&r);
+        let after = solver.train_rmse();
         assert!(
             after < before * 0.7,
             "NOMAD should converge: {before} -> {after}"
@@ -278,9 +302,9 @@ mod tests {
             &r,
         );
         for _ in 0..5 {
-            solver.iterate();
+            solver.train_sweep();
         }
-        assert!(solver.train_rmse(&r) < 0.6);
+        assert!(solver.train_rmse() < 0.6);
         assert_eq!(solver.n_workers(), 1);
     }
 
@@ -334,7 +358,7 @@ mod tests {
             &r,
         );
         for _ in 0..5 {
-            solver.iterate();
+            solver.train_sweep();
         }
         assert!(solver.x().data().iter().all(|v| v.is_finite()));
         assert!(solver.theta().data().iter().all(|v| v.is_finite()));

@@ -7,10 +7,12 @@
 //! this only works while `Θᵀ` is small; the [`Pals::replication_bytes`]
 //! accessor exposes exactly the quantity that blows up.
 
-use crate::{als_util, MfSolver};
+use crate::als_util;
+use cumf_core::{Engine, TrainMetrics};
 use cumf_linalg::FactorMatrix;
-use cumf_sparse::{horizontal_partition, Csr, SparseBlock};
+use cumf_sparse::{horizontal_partition, Csr, Entry, SparseBlock};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Hyper-parameters of the PALS solver.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +41,7 @@ impl Default for PalsConfig {
 /// PALS solver: row-partitioned ALS with full `Θ` replication.
 pub struct Pals {
     config: PalsConfig,
+    train_entries: Vec<Entry>,
     row_blocks: Vec<SparseBlock>,
     col_blocks: Vec<SparseBlock>,
     x: FactorMatrix,
@@ -58,6 +61,7 @@ impl Pals {
         let theta = als_util::init_factors(r.n_cols() as usize, config.f, config.seed ^ 0x7e7a);
         Self {
             config,
+            train_entries: r.iter().collect(),
             row_blocks,
             col_blocks,
             x,
@@ -128,13 +132,14 @@ impl Pals {
     }
 }
 
-impl MfSolver for Pals {
+impl Engine for Pals {
     fn name(&self) -> &'static str {
         "PALS (ALS, full replication)"
     }
 
-    fn iterate(&mut self) {
+    fn train_sweep(&mut self) -> f64 {
         self.als_iteration();
+        0.0
     }
 
     fn x(&self) -> &FactorMatrix {
@@ -143,6 +148,25 @@ impl MfSolver for Pals {
 
     fn theta(&self) -> &FactorMatrix {
         &self.theta
+    }
+
+    fn set_factors(&mut self, x: FactorMatrix, theta: FactorMatrix) {
+        assert_eq!(x.len(), self.x.len(), "X has the wrong number of rows");
+        assert_eq!(
+            theta.len(),
+            self.theta.len(),
+            "Θ has the wrong number of rows"
+        );
+        assert_eq!(x.rank(), self.config.f, "X has the wrong rank");
+        assert_eq!(theta.rank(), self.config.f, "Θ has the wrong rank");
+        self.x = x;
+        self.theta = theta;
+    }
+
+    fn attach_metrics(&mut self, _metrics: Arc<TrainMetrics>) {}
+
+    fn train_rmse(&self) -> f64 {
+        self.rmse(&self.train_entries)
     }
 }
 
@@ -175,11 +199,11 @@ mod tests {
             },
             &r,
         );
-        let before = solver.train_rmse(&r);
+        let before = solver.train_rmse();
         for _ in 0..3 {
-            solver.iterate();
+            solver.train_sweep();
         }
-        let after = solver.train_rmse(&r);
+        let after = solver.train_rmse();
         assert!(
             after < before * 0.4,
             "PALS should converge quickly: {before} -> {after}"
@@ -205,8 +229,8 @@ mod tests {
             },
             &r,
         );
-        w1.iterate();
-        w4.iterate();
+        w1.train_sweep();
+        w4.train_sweep();
         assert!(w1.x().max_abs_diff(w4.x()) < 1e-3);
     }
 
@@ -248,8 +272,8 @@ mod tests {
             },
             &r,
         );
-        pals.iterate();
-        sgd.iterate();
-        assert!(pals.train_rmse(&r) < sgd.train_rmse(&r));
+        pals.train_sweep();
+        sgd.train_sweep();
+        assert!(pals.train_rmse() < sgd.train_rmse());
     }
 }

@@ -8,11 +8,13 @@
 //! device.  This solver reproduces the algorithm and *measures* that
 //! communication volume so the claims can be checked quantitatively.
 
-use crate::{als_util, MfSolver};
+use crate::als_util;
+use cumf_core::{Engine, TrainMetrics};
 use cumf_linalg::FactorMatrix;
-use cumf_sparse::{horizontal_partition, Csr, SparseBlock};
+use cumf_sparse::{horizontal_partition, Csr, Entry, SparseBlock};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Hyper-parameters of the SparkALS-style solver.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +68,7 @@ impl ShuffleStats {
 /// SparkALS-style solver with partial replication.
 pub struct SparkAlsStyle {
     config: SparkAlsConfig,
+    train_entries: Vec<Entry>,
     row_blocks: Vec<SparseBlock>,
     col_blocks: Vec<SparseBlock>,
     x: FactorMatrix,
@@ -85,6 +88,7 @@ impl SparkAlsStyle {
         let theta = als_util::init_factors(r.n_cols() as usize, config.f, config.seed ^ 0x7e7a);
         Self {
             config,
+            train_entries: r.iter().collect(),
             row_blocks,
             col_blocks,
             x,
@@ -191,13 +195,14 @@ impl SparkAlsStyle {
     }
 }
 
-impl MfSolver for SparkAlsStyle {
+impl Engine for SparkAlsStyle {
     fn name(&self) -> &'static str {
         "SparkALS (partial replication)"
     }
 
-    fn iterate(&mut self) {
+    fn train_sweep(&mut self) -> f64 {
         self.als_iteration();
+        0.0
     }
 
     fn x(&self) -> &FactorMatrix {
@@ -206,6 +211,25 @@ impl MfSolver for SparkAlsStyle {
 
     fn theta(&self) -> &FactorMatrix {
         &self.theta
+    }
+
+    fn set_factors(&mut self, x: FactorMatrix, theta: FactorMatrix) {
+        assert_eq!(x.len(), self.x.len(), "X has the wrong number of rows");
+        assert_eq!(
+            theta.len(),
+            self.theta.len(),
+            "Θ has the wrong number of rows"
+        );
+        assert_eq!(x.rank(), self.config.f, "X has the wrong rank");
+        assert_eq!(theta.rank(), self.config.f, "Θ has the wrong rank");
+        self.x = x;
+        self.theta = theta;
+    }
+
+    fn attach_metrics(&mut self, _metrics: Arc<TrainMetrics>) {}
+
+    fn train_rmse(&self) -> f64 {
+        self.rmse(&self.train_entries)
     }
 }
 
@@ -248,12 +272,12 @@ mod tests {
             &r,
         );
         for _ in 0..2 {
-            spark.iterate();
-            pals.iterate();
+            spark.train_sweep();
+            pals.train_sweep();
         }
         // Partial replication must not change the ALS result.
         assert!(spark.x().max_abs_diff(pals.x()) < 1e-3);
-        assert!(spark.train_rmse(&r) < 0.5);
+        assert!(spark.train_rmse() < 0.5);
     }
 
     #[test]
@@ -267,7 +291,7 @@ mod tests {
             },
             &r,
         );
-        spark.iterate();
+        spark.train_sweep();
         let s = spark.last_shuffle();
         assert!(s.vectors_shipped > 0);
         assert_eq!(s.bytes_shipped, s.vectors_shipped * 8 * 4);
@@ -293,8 +317,8 @@ mod tests {
             },
             &r,
         );
-        p2.iterate();
-        p8.iterate();
+        p2.train_sweep();
+        p8.train_sweep();
         assert!(p8.last_shuffle().vectors_shipped > p2.last_shuffle().vectors_shipped);
     }
 
@@ -308,7 +332,7 @@ mod tests {
             },
             &r,
         );
-        p1.iterate();
+        p1.train_sweep();
         // With one partition the replication factor collapses to ≤ 1
         // (every referenced vector shipped exactly once).
         assert!(p1.last_shuffle().replication_factor() <= 1.0 + 1e-9);

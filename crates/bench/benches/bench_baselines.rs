@@ -10,7 +10,7 @@ use cumf_baselines::libmf::LibMfConfig;
 use cumf_baselines::nomad::NomadConfig;
 use cumf_baselines::pals::PalsConfig;
 use cumf_baselines::spark_als::SparkAlsConfig;
-use cumf_baselines::{CcdPlusPlus, HogwildSgd, LibMfSgd, MfSolver, NomadSgd, Pals, SparkAlsStyle};
+use cumf_baselines::{CcdPlusPlus, Engine, HogwildSgd, LibMfSgd, NomadSgd, Pals, SparkAlsStyle};
 use cumf_data::synth::SyntheticConfig;
 use cumf_sparse::Csr;
 use std::hint::black_box;
@@ -42,7 +42,7 @@ fn bench_sgd_baselines(c: &mut Criterion) {
                 },
                 &r,
             );
-            s.iterate();
+            s.train_sweep();
             black_box(s.x().data()[0]);
         });
     });
@@ -55,7 +55,7 @@ fn bench_sgd_baselines(c: &mut Criterion) {
                 },
                 &r,
             );
-            s.iterate();
+            s.train_sweep();
             black_box(s.x().data()[0]);
         });
     });
@@ -69,7 +69,7 @@ fn bench_sgd_baselines(c: &mut Criterion) {
                 },
                 &r,
             );
-            s.iterate();
+            s.train_sweep();
             black_box(s.x().data()[0]);
         });
     });
@@ -90,7 +90,7 @@ fn bench_als_baselines(c: &mut Criterion) {
                 },
                 &r,
             );
-            s.iterate();
+            s.train_sweep();
             black_box(s.x().data()[0]);
         });
     });
@@ -104,7 +104,7 @@ fn bench_als_baselines(c: &mut Criterion) {
                 },
                 &r,
             );
-            s.iterate();
+            s.train_sweep();
             black_box(s.last_shuffle().bytes_shipped);
         });
     });
@@ -117,7 +117,7 @@ fn bench_als_baselines(c: &mut Criterion) {
                 },
                 &r,
             );
-            s.iterate();
+            s.train_sweep();
             black_box(s.residual_rmse());
         });
     });

@@ -1,4 +1,4 @@
-//! Serving-path benchmark, seven rungs up the same ladder:
+//! Serving-path benchmark, eight rungs up the same ladder:
 //!
 //! 1. naive per-request scoring (score every item, sort the whole catalog —
 //!    what `recommend()` did before the serving subsystem),
@@ -18,7 +18,11 @@
 //!    catalog, with epsilon-0 bit-identity and the default epsilon's
 //!    recall target asserted by the run itself,
 //! 7. item-append publication: pushing an `O(a·f)` tail **segment** versus
-//!    the full-Θ-copy rebuild the pre-segmented store paid.
+//!    the full-Θ-copy rebuild the pre-segmented store paid,
+//! 8. fold-in: solving a user batch's normal equations **directly against
+//!    the store's segment views** versus first materializing a contiguous
+//!    catalog-order Θ (bit-identical results asserted) — the zero-Θ-copy
+//!    invariant the online loop's incremental path rides on.
 //!
 //! Catalog sizes reach the ≥100k-item regime the paper's deployments imply.
 //! Throughput is reported in requests/sec.  Pool/shard sizing for rung 3
@@ -31,6 +35,7 @@
 //! permuted-vs-catalog comparisons.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cumf_core::foldin::{fold_in_users, fold_in_users_segmented, ratings_rows};
 use cumf_linalg::blas::dot;
 use cumf_linalg::FactorMatrix;
 use cumf_serve::{
@@ -456,11 +461,86 @@ fn bench_item_append(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fold-in against the serving catalog, two ways: materializing a
+/// contiguous catalog-order Θ from the segmented store and solving against
+/// it (the pre-online-loop path, `O(n·f)` copy per batch regardless of
+/// batch size) versus solving directly against the store's segment views
+/// (`fold_in_users_segmented`, zero Θ bytes copied).  Results are
+/// bit-identical — asserted before timing — so the rung isolates the pure
+/// materialization overhead the online loop's zero-copy invariant removes.
+fn bench_fold_in(c: &mut Criterion) {
+    let quick = quick_mode();
+    let n_items = if quick { 50_000 } else { 200_000 };
+    let batch_users = 64usize;
+    let snap = snapshot(n_items);
+    let mut rng_state = 0x2545F4914F6CDD1Du64;
+    let mut next = move || {
+        // xorshift*: deterministic rating placement without pulling rand in.
+        rng_state ^= rng_state >> 12;
+        rng_state ^= rng_state << 25;
+        rng_state ^= rng_state >> 27;
+        rng_state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    let rating_lists: Vec<Vec<(u32, f32)>> = (0..batch_users)
+        .map(|_| {
+            (0..32)
+                .map(|_| {
+                    let item = (next() % n_items as u64) as u32;
+                    (item, 1.0 + (next() % 400) as f32 / 100.0)
+                })
+                .collect()
+        })
+        .collect();
+    let ratings = ratings_rows(&rating_lists, n_items as u32);
+    let lambda = 0.05;
+
+    let materialized = fold_in_users(&ratings, &snap.item_factors_matrix(), lambda);
+    let segmented = fold_in_users_segmented(&ratings, &snap.items().views(), F, lambda);
+    for u in 0..batch_users {
+        assert_eq!(
+            materialized.vector(u),
+            segmented.vector(u),
+            "fold-in paths must agree bit-for-bit"
+        );
+    }
+
+    let mut group = c.benchmark_group("serving_fold_in");
+    group.sample_size(if quick { 3 } else { 10 });
+    group.throughput(Throughput::Elements(batch_users as u64));
+    group.bench_with_input(
+        BenchmarkId::new("materialized_theta", n_items),
+        &n_items,
+        |b, _| {
+            b.iter(|| {
+                // The pre-online-loop path: copy the whole segmented
+                // catalog into one contiguous Θ, then solve.
+                black_box(fold_in_users(&ratings, &snap.item_factors_matrix(), lambda))
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("segmented_in_place", n_items),
+        &n_items,
+        |b, _| {
+            b.iter(|| {
+                black_box(fold_in_users_segmented(
+                    &ratings,
+                    &snap.items().views(),
+                    F,
+                    lambda,
+                ))
+            });
+        },
+    );
+    group.finish();
+}
+
 criterion_group!(
     serving,
     bench_serving,
     bench_service_pool,
     bench_publish,
+    bench_fold_in,
     bench_pruning,
     bench_approximate,
     bench_item_append

@@ -12,9 +12,21 @@
 //! sharding of each scoring pass (both default to 1, the PR 2 baseline).
 //! `--fold-in N` additionally performs N **incremental delta publishes**
 //! mid-load: each one genuinely solves a batch of users' normal equations
-//! against the current frozen item factors (`cumf_core::foldin`) and
-//! publishes the changed rows through the `O(u·f)` copy-on-write path with
-//! targeted cache invalidation.
+//! directly against the serving snapshot's item *segments*
+//! (`cumf_core::foldin::fold_in_users_segmented` — no contiguous
+//! catalog-order Θ is ever materialized) and publishes the changed rows
+//! through the `O(u·f)` copy-on-write path with targeted cache
+//! invalidation.
+//!
+//! `--stream N` closes the online loop end to end: N synthetic rating
+//! events (a skewed re-rate mix plus a trickle of brand-new users past the
+//! catalog edge) are replayed through `cumf_serve::OnlineLoop` —
+//! mini-batched ingestion → incremental update → delta publish — against
+//! the live service while the clients keep reading.  `--stream-mode`
+//! selects the updater (`fold-in`, the default, or `sgd`), and every
+//! event's ingest→publish latency lands in the `serve_freshness` histogram
+//! of the exported metrics.  The run fails if any event goes missing from
+//! the freshness histogram or if a streamed delta copies item factors.
 //!
 //! The run **fails** (non-zero exit) if any worker panicked, if any request
 //! on this warm catalog (every item trained, no exclusions, catalog ≥ k)
@@ -41,27 +53,50 @@
 //! ```text
 //! usage: serve_load_gen [--users N] [--items N] [--f F] [--requests N]
 //!                       [--clients N] [--k K] [--publishes N] [--fold-in N]
+//!                       [--stream N] [--stream-mode fold-in|sgd]
 //!                       [--naive-sample N] [--workers N] [--shards N]
 //!                       [--recall FLOOR] [--approx-epsilon EPS]
 //!                       [--metrics-json PATH] [--trace-jsonl PATH]
 //! ```
 //!
-//! CI runs `--requests 200 --workers 4 --shards 4 --fold-in 2
+//! CI runs `--requests 200 --workers 4 --shards 4 --fold-in 2 --stream 96
 //! --recall 0.95` as an end-to-end smoke test of the sharded-pool serving
-//! path, the incremental fold-in → delta-publish path, and the
-//! approximate-retrieval recall floor.
+//! path, the incremental fold-in → delta-publish path, the closed online
+//! loop with its freshness histogram, and the approximate-retrieval recall
+//! floor.
 
-use cumf_core::foldin::{fold_in_users, ratings_rows};
+use cumf_core::als::BaseAls;
+use cumf_core::config::AlsConfig;
+use cumf_core::foldin::{fold_in_users_segmented, ratings_rows};
+use cumf_core::sgd::{SgdConfig, SgdEngine};
+use cumf_data::stream::{ReplayStream, StreamBatcher};
 use cumf_linalg::blas::dot;
 use cumf_linalg::FactorMatrix;
 use cumf_serve::{
-    measure_recall, ApproxPolicy, FactorSnapshot, Query, ServeConfig, TopKIndex, TopKService,
-    DEFAULT_APPROX_EPSILON,
+    measure_recall, ApproxPolicy, FactorSnapshot, OnlineLoop, OnlineLoopConfig, OnlineReport,
+    Query, ServeConfig, TopKIndex, TopKService, DEFAULT_APPROX_EPSILON,
 };
+use cumf_sparse::{Csr, Entry};
 use rand::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Which incremental updater `--stream` drives through the online loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamMode {
+    FoldIn,
+    Sgd,
+}
+
+impl StreamMode {
+    fn name(self) -> &'static str {
+        match self {
+            StreamMode::FoldIn => "fold-in",
+            StreamMode::Sgd => "sgd",
+        }
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Args {
@@ -73,6 +108,10 @@ struct Args {
     k: usize,
     publishes: usize,
     fold_in: usize,
+    /// Rating events to replay through the closed online loop (0 = off).
+    stream: usize,
+    /// Incremental updater for the `--stream` loop.
+    stream_mode: StreamMode,
     naive_sample: usize,
     workers: usize,
     shards: usize,
@@ -99,6 +138,8 @@ impl Default for Args {
             k: 10,
             publishes: 2,
             fold_in: 0,
+            stream: 0,
+            stream_mode: StreamMode::FoldIn,
             naive_sample: 50,
             workers: 1,
             shards: 1,
@@ -119,7 +160,8 @@ fn parse_args() -> Args {
         if flag == "--help" || flag == "-h" {
             println!(
                 "usage: serve_load_gen [--users N] [--items N] [--f F] [--requests N] \
-                 [--clients N] [--k K] [--publishes N] [--fold-in N] [--naive-sample N] \
+                 [--clients N] [--k K] [--publishes N] [--fold-in N] [--stream N] \
+                 [--stream-mode fold-in|sgd] [--naive-sample N] \
                  [--workers N] [--shards N] [--recall FLOOR] [--approx-epsilon EPS] \
                  [--metrics-json PATH] [--trace-jsonl PATH]"
             );
@@ -145,6 +187,14 @@ fn parse_args() -> Args {
             "--k" => args.k = int(raw),
             "--publishes" => args.publishes = int(raw),
             "--fold-in" => args.fold_in = int(raw),
+            "--stream" => args.stream = int(raw),
+            "--stream-mode" => {
+                args.stream_mode = match raw.as_str() {
+                    "fold-in" => StreamMode::FoldIn,
+                    "sgd" => StreamMode::Sgd,
+                    other => panic!("bad value for --stream-mode: {other} (fold-in|sgd)"),
+                }
+            }
             "--naive-sample" => args.naive_sample = int(raw),
             "--workers" => args.workers = int(raw).max(1),
             "--shards" => args.shards = int(raw).max(1),
@@ -231,6 +281,7 @@ fn main() {
     let served = AtomicU64::new(0);
     let short_results = AtomicU64::new(0);
     let mut fold_in_failures = 0u64;
+    let mut stream_report: Option<OnlineReport> = None;
     let start = Instant::now();
     let per_client = args.requests / args.clients;
     let remainder = args.requests % args.clients;
@@ -310,24 +361,121 @@ fn main() {
                 })
                 .collect();
             let ratings = ratings_rows(&rating_lists, args.items as u32);
-            // Fold-in solves want one contiguous catalog-order Θ;
-            // materialize it from the segmented store.
-            let rows = fold_in_users(&ratings, &snap.item_factors_matrix(), 0.05);
+            // The segmented solve reads the serving segments in place —
+            // no contiguous catalog-order Θ is ever materialized.
+            let rows = fold_in_users_segmented(&ratings, &snap.items().views(), args.f, 0.05);
             let mut delta = snap.delta();
             for (i, &u) in batch_users.iter().enumerate() {
                 delta.update_user(u, rows.vector(i));
             }
             match service.publish_delta(&delta) {
-                Ok((generation, stats)) => println!(
-                    "fold-in {fi}: delta generation {generation} ({} users, \
-                     {} factor bytes copied, {} blocks shared)",
-                    stats.changed_users, stats.user_factor_bytes_copied, stats.user_blocks_shared
-                ),
+                Ok((generation, stats)) => {
+                    if stats.item_factor_bytes_copied != 0 {
+                        fold_in_failures += 1;
+                        eprintln!(
+                            "fold-in {fi}: copied {} item factor bytes — the incremental \
+                             path must never touch Θ",
+                            stats.item_factor_bytes_copied
+                        );
+                    }
+                    println!(
+                        "fold-in {fi}: delta generation {generation} ({} users, \
+                         {} factor bytes copied, {} blocks shared)",
+                        stats.changed_users,
+                        stats.user_factor_bytes_copied,
+                        stats.user_blocks_shared
+                    )
+                }
                 Err(e) => {
                     fold_in_failures += 1;
                     eprintln!("fold-in {fi} rejected: {e}");
                 }
             }
+        }
+        // Closed online loop: replay synthetic rating events through
+        // ingestion → incremental update → delta publish against the live
+        // service, so every event's ingest→publish freshness lands in the
+        // exported `serve_freshness` histogram while clients keep reading.
+        if args.stream > 0 {
+            let mut rng = StdRng::seed_from_u64(9898);
+            let events: Vec<Entry> = (0..args.stream)
+                .map(|i| {
+                    // Mostly re-rates from the skewed existing population,
+                    // plus a trickle of brand-new users past the catalog
+                    // edge to exercise the append path.
+                    let row = if i % 16 == 15 {
+                        (args.users + i % 4) as u32
+                    } else {
+                        skewed_user(&mut rng, args.users)
+                    };
+                    let col = ((rng.random::<f64>() * args.items as f64) as u32)
+                        .min(args.items as u32 - 1);
+                    Entry {
+                        row,
+                        col,
+                        val: 1.0 + rng.random::<f32>() * 4.0,
+                    }
+                })
+                .collect();
+            let batcher =
+                StreamBatcher::spawn(ReplayStream::from_entries(events, args.items as u32), 256);
+            // The loop's engine contributes only its rank and λ: fold-in
+            // re-solves against the *published snapshot's* item segments
+            // and SGD absorbs the stream itself, so an empty training
+            // matrix over the catalog is the honest seed.
+            let empty = Csr::from_raw(0, args.items as u32, vec![0], vec![], vec![])
+                .expect("empty training matrix");
+            let config = OnlineLoopConfig {
+                max_batch_events: 64,
+                ..Default::default()
+            };
+            let metrics = service.metrics_handle();
+            let report = match args.stream_mode {
+                StreamMode::FoldIn => OnlineLoop::fold_in(
+                    Box::new(BaseAls::new(
+                        AlsConfig {
+                            f: args.f,
+                            lambda: 0.05,
+                            ..Default::default()
+                        },
+                        empty.clone(),
+                    )),
+                    &empty,
+                    batcher,
+                    &service,
+                    metrics,
+                    config,
+                )
+                .run(),
+                StreamMode::Sgd => OnlineLoop::sgd(
+                    SgdEngine::new(
+                        SgdConfig {
+                            f: args.f,
+                            lambda: 0.05,
+                            ..Default::default()
+                        },
+                        empty,
+                    ),
+                    batcher,
+                    &service,
+                    metrics,
+                    config,
+                )
+                .run(),
+            }
+            .expect("online stream publish failed");
+            println!(
+                "stream[{}]: {} events in {} batches → {} delta publishes \
+                 ({} user rows updated, {} appended), generation {}",
+                args.stream_mode.name(),
+                report.events,
+                report.batches,
+                report.publishes,
+                report.users_updated,
+                report.users_appended,
+                report.last_generation
+            );
+            stream_report = Some(report);
         }
     });
     let elapsed = start.elapsed();
@@ -387,6 +535,33 @@ fn main() {
     if fold_in_failures > 0 {
         eprintln!("FAIL: {fold_in_failures} fold-in delta publish(es) were rejected");
         std::process::exit(1);
+    }
+    // Closed-loop gate: every streamed rating must have been reflected in a
+    // published snapshot exactly once, with a well-formed freshness
+    // distribution.
+    if let Some(report) = stream_report {
+        let fresh = &metrics.freshness;
+        println!(
+            "stream freshness: {} events, ingest→publish p50 {:?} p99 {:?} max {:?}",
+            fresh.count(),
+            Duration::from_nanos(fresh.quantile(0.5)),
+            Duration::from_nanos(fresh.quantile(0.99)),
+            Duration::from_nanos(fresh.max_ns()),
+        );
+        if report.events != args.stream as u64 || fresh.count() != args.stream as u64 {
+            eprintln!(
+                "FAIL: streamed {} events but the loop reflected {} and the freshness \
+                 histogram recorded {}",
+                args.stream,
+                report.events,
+                fresh.count()
+            );
+            std::process::exit(1);
+        }
+        if fresh.quantile(0.99) < fresh.quantile(0.5) {
+            eprintln!("FAIL: freshness histogram is malformed (p99 below p50)");
+            std::process::exit(1);
+        }
     }
 
     // Approximate-retrieval gate: measured recall@k of the configured

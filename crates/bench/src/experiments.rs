@@ -9,7 +9,7 @@
 
 use cumf_baselines::libmf::LibMfConfig;
 use cumf_baselines::nomad::NomadConfig;
-use cumf_baselines::{LibMfSgd, MfSolver, NomadSgd};
+use cumf_baselines::{Engine, LibMfSgd, NomadSgd};
 use cumf_cluster::models::BaselineSystem;
 use cumf_cluster::pricing::CostComparison;
 use cumf_core::als::mo::side_update_time;
@@ -204,7 +204,7 @@ pub fn sgd_rmse_trajectory(
     .generate();
     let raw = train_test_split(&data.ratings, 0.1, seed);
     let (train, test) = center_split(&raw.train, &raw.test);
-    let mut solver: Box<dyn MfSolver> = match solver_kind {
+    let mut solver: Box<dyn Engine> = match solver_kind {
         SgdBaselineKind::LibMf => Box::new(LibMfSgd::new(
             LibMfConfig {
                 f: f_run,
@@ -228,7 +228,7 @@ pub fn sgd_rmse_trajectory(
     };
     let mut out = Vec::with_capacity(epochs);
     for _ in 0..epochs {
-        solver.iterate();
+        solver.train_sweep();
         out.push(solver.rmse(&test));
     }
     out

@@ -126,7 +126,7 @@ fn memory_optimizations_change_time_but_not_quality() {
 #[test]
 fn cumf_beats_cpu_baselines_in_progress_per_iteration() {
     use cumf_baselines::libmf::LibMfConfig;
-    use cumf_baselines::{LibMfSgd, MfSolver};
+    use cumf_baselines::{Engine, LibMfSgd};
 
     let (train, test, _) = netflix_like();
     let config = AlsConfig {
@@ -147,7 +147,7 @@ fn cumf_beats_cpu_baselines_in_progress_per_iteration() {
         &train,
     );
     for _ in 0..2 {
-        libmf.iterate();
+        libmf.train_sweep();
     }
     let libmf_rmse = libmf.rmse(&test);
     assert!(

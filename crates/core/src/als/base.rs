@@ -91,13 +91,6 @@ impl BaseAls {
         self.theta = theta;
     }
 
-    /// Solves a batch of new-or-updated users against this engine's frozen
-    /// `Θ` (one row of `ratings` per user, spanning the full catalog) —
-    /// the incremental fold-in path; training state is untouched.
-    pub fn fold_in_users(&self, ratings: &Csr) -> FactorMatrix {
-        crate::foldin::fold_in_users(ratings, &self.theta, self.config.lambda)
-    }
-
     /// Runs one full ALS iteration: update `X` with `Θ` fixed, then update
     /// `Θ` with `X` fixed (both halves of Algorithm 1).
     pub fn iterate(&mut self) {
@@ -133,6 +126,47 @@ impl BaseAls {
     /// The regularized objective `J` of equation (1).
     pub fn objective(&self) -> f64 {
         loss::objective(&self.x, &self.theta, &self.r, self.config.lambda)
+    }
+}
+
+impl crate::engine::Engine for BaseAls {
+    fn name(&self) -> &'static str {
+        "base-als"
+    }
+
+    fn train_sweep(&mut self) -> f64 {
+        self.iterate();
+        0.0
+    }
+
+    fn x(&self) -> &FactorMatrix {
+        &self.x
+    }
+
+    fn theta(&self) -> &FactorMatrix {
+        &self.theta
+    }
+
+    fn set_factors(&mut self, x: FactorMatrix, theta: FactorMatrix) {
+        BaseAls::set_factors(self, x, theta);
+    }
+
+    fn attach_metrics(&mut self, metrics: Arc<TrainMetrics>) {
+        BaseAls::attach_metrics(self, metrics);
+    }
+
+    fn metrics(&self) -> Option<&TrainMetrics> {
+        self.metrics.as_deref()
+    }
+
+    fn train_rmse(&self) -> f64 {
+        BaseAls::train_rmse(self)
+    }
+}
+
+impl crate::engine::IncrementalEngine for BaseAls {
+    fn fold_in_lambda(&self) -> f32 {
+        self.config.lambda
     }
 }
 

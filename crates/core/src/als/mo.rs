@@ -286,14 +286,6 @@ impl MoAlsEngine {
         self.theta = theta;
     }
 
-    /// Solves a batch of new-or-updated users against this engine's frozen
-    /// `Θ` (the incremental fold-in path).  Runs on the host without
-    /// simulated GPU time: fold-in is a serving-side operation, not a
-    /// training iteration.
-    pub fn fold_in_users(&self, ratings: &Csr) -> FactorMatrix {
-        crate::foldin::fold_in_users(ratings, &self.theta, self.config.lambda)
-    }
-
     /// Simulated seconds of the one-time initial upload.
     pub fn upload_time(&self) -> f64 {
         self.upload_s
@@ -370,6 +362,46 @@ impl MoAlsEngine {
     /// Training RMSE of the current factors.
     pub fn train_rmse(&self) -> f64 {
         loss::rmse_csr(&self.x, &self.theta, &self.r)
+    }
+}
+
+impl crate::engine::Engine for MoAlsEngine {
+    fn name(&self) -> &'static str {
+        "mo-als"
+    }
+
+    fn train_sweep(&mut self) -> f64 {
+        self.iterate().total()
+    }
+
+    fn x(&self) -> &FactorMatrix {
+        &self.x
+    }
+
+    fn theta(&self) -> &FactorMatrix {
+        &self.theta
+    }
+
+    fn set_factors(&mut self, x: FactorMatrix, theta: FactorMatrix) {
+        MoAlsEngine::set_factors(self, x, theta);
+    }
+
+    fn attach_metrics(&mut self, metrics: Arc<TrainMetrics>) {
+        MoAlsEngine::attach_metrics(self, metrics);
+    }
+
+    fn metrics(&self) -> Option<&TrainMetrics> {
+        self.metrics.as_deref()
+    }
+
+    fn train_rmse(&self) -> f64 {
+        MoAlsEngine::train_rmse(self)
+    }
+}
+
+impl crate::engine::IncrementalEngine for MoAlsEngine {
+    fn fold_in_lambda(&self) -> f32 {
+        self.config.lambda
     }
 }
 

@@ -19,6 +19,7 @@
 use crate::als::kernels::{accumulate_partials, finalize_and_solve, partial_hermitians};
 use crate::als::mo::{batch_solve_traffic, get_hermitian_traffic};
 use crate::config::AlsConfig;
+use crate::instrument::TrainMetrics;
 use crate::loss;
 use crate::planner::{self, PartitionPlan, ProblemDims};
 use crate::reduce::{reduction_time, ReductionScheme};
@@ -26,6 +27,7 @@ use cumf_gpu_sim::occupancy::{mo_als_regs_per_thread, mo_als_shared_bytes};
 use cumf_gpu_sim::{Endpoint, GpuCluster, Occupancy, Transfer};
 use cumf_linalg::FactorMatrix;
 use cumf_sparse::{grid_partition, Csr};
+use std::sync::Arc;
 
 /// Configuration of the SU-ALS engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +111,7 @@ pub struct SuAlsEngine {
     plan_x: PartitionPlan,
     plan_theta: PartitionPlan,
     total_sim_s: f64,
+    metrics: Option<Arc<TrainMetrics>>,
 }
 
 impl SuAlsEngine {
@@ -149,7 +152,16 @@ impl SuAlsEngine {
             plan_x,
             plan_theta,
             total_sim_s: 0.0,
+            metrics: None,
         }
+    }
+
+    /// Attaches a shared [`TrainMetrics`] sink.  SU-ALS training solves are
+    /// priced by the GPU simulator rather than host-timed, so training
+    /// iterations do not record into the sink — only fold-ins driven through
+    /// the [`crate::engine::IncrementalEngine`] trait do.
+    pub fn attach_metrics(&mut self, metrics: Arc<TrainMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// The engine's configuration.
@@ -189,14 +201,6 @@ impl SuAlsEngine {
         assert_eq!(theta.rank(), self.config.als.f, "Θ rank mismatch");
         self.x = x;
         self.theta = theta;
-    }
-
-    /// Solves a batch of new-or-updated users against this engine's frozen
-    /// `Θ` (the incremental fold-in path).  Runs on the host without
-    /// simulated GPU time: fold-in is a serving-side operation, not a
-    /// training iteration.
-    pub fn fold_in_users(&self, ratings: &Csr) -> FactorMatrix {
-        crate::foldin::fold_in_users(ratings, &self.theta, self.config.als.lambda)
     }
 
     /// Accumulated simulated seconds.
@@ -372,6 +376,46 @@ impl SuAlsEngine {
         timing_acc.get_hermitian_s = gh_busy.iter().copied().fold(0.0, f64::max);
         timing_acc.batch_solve_s = bs_busy.iter().copied().fold(0.0, f64::max);
         (out, timing_acc)
+    }
+}
+
+impl crate::engine::Engine for SuAlsEngine {
+    fn name(&self) -> &'static str {
+        "su-als"
+    }
+
+    fn train_sweep(&mut self) -> f64 {
+        self.iterate().total()
+    }
+
+    fn x(&self) -> &FactorMatrix {
+        &self.x
+    }
+
+    fn theta(&self) -> &FactorMatrix {
+        &self.theta
+    }
+
+    fn set_factors(&mut self, x: FactorMatrix, theta: FactorMatrix) {
+        SuAlsEngine::set_factors(self, x, theta);
+    }
+
+    fn attach_metrics(&mut self, metrics: Arc<TrainMetrics>) {
+        SuAlsEngine::attach_metrics(self, metrics);
+    }
+
+    fn metrics(&self) -> Option<&TrainMetrics> {
+        self.metrics.as_deref()
+    }
+
+    fn train_rmse(&self) -> f64 {
+        SuAlsEngine::train_rmse(self)
+    }
+}
+
+impl crate::engine::IncrementalEngine for SuAlsEngine {
+    fn fold_in_lambda(&self) -> f32 {
+        self.config.als.lambda
     }
 }
 

@@ -19,8 +19,13 @@
 
 use crate::als::kernels::solve_side_instrumented;
 use crate::instrument::TrainMetrics;
+use cumf_linalg::batch::SegmentView;
+use cumf_linalg::blas::{add_diagonal, axpy, syr_full};
+use cumf_linalg::cholesky::cholesky_solve;
 use cumf_linalg::FactorMatrix;
+use cumf_obs::ns_between;
 use cumf_sparse::{Coo, Csr};
+use rayon::prelude::*;
 use std::time::Instant;
 
 /// Solves the ALS normal equations for a batch of users against frozen item
@@ -61,6 +66,102 @@ pub fn fold_in_users_instrumented(
     let started = metrics.map(|_| Instant::now());
     let out = solve_side_instrumented(ratings, theta, lambda, metrics);
     if let (Some(m), Some(t0)) = (metrics, started) {
+        m.record_fold_in(t0.elapsed());
+    }
+    out
+}
+
+/// [`fold_in_users`] against a **segmented** item catalog: assembles each
+/// user's Hermitian by resolving rating item ids through the segment views
+/// (`Arc`-shared slabs in whatever stored order the serving layout chose),
+/// so the incremental path never materializes a contiguous catalog-order
+/// `Θ` — killing the `O(n·f)` `item_factors_matrix()` copy per batch.
+///
+/// * `segments` — views tiling the catalog `[0, ratings.n_cols())` in
+///   ascending `first_id` order, e.g. the serving tier's
+///   `ItemStore::views()`.  Permuted segments must carry their `pos`
+///   inverse remap.
+/// * `f` — the latent rank (views carry slabs, not ranks).
+///
+/// Per row, ratings are visited in the same CSR order as the contiguous
+/// path, so results are **bit-identical** to
+/// `fold_in_users(ratings, &store.to_matrix(), lambda)`.
+///
+/// # Panics
+/// Panics if the segments do not tile the catalog or a slab disagrees with
+/// `f`.
+pub fn fold_in_users_segmented(
+    ratings: &Csr,
+    segments: &[SegmentView<'_>],
+    f: usize,
+    lambda: f32,
+) -> FactorMatrix {
+    fold_in_users_segmented_instrumented(ratings, segments, f, lambda, None)
+}
+
+/// [`fold_in_users_segmented`] with the same optional batch/phase recording
+/// as [`fold_in_users_instrumented`].
+pub fn fold_in_users_segmented_instrumented(
+    ratings: &Csr,
+    segments: &[SegmentView<'_>],
+    f: usize,
+    lambda: f32,
+    metrics: Option<&TrainMetrics>,
+) -> FactorMatrix {
+    assert!(f > 0, "latent dimension must be positive");
+    let mut covered = 0usize;
+    for seg in segments {
+        assert_eq!(
+            seg.first_id as usize, covered,
+            "fold-in segments must tile the catalog contiguously"
+        );
+        assert_eq!(seg.items.len(), seg.n_items() * f, "segment slab rank");
+        covered += seg.n_items();
+    }
+    assert_eq!(
+        covered,
+        ratings.n_cols() as usize,
+        "fold-in ratings must span the item catalog"
+    );
+
+    let started = metrics.map(|_| Instant::now());
+    let m = ratings.n_rows() as usize;
+    let mut out = FactorMatrix::zeros(m, f);
+    out.data_mut()
+        .par_chunks_mut(f)
+        .enumerate()
+        .for_each(|(u, x_u)| {
+            let (cols, vals) = ratings.row(u as u32);
+            if cols.is_empty() {
+                return;
+            }
+            let row_start = metrics.map(|_| Instant::now());
+            let mut a = vec![0.0f32; f * f];
+            let mut b = vec![0.0f32; f];
+            for (&v, &val) in cols.iter().zip(vals.iter()) {
+                // Rating item ids arrive in catalog order per row; each
+                // resolves to (segment, stored row) with two u32 lookups —
+                // no catalog-order slab exists anywhere.
+                let i = segments
+                    .partition_point(|s| s.first_id <= v)
+                    .saturating_sub(1);
+                let theta_v = segments[i].vector_of(v, f);
+                syr_full(&mut a, theta_v);
+                axpy(val, theta_v, &mut b);
+            }
+            let assembled = metrics.map(|_| Instant::now());
+            add_diagonal(&mut a, f, lambda * cols.len() as f32);
+            if cholesky_solve(&mut a, f, &mut b).is_ok() {
+                x_u.copy_from_slice(&b);
+            }
+            // Singular systems keep the zero initialization, exactly like
+            // the contiguous kernel.
+            if let (Some(m), Some(t0), Some(t1)) = (metrics, row_start, assembled) {
+                m.record_row(ns_between(t0, t1), ns_between(t1, Instant::now()));
+            }
+        });
+    if let (Some(m), Some(t0)) = (metrics, started) {
+        m.record_solve_side(t0.elapsed());
         m.record_fold_in(t0.elapsed());
     }
     out
@@ -164,6 +265,126 @@ mod tests {
         let (_, engine) = trained();
         let batch = ratings_rows(&[vec![(0, 1.0)]], 10);
         fold_in_users(&batch, engine.theta(), 0.05);
+    }
+
+    /// Splits `theta` at the given cuts into segments, permuting each
+    /// segment's stored order norm-descending with `ids`/`pos` remaps —
+    /// the same shape the serving `ItemStore` produces.
+    struct SegmentedTheta {
+        slabs: Vec<Vec<f32>>,
+        norms: Vec<Vec<f32>>,
+        tables: Vec<Vec<f32>>,
+        ids: Vec<Vec<u32>>,
+        pos: Vec<Vec<u32>>,
+        firsts: Vec<u32>,
+    }
+
+    impl SegmentedTheta {
+        fn build(theta: &FactorMatrix, cuts: &[usize]) -> Self {
+            let f = theta.rank();
+            let all_norms = cumf_linalg::item_norms(theta.data(), f);
+            let mut out = Self {
+                slabs: Vec::new(),
+                norms: Vec::new(),
+                tables: Vec::new(),
+                ids: Vec::new(),
+                pos: Vec::new(),
+                firsts: Vec::new(),
+            };
+            for w in cuts.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                let mut order: Vec<usize> = (lo..hi).collect();
+                order.sort_by(|&a, &b| all_norms[b].total_cmp(&all_norms[a]).then(a.cmp(&b)));
+                let mut slab = Vec::with_capacity((hi - lo) * f);
+                let mut norms = Vec::with_capacity(hi - lo);
+                let mut pos = vec![0u32; hi - lo];
+                for (row, &g) in order.iter().enumerate() {
+                    slab.extend_from_slice(theta.vector(g));
+                    norms.push(all_norms[g]);
+                    pos[g - lo] = row as u32;
+                }
+                out.tables.push(cumf_linalg::block_max_norms(&norms, 16));
+                out.slabs.push(slab);
+                out.norms.push(norms);
+                out.ids.push(order.iter().map(|&g| g as u32).collect());
+                out.pos.push(pos);
+                out.firsts.push(lo as u32);
+            }
+            out
+        }
+
+        fn views(&self) -> Vec<SegmentView<'_>> {
+            (0..self.slabs.len())
+                .map(|i| SegmentView {
+                    items: &self.slabs[i],
+                    norms: &self.norms[i],
+                    block_max: &self.tables[i],
+                    item_block: 16,
+                    first_id: self.firsts[i],
+                    ids: Some(&self.ids[i]),
+                    pos: Some(&self.pos[i]),
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn segmented_fold_in_is_bit_identical_to_the_contiguous_path() {
+        let (r, engine) = trained();
+        let n = r.n_cols() as usize;
+        let f = engine.theta().rank();
+        // Fold the whole training matrix plus an empty row, across several
+        // segmentations including single-segment and ragged cuts.
+        let mut rows: Vec<Vec<(u32, f32)>> = (0..r.n_rows())
+            .map(|u| {
+                let (items, vals) = r.row(u);
+                items.iter().copied().zip(vals.iter().copied()).collect()
+            })
+            .collect();
+        rows.push(Vec::new());
+        let batch = ratings_rows(&rows, r.n_cols());
+        let expect = fold_in_users(&batch, engine.theta(), 0.05);
+        for cuts in [vec![0usize, n], vec![0, 17, n], vec![0, 1, 2, 40, n]] {
+            let seg = SegmentedTheta::build(engine.theta(), &cuts);
+            let views = seg.views();
+            let got = fold_in_users_segmented(&batch, &views, f, 0.05);
+            assert_eq!(
+                got.max_abs_diff(&expect),
+                0.0,
+                "cuts {cuts:?} must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn segmented_fold_in_records_metrics_like_the_contiguous_path() {
+        let (r, engine) = trained();
+        let seg = SegmentedTheta::build(engine.theta(), &[0, r.n_cols() as usize]);
+        let views = seg.views();
+        let batch = ratings_rows(&[vec![(0, 4.0), (3, 2.0)]], r.n_cols());
+        let metrics = TrainMetrics::new();
+        fold_in_users_segmented_instrumented(
+            &batch,
+            &views,
+            engine.theta().rank(),
+            0.05,
+            Some(&metrics),
+        );
+        let report = metrics.report();
+        assert_eq!(report.fold_in.count(), 1);
+        assert_eq!(report.solve_side.count(), 1);
+        assert_eq!(report.rows_solved, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile the catalog contiguously")]
+    fn segmented_fold_in_rejects_gapped_segments() {
+        let (r, engine) = trained();
+        let seg = SegmentedTheta::build(engine.theta(), &[0, 10, r.n_cols() as usize]);
+        let mut views = seg.views();
+        views.remove(0);
+        let batch = ratings_rows(&[vec![(0, 1.0)]], r.n_cols());
+        fold_in_users_segmented(&batch, &views, engine.theta().rank(), 0.05);
     }
 
     #[test]

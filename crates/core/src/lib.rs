@@ -25,9 +25,14 @@
 //! * [`checkpoint`] — fault-tolerance checkpointing of §4.4, including
 //!   delta records that journal incremental fold-ins between full
 //!   checkpoints.
+//! * [`engine`] — the unified [`Engine`] / [`IncrementalEngine`] trait pair
+//!   every factorization engine (the ALS variants, [`sgd::SgdEngine`], the
+//!   baseline solvers) implements; the trainer and the online serving loop
+//!   dispatch through it.
 //! * [`foldin`] — incremental user fold-in: solving new-or-updated users
 //!   against frozen item factors (the training half of `cumf-serve`'s
-//!   delta-publication path).
+//!   delta-publication path), including the segmented variant that folds
+//!   straight against the serving tier's item store.
 //! * [`costmodel`] — the analytic compute/footprint model of Table 3, used
 //!   to price iterations at full paper scale (Figure 11, Table 1).
 //! * [`instrument`] — trainer-side observability: wait-free
@@ -61,6 +66,7 @@ pub mod als;
 pub mod checkpoint;
 pub mod config;
 pub mod costmodel;
+pub mod engine;
 pub mod foldin;
 pub mod instrument;
 pub mod loss;
@@ -72,5 +78,6 @@ pub mod sgd;
 pub mod trainer;
 
 pub use config::{AlsConfig, MemoryOptConfig};
+pub use engine::{Engine, IncrementalEngine};
 pub use instrument::{TrainMetrics, TrainMetricsReport};
 pub use trainer::{Backend, MatrixFactorizer, TrainReport};

@@ -9,11 +9,13 @@
 use crate::als::{BaseAls, MoAlsEngine, SuAlsConfig, SuAlsEngine};
 use crate::checkpoint::{Checkpoint, CheckpointManager};
 use crate::config::AlsConfig;
+use crate::engine::IncrementalEngine;
 use crate::instrument::{TrainMetrics, TrainMetricsReport};
 use crate::loss;
 use crate::planner::PartitionPlan;
 use crate::reduce::ReductionScheme;
 use cumf_gpu_sim::{GpuCluster, TopologyKind};
+use cumf_linalg::batch::SegmentView;
 use cumf_linalg::FactorMatrix;
 use cumf_sparse::{Csr, Entry};
 use std::sync::Arc;
@@ -127,17 +129,11 @@ impl TrainReport {
     }
 }
 
-enum EngineImpl {
-    Base(BaseAls),
-    Mo(MoAlsEngine),
-    Su(SuAlsEngine),
-}
-
 /// The high-level matrix factorization model.
 pub struct MatrixFactorizer {
     config: AlsConfig,
     backend: Backend,
-    engine: Option<EngineImpl>,
+    engine: Option<Box<dyn IncrementalEngine>>,
     checkpoints: Option<CheckpointManager>,
     warm_start: Option<(FactorMatrix, FactorMatrix)>,
     metrics: Arc<TrainMetrics>,
@@ -190,33 +186,22 @@ impl MatrixFactorizer {
         &self.config
     }
 
-    fn build_engine(&self, train: &Csr) -> EngineImpl {
+    fn build_engine(&self, train: &Csr) -> Box<dyn IncrementalEngine> {
         let mut engine = self.build_engine_cold(train);
-        // SU-ALS solves through the partial-Hermitian reduction path whose
-        // cost is simulator-modeled per block; host-side per-row phase
-        // timing only instruments the fused kernel the other engines run.
-        match &mut engine {
-            EngineImpl::Base(e) => e.attach_metrics(Arc::clone(&self.metrics)),
-            EngineImpl::Mo(e) => e.attach_metrics(Arc::clone(&self.metrics)),
-            EngineImpl::Su(_) => {}
-        }
+        // The metrics sink goes to every engine; SU-ALS training solves are
+        // simulator-priced and record nothing, so only its fold-ins show up.
+        engine.attach_metrics(Arc::clone(&self.metrics));
         if let Some((x, theta)) = &self.warm_start {
-            match &mut engine {
-                EngineImpl::Base(e) => e.set_factors(x.clone(), theta.clone()),
-                EngineImpl::Mo(e) => e.set_factors(x.clone(), theta.clone()),
-                EngineImpl::Su(e) => e.set_factors(x.clone(), theta.clone()),
-            }
+            engine.set_factors(x.clone(), theta.clone());
         }
         engine
     }
 
-    fn build_engine_cold(&self, train: &Csr) -> EngineImpl {
+    fn build_engine_cold(&self, train: &Csr) -> Box<dyn IncrementalEngine> {
         match &self.backend {
-            Backend::Reference => {
-                EngineImpl::Base(BaseAls::new(self.config.clone(), train.clone()))
-            }
+            Backend::Reference => Box::new(BaseAls::new(self.config.clone(), train.clone())),
             Backend::SingleGpu => {
-                EngineImpl::Mo(MoAlsEngine::on_titan_x(self.config.clone(), train.clone()))
+                Box::new(MoAlsEngine::on_titan_x(self.config.clone(), train.clone()))
             }
             Backend::MultiGpu {
                 n_gpus,
@@ -237,7 +222,7 @@ impl MatrixFactorizer {
                     reduction: *reduction,
                     plan: *plan,
                 };
-                EngineImpl::Su(SuAlsEngine::new(su_cfg, train.clone(), cluster))
+                Box::new(SuAlsEngine::new(su_cfg, train.clone(), cluster))
             }
         }
     }
@@ -271,29 +256,17 @@ impl MatrixFactorizer {
 
         for iter in 1..=self.config.iterations {
             let wall_start = Instant::now();
-            let sim = match &mut engine {
-                EngineImpl::Base(e) => {
-                    e.iterate();
-                    0.0
-                }
-                EngineImpl::Mo(e) => e.iterate().total(),
-                EngineImpl::Su(e) => e.iterate().total(),
-            };
+            let sim = engine.train_sweep();
             cumulative_sim += sim;
             let wall = wall_start.elapsed().as_secs_f64();
 
-            let (x, theta, r) = match &engine {
-                EngineImpl::Base(e) => (e.x(), e.theta(), e.ratings()),
-                EngineImpl::Mo(e) => (e.x(), e.theta(), train),
-                EngineImpl::Su(e) => (e.x(), e.theta(), train),
-            };
             let train_rmse = if self.config.track_rmse {
-                loss::rmse_csr(x, theta, r)
+                engine.train_rmse()
             } else {
                 f64::NAN
             };
             let test_rmse = if self.config.track_rmse && !test.is_empty() {
-                loss::rmse(x, theta, test)
+                loss::rmse(engine.x(), engine.theta(), test)
             } else {
                 f64::NAN
             };
@@ -301,8 +274,8 @@ impl MatrixFactorizer {
             if let Some(mgr) = &self.checkpoints {
                 let _ = mgr.save(&Checkpoint {
                     iteration: iter as u64,
-                    x: x.clone(),
-                    theta: theta.clone(),
+                    x: engine.x().clone(),
+                    theta: engine.theta().clone(),
                 });
             }
 
@@ -325,28 +298,22 @@ impl MatrixFactorizer {
     /// # Panics
     /// Panics if [`MatrixFactorizer::fit`] has not been called.
     pub fn x(&self) -> &FactorMatrix {
-        match self
-            .engine
-            .as_ref()
-            .expect("call fit() before reading factors")
-        {
-            EngineImpl::Base(e) => e.x(),
-            EngineImpl::Mo(e) => e.x(),
-            EngineImpl::Su(e) => e.x(),
-        }
+        self.fitted_engine().x()
     }
 
     /// Item factors of the fitted model.
     pub fn theta(&self) -> &FactorMatrix {
-        match self
-            .engine
-            .as_ref()
+        self.fitted_engine().theta()
+    }
+
+    /// The fitted engine behind the unified [`IncrementalEngine`] trait.
+    ///
+    /// # Panics
+    /// Panics if [`MatrixFactorizer::fit`] has not been called.
+    pub fn fitted_engine(&self) -> &dyn IncrementalEngine {
+        self.engine
+            .as_deref()
             .expect("call fit() before reading factors")
-        {
-            EngineImpl::Base(e) => e.theta(),
-            EngineImpl::Mo(e) => e.theta(),
-            EngineImpl::Su(e) => e.theta(),
-        }
     }
 
     /// Predicted rating for `(user, item)`.
@@ -406,12 +373,25 @@ impl MatrixFactorizer {
     /// Panics if [`MatrixFactorizer::fit`] has not been called or the
     /// ratings do not span the item catalog.
     pub fn fold_in_users(&self, ratings: &Csr) -> FactorMatrix {
-        crate::foldin::fold_in_users_instrumented(
-            ratings,
-            self.theta(),
-            self.config.lambda,
-            Some(&self.metrics),
-        )
+        self.fitted_engine().fold_in_users(ratings)
+    }
+
+    /// [`MatrixFactorizer::fold_in_users`] against a segmented item catalog
+    /// (e.g. the serving tier's `ItemStore::views()`), assembling each
+    /// user's normal equations straight from the segment slabs — no
+    /// contiguous catalog-order `Θ` copy is materialized.
+    ///
+    /// # Panics
+    /// Panics if [`MatrixFactorizer::fit`] has not been called, the
+    /// segments do not tile the catalog, or their rank differs from the
+    /// model's.
+    pub fn fold_in_users_segmented(
+        &self,
+        ratings: &Csr,
+        segments: &[SegmentView<'_>],
+    ) -> FactorMatrix {
+        self.fitted_engine()
+            .fold_in_users_segmented(ratings, segments)
     }
 
     /// A snapshot of the trainer-side latency metrics: per-row

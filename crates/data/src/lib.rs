@@ -16,14 +16,23 @@
 //!   realistic.  Convergence experiments run on a *scaled-down* instance of
 //!   each descriptor; timing is extrapolated analytically.
 //! * [`split`] — train/test splitting used for test-RMSE curves.
+//! * [`stream`] — streaming rating ingestion for the online loop: the
+//!   [`stream::RatingStream`] sources (synthetic mutation stream, replay)
+//!   and the bounded [`stream::StreamBatcher`] that stamps ingest instants
+//!   and hands the trainer time-ordered mini-batches.
 
 #![forbid(unsafe_code)]
 pub mod datasets;
 pub mod io;
 pub mod split;
+pub mod stream;
 pub mod synth;
 
 pub use datasets::{DatasetSpec, PaperDataset};
 pub use io::{read_csv_triplets, read_matrix_market, write_csv_triplets, write_matrix_market};
 pub use split::{train_test_split, TrainTest};
+pub use stream::{
+    MiniBatch, MutationStreamConfig, RatingEvent, RatingStream, ReplayStream, StreamBatcher,
+    SyntheticMutationStream,
+};
 pub use synth::{SyntheticConfig, SyntheticDataset};

@@ -190,7 +190,7 @@ impl SyntheticConfig {
     /// rank-term dot product has standard deviation ≈ a quarter of the
     /// rating span (entries uniform on `[-a, a)` give
     /// `Var(x·θ) = rank · a⁴ / 9`).
-    fn factor_half_width(&self) -> f32 {
+    pub(crate) fn factor_half_width(&self) -> f32 {
         let span = (self.rating_max - self.rating_min).max(1e-3);
         (3.0 * span / (4.0 * (self.rank as f32).sqrt())).sqrt()
     }
@@ -268,7 +268,7 @@ impl SyntheticDataset {
 /// to different items, so regenerated data sets differ from pre-alias
 /// revisions (determinism per seed is unaffected).
 #[derive(Debug, Clone)]
-struct AliasTable {
+pub(crate) struct AliasTable {
     /// Per-cell acceptance threshold in `[0, 1]`.
     prob: Vec<f64>,
     /// Donor index used when a cell rejects.
@@ -278,7 +278,7 @@ struct AliasTable {
 impl AliasTable {
     /// Builds the table for `weights` (need not be normalized; must be
     /// non-empty with a positive sum).
-    fn new(weights: &[f64]) -> Self {
+    pub(crate) fn new(weights: &[f64]) -> Self {
         assert!(!weights.is_empty(), "alias table needs at least one weight");
         let n = weights.len();
         let total: f64 = weights.iter().sum();
@@ -319,7 +319,7 @@ impl AliasTable {
 
     /// The table for a Zipf distribution over `n` items with the given
     /// exponent (0 = uniform).
-    fn from_zipf(n: usize, exponent: f64) -> Self {
+    pub(crate) fn from_zipf(n: usize, exponent: f64) -> Self {
         let weights: Vec<f64> = (0..n)
             .map(|k| 1.0 / ((k + 1) as f64).powf(exponent))
             .collect();
@@ -328,7 +328,7 @@ impl AliasTable {
 
     /// Draws one index using a single uniform: the integer part picks the
     /// cell, the fractional part decides cell-vs-alias.
-    fn sample(&self, rng: &mut StdRng) -> u32 {
+    pub(crate) fn sample(&self, rng: &mut StdRng) -> u32 {
         let n = self.prob.len();
         let r = rng.random::<f64>() * n as f64;
         let i = (r as usize).min(n - 1);
@@ -342,7 +342,7 @@ impl AliasTable {
 }
 
 /// A standard-normal sample via Box–Muller (avoids an extra dependency).
-fn gaussian(rng: &mut StdRng) -> f32 {
+pub(crate) fn gaussian(rng: &mut StdRng) -> f32 {
     let u1: f64 = rng.random::<f64>().max(1e-12);
     let u2: f64 = rng.random::<f64>();
     ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32

@@ -128,9 +128,15 @@ pub struct SegmentView<'a> {
     /// Stored-row → global-id remap for permuted segments (`None` =
     /// identity off `first_id`).
     pub ids: Option<&'a [u32]>,
+    /// Global-offset → stored-row inverse of `ids` (`pos[id - first_id]`
+    /// is the stored row of catalog item `id`; `None` = identity).  Point
+    /// lookups — notably the segment-aware fold-in, which walks rating item
+    /// ids — resolve through this instead of materializing a contiguous
+    /// catalog-order slab.
+    pub pos: Option<&'a [u32]>,
 }
 
-impl SegmentView<'_> {
+impl<'a> SegmentView<'a> {
     /// Number of items in this segment.
     pub fn n_items(&self) -> usize {
         self.norms.len()
@@ -143,6 +149,32 @@ impl SegmentView<'_> {
             Some(ids) => ids[row],
             None => self.first_id + row as u32,
         }
+    }
+
+    /// Stored row holding global item id `id`, which must lie in this
+    /// segment's `[first_id, first_id + n_items)` range.
+    ///
+    /// # Panics
+    /// Panics if `id` is outside the segment, or if the segment is permuted
+    /// (`ids` present) but was built without its `pos` inverse remap.
+    #[inline]
+    pub fn stored_row(&self, id: u32) -> usize {
+        let offset = (id - self.first_id) as usize;
+        assert!(offset < self.n_items(), "item {id} outside segment");
+        match (self.pos, self.ids) {
+            (Some(pos), _) => pos[offset] as usize,
+            (None, None) => offset,
+            (None, Some(_)) => panic!("permuted segment view lacks its position remap"),
+        }
+    }
+
+    /// Factor vector of global item id `id` (rank `f`), resolved through
+    /// the stored-order slab — the point-lookup counterpart of the blocked
+    /// scoring kernels.
+    #[inline]
+    pub fn vector_of(&self, id: u32, f: usize) -> &'a [f32] {
+        let row = self.stored_row(id);
+        &self.items[row * f..(row + 1) * f]
     }
 
     /// Checks the view's internal consistency for rank `f`.
@@ -164,6 +196,9 @@ impl SegmentView<'_> {
         );
         if let Some(ids) = self.ids {
             assert_eq!(ids.len(), self.n_items(), "segment id remap length");
+        }
+        if let Some(pos) = self.pos {
+            assert_eq!(pos.len(), self.n_items(), "segment position remap length");
         }
     }
 }
@@ -350,6 +385,7 @@ mod tests {
             item_block: 4,
             first_id: 0,
             ids: Some(&ids),
+            pos: None,
         };
         seg.validate(f);
         assert_eq!(seg.n_items(), 12);
@@ -386,8 +422,60 @@ mod tests {
             item_block: 2,
             first_id: 0,
             ids: None,
+            pos: None,
         };
         seg.validate(2);
+    }
+
+    #[test]
+    fn stored_row_resolves_through_the_position_remap() {
+        let f = 3;
+        // Stored order [2, 0, 1] of a 3-item segment starting at id 10.
+        let items = FactorMatrix::random(3, f, 1.0, 41);
+        let norms = crate::topk::item_norms(items.data(), f);
+        let bm = crate::topk::block_max_norms(&norms, 2);
+        let ids = [12u32, 10, 11];
+        let pos = [1u32, 2, 0];
+        let seg = SegmentView {
+            items: items.data(),
+            norms: &norms,
+            block_max: &bm,
+            item_block: 2,
+            first_id: 10,
+            ids: Some(&ids),
+            pos: Some(&pos),
+        };
+        seg.validate(f);
+        for id in 10..13u32 {
+            let row = seg.stored_row(id);
+            assert_eq!(seg.global_id(row), id, "ids/pos must be inverses");
+            assert_eq!(seg.vector_of(id, f), items.vector(row));
+        }
+        // Identity segment: stored row is the global offset.
+        let plain = SegmentView {
+            ids: None,
+            pos: None,
+            first_id: 5,
+            ..seg
+        };
+        assert_eq!(plain.stored_row(6), 1);
+        assert_eq!(plain.vector_of(7, f), items.vector(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks its position remap")]
+    fn permuted_view_without_pos_rejects_point_lookups() {
+        let ids = [1u32, 0];
+        let seg = SegmentView {
+            items: &[0.0; 4],
+            norms: &[0.0; 2],
+            block_max: &[0.0; 1],
+            item_block: 2,
+            first_id: 0,
+            ids: Some(&ids),
+            pos: None,
+        };
+        let _ = seg.stored_row(0);
     }
 
     #[test]

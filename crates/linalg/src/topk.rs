@@ -796,6 +796,7 @@ mod tests {
                 item_block,
                 first_id: w[0] as u32,
                 ids: None,
+                pos: None,
             })
             .collect()
     }
@@ -850,6 +851,7 @@ mod tests {
             item_block: 16,
             first_id: 0,
             ids: Some(&ids),
+            pos: None,
         };
         let user: Vec<f32> = FactorMatrix::random(1, f, 1.0, 62).data().to_vec();
         let plain_bm = block_max_norms(&norms, 16);
@@ -996,6 +998,7 @@ mod tests {
             item_block: 64,
             first_id: 0,
             ids: Some(&order),
+            pos: None,
         };
         let user: Vec<f32> = FactorMatrix::random(1, f, 1.0, 78).data().to_vec();
         let mut prev_scored = u64::MAX;

@@ -79,6 +79,7 @@ impl SegmentedCatalog {
                 item_block: self.item_block,
                 first_id: self.firsts[i],
                 ids: self.ids[i].as_deref(),
+                pos: None,
             })
             .collect()
     }

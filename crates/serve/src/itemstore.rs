@@ -207,6 +207,7 @@ impl ItemSegment {
             item_block,
             first_id: self.start,
             ids: self.ids.as_deref(),
+            pos: self.pos.as_deref(),
         }
     }
 }

@@ -58,6 +58,15 @@
 //!   requests under different policies never share a micro-batch or cache
 //!   entry, and [`recall::measure_recall`] reports the measured
 //!   recall@k/blocks-scanned tradeoff against exact ground truth.
+//! * [`online::OnlineLoop`] — the **closed online loop**: drains
+//!   time-ordered rating mini-batches from a
+//!   [`cumf_data::stream::StreamBatcher`], updates the touched users
+//!   incrementally (segment-aware fold-in through any
+//!   [`cumf_core::IncrementalEngine`], or streaming SGD via
+//!   [`cumf_core::sgd::SgdEngine::absorb`]) and publishes each batch as a
+//!   [`snapshot::SnapshotDelta`] under live traffic, recording every
+//!   rating's ingest→publish **freshness** into the `serve_freshness_*`
+//!   histogram.
 //!
 //! ## Quick start
 //!
@@ -88,6 +97,7 @@ pub mod batcher;
 pub mod cache;
 pub mod itemstore;
 pub mod metrics;
+pub mod online;
 pub mod recall;
 pub mod snapshot;
 pub mod sync;
@@ -99,6 +109,7 @@ pub use cumf_linalg::{ApproxPolicy, PruneStats, DEFAULT_APPROX_EPSILON};
 pub use cumf_obs::{Exporter, Histogram, HistogramSnapshot, Trace, TraceEvent};
 pub use itemstore::{ItemLayout, ItemSegment, ItemStore};
 pub use metrics::{MetricsReport, ServeMetrics, Stage, WindowedReport};
+pub use online::{DeltaPublisher, OnlineLoop, OnlineLoopConfig, OnlineReport, StepOutcome};
 pub use recall::{measure_recall, recall_at_k, report_from_lists, RecallReport};
 pub use snapshot::{
     DeltaError, DeltaStats, FactorSnapshot, SnapshotDelta, SnapshotStore, USER_COW_ROWS,

@@ -98,6 +98,8 @@ pub struct ServeMetrics {
     request_e2e: Histogram,
     /// Publisher-observed snapshot/delta publish latency.
     publish_latency: Histogram,
+    /// Rating-ingest instant → first snapshot whose results reflect it.
+    freshness: Histogram,
     /// Requests currently sitting in the batcher channel.
     queue_depth: AtomicU64,
     /// High-water mark of `queue_depth` since startup.
@@ -202,6 +204,15 @@ impl ServeMetrics {
         self.publish_latency.record(latency);
     }
 
+    /// Records one rating's **freshness**: the wall time from the instant
+    /// the rating was ingested from the stream to the instant the first
+    /// snapshot generation reflecting it was published.  Serving traffic
+    /// admitted after that publish sees the update, so this is the online
+    /// loop's end-to-end staleness bound.
+    pub fn record_freshness_ns(&self, ns: u64) {
+        self.freshness.record_ns(ns);
+    }
+
     /// Records an item-segment compaction republish (also counted in
     /// `snapshot_swaps`).
     pub fn record_item_compaction(&self) {
@@ -278,6 +289,7 @@ impl ServeMetrics {
             stages: std::array::from_fn(|i| self.stages[i].snapshot()),
             request_e2e: self.request_e2e.snapshot(),
             publish_latency: self.publish_latency.snapshot(),
+            freshness: self.freshness.snapshot(),
             queue_depth_high_water: self.queue_depth_hwm.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
             snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
             delta_publishes: self.delta_publishes.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
@@ -356,6 +368,10 @@ pub struct MetricsReport {
     pub request_e2e: HistogramSnapshot,
     /// Publisher-side snapshot/delta publish latency distribution.
     pub publish_latency: HistogramSnapshot,
+    /// Rating freshness distribution: stream-ingest instant → first
+    /// snapshot publish reflecting the rating (recorded by the online
+    /// loop's [`crate::online::OnlineLoop`]).
+    pub freshness: HistogramSnapshot,
     /// Most requests ever simultaneously queued in the batcher channel.
     pub queue_depth_high_water: u64,
     /// Snapshot generations published.
@@ -454,6 +470,7 @@ impl MetricsReport {
             stages: std::array::from_fn(|i| self.stages[i].since(&baseline.stages[i])),
             request_e2e: self.request_e2e.since(&baseline.request_e2e),
             publish_latency: self.publish_latency.since(&baseline.publish_latency),
+            freshness: self.freshness.since(&baseline.freshness),
             queue_depth_high_water: self.queue_depth_high_water,
             snapshot_swaps: self.snapshot_swaps.saturating_sub(baseline.snapshot_swaps),
             delta_publishes: self
@@ -577,6 +594,11 @@ impl MetricsReport {
             "serve_delta_publish",
             "publisher-side snapshot/delta publish latency",
             self.publish_latency.clone(),
+        )
+        .histogram(
+            "serve_freshness",
+            "rating ingest to first reflecting snapshot publish",
+            self.freshness.clone(),
         );
         e
     }
@@ -641,6 +663,7 @@ impl std::fmt::Display for MetricsReport {
         rows.push(("e2e", &self.request_e2e));
         rows.push(("batch", &self.batch_latency));
         rows.push(("publish", &self.publish_latency));
+        rows.push(("freshness", &self.freshness));
         for (name, h) in rows {
             writeln!(
                 f,

@@ -1,0 +1,704 @@
+//! The closed online loop: streaming ingestion → incremental training →
+//! delta publication under serving traffic.
+//!
+//! This module is where the PR-long arc of incremental machinery finally
+//! meets: a [`cumf_data::stream::StreamBatcher`] hands the loop time-ordered
+//! rating mini-batches, an incremental engine (any
+//! [`cumf_core::IncrementalEngine`] fold-in, or a streaming
+//! [`cumf_core::sgd::SgdEngine`]) turns each batch into updated user
+//! factors, and a [`SnapshotDelta`] publishes exactly the touched rows
+//! through [`SnapshotStore::publish_delta`] — `O(u·f)` bytes for `u`
+//! touched users, never a full-catalog Θ copy.
+//!
+//! ## Freshness
+//!
+//! Every published batch records, per rating, the wall time from the
+//! instant the [`StreamBatcher`] producer stamped it
+//! ([`cumf_data::stream::RatingEvent::ingested_at`]) to the instant the
+//! first snapshot generation reflecting it was published.  That histogram —
+//! exported as `serve_freshness_*` — is the loop's end-to-end staleness
+//! bound: serving traffic admitted after the publish sees the rating.
+//!
+//! ## Fold-in versus streaming SGD
+//!
+//! * [`OnlineLoop::fold_in`] re-solves each touched user's normal equations
+//!   against the **serving snapshot's own item segments**
+//!   ([`cumf_core::IncrementalEngine::fold_in_users_segmented`] over
+//!   [`crate::itemstore::ItemStore::views`]) — the item factors are read in
+//!   place, so the loop moves `O(nnz_u·f²)` flops and `O(u·f)` bytes and
+//!   the published [`DeltaStats::item_factor_bytes_copied`] is asserted to
+//!   stay **zero**.  Fold-in needs each user's full rating history (a
+//!   re-solve from scratch), so the loop keeps one, seeded from the
+//!   training matrix and updated per event with last-write-wins semantics.
+//! * [`OnlineLoop::sgd`] feeds each batch to
+//!   [`cumf_core::sgd::SgdEngine::absorb`] — a few gradient steps per
+//!   rating, no history needed — and publishes the touched rows of the
+//!   engine's user snapshot.  Item factors drift inside the engine and
+//!   reach serving only at the next full republish; the user-side effect of
+//!   every rating is live immediately.
+//!
+//! Both modes append brand-new users (ids at or past the snapshot's user
+//! count) through [`SnapshotDelta::append_users`]; id gaps between the
+//! snapshot edge and the highest streamed user are filled with zero vectors
+//! (fold-in: a user with no ratings solves to the zero vector) or the SGD
+//! engine's initialization rows, so ids stay dense and stable.
+
+use crate::batcher::TopKService;
+use crate::metrics::ServeMetrics;
+use crate::snapshot::{DeltaError, DeltaStats, FactorSnapshot, SnapshotDelta, SnapshotStore};
+use crate::sync::Arc;
+use cumf_core::sgd::SgdEngine;
+use cumf_core::{Engine, IncrementalEngine};
+use cumf_data::stream::StreamBatcher;
+use cumf_linalg::FactorMatrix;
+use cumf_sparse::Csr;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+/// Anything the loop can publish deltas through: the raw [`SnapshotStore`]
+/// (tests, benches) or a live [`TopKService`] (which also invalidates its
+/// result cache targetedly and records publish metrics).
+pub trait DeltaPublisher {
+    /// The currently-published snapshot (what the next delta chains from).
+    fn current(&self) -> Arc<FactorSnapshot>;
+
+    /// Applies and publishes `delta`; see [`SnapshotStore::publish_delta`].
+    fn publish_delta(&self, delta: &SnapshotDelta) -> Result<(u64, DeltaStats), DeltaError>;
+}
+
+impl DeltaPublisher for SnapshotStore {
+    fn current(&self) -> Arc<FactorSnapshot> {
+        self.load()
+    }
+
+    fn publish_delta(&self, delta: &SnapshotDelta) -> Result<(u64, DeltaStats), DeltaError> {
+        SnapshotStore::publish_delta(self, delta)
+    }
+}
+
+impl DeltaPublisher for TopKService {
+    fn current(&self) -> Arc<FactorSnapshot> {
+        self.snapshot()
+    }
+
+    fn publish_delta(&self, delta: &SnapshotDelta) -> Result<(u64, DeltaStats), DeltaError> {
+        TopKService::publish_delta(self, delta)
+    }
+}
+
+/// Knobs of the online loop.
+#[derive(Debug, Clone)]
+pub struct OnlineLoopConfig {
+    /// Most rating events drained into one mini-batch (and therefore one
+    /// solve + one delta publish).
+    pub max_batch_events: usize,
+    /// Longest a step waits for the first event before yielding an empty
+    /// batch (the stream is live but quiet).
+    pub max_batch_wait: Duration,
+    /// How many times a step rebuilds its delta when a concurrent publisher
+    /// wins the generation race ([`DeltaError::StaleBase`]).
+    pub max_publish_retries: usize,
+}
+
+impl Default for OnlineLoopConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_events: 256,
+            max_batch_wait: Duration::from_millis(50),
+            max_publish_retries: 3,
+        }
+    }
+}
+
+/// Cumulative accounting of one loop's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OnlineReport {
+    /// Mini-batches drained (empty ones included).
+    pub batches: u64,
+    /// Batches that timed out with no events (stream quiet).
+    pub empty_batches: u64,
+    /// Rating events ingested and reflected in a publish.
+    pub events: u64,
+    /// Delta generations published.
+    pub publishes: u64,
+    /// Existing-user rows republished across all deltas.
+    pub users_updated: u64,
+    /// Brand-new users appended across all deltas (gap fillers included).
+    pub users_appended: u64,
+    /// The last generation this loop published (0 before the first).
+    pub last_generation: u64,
+}
+
+/// What one [`OnlineLoop::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Rating events in the drained mini-batch (0: quiet stream).
+    pub events: usize,
+    /// Generation published for this batch (`None` for an empty batch).
+    pub generation: Option<u64>,
+    /// Byte accounting of the publish (`None` for an empty batch).
+    pub stats: Option<DeltaStats>,
+}
+
+/// How a batch of ratings becomes updated user factors.
+enum Updater {
+    /// Re-solve each touched user against the serving snapshot's item
+    /// segments, from the user's full accumulated rating history.
+    FoldIn {
+        engine: Box<dyn IncrementalEngine>,
+        /// Per user: item → latest rating (last write wins on re-rates;
+        /// `BTreeMap` keeps CSR columns sorted for free).
+        history: BTreeMap<u32, BTreeMap<u32, f32>>,
+    },
+    /// Absorb each batch as Hogwild gradient steps; publish the touched
+    /// rows of the engine's user snapshot.  Boxed to keep the two
+    /// variants' sizes comparable.
+    Sgd { engine: Box<SgdEngine> },
+}
+
+/// The driver that closes the loop: drain a mini-batch, update factors
+/// incrementally, publish the delta, record freshness — repeat until the
+/// stream is exhausted.
+pub struct OnlineLoop<'a> {
+    publisher: &'a dyn DeltaPublisher,
+    metrics: Arc<ServeMetrics>,
+    batcher: StreamBatcher,
+    updater: Updater,
+    config: OnlineLoopConfig,
+    report: OnlineReport,
+}
+
+impl<'a> OnlineLoop<'a> {
+    /// A fold-in loop: each touched user is re-solved against the published
+    /// snapshot's item segments through
+    /// [`IncrementalEngine::fold_in_users_segmented`], so the item factors
+    /// are never materialized or copied.  `training` seeds the per-user
+    /// rating history (fold-in re-solves from *all* of a user's known
+    /// ratings, not just the streamed ones).
+    ///
+    /// # Panics
+    /// Panics if the engine's latent rank disagrees with the published
+    /// snapshot's.
+    pub fn fold_in(
+        engine: Box<dyn IncrementalEngine>,
+        training: &Csr,
+        batcher: StreamBatcher,
+        publisher: &'a dyn DeltaPublisher,
+        metrics: Arc<ServeMetrics>,
+        config: OnlineLoopConfig,
+    ) -> Self {
+        assert_eq!(
+            engine.theta().rank(),
+            publisher.current().rank(),
+            "fold-in engine rank must match the published snapshot"
+        );
+        let mut history: BTreeMap<u32, BTreeMap<u32, f32>> = BTreeMap::new();
+        for u in 0..training.n_rows() {
+            let (cols, vals) = training.row(u);
+            if !cols.is_empty() {
+                history.insert(u, cols.iter().copied().zip(vals.iter().copied()).collect());
+            }
+        }
+        Self {
+            publisher,
+            metrics,
+            batcher,
+            updater: Updater::FoldIn { engine, history },
+            config,
+            report: OnlineReport::default(),
+        }
+    }
+
+    /// A streaming-SGD loop: batches are absorbed as gradient steps by
+    /// `engine` ([`SgdEngine::absorb`]) and the touched user rows of its
+    /// snapshot are published.
+    ///
+    /// # Panics
+    /// Panics if the engine's latent rank disagrees with the published
+    /// snapshot's.
+    pub fn sgd(
+        engine: SgdEngine,
+        batcher: StreamBatcher,
+        publisher: &'a dyn DeltaPublisher,
+        metrics: Arc<ServeMetrics>,
+        config: OnlineLoopConfig,
+    ) -> Self {
+        assert_eq!(
+            engine.theta().rank(),
+            publisher.current().rank(),
+            "SGD engine rank must match the published snapshot"
+        );
+        Self {
+            publisher,
+            metrics,
+            batcher,
+            updater: Updater::Sgd {
+                engine: Box::new(engine),
+            },
+            config,
+            report: OnlineReport::default(),
+        }
+    }
+
+    /// Cumulative accounting so far.
+    pub fn report(&self) -> OnlineReport {
+        self.report
+    }
+
+    /// The streaming-SGD engine, when this is an SGD loop (for convergence
+    /// checks against its live factors).
+    pub fn sgd_engine(&self) -> Option<&SgdEngine> {
+        match &self.updater {
+            Updater::Sgd { engine } => Some(engine.as_ref()),
+            Updater::FoldIn { .. } => None,
+        }
+    }
+
+    /// Drains one mini-batch, updates factors, publishes the delta and
+    /// records each rating's freshness.  Returns `Ok(None)` when the stream
+    /// is exhausted, `Ok(Some(..))` otherwise (an empty outcome for a quiet
+    /// stream).  A [`DeltaError`] other than a retried-away stale base is
+    /// propagated — the loop never publishes over a newer generation.
+    pub fn step(&mut self) -> Result<Option<StepOutcome>, DeltaError> {
+        let Some(batch) = self
+            .batcher
+            .next_batch(self.config.max_batch_events, self.config.max_batch_wait)
+        else {
+            return Ok(None);
+        };
+        self.report.batches += 1;
+        if batch.is_empty() {
+            self.report.empty_batches += 1;
+            return Ok(Some(StepOutcome {
+                events: 0,
+                generation: None,
+                stats: None,
+            }));
+        }
+
+        // Fold the batch into the updater's state exactly once (retries
+        // below rebuild the delta, not the update).
+        let entries = batch.entries();
+        let touched: Vec<u32> = match &mut self.updater {
+            Updater::FoldIn { history, .. } => {
+                let mut touched = BTreeSet::new();
+                for e in &entries {
+                    history.entry(e.row).or_default().insert(e.col, e.val);
+                    touched.insert(e.row);
+                }
+                touched.into_iter().collect()
+            }
+            Updater::Sgd { engine } => engine.absorb(&entries),
+        };
+
+        let mut attempt = 0;
+        let (generation, stats) = loop {
+            let snap = self.publisher.current();
+            let delta = self.build_delta(&snap, &touched);
+            match self.publisher.publish_delta(&delta) {
+                Ok(ok) => break ok,
+                Err(DeltaError::StaleBase { .. }) if attempt < self.config.max_publish_retries => {
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        // The loop never appends items, so the acceptance invariant of the
+        // incremental path — zero full-catalog Θ bytes moved — must hold on
+        // every publish.
+        assert_eq!(
+            stats.item_factor_bytes_copied, 0,
+            "online delta publish copied item factors"
+        );
+
+        let published_at = Instant::now();
+        for event in &batch.events {
+            let age = published_at.saturating_duration_since(event.ingested_at);
+            self.metrics.record_freshness_ns(age.as_nanos() as u64);
+        }
+
+        self.report.events += entries.len() as u64;
+        self.report.publishes += 1;
+        self.report.users_updated += stats.changed_users as u64;
+        self.report.users_appended += stats.appended_users as u64;
+        self.report.last_generation = generation;
+        Ok(Some(StepOutcome {
+            events: entries.len(),
+            generation: Some(generation),
+            stats: Some(stats),
+        }))
+    }
+
+    /// Drives [`OnlineLoop::step`] until the stream is exhausted; returns
+    /// the lifetime report.
+    pub fn run(&mut self) -> Result<OnlineReport, DeltaError> {
+        while self.step()?.is_some() {}
+        Ok(self.report)
+    }
+
+    /// Builds the delta for `touched` users against `snap`: existing users
+    /// become row updates, users past the snapshot edge become appends
+    /// (with id gaps filled so ids stay dense).
+    fn build_delta(&self, snap: &FactorSnapshot, touched: &[u32]) -> SnapshotDelta {
+        let n_base = snap.n_users() as u32;
+        let f = snap.rank();
+        let mut delta = snap.delta();
+        match &self.updater {
+            Updater::FoldIn { engine, history } => {
+                // One CSR row per touched user, over the full history.
+                let mut row_ptr = vec![0usize];
+                let mut col_idx = Vec::new();
+                let mut values = Vec::new();
+                for u in touched {
+                    if let Some(ratings) = history.get(u) {
+                        for (&v, &val) in ratings {
+                            col_idx.push(v);
+                            values.push(val);
+                        }
+                    }
+                    row_ptr.push(col_idx.len());
+                }
+                let ratings = Csr::from_raw(
+                    touched.len() as u32,
+                    snap.n_items() as u32,
+                    row_ptr,
+                    col_idx,
+                    values,
+                )
+                // lint-ok: serve-unwrap row_ptr/col_idx/values are built consistently just above
+                .expect("per-user history CSR is consistent by construction");
+                // The solve reads the serving snapshot's segments in place:
+                // no Θ materialization, no catalog copy.
+                let folded = engine.fold_in_users_segmented(&ratings, &snap.items().views());
+                let mut appended = Vec::new();
+                let mut next_append = n_base;
+                for (i, &u) in touched.iter().enumerate() {
+                    if u < n_base {
+                        delta.update_user(u, folded.vector(i));
+                    } else {
+                        // Fill the id gap with zero rows: a user with no
+                        // ratings folds in to the zero vector anyway.
+                        while next_append < u {
+                            appended.extend(std::iter::repeat_n(0.0, f));
+                            next_append += 1;
+                        }
+                        appended.extend_from_slice(folded.vector(i));
+                        next_append += 1;
+                    }
+                }
+                if !appended.is_empty() {
+                    delta.append_users(&FactorMatrix::from_vec(appended.len() / f, f, appended));
+                }
+            }
+            Updater::Sgd { engine } => {
+                // `absorb` grew the engine's user set to cover every
+                // touched id, so gap rows exist too (their initialization
+                // vectors keep ids dense).
+                let x = engine.x();
+                for &u in touched.iter().filter(|&&u| u < n_base) {
+                    delta.update_user(u, x.vector(u as usize));
+                }
+                let max_touched = touched.iter().copied().max().unwrap_or(0);
+                if max_touched >= n_base {
+                    let mut appended = Vec::new();
+                    for u in n_base..=max_touched {
+                        appended.extend_from_slice(x.vector(u as usize));
+                    }
+                    delta.append_users(&FactorMatrix::from_vec(appended.len() / f, f, appended));
+                }
+            }
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_core::als::BaseAls;
+    use cumf_core::config::AlsConfig;
+    use cumf_core::sgd::SgdConfig;
+    use cumf_data::stream::{MutationStreamConfig, ReplayStream, SyntheticMutationStream};
+    use cumf_data::synth::SyntheticConfig;
+    use cumf_sparse::Entry;
+
+    const F: usize = 8;
+
+    fn trained() -> (Csr, BaseAls) {
+        let data = SyntheticConfig {
+            m: 60,
+            n: 40,
+            nnz: 1500,
+            rank: 4,
+            noise_std: 0.05,
+            ..Default::default()
+        }
+        .generate();
+        let r = data.to_csr();
+        let config = AlsConfig {
+            f: F,
+            lambda: 0.05,
+            ..Default::default()
+        };
+        let mut engine = BaseAls::new(config, r.clone());
+        for _ in 0..4 {
+            engine.iterate();
+        }
+        (r, engine)
+    }
+
+    fn replay_batcher(entries: Vec<Entry>, n_items: u32) -> StreamBatcher {
+        StreamBatcher::spawn(ReplayStream::from_entries(entries, n_items), 64)
+    }
+
+    #[test]
+    fn fold_in_loop_publishes_deltas_and_matches_the_direct_solve() {
+        let (r, engine) = trained();
+        let store = SnapshotStore::new(FactorSnapshot::from_factors(
+            engine.x().clone(),
+            engine.theta().clone(),
+        ));
+        let metrics = Arc::new(ServeMetrics::new());
+
+        // Re-rate two existing users' items and rate one unseen pair.
+        let events = vec![
+            Entry {
+                row: 3,
+                col: 7,
+                val: 5.0,
+            },
+            Entry {
+                row: 11,
+                col: 2,
+                val: 1.0,
+            },
+            Entry {
+                row: 3,
+                col: 9,
+                val: 4.0,
+            },
+        ];
+        let before = store.load();
+        let mut driver = OnlineLoop::fold_in(
+            Box::new(engine),
+            &r,
+            replay_batcher(events.clone(), r.n_cols()),
+            &store,
+            Arc::clone(&metrics),
+            OnlineLoopConfig::default(),
+        );
+        let report = driver.run().unwrap();
+        assert!(report.publishes >= 1);
+        assert_eq!(report.events, 3);
+        assert_eq!(report.users_appended, 0);
+
+        let after = store.load();
+        assert!(after.generation() > before.generation());
+        // Touched users moved; untouched users are bit-identical (their COW
+        // blocks are shared, not recomputed).
+        assert_ne!(after.user_vector(3), before.user_vector(3));
+        assert_ne!(after.user_vector(11), before.user_vector(11));
+        assert_eq!(after.user_vector(40), before.user_vector(40));
+        // Every rating's freshness was recorded once.
+        assert_eq!(metrics.report().freshness.count(), 3);
+
+        // The published row equals a direct fold-in over the merged history
+        // (training ratings + streamed updates, last write wins).
+        let mut merged: BTreeMap<u32, f32> = {
+            let (cols, vals) = r.row(3);
+            cols.iter().copied().zip(vals.iter().copied()).collect()
+        };
+        merged.insert(7, 5.0);
+        merged.insert(9, 4.0);
+        let cols: Vec<u32> = merged.keys().copied().collect();
+        let vals: Vec<f32> = merged.values().copied().collect();
+        let one = Csr::from_raw(1, r.n_cols(), vec![0, cols.len()], cols, vals).unwrap();
+        let expect = cumf_core::foldin::fold_in_users(&one, &after.item_factors_matrix(), 0.05);
+        assert_eq!(after.user_vector(3).unwrap(), expect.vector(0));
+    }
+
+    #[test]
+    fn fold_in_loop_appends_new_users_past_the_snapshot_edge() {
+        let (r, engine) = trained();
+        let n_base = r.n_rows();
+        let store = SnapshotStore::new(FactorSnapshot::from_factors(
+            engine.x().clone(),
+            engine.theta().clone(),
+        ));
+        let metrics = Arc::new(ServeMetrics::new());
+        // User n_base+2 arrives first: the gap users get zero vectors.
+        let events = vec![
+            Entry {
+                row: n_base + 2,
+                col: 1,
+                val: 4.5,
+            },
+            Entry {
+                row: n_base,
+                col: 3,
+                val: 2.0,
+            },
+        ];
+        let mut driver = OnlineLoop::fold_in(
+            Box::new(engine),
+            &r,
+            replay_batcher(events, r.n_cols()),
+            &store,
+            Arc::clone(&metrics),
+            OnlineLoopConfig::default(),
+        );
+        let report = driver.run().unwrap();
+        assert_eq!(report.users_appended, 3);
+
+        let snap = store.load();
+        assert_eq!(snap.n_users() as u32, n_base + 3);
+        // The rated new users have non-zero vectors; the gap user is zero.
+        assert!(snap
+            .user_vector(n_base + 2)
+            .unwrap()
+            .iter()
+            .any(|&x| x != 0.0));
+        assert!(snap
+            .user_vector(n_base + 1)
+            .unwrap()
+            .iter()
+            .all(|&x| x == 0.0));
+        // New users are servable immediately.
+        assert_eq!(snap.recommend_one(n_base + 2, 5, &[]).len(), 5);
+    }
+
+    #[test]
+    fn sgd_loop_publishes_absorbed_updates() {
+        let (r, als) = trained();
+        let store = SnapshotStore::new(FactorSnapshot::from_factors(
+            als.x().clone(),
+            als.theta().clone(),
+        ));
+        let metrics = Arc::new(ServeMetrics::new());
+        let sgd = SgdEngine::new(
+            SgdConfig {
+                f: F,
+                ..Default::default()
+            },
+            r.clone(),
+        );
+        let events = vec![
+            Entry {
+                row: 5,
+                col: 1,
+                val: 5.0,
+            },
+            Entry {
+                row: r.n_rows() + 1,
+                col: 2,
+                val: 3.0,
+            },
+        ];
+        let before = store.load();
+        let mut driver = OnlineLoop::sgd(
+            sgd,
+            replay_batcher(events, r.n_cols()),
+            &store,
+            Arc::clone(&metrics),
+            OnlineLoopConfig::default(),
+        );
+        let report = driver.run().unwrap();
+        assert!(report.publishes >= 1);
+
+        let after = store.load();
+        assert_ne!(after.user_vector(5), before.user_vector(5));
+        assert_eq!(after.n_users(), before.n_users() + 2);
+        // The published row is exactly the engine's current snapshot row.
+        let engine = driver.sgd_engine().unwrap();
+        assert_eq!(after.user_vector(5).unwrap(), engine.x().vector(5));
+        assert_eq!(metrics.report().freshness.count(), 2);
+    }
+
+    #[test]
+    fn quiet_streams_yield_empty_steps_then_exhaustion() {
+        let (r, engine) = trained();
+        let store = SnapshotStore::new(FactorSnapshot::from_factors(
+            engine.x().clone(),
+            engine.theta().clone(),
+        ));
+        let metrics = Arc::new(ServeMetrics::new());
+        let mut driver = OnlineLoop::fold_in(
+            Box::new(engine),
+            &r,
+            replay_batcher(Vec::new(), r.n_cols()),
+            &store,
+            Arc::clone(&metrics),
+            OnlineLoopConfig {
+                max_batch_wait: Duration::from_millis(5),
+                ..Default::default()
+            },
+        );
+        // An exhausted replay stream disconnects; the loop may observe a
+        // quiet window first but must terminate with no publishes.
+        let report = driver.run().unwrap();
+        assert_eq!(report.publishes, 0);
+        assert_eq!(report.events, 0);
+        assert_eq!(store.load().generation(), 1);
+        assert_eq!(metrics.report().freshness.count(), 0);
+    }
+
+    #[test]
+    fn mutation_stream_drives_the_loop_end_to_end() {
+        let data = SyntheticConfig {
+            m: 50,
+            n: 30,
+            nnz: 1200,
+            rank: 4,
+            noise_std: 0.05,
+            ..Default::default()
+        }
+        .generate();
+        let r = data.to_csr();
+        let mut engine = BaseAls::new(
+            AlsConfig {
+                f: F,
+                lambda: 0.05,
+                ..Default::default()
+            },
+            r.clone(),
+        );
+        for _ in 0..3 {
+            engine.iterate();
+        }
+        let store = SnapshotStore::new(FactorSnapshot::from_factors(
+            engine.x().clone(),
+            engine.theta().clone(),
+        ));
+        let metrics = Arc::new(ServeMetrics::new());
+        let stream = SyntheticMutationStream::new(
+            &data,
+            MutationStreamConfig {
+                events: 120,
+                new_users: 4,
+                new_user_fraction: 0.2,
+                ..Default::default()
+            },
+        );
+        let mut driver = OnlineLoop::fold_in(
+            Box::new(engine),
+            &r,
+            StreamBatcher::spawn(stream, 32),
+            &store,
+            Arc::clone(&metrics),
+            OnlineLoopConfig {
+                max_batch_events: 32,
+                ..Default::default()
+            },
+        );
+        let report = driver.run().unwrap();
+        assert_eq!(report.events, 120);
+        assert!(report.publishes >= 120 / 32);
+        let freshness = metrics.report().freshness;
+        assert_eq!(freshness.count(), 120);
+        assert!(freshness.quantile(0.99) >= freshness.quantile(0.5));
+        // New-pool users were appended and are servable.
+        let snap = store.load();
+        assert!(snap.n_users() > 50);
+        assert!(!snap.recommend_one(50, 3, &[]).is_empty());
+    }
+}
