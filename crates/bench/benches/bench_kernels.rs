@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cumf_core::als::kernels::{accumulate_partials, partial_hermitians, solve_side};
 use cumf_data::synth::SyntheticConfig;
-use cumf_linalg::blas::{add_diagonal, syr_full};
+use cumf_linalg::blas::{add_diagonal, axpy, syr_axpy, syr_full};
 use cumf_linalg::{batch_solve, FactorMatrix};
 use cumf_sparse::Csr;
 use std::hint::black_box;
@@ -36,6 +36,43 @@ fn bench_get_hermitian(c: &mut Criterion) {
             b.iter(|| black_box(solve_side(&r, &theta, 0.05)));
         });
     }
+    group.finish();
+}
+
+/// Scalar `syr_full` + `axpy` against the fused 4-lane `syr_axpy` on the
+/// identical assembly stream — the per-rating body of `get_hermitian`,
+/// isolated from the Cholesky solve.  The two produce bit-identical
+/// Hermitians (pinned in cumf-core); this rung prices the vectorization win
+/// on its own.
+fn bench_hermitian_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hermitian_assembly");
+    let f = 32usize;
+    let updates = 4_096usize;
+    let vectors = FactorMatrix::random(updates, f, 0.5, 17);
+    let vals: Vec<f32> = (0..updates).map(|i| 0.1 + (i % 5) as f32).collect();
+    group.throughput(Throughput::Elements(updates as u64));
+    group.bench_function("scalar_syr_full_axpy_f32", |b| {
+        b.iter(|| {
+            let mut a = vec![0.0f32; f * f];
+            let mut rhs = vec![0.0f32; f];
+            for (i, &val) in vals.iter().enumerate() {
+                let x = vectors.vector(i);
+                syr_full(&mut a, x);
+                axpy(val, x, &mut rhs);
+            }
+            black_box((a, rhs))
+        });
+    });
+    group.bench_function("fused_syr_axpy_f32", |b| {
+        b.iter(|| {
+            let mut a = vec![0.0f32; f * f];
+            let mut rhs = vec![0.0f32; f];
+            for (i, &val) in vals.iter().enumerate() {
+                syr_axpy(&mut a, &mut rhs, vectors.vector(i), val);
+            }
+            black_box((a, rhs))
+        });
+    });
     group.finish();
 }
 
@@ -103,6 +140,7 @@ fn bench_batch_solve(c: &mut Criterion) {
 criterion_group!(
     kernels,
     bench_get_hermitian,
+    bench_hermitian_assembly,
     bench_partial_hermitians,
     bench_accumulate,
     bench_batch_solve

@@ -22,7 +22,12 @@
 //! 8. fold-in: solving a user batch's normal equations **directly against
 //!    the store's segment views** versus first materializing a contiguous
 //!    catalog-order Θ (bit-identical results asserted) — the zero-Θ-copy
-//!    invariant the online loop's incremental path rides on.
+//!    invariant the online loop's incremental path rides on,
+//! 9. quantization: the same skewed catalog served at f32 / f16 / i8, with
+//!    bytes-per-query, post-rerank recall@k, and latency for every
+//!    precision printed into the report — and the tentpole's byte-ratio and
+//!    recall floors (≥1.8× at f16 with recall 1.0, ≥3.5× at i8 with recall
+//!    ≥ 0.99) asserted by the run itself.
 //!
 //! Catalog sizes reach the ≥100k-item regime the paper's deployments imply.
 //! Throughput is reported in requests/sec.  Pool/shard sizing for rung 3
@@ -38,9 +43,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use cumf_core::foldin::{fold_in_users, fold_in_users_segmented, ratings_rows};
 use cumf_linalg::blas::dot;
 use cumf_linalg::FactorMatrix;
+use cumf_linalg::Precision;
 use cumf_serve::{
-    measure_recall, ApproxPolicy, FactorSnapshot, ItemLayout, Query, ScoreKind, ServeConfig,
-    SnapshotStore, TopKIndex, TopKService, DEFAULT_APPROX_EPSILON,
+    measure_recall, report_from_lists, ApproxPolicy, FactorSnapshot, ItemLayout, Query, ScoreKind,
+    ServeConfig, SnapshotStore, TopKIndex, TopKService, DEFAULT_APPROX_EPSILON,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -411,6 +417,90 @@ fn bench_approximate(c: &mut Criterion) {
     );
 }
 
+/// The quantization rung: the skewed-norm, norm-descending catalog served
+/// at every [`Precision`], same queries, same blocking.  For each reduced
+/// precision the run prints bytes-per-query (total, and scan-only with the
+/// rerank's exact-row fetches subtracted), post-rerank recall@k against the
+/// exact f32 lists, and the rerank candidate volume — then asserts the
+/// tentpole's floors: f16 moves ≥ 1.8× fewer bytes with recall 1.0, i8
+/// ≥ 3.5× fewer with recall ≥ 0.99.  The latency of each precision lands in
+/// the criterion report alongside.
+///
+/// Note the over-fetch asymmetry: the quantized scan keeps
+/// `k · rerank_factor` candidates, which weakens its heap threshold
+/// relative to the exact scan at plain `k`, so the byte ratios here are
+/// measured against the exact baseline *at the user's k* — the honest
+/// end-to-end accounting, strictly harder than a matched-candidate-count
+/// comparison.
+fn bench_quantized(c: &mut Criterion) {
+    let quick = quick_mode();
+    let (_, shards) = pool_args();
+    let n_items = if quick { 50_000 } else { 200_000 };
+    let x = FactorMatrix::random(N_USERS, F, 0.5, 61);
+    let snap = Arc::new(FactorSnapshot::from_factors_with_layout(
+        x,
+        skewed_theta(n_items, 62),
+        ItemLayout::NormDescending,
+    ));
+    let qs = queries();
+    let exact = TopKIndex::with_shards(Arc::clone(&snap), 512, ScoreKind::Dot, shards);
+    let (exact_results, exact_stats) = exact.query_batch_stats(&qs);
+
+    let mut group = c.benchmark_group("serving_quantized");
+    group.sample_size(if quick { 3 } else { 10 });
+    group.throughput(Throughput::Elements(REQUESTS as u64));
+    println!(
+        "quantized[f32]: {} bytes/query (baseline), {} blocks scored",
+        exact_stats.bytes_scanned / qs.len() as u64,
+        exact_stats.blocks_scored,
+    );
+    group.bench_with_input(BenchmarkId::new("f32", n_items), &n_items, |b, _| {
+        b.iter(|| black_box(exact.query_batch(&qs)));
+    });
+    for (precision, min_ratio, recall_floor) in
+        [(Precision::F16, 1.8, 1.0), (Precision::I8, 3.5, 0.99)]
+    {
+        let re = Arc::new(snap.reencoded(precision));
+        let index = TopKIndex::with_shards(Arc::clone(&re), 512, ScoreKind::Dot, shards);
+        let (got, stats) = index.query_batch_stats(&qs);
+        let report = report_from_lists(&exact_results, &got, exact_stats, stats);
+        let scan_only = stats.bytes_scanned - stats.rerank_candidates * (F as u64) * 4;
+        let ratio = exact_stats.bytes_scanned as f64 / stats.bytes_scanned as f64;
+        println!(
+            "quantized[{precision}]: {:.2}x bytes/query ({} vs {} per query; scan-only {}), \
+             mean recall {:.4} (min {:.4}), {} rerank candidates over {} requests",
+            ratio,
+            stats.bytes_scanned / qs.len() as u64,
+            exact_stats.bytes_scanned / qs.len() as u64,
+            scan_only / qs.len() as u64,
+            report.mean_recall,
+            report.min_recall,
+            stats.rerank_candidates,
+            qs.len(),
+        );
+        assert!(
+            report.mean_recall >= recall_floor,
+            "{precision}: post-rerank recall {:.4} below the {recall_floor} floor",
+            report.mean_recall
+        );
+        assert!(
+            ratio >= min_ratio,
+            "{precision}: byte ratio {ratio:.2}x below the {min_ratio}x floor \
+             ({} vs {} bytes)",
+            stats.bytes_scanned,
+            exact_stats.bytes_scanned
+        );
+        group.bench_with_input(
+            BenchmarkId::new(precision.name(), n_items),
+            &n_items,
+            |b, _| {
+                b.iter(|| black_box(index.query_batch(&qs)));
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Item-append publication cost: pushing an `a`-row tail segment
 /// (`O(a·f)`, the segmented store's delta path) versus rebuilding the
 /// snapshot around a full Θ copy (`O(n·f)`, what the pre-segmented store
@@ -543,6 +633,7 @@ criterion_group!(
     bench_fold_in,
     bench_pruning,
     bench_approximate,
+    bench_quantized,
     bench_item_append
 );
 criterion_main!(serving);

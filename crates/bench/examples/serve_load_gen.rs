@@ -42,6 +42,15 @@
 //! diverges from ground truth, or if any approximate list comes back
 //! short.
 //!
+//! `--precision f32|f16|i8` serves the catalog at the given storage
+//! precision (quantized segments decoded tile-by-tile at scan time, with
+//! the exact-f32 rerank re-scoring the over-fetched candidates).  With a
+//! quantized precision, `--recall FLOOR` gates the **post-rerank** recall
+//! of the quantized path against the exact-f32 ground truth instead of the
+//! epsilon gate, asserts the quantized scan moved strictly fewer bytes than
+//! the exact baseline, and requires the `serve_rerank` histogram to have
+//! recorded the load-phase traffic.
+//!
 //! `--metrics-json PATH` turns on the observability reporter: a sidecar
 //! thread polls [`cumf_serve::TopKService::window_report`] every 250 ms and
 //! prints a one-line since-last-poll summary (requests, e2e p50/p99, queue
@@ -56,6 +65,7 @@
 //!                       [--stream N] [--stream-mode fold-in|sgd]
 //!                       [--naive-sample N] [--workers N] [--shards N]
 //!                       [--recall FLOOR] [--approx-epsilon EPS]
+//!                       [--precision f32|f16|i8]
 //!                       [--metrics-json PATH] [--trace-jsonl PATH]
 //! ```
 //!
@@ -71,10 +81,10 @@ use cumf_core::foldin::{fold_in_users_segmented, ratings_rows};
 use cumf_core::sgd::{SgdConfig, SgdEngine};
 use cumf_data::stream::{ReplayStream, StreamBatcher};
 use cumf_linalg::blas::dot;
-use cumf_linalg::FactorMatrix;
+use cumf_linalg::{FactorMatrix, Precision};
 use cumf_serve::{
-    measure_recall, ApproxPolicy, FactorSnapshot, OnlineLoop, OnlineLoopConfig, OnlineReport,
-    Query, ServeConfig, TopKIndex, TopKService, DEFAULT_APPROX_EPSILON,
+    measure_recall, report_from_lists, ApproxPolicy, FactorSnapshot, OnlineLoop, OnlineLoopConfig,
+    OnlineReport, Query, ServeConfig, TopKIndex, TopKService, DEFAULT_APPROX_EPSILON,
 };
 use cumf_sparse::{Csr, Entry};
 use rand::prelude::*;
@@ -120,6 +130,8 @@ struct Args {
     recall: Option<f64>,
     /// Epsilon of the policy the recall gate measures.
     approx_epsilon: f32,
+    /// Storage precision of the served item segments.
+    precision: Precision,
     /// Where to write the final cumulative metrics as flat JSON (also
     /// enables the 250 ms windowed reporter while the load runs).
     metrics_json: Option<std::path::PathBuf>,
@@ -145,6 +157,7 @@ impl Default for Args {
             shards: 1,
             recall: None,
             approx_epsilon: DEFAULT_APPROX_EPSILON,
+            precision: Precision::F32,
             metrics_json: None,
             trace_jsonl: None,
         }
@@ -163,7 +176,7 @@ fn parse_args() -> Args {
                  [--clients N] [--k K] [--publishes N] [--fold-in N] [--stream N] \
                  [--stream-mode fold-in|sgd] [--naive-sample N] \
                  [--workers N] [--shards N] [--recall FLOOR] [--approx-epsilon EPS] \
-                 [--metrics-json PATH] [--trace-jsonl PATH]"
+                 [--precision f32|f16|i8] [--metrics-json PATH] [--trace-jsonl PATH]"
             );
             std::process::exit(0);
         }
@@ -207,6 +220,10 @@ fn parse_args() -> Args {
                 args.recall = Some(floor);
             }
             "--approx-epsilon" => args.approx_epsilon = float(raw) as f32,
+            "--precision" => {
+                args.precision = Precision::parse(raw)
+                    .unwrap_or_else(|| panic!("bad value for --precision: {raw} (f32|f16|i8)"))
+            }
             "--metrics-json" => args.metrics_json = Some(raw.into()),
             "--trace-jsonl" => args.trace_jsonl = Some(raw.into()),
             other => panic!("unknown flag {other}"),
@@ -234,7 +251,7 @@ fn main() {
     let args = parse_args();
     println!(
         "serve_load_gen: {} requests, {} clients, catalog {} items, {} users, f={}, k={}, \
-         {} workers, {} item shards",
+         {} workers, {} item shards, {} item segments",
         args.requests,
         args.clients,
         args.items,
@@ -242,7 +259,8 @@ fn main() {
         args.f,
         args.k,
         args.workers,
-        args.shards
+        args.shards,
+        args.precision,
     );
 
     let initial = snapshot(&args, 1);
@@ -275,6 +293,7 @@ fn main() {
         ServeConfig {
             workers: args.workers,
             shards: args.shards,
+            precision: args.precision,
             ..Default::default()
         },
     );
@@ -569,7 +588,93 @@ fn main() {
     // actually serving, plus a live-service divergence check — exact-mode
     // requests must match ground truth bit-for-bit even when approximate
     // traffic shares the same workers and cache.
-    if let Some(floor) = args.recall {
+    // Quantized-serving gate: post-rerank recall of the quantized path
+    // against exact-f32 ground truth (re-derived from the retained exact
+    // rows), a strict bytes-moved win, full-length live replies, and a
+    // populated rerank histogram.
+    if let Some(floor) = args.recall.filter(|_| args.precision != Precision::F32) {
+        let snap = service.snapshot();
+        assert_eq!(
+            snap.items().precision(),
+            args.precision,
+            "service must be serving the requested precision"
+        );
+        let exact_snap = Arc::new(snap.reencoded(Precision::F32));
+        let config = ServeConfig::default();
+        let mut rng = StdRng::seed_from_u64(777);
+        let queries: Vec<Query> = (0..128)
+            .map(|_| Query::new(skewed_user(&mut rng, args.users), args.k))
+            .collect();
+        let truth = TopKIndex::with_shards(
+            Arc::clone(&exact_snap),
+            config.item_block,
+            config.score,
+            args.shards,
+        );
+        let quant = TopKIndex::with_shards(
+            Arc::clone(&snap),
+            config.item_block,
+            config.score,
+            args.shards,
+        );
+        let (want, want_stats) = truth.query_batch_stats(&queries);
+        let (got, got_stats) = quant.query_batch_stats(&queries);
+        let quant_bytes = got_stats.bytes_scanned;
+        let report = report_from_lists(&want, &got, want_stats, got_stats);
+        println!(
+            "quantized recall gate ({}, floor {floor:.2}): {report}; bytes {quant_bytes} vs \
+             exact {} ({:.2}x)",
+            args.precision,
+            want_stats.bytes_scanned,
+            want_stats.bytes_scanned as f64 / quant_bytes as f64,
+        );
+        if report.mean_recall < floor {
+            eprintln!(
+                "FAIL: {} post-rerank mean recall {:.4} below the {floor:.2} floor",
+                args.precision, report.mean_recall
+            );
+            std::process::exit(1);
+        }
+        if quant_bytes >= want_stats.bytes_scanned {
+            eprintln!(
+                "FAIL: {} scan moved {quant_bytes} bytes, not fewer than the exact {}",
+                args.precision, want_stats.bytes_scanned
+            );
+            std::process::exit(1);
+        }
+        let client = service.client();
+        let mut short_quant = 0u64;
+        for q in queries.iter().take(32) {
+            let recs = client
+                .recommend(q.user, q.k, &[])
+                .expect("service alive for the gate");
+            if recs.len() < args.k.min(args.items) {
+                short_quant += 1;
+            }
+        }
+        if short_quant > 0 {
+            eprintln!(
+                "FAIL: {short_quant} quantized request(s) came back short through the service"
+            );
+            std::process::exit(1);
+        }
+        // The load phase itself must have exercised the rerank: every
+        // scored batch over a quantized store rescoring its over-fetch.
+        if metrics.rerank.count() == 0 || metrics.rerank_candidates == 0 {
+            eprintln!(
+                "FAIL: quantized load recorded no rerank activity (count {}, candidates {})",
+                metrics.rerank.count(),
+                metrics.rerank_candidates
+            );
+            std::process::exit(1);
+        }
+        if metrics.bytes_scanned == 0 {
+            eprintln!("FAIL: quantized load recorded no scanned bytes");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(floor) = args.recall.filter(|_| args.precision == Precision::F32) {
         let policy = ApproxPolicy {
             epsilon: args.approx_epsilon,
             target_recall: floor,

@@ -1,0 +1,10 @@
+//! Clean-fixture codec module: every narrowing cast justified.
+
+pub fn encode(x: f32, scale: f32) -> i8 {
+    (x / scale).round().clamp(-127.0, 127.0) as i8 // quant-ok: clamped to the code range first
+}
+
+pub fn decode(c: i8, scale: f32) -> f32 {
+    // quant-ok: i8 -> f32 widening is exact
+    c as f32 * scale
+}

@@ -1,0 +1,17 @@
+//! Seeded-fixture codec module: unjustified narrowing casts.
+
+pub fn encode(x: f32, scale: f32) -> i8 {
+    (x / scale).round() as i8
+}
+
+pub fn decode(c: i8, scale: f32) -> f32 {
+    c as f32 * scale
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_only_cast_is_exempt() {
+        let _ = 3.0f64 as f32; // IN_TEST_MOD
+    }
+}

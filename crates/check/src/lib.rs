@@ -16,6 +16,7 @@
 //! | `sync-facade` | `crates/{obs,serve}/src`, non-test | no `std::sync` reference bypassing the `crate::sync` facade |
 //! | `serve-unwrap` | `crates/serve/src`, non-test | no `.unwrap()` / `.expect(` on the serving tier's request path |
 //! | `lock-order` | `crates/serve/src/cache.rs` | shard guards stay statement-temporaries; shards iterate in ascending order; never two shard locks in one statement |
+//! | `quant-cast` | `crates/*/src/*quant*.rs`, non-test | every `as f32` / `as i8` narrowing in a codec module carries `// quant-ok: <why>` |
 //! | `shim-drift` | `vendor/*` | the shim's `pub` surface matches its checked-in `SURFACE.txt` |
 //! | `baseline-stale` | `crates/check/baseline.txt` | every baseline entry still matches a real finding |
 //!
@@ -24,6 +25,10 @@
 //! * `// relaxed-ok: <why>` / `// ordering-ok: <why>` — on the same line as
 //!   the atomic op or up to three lines above it.  `ordering-ok:` is the
 //!   stronger claim and also satisfies `relaxed-ordering`.
+//! * `// quant-ok: <why>` — same window; justifies a lossy-looking numeric
+//!   cast in a quantization codec module (the casts are where codec error
+//!   bounds are either honored or silently broken, so each one must say why
+//!   it is exact or how its error is accounted for).
 //! * `// lint-ok: <rule> <why>` — same window, suppresses one rule.
 //! * `// lint-ok-file: <rule> <why>` — anywhere in a file, suppresses the
 //!   rule for the whole file (used by the sync facade modules themselves).
@@ -56,6 +61,7 @@ pub const RULE_ORDERING: &str = "atomic-ordering";
 pub const RULE_FACADE: &str = "sync-facade";
 pub const RULE_UNWRAP: &str = "serve-unwrap";
 pub const RULE_LOCK_ORDER: &str = "lock-order";
+pub const RULE_QUANT_CAST: &str = "quant-cast";
 pub const RULE_SHIM_DRIFT: &str = "shim-drift";
 pub const RULE_BASELINE_STALE: &str = "baseline-stale";
 
@@ -285,6 +291,10 @@ fn scan_file(
 ) {
     let raw_lines: Vec<&str> = text.lines().collect();
     let is_cache = crate_name == "serve" && path.ends_with("/cache.rs");
+    let is_quant = path
+        .rsplit('/')
+        .next()
+        .is_some_and(|file| file.contains("quant"));
     let mut push = |rule: &'static str, idx: usize, message: String| {
         findings.push(Finding {
             rule,
@@ -355,6 +365,22 @@ fn scan_file(
                 RULE_UNWRAP,
                 idx,
                 "unwrap/expect on the serving path; return an error or justify with `// lint-ok: serve-unwrap`"
+                    .to_string(),
+            );
+        }
+
+        // quant-cast: in codec modules, a numeric narrowing is exactly
+        // where a documented error bound is honored or silently broken, so
+        // each `as f32` / `as i8` must explain itself.
+        if is_quant
+            && (code.contains(" as f32") || code.contains(" as i8"))
+            && !annotated(lines, idx, &["quant-ok:", &generic(RULE_QUANT_CAST)])
+            && !file_suppressed(lines, RULE_QUANT_CAST)
+        {
+            push(
+                RULE_QUANT_CAST,
+                idx,
+                "numeric cast in a quantization codec without a `// quant-ok:` justification"
                     .to_string(),
             );
         }
@@ -648,6 +674,7 @@ mod tests {
             RULE_FACADE,
             RULE_UNWRAP,
             RULE_LOCK_ORDER,
+            RULE_QUANT_CAST,
             RULE_SHIM_DRIFT,
         ] {
             assert!(
@@ -670,6 +697,31 @@ mod tests {
                 "flagged test-only code: {f}"
             );
         }
+    }
+
+    #[test]
+    fn quant_cast_rule_is_scoped_to_codec_modules() {
+        let findings = check_workspace(&fixture("seeded"));
+        let quant: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == RULE_QUANT_CAST)
+            .collect();
+        assert_eq!(
+            quant.len(),
+            2,
+            "both unjustified casts must be flagged: {quant:#?}"
+        );
+        assert!(
+            quant.iter().all(|f| f.path.contains("quant")),
+            "quant-cast fired outside a codec module: {quant:#?}"
+        );
+        // The clean fixture's codec module carries justifications on both
+        // cast shapes (same-line and line-above) and must stay quiet.
+        let clean = check_workspace(&fixture("clean"));
+        assert!(
+            clean.iter().all(|f| f.rule != RULE_QUANT_CAST),
+            "justified casts flagged: {clean:#?}"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::instrument::TrainMetrics;
 use cumf_linalg::batch::batch_solve;
-use cumf_linalg::blas::{add_diagonal, axpy, syr_full};
+use cumf_linalg::blas::{add_diagonal, syr_axpy};
 use cumf_linalg::cholesky::cholesky_solve;
 use cumf_linalg::FactorMatrix;
 use cumf_obs::ns_between;
@@ -68,9 +68,9 @@ pub fn solve_side_instrumented(
             let mut a = vec![0.0f32; f * f];
             let mut b = vec![0.0f32; f];
             for (&v, &val) in cols.iter().zip(vals.iter()) {
-                let theta_v = fixed.vector(v as usize);
-                syr_full(&mut a, theta_v);
-                axpy(val, theta_v, &mut b);
+                // Fused four-lane assembly step; bit-identical to the
+                // scalar syr_full + axpy pair (see `syr_axpy`'s contract).
+                syr_axpy(&mut a, &mut b, fixed.vector(v as usize), val);
             }
             let assembled = metrics.map(|_| Instant::now());
             add_diagonal(&mut a, f, lambda * cols.len() as f32);
@@ -117,9 +117,7 @@ pub fn partial_hermitians(
         .for_each(|(u, (a, b))| {
             let (cols, vals) = block.row(u as u32);
             for (&v, &val) in cols.iter().zip(vals.iter()) {
-                let theta_v = fixed_part.vector(v as usize);
-                syr_full(a, theta_v);
-                axpy(val, theta_v, b);
+                syr_axpy(a, b, fixed_part.vector(v as usize), val);
             }
         });
     (hermitians, rhs)
@@ -262,6 +260,36 @@ mod tests {
         let x = solve_side(&r, &theta, 0.1);
         assert!(x.vector(1).iter().all(|&v| v == 0.0));
         assert!(x.vector(0).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn vectorized_assembly_matches_the_scalar_reference_exactly() {
+        // Rebuild every row's system with the scalar syr_full + axpy pair —
+        // the pre-vectorization assembly — and solve it: solve_side's fused
+        // 4-lane kernel must reproduce each factor vector bit-for-bit (zero
+        // tolerance), because per-element the assembly performs the same
+        // multiply-adds and reorders no reduction.
+        use cumf_linalg::blas::{axpy, syr_full};
+        let (r, theta) = small_problem();
+        let f = theta.rank();
+        let lambda = 0.05f32;
+        let got = solve_side(&r, &theta, lambda);
+        for u in 0..r.n_rows() {
+            let (cols, vals) = r.row(u);
+            if cols.is_empty() {
+                continue;
+            }
+            let mut a = vec![0.0f32; f * f];
+            let mut b = vec![0.0f32; f];
+            for (&v, &val) in cols.iter().zip(vals.iter()) {
+                let theta_v = theta.vector(v as usize);
+                syr_full(&mut a, theta_v);
+                axpy(val, theta_v, &mut b);
+            }
+            add_diagonal(&mut a, f, lambda * cols.len() as f32);
+            cholesky_solve(&mut a, f, &mut b).unwrap();
+            assert_eq!(got.vector(u as usize), &b[..], "row {u} diverged");
+        }
     }
 
     #[test]

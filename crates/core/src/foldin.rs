@@ -323,6 +323,7 @@ mod tests {
                     first_id: self.firsts[i],
                     ids: Some(&self.ids[i]),
                     pos: Some(&self.pos[i]),
+                    encoded: None,
                 })
                 .collect()
         }

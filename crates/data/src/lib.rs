@@ -32,7 +32,7 @@ pub use datasets::{DatasetSpec, PaperDataset};
 pub use io::{read_csv_triplets, read_matrix_market, write_csv_triplets, write_matrix_market};
 pub use split::{train_test_split, TrainTest};
 pub use stream::{
-    MiniBatch, MutationStreamConfig, RatingEvent, RatingStream, ReplayStream, StreamBatcher,
-    SyntheticMutationStream,
+    BackpressurePolicy, MiniBatch, MutationStreamConfig, RatingEvent, RatingStream, ReplayStream,
+    StreamBatcher, SyntheticMutationStream,
 };
 pub use synth::{SyntheticConfig, SyntheticDataset};

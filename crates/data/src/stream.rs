@@ -24,12 +24,14 @@
 //! visible snapshot per event.
 
 use crate::synth::{gaussian, AliasTable, SyntheticDataset};
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, TryRecvError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, TryRecvError, TrySendError};
 use cumf_linalg::blas::dot;
 use cumf_linalg::FactorMatrix;
 use cumf_sparse::Entry;
 use rand::prelude::*;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -234,43 +236,120 @@ impl MiniBatch {
     }
 }
 
+/// What the producer does when the bounded channel is full — the
+/// backpressure policy of a [`StreamBatcher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Block the producer until the consumer drains (the original, and
+    /// default, behaviour): no event is ever lost, at the price of stalling
+    /// ingestion behind a slow trainer.
+    #[default]
+    Block,
+    /// Shed load instead of stalling: drop the **oldest** queued event to
+    /// make room for the new one, so the window the trainer sees stays
+    /// fresh.  Every shed event increments
+    /// [`StreamBatcher::dropped_events`].
+    DropOldest,
+}
+
 /// Bridges a [`RatingStream`] to the training side through a bounded
 /// channel: a producer thread pulls the stream and stamps ingest instants;
 /// [`StreamBatcher::next_batch`] drains time-ordered mini-batches.
 pub struct StreamBatcher {
     rx: Receiver<RatingEvent>,
     producer: Option<JoinHandle<()>>,
+    dropped: Arc<AtomicU64>,
+    closed: Arc<AtomicBool>,
 }
 
 impl StreamBatcher {
     /// Spawns the producer over `stream` with a channel bound of
-    /// `capacity` events (the backpressure knob).
+    /// `capacity` events (the backpressure knob), blocking the producer
+    /// when the channel fills ([`BackpressurePolicy::Block`]).
     ///
     /// # Panics
     /// Panics if `capacity` is zero.
-    pub fn spawn<S>(mut stream: S, capacity: usize) -> Self
+    pub fn spawn<S>(stream: S, capacity: usize) -> Self
+    where
+        S: RatingStream + Send + 'static,
+    {
+        Self::spawn_with_policy(stream, capacity, BackpressurePolicy::default())
+    }
+
+    /// [`StreamBatcher::spawn`] under an explicit [`BackpressurePolicy`].
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn spawn_with_policy<S>(mut stream: S, capacity: usize, policy: BackpressurePolicy) -> Self
     where
         S: RatingStream + Send + 'static,
     {
         assert!(capacity > 0, "stream batcher needs a positive capacity");
         let (tx, rx) = bounded::<RatingEvent>(capacity);
-        let producer = std::thread::spawn(move || {
-            while let Some(entry) = stream.next_rating() {
-                let event = RatingEvent {
-                    entry,
-                    ingested_at: Instant::now(),
-                };
-                // A send fails only when the consumer dropped the batcher;
-                // the producer just winds down.
-                if tx.send(event).is_err() {
-                    break;
+        let dropped = Arc::new(AtomicU64::new(0));
+        let closed = Arc::new(AtomicBool::new(false));
+        // DropOldest needs its own receiver handle to pop the head of the
+        // queue.  Block must NOT hold one: a blocked `send` unblocks on
+        // receiver disconnect, which a producer-held clone would prevent.
+        let drain = matches!(policy, BackpressurePolicy::DropOldest).then(|| rx.clone());
+        let producer = std::thread::spawn({
+            let dropped = Arc::clone(&dropped);
+            let closed = Arc::clone(&closed);
+            move || {
+                while let Some(entry) = stream.next_rating() {
+                    // ordering-ok: the flag is a plain stop signal; Acquire
+                    // pairs with Drop's Release store
+                    if closed.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let mut event = RatingEvent {
+                        entry,
+                        ingested_at: Instant::now(),
+                    };
+                    match (policy, &drain) {
+                        (BackpressurePolicy::Block, _) => {
+                            // A send fails only when the consumer dropped
+                            // the batcher; the producer just winds down.
+                            if tx.send(event).is_err() {
+                                return;
+                            }
+                        }
+                        (BackpressurePolicy::DropOldest, Some(drain)) => loop {
+                            match tx.try_send(event) {
+                                Ok(()) => break,
+                                Err(TrySendError::Full(e)) => {
+                                    event = e;
+                                    // ordering-ok: same stop signal as above
+                                    if closed.load(Ordering::Acquire) {
+                                        return;
+                                    }
+                                    // Shed the head; a consumer racing us to
+                                    // it simply leaves room and no drop.
+                                    if drain.try_recv().is_ok() {
+                                        // ordering-ok: monotonic counter
+                                        dropped.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                Err(TrySendError::Disconnected(_)) => return,
+                            }
+                        },
+                        (BackpressurePolicy::DropOldest, None) => unreachable!(),
+                    }
                 }
             }
         });
         Self {
             rx,
             producer: Some(producer),
+            dropped,
+            closed,
         }
+    }
+
+    /// Events the producer shed under [`BackpressurePolicy::DropOldest`]
+    /// (always 0 under [`BackpressurePolicy::Block`]).
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed) // ordering-ok: monotonic counter read
     }
 
     /// Blocks up to `max_wait` for the first event, then drains whatever
@@ -300,7 +379,11 @@ impl StreamBatcher {
 
 impl Drop for StreamBatcher {
     fn drop(&mut self) {
-        // Close the channel first so a blocked producer unblocks, then join.
+        // Raise the stop flag (a DropOldest producer holds its own receiver
+        // clone, so channel disconnect alone cannot reach it), then close
+        // the channel so a Block producer stuck in `send` unblocks, then
+        // join.
+        self.closed.store(true, Ordering::Release); // ordering-ok: Release pairs with the producer's Acquire loads
         let (tx, rx) = bounded(1);
         drop(tx);
         self.rx = rx;
@@ -471,6 +554,65 @@ mod tests {
             got.extend(batch.entries());
         }
         assert_eq!(got, expect, "the batcher must not drop or reorder events");
+        assert_eq!(batcher.dropped_events(), 0, "Block never sheds events");
+    }
+
+    #[test]
+    fn drop_oldest_sheds_the_head_and_counts_it() {
+        // 100 instant events into a capacity-4 channel with no consumer
+        // draining: under Block the producer would stall forever; under
+        // DropOldest it must run to completion on its own, shedding the 96
+        // oldest events and leaving the 4 newest queued.
+        let entries: Vec<Entry> = (0..100u32)
+            .map(|i| Entry {
+                row: i,
+                col: 0,
+                val: i as f32,
+            })
+            .collect();
+        let batcher = StreamBatcher::spawn_with_policy(
+            ReplayStream::from_entries(entries, 1),
+            4,
+            BackpressurePolicy::DropOldest,
+        );
+        // No consumer races the producer here, so the end state is exact;
+        // poll until the producer has worked through the stream.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while batcher.dropped_events() < 96 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(batcher.dropped_events(), 96);
+        let batch = batcher
+            .next_batch(100, Duration::from_secs(5))
+            .expect("the freshest window must survive");
+        let rows: Vec<u32> = batch.entries().iter().map(|e| e.row).collect();
+        assert_eq!(rows, vec![96, 97, 98, 99], "oldest-first shedding");
+        assert!(
+            batcher.next_batch(100, Duration::from_secs(5)).is_none(),
+            "stream exhausted after the retained window"
+        );
+    }
+
+    #[test]
+    fn dropping_a_drop_oldest_batcher_joins_cleanly() {
+        // The DropOldest producer holds its own receiver clone, so Drop's
+        // channel-disconnect trick alone cannot stop it — the stop flag
+        // must.  A long stream + tiny capacity would otherwise keep the
+        // producer shedding forever.
+        let d = dataset();
+        let batcher = StreamBatcher::spawn_with_policy(
+            SyntheticMutationStream::new(
+                &d,
+                MutationStreamConfig {
+                    events: 10_000_000,
+                    ..Default::default()
+                },
+            ),
+            2,
+            BackpressurePolicy::DropOldest,
+        );
+        let _ = batcher.next_batch(10, Duration::from_millis(50));
+        drop(batcher);
     }
 
     #[test]

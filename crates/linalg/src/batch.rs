@@ -6,6 +6,7 @@
 //! same independence is exploited with rayon's work-stealing threads.
 
 use crate::cholesky::{cholesky_solve, CholeskyError};
+use crate::quant::EncodedSlab;
 use rayon::prelude::*;
 
 /// Result of a batched solve: per-system error positions (empty when all
@@ -134,6 +135,13 @@ pub struct SegmentView<'a> {
     /// ids — resolve through this instead of materializing a contiguous
     /// catalog-order slab.
     pub pos: Option<&'a [u32]>,
+    /// Compressed copy of `items` when the segment stores a reduced
+    /// precision ([`crate::quant::Precision`]).  The blocked scan streams
+    /// this slab (decoding tile-by-tile) instead of `items`; `items` stays
+    /// the retained **exact** f32 rows that point lookups, fold-in
+    /// Hermitian assembly, and the serving rerank pass read.  `None` = the
+    /// segment is full-precision and every path reads `items`.
+    pub encoded: Option<&'a EncodedSlab>,
 }
 
 impl<'a> SegmentView<'a> {
@@ -200,6 +208,10 @@ impl<'a> SegmentView<'a> {
         if let Some(pos) = self.pos {
             assert_eq!(pos.len(), self.n_items(), "segment position remap length");
         }
+        if let Some(encoded) = self.encoded {
+            assert_eq!(encoded.rows(), self.n_items(), "encoded slab row count");
+            assert_eq!(encoded.rank(), f, "encoded slab rank");
+        }
     }
 }
 
@@ -227,9 +239,12 @@ pub fn batch_score_segment(
     );
 }
 
-/// Four-lane `f32` dot product for retrieval scoring.
+/// Four-lane `f32` dot product for retrieval scoring.  Public so the
+/// serving rerank pass can rescore candidates with the *same* accumulation
+/// order the blocked scan uses — an exact-f32 rescore then reproduces the
+/// scan's score bit-for-bit instead of differing in the last ulp.
 #[inline]
-fn score_dot(x: &[f32], y: &[f32]) -> f32 {
+pub fn score_dot(x: &[f32], y: &[f32]) -> f32 {
     let mut acc = [0.0f32; 4];
     let (x4, x_tail) = x.split_at(x.len() & !3);
     let (y4, y_tail) = y.split_at(x4.len());
@@ -386,6 +401,7 @@ mod tests {
             first_id: 0,
             ids: Some(&ids),
             pos: None,
+            encoded: None,
         };
         seg.validate(f);
         assert_eq!(seg.n_items(), 12);
@@ -423,6 +439,7 @@ mod tests {
             first_id: 0,
             ids: None,
             pos: None,
+            encoded: None,
         };
         seg.validate(2);
     }
@@ -444,6 +461,7 @@ mod tests {
             first_id: 10,
             ids: Some(&ids),
             pos: Some(&pos),
+            encoded: None,
         };
         seg.validate(f);
         for id in 10..13u32 {
@@ -474,6 +492,7 @@ mod tests {
             first_id: 0,
             ids: Some(&ids),
             pos: None,
+            encoded: None,
         };
         let _ = seg.stored_row(0);
     }

@@ -27,11 +27,16 @@ pub mod batch;
 pub mod blas;
 pub mod cholesky;
 pub mod dense;
+pub mod quant;
 pub mod topk;
 
-pub use batch::{batch_score_block, batch_score_segment, batch_solve, SegmentView};
+pub use batch::{batch_score_block, batch_score_segment, batch_solve, score_dot, SegmentView};
 pub use cholesky::{cholesky_factor, cholesky_solve, CholeskyError};
 pub use dense::{DenseMatrix, FactorMatrix};
+pub use quant::{
+    batch_score_rows_quant, f16_bits_to_f32, f32_to_f16_bits, EncodedSlab, Precision, F16_REL_ERR,
+    F16_SUBNORMAL_ABS,
+};
 pub use topk::{
     block_max_norms, item_norms, merge_top_k, retrieve_top_k, retrieve_top_k_pruned,
     retrieve_top_k_segments, retrieve_top_k_segments_approx, suffix_max_norms, ApproxPolicy,

@@ -170,6 +170,18 @@ pub struct PruneStats {
     /// (epsilon slack or block budget) — an **approximate** decision; always
     /// 0 on the exact retrieval paths.
     pub blocks_terminated: u64,
+    /// Factor bytes streamed from memory by the scan: f32 bytes for plain
+    /// segments, encoded bytes (plus scales) for quantized ones, and the
+    /// exact f32 rows re-read by the rerank pass.  The numerator of the
+    /// bytes-per-query metric the quantized path exists to shrink.
+    pub bytes_scanned: u64,
+    /// Candidates rescored against exact f32 rows by a quantized scan's
+    /// rerank pass; always 0 on full-precision paths.
+    pub rerank_candidates: u64,
+    /// Wall nanoseconds the rerank pass took (filled by the serving tier's
+    /// scorer; 0 when no rerank ran).  Merging sums, so a batch-level value
+    /// is the total rerank time across its tiles.
+    pub rerank_ns: u64,
 }
 
 impl PruneStats {
@@ -178,6 +190,9 @@ impl PruneStats {
         self.blocks_scored += other.blocks_scored;
         self.blocks_pruned += other.blocks_pruned;
         self.blocks_terminated += other.blocks_terminated;
+        self.bytes_scanned += other.bytes_scanned;
+        self.rerank_candidates += other.rerank_candidates;
+        self.rerank_ns += other.rerank_ns;
     }
 
     /// Every block the scan made a decision about (scored, pruned, or
@@ -797,6 +812,7 @@ mod tests {
                 first_id: w[0] as u32,
                 ids: None,
                 pos: None,
+                encoded: None,
             })
             .collect()
     }
@@ -852,6 +868,7 @@ mod tests {
             first_id: 0,
             ids: Some(&ids),
             pos: None,
+            encoded: None,
         };
         let user: Vec<f32> = FactorMatrix::random(1, f, 1.0, 62).data().to_vec();
         let plain_bm = block_max_norms(&norms, 16);
@@ -867,15 +884,21 @@ mod tests {
             blocks_scored: 3,
             blocks_pruned: 1,
             blocks_terminated: 2,
+            ..Default::default()
         };
         a.merge(&PruneStats {
             blocks_scored: 1,
             blocks_pruned: 3,
             blocks_terminated: 4,
+            bytes_scanned: 100,
+            rerank_candidates: 5,
+            rerank_ns: 40,
         });
         assert_eq!(a.blocks_scored, 4);
         assert_eq!(a.blocks_pruned, 4);
         assert_eq!(a.blocks_terminated, 6);
+        assert_eq!(a.bytes_scanned, 100);
+        assert_eq!(a.rerank_candidates, 5);
         assert_eq!(a.blocks_visited(), 14);
         // Terminated blocks widen the denominator of both rates but feed
         // only their own numerator — the exact-pruning rate must not claim
@@ -999,6 +1022,7 @@ mod tests {
             first_id: 0,
             ids: Some(&order),
             pos: None,
+            encoded: None,
         };
         let user: Vec<f32> = FactorMatrix::random(1, f, 1.0, 78).data().to_vec();
         let mut prev_scored = u64::MAX;

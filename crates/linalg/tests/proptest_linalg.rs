@@ -3,9 +3,9 @@
 use cumf_linalg::blas::{add_diagonal, dot, gemv, symmetrize_upper, syr_full, syr_upper};
 use cumf_linalg::cholesky::{cholesky_solve, residual_norm};
 use cumf_linalg::{
-    batch_solve, block_max_norms, item_norms, retrieve_top_k_segments,
-    retrieve_top_k_segments_approx, ApproxPolicy, DenseMatrix, FactorMatrix, PruneStats,
-    SegmentView,
+    batch_solve, block_max_norms, f16_bits_to_f32, f32_to_f16_bits, item_norms,
+    retrieve_top_k_segments, retrieve_top_k_segments_approx, ApproxPolicy, DenseMatrix,
+    EncodedSlab, FactorMatrix, Precision, PruneStats, SegmentView, F16_REL_ERR, F16_SUBNORMAL_ABS,
 };
 use proptest::prelude::*;
 
@@ -80,9 +80,38 @@ impl SegmentedCatalog {
                 first_id: self.firsts[i],
                 ids: self.ids[i].as_deref(),
                 pos: None,
+                encoded: None,
             })
             .collect()
     }
+}
+
+/// A factor coefficient that exercises the codecs' whole input domain:
+/// ordinary magnitudes, both signed zeros, values in binary16's subnormal
+/// range, and values so small they underflow f16 entirely.
+fn arb_codec_value() -> impl Strategy<Value = f32> {
+    (0u32..10, -8.0f32..8.0).prop_map(|(class, u)| match class {
+        0 => 0.0,
+        1 => -0.0,
+        // Inside f16's subnormal band (below 2⁻¹⁴ ≈ 6.1e-5).
+        2 => u * (3.0e-5 / 8.0),
+        // Far below the smallest f16 subnormal — must round to ±0.
+        3 => u * (1.0e-30 / 8.0),
+        _ => u,
+    })
+}
+
+/// A row-major slab whose length is a multiple of the latent dimension.
+fn arb_codec_slab() -> impl Strategy<Value = (usize, Vec<f32>)> {
+    (1usize..12).prop_flat_map(|f| {
+        (
+            Just(f),
+            proptest::collection::vec(arb_codec_value(), f..=40 * f).prop_map(move |mut v| {
+                v.truncate(v.len() / f * f);
+                v
+            }),
+        )
+    })
 }
 
 /// A strategy for an SPD system built the way ALS builds them: a sum of
@@ -284,6 +313,114 @@ proptest! {
             );
             prev_recall = recall;
             prev_scored = stats.blocks_scored;
+        }
+    }
+
+    /// Codec satellite: the scalar f16 round trip stays within the
+    /// documented bound for every input class — normals within
+    /// `F16_REL_ERR · |x|`, subnormals within `F16_SUBNORMAL_ABS`, and the
+    /// sign (including signed zero) always survives.
+    #[test]
+    fn f16_round_trip_error_within_documented_bound(x in arb_codec_value()) {
+        let back = f16_bits_to_f32(f32_to_f16_bits(x));
+        let err = (back - x).abs();
+        prop_assert!(
+            err <= F16_REL_ERR * x.abs() + F16_SUBNORMAL_ABS,
+            "x={x:e} decoded {back:e} err {err:e}"
+        );
+        prop_assert_eq!(
+            back.is_sign_negative(), x.is_sign_negative(),
+            "sign flipped: {} -> {}", x, back
+        );
+        if x == 0.0 {
+            // ±0 must round-trip bit-exactly, not just within tolerance.
+            prop_assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    /// Codec satellite: for both codecs, every decoded row of an encoded
+    /// slab sits within [`EncodedSlab::err_bound`] of its exact source row
+    /// (the bound the pruning path folds into Cauchy–Schwarz), and for I8
+    /// each coefficient is within half the block's independently recomputed
+    /// scale.  Inputs include zeros, negatives, and subnormal-range values.
+    #[test]
+    fn encoded_slab_round_trip_stays_within_err_bound(
+        (f, items) in arb_codec_slab(),
+        quant_block in 1usize..17,
+    ) {
+        let rows = items.len() / f;
+        for precision in [Precision::F16, Precision::I8] {
+            let slab = EncodedSlab::encode(&items, f, quant_block, precision).unwrap();
+            prop_assert_eq!(slab.rows(), rows);
+            prop_assert_eq!(slab.precision(), precision);
+            let decoded = slab.decode_all();
+            for b in 0..rows.div_ceil(quant_block) {
+                let (s, e) = (b * quant_block, ((b + 1) * quant_block).min(rows));
+                let max_norm = decoded[s * f..e * f]
+                    .chunks(f)
+                    .map(|r| r.iter().map(|&v| v * v).sum::<f32>().sqrt())
+                    .fold(0.0f32, f32::max);
+                let bound = slab.err_bound(s, e, max_norm);
+                for r in s..e {
+                    let err = (0..f)
+                        .map(|d| {
+                            let delta = decoded[r * f + d] - items[r * f + d];
+                            delta * delta
+                        })
+                        .sum::<f32>()
+                        .sqrt();
+                    prop_assert!(
+                        err <= bound * (1.0 + 1e-5) + 1e-12,
+                        "{precision}: row {r} err {err:e} > bound {bound:e}"
+                    );
+                }
+                if precision == Precision::I8 {
+                    // Re-derive the block scale independently of the codec
+                    // and hold every coefficient to the documented scale/2.
+                    let scale = items[s * f..e * f]
+                        .iter()
+                        .fold(0.0f32, |m, &x| m.max(x.abs()))
+                        / 127.0;
+                    for (x, d) in items[s * f..e * f].iter().zip(&decoded[s * f..e * f]) {
+                        // The f32 divide inside the encoder can tip an
+                        // exact-halfway case, so allow half an ulp of slack
+                        // on top of the documented scale/2.
+                        prop_assert!(
+                            (d - x).abs() <= scale * 0.5 * (1.0 + 1e-4) + 1e-7,
+                            "i8 block {b}: x {x:e} decoded {d:e} scale {scale:e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Codec satellite: windowed decode is exactly the matching slice of the
+    /// full decode (the scan's tile-by-tile path cannot drift from the
+    /// whole-slab path), and all-zero blocks decode to exact zeros.
+    #[test]
+    fn windowed_decode_matches_full_decode(
+        (f, mut items) in arb_codec_slab(),
+        quant_block in 1usize..9,
+        window in 0usize..64,
+    ) {
+        // Zero the first row so at least one exact-zero region exists.
+        for x in items.iter_mut().take(f) {
+            *x = 0.0;
+        }
+        let rows = items.len() / f;
+        for precision in [Precision::F16, Precision::I8] {
+            let slab = EncodedSlab::encode(&items, f, quant_block, precision).unwrap();
+            let full = slab.decode_all();
+            let start = window % rows;
+            let end = (start + 1 + window % 7).min(rows);
+            let mut out = vec![0.0f32; (end - start) * f];
+            slab.decode_rows(start, end, &mut out);
+            prop_assert_eq!(&out[..], &full[start * f..end * f], "{}", precision);
+            prop_assert_eq!(
+                &full[..f], &vec![0.0f32; f][..],
+                "{}: zero row must decode to exact zeros", precision
+            );
         }
     }
 

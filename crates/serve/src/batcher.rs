@@ -39,10 +39,10 @@ use crate::metrics::{MetricsReport, ServeMetrics, Stage, WindowedReport};
 use crate::snapshot::{DeltaError, DeltaStats, FactorSnapshot, SnapshotDelta, SnapshotStore};
 use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use crate::sync::{Arc, Mutex};
-use crate::topk::{Query, ScoreKind, TopKIndex};
+use crate::topk::{Query, ScoreKind, TopKIndex, DEFAULT_RERANK_FACTOR};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use cumf_linalg::topk::DEFAULT_ITEM_BLOCK;
-use cumf_linalg::{ApproxPolicy, PruneStats};
+use cumf_linalg::{ApproxPolicy, Precision, PruneStats};
 use cumf_obs::{ns_between, Sampler, Trace, TraceLog};
 use std::any::Any;
 use std::collections::hash_map::Entry;
@@ -101,6 +101,26 @@ pub struct ServeConfig {
     /// effective policies never share a scoring micro-batch or a cache
     /// entry.
     pub approx: Option<ApproxPolicy>,
+    /// Storage precision of the served item factors.  At startup (and on
+    /// every full-snapshot [`TopKService::publish`]) the catalog is
+    /// re-encoded to this precision; item-appending deltas re-encode their
+    /// tails through [`crate::itemstore::ItemStore::append`].  Quantized
+    /// precisions stream the compressed slab through the blocked scan and
+    /// rescore the over-fetched candidates against retained exact f32 rows
+    /// (see [`ServeConfig::rerank_factor`]); `F32` (the default) is
+    /// bit-identical to the pre-quantization service.
+    pub precision: Precision,
+    /// Per-segment precision overrides `(segment index, precision)` applied
+    /// on top of [`ServeConfig::precision`] when the catalog is re-encoded,
+    /// so mixed catalogs work: a norm-descending store keeps its hot head
+    /// segment (index 0) at `F32` while cold tail segments quantize to
+    /// `I8`.  Indices past the snapshot's segment list are ignored.
+    pub precision_overrides: Vec<(usize, Precision)>,
+    /// Over-fetch margin of the quantized-scan rerank pass: heaps keep
+    /// `ceil(k · rerank_factor)` candidates and the exact rescore truncates
+    /// back to `k` (see [`TopKIndex::with_rerank`]).  Ignored when every
+    /// segment is exact f32.  Must be finite and ≥ 1.
+    pub rerank_factor: f32,
     /// Trace one request in `trace_sample` (0 disables tracing, 1 traces
     /// everything).  Only sampled requests allocate a per-request
     /// [`Trace`]; everyone else pays one relaxed counter increment.
@@ -125,6 +145,9 @@ impl Default for ServeConfig {
             panic_budget: 2,
             max_item_segments: 8,
             approx: None,
+            precision: Precision::F32,
+            precision_overrides: Vec::new(),
+            rerank_factor: DEFAULT_RERANK_FACTOR,
             trace_sample: 64,
             trace_capacity: 1024,
         }
@@ -367,6 +390,36 @@ pub struct TopKService {
     /// Segment bound for post-delta auto-compaction (see
     /// [`ServeConfig::max_item_segments`]).
     max_item_segments: usize,
+    /// Serving precision (and overrides) re-applied to every published
+    /// full snapshot, so a training loop handing over exact f32 factors
+    /// keeps serving quantized.
+    precision: Precision,
+    precision_overrides: Vec<(usize, Precision)>,
+}
+
+/// Re-encodes `snapshot`'s catalog to the configured serving precision:
+/// the store-wide default first (which future appends inherit), then any
+/// per-segment overrides (hot head at f32, cold tails at i8).  Segments
+/// already at their target are `Arc`-shared, so re-publishing an
+/// already-encoded snapshot copies nothing.
+fn encode_to_serving_precision(
+    snapshot: FactorSnapshot,
+    precision: Precision,
+    overrides: &[(usize, Precision)],
+) -> FactorSnapshot {
+    if overrides.is_empty() && snapshot.items().precision() == precision {
+        return snapshot;
+    }
+    let mut out = snapshot.reencoded(precision);
+    if !overrides.is_empty() {
+        out = out.reencoded_with(|i, seg| {
+            overrides
+                .iter()
+                .find(|(j, _)| *j == i)
+                .map_or_else(|| seg.precision(), |&(_, p)| p)
+        });
+    }
+    out
 }
 
 impl TopKService {
@@ -385,7 +438,13 @@ impl TopKService {
         if let Some(policy) = &config.approx {
             policy.validate();
         }
+        assert!(
+            config.rerank_factor.is_finite() && config.rerank_factor >= 1.0,
+            "rerank_factor must be finite and >= 1"
+        );
         let n_workers = config.workers.max(1);
+        let initial =
+            encode_to_serving_precision(initial, config.precision, &config.precision_overrides);
         let store = Arc::new(SnapshotStore::new(initial));
         let metrics = Arc::new(ServeMetrics::new());
         let state = Arc::new(PoolState::default());
@@ -402,6 +461,8 @@ impl TopKService {
         ));
         let (tx, rx) = bounded::<Msg>(config.queue_depth.max(1));
         let max_item_segments = config.max_item_segments;
+        let precision = config.precision;
+        let precision_overrides = config.precision_overrides.clone();
         let tracer = Arc::new(Tracer::new(config.trace_sample, config.trace_capacity));
         let workers = (0..n_workers)
             .map(|_| {
@@ -430,6 +491,8 @@ impl TopKService {
             tracer,
             workers,
             max_item_segments,
+            precision,
+            precision_overrides,
         }
     }
 
@@ -561,6 +624,9 @@ impl TopKService {
         // One snapshot per batch: the no-mixed-generations invariant.
         let snapshot = store.load();
         let generation = snapshot.generation();
+        // Stamped into every cache key: a re-encoded snapshot keeps its
+        // generation, so precision needs its own discriminator.
+        let precision = snapshot.items().precision().code();
 
         // Keys are built once per request and carried through to the insert
         // after scoring — hashing a heavy user's exclusion list is not free.
@@ -591,7 +657,8 @@ impl TopKService {
                         p.max_blocks,
                     )
                 }
-            };
+            }
+            .with_precision(precision);
             if let Some(hit) = cache.get(&key, generation) {
                 metrics.record_cache_hit();
                 // Counted (and stage-stamped) before the send: the client
@@ -639,12 +706,13 @@ impl TopKService {
                     .iter()
                     .map(|&slot| batch[slots[slot].0].request.query.clone())
                     .collect();
-                let index = TopKIndex::with_approx(
+                let index = TopKIndex::with_rerank(
                     Arc::clone(&snapshot),
                     config.item_block,
                     config.score,
                     config.shards,
                     policy,
+                    config.rerank_factor,
                 );
                 let (group_results, group_prune) = index.query_batch_stats(&queries);
                 prune.merge(&group_prune);
@@ -653,6 +721,11 @@ impl TopKService {
                 }
             }
             metrics.record_pruning(&prune);
+            // The rerank ran inside the scoring pass (still in the Score
+            // span); break its wall time out per batch when it actually ran.
+            if prune.rerank_candidates > 0 {
+                metrics.record_rerank_ns(prune.rerank_ns);
+            }
             // Scoring ends, merging begins: fan each scored slot's result
             // out to its recipients (the scored request plus its in-flight
             // duplicates).
@@ -710,8 +783,13 @@ impl TopKService {
     /// Publishes new factors under load; returns the new generation.
     /// In-flight batches finish on the previous snapshot; cached results of
     /// older generations stop being served immediately (lazy eviction).
+    /// The catalog is re-encoded to the serving precision
+    /// ([`ServeConfig::precision`] plus overrides) on the way in, so a
+    /// training loop can hand over exact f32 factors.
     pub fn publish(&self, snapshot: FactorSnapshot) -> u64 {
         let started = Instant::now();
+        let snapshot =
+            encode_to_serving_precision(snapshot, self.precision, &self.precision_overrides);
         let generation = self.store.publish(snapshot);
         self.metrics.record_swap();
         self.metrics.record_publish_latency(started.elapsed());
@@ -1396,6 +1474,99 @@ mod tests {
         let m = service.metrics();
         assert_eq!((m.cache_misses, m.cache_hits), (1, 1));
         assert_eq!(m.approx_requests, 0, "exact-equivalent policy is exact");
+    }
+
+    #[test]
+    fn quantized_service_matches_exact_replies_and_records_rerank() {
+        // F16 storage + exact rerank reproduces the exact service's lists
+        // bit-for-bit on this catalog (the scorer's own tests pin the same
+        // property per shard count), while the quantized-path metrics —
+        // rerank histogram, bytes scanned, candidates rescored — all flow.
+        let service = TopKService::start(
+            snapshot(21),
+            ServeConfig {
+                precision: Precision::F16,
+                cache_capacity: 0,
+                max_delay: Duration::from_millis(1),
+                ..Default::default()
+            },
+        );
+        assert_eq!(service.snapshot().items().precision(), Precision::F16);
+        let reference = snapshot(21); // same factors, exact f32
+        let client = service.client();
+        for user in 0..20u32 {
+            let got = client.recommend(user, 6, &[user % 7]).unwrap();
+            assert_eq!(got, reference.recommend_one(user, 6, &[user % 7]));
+        }
+        let m = service.metrics();
+        assert!(m.rerank.count() > 0, "rerank histogram must be recorded");
+        assert!(m.rerank_candidates > 0);
+        assert!(m.bytes_scanned > 0);
+    }
+
+    #[test]
+    fn exact_service_records_no_rerank() {
+        let service = TopKService::start(snapshot(22), config());
+        let client = service.client();
+        let _ = client.recommend(1, 5, &[]).unwrap();
+        let m = service.metrics();
+        assert_eq!(m.rerank.count(), 0);
+        assert_eq!(m.rerank_candidates, 0);
+        assert!(m.bytes_scanned > 0, "exact scans still count bytes");
+    }
+
+    #[test]
+    fn publish_reencodes_full_snapshots_to_the_serving_precision() {
+        // A training loop hands over plain f32 factors; the service must
+        // keep serving at its configured precision across the swap.
+        let service = TopKService::start(
+            snapshot(23),
+            ServeConfig {
+                precision: Precision::I8,
+                max_delay: Duration::from_millis(1),
+                ..Default::default()
+            },
+        );
+        service.publish(snapshot(24));
+        let swapped = service.snapshot();
+        assert_eq!(swapped.items().precision(), Precision::I8);
+        assert!(
+            swapped.items().segments()[0].encoded().is_some(),
+            "published catalog must carry a compressed slab"
+        );
+        let client = service.client();
+        assert_eq!(client.recommend(3, 5, &[]).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn per_segment_overrides_keep_the_hot_head_exact() {
+        // Store default I8, head segment pinned to F32: the mixed catalog
+        // serves, and an item-appending delta's tail encodes at the store
+        // default (cold tails quantize, the hot head stays exact).
+        let service = TopKService::start(
+            snapshot(25),
+            ServeConfig {
+                precision: Precision::I8,
+                precision_overrides: vec![(0, Precision::F32)],
+                max_delay: Duration::from_millis(1),
+                ..Default::default()
+            },
+        );
+        let items = service.snapshot();
+        assert_eq!(items.items().precision(), Precision::I8);
+        assert_eq!(items.items().segments()[0].precision(), Precision::F32);
+        let mut delta = items.delta();
+        delta.append_items(&FactorMatrix::random(30, 8, 1.0, 77));
+        service.publish_delta(&delta).unwrap();
+        let after = service.snapshot();
+        assert_eq!(after.items().segments()[0].precision(), Precision::F32);
+        assert_eq!(
+            after.items().segments().last().unwrap().precision(),
+            Precision::I8,
+            "appended tail must encode at the store default"
+        );
+        let client = service.client();
+        assert_eq!(client.recommend(2, 8, &[]).unwrap().len(), 8);
     }
 
     /// The panic budget is pool-wide: restarts on different workers draw

@@ -41,6 +41,13 @@ pub struct CacheKey {
     /// produce different lists by design.  `target_recall` is advisory and
     /// deliberately excluded: it cannot change a result.
     approx: Option<(u32, usize)>,
+    /// Storage-precision discriminator ([`cumf_linalg::Precision::code`] of
+    /// the snapshot's item store).  A list scored against a quantized
+    /// catalog is exact-ranked only within its over-fetched candidate set,
+    /// so it must never answer a request served at a different precision —
+    /// generation stamping alone does not cover this because a re-encoded
+    /// snapshot keeps its generation.
+    precision: u8,
 }
 
 impl CacheKey {
@@ -51,6 +58,7 @@ impl CacheKey {
             k,
             exclude: exclude.into(),
             approx: None,
+            precision: 0,
         }
     }
 
@@ -70,7 +78,16 @@ impl CacheKey {
             k,
             exclude: exclude.into(),
             approx: Some((epsilon.to_bits(), max_blocks)),
+            precision: 0,
         }
+    }
+
+    /// Stamps the storage precision the request will be scored against
+    /// ([`cumf_linalg::Precision::code`]); keys built by [`CacheKey::new`] /
+    /// [`CacheKey::new_approx`] default to exact f32 (code 0).
+    pub fn with_precision(mut self, code: u8) -> Self {
+        self.precision = code;
+        self
     }
 
     /// Placeholder left in a slab slot after its entry is removed, so the
@@ -83,6 +100,7 @@ impl CacheKey {
             k: 0,
             exclude: Box::new([]),
             approx: None,
+            precision: 0,
         }
     }
 
@@ -504,6 +522,30 @@ mod tests {
         assert_eq!(cache.get(&eps1, 1), Some(&val(7)));
         // Same policy parameters rebuild an equal key.
         assert_eq!(eps1, CacheKey::new_approx(1, 10, &[2, 3], 0.1, 0));
+    }
+
+    #[test]
+    fn precision_stamped_keys_do_not_collide() {
+        // Same request at f32 (code 0), f16 (1), and i8 (2): three cache
+        // identities.  A list ranked within a quantized scan's over-fetched
+        // candidates must never answer full-precision traffic, and the
+        // precision axis composes with the approx discriminator.
+        let f32_key = CacheKey::new(4, 6, &[9]);
+        let f16_key = CacheKey::new(4, 6, &[9]).with_precision(1);
+        let i8_key = CacheKey::new(4, 6, &[9]).with_precision(2);
+        assert_ne!(f32_key, f16_key);
+        assert_ne!(f16_key, i8_key);
+        assert_eq!(f32_key, CacheKey::new(4, 6, &[9]).with_precision(0));
+        let approx_f16 = CacheKey::new_approx(4, 6, &[9], 0.1, 0).with_precision(1);
+        assert_ne!(approx_f16, f16_key);
+        let mut cache = ResultCache::new(8);
+        cache.insert(f16_key.clone(), 1, val(3));
+        assert!(
+            cache.get(&f32_key, 1).is_none(),
+            "quantized result leaked to exact-precision traffic"
+        );
+        assert!(cache.get(&i8_key, 1).is_none());
+        assert_eq!(cache.get(&f16_key, 1), Some(&val(3)));
     }
 
     #[test]

@@ -33,7 +33,7 @@
 
 use crate::sync::Arc;
 use cumf_linalg::topk::DEFAULT_ITEM_BLOCK;
-use cumf_linalg::{block_max_norms, item_norms, FactorMatrix, SegmentView};
+use cumf_linalg::{block_max_norms, item_norms, EncodedSlab, FactorMatrix, Precision, SegmentView};
 
 /// Stored row order of each [`ItemStore`] segment.
 ///
@@ -72,13 +72,27 @@ pub struct ItemSegment {
     ids: Option<Vec<u32>>,
     /// Global offset (`id - start`) → stored row; inverse of `ids`.
     pos: Option<Vec<u32>>,
+    /// Storage precision of the scan operand.  `F32` means the scan reads
+    /// `theta` directly and everything behaves exactly as before
+    /// quantization existed.
+    precision: Precision,
+    /// Compressed copy of `theta` in stored order when
+    /// `precision != F32`.  The blocked scan streams this; `theta` is
+    /// retained as the exact f32 copy the rerank pass (and every point
+    /// lookup and fold-in) reads.
+    encoded: Option<EncodedSlab>,
 }
 
 impl ItemSegment {
-    fn build(theta: FactorMatrix, start: u32, layout: ItemLayout) -> Self {
+    fn build_with_precision(
+        theta: FactorMatrix,
+        start: u32,
+        layout: ItemLayout,
+        precision: Precision,
+    ) -> Self {
         let f = theta.rank().max(1);
         let norms = item_norms(theta.data(), f);
-        match layout {
+        let base = match layout {
             ItemLayout::CatalogOrder => {
                 let block_max = block_max_norms(&norms, DEFAULT_ITEM_BLOCK.min(theta.len().max(1)));
                 Self {
@@ -88,6 +102,8 @@ impl ItemSegment {
                     block_max,
                     ids: None,
                     pos: None,
+                    precision: Precision::F32,
+                    encoded: None,
                 }
             }
             ItemLayout::NormDescending => {
@@ -116,9 +132,60 @@ impl ItemSegment {
                     block_max,
                     ids: Some(ids),
                     pos: Some(pos),
+                    precision: Precision::F32,
+                    encoded: None,
                 }
             }
+        };
+        base.encode_at(precision)
+    }
+
+    /// Attaches (or removes) the compressed scan slab.  The pruning tables
+    /// must describe what the scan actually streams, so `norms` and
+    /// `block_max` are recomputed from the **decoded** values; `theta`
+    /// stays the exact copy.  At `F32` the segment is returned to its
+    /// pre-quantization state bit-for-bit.
+    fn encode_at(mut self, precision: Precision) -> Self {
+        let f = self.theta.rank().max(1);
+        if self.precision != Precision::F32 {
+            // Rebuild the exact tables before (re-)encoding.
+            self.norms = item_norms(self.theta.data(), f);
+            self.block_max = block_max_norms(&self.norms, self.default_block());
+            self.precision = Precision::F32;
+            self.encoded = None;
         }
+        if precision == Precision::F32 {
+            return self;
+        }
+        if let Some(slab) =
+            EncodedSlab::encode(self.theta.data(), f, self.default_block(), precision)
+        {
+            let decoded = slab.decode_all();
+            self.norms = item_norms(&decoded, f);
+            self.block_max = block_max_norms(&self.norms, self.default_block());
+            self.encoded = Some(slab);
+            self.precision = precision;
+        }
+        self
+    }
+
+    /// Re-encodes this segment at a different precision from its retained
+    /// exact rows (identity when the precision already matches).
+    pub fn reencode(&self, precision: Precision) -> ItemSegment {
+        if precision == self.precision {
+            return self.clone();
+        }
+        self.clone().encode_at(precision)
+    }
+
+    /// Storage precision of the scan operand.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The compressed scan slab (`None` at [`Precision::F32`]).
+    pub fn encoded(&self) -> Option<&EncodedSlab> {
+        self.encoded.as_ref()
     }
 
     /// First global item id covered by this segment.
@@ -208,6 +275,7 @@ impl ItemSegment {
             first_id: self.start,
             ids: self.ids.as_deref(),
             pos: self.pos.as_deref(),
+            encoded: self.encoded.as_ref(),
         }
     }
 }
@@ -222,20 +290,39 @@ pub struct ItemStore {
     f: usize,
     n_items: usize,
     layout: ItemLayout,
+    /// Default precision newly built segments (appends, compaction) are
+    /// encoded at.  Individual segments may override it
+    /// ([`ItemStore::reencode_with`]).
+    precision: Precision,
     segments: Vec<Arc<ItemSegment>>,
 }
 
 impl ItemStore {
     /// Builds a single-segment store over `theta` (rows in catalog order)
-    /// with the given layout.
+    /// with the given layout, at full precision.
     pub fn new(theta: FactorMatrix, layout: ItemLayout) -> Self {
+        Self::new_with_precision(theta, layout, Precision::F32)
+    }
+
+    /// [`ItemStore::new`] with the scan slab stored at `precision`.  The
+    /// exact f32 rows are always retained alongside — point lookups,
+    /// [`ItemStore::to_matrix`], and fold-in stay exact; only the blocked
+    /// scan reads compressed bytes.
+    pub fn new_with_precision(
+        theta: FactorMatrix,
+        layout: ItemLayout,
+        precision: Precision,
+    ) -> Self {
         let f = theta.rank();
         let n_items = theta.len();
-        let segments = vec![Arc::new(ItemSegment::build(theta, 0, layout))];
+        let segments = vec![Arc::new(ItemSegment::build_with_precision(
+            theta, 0, layout, precision,
+        ))];
         Self {
             f,
             n_items,
             layout,
+            precision,
             segments,
         }
     }
@@ -243,6 +330,51 @@ impl ItemStore {
     /// Latent rank `f`.
     pub fn rank(&self) -> usize {
         self.f
+    }
+
+    /// Default precision for newly built segments.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Re-encodes every segment at `precision` and makes it the store
+    /// default.  Segments already at the target precision are `Arc`-shared,
+    /// not copied.  At `F32` this restores the exact pre-quantization
+    /// store.
+    pub fn reencode(&self, precision: Precision) -> ItemStore {
+        let mut out = self.reencode_with(|_, _| precision);
+        out.precision = precision;
+        out
+    }
+
+    /// Per-segment precision overrides: `choose(i, segment)` picks each
+    /// segment's target, so mixed catalogs (hot head segment at f32, cold
+    /// tails at i8) are one call.  Unchanged segments stay `Arc`-shared;
+    /// the store default is untouched.
+    pub fn reencode_with(
+        &self,
+        mut choose: impl FnMut(usize, &ItemSegment) -> Precision,
+    ) -> ItemStore {
+        let segments = self
+            .segments
+            .iter()
+            .enumerate()
+            .map(|(i, seg)| {
+                let target = choose(i, seg);
+                if target == seg.precision() {
+                    Arc::clone(seg)
+                } else {
+                    Arc::new(seg.reencode(target))
+                }
+            })
+            .collect();
+        Self {
+            f: self.f,
+            n_items: self.n_items,
+            layout: self.layout,
+            precision: self.precision,
+            segments,
+        }
     }
 
     /// Total items across all segments.
@@ -265,27 +397,36 @@ impl ItemStore {
         &self.segments
     }
 
-    /// Appends `rows` as a new tail segment taking the next catalog ids.
-    /// Returns the new store and the factor bytes physically copied —
-    /// exactly `rows.len() · f · 4` (`O(a·f)`): every existing segment is
-    /// shared by `Arc`, never copied.
+    /// Appends `rows` as a new tail segment taking the next catalog ids,
+    /// encoded at the store's default precision (the fold-in/append path
+    /// re-encodes automatically — a quantized catalog never silently grows
+    /// full-precision tails).  Returns the new store and the factor bytes
+    /// physically copied — `rows.len() · f · 4` for the retained exact copy
+    /// (`O(a·f)`; plus the encoded slab when the store is quantized): every
+    /// existing segment is shared by `Arc`, never copied.
     ///
     /// # Panics
     /// Panics if `rows` has a different rank.
     pub fn append(&self, rows: &FactorMatrix) -> (ItemStore, usize) {
         assert_eq!(rows.rank(), self.f, "appended items have the wrong rank");
-        let bytes = rows.data().len() * 4;
-        let mut segments = self.segments.clone();
-        segments.push(Arc::new(ItemSegment::build(
+        let tail = ItemSegment::build_with_precision(
             rows.clone(),
             self.n_items as u32,
             self.layout,
-        )));
+            self.precision,
+        );
+        let bytes = rows.data().len() * 4
+            + tail
+                .encoded()
+                .map_or(0, |slab| slab.scan_bytes(0, slab.rows()) as usize);
+        let mut segments = self.segments.clone();
+        segments.push(Arc::new(tail));
         (
             Self {
                 f: self.f,
                 n_items: self.n_items + rows.len(),
                 layout: self.layout,
+                precision: self.precision,
                 segments,
             },
             bytes,
@@ -293,12 +434,14 @@ impl ItemStore {
     }
 
     /// Merges every segment back into one base segment, re-deriving the
-    /// layout over the whole catalog.  Costs one `O(n·f)` materialization —
-    /// the price an append-heavy store pays once per compaction instead of
-    /// on every delta.  Retrieval against the compacted store is
-    /// bit-identical.
+    /// layout over the whole catalog and re-encoding at the store's default
+    /// precision (per-segment overrides do not survive a compaction — the
+    /// merged base is one slab).  Costs one `O(n·f)` materialization — the
+    /// price an append-heavy store pays once per compaction instead of on
+    /// every delta.  Retrieval against the compacted store is bit-identical
+    /// when every segment already carried the default precision.
     pub fn compact(&self) -> ItemStore {
-        ItemStore::new(self.to_matrix(), self.layout)
+        ItemStore::new_with_precision(self.to_matrix(), self.layout, self.precision)
     }
 
     /// Materializes the catalog in global id order — the contiguous Θ a
@@ -485,6 +628,79 @@ mod tests {
     #[should_panic(expected = "wrong rank")]
     fn append_rejects_rank_mismatch() {
         ItemStore::new(theta(3, 2, 12), ItemLayout::CatalogOrder).append(&theta(1, 3, 13));
+    }
+
+    #[test]
+    fn quantized_store_retains_exact_rows_and_encodes_the_scan_slab() {
+        for precision in [Precision::F16, Precision::I8] {
+            let t = theta(200, 8, 21);
+            let store =
+                ItemStore::new_with_precision(t.clone(), ItemLayout::NormDescending, precision);
+            assert_eq!(store.precision(), precision);
+            let seg = &store.segments()[0];
+            assert_eq!(seg.precision(), precision);
+            let slab = seg.encoded().expect("scan slab present");
+            assert_eq!(slab.rows(), 200);
+            // Point lookups and materialization stay exact: theta is the
+            // retained f32 copy, only the scan slab is compressed.
+            for v in 0..200 {
+                assert_eq!(store.vector(v), t.vector(v), "{precision}: item {v}");
+            }
+            assert_eq!(store.to_matrix(), t);
+            // The pruning tables describe the decoded values the scan
+            // actually streams.
+            let decoded = slab.decode_all();
+            for (row, &n) in seg.norms().iter().enumerate() {
+                let expect = cumf_linalg::blas::norm_sq(&decoded[row * 8..(row + 1) * 8]).sqrt();
+                assert_eq!(n, expect, "{precision}: row {row}");
+            }
+            // Round-tripping back to f32 restores the exact store.
+            let restored = store.reencode(Precision::F32);
+            assert_eq!(
+                restored,
+                ItemStore::new(t.clone(), ItemLayout::NormDescending)
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_append_and_compact_reencode_tails() {
+        let store = ItemStore::new_with_precision(
+            theta(90, 4, 3),
+            ItemLayout::NormDescending,
+            Precision::I8,
+        );
+        let (grown, _) = store.append(&theta(15, 4, 4));
+        assert_eq!(grown.segments()[1].precision(), Precision::I8);
+        assert!(grown.segments()[1].encoded().is_some(), "tail re-encoded");
+        assert!(grown.shares_segment_with(&store, 0), "base Arc-shared");
+        let compacted = grown.compact();
+        assert_eq!(compacted.segment_count(), 1);
+        assert_eq!(compacted.segments()[0].precision(), Precision::I8);
+        assert_eq!(compacted.to_matrix(), grown.to_matrix());
+    }
+
+    #[test]
+    fn mixed_precision_overrides_share_unchanged_segments() {
+        let store = ItemStore::new(theta(60, 5, 6), ItemLayout::NormDescending);
+        let (store, _) = store.append(&theta(20, 5, 7));
+        let mixed = store.reencode_with(|i, _| {
+            if i == 0 {
+                Precision::F32
+            } else {
+                Precision::I8
+            }
+        });
+        assert!(mixed.shares_segment_with(&store, 0), "hot head untouched");
+        assert_eq!(mixed.segments()[1].precision(), Precision::I8);
+        assert_eq!(mixed.precision(), Precision::F32, "store default unchanged");
+        for v in 0..80 {
+            assert_eq!(
+                mixed.vector(v),
+                store.vector(v),
+                "exact lookups survive the mix"
+            );
+        }
     }
 
     #[test]

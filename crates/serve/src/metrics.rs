@@ -100,6 +100,15 @@ pub struct ServeMetrics {
     publish_latency: Histogram,
     /// Rating-ingest instant → first snapshot whose results reflect it.
     freshness: Histogram,
+    /// Per-batch exact-f32 rerank pass over quantized-scan candidates
+    /// (recorded only when a rerank actually ran — all-f32 batches skip it).
+    rerank: Histogram,
+    /// Bytes streamed by the blocked scorer: encoded slab bytes (+ scale
+    /// tables) for quantized segments, raw f32 bytes for exact ones, plus
+    /// the exact rows the rerank re-reads.  The bytes/query numerator.
+    bytes_scanned: AtomicU64,
+    /// Candidates rescored against retained exact f32 rows by the rerank.
+    rerank_candidates: AtomicU64,
     /// Requests currently sitting in the batcher channel.
     queue_depth: AtomicU64,
     /// High-water mark of `queue_depth` since startup.
@@ -243,6 +252,18 @@ impl ServeMetrics {
             .fetch_add(stats.blocks_pruned, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
         self.blocks_terminated
             .fetch_add(stats.blocks_terminated, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
+        self.bytes_scanned
+            .fetch_add(stats.bytes_scanned, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
+        self.rerank_candidates
+            .fetch_add(stats.rerank_candidates, Ordering::Relaxed); // relaxed-ok: independent monotonic stat; no cross-counter ordering promised
+    }
+
+    /// Records one batch's exact-f32 rerank pass wall time, in nanoseconds.
+    /// The rerank runs **inside** the [`Stage::Score`] span (so the
+    /// five-stage telescoping identity is untouched); this histogram breaks
+    /// its cost out the way `serve_freshness` breaks out staleness.
+    pub fn record_rerank_ns(&self, ns: u64) {
+        self.rerank.record_ns(ns);
     }
 
     /// Records `n` requests scored under an approximate policy (cache hits
@@ -290,6 +311,9 @@ impl ServeMetrics {
             request_e2e: self.request_e2e.snapshot(),
             publish_latency: self.publish_latency.snapshot(),
             freshness: self.freshness.snapshot(),
+            rerank: self.rerank.snapshot(),
+            bytes_scanned: self.bytes_scanned.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
+            rerank_candidates: self.rerank_candidates.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
             queue_depth_high_water: self.queue_depth_hwm.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
             snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
             delta_publishes: self.delta_publishes.load(Ordering::Relaxed), // relaxed-ok: racy-but-atomic sample; cross-counter skew is documented
@@ -372,6 +396,15 @@ pub struct MetricsReport {
     /// snapshot publish reflecting the rating (recorded by the online
     /// loop's [`crate::online::OnlineLoop`]).
     pub freshness: HistogramSnapshot,
+    /// Per-batch exact-f32 rerank pass latency (inside the Score stage;
+    /// recorded only for batches that actually reranked).
+    pub rerank: HistogramSnapshot,
+    /// Bytes streamed by the blocked scorer (encoded slab + scale tables
+    /// for quantized segments, f32 rows for exact ones, plus the exact rows
+    /// the rerank re-reads).
+    pub bytes_scanned: u64,
+    /// Candidates rescored against retained exact f32 rows by the rerank.
+    pub rerank_candidates: u64,
     /// Most requests ever simultaneously queued in the batcher channel.
     pub queue_depth_high_water: u64,
     /// Snapshot generations published.
@@ -471,6 +504,11 @@ impl MetricsReport {
             request_e2e: self.request_e2e.since(&baseline.request_e2e),
             publish_latency: self.publish_latency.since(&baseline.publish_latency),
             freshness: self.freshness.since(&baseline.freshness),
+            rerank: self.rerank.since(&baseline.rerank),
+            bytes_scanned: self.bytes_scanned.saturating_sub(baseline.bytes_scanned),
+            rerank_candidates: self
+                .rerank_candidates
+                .saturating_sub(baseline.rerank_candidates),
             queue_depth_high_water: self.queue_depth_high_water,
             snapshot_swaps: self.snapshot_swaps.saturating_sub(baseline.snapshot_swaps),
             delta_publishes: self
@@ -572,6 +610,16 @@ impl MetricsReport {
             "serve_approx_requests",
             "requests served under an approximate policy",
             self.approx_requests,
+        )
+        .counter(
+            "serve_bytes_scanned",
+            "bytes streamed by the blocked scorer (encoded + rerank rows)",
+            self.bytes_scanned,
+        )
+        .counter(
+            "serve_rerank_candidates",
+            "candidates rescored against exact f32 rows",
+            self.rerank_candidates,
         );
         for stage in Stage::ALL {
             e.histogram(
@@ -599,6 +647,11 @@ impl MetricsReport {
             "serve_freshness",
             "rating ingest to first reflecting snapshot publish",
             self.freshness.clone(),
+        )
+        .histogram(
+            "serve_rerank",
+            "per-batch exact-f32 rerank pass latency (inside Score)",
+            self.rerank.clone(),
         );
         e
     }
@@ -642,6 +695,11 @@ impl std::fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
+            "scan: {} bytes streamed  rerank: {} candidates rescored",
+            self.bytes_scanned, self.rerank_candidates
+        )?;
+        writeln!(
+            f,
             "batch latency: mean {:?}  max {:?}",
             self.mean_batch_latency, self.max_batch_latency
         )?;
@@ -664,6 +722,7 @@ impl std::fmt::Display for MetricsReport {
         rows.push(("batch", &self.batch_latency));
         rows.push(("publish", &self.publish_latency));
         rows.push(("freshness", &self.freshness));
+        rows.push(("rerank", &self.rerank));
         for (name, h) in rows {
             writeln!(
                 f,
@@ -823,11 +882,13 @@ mod tests {
             blocks_scored: 6,
             blocks_pruned: 2,
             blocks_terminated: 0,
+            ..Default::default()
         });
         m.record_pruning(&PruneStats {
             blocks_scored: 0,
             blocks_pruned: 8,
             blocks_terminated: 0,
+            ..Default::default()
         });
         m.record_worker_panic();
         m.record_worker_restart();
@@ -850,6 +911,7 @@ mod tests {
             blocks_scored: 4,
             blocks_pruned: 4,
             blocks_terminated: 8,
+            ..Default::default()
         });
         m.record_approx_requests(3);
         let r = m.report();
@@ -861,6 +923,50 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("8 terminated"));
         assert!(text.contains("approx requests: 3"));
+    }
+
+    #[test]
+    fn rerank_and_bytes_scanned_flow_to_reports_and_exporter() {
+        let m = ServeMetrics::new();
+        m.record_pruning(&PruneStats {
+            blocks_scored: 3,
+            bytes_scanned: 4096,
+            rerank_candidates: 20,
+            ..Default::default()
+        });
+        m.record_rerank_ns(5_000);
+        m.record_rerank_ns(9_000);
+        let first = m.window_report();
+        assert_eq!(first.cumulative.bytes_scanned, 4096);
+        assert_eq!(first.cumulative.rerank_candidates, 20);
+        assert_eq!(first.cumulative.rerank.count(), 2);
+        assert_eq!(first.cumulative.rerank.sum_ns(), 14_000);
+
+        // The window diff subtracts counters and diffs the histogram.
+        m.record_pruning(&PruneStats {
+            bytes_scanned: 100,
+            ..Default::default()
+        });
+        m.record_rerank_ns(1_000);
+        let second = m.window_report();
+        assert_eq!(second.window.bytes_scanned, 100);
+        assert_eq!(second.window.rerank_candidates, 0);
+        assert_eq!(second.window.rerank.count(), 1);
+
+        let json = second.cumulative.exporter().to_json();
+        for key in [
+            "\"serve_bytes_scanned\":4196",
+            "\"serve_rerank_candidates\":20",
+            "\"serve_rerank_count\":3",
+            "\"serve_rerank_p50_ns\":",
+            "\"serve_rerank_p99_ns\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let text = second.cumulative.to_string();
+        assert!(text.contains("4196 bytes streamed"));
+        assert!(text.contains("20 candidates rescored"));
+        assert!(text.contains("rerank"));
     }
 
     #[test]

@@ -469,6 +469,35 @@ impl FactorSnapshot {
         self.items.to_matrix()
     }
 
+    /// A snapshot whose item segments are re-encoded at `precision`
+    /// ([`ItemStore::reencode`]): every segment keeps its exact f32 rows
+    /// (point lookups, fold-in, and the serving rerank still read full
+    /// precision) and gains — or drops — the compressed slab the blocked
+    /// scan streams.  User blocks are shared with `self`; segments already
+    /// at `precision` are `Arc`-shared, not rebuilt.
+    pub fn reencoded(&self, precision: cumf_linalg::Precision) -> FactorSnapshot {
+        Self {
+            generation: self.generation,
+            x: self.x.clone(),
+            items: self.items.reencode(precision),
+        }
+    }
+
+    /// [`FactorSnapshot::reencoded`] with a per-segment precision choice —
+    /// the hot-head-f32 / cold-tail-i8 split: `choose` sees each segment's
+    /// index and contents and returns the precision it should scan at.
+    /// Segments whose choice matches their current precision are shared.
+    pub fn reencoded_with(
+        &self,
+        choose: impl FnMut(usize, &crate::itemstore::ItemSegment) -> cumf_linalg::Precision,
+    ) -> FactorSnapshot {
+        Self {
+            generation: self.generation,
+            x: self.x.clone(),
+            items: self.items.reencode_with(choose),
+        }
+    }
+
     /// A snapshot whose item segments are merged back into one base segment
     /// ([`ItemStore::compact`]); user blocks are shared with `self`, and
     /// retrieval is bit-identical.  Publish the result through

@@ -35,12 +35,19 @@ use crate::snapshot::FactorSnapshot;
 use crate::sync::Arc;
 use cumf_linalg::topk::NORM_BOUND_SLACK;
 use cumf_linalg::{
-    batch_score_segment, block_max_norms, merge_top_k, suffix_max_norms, ApproxPolicy, PruneStats,
-    TopK,
+    batch_score_rows_quant, batch_score_segment, block_max_norms, merge_top_k, suffix_max_norms,
+    ApproxPolicy, PruneStats, TopK,
 };
 use rayon::prelude::*;
 use std::collections::HashSet;
 use std::ops::Range;
+use std::time::Instant;
+
+/// Default candidate over-fetch multiplier for quantized scans: the blocked
+/// scan keeps `ceil(k · rerank_factor)` candidates per query so the exact
+/// rerank can repair orderings the quantization error perturbed near the
+/// `k`-th score.  Full-precision scans ignore it entirely.
+pub const DEFAULT_RERANK_FACTOR: f32 = 2.0;
 
 /// One shard's partial output for a user tile: per-query top-k lists plus
 /// the shard's pruning counters.
@@ -145,11 +152,19 @@ struct IndexSegment {
     /// Block maxima of the segment's stored-order norms at `item_block`
     /// granularity.
     block_max: Vec<f32>,
-    /// Running maxima of `block_max` from each block to the segment's end —
+    /// Pruning bound per block: `block_max` widened by the segment's
+    /// per-block quantization error bound (`block_max` itself on exact
+    /// segments).  For a quantized segment `block_max` describes the
+    /// **decoded** rows while the exact row may be up to the codec's error
+    /// bound longer, so Cauchy–Schwarz pruning against exact scores must
+    /// compare `‖x_u‖ · (max‖dec(θ_v)‖ + err_b)` — folding the error into
+    /// the bound keeps every skip admissible.
+    bound_max: Vec<f32>,
+    /// Running maxima of `bound_max` from each block to the segment's end —
     /// the approximate stop rule compares against this so terminating a
     /// segment scan is safe for any stored order (in a norm-descending
-    /// segment it equals `block_max`).
-    suffix_max: Vec<f32>,
+    /// segment it equals `bound_max`).
+    bound_suffix: Vec<f32>,
     /// Global index of this segment's first block.
     first_block: usize,
 }
@@ -166,6 +181,13 @@ pub struct TopKIndex {
     shards: usize,
     /// Early-termination policy; `None` keeps the scan exact.
     approx: Option<ApproxPolicy>,
+    /// Candidate over-fetch multiplier for the exact rerank (≥ 1.0; only
+    /// consulted when `quantized`).
+    rerank_factor: f32,
+    /// Whether any store segment carries an encoded slab — the switch that
+    /// turns on over-fetch + exact rerank.  All-f32 stores take the exact
+    /// path untouched (bit-identical to the pre-quantization scorer).
+    quantized: bool,
     /// Per-segment blocking, base segment first, in global block order.
     segs: Vec<IndexSegment>,
     /// Total blocks across all segments (what shards partition).
@@ -212,7 +234,36 @@ impl TopKIndex {
         shards: usize,
         approx: Option<ApproxPolicy>,
     ) -> Self {
+        Self::with_rerank(
+            snapshot,
+            item_block,
+            score,
+            shards,
+            approx,
+            DEFAULT_RERANK_FACTOR,
+        )
+    }
+
+    /// [`TopKIndex::with_approx`] with an explicit rerank over-fetch factor.
+    ///
+    /// When any store segment is quantized the scan keeps
+    /// `ceil(k · rerank_factor)` candidates per query and a final pass
+    /// rescores them against the retained exact f32 rows, truncating back to
+    /// `k` under the same (score desc, id asc) total order.  `rerank_factor`
+    /// must be ≥ 1.0; it is ignored on all-f32 stores.
+    pub fn with_rerank(
+        snapshot: Arc<FactorSnapshot>,
+        item_block: usize,
+        score: ScoreKind,
+        shards: usize,
+        approx: Option<ApproxPolicy>,
+        rerank_factor: f32,
+    ) -> Self {
         assert!(item_block > 0, "item block must be positive");
+        assert!(
+            rerank_factor.is_finite() && rerank_factor >= 1.0,
+            "rerank factor must be a finite multiplier >= 1.0, got {rerank_factor}"
+        );
         if let Some(p) = &approx {
             p.validate();
         }
@@ -223,6 +274,7 @@ impl TopKIndex {
         let mut segs = Vec::with_capacity(snapshot.items().segment_count());
         let mut n_blocks = 0usize;
         let mut max_block = 1usize;
+        let mut quantized = false;
         for (i, seg) in snapshot.items().segments().iter().enumerate() {
             let block = item_block.min(seg.len().max(1));
             let block_max = if block == seg.default_block() {
@@ -233,12 +285,31 @@ impl TopKIndex {
             let first_block = n_blocks;
             n_blocks += block_max.len();
             max_block = max_block.max(block);
-            let suffix_max = suffix_max_norms(&block_max);
+            // Widen the pruning bound by the codec's per-block error so a
+            // skip stays admissible against exact scores (see `bound_max`).
+            let bound_max = match seg.encoded() {
+                Some(slab) => {
+                    quantized = true;
+                    let n = seg.len();
+                    block_max
+                        .iter()
+                        .enumerate()
+                        .map(|(b, &m)| {
+                            let start = b * block;
+                            let end = (start + block).min(n);
+                            m + slab.err_bound(start, end, m)
+                        })
+                        .collect()
+                }
+                None => block_max.clone(),
+            };
+            let bound_suffix = suffix_max_norms(&bound_max);
             segs.push(IndexSegment {
                 seg: i,
                 item_block: block,
                 block_max,
-                suffix_max,
+                bound_max,
+                bound_suffix,
                 first_block,
             });
         }
@@ -247,6 +318,8 @@ impl TopKIndex {
             score,
             shards: shards.max(1),
             approx,
+            rerank_factor,
+            quantized,
             segs,
             n_blocks,
             max_block,
@@ -321,6 +394,7 @@ impl TopKIndex {
                 stats.merge(&tile_stats);
                 results.extend(tile_results);
             }
+            let results = self.rerank_exact(queries, results, &mut stats);
             return (results, stats);
         }
 
@@ -355,10 +429,85 @@ impl TopKIndex {
                 let parts: Vec<Vec<(u32, f32)>> = (0..n_shards)
                     .map(|s| std::mem::take(&mut partials[t * n_shards + s].0[i]))
                     .collect();
-                merge_top_k(&parts, q.k)
+                merge_top_k(&parts, self.k_eff(q.k))
             })
             .collect();
+        let results = self.rerank_exact(queries, results, &mut stats);
         (results, stats)
+    }
+
+    /// Candidates the blocked scan keeps per query: `k` on an all-f32 store,
+    /// `ceil(k · rerank_factor)` when any segment is quantized — the
+    /// over-fetch margin the exact rerank draws its replacements from.
+    fn k_eff(&self, k: usize) -> usize {
+        if self.quantized && k > 0 {
+            ((k as f64) * f64::from(self.rerank_factor)).ceil() as usize
+        } else {
+            k
+        }
+    }
+
+    /// Exact-f32 rerank over quantized-scan candidates: rescores each
+    /// query's `k_eff` survivors against the retained exact rows, re-sorts
+    /// under the same (score desc, id asc) total order the heaps use, and
+    /// truncates back to `k`.  A no-op (queries pass through untouched) on
+    /// an all-f32 store, so the full-precision path stays bit-identical to
+    /// the pre-quantization scorer.  Timing and candidate/byte counts fold
+    /// into `stats`.
+    fn rerank_exact(
+        &self,
+        queries: &[Query],
+        results: Vec<Vec<(u32, f32)>>,
+        stats: &mut PruneStats,
+    ) -> Vec<Vec<(u32, f32)>> {
+        if !self.quantized {
+            return results;
+        }
+        let started = Instant::now();
+        let f = self.snapshot.rank();
+        let items = self.snapshot.items();
+        let mut rerank = PruneStats::default();
+        let out: Vec<Vec<(u32, f32)>> = queries
+            .iter()
+            .zip(results)
+            .map(|(q, list)| {
+                let Some(x_u) = self.snapshot.user_vector(q.user) else {
+                    return list;
+                };
+                if list.is_empty() {
+                    return list;
+                }
+                rerank.rerank_candidates += list.len() as u64;
+                rerank.bytes_scanned += (list.len() * f * std::mem::size_of::<f32>()) as u64;
+                let mut rescored: Vec<(u32, f32)> = list
+                    .into_iter()
+                    .map(|(v, _)| {
+                        let row = items.vector(v as usize);
+                        let s = cumf_linalg::score_dot(x_u, row);
+                        let s = match self.score {
+                            ScoreKind::Dot => s,
+                            ScoreKind::Cosine => {
+                                let n = cumf_linalg::blas::norm_sq(row).sqrt();
+                                if n > 0.0 {
+                                    s / n
+                                } else {
+                                    0.0
+                                }
+                            }
+                        };
+                        (v, s)
+                    })
+                    .collect();
+                rescored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                rescored.truncate(q.k);
+                rescored
+            })
+            .collect();
+        if rerank.rerank_candidates > 0 {
+            rerank.rerank_ns = started.elapsed().as_nanos() as u64;
+        }
+        stats.merge(&rerank);
+        out
     }
 
     /// Scores one user tile against the global block range `blocks` (the
@@ -380,11 +529,12 @@ impl TopKIndex {
         let mut heaps: Vec<Option<TopK>> = tile
             .iter()
             .zip(valid.iter())
-            .map(|(q, &ok)| (ok && q.k > 0).then(|| TopK::new(q.k)))
+            .map(|(q, &ok)| (ok && q.k > 0).then(|| TopK::new(self.k_eff(q.k))))
             .collect();
 
         let mut stats = PruneStats::default();
         let mut scores = vec![0.0f32; tile.len() * self.max_block];
+        let mut dequant = Vec::new();
         let mut scored_blocks = 0usize;
         let term_slack = self.approx.as_ref().map(ApproxPolicy::termination_slack);
         let block_budget = self.approx.as_ref().map_or(0, |p| p.max_blocks);
@@ -415,7 +565,7 @@ impl TopKIndex {
                         let done = heaps.iter().enumerate().all(|(i, h)| match h {
                             Some(h) => h
                                 .threshold()
-                                .is_some_and(|t| user_norms[i] * is.suffix_max[b] * slack < t),
+                                .is_some_and(|t| user_norms[i] * is.bound_suffix[b] * slack < t),
                             None => true,
                         });
                         if done {
@@ -423,7 +573,7 @@ impl TopKIndex {
                             break;
                         }
                     }
-                    let bound = is.block_max[b] * NORM_BOUND_SLACK;
+                    let bound = is.bound_max[b] * NORM_BOUND_SLACK;
                     let prunable = heaps.iter().enumerate().all(|(i, h)| match h {
                         Some(h) => h.threshold().is_some_and(|t| user_norms[i] * bound < t),
                         None => true,
@@ -450,7 +600,25 @@ impl TopKIndex {
                 scored_blocks += 1;
                 let nb = end - start;
                 let out = &mut scores[..tile.len() * nb];
-                batch_score_segment(users, tile.len(), &view, start, end, f, out);
+                match view.encoded {
+                    Some(slab) => {
+                        stats.bytes_scanned += slab.scan_bytes(start, end);
+                        batch_score_rows_quant(
+                            users,
+                            tile.len(),
+                            slab,
+                            start,
+                            end,
+                            f,
+                            &mut dequant,
+                            out,
+                        );
+                    }
+                    None => {
+                        stats.bytes_scanned += (nb * f * std::mem::size_of::<f32>()) as u64;
+                        batch_score_segment(users, tile.len(), &view, start, end, f, out);
+                    }
+                }
                 for (i, heap) in heaps.iter_mut().enumerate() {
                     let Some(heap) = heap else { continue };
                     let row = &out[i * nb..(i + 1) * nb];
@@ -487,7 +655,7 @@ impl TopKIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cumf_linalg::FactorMatrix;
+    use cumf_linalg::{FactorMatrix, Precision};
 
     fn index(seed: u64, n_users: usize, n_items: usize, score: ScoreKind) -> TopKIndex {
         let snap = FactorSnapshot::from_factors(
@@ -749,6 +917,142 @@ mod tests {
         assert_eq!(approx, exact);
         assert_eq!(approx[0].len(), 9, "zero-norm user still gets k items");
         assert_eq!(stats.blocks_terminated, 0, "0 < 0 must never terminate");
+    }
+
+    #[test]
+    fn reencoding_at_f32_is_bit_identical_and_rerank_free() {
+        let snap = skewed_snapshot(20, 3000, 71);
+        let re = Arc::new(snap.reencoded(Precision::F32));
+        let queries: Vec<Query> = (0..20u32)
+            .map(|u| Query {
+                user: u,
+                k: 10,
+                exclude: vec![u % 7],
+            })
+            .collect();
+        let (base, base_stats) = TopKIndex::with_shards(Arc::clone(&snap), 64, ScoreKind::Dot, 3)
+            .query_batch_stats(&queries);
+        let (same, stats) =
+            TopKIndex::with_shards(re, 64, ScoreKind::Dot, 3).query_batch_stats(&queries);
+        assert_eq!(same, base, "F32 re-encode must not change results");
+        assert_eq!(stats.rerank_candidates, 0, "no rerank on an all-f32 store");
+        assert_eq!(stats.rerank_ns, 0);
+        assert_eq!(stats.bytes_scanned, base_stats.bytes_scanned);
+        assert!(stats.bytes_scanned > 0, "exact scans are priced too");
+    }
+
+    #[test]
+    fn f16_scan_with_rerank_reproduces_the_exact_lists() {
+        let snap = skewed_snapshot(16, 4096, 72);
+        let queries: Vec<Query> = (0..16u32)
+            .map(|u| Query {
+                user: u,
+                k: 10,
+                exclude: vec![u % 5],
+            })
+            .collect();
+        let exact =
+            TopKIndex::with_shards(Arc::clone(&snap), 64, ScoreKind::Dot, 1).query_batch(&queries);
+        let f16 = Arc::new(snap.reencoded(Precision::F16));
+        for shards in [1usize, 3, 8] {
+            let (got, stats) = TopKIndex::with_shards(Arc::clone(&f16), 64, ScoreKind::Dot, shards)
+                .query_batch_stats(&queries);
+            // The rerank rescores with the same 4-lane kernel the exact scan
+            // uses, so a complete candidate set reproduces the exact lists
+            // bit-for-bit — items and scores.
+            assert_eq!(got, exact, "shards {shards}");
+            assert!(stats.rerank_candidates > 0, "quantized scans must rerank");
+            // Blocked-scan bytes (excluding the rerank's exact-row reads,
+            // which scale with k, not catalog size) must roughly halve
+            // against an exact scan producing the same candidate count —
+            // over-fetch weakens the heap threshold, so the fair baseline
+            // is exact retrieval at k_eff, not at k.
+            let scan = stats.bytes_scanned - stats.rerank_candidates * (snap.rank() as u64) * 4;
+            let wide: Vec<Query> = queries
+                .iter()
+                .map(|q| Query {
+                    user: q.user,
+                    k: 2 * q.k,
+                    exclude: q.exclude.clone(),
+                })
+                .collect();
+            let (_, exact_wide) =
+                TopKIndex::with_shards(Arc::clone(&snap), 64, ScoreKind::Dot, shards)
+                    .query_batch_stats(&wide);
+            let block_bytes = 64 * snap.rank() as u64 * 4;
+            assert!(
+                scan * 2 <= exact_wide.bytes_scanned + 2 * block_bytes,
+                "f16 scan must halve bytes at matched candidate count: {} vs {}",
+                scan,
+                exact_wide.bytes_scanned
+            );
+        }
+    }
+
+    #[test]
+    fn i8_scan_cuts_bytes_and_keeps_recall() {
+        let snap = skewed_snapshot(16, 4096, 73);
+        let queries: Vec<Query> = (0..16u32).map(|u| Query::new(u, 10)).collect();
+        let exact =
+            TopKIndex::with_shards(Arc::clone(&snap), 64, ScoreKind::Dot, 1).query_batch(&queries);
+        // Byte baseline at the quantized path's candidate count (see the
+        // f16 test for why k_eff, not k, is the fair comparison).
+        let wide: Vec<Query> = (0..16u32).map(|u| Query::new(u, 20)).collect();
+        let (_, exact_wide) = TopKIndex::with_shards(Arc::clone(&snap), 64, ScoreKind::Dot, 1)
+            .query_batch_stats(&wide);
+        let i8 = Arc::new(snap.reencoded(Precision::I8));
+        let (got, stats) =
+            TopKIndex::with_shards(i8, 64, ScoreKind::Dot, 1).query_batch_stats(&queries);
+        let scan = stats.bytes_scanned - stats.rerank_candidates * (snap.rank() as u64) * 4;
+        assert!(
+            scan * 2 < exact_wide.bytes_scanned,
+            "i8 scan must at least halve bytes moved: {} vs {}",
+            scan,
+            exact_wide.bytes_scanned
+        );
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for (e, g) in exact.iter().zip(&got) {
+            assert_eq!(g.len(), e.len(), "quantized lists must stay full-length");
+            let truth: HashSet<u32> = e.iter().map(|&(v, _)| v).collect();
+            hits += g.iter().filter(|&&(v, _)| truth.contains(&v)).count();
+            total += e.len();
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall >= 0.99, "i8 post-rerank recall {recall} < 0.99");
+    }
+
+    #[test]
+    fn quantized_cosine_reranks_with_exact_norms() {
+        let snap = skewed_snapshot(8, 1000, 74);
+        let queries: Vec<Query> = (0..8u32).map(|u| Query::new(u, 8)).collect();
+        let exact = TopKIndex::with_shards(Arc::clone(&snap), 64, ScoreKind::Cosine, 1)
+            .query_batch(&queries);
+        let f16 = Arc::new(snap.reencoded(Precision::F16));
+        let got = TopKIndex::with_shards(f16, 64, ScoreKind::Cosine, 1).query_batch(&queries);
+        assert_eq!(got.len(), exact.len());
+        for (e, g) in exact.iter().zip(&got) {
+            assert_eq!(g.len(), e.len());
+            let truth: HashSet<u32> = e.iter().map(|&(v, _)| v).collect();
+            let overlap = g.iter().filter(|&&(v, _)| truth.contains(&v)).count();
+            assert!(
+                overlap + 1 >= e.len(),
+                "cosine recall collapsed: {overlap}/{}",
+                e.len()
+            );
+        }
+    }
+
+    #[test]
+    fn rerank_factor_one_still_returns_full_lists() {
+        let snap = Arc::new(skewed_snapshot(4, 300, 75).reencoded(Precision::I8));
+        let queries = vec![Query::new(0, 7), Query::new(9999, 3), Query::new(1, 0)];
+        let (got, stats) = TopKIndex::with_rerank(snap, 64, ScoreKind::Dot, 1, None, 1.0)
+            .query_batch_stats(&queries);
+        assert_eq!(got[0].len(), 7);
+        assert!(got[1].is_empty(), "invalid user skips the rerank");
+        assert!(got[2].is_empty());
+        assert_eq!(stats.rerank_candidates, 7, "factor 1.0 reranks exactly k");
     }
 
     #[test]

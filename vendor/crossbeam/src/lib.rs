@@ -52,6 +52,36 @@ pub mod channel {
 
     impl<T> std::error::Error for SendError<T> {}
 
+    /// Error returned by [`Sender::try_send`], mirroring crossbeam's API:
+    /// the rejected message rides back inside the error.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum TrySendError<T> {
+        /// Bounded channel at capacity (receivers still connected).
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> std::error::Error for TrySendError<T> {}
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// all senders are dropped.
     #[derive(Debug, PartialEq, Eq, Clone, Copy)]
@@ -173,6 +203,23 @@ pub mod channel {
                         inner = self.shared.not_full.wait(inner).unwrap();
                     }
                     _ => break,
+                }
+            }
+            inner.queue.push_back(msg);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: enqueues if the channel has room, otherwise
+        /// returns the message inside [`TrySendError::Full`].
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.shared.cap {
+                if inner.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
                 }
             }
             inner.queue.push_back(msg);
